@@ -1,0 +1,193 @@
+//! Per-file-system behaviour profiles.
+//!
+//! Every baseline shares one in-kernel FS core (`simplefs`) and one VFS
+//! chassis (`chassis`); what distinguishes ext4 from NOVA from SplitFS is
+//! *where they serialize* and *what they pay per operation*. Those choices
+//! are captured here, matching each system's published design:
+//!
+//! * **ext4-DAX** — global JBD2 journal, global block allocator, kernel
+//!   data path. Optionally on a software RAID0 of all NUMA nodes.
+//! * **PMFS** — byte-addressable kernel FS, global journal and allocator.
+//! * **NOVA** — per-inode metadata log, per-CPU allocators (FAST '16).
+//! * **WineFS** — per-CPU journal and hugepage-aware allocator (SOSP '21).
+//! * **OdinFS** — NOVA-class metadata plus opportunistic delegation and
+//!   striping (OSDI '22).
+//! * **SplitFS** — userspace *data* path (no trap for reads/overwrites),
+//!   ext4 semantics for metadata (SOSP '19).
+//! * **Strata** — per-process NVM operation log with digestion by a
+//!   trusted process (SOSP '17).
+
+use trio_sim::Nanos;
+
+/// Journal / metadata-consistency model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalModel {
+    /// One global journal lock (ext4 JBD2, PMFS).
+    Global,
+    /// Per-CPU journals — no cross-thread serialization (WineFS).
+    PerCpu,
+    /// Per-inode operation log (NOVA, OdinFS).
+    PerInodeLog,
+    /// Per-process operation log + digestion (Strata).
+    OpLog,
+}
+
+/// Block/inode allocator locking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocModel {
+    /// One global allocator lock.
+    Global,
+    /// Per-CPU free lists.
+    PerCpu,
+}
+
+/// Where data pages land.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodePolicy {
+    /// Everything on NUMA node 0 (single pmem namespace — all the kernel
+    /// baselines in the paper's 8-node runs).
+    SingleNode,
+    /// Software RAID0: pages round-robin across nodes, with a global
+    /// submission lock per bio (`ext4(RAID0)`).
+    Raid0,
+    /// OdinFS-style striping (paired with delegation).
+    Striped,
+}
+
+/// How file data moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataPath {
+    /// Kernel copy: every read/write traps.
+    Kernel,
+    /// SplitFS: reads and in-place overwrites go through a userspace
+    /// mmap (no trap); appends and metadata trap into ext4.
+    SplitUser,
+    /// OdinFS: kernel entry, then delegation threads move the data.
+    Delegated,
+    /// Strata: writes append to a userspace NVM log (no trap), digested
+    /// to the shared area at a modelled amortized cost.
+    LogStructured,
+}
+
+/// A baseline's complete behaviour description.
+#[derive(Clone, Debug)]
+pub struct FsProfile {
+    /// Display name (matches the paper's figures).
+    pub name: &'static str,
+    /// Journal model.
+    pub journal: JournalModel,
+    /// Allocator model.
+    pub alloc: AllocModel,
+    /// Data placement.
+    pub placement: NodePolicy,
+    /// Data movement.
+    pub data_path: DataPath,
+    /// Extra per-metadata-op software cost (structure maintenance beyond
+    /// the common VFS work), ns.
+    pub metadata_extra_ns: Nanos,
+    /// Extent/index lookup depth (levels charged per data op).
+    pub index_depth: u32,
+}
+
+impl FsProfile {
+    /// `ext4` with DAX (single node).
+    pub fn ext4() -> Self {
+        FsProfile {
+            name: "ext4",
+            journal: JournalModel::Global,
+            alloc: AllocModel::Global,
+            placement: NodePolicy::SingleNode,
+            data_path: DataPath::Kernel,
+            metadata_extra_ns: 900,
+            index_depth: 4,
+        }
+    }
+
+    /// `ext4(RAID0)` across all nodes.
+    pub fn ext4_raid0() -> Self {
+        FsProfile { name: "ext4-RAID0", placement: NodePolicy::Raid0, ..Self::ext4() }
+    }
+
+    /// PMFS.
+    pub fn pmfs() -> Self {
+        FsProfile {
+            name: "PMFS",
+            journal: JournalModel::Global,
+            alloc: AllocModel::Global,
+            placement: NodePolicy::SingleNode,
+            data_path: DataPath::Kernel,
+            metadata_extra_ns: 500,
+            index_depth: 3,
+        }
+    }
+
+    /// NOVA.
+    pub fn nova() -> Self {
+        FsProfile {
+            name: "NOVA",
+            journal: JournalModel::PerInodeLog,
+            alloc: AllocModel::PerCpu,
+            placement: NodePolicy::SingleNode,
+            data_path: DataPath::Kernel,
+            metadata_extra_ns: 350,
+            index_depth: 3,
+        }
+    }
+
+    /// WineFS.
+    pub fn winefs() -> Self {
+        FsProfile {
+            name: "WineFS",
+            journal: JournalModel::PerCpu,
+            alloc: AllocModel::PerCpu,
+            placement: NodePolicy::SingleNode,
+            data_path: DataPath::Kernel,
+            metadata_extra_ns: 380,
+            index_depth: 2,
+        }
+    }
+
+    /// OdinFS.
+    pub fn odinfs() -> Self {
+        FsProfile {
+            name: "OdinFS",
+            journal: JournalModel::PerInodeLog,
+            alloc: AllocModel::PerCpu,
+            placement: NodePolicy::Striped,
+            data_path: DataPath::Delegated,
+            metadata_extra_ns: 380,
+            index_depth: 3,
+        }
+    }
+
+    /// SplitFS.
+    pub fn splitfs() -> Self {
+        FsProfile {
+            name: "SplitFS",
+            journal: JournalModel::Global, // ext4 underneath.
+            alloc: AllocModel::Global,
+            placement: NodePolicy::SingleNode,
+            data_path: DataPath::SplitUser,
+            metadata_extra_ns: 900,
+            index_depth: 1, // mmap-style table lookup.
+        }
+    }
+
+    /// Strata.
+    pub fn strata() -> Self {
+        FsProfile {
+            name: "Strata",
+            journal: JournalModel::OpLog,
+            alloc: AllocModel::PerCpu,
+            placement: NodePolicy::SingleNode,
+            data_path: DataPath::LogStructured,
+            metadata_extra_ns: 250,
+            index_depth: 2,
+        }
+    }
+
+    /// Whether data/metadata ops enter the kernel.
+    pub fn data_traps(&self) -> bool {
+        matches!(self.data_path, DataPath::Kernel | DataPath::Delegated)
+    }
+}

@@ -1,0 +1,231 @@
+//! Functional and behavioural tests for the baseline file systems.
+
+use std::sync::Arc;
+
+use trio_baselines::{build, BaselineFs, BASELINE_NAMES};
+use trio_fsapi::{read_file, write_file, FileSystem, FsError, Mode, OpenFlags};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::{DeviceConfig, NvmDevice};
+use trio_sim::SimRuntime;
+
+fn device() -> Arc<NvmDevice> {
+    Arc::new(NvmDevice::new(DeviceConfig::eight_node(2048)))
+}
+
+#[test]
+fn every_baseline_passes_the_smoke_suite() {
+    for name in BASELINE_NAMES {
+        let rt = SimRuntime::new(5);
+        let dev = device();
+        let delegation = if name == "OdinFS" {
+            // OdinFS borrows the kernel crate's delegation pool.
+            let k = KernelController::format(Arc::clone(&dev), KernelConfig::default());
+            Some(Arc::new(trio_kernel::delegation::DelegationPool::new(Arc::clone(&dev), 2)))
+                .inspect(|_| drop(k))
+        } else {
+            None
+        };
+        let fs = build(name, dev, delegation.clone());
+        let fs2: Arc<BaselineFs> = Arc::clone(&fs);
+        rt.spawn("smoke", move || {
+            if let Some(d) = &delegation {
+                let _ = d.start();
+            }
+            smoke(&*fs2, name);
+            if let Some(d) = &delegation {
+                d.shutdown();
+            }
+        });
+        rt.run();
+    }
+}
+
+fn smoke(fs: &dyn FileSystem, name: &str) {
+    assert_eq!(fs.fs_name(), name);
+    fs.mkdir("/d", Mode::RWX).unwrap();
+    // Create + write + read.
+    let data: Vec<u8> = (0..100_000).map(|i| (i % 239) as u8).collect();
+    write_file(fs, "/d/file", &data).unwrap();
+    assert_eq!(read_file(fs, "/d/file").unwrap(), data);
+    assert_eq!(fs.stat("/d/file").unwrap().size, data.len() as u64);
+    // Overwrite in place.
+    let fd = fs.open("/d/file", OpenFlags::RDWR, Mode::RW).unwrap();
+    fs.pwrite(fd, 10, b"PATCH").unwrap();
+    let mut buf = [0u8; 5];
+    fs.pread(fd, 10, &mut buf).unwrap();
+    assert_eq!(&buf, b"PATCH");
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    // Directory ops.
+    fs.create("/d/a", Mode::RW).unwrap();
+    fs.create("/d/b", Mode::RW).unwrap();
+    assert_eq!(fs.readdir("/d").unwrap().len(), 3);
+    fs.rename("/d/a", "/d/c").unwrap();
+    assert_eq!(fs.stat("/d/a").err(), Some(FsError::NotFound));
+    fs.unlink("/d/c").unwrap();
+    fs.unlink("/d/b").unwrap();
+    // Truncate (keeping the PATCH overwrite at offset 10).
+    fs.truncate("/d/file", 100).unwrap();
+    let mut expect = data[..100].to_vec();
+    expect[10..15].copy_from_slice(b"PATCH");
+    assert_eq!(read_file(fs, "/d/file").unwrap(), expect);
+    fs.truncate("/d/file", 0).unwrap();
+    fs.unlink("/d/file").unwrap();
+    fs.rmdir("/d").unwrap();
+}
+
+#[test]
+fn global_journal_serializes_fsyncs_percpu_does_not() {
+    // ext4's global JBD2 lock serializes concurrent journal commits;
+    // WineFS's per-CPU journal does not. fsync isolates the journal path
+    // (creates also contend on the shared dcache-modification lock, which
+    // masks the journal difference).
+    fn run(name: &'static str) -> u64 {
+        let rt = SimRuntime::new(9);
+        let fs = build(name, device(), None);
+        let fs0 = Arc::clone(&fs);
+        rt.spawn("main", move || {
+            use trio_fsapi::FileSystem;
+            let mut fds = Vec::new();
+            for t in 0..8 {
+                fds.push(
+                    fs0.open(
+                        &format!("/f{t}"),
+                        OpenFlags::CREATE | OpenFlags::WRONLY,
+                        Mode::RW,
+                    )
+                    .unwrap(),
+                );
+            }
+            let mut hs = Vec::new();
+            for (t, fd) in fds.into_iter().enumerate() {
+                let fs = Arc::clone(&fs0);
+                hs.push(trio_sim::spawn("syncer", move || {
+                    for _ in 0..100 {
+                        fs.fsync(fd).unwrap();
+                    }
+                    let _ = t;
+                }));
+            }
+            for h in hs {
+                h.join();
+            }
+        });
+        rt.run()
+    }
+    let ext4 = run("ext4");
+    let winefs = run("WineFS");
+    assert!(
+        ext4 as f64 > winefs as f64 * 2.0,
+        "global journal should serialize fsyncs: ext4={ext4} winefs={winefs}"
+    );
+}
+
+#[test]
+fn rename_lock_is_global_for_all_baselines() {
+    // Renames in disjoint directories still serialize (s_vfs_rename_mutex).
+    let rt = SimRuntime::new(9);
+    let fs = build("NOVA", device(), None);
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("main", move || {
+        for t in 0..4 {
+            fs0.mkdir(&format!("/r{t}"), Mode::RWX).unwrap();
+            fs0.create(&format!("/r{t}/src"), Mode::RW).unwrap();
+        }
+        let mut hs = Vec::new();
+        for t in 0..4u64 {
+            let fs = Arc::clone(&fs0);
+            hs.push(trio_sim::spawn("renamer", move || {
+                for i in 0..10 {
+                    fs.rename(&format!("/r{t}/src"), &format!("/r{t}/dst{i}")).unwrap();
+                    fs.rename(&format!("/r{t}/dst{i}"), &format!("/r{t}/src")).unwrap();
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+    });
+    let contended = rt.run();
+
+    // The same volume of renames from one thread.
+    let rt = SimRuntime::new(9);
+    let fs = build("NOVA", device(), None);
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("main", move || {
+        fs0.mkdir("/r", Mode::RWX).unwrap();
+        fs0.create("/r/src", Mode::RW).unwrap();
+        for i in 0..40 {
+            fs0.rename("/r/src", &format!("/r/dst{i}")).unwrap();
+            fs0.rename(&format!("/r/dst{i}"), "/r/src").unwrap();
+        }
+    });
+    let serial = rt.run();
+    // 4 threads × 20 rename-pairs vs 1 thread × 80: similar total work, and
+    // the global lock means similar (not 4× better) virtual time.
+    assert!(
+        contended as f64 > serial as f64 * 0.55,
+        "renames must not scale: contended={contended} serial={serial}"
+    );
+}
+
+#[test]
+fn splitfs_overwrites_avoid_traps() {
+    // SplitFS 4 KiB in-place overwrites skip the kernel; ext4 pays a trap
+    // each. Same data volume, SplitFS must be measurably faster.
+    fn run(name: &'static str) -> u64 {
+        let rt = SimRuntime::new(3);
+        let fs = build(name, device(), None);
+        let fs0 = Arc::clone(&fs);
+        rt.spawn("main", move || {
+            write_file(&*fs0, "/f", &vec![0u8; 1 << 20]).unwrap();
+            let fd = fs0.open("/f", OpenFlags::RDWR, Mode::RW).unwrap();
+            let block = vec![7u8; 4096];
+            for i in 0..256u64 {
+                fs0.pwrite(fd, (i % 200) * 4096, &block).unwrap();
+            }
+            fs0.close(fd).unwrap();
+        });
+        rt.run()
+    }
+    let ext4 = run("ext4");
+    let splitfs = run("SplitFS");
+    assert!(
+        splitfs < ext4,
+        "direct user-space data path should win: splitfs={splitfs} ext4={ext4}"
+    );
+}
+
+#[test]
+fn raid0_spreads_data_across_nodes() {
+    let rt = SimRuntime::new(3);
+    let dev = device();
+    let fs = build("ext4-RAID0", Arc::clone(&dev), None);
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("main", move || {
+        write_file(&*fs0, "/striped", &vec![5u8; 64 * 4096]).unwrap();
+        assert_eq!(read_file(&*fs0, "/striped").unwrap(), vec![5u8; 64 * 4096]);
+    });
+    rt.run();
+}
+
+#[test]
+fn error_paths_match_posix() {
+    let rt = SimRuntime::new(3);
+    let fs = build("NOVA", device(), None);
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("main", move || {
+        assert_eq!(fs0.stat("/missing").err(), Some(FsError::NotFound));
+        fs0.mkdir("/d", Mode::RWX).unwrap();
+        assert_eq!(fs0.mkdir("/d", Mode::RWX).err(), Some(FsError::Exists));
+        fs0.create("/d/f", Mode::RW).unwrap();
+        assert_eq!(fs0.rmdir("/d").err(), Some(FsError::NotEmpty));
+        assert_eq!(fs0.unlink("/d").err(), Some(FsError::IsDir));
+        assert_eq!(fs0.rmdir("/d/f").err(), Some(FsError::NotDir));
+        assert_eq!(
+            fs0.open("/d/f", OpenFlags::CREATE | OpenFlags::EXCL | OpenFlags::RDWR, Mode::RW).err(),
+            Some(FsError::Exists)
+        );
+    });
+    rt.run();
+}

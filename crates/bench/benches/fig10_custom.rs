@@ -1,0 +1,84 @@
+//! **Figure 10** — customized file systems: KVFS on a key-value Webproxy,
+//! FPFS on a 20-deep-directory Varmail (eight threads, paper §6.6).
+//!
+//! Paper shape: KVFS beats ArckFS by ~1.3× on Webproxy (no descriptors,
+//! no index structures); FPFS beats ArckFS by ~1.2× on deep-path Varmail
+//! (one hash probe instead of 20 directory hops); both crush the
+//! baselines.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use trio_bench::{build_kvfs_world, print_row, scale, World};
+use trio_fsapi::KeyValueFs;
+use trio_workloads::filebench::{
+    run_kv_webproxy, setup_kv_webproxy, Filebench, Personality,
+};
+
+const THREADS: usize = 8;
+
+fn webproxy_cfg() -> Filebench {
+    let mut cfg = Filebench::table4(Personality::Webproxy, 6, scale());
+    cfg.files_per_thread = 64;
+    cfg.mean_file_size = cfg.mean_file_size.min(32 * 1024); // KVFS cap.
+    cfg
+}
+
+fn varmail_cfg() -> Filebench {
+    let mut cfg = Filebench::table4(Personality::Varmail, 6, scale());
+    cfg.files_per_thread = 64;
+    cfg.dir_depth = 20; // The paper's deep-path stress.
+    cfg
+}
+
+fn posix_point(fs_name: &str, cfg: Filebench) -> f64 {
+    let pages = (THREADS * cfg.files_per_thread * (cfg.mean_file_size / 4096 + 2) * 3 / 8)
+        .max(24 * 1024);
+    let world = World::build(fs_name, 8, pages);
+    world.measure(Arc::new(cfg), THREADS, 42).kops_per_sec()
+}
+
+fn kvfs_point(cfg: Filebench) -> f64 {
+    let (kernel, _fs, kv) = build_kvfs_world(8, 64 * 1024);
+    let kv: Arc<dyn KeyValueFs> = kv;
+    let kv_setup = Arc::clone(&kv);
+    let cfg2 = cfg.clone();
+    let kernel2 = Arc::clone(&kernel);
+    let out = Arc::new(Mutex::new(0u64));
+    let ops = Arc::new(Mutex::new(0u64));
+    let out2 = Arc::clone(&out);
+    let ops2 = Arc::clone(&ops);
+    let m = trio_workloads::run_parallel(
+        42,
+        THREADS,
+        8,
+        move || {
+            let _ = kernel.delegation().start();
+            setup_kv_webproxy(&kv_setup, THREADS, &cfg2);
+        },
+        move |i| run_kv_webproxy(&kv, i, &cfg),
+        move || {
+            kernel2.delegation().shutdown();
+        },
+    );
+    *out2.lock() = m.elapsed_ns;
+    *ops2.lock() = m.ops;
+    m.kops_per_sec()
+}
+
+fn main() {
+    println!("# Figure 10: customization (8 threads, scale 1/{})", scale());
+    let fs_list = ["ext4", "NOVA", "WineFS", "OdinFS", "ArckFS"];
+
+    println!("\n== Webproxy (key-value flowlets) ==");
+    for fs in fs_list {
+        print_row(fs, &[posix_point(fs, webproxy_cfg())], "Kops/s");
+    }
+    print_row("KVFS", &[kvfs_point(webproxy_cfg())], "Kops/s");
+
+    println!("\n== Varmail (20-deep directories) ==");
+    for fs in fs_list {
+        print_row(fs, &[posix_point(fs, varmail_cfg())], "Kops/s");
+    }
+    print_row("FPFS", &[posix_point("FPFS", varmail_cfg())], "Kops/s");
+}

@@ -1,0 +1,67 @@
+//! **Figure 5** — single-thread performance.
+//!
+//! Panels: (a) 4 KiB read/write GiB/s, (b) 2 MiB read/write GiB/s,
+//! (c) read-metadata ops/µs (open in five-deep dirs), (d) write-metadata
+//! ops/µs (create, delete). One thread, eight NUMA nodes (the paper's
+//! default setup; ArckFS-nd shows the no-delegation configuration).
+
+use std::sync::Arc;
+
+use trio_bench::{print_row, scale, World};
+use trio_workloads::fio::{Fio, FioOp};
+use trio_workloads::fxmark::{FxBench, FxMark};
+
+const PAGES_PER_NODE: usize = 48 * 1024; // 8 nodes x 192 MiB.
+
+fn data_point(fs: &str, block: usize, op: FioOp) -> f64 {
+    let file_bytes = ((1u64 << 30) / scale() as u64).min(48 << 20);
+    let ops = if block >= 1 << 20 { 24 } else { 512 };
+    let world = World::build(fs, 8, PAGES_PER_NODE);
+    let wl = Arc::new(Fio { op, block, file_bytes, ops_per_thread: ops });
+    world.measure(wl, 1, 42).gib_per_sec()
+}
+
+fn meta_point(fs: &str, bench: FxBench) -> f64 {
+    let world = World::build(fs, 8, PAGES_PER_NODE);
+    let wl = Arc::new(FxMark { bench, ops_per_thread: 400, pool_files: 64 });
+    world.measure(wl, 1, 42).ops_per_usec()
+}
+
+fn main() {
+    println!("# Figure 5: single-thread performance (scale 1/{})", scale());
+    println!("# paper: SplitFS/ArckFS-nd beat NOVA by 9-31% on 4KB (direct access);");
+    println!("#        OdinFS/ArckFS dominate 2MB (parallel delegation);");
+    println!("#        ArckFS leads open/create/delete by 1.6x-9.4x.");
+
+    let data_fs = ["NOVA", "SplitFS", "OdinFS", "ArckFS-nd", "ArckFS"];
+    println!("\n== (a) 4KB data, 1 thread ==");
+    println!("{:<14} {:>9} {:>9}", "fs", "read", "write");
+    for fs in data_fs {
+        let r = data_point(fs, 4096, FioOp::Read);
+        let w = data_point(fs, 4096, FioOp::Write);
+        print_row(fs, &[r, w], "GiB/s");
+    }
+
+    println!("\n== (b) 2MB data, 1 thread ==");
+    println!("{:<14} {:>9} {:>9}", "fs", "read", "write");
+    for fs in data_fs {
+        let r = data_point(fs, 2 << 20, FioOp::Read);
+        let w = data_point(fs, 2 << 20, FioOp::Write);
+        print_row(fs, &[r, w], "GiB/s");
+    }
+
+    let meta_fs = ["ext4", "NOVA", "Strata", "ArckFS"];
+    println!("\n== (c) read metadata: open (five-deep dir) ==");
+    println!("{:<14} {:>9}", "fs", "open");
+    for fs in meta_fs {
+        print_row(fs, &[meta_point(fs, FxBench::Mrpl)], "ops/us");
+    }
+
+    println!("\n== (d) write metadata: create / delete ==");
+    println!("{:<14} {:>9} {:>9}", "fs", "create", "delete");
+    for fs in meta_fs {
+        let c = meta_point(fs, FxBench::Mwcl);
+        let d = meta_point(fs, FxBench::Mwul);
+        print_row(fs, &[c, d], "ops/us");
+    }
+}

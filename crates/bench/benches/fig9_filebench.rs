@@ -1,0 +1,51 @@
+//! **Figure 9** — Filebench macrobenchmarks (Table 4 configurations).
+//!
+//! Paper shapes: all systems tie at one node; at eight nodes ArckFS and
+//! OdinFS pull ahead on the data-heavy personalities (delegation) with
+//! ArckFS on top (direct access); on the metadata/small-file personalities
+//! (Webproxy, Varmail — up to 16 threads, as in the paper) ArckFS wins by
+//! larger factors.
+
+use std::sync::Arc;
+
+use trio_bench::{print_row, print_thread_header, scale, World};
+use trio_workloads::filebench::{Filebench, Personality};
+
+fn panel(title: &str, p: Personality, fs_list: &[&str], nodes: usize, threads: &[usize]) {
+    print_thread_header(title, threads);
+    for fs in fs_list {
+        let mut vals = Vec::new();
+        for &t in threads {
+            let mut cfg = Filebench::table4(p, 6, scale());
+            // Keep the per-thread fileset bounded for big thread counts.
+            cfg.files_per_thread = cfg.files_per_thread.min(1024 / t.max(1)).max(8);
+            let pages = (t * cfg.files_per_thread * (cfg.mean_file_size / 4096 + 2) * 3
+                / nodes)
+                .max(24 * 1024);
+            let world = World::build(fs, nodes, pages);
+            vals.push(world.measure(Arc::new(cfg), t, 42).kops_per_sec());
+        }
+        print_row(fs, &vals, "Kops/s (flowlets)");
+    }
+}
+
+fn main() {
+    println!("# Figure 9: Filebench (scale 1/{})", scale());
+    let one = vec![1, 4, 16];
+    let eight = if trio_bench::full_run() {
+        vec![1, 8, 28, 112, 224]
+    } else {
+        vec![1, 28, 224]
+    };
+    let small = vec![1, 8, 16];
+
+    let one_fs = ["ext4", "NOVA", "WineFS", "SplitFS", "ArckFS-nd"];
+    let eight_fs = ["ext4", "ext4-RAID0", "NOVA", "WineFS", "OdinFS", "ArckFS"];
+
+    panel("(a) Fileserver, 1 node", Personality::Fileserver, &one_fs, 1, &one);
+    panel("(b) Webserver, 1 node", Personality::Webserver, &one_fs, 1, &one);
+    panel("(c) Fileserver, 8 nodes", Personality::Fileserver, &eight_fs, 8, &eight);
+    panel("(d) Webserver, 8 nodes", Personality::Webserver, &eight_fs, 8, &eight);
+    panel("(e) Webproxy, 8 nodes (<=16 thr)", Personality::Webproxy, &eight_fs, 8, &small);
+    panel("(f) Varmail, 8 nodes (<=16 thr)", Personality::Varmail, &eight_fs, 8, &small);
+}

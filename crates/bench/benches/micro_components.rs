@@ -1,0 +1,155 @@
+//! Criterion microbenchmarks on the core data structures (wall-clock, no
+//! simulation) — the ablation-level measurements behind DESIGN.md's
+//! data-structure choices: dirent codec, directory hash table vs linear
+//! scan, the defensive index walk, and the verifier itself.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use trio_fsapi::Mode;
+use trio_layout::{
+    walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, IndexPageRef,
+};
+use trio_nvm::{ActorId, DeviceConfig, NvmDevice, NvmHandle, PageId, KERNEL_ACTOR};
+use trio_verifier::{
+    InoProvenance, PageProvenance, ResourceView, ShadowAttr, VerifyRequest, Verifier,
+};
+
+fn dirent_codec(c: &mut Criterion) {
+    let d = DirentData::new(b"some-file-name.dat", CoreFileType::Regular, Mode::RW, 1000, 1000);
+    c.bench_function("dirent_encode", |b| b.iter(|| std::hint::black_box(d.encode_bytes())));
+    let img = d.encode_bytes();
+    c.bench_function("dirent_decode", |b| {
+        b.iter(|| std::hint::black_box(DirentData::decode_bytes(&img)))
+    });
+}
+
+fn dir_hash_table(c: &mut Criterion) {
+    use arckfs::node::{DirAux, DirEntryAux};
+    let aux = DirAux::new();
+    for i in 0..1000 {
+        aux.insert(DirEntryAux {
+            name: format!("file-{i:05}"),
+            ino: i + 10,
+            loc: DirentLoc { page: PageId(1 + i / 16), slot: (i % 16) as usize },
+            ftype: CoreFileType::Regular,
+        });
+    }
+    c.bench_function("dir_hash_lookup_1000", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            std::hint::black_box(aux.lookup(&format!("file-{i:05}")))
+        })
+    });
+    c.bench_function("dir_hash_insert_remove", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                aux.insert(DirEntryAux {
+                    name: "transient".into(),
+                    ino: 5,
+                    loc: DirentLoc { page: PageId(1), slot: 0 },
+                    ftype: CoreFileType::Regular,
+                });
+                aux.remove("transient");
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn index_walk(c: &mut Criterion) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+    let h = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+    // A 2-index-page file with 600 data pages.
+    let ip1 = PageId(10);
+    let ip2 = PageId(11);
+    for i in 0..511usize {
+        IndexPageRef::new(&h, ip1).set_entry(i, 100 + i as u64).unwrap();
+    }
+    IndexPageRef::new(&h, ip1).set_next(ip2.0).unwrap();
+    for i in 0..89usize {
+        IndexPageRef::new(&h, ip2).set_entry(i, 700 + i as u64).unwrap();
+    }
+    c.bench_function("walk_file_600_pages", |b| {
+        b.iter(|| std::hint::black_box(walk_file(&h, ip1.0, 64).unwrap()))
+    });
+}
+
+struct BenchView;
+impl ResourceView for BenchView {
+    fn page_provenance(&self, _p: PageId) -> PageProvenance {
+        PageProvenance::AllocatedTo(ActorId(7))
+    }
+    fn ino_provenance(&self, _i: u64) -> InoProvenance {
+        InoProvenance::AllocatedTo(ActorId(7))
+    }
+    fn shadow_attr(&self, _i: u64) -> Option<ShadowAttr> {
+        None
+    }
+    fn is_mapped(&self, _i: u64) -> bool {
+        false
+    }
+}
+
+fn verifier_speed(c: &mut Criterion) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+    let h = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+    // Build a 160-entry directory: index page 5 -> data pages 20..30.
+    let ip = PageId(5);
+    for (slot, page) in (20..30).enumerate() {
+        IndexPageRef::new(&h, ip).set_entry(slot, page).unwrap();
+        for s in 0..16 {
+            let loc = DirentLoc { page: PageId(page), slot: s };
+            let idx = (page - 20) * 16 + s as u64;
+            let d = DirentData::new(
+                format!("entry-{idx:04}").as_bytes(),
+                CoreFileType::Regular,
+                Mode::RW,
+                0,
+                0,
+            );
+            let r = DirentRef::new(&h, loc);
+            r.prepare(&d).unwrap();
+            r.publish(1000 + idx).unwrap();
+        }
+    }
+    // The directory's own dirent.
+    let own = DirentLoc { page: PageId(3), slot: 0 };
+    let mut dd = DirentData::new(b"bigdir", CoreFileType::Directory, Mode::RWX, 0, 0);
+    dd.first_index = ip.0;
+    dd.size = 160;
+    let r = DirentRef::new(&h, own);
+    r.prepare(&dd).unwrap();
+    r.publish(999).unwrap();
+    r.set_first_index(ip.0).unwrap();
+    r.set_size(160).unwrap();
+
+    let verifier = Verifier::new(NvmHandle::new(dev, KERNEL_ACTOR));
+    let ck: HashSet<u64> = HashSet::new();
+    c.bench_function("verify_dir_160_entries", |b| {
+        b.iter(|| {
+            let req = VerifyRequest {
+                ino: 999,
+                ftype: CoreFileType::Directory,
+                dirent: Some(own),
+                first_index: ip.0,
+                dirty_actor: ActorId(7),
+                checkpoint_children: Some(&ck),
+                max_index_pages: 64,
+            };
+            let rep = verifier.verify(&req, &BenchView);
+            assert!(rep.ok(), "{:?}", rep.violations);
+            std::hint::black_box(rep)
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = dirent_codec, dir_hash_table, index_walk, verifier_speed
+}
+criterion_main!(components);

@@ -1,0 +1,67 @@
+//! **Table 5** — LevelDB `db_bench` over each file system (one thread,
+//! 100-byte values; Fill100K uses 100 KiB values).
+//!
+//! Paper shape: ArckFS wins every row (up to 3.1× over WineFS, 1.5–17×
+//! over ext4); ArckFS-nd beats ArckFS on the small-value rows (delegation
+//! striping overhead) but loses on Fill100K (parallelized large writes).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use trio_bench::{scale, World};
+use trio_lsmkv::bench::{preload, run, DbBench, ALL_DB_BENCH};
+use trio_lsmkv::{Db, DbConfig};
+
+fn point(fs_name: &str, op: DbBench, n: u64) -> f64 {
+    let world = World::build(fs_name, 8, 64 * 1024);
+    let fs = Arc::clone(&world.fs);
+    let kernel = world.kernel.clone();
+    let kernel2 = world.kernel.clone();
+    let out = Arc::new(Mutex::new(0.0f64));
+    let out2 = Arc::clone(&out);
+    let rt = trio_sim::SimRuntime::new(55);
+    rt.spawn("dbbench", move || {
+        if let Some(k) = &kernel {
+            let _ = k.delegation().start();
+        }
+        let cfg = DbConfig {
+            memtable_bytes: (4 << 20) / scale(),
+            sync_writes: op.wants_sync(),
+            ..Default::default()
+        };
+        let db = Db::open(fs, "/db", cfg).expect("open db");
+        if op.needs_preload() {
+            preload(&db, n, 100).expect("preload");
+        }
+        let t0 = trio_sim::now();
+        run(&db, op, n).expect("db_bench");
+        let dt = trio_sim::now() - t0;
+        *out2.lock() = n as f64 / (dt as f64 / 1e6); // ops per virtual ms.
+        if let Some(k) = &kernel2 {
+            k.delegation().shutdown();
+        }
+    });
+    rt.run();
+    let v = *out.lock();
+    v
+}
+
+fn main() {
+    let s = scale();
+    println!("# Table 5: LevelDB db_bench, ops/ms (scale 1/{s})");
+    let fs_list = ["ext4", "NOVA", "WineFS", "ArckFS", "ArckFS-nd"];
+    print!("{:<14}", "workload");
+    for fs in fs_list {
+        print!(" {fs:>10}");
+    }
+    println!();
+    let n_small = (1_000_000 / s as u64 / 16).max(2_000);
+    for op in ALL_DB_BENCH {
+        let n = if op == DbBench::Fill100K { (n_small / 40).max(100) } else { n_small };
+        print!("{:<14}", op.name());
+        for fs in fs_list {
+            print!(" {:>10.2}", point(fs, op, n));
+        }
+        println!("   [ops/ms, n={n}]");
+    }
+}

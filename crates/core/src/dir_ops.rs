@@ -1,0 +1,410 @@
+//! Directory operations: create, unlink, mkdir, rmdir, readdir, stat,
+//! rename (paper §4.2, §4.4).
+//!
+//! All of these are *direct metadata updates*: the LibFS writes dirent
+//! slots and index pages in its write-mapped parent directory without any
+//! trusted-entity involvement. Crash consistency comes from the prepare/
+//! publish protocol (whole slot persisted with ino 0, then the inode
+//! number published with an 8-byte atomic persist) and, for rename, the
+//! undo journal.
+
+use std::sync::Arc;
+
+use trio_fsapi::{DirEntry, FsError, FsResult, Mode, Stat};
+use trio_layout::{
+    CoreFileType, DirentData, DirentRef, IndexPageRef, SuperblockRef,
+    ENTRIES_PER_INDEX, ROOT_INO,
+};
+use trio_sim::{in_sim, now};
+
+use crate::libfs::ArckFs;
+use crate::node::{DirEntryAux, FileNode, MapState};
+
+impl ArckFs {
+    /// Creates a child (file or directory) under `parent`.
+    pub(crate) fn create_entry(
+        &self,
+        parent: &Arc<FileNode>,
+        name: &str,
+        ftype: CoreFileType,
+        mode: Mode,
+    ) -> FsResult<Arc<FileNode>> {
+        trio_fsapi::path::validate_name(name)?;
+        self.with_mapped(parent, true, |fs| {
+            let g = parent.inner.read();
+            if g.map != MapState::Write {
+                return Err(FsError::Stale);
+            }
+            let aux = g.dir.as_ref().ok_or(FsError::NotDir)?.clone();
+            // Reserve a slot, growing the directory as needed.
+            let shard = if trio_sim::in_sim() { trio_sim::current_tid() } else { 0 };
+            let loc = loop {
+                if let Some(s) = aux.take_slot(shard) {
+                    break s;
+                }
+                fs.grow_dir(parent, &aux)?;
+            };
+            // Reserve the name in the hash table (atomic exists+insert).
+            let reserved = aux.with_bucket(name, |b| {
+                if b.iter().any(|e| e.name == name) {
+                    return false;
+                }
+                b.push(DirEntryAux { name: name.to_string(), ino: 0, loc, ftype });
+                true
+            });
+            if !reserved {
+                aux.put_slot(loc);
+                return Err(FsError::Exists);
+            }
+            // Write the core state: prepare (ino 0) then publish (§4.4).
+            let ino = match fs.inos.take() {
+                Ok(i) => i,
+                Err(e) => {
+                    aux.with_bucket(name, |b| b.retain(|x| x.name != name));
+                    aux.put_slot(loc);
+                    return Err(e);
+                }
+            };
+            let d = DirentData::new(name.as_bytes(), ftype, mode, fs.uid, fs.gid);
+            let dref = DirentRef::new(&fs.h, loc);
+            let res = dref.prepare(&d).and_then(|_| dref.publish(ino));
+            if let Err(e) = res {
+                aux.with_bucket(name, |b| b.retain(|x| x.name != name));
+                aux.put_slot(loc);
+                fs.inos.put(ino);
+                return Err(Self::fault(e));
+            }
+            // Fill in the reserved aux entry's ino.
+            aux.with_bucket(name, |b| {
+                if let Some(e) = b.iter_mut().find(|e| e.name == name) {
+                    e.ino = ino;
+                }
+            });
+            fs.bump_dir_size(parent, &aux, 1)?;
+            let n = fs.intern_node(ino, ftype, parent.ino, loc);
+            // A file this LibFS just created is writable *by construction*:
+            // its dirent page is mapped through the parent's write grant
+            // and any pages it grows into come from the LibFS's own
+            // (already mapped) pool. No kernel map call is needed until
+            // another LibFS claims it — this is the essence of direct
+            // access for metadata (paper §4.2).
+            {
+                let mut gi = n.inner.write();
+                if gi.map == MapState::Unmapped {
+                    gi.map = MapState::Write;
+                    gi.size = 0;
+                    gi.mtime = now_or_zero();
+                    if ftype == CoreFileType::Directory {
+                        gi.dir = Some(Arc::new(crate::node::DirAux::new()));
+                    }
+                }
+            }
+            Ok(n)
+        })
+    }
+
+    /// Removes a child. `want_dir` selects unlink (false) vs rmdir (true).
+    pub(crate) fn remove_entry(
+        &self,
+        parent: &Arc<FileNode>,
+        name: &str,
+        want_dir: bool,
+    ) -> FsResult<()> {
+        self.with_mapped(parent, true, |fs| {
+            let g = parent.inner.read();
+            if g.map != MapState::Write {
+                return Err(FsError::Stale);
+            }
+            let aux = g.dir.as_ref().ok_or(FsError::NotDir)?.clone();
+            let e = aux.lookup(name).ok_or(FsError::NotFound)?;
+            match (e.ftype, want_dir) {
+                (CoreFileType::Directory, false) => return Err(FsError::IsDir),
+                (CoreFileType::Regular, true) => return Err(FsError::NotDir),
+                _ => {}
+            }
+            let dref = DirentRef::new(&fs.h, e.loc);
+            if want_dir {
+                // rmdir: the directory must be empty (semantic attack #2 of
+                // §2.3.2 — removing non-empty directories — is what I3
+                // protects against across LibFSes; within one LibFS we just
+                // refuse).
+                let sz = dref.size().map_err(Self::fault)?;
+                if sz != 0 {
+                    return Err(FsError::NotEmpty);
+                }
+            }
+            let first_index = dref.first_index().map_err(Self::fault)?;
+            dref.clear().map_err(Self::fault)?;
+            aux.remove(name);
+            aux.put_slot(e.loc);
+            fs.bump_dir_size(parent, &aux, -1)?;
+            fs.forget_node(e.ino);
+            if first_index == 0 {
+                // Empty file: only the ino needs reclaiming — batch it
+                // (this is the hot unlink path, e.g. FxMark MWUL).
+                let flush_now = {
+                    let mut q = fs.reclaim.lock();
+                    q.push((parent.ino, e.ino, first_index));
+                    q.len() >= fs.cfg.reclaim_batch
+                };
+                if flush_now {
+                    fs.flush_reclaim()?;
+                }
+            } else {
+                // A file with pages reclaims eagerly: its chain head is only
+                // meaningful *now* — deferring would let the pages be
+                // recycled into live files before the kernel walks them.
+                let recycled =
+                    fs.kernel.reclaim_file(fs.actor, parent.ino, e.ino, first_index)?;
+                for p in recycled {
+                    fs.pages.put(p);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Lists a directory from its aux table.
+    pub(crate) fn readdir_node(&self, dir: &Arc<FileNode>) -> FsResult<Vec<DirEntry>> {
+        self.with_mapped(dir, false, |_| {
+            let g = dir.inner.read();
+            if g.map == MapState::Unmapped {
+                return Err(FsError::Stale);
+            }
+            let aux = g.dir.as_ref().ok_or(FsError::NotDir)?;
+            let mut out: Vec<DirEntry> = aux
+                .entries()
+                .into_iter()
+                .map(|e| DirEntry { name: e.name, ino: e.ino, ftype: e.ftype.to_fsapi() })
+                .collect();
+            out.sort_by(|a, b| a.name.cmp(&b.name));
+            Ok(out)
+        })
+    }
+
+    /// Stats a node by reading its dirent (or the superblock for root).
+    pub(crate) fn stat_node(&self, node: &Arc<FileNode>) -> FsResult<Stat> {
+        if node.ino == ROOT_INO {
+            let sb = SuperblockRef::new(&self.h);
+            return Ok(Stat {
+                ino: ROOT_INO,
+                ftype: trio_fsapi::FileType::Directory,
+                size: sb.root_size().map_err(Self::fault)?,
+                mode: Mode(0o777),
+                uid: 0,
+                gid: 0,
+                mtime: sb.root_mtime().map_err(Self::fault)?,
+            });
+        }
+        // Re-resolve through the parent on staleness.
+        for _ in 0..4 {
+            let loc = node.place.read().loc.expect("non-root");
+            let mut b = [0u8; trio_layout::DIRENT_SIZE];
+            match self.h.read(loc.page, loc.byte_off(), &mut b) {
+                Ok(()) => {
+                    let d = DirentData::decode_bytes(&b);
+                    if d.ino != node.ino {
+                        return Err(FsError::NotFound); // Unlinked or moved.
+                    }
+                    return Ok(Stat {
+                        ino: d.ino,
+                        ftype: d
+                            .ftype()
+                            .map(|t| t.to_fsapi())
+                            .unwrap_or(trio_fsapi::FileType::Regular),
+                        size: d.size,
+                        mode: d.mode,
+                        uid: d.uid,
+                        gid: d.gid,
+                        mtime: d.mtime,
+                    });
+                }
+                Err(_) => {
+                    // Parent mapping revoked: remap the parent directory.
+                    let parent_ino = node.place.read().parent;
+                    let parent = self.node_by_ino(parent_ino).ok_or(FsError::Stale)?;
+                    parent.invalidate();
+                    self.ensure_mapped(&parent, false)?;
+                }
+            }
+        }
+        Err(FsError::Stale)
+    }
+
+    pub(crate) fn node_by_ino(&self, ino: u64) -> Option<Arc<FileNode>> {
+        if ino == ROOT_INO {
+            return Some(Arc::clone(&self.root));
+        }
+        self.nodes[ino as usize % self.nodes.len()].read().get(&ino).cloned()
+    }
+
+    /// Renames `src` to `dst` (same LibFS), journaled for crash atomicity.
+    pub(crate) fn rename_entry(&self, src: &str, dst: &str) -> FsResult<()> {
+        let (sp, sname) = self.resolve_parent(src)?;
+        let (dp, dname) = self.resolve_parent(dst)?;
+        trio_fsapi::path::validate_name(dname)?;
+        self.ensure_mapped(&sp, true)?;
+        self.ensure_mapped(&dp, true)?;
+
+        // The source must exist before anything is mutated — a rename with
+        // a missing source must leave an existing destination untouched.
+        if self.lookup_child(&sp, sname)?.is_none() {
+            return Err(FsError::NotFound);
+        }
+
+        // Replace semantics: drop an existing destination first.
+        match self.lookup_child(&dp, dname) {
+            Ok(Some(existing)) => {
+                let want_dir = existing.ftype == CoreFileType::Directory;
+                self.remove_entry(&dp, dname, want_dir)?;
+            }
+            Ok(None) => {}
+            Err(FsError::NotFound) => {}
+            Err(e) => return Err(e),
+        }
+
+        self.with_mapped(&sp, true, |fs| {
+            fs.ensure_mapped(&dp, true)?;
+            let sg = sp.inner.read();
+            let dg = dp.inner.read();
+            if sg.map != MapState::Write || dg.map != MapState::Write {
+                return Err(FsError::Stale);
+            }
+            let saux = sg.dir.as_ref().ok_or(FsError::NotDir)?.clone();
+            let daux = dg.dir.as_ref().ok_or(FsError::NotDir)?.clone();
+            let e = saux.lookup(sname).ok_or(FsError::NotFound)?;
+
+            // Reserve the destination slot and name.
+            let shard = if in_sim() { trio_sim::current_tid() } else { 0 };
+            let dloc = loop {
+                if let Some(s) = daux.take_slot(shard) {
+                    break s;
+                }
+                fs.grow_dir(&dp, &daux)?;
+            };
+            let reserved = daux.with_bucket(dname, |b| {
+                if b.iter().any(|x| x.name == dname) {
+                    return false;
+                }
+                b.push(DirEntryAux { name: dname.to_string(), ino: e.ino, loc: dloc, ftype: e.ftype });
+                true
+            });
+            if !reserved {
+                daux.put_slot(dloc);
+                return Err(FsError::Exists);
+            }
+
+            // Journal, then move the dirent.
+            let mut src_img = [0u8; trio_layout::DIRENT_SIZE];
+            fs.h.read_untimed(e.loc.page, e.loc.byte_off(), &mut src_img).map_err(Self::fault)?;
+            let mut moved = DirentData::decode_bytes(&src_img);
+            moved.name = dname.as_bytes().to_vec();
+            let guard = fs.journal.begin_rename(&fs.h, shard, e.loc, dloc, &src_img, || {
+                fs.pages.take(trio_nvm::handle::home_node())
+            })?;
+            let dref = DirentRef::new(&fs.h, dloc);
+            dref.prepare(&moved).map_err(Self::fault)?;
+            dref.publish(e.ino).map_err(Self::fault)?;
+            DirentRef::new(&fs.h, e.loc).clear().map_err(Self::fault)?;
+            guard.disarm().map_err(Self::fault)?;
+
+            // Aux updates.
+            saux.remove(sname);
+            saux.put_slot(e.loc);
+            if sp.ino == dp.ino {
+                // Same directory: net entry count unchanged.
+                fs.touch_dir(&sp)?;
+            } else {
+                fs.bump_dir_size(&sp, &saux, -1)?;
+                fs.bump_dir_size(&dp, &daux, 1)?;
+            }
+            // Update the interned node's placement.
+            if let Some(n) = fs.node_by_ino(e.ino) {
+                let mut place = n.place.write();
+                place.parent = dp.ino;
+                place.loc = Some(dloc);
+            }
+            Ok(())
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Directory growth & size accounting.
+    // -----------------------------------------------------------------
+
+    /// Adds one data page (16 slots) to a directory, extending its index
+    /// chain (paper: the "index tail").
+    pub(crate) fn grow_dir(&self, dir: &Arc<FileNode>, aux: &crate::node::DirAux) -> FsResult<()> {
+        let mut it = aux.index_tail.lock();
+        let home = trio_nvm::handle::home_node();
+        let dpage = self.pages.take(home)?;
+        match *it {
+            None => {
+                let ipage = self.pages.take(home)?;
+                IndexPageRef::new(&self.h, ipage).set_entry(0, dpage.0).map_err(Self::fault)?;
+                // Publish the chain head.
+                match dir.place.read().loc {
+                    Some(loc) => DirentRef::new(&self.h, loc)
+                        .set_first_index(ipage.0)
+                        .map_err(Self::fault)?,
+                    None => self.kernel.update_root(self.actor, Some(ipage.0), None, None)?,
+                }
+                *it = Some((ipage, 1));
+            }
+            Some((ipage, slot)) if slot < ENTRIES_PER_INDEX => {
+                IndexPageRef::new(&self.h, ipage).set_entry(slot, dpage.0).map_err(Self::fault)?;
+                *it = Some((ipage, slot + 1));
+            }
+            Some((ipage, _)) => {
+                let nipage = self.pages.take(home)?;
+                IndexPageRef::new(&self.h, nipage).set_entry(0, dpage.0).map_err(Self::fault)?;
+                IndexPageRef::new(&self.h, ipage).set_next(nipage.0).map_err(Self::fault)?;
+                *it = Some((nipage, 1));
+            }
+        }
+        aux.add_page(dpage);
+        Ok(())
+    }
+
+    /// Adjusts a directory's persisted entry count under its size lock.
+    /// Takes the aux explicitly so callers already holding the inode lock
+    /// do not re-enter it.
+    pub(crate) fn bump_dir_size(
+        &self,
+        dir: &Arc<FileNode>,
+        aux: &crate::node::DirAux,
+        delta: i64,
+    ) -> FsResult<()> {
+        let _sz = aux.size_lock.lock();
+        let cur = aux.count.load(std::sync::atomic::Ordering::Relaxed) as i64;
+        let new = (cur + delta).max(0) as u64;
+        aux.count.store(new, std::sync::atomic::Ordering::Relaxed);
+        let t = now_or_zero();
+        match dir.place.read().loc {
+            Some(loc) => {
+                let dref = DirentRef::new(&self.h, loc);
+                dref.set_size(new).map_err(Self::fault)?;
+                dref.set_mtime(t).map_err(Self::fault)?;
+            }
+            None => self.kernel.update_root(self.actor, None, Some(new), Some(t))?,
+        }
+        Ok(())
+    }
+
+    /// Updates a directory's mtime only.
+    pub(crate) fn touch_dir(&self, dir: &Arc<FileNode>) -> FsResult<()> {
+        let t = now_or_zero();
+        match dir.place.read().loc {
+            Some(loc) => DirentRef::new(&self.h, loc).set_mtime(t).map_err(Self::fault),
+            None => self.kernel.update_root(self.actor, None, None, Some(t)),
+        }
+    }
+}
+
+fn now_or_zero() -> u64 {
+    if in_sim() {
+        now()
+    } else {
+        0
+    }
+}

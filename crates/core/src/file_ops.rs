@@ -1,0 +1,316 @@
+//! Regular-file data operations: read, write, truncate (paper §4.2).
+//!
+//! Reads take the inode lock shared plus a shared range lock; overwrites
+//! of allocated ranges take the inode lock shared plus an exclusive range
+//! lock (disjoint writers run in parallel); appends/extends/truncates take
+//! the inode lock exclusive. Large transfers go through the delegation
+//! pool (§4.5); small ones are direct loads/stores.
+
+use std::sync::Arc;
+
+use trio_fsapi::{FsError, FsResult};
+use trio_layout::{DirentRef, IndexPageRef, ENTRIES_PER_INDEX};
+use trio_nvm::{PageId, PAGE_SIZE};
+use trio_sim::{in_sim, now};
+
+use crate::libfs::ArckFs;
+use crate::node::{FileNode, MapState, NodeInner};
+
+impl ArckFs {
+    /// Reads up to `buf.len()` bytes at `off`.
+    pub(crate) fn pread_node(
+        &self,
+        node: &Arc<FileNode>,
+        off: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.with_mapped(node, false, |fs| {
+            let g = node.inner.read();
+            if g.map == MapState::Unmapped {
+                return Err(FsError::Stale);
+            }
+            if off >= g.size {
+                return Ok(0);
+            }
+            let len = buf.len().min((g.size - off) as usize);
+            let _r = node.range.acquire(off, len as u64, false);
+            fs.read_span(&g, off, &mut buf[..len])?;
+            Ok(len)
+        })
+    }
+
+    /// Writes `data` at `off`, extending the file as needed.
+    pub(crate) fn pwrite_node(
+        &self,
+        node: &Arc<FileNode>,
+        off: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let len = data.len();
+        self.with_mapped(node, true, |fs| {
+            // Fast path: in-place overwrite of an allocated span — shared
+            // inode lock, exclusive range lock (concurrent disjoint writes).
+            {
+                let g = node.inner.read();
+                if g.map != MapState::Write {
+                    return Err(FsError::Stale);
+                }
+                if off + len as u64 <= g.size && fs.span_allocated(&g, off, len) {
+                    let _r = node.range.acquire(off, len as u64, true);
+                    fs.write_span(&g, off, data)?;
+                    return Ok(len);
+                }
+            }
+            // Slow path: append/extend — exclusive inode lock (paper: one
+            // thread appends at a time).
+            let mut g = node.inner.write();
+            if g.map != MapState::Write {
+                return Err(FsError::Stale);
+            }
+            fs.ensure_span(node, &mut g, off, len)?;
+            fs.write_span(&g, off, data)?;
+            if off + len as u64 > g.size {
+                g.size = off + len as u64;
+                g.mtime = now_or_zero();
+                fs.publish_size(node, &g)?;
+            }
+            Ok(len)
+        })
+    }
+
+    /// Truncates (or sparsely extends) to `size`.
+    pub(crate) fn truncate_node(&self, node: &Arc<FileNode>, size: u64) -> FsResult<()> {
+        self.with_mapped(node, true, |fs| {
+            let mut g = node.inner.write();
+            if g.map != MapState::Write {
+                return Err(FsError::Stale);
+            }
+            let old = g.size;
+            g.size = size;
+            g.mtime = now_or_zero();
+            fs.publish_size(node, &g)?;
+            if size >= old {
+                return Ok(()); // Sparse growth: holes read as zeros.
+            }
+            // Zero the partial tail of the boundary page so a later
+            // re-extension reads zeros, then unlink whole pages beyond.
+            let keep_pages = (size as usize).div_ceil(PAGE_SIZE);
+            if size % PAGE_SIZE as u64 != 0 {
+                if let Some(Some(p)) = g.data_pages.get(keep_pages - 1) {
+                    let from = (size % PAGE_SIZE as u64) as usize;
+                    let zeros = vec![0u8; PAGE_SIZE - from];
+                    self.h.write(*p, from, &zeros).map_err(Self::fault)?;
+                }
+            }
+            let mut freed: Vec<PageId> = Vec::new();
+            for lp in keep_pages..g.data_pages.len() {
+                if let Some(p) = g.data_pages[lp].take() {
+                    // Clear the index slot durably *before* the page can be
+                    // reused by anyone else.
+                    let ipage = g.index_pages[lp / ENTRIES_PER_INDEX];
+                    IndexPageRef::new(&self.h, ipage)
+                        .set_entry(lp % ENTRIES_PER_INDEX, 0)
+                        .map_err(Self::fault)?;
+                    freed.push(p);
+                }
+            }
+            g.data_pages.truncate(keep_pages);
+            if !freed.is_empty() {
+                fs.kernel.return_file_pages(fs.actor, node.ino, &freed)?;
+            }
+            Ok(())
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Span helpers.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn span_allocated(&self, g: &NodeInner, off: u64, len: usize) -> bool {
+        let first = (off as usize) / PAGE_SIZE;
+        let last = (off as usize + len - 1) / PAGE_SIZE;
+        if last >= g.data_pages.len() {
+            return false;
+        }
+        g.data_pages[first..=last].iter().all(|p| p.is_some())
+    }
+
+    /// Reads `[off, off+buf.len())`, filling holes with zeros, charging
+    /// per contiguous run.
+    pub(crate) fn read_span(&self, g: &NodeInner, off: u64, buf: &mut [u8]) -> FsResult<()> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = off as usize + pos;
+            let lp = abs / PAGE_SIZE;
+            let in_page = abs % PAGE_SIZE;
+            if lp >= g.data_pages.len() || g.data_pages[lp].is_none() {
+                let n = (PAGE_SIZE - in_page).min(buf.len() - pos);
+                buf[pos..pos + n].fill(0);
+                pos += n;
+                continue;
+            }
+            // Maximal allocated run.
+            let mut end_lp = lp;
+            let last_needed = (off as usize + buf.len() - 1) / PAGE_SIZE;
+            while end_lp < last_needed
+                && end_lp + 1 < g.data_pages.len()
+                && g.data_pages[end_lp + 1].is_some()
+            {
+                end_lp += 1;
+            }
+            let pages: Vec<PageId> =
+                g.data_pages[lp..=end_lp].iter().map(|p| p.expect("run is allocated")).collect();
+            let run_cap = pages.len() * PAGE_SIZE - in_page;
+            let n = run_cap.min(buf.len() - pos);
+            self.rw_extent_read(&pages, in_page, &mut buf[pos..pos + n])?;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `off`; every page in the span must be allocated.
+    pub(crate) fn write_span(&self, g: &NodeInner, off: u64, data: &[u8]) -> FsResult<()> {
+        let first = (off as usize) / PAGE_SIZE;
+        let last = (off as usize + data.len() - 1) / PAGE_SIZE;
+        let pages: Vec<PageId> = g.data_pages[first..=last]
+            .iter()
+            .map(|p| p.ok_or(FsError::InvalidArgument))
+            .collect::<FsResult<_>>()?;
+        let in_page = (off as usize) % PAGE_SIZE;
+        self.rw_extent_write(&pages, in_page, data)
+    }
+
+    fn rw_extent_read(&self, pages: &[PageId], start: usize, buf: &mut [u8]) -> FsResult<()> {
+        let delegated = self.cfg.delegation
+            && buf.len() >= self.cfg.delegation_read_min
+            && self.kernel.delegation().is_started()
+            && in_sim();
+        if delegated {
+            self.kernel.delegation().read_extent(self.actor, pages, start, buf)
+        } else {
+            self.h.read_extent(pages, start, buf)
+        }
+        .map_err(Self::fault)
+    }
+
+    fn rw_extent_write(&self, pages: &[PageId], start: usize, data: &[u8]) -> FsResult<()> {
+        let delegated = self.cfg.delegation
+            && data.len() >= self.cfg.delegation_write_min
+            && self.kernel.delegation().is_started()
+            && in_sim();
+        if delegated {
+            self.kernel.delegation().write_extent(self.actor, pages, start, data)
+        } else {
+            self.h.write_extent(pages, start, data)
+        }
+        .map_err(Self::fault)
+    }
+
+    /// NUMA node for logical page `lp`: striped across nodes in
+    /// `stripe_pages` units, or the caller's home node.
+    fn placement_node(&self, lp: usize) -> usize {
+        let nodes = self.kernel.device().topology().nodes;
+        if self.cfg.stripe && nodes > 1 {
+            (lp / self.cfg.stripe_pages) % nodes
+        } else {
+            trio_nvm::handle::home_node()
+        }
+    }
+
+    /// Ensures pages exist covering `[off, off+len)`: grows the index
+    /// chain, allocates data pages (striped), links them, and persists the
+    /// links (the size field published afterwards is the commit point).
+    pub(crate) fn ensure_span(
+        &self,
+        node: &Arc<FileNode>,
+        g: &mut NodeInner,
+        off: u64,
+        len: usize,
+    ) -> FsResult<()> {
+        let last_lp = (off as usize + len - 1) / PAGE_SIZE;
+        // 1. Index pages.
+        while g.index_pages.len() * ENTRIES_PER_INDEX <= last_lp {
+            let ip = self.pages.take(trio_nvm::handle::home_node())?;
+            match g.index_pages.last() {
+                Some(prev) => {
+                    IndexPageRef::new(&self.h, *prev).set_next(ip.0).map_err(Self::fault)?;
+                }
+                None => {
+                    let loc = node.place.read().loc.expect("regular files have dirents");
+                    DirentRef::new(&self.h, loc).set_first_index(ip.0).map_err(Self::fault)?;
+                }
+            }
+            g.index_pages.push(ip);
+        }
+        if g.data_pages.len() <= last_lp {
+            g.data_pages.resize(last_lp + 1, None);
+        }
+        // 2. Data pages, grouped by placement node.
+        let first_lp = (off as usize) / PAGE_SIZE;
+        let missing: Vec<usize> =
+            (first_lp..=last_lp).filter(|&lp| g.data_pages[lp].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let mut by_node: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        for &lp in &missing {
+            by_node.entry(self.placement_node(lp)).or_default().push(lp);
+        }
+        for (nodeid, lps) in by_node {
+            let pages = self.pages.take_many(nodeid, lps.len())?;
+            for (lp, p) in lps.into_iter().zip(pages) {
+                g.data_pages[lp] = Some(p);
+            }
+        }
+        // 3. Persist the new index entries, batched per index page.
+        let dev = self.kernel.device();
+        let mut touched: std::collections::HashMap<usize, (usize, usize)> = std::collections::HashMap::new();
+        for &lp in &missing {
+            let p = g.data_pages[lp].expect("just allocated");
+            let ipi = lp / ENTRIES_PER_INDEX;
+            let slot = lp % ENTRIES_PER_INDEX;
+            self.h
+                .write_untimed(g.index_pages[ipi], slot * 8, &p.0.to_le_bytes())
+                .map_err(Self::fault)?;
+            let e = touched.entry(ipi).or_insert((slot, slot));
+            e.0 = e.0.min(slot);
+            e.1 = e.1.max(slot);
+        }
+        for (ipi, (lo, hi)) in touched {
+            let ipage = g.index_pages[ipi];
+            let bytes = (hi - lo + 1) * 8;
+            dev.charge_transfer(
+                dev.topology().node_of(ipage),
+                bytes,
+                true,
+                trio_nvm::handle::home_node(),
+            );
+            self.h.flush(ipage, lo * 8, bytes);
+        }
+        self.h.fence();
+        Ok(())
+    }
+
+    /// Publishes the size and mtime fields (8-byte atomic persists).
+    pub(crate) fn publish_size(&self, node: &Arc<FileNode>, g: &NodeInner) -> FsResult<()> {
+        let loc = node.place.read().loc.expect("regular files have dirents");
+        let dref = DirentRef::new(&self.h, loc);
+        dref.set_size(g.size).map_err(Self::fault)?;
+        dref.set_mtime(g.mtime).map_err(Self::fault)?;
+        Ok(())
+    }
+}
+
+fn now_or_zero() -> u64 {
+    if in_sim() {
+        now()
+    } else {
+        0
+    }
+}

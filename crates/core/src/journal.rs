@@ -1,0 +1,205 @@
+//! Undo journal for multi-step metadata operations (paper §4.4: "A few
+//! complex operations, such as rename, require journaling. ArckFS uses
+//! undo logs for simplicity").
+//!
+//! The journal is per-LibFS, sharded so concurrent renames on different
+//! shards do not serialize (the paper makes journals per-CPU). Each shard
+//! owns one NVM page from the LibFS's pool with this layout:
+//!
+//! | offset | field                                  |
+//! |-------:|----------------------------------------|
+//! |      0 | state: 0 idle, 1 armed                 |
+//! |      8 | src dirent page                        |
+//! |     16 | src slot                               |
+//! |     24 | dst dirent page                        |
+//! |     32 | dst slot                               |
+//! |     64 | 256-byte pre-image of the src dirent   |
+//!
+//! Protocol: write the record, persist, arm (atomic), mutate core state,
+//! disarm (atomic). Recovery finds armed shards and *undoes*: restore the
+//! src dirent image, clear the dst dirent.
+
+use trio_layout::{DirentLoc, DIRENT_SIZE};
+use trio_nvm::{NvmHandle, PageId, ProtError};
+use trio_sim::sync::SimMutex;
+
+const OFF_STATE: usize = 0;
+const OFF_SRC_PAGE: usize = 8;
+const OFF_SRC_SLOT: usize = 16;
+const OFF_DST_PAGE: usize = 24;
+const OFF_DST_SLOT: usize = 32;
+const OFF_IMAGE: usize = 64;
+
+const SHARDS: usize = 8;
+
+/// The sharded undo journal.
+pub struct Journal {
+    shards: Box<[SimMutex<Option<PageId>>]>,
+}
+
+impl Journal {
+    /// Creates an empty journal; pages attach lazily per shard.
+    pub fn new() -> Self {
+        Journal { shards: (0..SHARDS).map(|_| SimMutex::new(None)).collect() }
+    }
+
+    /// Pages currently backing the journal (for crash-recovery scans).
+    pub fn pages(&self) -> Vec<PageId> {
+        self.shards.iter().filter_map(|s| *s.lock()).collect()
+    }
+
+    /// Arms a rename record and returns a guard; dropping the guard
+    /// without [`JournalGuard::disarm`] leaves it armed (crash window).
+    ///
+    /// `alloc` provides the shard's NVM page on first use.
+    pub fn begin_rename<'a>(
+        &'a self,
+        h: &NvmHandle,
+        shard_hint: usize,
+        src: DirentLoc,
+        dst: DirentLoc,
+        src_image: &[u8; DIRENT_SIZE],
+        mut alloc: impl FnMut() -> Result<PageId, trio_fsapi::FsError>,
+    ) -> Result<JournalGuard<'a>, trio_fsapi::FsError> {
+        let slot = &self.shards[shard_hint % SHARDS];
+        let mut guard = slot.lock();
+        let page = match *guard {
+            Some(p) => p,
+            None => {
+                let p = alloc()?;
+                *guard = Some(p);
+                p
+            }
+        };
+        let write = |off: usize, v: u64| h.write_u64_persist(page, off, v);
+        h.write_untimed(page, OFF_IMAGE, src_image).map_err(fault)?;
+        h.flush(page, OFF_IMAGE, DIRENT_SIZE);
+        write(OFF_SRC_PAGE, src.page.0).map_err(fault)?;
+        write(OFF_SRC_SLOT, src.slot as u64).map_err(fault)?;
+        write(OFF_DST_PAGE, dst.page.0).map_err(fault)?;
+        write(OFF_DST_SLOT, dst.slot as u64).map_err(fault)?;
+        // Arm last: everything below is persistent before the record goes
+        // live.
+        write(OFF_STATE, 1).map_err(fault)?;
+        Ok(JournalGuard { h: h.clone(), page, _slot: guard })
+    }
+
+    /// Scans the journal pages of a crashed LibFS and undoes any armed
+    /// rename: restores the src dirent pre-image and clears the dst slot.
+    /// Runs with a privileged (kernel) handle during recovery.
+    pub fn recover(h: &NvmHandle, pages: &[PageId]) -> Result<usize, ProtError> {
+        let mut undone = 0;
+        for &page in pages {
+            if h.read_u64(page, OFF_STATE)? != 1 {
+                continue;
+            }
+            let src = DirentLoc {
+                page: PageId(h.read_u64(page, OFF_SRC_PAGE)?),
+                slot: h.read_u64(page, OFF_SRC_SLOT)? as usize,
+            };
+            let dst = DirentLoc {
+                page: PageId(h.read_u64(page, OFF_DST_PAGE)?),
+                slot: h.read_u64(page, OFF_DST_SLOT)? as usize,
+            };
+            let mut image = [0u8; DIRENT_SIZE];
+            h.read_untimed(page, OFF_IMAGE, &mut image)?;
+            // Undo order: clear dst first (it may alias a replaced file),
+            // then restore src, then disarm.
+            h.write_u64_persist(dst.page, dst.byte_off(), 0)?;
+            h.write_untimed(src.page, src.byte_off(), &image)?;
+            h.flush(src.page, src.byte_off(), DIRENT_SIZE);
+            h.fence();
+            h.write_u64_persist(page, OFF_STATE, 0)?;
+            undone += 1;
+        }
+        Ok(undone)
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Holds a journal shard armed; disarm after the rename's core-state
+/// mutations are persistent.
+pub struct JournalGuard<'a> {
+    h: NvmHandle,
+    page: PageId,
+    _slot: trio_sim::sync::SimMutexGuard<'a, Option<PageId>>,
+}
+
+impl JournalGuard<'_> {
+    /// Marks the rename complete (idle record).
+    pub fn disarm(self) -> Result<(), ProtError> {
+        self.h.write_u64_persist(self.page, OFF_STATE, 0)
+    }
+}
+
+fn fault(e: ProtError) -> trio_fsapi::FsError {
+    crate::libfs::ArckFs::fault(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trio_layout::{CoreFileType, DirentData, DirentRef};
+    use trio_nvm::{ActorId, DeviceConfig, NvmDevice, PagePerm};
+
+    fn setup() -> NvmHandle {
+        let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+        for p in 1..20 {
+            dev.mmu_map(ActorId(1), PageId(p), PagePerm::Write).unwrap();
+        }
+        NvmHandle::new(dev, ActorId(1))
+    }
+
+    #[test]
+    fn armed_record_roundtrip_and_recovery() {
+        let h = setup();
+        let j = Journal::new();
+        // A live src dirent at (2, 0).
+        let src = DirentLoc { page: PageId(2), slot: 0 };
+        let dst = DirentLoc { page: PageId(3), slot: 1 };
+        let d = DirentData::new(b"victim", CoreFileType::Regular, trio_fsapi::Mode::RW, 1, 1);
+        let sref = DirentRef::new(&h, src);
+        sref.prepare(&d).unwrap();
+        sref.publish(42).unwrap();
+        let mut image = [0u8; DIRENT_SIZE];
+        h.read_untimed(src.page, src.byte_off(), &mut image).unwrap();
+
+        let g = j.begin_rename(&h, 0, src, dst, &image, || Ok(PageId(10))).unwrap();
+        drop(g); // Crash with the record armed.
+
+        // Simulate the half-done rename: dst published, src cleared.
+        let dref = DirentRef::new(&h, dst);
+        let mut d2 = d.clone();
+        d2.name = b"moved".to_vec();
+        dref.prepare(&d2).unwrap();
+        dref.publish(42).unwrap();
+        sref.clear().unwrap();
+
+        let undone = Journal::recover(&h, &j.pages()).unwrap();
+        assert_eq!(undone, 1);
+        // Undo restored the original world.
+        assert_eq!(sref.load().unwrap().name_str(), Some("victim"));
+        assert_eq!(sref.ino().unwrap(), 42);
+        assert_eq!(dref.ino().unwrap(), 0);
+        // Idempotent.
+        assert_eq!(Journal::recover(&h, &j.pages()).unwrap(), 0);
+    }
+
+    #[test]
+    fn disarmed_record_is_ignored_by_recovery() {
+        let h = setup();
+        let j = Journal::new();
+        let src = DirentLoc { page: PageId(2), slot: 0 };
+        let dst = DirentLoc { page: PageId(3), slot: 0 };
+        let image = [7u8; DIRENT_SIZE];
+        let g = j.begin_rename(&h, 0, src, dst, &image, || Ok(PageId(10))).unwrap();
+        g.disarm().unwrap();
+        assert_eq!(Journal::recover(&h, &j.pages()).unwrap(), 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! The ArckFS LibFS core: mount, mapping management, path resolution.
+//!
+//! One [`ArckFs`] instance is one process's (or trust group's) LibFS. It
+//! holds only *auxiliary* state; every durable byte lives in the shared
+//! core state, reached through the instance's MMU-checked [`NvmHandle`].
+//! Control-plane calls (map/unmap/alloc) go to the kernel controller; the
+//! data plane — including all metadata updates — is direct NVM access.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trio_fsapi::{FsError, FsResult};
+use trio_kernel::mapping::MapTarget;
+use trio_kernel::KernelController;
+use trio_layout::{
+    CoreFileType, DirentData, DirentLoc, Ino, DIRENTS_PER_PAGE, DIRENT_SIZE, ROOT_INO,
+};
+use trio_nvm::{ActorId, NvmHandle, PageId, ProtError, PAGE_SIZE};
+use trio_sim::sync::{SimMutex, SimRwLock};
+use trio_sim::{cost, in_sim, work};
+
+use crate::fd::FdTable;
+use crate::journal::Journal;
+use crate::node::{DirAux, DirEntryAux, FileNode, MapState, NodeInner};
+use crate::pool::{InoPool, PagePool};
+
+/// ArckFS tunables (paper §4.5 defaults).
+#[derive(Clone, Debug)]
+pub struct ArckFsConfig {
+    /// Use the kernel delegation pool for large accesses.
+    pub delegation: bool,
+    /// Stripe file data pages across NUMA nodes.
+    pub stripe: bool,
+    /// Pages per stripe unit (16 × 4 KiB = 64 KiB).
+    pub stripe_pages: usize,
+    /// Reads below this go direct (paper: 32 KiB).
+    pub delegation_read_min: usize,
+    /// Writes below this go direct (paper: 256 B).
+    pub delegation_write_min: usize,
+    /// Page-pool refill batch.
+    pub page_batch: usize,
+    /// Ino-pool refill batch.
+    pub ino_batch: u64,
+    /// Unlink reclamation batch.
+    pub reclaim_batch: usize,
+}
+
+impl Default for ArckFsConfig {
+    fn default() -> Self {
+        ArckFsConfig {
+            delegation: true,
+            stripe: true,
+            stripe_pages: 16,
+            delegation_read_min: 32 * 1024,
+            delegation_write_min: 256,
+            page_batch: 64,
+            ino_batch: 64,
+            reclaim_batch: 32,
+        }
+    }
+}
+
+impl ArckFsConfig {
+    /// The paper's `ArckFS-no-dele` configuration: direct access only, no
+    /// striping (single-node placement).
+    pub fn no_delegation() -> Self {
+        ArckFsConfig { delegation: false, stripe: false, ..Default::default() }
+    }
+}
+
+const NODE_SHARDS: usize = 16;
+const MAX_RETRIES: usize = 16;
+
+/// One process's ArckFS LibFS.
+pub struct ArckFs {
+    pub(crate) kernel: Arc<KernelController>,
+    pub(crate) actor: ActorId,
+    pub(crate) uid: u32,
+    pub(crate) gid: u32,
+    pub(crate) h: NvmHandle,
+    pub(crate) cfg: ArckFsConfig,
+    pub(crate) root: Arc<FileNode>,
+    pub(crate) nodes: Box<[SimRwLock<HashMap<Ino, Arc<FileNode>>>]>,
+    pub(crate) fds: FdTable,
+    pub(crate) pages: PagePool,
+    pub(crate) inos: InoPool,
+    pub(crate) reclaim: SimMutex<Vec<(Ino, Ino, u64)>>,
+    pub(crate) journal: Journal,
+    /// Cumulative virtual time spent rebuilding auxiliary state from core
+    /// state (Figure 8 instrumentation).
+    pub(crate) rebuild_ns: std::sync::atomic::AtomicU64,
+}
+
+impl ArckFs {
+    /// Mounts: registers with the kernel controller as a new principal.
+    pub fn mount(kernel: Arc<KernelController>, uid: u32, gid: u32, cfg: ArckFsConfig) -> Arc<Self> {
+        let reg = kernel.register_libfs(uid, gid);
+        let root = FileNode::new(ROOT_INO, CoreFileType::Directory, ROOT_INO, None);
+        Arc::new(ArckFs {
+            h: reg.handle.clone(),
+            actor: reg.actor,
+            uid,
+            gid,
+            root,
+            nodes: (0..NODE_SHARDS).map(|_| SimRwLock::new(HashMap::new())).collect(),
+            fds: FdTable::new(),
+            pages: PagePool::new(Arc::clone(&kernel), reg.actor, cfg.page_batch),
+            inos: InoPool::new(Arc::clone(&kernel), reg.actor, cfg.ino_batch),
+            reclaim: SimMutex::new(Vec::new()),
+            journal: Journal::new(),
+            rebuild_ns: std::sync::atomic::AtomicU64::new(0),
+            cfg,
+            kernel,
+        })
+    }
+
+    /// The LibFS's access-control principal.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// The kernel controller this LibFS talks to.
+    pub fn kernel(&self) -> &Arc<KernelController> {
+        &self.kernel
+    }
+
+    /// The LibFS's NVM window (tests and the attack harness use this for
+    /// raw direct access — exactly what a malicious LibFS can do).
+    pub fn handle(&self) -> &NvmHandle {
+        &self.h
+    }
+
+    /// The root directory node.
+    pub fn root_node(&self) -> &Arc<FileNode> {
+        &self.root
+    }
+
+    /// Allocates a descriptor directly for a resolved node (FPFS fast
+    /// path).
+    pub fn open_node(&self, node: Arc<FileNode>, flags: trio_fsapi::OpenFlags) -> trio_fsapi::Fd {
+        self.fds.insert(crate::fd::FdEntry { node, flags })
+    }
+
+    /// The node behind an open descriptor.
+    pub fn fd_node(&self, fd: trio_fsapi::Fd) -> FsResult<Arc<FileNode>> {
+        self.fds.get(fd).map(|e| e.node)
+    }
+
+    /// Core-state coordinates of `path` — the raw material the attack
+    /// harness (§6.5) corrupts: the file's dirent slot, index pages, and
+    /// data pages as currently mapped.
+    pub fn debug_file_pages(
+        &self,
+        path: &str,
+    ) -> FsResult<(Option<DirentLoc>, Vec<PageId>, Vec<Option<PageId>>)> {
+        let node = self.resolve_node(path)?;
+        self.ensure_mapped(&node, false)?;
+        let loc = node.place.read().loc;
+        let g = node.inner.read();
+        let mut data = g.data_pages.clone();
+        if let Some(aux) = &g.dir {
+            // Directories grown in place track their pages in the aux
+            // tails, not in the (grant-time) NodeInner vector.
+            let pages = aux.pages.lock();
+            if pages.len() > data.iter().flatten().count() {
+                data = pages.iter().map(|p| Some(*p)).collect();
+            }
+        }
+        Ok((loc, g.index_pages.clone(), data))
+    }
+
+    // -----------------------------------------------------------------
+    // Node interning.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn intern_node(
+        &self,
+        ino: Ino,
+        ftype: CoreFileType,
+        parent: Ino,
+        loc: DirentLoc,
+    ) -> Arc<FileNode> {
+        if ino == ROOT_INO {
+            return Arc::clone(&self.root);
+        }
+        let shard = &self.nodes[ino as usize % NODE_SHARDS];
+        {
+            // Hot path (open of a known file): read-locked all the way so
+            // concurrent opens of one file scale (MRPH).
+            let map = shard.read();
+            if let Some(n) = map.get(&ino) {
+                let unchanged = {
+                    let place = n.place.read();
+                    place.parent == parent && place.loc == Some(loc)
+                };
+                if !unchanged {
+                    // Rename moved the slot: refresh under the write lock.
+                    let mut place = n.place.write();
+                    place.parent = parent;
+                    place.loc = Some(loc);
+                }
+                return Arc::clone(n);
+            }
+        }
+        let mut map = shard.write();
+        if let Some(n) = map.get(&ino) {
+            return Arc::clone(n);
+        }
+        let n = FileNode::new(ino, ftype, parent, Some(loc));
+        map.insert(ino, Arc::clone(&n));
+        n
+    }
+
+    pub(crate) fn forget_node(&self, ino: Ino) {
+        if ino == ROOT_INO {
+            return;
+        }
+        let shard = &self.nodes[ino as usize % NODE_SHARDS];
+        if let Some(n) = shard.write().remove(&ino) {
+            n.invalidate();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Mapping.
+    // -----------------------------------------------------------------
+
+    /// Ensures `node` is mapped with at least the requested access,
+    /// (re)building auxiliary state from core state when a fresh grant
+    /// arrives (paper §4.2 "Building auxiliary state from core state").
+    pub(crate) fn ensure_mapped(&self, node: &Arc<FileNode>, write: bool) -> FsResult<()> {
+        {
+            let g = node.inner.read();
+            match (g.map, write) {
+                (MapState::Write, _) | (MapState::Read, false) => return Ok(()),
+                _ => {}
+            }
+        }
+        let mut g = node.inner.write();
+        match (g.map, write) {
+            (MapState::Write, _) | (MapState::Read, false) => return Ok(()),
+            _ => {}
+        }
+        let target = {
+            let place = node.place.read();
+            match place.loc {
+                Some(loc) => MapTarget::Dirent { parent: place.parent, loc },
+                None => MapTarget::Root,
+            }
+        };
+        let grant = self.kernel.map(self.actor, target, write)?;
+        let t0 = if in_sim() { trio_sim::now() } else { 0 };
+        g.index_pages = grant.pages.index_pages;
+        g.data_pages = grant.pages.data_pages;
+        g.size = grant.size;
+        g.map = if write { MapState::Write } else { MapState::Read };
+        g.dir = None;
+        if in_sim() {
+            // Rebuilding the per-file page index (the radix tree).
+            work(g.data_pages.len() as u64 * cost::INDEX_LEVEL_NS);
+        }
+        if node.ftype == CoreFileType::Directory {
+            let aux = self.build_dir_aux(&g)?;
+            g.size = aux.count.load(std::sync::atomic::Ordering::Relaxed);
+            g.dir = Some(Arc::new(aux));
+        }
+        if in_sim() {
+            let dt = trio_sim::now().saturating_sub(t0);
+            self.rebuild_ns.fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Drains the cumulative aux-rebuild time (Figure 8 instrumentation).
+    pub fn take_rebuild_ns(&self) -> u64 {
+        self.rebuild_ns.swap(0, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Takes one page from the LibFS's pool (test support: crash-injection
+    /// tests hand-drive the journal with a real pool page).
+    pub fn debug_take_pool_page(&self) -> PageId {
+        self.pages.take(trio_nvm::handle::home_node()).expect("pool page available")
+    }
+
+    /// Scans a directory's data pages into a fresh hash table + tails.
+    fn build_dir_aux(&self, g: &NodeInner) -> FsResult<DirAux> {
+        let aux = DirAux::new();
+        let mut live = 0u64;
+        for (i, slot) in g.data_pages.iter().enumerate() {
+            let Some(page) = slot else {
+                continue;
+            };
+            let mut raw = vec![0u8; PAGE_SIZE];
+            // Timed bulk read: rebuilding costs real NVM bandwidth.
+            self.h.read(*page, 0, &mut raw).map_err(Self::fault)?;
+            let mut tail_free = Vec::new();
+            for s in 0..DIRENTS_PER_PAGE {
+                let b: &[u8; DIRENT_SIZE] =
+                    raw[s * DIRENT_SIZE..(s + 1) * DIRENT_SIZE].try_into().expect("slot");
+                let d = DirentData::decode_bytes(b);
+                if d.ino == 0 {
+                    tail_free.push(s);
+                    continue;
+                }
+                if in_sim() {
+                    work(cost::REBUILD_ENTRY_NS);
+                }
+                let Some(ftype) = d.ftype() else {
+                    continue; // Verifier-grade garbage; skip defensively.
+                };
+                let Some(name) = d.name_str() else {
+                    continue;
+                };
+                live += 1;
+                aux.insert(DirEntryAux {
+                    name: name.to_string(),
+                    ino: d.ino,
+                    loc: DirentLoc { page: *page, slot: s },
+                    ftype,
+                });
+            }
+            aux.pages.lock().push(*page);
+            aux.tails
+                .lock()
+                .push(crate::node::PageTail { page: *page, free: tail_free });
+            let _ = i;
+        }
+        aux.count.store(live, std::sync::atomic::Ordering::Relaxed);
+        // Index tail: next entry slot is the first unused index slot.
+        let used = g.data_pages.len();
+        *aux.index_tail.lock() = g.index_pages.last().map(|p| {
+            (*p, used - (g.index_pages.len() - 1) * trio_layout::ENTRIES_PER_INDEX)
+        });
+        Ok(aux)
+    }
+
+    /// Converts an MMU fault into the retryable error.
+    pub(crate) fn fault(e: ProtError) -> FsError {
+        match e {
+            ProtError::NotMapped | ProtError::ReadOnly => FsError::Stale,
+            _ => FsError::InvalidArgument,
+        }
+    }
+
+    /// Runs `f` with `node` mapped, invalidating + remapping on revocation
+    /// faults ([`FsError::Stale`]) — the LibFS-side half of the lease
+    /// protocol.
+    pub(crate) fn with_mapped<R>(
+        &self,
+        node: &Arc<FileNode>,
+        write: bool,
+        mut f: impl FnMut(&Self) -> FsResult<R>,
+    ) -> FsResult<R> {
+        for _ in 0..MAX_RETRIES {
+            self.ensure_mapped(node, write)?;
+            match f(self) {
+                Err(FsError::Stale) => {
+                    node.invalidate();
+                    continue;
+                }
+                other => return other,
+            }
+        }
+        Err(FsError::Stale)
+    }
+
+    // -----------------------------------------------------------------
+    // Path resolution.
+    // -----------------------------------------------------------------
+
+    /// Resolves the directory named by `comps` (all components must be
+    /// directories), mapping each along the path (paper §4.1).
+    pub(crate) fn resolve_dir(&self, comps: &[&str]) -> FsResult<Arc<FileNode>> {
+        let mut cur = Arc::clone(&self.root);
+        for c in comps {
+            let child = self.lookup_child(&cur, c)?.ok_or(FsError::NotFound)?;
+            if child.ftype != CoreFileType::Directory {
+                return Err(FsError::NotDir);
+            }
+            cur = child;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves `path` into `(parent dir node, final name)`.
+    pub(crate) fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(Arc<FileNode>, &'p str)> {
+        let (dir_comps, name) = trio_fsapi::path::split_parent(path)?;
+        let parent = self.resolve_dir(&dir_comps)?;
+        Ok((parent, name))
+    }
+
+    /// Looks up one child in a directory's aux table, validating liveness
+    /// against core state so revoked mappings are detected.
+    pub(crate) fn lookup_child(
+        &self,
+        dir: &Arc<FileNode>,
+        name: &str,
+    ) -> FsResult<Option<Arc<FileNode>>> {
+        self.with_mapped(dir, false, |fs| {
+            let g = dir.inner.read();
+            let Some(aux) = g.dir.as_ref() else {
+                return Err(FsError::Stale);
+            };
+            match aux.lookup(name) {
+                Some(e) => {
+                    // Probe the dirent's ino: faults if our mapping was
+                    // revoked; reads 0 if the entry vanished under us.
+                    let live = fs
+                        .h
+                        .read_u64(e.loc.page, e.loc.byte_off())
+                        .map_err(Self::fault)?;
+                    if live != e.ino {
+                        return Err(FsError::Stale);
+                    }
+                    Ok(Some(fs.intern_node(e.ino, e.ftype, dir.ino, e.loc)))
+                }
+                None => {
+                    // Miss: probe the mapping (cheap) so a stale aux cannot
+                    // produce false negatives.
+                    if let Some(p) = g.index_pages.first() {
+                        fs.h.read_u64(*p, 0).map_err(Self::fault)?;
+                    }
+                    Ok(None)
+                }
+            }
+        })
+    }
+
+    /// Resolves a full path to a node.
+    pub(crate) fn resolve_node(&self, path: &str) -> FsResult<Arc<FileNode>> {
+        let comps = trio_fsapi::path::components(path)?;
+        if comps.is_empty() {
+            return Ok(Arc::clone(&self.root));
+        }
+        let (dir, name) = (self.resolve_dir(&comps[..comps.len() - 1])?, comps[comps.len() - 1]);
+        self.lookup_child(&dir, name)?.ok_or(FsError::NotFound)
+    }
+
+    // -----------------------------------------------------------------
+    // Sharing-protocol surface (benchmarks and tests).
+    // -----------------------------------------------------------------
+
+    /// Voluntarily releases this LibFS's mapping of `path` (Figure 2 step
+    /// 5). The next cross-LibFS map triggers verification.
+    pub fn release_path(&self, path: &str) -> FsResult<()> {
+        let node = self.resolve_node(path)?;
+        self.flush_reclaim()?;
+        match self.kernel.release(self.actor, node.ino) {
+            // A by-construction mapping (file created and never kernel-
+            // mapped) has nothing to release at the kernel; dropping the
+            // local aux is enough — the kernel will adopt-and-verify the
+            // file when anyone maps it.
+            Ok(()) | Err(FsError::NotFound) => {}
+            Err(e) => return Err(e),
+        }
+        node.invalidate();
+        Ok(())
+    }
+
+    /// Commits `path`'s current state as the new rollback checkpoint
+    /// (paper §4.3's `commit` call).
+    pub fn commit_path(&self, path: &str) -> FsResult<()> {
+        let node = self.resolve_node(path)?;
+        self.kernel.commit(self.actor, node.ino)
+    }
+
+    /// Unmounts this LibFS (process exit): flushes pending reclamation,
+    /// returns pooled pages to the kernel, and unregisters — which makes
+    /// the kernel verify every file this process left dirty.
+    pub fn unmount(&self) {
+        let _ = self.flush_reclaim();
+        self.pages.drain_to_kernel();
+        self.kernel.unregister(self.actor);
+        for shard in self.nodes.iter() {
+            for (_, n) in shard.write().drain() {
+                n.invalidate();
+            }
+        }
+        self.root.invalidate();
+    }
+
+    /// Flushes the batched unlink reclamation queue.
+    pub(crate) fn flush_reclaim(&self) -> FsResult<()> {
+        let items: Vec<(Ino, Ino, u64)> = {
+            let mut q = self.reclaim.lock();
+            if q.is_empty() {
+                return Ok(());
+            }
+            q.drain(..).collect()
+        };
+        let recycled = self.kernel.reclaim_batch(self.actor, &items)?;
+        for p in recycled {
+            self.pages.put(p);
+        }
+        Ok(())
+    }
+}

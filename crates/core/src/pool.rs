@@ -1,0 +1,137 @@
+//! LibFS-local resource pools.
+//!
+//! Allocation is the one control-plane interaction a LibFS cannot avoid,
+//! so it is batched: the pool pulls pages/inos from the kernel controller
+//! in chunks and serves creates/appends from DRAM thereafter (paper §4.5:
+//! per-CPU DRAM allocators; per-node here, matching the NUMA-placement
+//! decisions striping needs).
+
+use std::sync::Arc;
+
+use trio_fsapi::FsResult;
+use trio_kernel::KernelController;
+use trio_layout::Ino;
+use trio_nvm::{ActorId, PageId};
+use trio_sim::sync::SimMutex;
+
+/// Batched page pool, one bucket per NUMA node.
+pub struct PagePool {
+    kernel: Arc<KernelController>,
+    actor: ActorId,
+    batch: usize,
+    per_node: Vec<SimMutex<Vec<PageId>>>,
+}
+
+impl PagePool {
+    /// Creates an empty pool refilling `batch` pages at a time.
+    pub fn new(kernel: Arc<KernelController>, actor: ActorId, batch: usize) -> Self {
+        let nodes = kernel.device().topology().nodes;
+        PagePool {
+            kernel,
+            actor,
+            batch,
+            per_node: (0..nodes).map(|_| SimMutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Takes one page on `node` (refilling from the kernel as needed).
+    /// Refills run *outside* the pool lock so one thread's kernel trip
+    /// (batched MMU programming) never convoys its siblings.
+    pub fn take(&self, node: usize) -> FsResult<PageId> {
+        let node = node % self.per_node.len();
+        if let Some(p) = self.per_node[node].lock().pop() {
+            return Ok(p);
+        }
+        let refill = self.kernel.alloc_pages(self.actor, self.batch, Some(node))?;
+        let mut pool = self.per_node[node].lock();
+        pool.extend(refill);
+        Ok(pool.pop().expect("batch is non-empty"))
+    }
+
+    /// Takes `n` pages on `node`.
+    pub fn take_many(&self, node: usize, n: usize) -> FsResult<Vec<PageId>> {
+        let node = node % self.per_node.len();
+        loop {
+            {
+                let mut pool = self.per_node[node].lock();
+                if pool.len() >= n {
+                    let at = pool.len() - n;
+                    return Ok(pool.split_off(at));
+                }
+            }
+            let want = self.batch.max(n);
+            let refill = self.kernel.alloc_pages(self.actor, want, Some(node))?;
+            self.per_node[node].lock().extend(refill);
+        }
+    }
+
+    /// Returns an unused pool page (never linked into a file).
+    pub fn put(&self, page: PageId) {
+        let node = self.kernel.device().topology().node_of(page);
+        self.per_node[node].lock().push(page);
+    }
+
+    /// Pooled page count (tests).
+    pub fn len(&self) -> usize {
+        self.per_node.iter().map(|p| p.lock().len()).sum()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hands every pooled page back to the kernel (shutdown).
+    pub fn drain_to_kernel(&self) {
+        for pool in &self.per_node {
+            let pages: Vec<PageId> = pool.lock().drain(..).collect();
+            if !pages.is_empty() {
+                let _ = self.kernel.free_pages(self.actor, &pages);
+            }
+        }
+    }
+}
+
+/// Batched inode-number pool, sharded so creator threads do not convoy
+/// (the paper makes these allocators per-CPU, §4.5).
+pub struct InoPool {
+    kernel: Arc<KernelController>,
+    actor: ActorId,
+    batch: u64,
+    shards: Vec<SimMutex<Vec<Ino>>>,
+}
+
+const INO_SHARDS: usize = 16;
+
+impl InoPool {
+    /// Creates an empty pool refilling `batch` inos at a time per shard.
+    pub fn new(kernel: Arc<KernelController>, actor: ActorId, batch: u64) -> Self {
+        InoPool {
+            kernel,
+            actor,
+            batch,
+            shards: (0..INO_SHARDS).map(|_| SimMutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn shard(&self) -> &SimMutex<Vec<Ino>> {
+        let i = if trio_sim::in_sim() { trio_sim::current_tid() } else { 0 };
+        &self.shards[i % INO_SHARDS]
+    }
+
+    /// Takes one inode number.
+    pub fn take(&self) -> FsResult<Ino> {
+        let mut pool = self.shard().lock();
+        if let Some(i) = pool.pop() {
+            return Ok(i);
+        }
+        let refill = self.kernel.alloc_inos(self.actor, self.batch)?;
+        pool.extend(refill);
+        Ok(pool.pop().expect("batch is non-empty"))
+    }
+
+    /// Returns an unused ino (failed create).
+    pub fn put(&self, ino: Ino) {
+        self.shard().lock().push(ino);
+    }
+}

@@ -1,0 +1,128 @@
+//! FPFS-specific tests: full-path resolution semantics, cache coherence
+//! around unlink/rename, and equivalence with the generic ArckFS view.
+
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig, FpFs};
+use trio_fsapi::{read_file, write_file, FileSystem, FsError, Mode, OpenFlags};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::{DeviceConfig, NvmDevice, Topology};
+use trio_sim::SimRuntime;
+
+fn world() -> (SimRuntime, Arc<ArckFs>, Arc<FpFs>) {
+    let rt = SimRuntime::new(31);
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(dev, KernelConfig::default());
+    let fs = ArckFs::mount(kernel, 100, 100, ArckFsConfig::no_delegation());
+    let fp = FpFs::new(Arc::clone(&fs));
+    (rt, fs, fp)
+}
+
+#[test]
+fn full_api_roundtrip_through_fpfs() {
+    let (rt, _, fp) = world();
+    rt.spawn("t", move || {
+        fp.mkdir("/a", Mode::RWX).unwrap();
+        fp.mkdir("/a/b", Mode::RWX).unwrap();
+        write_file(&*fp, "/a/b/f", b"via fpfs").unwrap();
+        assert_eq!(read_file(&*fp, "/a/b/f").unwrap(), b"via fpfs");
+        assert_eq!(fp.stat("/a/b/f").unwrap().size, 8);
+        assert_eq!(fp.readdir("/a/b").unwrap().len(), 1);
+        fp.truncate("/a/b/f", 3).unwrap();
+        assert_eq!(read_file(&*fp, "/a/b/f").unwrap(), b"via");
+        fp.unlink("/a/b/f").unwrap();
+        assert_eq!(fp.stat("/a/b/f").err(), Some(FsError::NotFound));
+        fp.rmdir("/a/b").unwrap();
+        fp.rmdir("/a").unwrap();
+    });
+    rt.run();
+}
+
+#[test]
+fn fpfs_and_arckfs_views_are_coherent() {
+    let (rt, fs, fp) = world();
+    rt.spawn("t", move || {
+        // Created through FPFS, visible through the component walk.
+        fp.mkdir("/x", Mode::RWX).unwrap();
+        fp.create("/x/one", Mode::RW).unwrap();
+        assert!(fs.stat("/x/one").is_ok());
+        // Created through ArckFS, visible through the full-path table.
+        fs.create("/x/two", Mode::RW).unwrap();
+        assert!(fp.stat("/x/two").is_ok());
+        // Unlinked through ArckFS: FPFS must not serve the stale cache.
+        fp.stat("/x/one").unwrap(); // Warm the full-path entry.
+        fs.unlink("/x/one").unwrap();
+        assert_eq!(fp.stat("/x/one").err(), Some(FsError::NotFound));
+    });
+    rt.run();
+}
+
+#[test]
+fn rename_sweeps_descendant_paths() {
+    let (rt, _, fp) = world();
+    rt.spawn("t", move || {
+        fp.mkdir("/top", Mode::RWX).unwrap();
+        fp.mkdir("/top/mid", Mode::RWX).unwrap();
+        write_file(&*fp, "/top/mid/leaf", b"deep").unwrap();
+        // Warm the cache on the deep path.
+        assert!(fp.stat("/top/mid/leaf").is_ok());
+        // Rename an ancestor through the same view.
+        fp.rename("/top/mid", "/top/mid2").unwrap();
+        assert_eq!(fp.stat("/top/mid/leaf").err(), Some(FsError::NotFound));
+        assert_eq!(read_file(&*fp, "/top/mid2/leaf").unwrap(), b"deep");
+    });
+    rt.run();
+}
+
+#[test]
+fn fpfs_resolution_beats_deep_walks() {
+    let (rt, fs, fp) = world();
+    rt.spawn("t", move || {
+        let mut path = String::new();
+        for i in 0..12 {
+            path.push_str(&format!("/l{i}"));
+            fs.mkdir(&path, Mode::RWX).unwrap();
+        }
+        let leaf = format!("{path}/f");
+        write_file(&*fs, &leaf, b"x").unwrap();
+        // Warm both views.
+        fs.stat(&leaf).unwrap();
+        fp.stat(&leaf).unwrap();
+        let t0 = trio_sim::now();
+        for _ in 0..200 {
+            fs.stat(&leaf).unwrap();
+        }
+        let walk = trio_sim::now() - t0;
+        let t0 = trio_sim::now();
+        for _ in 0..200 {
+            fp.stat(&leaf).unwrap();
+        }
+        let full = trio_sim::now() - t0;
+        assert!(
+            full * 2 < walk,
+            "full-path indexing should at least halve deep resolution: {full} vs {walk}"
+        );
+    });
+    rt.run();
+}
+
+#[test]
+fn open_fast_path_serves_cached_files() {
+    let (rt, _, fp) = world();
+    rt.spawn("t", move || {
+        fp.mkdir("/d", Mode::RWX).unwrap();
+        write_file(&*fp, "/d/hot", b"abcdef").unwrap();
+        // First open caches; subsequent opens take the fast path.
+        for _ in 0..5 {
+            let fd = fp.open("/d/hot", OpenFlags::RDONLY, Mode::empty()).unwrap();
+            let mut buf = [0u8; 6];
+            assert_eq!(fp.pread(fd, 0, &mut buf).unwrap(), 6);
+            assert_eq!(&buf, b"abcdef");
+            fp.close(fd).unwrap();
+        }
+    });
+    rt.run();
+}

@@ -1,0 +1,108 @@
+//! KVFS concurrency and customization-boundary tests.
+
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig, KvFs};
+use trio_fsapi::{FsError, KeyValueFs};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::{DeviceConfig, NvmDevice, Topology};
+use trio_sim::SimRuntime;
+
+fn world() -> (SimRuntime, Arc<ArckFs>) {
+    let rt = SimRuntime::new(51);
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 64 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(dev, KernelConfig::default());
+    let fs = ArckFs::mount(kernel, 100, 100, ArckFsConfig::no_delegation());
+    (rt, fs)
+}
+
+#[test]
+fn concurrent_sets_to_distinct_keys_scale() {
+    let (rt, fs) = world();
+    rt.spawn("main", move || {
+        let kv = KvFs::new(fs, "/kv").unwrap();
+        let mut hs = Vec::new();
+        for t in 0..8u64 {
+            let kv = Arc::clone(&kv);
+            hs.push(trio_sim::spawn("setter", move || {
+                let val = vec![t as u8; 1024];
+                for i in 0..40 {
+                    kv.kv_set(&format!("t{t}-k{i}"), &val).unwrap();
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        // Everything readable with the right contents.
+        let mut buf = vec![0u8; 2048];
+        for t in 0..8u64 {
+            for i in 0..40 {
+                let n = kv.kv_get(&format!("t{t}-k{i}"), &mut buf).unwrap();
+                assert_eq!(n, 1024);
+                assert!(buf[..n].iter().all(|&b| b == t as u8));
+            }
+        }
+    });
+    rt.run();
+}
+
+#[test]
+fn racing_sets_on_one_key_serialize_on_the_spinlock() {
+    let (rt, fs) = world();
+    rt.spawn("main", move || {
+        let kv = KvFs::new(fs, "/kv").unwrap();
+        kv.kv_set("hot", &[0u8; 512]).unwrap();
+        let mut hs = Vec::new();
+        for t in 0..4u64 {
+            let kv = Arc::clone(&kv);
+            hs.push(trio_sim::spawn("racer", move || {
+                for _ in 0..25 {
+                    kv.kv_set("hot", &vec![t as u8 + 1; 512]).unwrap();
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        // The final value is whole (one writer's bytes, not interleaved).
+        let mut buf = vec![0u8; 1024];
+        let n = kv.kv_get("hot", &mut buf).unwrap();
+        assert_eq!(n, 512);
+        let first = buf[0];
+        assert!((1..=4).contains(&first));
+        assert!(buf[..n].iter().all(|&b| b == first), "torn value: {:?}", &buf[..8]);
+    });
+    rt.run();
+}
+
+#[test]
+fn shrinking_sets_shrink_the_file() {
+    let (rt, fs) = world();
+    rt.spawn("main", move || {
+        let kv = KvFs::new(fs, "/kv").unwrap();
+        kv.kv_set("k", &vec![1u8; 20_000]).unwrap();
+        kv.kv_set("k", b"tiny").unwrap();
+        let mut buf = vec![0u8; 64 * 1024];
+        assert_eq!(kv.kv_get("k", &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"tiny");
+    });
+    rt.run();
+}
+
+#[test]
+fn oversized_values_rejected_cleanly() {
+    let (rt, fs) = world();
+    rt.spawn("main", move || {
+        let kv = KvFs::new(fs, "/kv").unwrap();
+        let too_big = vec![0u8; arckfs::kvfs::KV_MAX_BYTES + 1];
+        assert_eq!(kv.kv_set("big", &too_big), Err(FsError::InvalidArgument));
+        // Nothing half-created.
+        let mut buf = [0u8; 8];
+        assert_eq!(kv.kv_get("big", &mut buf), Err(FsError::NotFound));
+    });
+    rt.run();
+}

@@ -1,0 +1,419 @@
+//! POSIX-surface integration tests for ArckFS: every operation of the
+//! `FileSystem` trait, plus concurrency and the LibFS↔kernel protocol.
+
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig};
+use trio_fsapi::{read_file, write_file, FileSystem, FsError, Mode, OpenFlags, SetAttr};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::{DeviceConfig, NvmDevice, Topology};
+use trio_sim::SimRuntime;
+
+fn world() -> (SimRuntime, Arc<ArckFs>) {
+    let rt = SimRuntime::new(11);
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(dev, KernelConfig::default());
+    let fs = ArckFs::mount(kernel, 100, 100, ArckFsConfig::no_delegation());
+    (rt, fs)
+}
+
+fn in_sim(f: impl FnOnce() + Send + 'static) {
+    let rt = SimRuntime::new(11);
+    rt.spawn("test", f);
+    rt.run();
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        fs.mkdir("/d", Mode::RWX).unwrap();
+        let fd = fs.open("/d/f", OpenFlags::CREATE | OpenFlags::RDWR, Mode::RW).unwrap();
+        assert_eq!(fs.pwrite(fd, 0, b"hello world").unwrap(), 11);
+        let mut buf = [0u8; 11];
+        assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), 11);
+        assert_eq!(&buf, b"hello world");
+        // Partial read at offset.
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.pread(fd, 6, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"world");
+        // Read past EOF.
+        assert_eq!(fs.pread(fd, 100, &mut buf).unwrap(), 0);
+        fs.close(fd).unwrap();
+        assert_eq!(fs.close(fd).err(), Some(FsError::BadFd));
+    });
+    rt.run();
+}
+
+#[test]
+fn large_file_spans_multiple_index_pages() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        // 511 entries per index page; write 3 MiB (768 pages) to force a
+        // second index page.
+        let data: Vec<u8> = (0..3 * 1024 * 1024).map(|i| (i % 241) as u8).collect();
+        write_file(&*fs, "/big", &data).unwrap();
+        let back = read_file(&*fs, "/big").unwrap();
+        assert_eq!(back.len(), data.len());
+        assert_eq!(back, data);
+        assert_eq!(fs.stat("/big").unwrap().size, data.len() as u64);
+    });
+    rt.run();
+}
+
+#[test]
+fn overwrite_and_extend() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        write_file(&*fs, "/f", b"aaaaaaaaaa").unwrap();
+        let fd = fs.open("/f", OpenFlags::RDWR, Mode::RW).unwrap();
+        fs.pwrite(fd, 3, b"BBB").unwrap();
+        assert_eq!(read_file(&*fs, "/f").unwrap(), b"aaaBBBaaaa");
+        // Extend with a gap: hole reads as zeros.
+        fs.pwrite(fd, 8192, b"tail").unwrap();
+        let all = read_file(&*fs, "/f").unwrap();
+        assert_eq!(all.len(), 8196);
+        assert_eq!(&all[..10], b"aaaBBBaaaa");
+        assert!(all[10..8192].iter().all(|&b| b == 0));
+        assert_eq!(&all[8192..], b"tail");
+        fs.close(fd).unwrap();
+    });
+    rt.run();
+}
+
+#[test]
+fn truncate_shrink_grow_and_reextend() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        write_file(&*fs, "/f", &vec![7u8; 10_000]).unwrap();
+        fs.truncate("/f", 5_000).unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 5_000);
+        assert_eq!(read_file(&*fs, "/f").unwrap(), vec![7u8; 5_000]);
+        // Grow sparsely: new range is zeros.
+        fs.truncate("/f", 6_000).unwrap();
+        let d = read_file(&*fs, "/f").unwrap();
+        assert_eq!(&d[..5_000], vec![7u8; 5_000].as_slice());
+        assert_eq!(&d[5_000..], vec![0u8; 1_000].as_slice());
+        // Shrink to zero and rewrite.
+        fs.truncate("/f", 0).unwrap();
+        assert_eq!(read_file(&*fs, "/f").unwrap(), Vec::<u8>::new());
+        write_file(&*fs, "/f", b"fresh").unwrap();
+        assert_eq!(read_file(&*fs, "/f").unwrap(), b"fresh");
+    });
+    rt.run();
+}
+
+#[test]
+fn open_flags_semantics() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        write_file(&*fs, "/f", b"data").unwrap();
+        // EXCL on existing file.
+        assert_eq!(
+            fs.open("/f", OpenFlags::CREATE | OpenFlags::EXCL | OpenFlags::WRONLY, Mode::RW).err(),
+            Some(FsError::Exists)
+        );
+        // TRUNC clears.
+        let fd = fs.open("/f", OpenFlags::WRONLY | OpenFlags::TRUNC, Mode::RW).unwrap();
+        assert_eq!(fs.fstat(fd).unwrap().size, 0);
+        // Write on RDONLY fd fails.
+        let rd = fs.open("/f", OpenFlags::RDONLY, Mode::empty()).unwrap();
+        assert_eq!(fs.pwrite(rd, 0, b"x").err(), Some(FsError::ReadOnly));
+        // Read on WRONLY fd fails.
+        let mut b = [0u8; 1];
+        assert_eq!(fs.pread(fd, 0, &mut b).err(), Some(FsError::BadFd));
+        fs.close(fd).unwrap();
+        fs.close(rd).unwrap();
+        // Opening a missing file without CREATE.
+        assert_eq!(fs.open("/nope", OpenFlags::RDONLY, Mode::empty()).err(), Some(FsError::NotFound));
+    });
+    rt.run();
+}
+
+#[test]
+fn mkdir_readdir_unlink_rmdir() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        fs.mkdir("/d", Mode::RWX).unwrap();
+        assert_eq!(fs.mkdir("/d", Mode::RWX).err(), Some(FsError::Exists));
+        fs.create("/d/a", Mode::RW).unwrap();
+        fs.create("/d/b", Mode::RW).unwrap();
+        fs.mkdir("/d/sub", Mode::RWX).unwrap();
+        let names: Vec<String> = fs.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b", "sub"]);
+        assert_eq!(fs.stat("/d").unwrap().size, 3);
+
+        // unlink/rmdir type confusion.
+        assert_eq!(fs.unlink("/d/sub").err(), Some(FsError::IsDir));
+        assert_eq!(fs.rmdir("/d/a").err(), Some(FsError::NotDir));
+        // rmdir of non-empty.
+        fs.create("/d/sub/x", Mode::RW).unwrap();
+        assert_eq!(fs.rmdir("/d/sub").err(), Some(FsError::NotEmpty));
+        fs.unlink("/d/sub/x").unwrap();
+        fs.rmdir("/d/sub").unwrap();
+        fs.unlink("/d/a").unwrap();
+        fs.unlink("/d/b").unwrap();
+        assert!(fs.readdir("/d").unwrap().is_empty());
+        assert_eq!(fs.stat("/d").unwrap().size, 0);
+        assert_eq!(fs.unlink("/d/a").err(), Some(FsError::NotFound));
+    });
+    rt.run();
+}
+
+#[test]
+fn many_files_grow_directory_pages() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        fs.mkdir("/big", Mode::RWX).unwrap();
+        // 100 files > 6 data pages of 16 dirents.
+        for i in 0..100 {
+            fs.create(&format!("/big/file-{i:03}"), Mode::RW).unwrap();
+        }
+        assert_eq!(fs.stat("/big").unwrap().size, 100);
+        let entries = fs.readdir("/big").unwrap();
+        assert_eq!(entries.len(), 100);
+        assert_eq!(entries[0].name, "file-000");
+        assert_eq!(entries[99].name, "file-099");
+        // Delete every other file, then re-create into reused slots.
+        for i in (0..100).step_by(2) {
+            fs.unlink(&format!("/big/file-{i:03}")).unwrap();
+        }
+        assert_eq!(fs.stat("/big").unwrap().size, 50);
+        for i in (0..100).step_by(2) {
+            fs.create(&format!("/big/new-{i:03}"), Mode::RW).unwrap();
+        }
+        assert_eq!(fs.readdir("/big").unwrap().len(), 100);
+    });
+    rt.run();
+}
+
+#[test]
+fn deep_directory_hierarchy() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        let mut path = String::new();
+        for i in 0..20 {
+            path.push_str(&format!("/level{i}"));
+            fs.mkdir(&path, Mode::RWX).unwrap();
+        }
+        let file = format!("{path}/leaf.txt");
+        write_file(&*fs, &file, b"deep").unwrap();
+        assert_eq!(read_file(&*fs, &file).unwrap(), b"deep");
+        let st = fs.stat(&file).unwrap();
+        assert_eq!(st.size, 4);
+    });
+    rt.run();
+}
+
+#[test]
+fn rename_same_dir_and_across_dirs() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        fs.mkdir("/a", Mode::RWX).unwrap();
+        fs.mkdir("/b", Mode::RWX).unwrap();
+        write_file(&*fs, "/a/old", b"payload").unwrap();
+        // Same-directory rename.
+        fs.rename("/a/old", "/a/new").unwrap();
+        assert_eq!(fs.stat("/a/old").err(), Some(FsError::NotFound));
+        assert_eq!(read_file(&*fs, "/a/new").unwrap(), b"payload");
+        // Cross-directory rename.
+        fs.rename("/a/new", "/b/moved").unwrap();
+        assert_eq!(read_file(&*fs, "/b/moved").unwrap(), b"payload");
+        assert_eq!(fs.stat("/a").unwrap().size, 0);
+        assert_eq!(fs.stat("/b").unwrap().size, 1);
+        // Rename onto an existing file replaces it.
+        write_file(&*fs, "/b/target", b"goner").unwrap();
+        fs.rename("/b/moved", "/b/target").unwrap();
+        assert_eq!(read_file(&*fs, "/b/target").unwrap(), b"payload");
+        assert_eq!(fs.stat("/b").unwrap().size, 1);
+    });
+    rt.run();
+}
+
+#[test]
+fn stat_fields() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        fs.create("/f", Mode(0o640)).unwrap();
+        let st = fs.stat("/f").unwrap();
+        assert_eq!(st.ftype, trio_fsapi::FileType::Regular);
+        assert_eq!(st.mode, Mode(0o640));
+        assert_eq!(st.uid, 100);
+        assert_eq!(st.gid, 100);
+        assert_eq!(st.size, 0);
+        let root = fs.stat("/").unwrap();
+        assert_eq!(root.ftype, trio_fsapi::FileType::Directory);
+        assert_eq!(root.ino, trio_layout::ROOT_INO);
+    });
+    rt.run();
+}
+
+#[test]
+fn setattr_chmod_roundtrip() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        fs.create("/f", Mode::RW).unwrap();
+        fs.setattr("/f", SetAttr { mode: Some(Mode(0o444)), ..Default::default() }).unwrap();
+        // The kernel refreshed the cached copy, so stat sees it.
+        assert_eq!(fs.stat("/f").unwrap().mode, Mode(0o444));
+    });
+    rt.run();
+}
+
+#[test]
+fn concurrent_writers_to_disjoint_regions() {
+    let (rt, fs) = world();
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("setup", move || {
+        write_file(&*fs0, "/shared", &vec![0u8; 64 * 1024]).unwrap();
+        for t in 0..8u64 {
+            let fs = Arc::clone(&fs0);
+            trio_sim::spawn("writer", move || {
+                let fd = fs.open("/shared", OpenFlags::RDWR, Mode::RW).unwrap();
+                let block = vec![t as u8 + 1; 8 * 1024];
+                fs.pwrite(fd, t * 8 * 1024, &block).unwrap();
+                fs.close(fd).unwrap();
+            });
+        }
+    });
+    rt.run();
+    let data = {
+        let rt2 = SimRuntime::new(1);
+        let fs2 = Arc::clone(&fs);
+        let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        rt2.spawn("check", move || {
+            *out2.lock() = read_file(&*fs2, "/shared").unwrap();
+        });
+        rt2.run();
+        Arc::try_unwrap(out).unwrap().into_inner()
+    };
+    for t in 0..8usize {
+        assert!(
+            data[t * 8192..(t + 1) * 8192].iter().all(|&b| b == t as u8 + 1),
+            "region {t} intact"
+        );
+    }
+}
+
+#[test]
+fn concurrent_creates_in_shared_directory() {
+    let (rt, fs) = world();
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("setup", move || {
+        fs0.mkdir("/shared", Mode::RWX).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let fs = Arc::clone(&fs0);
+            handles.push(trio_sim::spawn("creator", move || {
+                for i in 0..20 {
+                    fs.create(&format!("/shared/t{t}-f{i}"), Mode::RW).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(fs0.stat("/shared").unwrap().size, 160);
+        assert_eq!(fs0.readdir("/shared").unwrap().len(), 160);
+    });
+    rt.run();
+}
+
+#[test]
+fn concurrent_readers_share() {
+    let (rt, fs) = world();
+    let fs0 = Arc::clone(&fs);
+    rt.spawn("setup", move || {
+        write_file(&*fs0, "/ro", &vec![9u8; 16 * 1024]).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let fs = Arc::clone(&fs0);
+            handles.push(trio_sim::spawn("reader", move || {
+                let fd = fs.open("/ro", OpenFlags::RDONLY, Mode::empty()).unwrap();
+                let mut buf = vec![0u8; 16 * 1024];
+                assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), 16 * 1024);
+                assert!(buf.iter().all(|&b| b == 9));
+                fs.close(fd).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    });
+    rt.run();
+}
+
+#[test]
+fn path_edge_cases() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        assert_eq!(fs.create("relative", Mode::RW).err(), Some(FsError::InvalidArgument));
+        assert_eq!(fs.create("/a/../b", Mode::RW).err(), Some(FsError::InvalidArgument));
+        assert_eq!(fs.create("/", Mode::RW).err(), Some(FsError::InvalidArgument));
+        fs.create("/plain", Mode::RW).unwrap();
+        // A path through a regular file is NotDir.
+        assert_eq!(fs.create("/plain/x", Mode::RW).err(), Some(FsError::NotDir));
+        assert_eq!(fs.readdir("/plain").err(), Some(FsError::NotDir));
+        // Double slashes collapse.
+        assert!(fs.stat("//plain").is_ok());
+    });
+    rt.run();
+}
+
+#[test]
+fn kernel_never_touched_after_warmup_for_private_ops() {
+    // The direct-access property: steady-state creates/writes in a private
+    // directory do no kernel calls (pools are batched). We can't intercept
+    // the trap counter directly, but free-page accounting shows batching:
+    // 100 small creates consume at most a couple of pool refills.
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        let kernel = Arc::clone(fs.kernel());
+        fs.mkdir("/p", Mode::RWX).unwrap();
+        fs.create("/p/seed", Mode::RW).unwrap();
+        let before = kernel.free_page_count();
+        for i in 0..100 {
+            fs.create(&format!("/p/f{i}"), Mode::RW).unwrap();
+        }
+        let after = kernel.free_page_count();
+        // 100 empty creates fit in ~7 dirent pages; anything near 64 (one
+        // batch) proves allocation is batched, not per-op.
+        assert!(before - after <= 64, "consumed {} pages", before - after);
+    });
+    rt.run();
+}
+
+#[test]
+fn fsync_is_noop_and_ok() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        let fd = fs.open("/f", OpenFlags::CREATE | OpenFlags::WRONLY, Mode::RW).unwrap();
+        fs.pwrite(fd, 0, b"x").unwrap();
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+    });
+    rt.run();
+}
+
+#[test]
+fn empty_reads_and_writes() {
+    let (rt, fs) = world();
+    rt.spawn("t", move || {
+        let fd = fs.open("/f", OpenFlags::CREATE | OpenFlags::RDWR, Mode::RW).unwrap();
+        assert_eq!(fs.pwrite(fd, 0, b"").unwrap(), 0);
+        let mut empty = [0u8; 0];
+        assert_eq!(fs.pread(fd, 0, &mut empty).unwrap(), 0);
+        fs.close(fd).unwrap();
+    });
+    rt.run();
+}
+
+#[test]
+fn unused_helper_compiles() {
+    // Keep the helper alive for future tests.
+    in_sim(|| {});
+}

@@ -1,0 +1,81 @@
+//! File system error type.
+
+use std::fmt;
+
+/// Result alias used throughout the file system crates.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors surfaced by [`crate::FileSystem`] operations, mirroring the POSIX
+/// errno values the paper's workloads can encounter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FsError {
+    /// Path component does not exist (`ENOENT`).
+    NotFound,
+    /// Name already exists (`EEXIST`).
+    Exists,
+    /// A non-final path component is not a directory (`ENOTDIR`).
+    NotDir,
+    /// The operation needs a regular file but found a directory (`EISDIR`).
+    IsDir,
+    /// Directory not empty (`ENOTEMPTY`).
+    NotEmpty,
+    /// Permission denied (`EACCES`/`EPERM`).
+    PermissionDenied,
+    /// Bad file descriptor (`EBADF`).
+    BadFd,
+    /// Invalid argument (`EINVAL`).
+    InvalidArgument,
+    /// Out of space or inodes (`ENOSPC`).
+    NoSpace,
+    /// File name too long (`ENAMETOOLONG`).
+    NameTooLong,
+    /// The LibFS's lease/mapping was revoked and the operation must be
+    /// retried after re-mapping (Trio-specific; no direct POSIX analogue).
+    Stale,
+    /// The trusted verifier found the file's core state corrupted and access
+    /// was refused (Trio-specific).
+    Corrupted,
+    /// Too many open descriptors (`EMFILE`).
+    TooManyOpenFiles,
+    /// Write attempted on a read-only descriptor or mapping (`EROFS`).
+    ReadOnly,
+    /// Operation not supported by this (customized) file system (`ENOTSUP`),
+    /// e.g. `rename` on FPFS.
+    Unsupported,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NotDir => "not a directory",
+            FsError::IsDir => "is a directory",
+            FsError::NotEmpty => "directory not empty",
+            FsError::PermissionDenied => "permission denied",
+            FsError::BadFd => "bad file descriptor",
+            FsError::InvalidArgument => "invalid argument",
+            FsError::NoSpace => "no space left on device",
+            FsError::NameTooLong => "file name too long",
+            FsError::Stale => "stale file mapping",
+            FsError::Corrupted => "metadata integrity violation",
+            FsError::TooManyOpenFiles => "too many open files",
+            FsError::ReadOnly => "read-only file or mapping",
+            FsError::Unsupported => "operation not supported",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(FsError::Corrupted.to_string(), "metadata integrity violation");
+    }
+}

@@ -1,0 +1,130 @@
+//! Path parsing helpers.
+//!
+//! Paths are absolute, `/`-separated, without `.`/`..` components — ArckFS's
+//! core state deliberately has no dot entries (paper §4.1); LibFS auxiliary
+//! state resolves them before reaching this layer, and the workloads only
+//! generate canonical paths.
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length of a single file name. Matches the ArckFS core-state
+/// dirent slot (256 bytes with a 200-byte name field, `trio-layout`).
+pub const MAX_NAME_LEN: usize = 200;
+
+/// Splits an absolute path into validated components.
+///
+/// # Examples
+///
+/// ```
+/// let parts = trio_fsapi::path::components("/a/b/c.txt").unwrap();
+/// assert_eq!(parts, vec!["a", "b", "c.txt"]);
+/// assert!(trio_fsapi::path::components("relative").is_err());
+/// ```
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidArgument);
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue; // Leading slash and doubled slashes.
+        }
+        validate_name(comp)?;
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Splits a path into `(parent components, final name)`.
+///
+/// # Examples
+///
+/// ```
+/// let (dir, name) = trio_fsapi::path::split_parent("/a/b/c").unwrap();
+/// assert_eq!(dir, vec!["a", "b"]);
+/// assert_eq!(name, "c");
+/// ```
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(FsError::InvalidArgument), // "/" has no parent entry.
+    }
+}
+
+/// Checks that `name` is a legal single component: non-empty, within
+/// [`MAX_NAME_LEN`], and free of `/` and NUL. The same rule is enforced by
+/// integrity check I1, so a malicious LibFS cannot smuggle separators into
+/// directory entries.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name == "." || name == ".." {
+        return Err(FsError::InvalidArgument);
+    }
+    if name.len() > MAX_NAME_LEN {
+        return Err(FsError::NameTooLong);
+    }
+    if name.bytes().any(|b| b == b'/' || b == 0) {
+        return Err(FsError::InvalidArgument);
+    }
+    Ok(())
+}
+
+/// Joins a parent path and a child name.
+pub fn join(parent: &str, name: &str) -> String {
+    if parent.ends_with('/') {
+        format!("{parent}{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn doubled_slashes_collapse() {
+        assert_eq!(components("//a///b").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_relative_and_dot_components() {
+        assert_eq!(components("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(components("/a/./b"), Err(FsError::InvalidArgument));
+        assert_eq!(components("/a/../b"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn rejects_overlong_names() {
+        let long = format!("/{}", "x".repeat(MAX_NAME_LEN + 1));
+        assert_eq!(components(&long), Err(FsError::NameTooLong));
+        let ok = format!("/{}", "x".repeat(MAX_NAME_LEN));
+        assert!(components(&ok).is_ok());
+    }
+
+    #[test]
+    fn split_parent_of_top_level_file() {
+        let (dir, name) = split_parent("/foo").unwrap();
+        assert!(dir.is_empty());
+        assert_eq!(name, "foo");
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+    }
+
+    #[test]
+    fn validate_rejects_slash_and_nul() {
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a\0b").is_err());
+        assert!(validate_name("ok-name_1.txt").is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! Plain data types used across the [`crate::FileSystem`] API.
+
+use std::ops::BitOr;
+
+/// A process-local open-file descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+/// Kind of a file system object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+}
+
+/// `open(2)`-style flags, modelled as a tiny hand-rolled bitset to avoid an
+/// extra dependency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open for reading only.
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Open for writing only.
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    /// Open for reading and writing.
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    /// Create the file if it does not exist.
+    pub const CREATE: OpenFlags = OpenFlags(4);
+    /// Truncate to zero length on open.
+    pub const TRUNC: OpenFlags = OpenFlags(8);
+    /// Fail if [`OpenFlags::CREATE`] and the file exists.
+    pub const EXCL: OpenFlags = OpenFlags(16);
+
+    /// Whether writing is requested.
+    pub fn writable(self) -> bool {
+        self.0 & 3 != 0
+    }
+
+    /// Whether reading is requested (always true except `WRONLY`).
+    pub fn readable(self) -> bool {
+        self.0 & 3 != 1
+    }
+
+    /// Whether `flag` is set.
+    pub fn contains(self, flag: OpenFlags) -> bool {
+        // Access-mode bits (low 2) compare exactly; option bits test inclusion.
+        if flag.0 < 4 {
+            self.0 & 3 == flag.0
+        } else {
+            self.0 & flag.0 == flag.0
+        }
+    }
+}
+
+impl BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+/// Permission bits. Only owner read/write are meaningful in the
+/// reproduction's single-user experiments, but the full 9-bit POSIX triple
+/// is stored and verified (invariant I4 protects it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    /// `0o600` — owner read/write; the default for files in the experiments.
+    pub const RW: Mode = Mode(0o600);
+    /// `0o700` — owner read/write/execute; the default for directories.
+    pub const RWX: Mode = Mode(0o700);
+    /// `0o400` — owner read-only.
+    pub const RO: Mode = Mode(0o400);
+
+    /// A mode with no bits set.
+    pub fn empty() -> Mode {
+        Mode(0)
+    }
+
+    /// Owner-readable?
+    pub fn owner_read(self) -> bool {
+        self.0 & 0o400 != 0
+    }
+
+    /// Owner-writable?
+    pub fn owner_write(self) -> bool {
+        self.0 & 0o200 != 0
+    }
+
+    /// True when every set bit is within the valid 12-bit POSIX mask —
+    /// integrity check I1 rejects inodes violating this.
+    pub fn is_valid(self) -> bool {
+        self.0 & !0o7777 == 0
+    }
+}
+
+/// One `readdir` row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// File name (single component).
+    pub name: String,
+    /// Inode number.
+    pub ino: u64,
+    /// Object kind.
+    pub ftype: FileType,
+}
+
+/// `stat(2)` result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number.
+    pub ino: u64,
+    /// Object kind.
+    pub ftype: FileType,
+    /// Size in bytes (for directories: number of live entries).
+    pub size: u64,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owner user id.
+    pub uid: u32,
+    /// Owner group id.
+    pub gid: u32,
+    /// Last modification, in virtual nanoseconds.
+    pub mtime: u64,
+}
+
+/// Attribute change request for [`crate::FileSystem::setattr`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetAttr {
+    /// New permission bits (chmod), if any.
+    pub mode: Option<Mode>,
+    /// New owner (chown), if any.
+    pub uid: Option<u32>,
+    /// New group (chown), if any.
+    pub gid: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_access_modes() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::RDWR.readable() && OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn open_flags_option_bits_compose() {
+        let f = OpenFlags::CREATE | OpenFlags::WRONLY | OpenFlags::TRUNC;
+        assert!(f.contains(OpenFlags::CREATE));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(!f.contains(OpenFlags::EXCL));
+        assert!(f.contains(OpenFlags::WRONLY));
+        assert!(!f.contains(OpenFlags::RDONLY));
+        assert!(f.writable());
+    }
+
+    #[test]
+    fn mode_bits() {
+        assert!(Mode::RW.owner_read() && Mode::RW.owner_write());
+        assert!(Mode::RO.owner_read() && !Mode::RO.owner_write());
+        assert!(Mode(0o7777).is_valid());
+        assert!(!Mode(0o10000).is_valid());
+    }
+}

@@ -1,0 +1,228 @@
+//! Opportunistic-delegation thread pool (paper §4.5, following OdinFS).
+//!
+//! A fixed number of kernel *delegation threads* run per NUMA node. LibFSes
+//! (and the OdinFS baseline) hand large accesses to them through
+//! shared-memory rings — no kernel trap — and wait for completion. The
+//! threads always access their own node's NVM (locality) and their fixed
+//! count bounds the per-node concurrency, which is what prevents Optane's
+//! bandwidth collapse. Large extents are split per node and served in
+//! parallel, aggregating the bandwidth of all nodes.
+//!
+//! Permission is enforced end-to-end: a delegation thread performs the
+//! access *as the requesting actor*, so the MMU check still applies.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use trio_nvm::{ActorId, NvmDevice, NvmHandle, PageId, ProtError, PAGE_SIZE};
+use trio_sim::sync::SimChannel;
+use trio_sim::{spawn, JoinHandle};
+
+/// One delegated access covering a node-contiguous run of pages.
+pub struct DelegReq {
+    /// The requesting LibFS (MMU checks run against it).
+    pub actor: ActorId,
+    /// The run's pages, in extent order.
+    pub pages: Vec<PageId>,
+    /// Byte offset within the run.
+    pub start: usize,
+    /// For writes: the bytes. For reads: `None`.
+    pub write_data: Option<Vec<u8>>,
+    /// For reads: how many bytes to read.
+    pub read_len: usize,
+    /// Completion channel.
+    pub reply: Arc<SimChannel<Result<Option<Vec<u8>>, ProtError>>>,
+}
+
+/// The pool; create once per device, start once per simulation.
+pub struct DelegationPool {
+    dev: Arc<NvmDevice>,
+    rings: Vec<Vec<Arc<SimChannel<DelegReq>>>>,
+    rr: Vec<AtomicUsize>,
+    started: AtomicBool,
+}
+
+impl DelegationPool {
+    /// Builds rings for `threads_per_node` delegation threads on each node.
+    pub fn new(dev: Arc<NvmDevice>, threads_per_node: usize) -> Self {
+        let nodes = dev.topology().nodes;
+        let rings = (0..nodes)
+            .map(|_| (0..threads_per_node).map(|_| Arc::new(SimChannel::bounded(64))).collect())
+            .collect();
+        DelegationPool {
+            dev,
+            rings,
+            rr: (0..nodes).map(|_| AtomicUsize::new(0)).collect(),
+            started: AtomicBool::new(false),
+        }
+    }
+
+    /// Spawns the delegation sim-threads. Must be called from inside the
+    /// simulation (e.g. the harness's main sim-thread). Returns their join
+    /// handles; call [`DelegationPool::shutdown`] to let them exit.
+    pub fn start(&self) -> Vec<JoinHandle> {
+        assert!(!self.started.swap(true, Ordering::SeqCst), "delegation pool already started");
+        let mut handles = Vec::new();
+        for (node, node_rings) in self.rings.iter().enumerate() {
+            for ring in node_rings {
+                let ring = Arc::clone(ring);
+                let dev = Arc::clone(&self.dev);
+                handles.push(spawn("delegation", move || {
+                    trio_nvm::handle::set_home_node(node);
+                    while let Some(req) = ring.recv() {
+                        let h = NvmHandle::new(Arc::clone(&dev), req.actor);
+                        let result = match req.write_data {
+                            Some(data) => {
+                                h.write_extent(&req.pages, req.start, &data).map(|()| None)
+                            }
+                            None => {
+                                let mut buf = vec![0u8; req.read_len];
+                                h.read_extent(&req.pages, req.start, &mut buf).map(|()| Some(buf))
+                            }
+                        };
+                        let _ = req.reply.send(result);
+                    }
+                }));
+            }
+        }
+        handles
+    }
+
+    /// Whether [`DelegationPool::start`] ran.
+    pub fn is_started(&self) -> bool {
+        self.started.load(Ordering::SeqCst)
+    }
+
+    /// Closes all rings; delegation threads drain and exit.
+    pub fn shutdown(&self) {
+        for node_rings in &self.rings {
+            for ring in node_rings {
+                ring.close();
+            }
+        }
+    }
+
+    fn ring_for(&self, node: usize) -> &Arc<SimChannel<DelegReq>> {
+        let i = self.rr[node].fetch_add(1, Ordering::Relaxed);
+        let rings = &self.rings[node];
+        &rings[i % rings.len()]
+    }
+
+    /// Splits `[start, start+len)` over `pages` into node-contiguous runs.
+    /// Returns `(node, page_range, byte_range_within_extent)` tuples.
+    fn split_runs(
+        &self,
+        pages: &[PageId],
+        start: usize,
+        len: usize,
+    ) -> Vec<(usize, std::ops::Range<usize>, std::ops::Range<usize>)> {
+        let topo = self.dev.topology();
+        let mut runs = Vec::new();
+        if len == 0 {
+            return runs;
+        }
+        let first = start / PAGE_SIZE;
+        let last = (start + len - 1) / PAGE_SIZE;
+        let mut run_start_page = first;
+        let mut run_node = topo.node_of(pages[first]);
+        for pi in first..=last {
+            let node = topo.node_of(pages[pi]);
+            if node != run_node {
+                runs.push(self.finish_run(run_node, run_start_page, pi, start, len));
+                run_start_page = pi;
+                run_node = node;
+            }
+        }
+        runs.push(self.finish_run(run_node, run_start_page, last + 1, start, len));
+        runs
+    }
+
+    fn finish_run(
+        &self,
+        node: usize,
+        from_page: usize,
+        to_page: usize,
+        start: usize,
+        len: usize,
+    ) -> (usize, std::ops::Range<usize>, std::ops::Range<usize>) {
+        let byte_from = start.max(from_page * PAGE_SIZE);
+        let byte_to = (start + len).min(to_page * PAGE_SIZE);
+        (node, from_page..to_page, byte_from..byte_to)
+    }
+
+    /// Delegated write of an extent: split per node, dispatch in parallel,
+    /// wait for all completions.
+    pub fn write_extent(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        data: &[u8],
+    ) -> Result<(), ProtError> {
+        let runs = self.split_runs(pages, start, data.len());
+        let mut pending = Vec::with_capacity(runs.len());
+        for (node, prange, brange) in runs {
+            let reply = Arc::new(SimChannel::bounded(1));
+            let sub_pages = pages[prange.clone()].to_vec();
+            let sub_start = brange.start - prange.start * PAGE_SIZE;
+            let req = DelegReq {
+                actor,
+                pages: sub_pages,
+                start: sub_start,
+                write_data: Some(data[brange.start - start..brange.end - start].to_vec()),
+                read_len: 0,
+                reply: Arc::clone(&reply),
+            };
+            self.ring_for(node).send(req).map_err(|_| ProtError::NotMapped)?;
+            pending.push(reply);
+        }
+        let mut result = Ok(());
+        for reply in pending {
+            match reply.recv() {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => result = Err(e),
+                None => result = Err(ProtError::NotMapped),
+            }
+        }
+        result
+    }
+
+    /// Delegated read of an extent.
+    pub fn read_extent(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        buf: &mut [u8],
+    ) -> Result<(), ProtError> {
+        let runs = self.split_runs(pages, start, buf.len());
+        let mut pending = Vec::with_capacity(runs.len());
+        for (node, prange, brange) in runs {
+            let reply = Arc::new(SimChannel::bounded(1));
+            let sub_pages = pages[prange.clone()].to_vec();
+            let sub_start = brange.start - prange.start * PAGE_SIZE;
+            let req = DelegReq {
+                actor,
+                pages: sub_pages,
+                start: sub_start,
+                write_data: None,
+                read_len: brange.len(),
+                reply: Arc::clone(&reply),
+            };
+            self.ring_for(node).send(req).map_err(|_| ProtError::NotMapped)?;
+            pending.push((reply, brange));
+        }
+        let mut result = Ok(());
+        for (reply, brange) in pending {
+            match reply.recv() {
+                Some(Ok(Some(data))) => {
+                    buf[brange.start - start..brange.end - start].copy_from_slice(&data);
+                }
+                Some(Ok(None)) => result = Err(ProtError::NotMapped),
+                Some(Err(e)) => result = Err(e),
+                None => result = Err(ProtError::NotMapped),
+            }
+        }
+        result
+    }
+}

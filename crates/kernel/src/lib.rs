@@ -1,0 +1,535 @@
+//! The Trio **kernel controller** (paper §3.2, §4).
+//!
+//! The only privileged, always-trusted component on the control path. It
+//! owns: shared-resource allocation (NVM pages, inode numbers), the MMU
+//! (mapping files into LibFSes with read or exclusive-write permission,
+//! enforced by leases), the shadow inode table (ground-truth permissions,
+//! I4), per-file metadata checkpoints, and corruption handling (rollback
+//! after a failed verification). It also hosts the per-NUMA-node
+//! *delegation thread pool* that OdinFS-style opportunistic delegation
+//! uses (§4.5) — delegation threads are kernel threads shared by all
+//! LibFSes.
+//!
+//! Everything a LibFS does in the common case — reads, writes, creates,
+//! deletes, renames — happens by direct NVM access *without* entering this
+//! crate; the kernel is involved only to change protection state (map,
+//! unmap, allocate, free) and to mediate the few operations that touch
+//! kernel-owned state (root-inode updates, chmod/chown, reclamation).
+//! Every public entry point charges the syscall trap cost.
+
+pub mod delegation;
+pub mod mapping;
+pub mod registry;
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use trio_fsapi::{FsError, FsResult, Mode, SetAttr};
+use trio_layout::{DirentLoc, DirentRef, Ino, SuperblockRef, ROOT_INO};
+use trio_nvm::{ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, KERNEL_ACTOR};
+use trio_sim::{cost, in_sim, sync::SimMutex, work, Nanos, MILLIS};
+use trio_verifier::{InoProvenance, PageProvenance, Verifier};
+
+use delegation::DelegationPool;
+use registry::{Credentials, KernelEvent, Registry};
+
+/// Controller tunables.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Write-lease duration (paper: 100 ms).
+    pub lease_ns: Nanos,
+    /// Delegation threads per NUMA node (paper/OdinFS default: 12).
+    pub delegation_threads_per_node: usize,
+    /// Upper bound on a file's index-page chain (defensive walks).
+    pub max_index_pages: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            lease_ns: 100 * MILLIS,
+            delegation_threads_per_node: 12,
+            max_index_pages: 1 << 16,
+        }
+    }
+}
+
+/// A LibFS registration: its principal and its (initially superblock-only)
+/// window onto the device.
+pub struct LibFsRegistration {
+    /// The LibFS's access-control principal.
+    pub actor: ActorId,
+    /// NVM handle authenticated as `actor`.
+    pub handle: NvmHandle,
+}
+
+/// The kernel controller. One per mounted file system.
+pub struct KernelController {
+    dev: Arc<NvmDevice>,
+    kh: NvmHandle,
+    verifier: Verifier,
+    pub(crate) registry: SimMutex<Registry>,
+    /// Per-node free-page pools (per-CPU in the paper; per-node here, which
+    /// is the contention boundary that matters for the experiments).
+    pools: Vec<SimMutex<Vec<PageId>>>,
+    /// Inode number allocator (next unused).
+    next_ino: SimMutex<u64>,
+    /// Pages pinned by live checkpoints: page -> pin count, plus the
+    /// deferred free list processed on unpin.
+    pub(crate) pins: SimMutex<PinState>,
+    pub(crate) phases: SimMutex<PhaseStats>,
+    delegation: DelegationPool,
+    config: KernelConfig,
+}
+
+/// Checkpoint pinning state (see `mapping.rs` for the rollback protocol).
+#[derive(Default)]
+pub struct PinState {
+    pub(crate) pinned: std::collections::HashMap<u64, u32>,
+    pub(crate) deferred: Vec<PageId>,
+}
+
+/// Cumulative virtual time spent in each sharing-protocol phase
+/// (paper Figure 8's breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStats {
+    /// Programming the MMU on the map path.
+    pub map_ns: Nanos,
+    /// Unmapping on release/revocation.
+    pub unmap_ns: Nanos,
+    /// Integrity verification.
+    pub verify_ns: Nanos,
+    /// Checkpointing before write grants.
+    pub checkpoint_ns: Nanos,
+}
+
+impl KernelController {
+    /// Creates a controller over a fresh device and formats the file
+    /// system (superblock + empty root).
+    pub fn format(dev: Arc<NvmDevice>, config: KernelConfig) -> Arc<Self> {
+        let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+        let sb = SuperblockRef::new(&kh);
+        let topo = dev.topology();
+        sb.format(topo.total_pages(), ROOT_INO + 1).expect("kernel formats the superblock");
+
+        // Page 0 is the superblock; everything else is free, per node.
+        let mut pools = Vec::with_capacity(topo.nodes);
+        for node in 0..topo.nodes {
+            let first = topo.first_page_of(node).0;
+            let start = if node == 0 { 1 } else { first };
+            // LIFO pools: keep low page numbers on top for compactness.
+            let mut v: Vec<PageId> =
+                (start..first + topo.pages_per_node as u64).map(PageId).rev().collect();
+            v.shrink_to_fit();
+            pools.push(SimMutex::new(v));
+        }
+
+        let delegation = DelegationPool::new(
+            Arc::clone(&dev),
+            config.delegation_threads_per_node,
+        );
+
+        Arc::new(KernelController {
+            verifier: Verifier::new(NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR)),
+            kh,
+            dev,
+            registry: SimMutex::new(Registry::new()),
+            pools,
+            next_ino: SimMutex::new(ROOT_INO + 1),
+            pins: SimMutex::new(PinState::default()),
+            phases: SimMutex::new(PhaseStats::default()),
+            delegation,
+            config,
+        })
+    }
+
+    /// The device this controller manages.
+    pub fn device(&self) -> &Arc<NvmDevice> {
+        &self.dev
+    }
+
+    /// The kernel's privileged handle (crate-internal and tests).
+    pub fn kernel_handle(&self) -> &NvmHandle {
+        &self.kh
+    }
+
+    /// Controller configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    pub(crate) fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// The delegation pool (threads must be started with
+    /// [`DelegationPool::start`] from inside the simulation).
+    pub fn delegation(&self) -> &DelegationPool {
+        &self.delegation
+    }
+
+    /// Charges the syscall trap cost; called at every public entry point.
+    pub(crate) fn trap(&self) {
+        if in_sim() {
+            work(cost::KERNEL_TRAP_NS);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Registration.
+    // -----------------------------------------------------------------
+
+    /// Registers a LibFS (one per process, or one per trust group — the
+    /// trust-group abstraction of §3.2 is realized by processes sharing the
+    /// returned registration). Grants read access to the superblock.
+    pub fn register_libfs(&self, uid: u32, gid: u32) -> LibFsRegistration {
+        self.trap();
+        let actor = {
+            let mut reg = self.registry.lock();
+            let id = ActorId(reg.next_actor);
+            reg.next_actor += 1;
+            reg.actors.insert(id, Credentials { uid, gid });
+            id
+        };
+        self.dev
+            .mmu_map(actor, trio_layout::superblock::SUPERBLOCK_PAGE, PagePerm::Read)
+            .expect("superblock exists");
+        if in_sim() {
+            work(cost::MMU_PROGRAM_PAGE_NS);
+        }
+        LibFsRegistration { actor, handle: NvmHandle::new(Arc::clone(&self.dev), actor) }
+    }
+
+    /// Credentials of a registered actor.
+    pub fn credentials(&self, actor: ActorId) -> Option<Credentials> {
+        self.registry.lock().actors.get(&actor).copied()
+    }
+
+    /// Unregisters a LibFS (process exit): releases every mapping it
+    /// holds, verifies every file left dirty by it (so its unvetted writes
+    /// never reach anyone unchecked), and revokes its credentials. Pool
+    /// pages the LibFS returned beforehand are already free; anything it
+    /// still held mapped is simply unmapped — provenance keeps those pages
+    /// attributable until their files are next verified.
+    pub fn unregister(&self, actor: ActorId) {
+        self.trap();
+        let mut reg = self.registry.lock();
+        let held: Vec<Ino> = reg
+            .files
+            .iter()
+            .filter(|(_, m)| m.writer == Some(actor) || m.readers.contains(&actor))
+            .map(|(i, _)| *i)
+            .collect();
+        for ino in &held {
+            if let Some(meta) = reg.files.get_mut(ino) {
+                let pages = meta.mapped_pages.remove(&actor).unwrap_or_default();
+                meta.readers.remove(&actor);
+                if meta.writer == Some(actor) {
+                    meta.writer = None;
+                    meta.dirty_by = Some(actor);
+                }
+                for p in &pages {
+                    let _ = self.dev.mmu_unmap(actor, *p);
+                }
+                if in_sim() {
+                    work(pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+                }
+            }
+        }
+        // Eagerly vet everything the departing LibFS dirtied — there will
+        // be no later "next map by the same actor" to skip it.
+        let dirty: Vec<Ino> = reg
+            .files
+            .iter()
+            .filter(|(_, m)| m.dirty_by == Some(actor))
+            .map(|(i, _)| *i)
+            .collect();
+        for ino in dirty {
+            self.verify_file_locked(&mut reg, ino);
+        }
+        reg.actors.remove(&actor);
+        let _ = self.dev.mmu_unmap(actor, trio_layout::superblock::SUPERBLOCK_PAGE);
+    }
+
+    // -----------------------------------------------------------------
+    // Allocation (batched; LibFSes keep local pools).
+    // -----------------------------------------------------------------
+
+    /// Allocates `n` pages, preferring `node`, mapping them read-write to
+    /// `actor` (a LibFS's private pool, ready for direct use).
+    pub fn alloc_pages(
+        &self,
+        actor: ActorId,
+        n: usize,
+        node: Option<NodeId>,
+    ) -> FsResult<Vec<PageId>> {
+        self.trap();
+        if in_sim() {
+            work(cost::ALLOCATOR_OP_NS);
+        }
+        let nodes = self.pools.len();
+        let start = node.unwrap_or(0).min(nodes - 1);
+        let mut out = Vec::with_capacity(n);
+        // Preferred node first, then steal round-robin.
+        for i in 0..nodes {
+            let ni = (start + i) % nodes;
+            let mut pool = self.pools[ni].lock();
+            while out.len() < n {
+                match pool.pop() {
+                    Some(p) => out.push(p),
+                    None => break,
+                }
+            }
+            if out.len() == n {
+                break;
+            }
+        }
+        if out.len() < n {
+            // Roll back the partial grab.
+            for p in &out {
+                self.pools[self.dev.topology().node_of(*p)].lock().push(*p);
+            }
+            return Err(FsError::NoSpace);
+        }
+        {
+            let mut reg = self.registry.lock();
+            for p in &out {
+                reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
+            }
+        }
+        for p in &out {
+            self.dev.mmu_map(actor, *p, PagePerm::Write).map_err(|_| FsError::NoSpace)?;
+        }
+        if in_sim() {
+            work(out.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+        }
+        Ok(out)
+    }
+
+    /// Returns pages to the free pool. A page must be in the caller's pool
+    /// (`AllocatedTo`) or belong to a file the caller is reclaiming through
+    /// [`KernelController::reclaim_file`]; anything else is refused.
+    pub fn free_pages(&self, actor: ActorId, pages: &[PageId]) -> FsResult<()> {
+        self.trap();
+        {
+            let reg = self.registry.lock();
+            for p in pages {
+                match reg.page_prov.get(&p.0) {
+                    Some(PageProvenance::AllocatedTo(a)) if *a == actor => {}
+                    _ => return Err(FsError::PermissionDenied),
+                }
+            }
+        }
+        self.release_pages_internal(pages);
+        Ok(())
+    }
+
+    /// Internal free path (already authorized): unmaps everyone, scrubs,
+    /// and returns to pools unless pinned by a checkpoint.
+    pub(crate) fn release_pages_internal(&self, pages: &[PageId]) {
+        {
+            let mut reg = self.registry.lock();
+            for p in pages {
+                reg.page_prov.remove(&p.0);
+            }
+        }
+        let mut pins = self.pins.lock();
+        let topo = self.dev.topology();
+        for p in pages {
+            if pins.pinned.contains_key(&p.0) {
+                pins.deferred.push(*p);
+            } else {
+                self.dev.reset_page(*p).expect("valid page");
+                self.pools[topo.node_of(*p)].lock().push(*p);
+            }
+        }
+        if in_sim() {
+            work(pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+        }
+    }
+
+    /// Pins checkpointed pages so rollback images stay restorable.
+    pub(crate) fn pin_pages(&self, pages: impl Iterator<Item = PageId>) {
+        let mut pins = self.pins.lock();
+        for p in pages {
+            *pins.pinned.entry(p.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Unpins pages; any that were deferred-freed now really free.
+    pub(crate) fn unpin_pages(&self, pages: impl Iterator<Item = PageId>) {
+        let mut pins = self.pins.lock();
+        for p in pages {
+            if let Some(c) = pins.pinned.get_mut(&p.0) {
+                *c -= 1;
+                if *c == 0 {
+                    pins.pinned.remove(&p.0);
+                }
+            }
+        }
+        let deferred = std::mem::take(&mut pins.deferred);
+        let (ready, still): (Vec<PageId>, Vec<PageId>) =
+            deferred.into_iter().partition(|p| !pins.pinned.contains_key(&p.0));
+        pins.deferred = still;
+        drop(pins);
+        let topo = self.dev.topology();
+        for p in ready {
+            self.dev.reset_page(p).expect("valid page");
+            self.pools[topo.node_of(p)].lock().push(p);
+        }
+    }
+
+    /// Allocates `n` fresh inode numbers to `actor` for future creates.
+    pub fn alloc_inos(&self, actor: ActorId, n: u64) -> FsResult<Vec<Ino>> {
+        self.trap();
+        if in_sim() {
+            work(cost::ALLOCATOR_OP_NS);
+        }
+        let range = {
+            let mut next = self.next_ino.lock();
+            let start = *next;
+            *next += n;
+            start..start + n
+        };
+        // Persist the high-water mark so crash recovery never reuses inos.
+        SuperblockRef::new(&self.kh).set_next_ino(range.end).expect("kernel writes superblock");
+        let mut reg = self.registry.lock();
+        let out: Vec<Ino> = range.collect();
+        for i in &out {
+            reg.ino_prov.insert(*i, InoProvenance::AllocatedTo(actor));
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Mediated metadata (kernel-owned state).
+    // -----------------------------------------------------------------
+
+    /// Updates the root directory's inode fields (they live in the
+    /// kernel-owned superblock). Requires the caller to hold root's write
+    /// mapping.
+    pub fn update_root(
+        &self,
+        actor: ActorId,
+        first_index: Option<u64>,
+        size: Option<u64>,
+        mtime: Option<u64>,
+    ) -> FsResult<()> {
+        self.trap();
+        {
+            let reg = self.registry.lock();
+            let root = reg.files.get(&ROOT_INO).expect("root adopted");
+            if root.writer != Some(actor) {
+                return Err(FsError::PermissionDenied);
+            }
+        }
+        let sb = SuperblockRef::new(&self.kh);
+        if let Some(fi) = first_index {
+            sb.set_root_first_index(fi).map_err(|_| FsError::NoSpace)?;
+        }
+        if let Some(s) = size {
+            sb.set_root_size(s).map_err(|_| FsError::NoSpace)?;
+        }
+        if let Some(t) = mtime {
+            sb.set_root_mtime(t).map_err(|_| FsError::NoSpace)?;
+        }
+        Ok(())
+    }
+
+    /// chmod/chown (paper §4.3/I4): updates the shadow inode table and
+    /// refreshes the cached copy in the dirent.
+    pub fn setattr(&self, actor: ActorId, ino: Ino, attr: SetAttr) -> FsResult<()> {
+        self.trap();
+        let (dirent, new_mode, name_len, ftype_raw) = {
+            let mut reg = self.registry.lock();
+            let cred = *reg.actors.get(&actor).ok_or(FsError::PermissionDenied)?;
+            let meta = reg.files.get_mut(&ino).ok_or(FsError::NotFound)?;
+            // Only the owner (or uid 0) may change attributes.
+            if cred.uid != 0 && cred.uid != meta.shadow.uid {
+                return Err(FsError::PermissionDenied);
+            }
+            if let Some(m) = attr.mode {
+                if !m.is_valid() {
+                    return Err(FsError::InvalidArgument);
+                }
+                meta.shadow.mode = m;
+            }
+            if let Some(u) = attr.uid {
+                if cred.uid != 0 {
+                    return Err(FsError::PermissionDenied);
+                }
+                meta.shadow.uid = u;
+            }
+            if let Some(g) = attr.gid {
+                meta.shadow.gid = g;
+            }
+            (meta.dirent, meta.shadow.mode, 0u8, 0u8)
+        };
+        let _ = (name_len, ftype_raw);
+        // Refresh the cached attr word in the dirent (kernel write).
+        if let Some(loc) = dirent {
+            let dref = DirentRef::new(&self.kh, loc);
+            if let Ok(d) = dref.load() {
+                dref.set_attr(new_mode, d.ftype_raw, d.name.len() as u8)
+                    .map_err(|_| FsError::NoSpace)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ground-truth mode for permission checks (LibFS-visible stat uses the
+    /// cached dirent copy; enforcement uses this).
+    pub fn shadow_mode(&self, ino: Ino) -> Option<(Mode, u32, u32)> {
+        let reg = self.registry.lock();
+        reg.files.get(&ino).map(|f| (f.shadow.mode, f.shadow.uid, f.shadow.gid))
+    }
+
+    // -----------------------------------------------------------------
+    // Test/diagnostic hooks.
+    // -----------------------------------------------------------------
+
+    /// Drains the kernel event log (corruption detections, rollbacks,
+    /// lease revocations).
+    pub fn take_events(&self) -> Vec<KernelEvent> {
+        std::mem::take(&mut self.registry.lock().events)
+    }
+
+    /// Drains the cumulative phase timings (Figure 8 instrumentation).
+    pub fn take_phase_stats(&self) -> PhaseStats {
+        std::mem::take(&mut *self.phases.lock())
+    }
+
+    /// Accumulates virtual time into a phase counter (crate-internal).
+    pub(crate) fn charge_phase(&self, f: impl FnOnce(&mut PhaseStats, Nanos), ns: Nanos) {
+        if ns > 0 {
+            f(&mut self.phases.lock(), ns);
+        }
+    }
+
+    /// Free pages remaining (all pools).
+    pub fn free_page_count(&self) -> usize {
+        self.pools.iter().map(|p| p.lock().len()).sum()
+    }
+
+    /// Whether `ino` currently has a write mapping.
+    pub fn writer_of(&self, ino: Ino) -> Option<ActorId> {
+        self.registry.lock().files.get(&ino).and_then(|f| f.writer)
+    }
+
+    /// Pages the kernel believes belong to file `ino` (post-verification).
+    pub fn pages_of(&self, ino: Ino) -> HashSet<u64> {
+        let reg = self.registry.lock();
+        reg.page_prov
+            .iter()
+            .filter_map(|(p, st)| match st {
+                PageProvenance::InFile(f) if *f == ino => Some(*p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Dirent location helper for tests.
+    pub fn dirent_of(&self, ino: Ino) -> Option<DirentLoc> {
+        self.registry.lock().files.get(&ino).and_then(|f| f.dirent)
+    }
+}

@@ -1,0 +1,886 @@
+//! Mapping, leases, verification-on-sharing, checkpoints, and rollback —
+//! the heart of the Trio protocol (paper §3.2 Figure 2, §4.3).
+//!
+//! Protocol summary as implemented:
+//!
+//! * `map` grants an actor access to one file's core state: its index and
+//!   data pages, plus (for writers) the parent-directory page holding its
+//!   co-located dirent. Write grants are exclusive and lease-bounded;
+//!   concurrent read grants share.
+//! * When a write grant ends (voluntary `release` or lease revocation) the
+//!   file — and its parent directory, whose dirent page was writable — is
+//!   marked *dirty by* that actor.
+//! * The next `map` by a *different* actor triggers the integrity verifier
+//!   on the dirty file. On a pass, the kernel claims the file's pages in
+//!   its provenance books; on a failure it rolls the file's metadata back
+//!   to the checkpoint taken when the dirty actor got its write grant,
+//!   reconciling size mismatches by trimming (clearing slots whose pages
+//!   are gone) — paper §4.3's trim/pad policy.
+//! * Checkpointed pages are pinned: freeing them is deferred until the
+//!   checkpoint is replaced, so rollback images always restore safely.
+
+use std::collections::HashSet;
+
+use trio_fsapi::{FsError, FsResult};
+use trio_layout::{
+    walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, FilePages, IndexPageRef, Ino,
+    SuperblockRef, DIRENTS_PER_PAGE, DIRENT_SIZE, ROOT_INO,
+};
+use trio_nvm::{ActorId, PageId, PagePerm, PAGE_SIZE};
+use trio_sim::{cost, in_sim, now, work, Nanos};
+use trio_verifier::{InoProvenance, PageProvenance, ShadowAttr, VerifyRequest};
+
+use crate::registry::{Checkpoint, FileMeta, KernelEvent, Registry};
+use crate::KernelController;
+
+/// What a successful `map` returns to the LibFS.
+#[derive(Clone, Debug)]
+pub struct MapGrant {
+    /// The file's inode number.
+    pub ino: Ino,
+    /// Its type.
+    pub ftype: CoreFileType,
+    /// Whether this is a write grant.
+    pub write: bool,
+    /// The file's pages (the LibFS rebuilds auxiliary state from these).
+    pub pages: FilePages,
+    /// Virtual-time lease deadline (write grants).
+    pub lease_until: Nanos,
+    /// The file's dirent location (`None` for root).
+    pub dirent: Option<DirentLoc>,
+    /// Cached size at grant time.
+    pub size: u64,
+}
+
+/// What to map.
+#[derive(Clone, Copy, Debug)]
+pub enum MapTarget {
+    /// The root directory.
+    Root,
+    /// A file via its dirent slot inside `parent`.
+    Dirent {
+        /// Parent directory ino.
+        parent: Ino,
+        /// The slot.
+        loc: DirentLoc,
+    },
+}
+
+impl KernelController {
+    /// Maps a file into `actor`'s address space (Figure 2 steps 1–2 and
+    /// 6–9). Blocks (in virtual time) while another actor holds an
+    /// unexpired write lease.
+    pub fn map(&self, actor: ActorId, target: MapTarget, write: bool) -> FsResult<MapGrant> {
+        self.trap();
+        if in_sim() {
+            work(cost::MAP_CALL_BASE_NS);
+        }
+        loop {
+            let mut reg = self.registry.lock();
+            // ---- Identify the file from its committed core state. ----
+            let (ino, ftype, _first_index0, dirent, parent, size) = match target {
+                MapTarget::Root => {
+                    let sb = SuperblockRef::new(self.kernel_handle());
+                    let fi = sb.root_first_index().map_err(|_| FsError::NotFound)?;
+                    let sz = sb.root_size().unwrap_or(0);
+                    (ROOT_INO, CoreFileType::Directory, fi, None, ROOT_INO, sz)
+                }
+                MapTarget::Dirent { parent, loc } => {
+                    let d =
+                        DirentRef::new(self.kernel_handle(), loc).load().map_err(|_| FsError::NotFound)?;
+                    if d.ino == 0 {
+                        return Err(FsError::NotFound);
+                    }
+                    let ft = d.ftype().ok_or(FsError::Corrupted)?;
+                    (d.ino, ft, d.first_index, Some(loc), parent, d.size)
+                }
+            };
+
+            self.adopt_file(&mut reg, ino, ftype, dirent, parent)?;
+
+            // ---- Permission check against the shadow inode table. ----
+            let cred = *reg.actors.get(&actor).ok_or(FsError::PermissionDenied)?;
+            {
+                let meta = reg.files.get(&ino).expect("adopted above");
+                let m = meta.shadow.mode.0;
+                let (r_ok, w_ok) = if cred.uid == 0 {
+                    (true, true)
+                } else if cred.uid == meta.shadow.uid {
+                    (m & 0o400 != 0, m & 0o200 != 0)
+                } else if cred.gid == meta.shadow.gid {
+                    (m & 0o040 != 0, m & 0o020 != 0)
+                } else {
+                    (m & 0o004 != 0, m & 0o002 != 0)
+                };
+                if (write && !w_ok) || (!write && !r_ok) {
+                    return Err(FsError::PermissionDenied);
+                }
+            }
+
+            // ---- Sharing policy: concurrent reads XOR exclusive write. ----
+            let meta = reg.files.get_mut(&ino).expect("adopted");
+            if let Some(w) = meta.writer {
+                if w != actor {
+                    let lease = meta.lease_until;
+                    let t = now();
+                    if t < lease {
+                        drop(reg);
+                        work(lease - t); // Wait out the lease, then retry.
+                        continue;
+                    }
+                    self.revoke_writer_locked(&mut reg, ino);
+                }
+            }
+            if write {
+                let meta = reg.files.get_mut(&ino).expect("adopted");
+                let others: Vec<ActorId> =
+                    meta.readers.iter().copied().filter(|r| *r != actor).collect();
+                for r in others {
+                    let pages = meta.mapped_pages.remove(&r).unwrap_or_default();
+                    meta.readers.remove(&r);
+                    for p in &pages {
+                        let _ = self.device().mmu_unmap(r, *p);
+                    }
+                    if in_sim() {
+                        work(pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+                    }
+                }
+            }
+
+            // ---- Verify-on-sharing (Figure 2 steps 6–8). ----
+            let dirty = reg.files.get(&ino).and_then(|m| m.dirty_by);
+            if let Some(da) = dirty {
+                if da != actor {
+                    self.verify_file_locked(&mut reg, ino);
+                }
+            }
+            // The parent's dirent page was writable under the last writer of
+            // this file; if the parent is dirty by someone else, vet it too.
+            if parent != ino {
+                let pd = reg.files.get(&parent).and_then(|m| m.dirty_by);
+                if let Some(da) = pd {
+                    if da != actor {
+                        self.verify_file_locked(&mut reg, parent);
+                    }
+                }
+            }
+
+            // ---- Fresh defensive walk (post-rollback state if any). ----
+            let first_index = match target {
+                MapTarget::Root => SuperblockRef::new(self.kernel_handle())
+                    .root_first_index()
+                    .map_err(|_| FsError::NotFound)?,
+                MapTarget::Dirent { loc, .. } => {
+                    DirentRef::new(self.kernel_handle(), loc).first_index().map_err(|_| FsError::NotFound)?
+                }
+            };
+            let _ = first_index;
+            let pages = match walk_file(self.kernel_handle(), first_index, self.config().max_index_pages)
+            {
+                Ok(p) => p,
+                Err(_) => return Err(FsError::Corrupted),
+            };
+
+            // ---- Checkpoint before granting write (§4.3). ----
+            if write {
+                self.take_checkpoint_locked(&mut reg, ino, &pages, dirent);
+            }
+
+            // ---- Program the MMU. ----
+            let mut grant_pages: Vec<PageId> = pages.all_pages().collect();
+            if write {
+                if let Some(loc) = dirent {
+                    grant_pages.push(loc.page);
+                }
+            }
+            let perm = if write { PagePerm::Write } else { PagePerm::Read };
+            for p in &grant_pages {
+                self.device().mmu_map(actor, *p, perm).map_err(|_| FsError::Corrupted)?;
+            }
+            if in_sim() {
+                let ns = grant_pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS;
+                work(ns);
+                self.charge_phase(|p, n| p.map_ns += n, ns);
+            }
+
+            // Re-read the size: verification/rollback may have corrected a
+            // lied field since the identification step.
+            let size = match target {
+                MapTarget::Root => SuperblockRef::new(self.kernel_handle()).root_size().unwrap_or(0),
+                MapTarget::Dirent { loc, .. } => {
+                    DirentRef::new(self.kernel_handle(), loc).size().unwrap_or(size)
+                }
+            };
+            let lease_until = if write { now_or_zero() + self.config().lease_ns } else { 0 };
+            let meta = reg.files.get_mut(&ino).expect("adopted");
+            meta.mapped_pages.insert(actor, grant_pages);
+            if write {
+                meta.writer = Some(actor);
+                meta.lease_until = lease_until;
+            } else {
+                meta.readers.insert(actor);
+            }
+            meta.verified_pages = pages.clone();
+
+            return Ok(MapGrant { ino, ftype, write, pages, lease_until, dirent, size });
+        }
+    }
+
+    /// Releases `actor`'s mapping of `ino` (Figure 2 step 5). A writer's
+    /// release marks the file (and its parent) dirty pending verification.
+    pub fn release(&self, actor: ActorId, ino: Ino) -> FsResult<()> {
+        self.trap();
+        let mut reg = self.registry.lock();
+        let Some(meta) = reg.files.get_mut(&ino) else {
+            return Err(FsError::NotFound);
+        };
+        let was_writer = meta.writer == Some(actor);
+        let granted = meta.mapped_pages.remove(&actor).unwrap_or_default();
+        meta.readers.remove(&actor);
+        let mut to_unmap: HashSet<PageId> = granted.into_iter().collect();
+        let parent = meta.parent;
+        let dirent = meta.dirent;
+        if was_writer {
+            meta.writer = None;
+            meta.dirty_by = Some(actor);
+            // Pages the writer linked in from its pool are mapped via the
+            // pool grant; revoke those too by walking the current chain.
+            let first_index = self.current_first_index(ino, dirent);
+            if let Ok(fi) = first_index {
+                if let Ok(pages) = walk_file(self.kernel_handle(), fi, self.config().max_index_pages) {
+                    to_unmap.extend(pages.all_pages());
+                }
+            }
+            if parent != ino {
+                if let Some(pmeta) = reg.files.get_mut(&parent) {
+                    pmeta.dirty_by = Some(actor);
+                }
+            }
+        }
+        for p in &to_unmap {
+            let _ = self.device().mmu_unmap(actor, *p);
+        }
+        if in_sim() {
+            let ns = to_unmap.len() as u64 * cost::MMU_PROGRAM_PAGE_NS;
+            work(ns);
+            self.charge_phase(|p, n| p.unmap_ns += n, ns);
+        }
+        Ok(())
+    }
+
+    /// `commit` (paper §4.3): verifies the caller's current state and, on a
+    /// pass, replaces the checkpoint so a later rollback keeps these
+    /// changes. The caller must hold the write grant.
+    pub fn commit(&self, actor: ActorId, ino: Ino) -> FsResult<()> {
+        self.trap();
+        let mut reg = self.registry.lock();
+        let Some(meta) = reg.files.get_mut(&ino) else {
+            return Err(FsError::NotFound);
+        };
+        if meta.writer != Some(actor) {
+            return Err(FsError::PermissionDenied);
+        }
+        let dirent = meta.dirent;
+        meta.dirty_by = Some(actor);
+        let passed = self.verify_file_locked(&mut reg, ino);
+        if !passed {
+            return Err(FsError::Corrupted);
+        }
+        // Re-checkpoint at the newly verified state and restore the
+        // writer's mappings (verification cleared them).
+        let fi = self.current_first_index(ino, dirent).map_err(|_| FsError::Corrupted)?;
+        let pages = walk_file(self.kernel_handle(), fi, self.config().max_index_pages)
+            .map_err(|_| FsError::Corrupted)?;
+        self.take_checkpoint_locked(&mut reg, ino, &pages, dirent);
+        let mut grant_pages: Vec<PageId> = pages.all_pages().collect();
+        if let Some(loc) = dirent {
+            grant_pages.push(loc.page);
+        }
+        for p in &grant_pages {
+            let _ = self.device().mmu_map(actor, *p, PagePerm::Write);
+        }
+        if in_sim() {
+            work(grant_pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+        }
+        let meta = reg.files.get_mut(&ino).expect("checked");
+        meta.mapped_pages.insert(actor, grant_pages);
+        meta.verified_pages = pages;
+        meta.dirty_by = None;
+        Ok(())
+    }
+
+    /// Returns pages a writer removed from its file (truncate, overwrite
+    /// shrink) to the free pool. Unlike [`KernelController::free_pages`]
+    /// this accepts pages whose provenance is `InFile(ino)`, provided the
+    /// caller holds `ino`'s write grant.
+    pub fn return_file_pages(
+        &self,
+        actor: ActorId,
+        ino: Ino,
+        pages: &[PageId],
+    ) -> FsResult<()> {
+        self.trap();
+        {
+            let reg = self.registry.lock();
+            // Pages still in the caller's pool need no write grant; pages
+            // the kernel has claimed for the file do (a by-construction
+            // writer — a file never kernel-mapped — only ever holds
+            // pool-provenance pages).
+            let writer_ok = reg.files.get(&ino).and_then(|m| m.writer) == Some(actor);
+            for p in pages {
+                match reg.page_prov.get(&p.0) {
+                    Some(PageProvenance::AllocatedTo(a)) if *a == actor => {}
+                    Some(PageProvenance::InFile(f)) if *f == ino && writer_ok => {}
+                    _ => return Err(FsError::PermissionDenied),
+                }
+            }
+        }
+        self.release_pages_internal(pages);
+        Ok(())
+    }
+
+    /// Batched unlink reclamation: one trap amortized over many deleted
+    /// files (the LibFS queues unlinks and flushes periodically). Items are
+    /// `(parent, ino, first_index)`. Reclaimed pages are *recycled into the
+    /// caller's pool* (provenance `AllocatedTo`, mapping preserved) rather
+    /// than freed, so delete/create churn costs no page-table traffic —
+    /// the LibFS owned write access to every one of them already.
+    pub fn reclaim_batch(&self, actor: ActorId, items: &[(Ino, Ino, u64)]) -> FsResult<Vec<PageId>> {
+        self.trap();
+        let mut recycled = Vec::new();
+        for (parent, ino, first_index) in items {
+            recycled.extend(self.reclaim_file_inner(actor, *parent, *ino, *first_index)?);
+        }
+        Ok(recycled)
+    }
+
+    /// Reclaims a deleted file's resources after the LibFS cleared its
+    /// dirent (unlink/rmdir path). Requires the caller to hold the parent
+    /// directory's write grant. `first_index` is the chain head the LibFS
+    /// read before clearing the dirent.
+    pub fn reclaim_file(
+        &self,
+        actor: ActorId,
+        parent: Ino,
+        ino: Ino,
+        first_index: u64,
+    ) -> FsResult<Vec<PageId>> {
+        self.trap();
+        self.reclaim_file_inner(actor, parent, ino, first_index)
+    }
+
+    fn reclaim_file_inner(
+        &self,
+        actor: ActorId,
+        parent: Ino,
+        ino: Ino,
+        first_index: u64,
+    ) -> FsResult<Vec<PageId>> {
+        let mut reg = self.registry.lock();
+        // Authorization tiers: a kernel-tracked writer of the parent may
+        // reclaim anything under it. A LibFS working in a by-construction
+        // subtree (parent unknown to the kernel, or known but unmapped) may
+        // reclaim only its own unvetted resources — which is all such a
+        // subtree can contain — plus files whose dirent is verifiably dead
+        // on media.
+        let pwriter = reg.files.get(&parent).and_then(|m| m.writer);
+        if let Some(w) = pwriter {
+            if w != actor {
+                return Err(FsError::PermissionDenied);
+            }
+        }
+        let full_auth = pwriter == Some(actor);
+        let ino_ok = match reg.ino_prov.get(&ino).copied() {
+            None => true,
+            Some(InoProvenance::Unknown) => true,
+            Some(InoProvenance::AllocatedTo(a)) => a == actor || full_auth,
+            Some(InoProvenance::InUse(loc)) => {
+                // The LibFS claims it deleted this file: the dirent must
+                // really be dead.
+                full_auth
+                    || DirentRef::new(self.kernel_handle(), loc)
+                        .ino()
+                        .map(|i| i != ino)
+                        .unwrap_or(true)
+            }
+        };
+        if !ino_ok {
+            return Err(FsError::PermissionDenied);
+        }
+        // Force-unmap anyone still holding the dead file.
+        if let Some(meta) = reg.files.remove(&ino) {
+            for (a, pages) in &meta.mapped_pages {
+                for p in pages {
+                    let _ = self.device().mmu_unmap(*a, *p);
+                }
+            }
+            if let Some(ck) = &meta.checkpoint {
+                let pages: Vec<PageId> = ck.images.iter().map(|(p, _)| *p).collect();
+                drop(reg);
+                self.unpin_pages(pages.into_iter());
+                reg = self.registry.lock();
+            }
+        }
+        reg.ino_prov.remove(&ino);
+        // Free the chain's pages, but never pages the books say belong to a
+        // *different* file (a malicious LibFS could pass a foreign chain),
+        // and — without full authorization — only the caller's own pool
+        // pages or pages of the verified-dead file.
+        let mut freeable: Vec<PageId> = Vec::new();
+        if let Ok(pages) = walk_file(self.kernel_handle(), first_index, self.config().max_index_pages) {
+            for p in pages.all_pages() {
+                match reg.page_prov.get(&p.0) {
+                    Some(PageProvenance::InFile(f)) if *f == ino => freeable.push(p),
+                    Some(PageProvenance::AllocatedTo(a)) if *a == actor || full_auth => {
+                        freeable.push(p)
+                    }
+                    None | Some(_) => {}
+                }
+            }
+        }
+        // Recycle into the caller's pool: flip provenance, keep (or grant)
+        // the caller's write mapping, scrub contents so stale dirents or
+        // data cannot leak through the reuse.
+        let pins = self.pins.lock();
+        let (recyclable, pinned): (Vec<PageId>, Vec<PageId>) =
+            freeable.into_iter().partition(|p| !pins.pinned.contains_key(&p.0));
+        drop(pins);
+        for p in &recyclable {
+            reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
+        }
+        drop(reg);
+        let mut mmu_work = 0u64;
+        for p in &recyclable {
+            let _ = self.device().reset_page(*p);
+            let _ = self.device().mmu_map(actor, *p, PagePerm::Write);
+            mmu_work += cost::MMU_PROGRAM_PAGE_NS;
+        }
+        if in_sim() {
+            // Page scrubbing is cheap relative to the PTE updates the
+            // reset+remap imply; charge the mapping cost once per page.
+            work(mmu_work / 4);
+        }
+        if !pinned.is_empty() {
+            // Checkpoint-pinned pages cannot be recycled; defer-free them.
+            self.release_pages_internal(&pinned);
+        }
+        Ok(recyclable)
+    }
+
+    // =================================================================
+    // Internals.
+    // =================================================================
+
+    fn current_first_index(&self, ino: Ino, dirent: Option<DirentLoc>) -> Result<u64, FsError> {
+        match dirent {
+            Some(loc) => {
+                DirentRef::new(self.kernel_handle(), loc).first_index().map_err(|_| FsError::NotFound)
+            }
+            None => {
+                debug_assert_eq!(ino, ROOT_INO);
+                SuperblockRef::new(self.kernel_handle())
+                    .root_first_index()
+                    .map_err(|_| FsError::NotFound)
+            }
+        }
+    }
+
+    /// Creates the kernel's `FileMeta` for `ino` on first contact,
+    /// adopting shadow attributes (I4) and validating inode provenance
+    /// (I2: fabricated or double-referenced inos are rejected here).
+    fn adopt_file(
+        &self,
+        reg: &mut Registry,
+        ino: Ino,
+        ftype: CoreFileType,
+        dirent: Option<DirentLoc>,
+        parent: Ino,
+    ) -> FsResult<()> {
+        if let Some(meta) = reg.files.get_mut(&ino) {
+            // Known file; handle a moved dirent (rename relocates slots).
+            if meta.dirent != dirent {
+                if let (Some(old), Some(new)) = (meta.dirent, dirent) {
+                    let stale =
+                        DirentRef::new(self.kernel_handle(), old).ino().map(|i| i != ino).unwrap_or(true);
+                    if !stale {
+                        return Err(FsError::Corrupted); // Live at two slots.
+                    }
+                    meta.dirent = Some(new);
+                    reg.ino_prov.insert(ino, InoProvenance::InUse(new));
+                }
+            }
+            return Ok(());
+        }
+        let dirty_by;
+        let shadow = match reg.ino_prov.get(&ino).copied() {
+            None | Some(InoProvenance::Unknown) => return Err(FsError::Corrupted),
+            Some(InoProvenance::AllocatedTo(creator)) => {
+                // The creator's direct-access writes are unvetted until the
+                // first cross-actor verification.
+                dirty_by = Some(creator);
+                // First contact after a direct-access create: adopt the
+                // creator's credentials as ground truth and the mode the
+                // creator wrote into the dirent.
+                let cred = reg.actors.get(&creator).copied().unwrap_or(crate::registry::Credentials {
+                    uid: u32::MAX,
+                    gid: u32::MAX,
+                });
+                let mode = match dirent {
+                    Some(loc) => DirentRef::new(self.kernel_handle(), loc)
+                        .load()
+                        .map(|d| d.mode)
+                        .unwrap_or(trio_fsapi::Mode::RW),
+                    None => trio_fsapi::Mode(0o777),
+                };
+                ShadowAttr { mode, uid: cred.uid, gid: cred.gid }
+            }
+            Some(InoProvenance::InUse(known)) => {
+                // Observed during a parent's verification (or a kernel
+                // restart); if its creator's writes are still unvetted,
+                // carry the dirtiness over so the first cross-actor map
+                // verifies the child itself.
+                dirty_by = reg.pending_dirty.remove(&ino);
+                let loc = dirent.unwrap_or(known);
+                let d = DirentRef::new(self.kernel_handle(), loc).load().map_err(|_| FsError::NotFound)?;
+                match (dirty_by, reg.actors.get(&dirty_by.unwrap_or(trio_nvm::KERNEL_ACTOR)).copied()) {
+                    (Some(_), Some(cred)) => ShadowAttr { mode: d.mode, uid: cred.uid, gid: cred.gid },
+                    _ => ShadowAttr { mode: d.mode, uid: d.uid, gid: d.gid },
+                }
+            }
+        };
+        if let Some(loc) = dirent {
+            reg.ino_prov.insert(ino, InoProvenance::InUse(loc));
+        }
+        let mut meta = FileMeta::new(ino, ftype, dirent, parent, shadow);
+        meta.dirty_by = dirty_by;
+        reg.files.insert(ino, meta);
+        Ok(())
+    }
+
+    fn revoke_writer_locked(&self, reg: &mut Registry, ino: Ino) {
+        let Some(meta) = reg.files.get_mut(&ino) else {
+            return;
+        };
+        let Some(w) = meta.writer else {
+            return;
+        };
+        let granted = meta.mapped_pages.remove(&w).unwrap_or_default();
+        meta.writer = None;
+        meta.dirty_by = Some(w);
+        let dirent = meta.dirent;
+        let parent = meta.parent;
+        let mut to_unmap: HashSet<PageId> = granted.into_iter().collect();
+        if let Ok(fi) = self.current_first_index(ino, dirent) {
+            if let Ok(pages) = walk_file(self.kernel_handle(), fi, self.config().max_index_pages) {
+                to_unmap.extend(pages.all_pages());
+            }
+        }
+        for p in &to_unmap {
+            let _ = self.device().mmu_unmap(w, *p);
+        }
+        if in_sim() {
+            let ns = to_unmap.len() as u64 * cost::MMU_PROGRAM_PAGE_NS;
+            work(ns);
+            self.charge_phase(|p, n| p.unmap_ns += n, ns);
+        }
+        if parent != ino {
+            if let Some(pmeta) = reg.files.get_mut(&parent) {
+                pmeta.dirty_by = Some(w);
+            }
+        }
+        reg.events.push(KernelEvent::LeaseRevoked { ino, actor: w });
+    }
+
+    /// Runs the integrity verifier on `ino` (which must be dirty). On a
+    /// pass: claims pages, registers children, clears dirtiness. On a
+    /// failure: logs, rolls back to the checkpoint, clears dirtiness.
+    /// Returns whether the original state passed.
+    pub(crate) fn verify_file_locked(&self, reg: &mut Registry, ino: Ino) -> bool {
+        let t0 = now_or_zero();
+        let r = self.verify_file_locked_inner(reg, ino);
+        let dt = now_or_zero().saturating_sub(t0);
+        self.charge_phase(|p, ns| p.verify_ns += ns, dt);
+        r
+    }
+
+    fn verify_file_locked_inner(&self, reg: &mut Registry, ino: Ino) -> bool {
+        let Some(meta) = reg.files.get(&ino) else {
+            return true;
+        };
+        let Some(dirty_actor) = meta.dirty_by else {
+            return true;
+        };
+        let ftype = meta.ftype;
+        let dirent = meta.dirent;
+        let first_index = match self.current_first_index(ino, dirent) {
+            Ok(fi) => fi,
+            Err(_) => 0,
+        };
+        let ck_children = meta.checkpoint.as_ref().map(|c| c.children.clone());
+        let req = VerifyRequest {
+            ino,
+            ftype,
+            dirent,
+            first_index,
+            dirty_actor,
+            checkpoint_children: ck_children.as_ref(),
+            max_index_pages: self.config().max_index_pages,
+        };
+        let report = self.verifier().verify(&req, reg);
+        if report.ok() {
+            reg.claim_pages_for_file(ino, &report.pages);
+            for child in &report.children {
+                let prov = reg.ino_prov.get(&child.ino).copied();
+                match prov {
+                    Some(InoProvenance::AllocatedTo(creator)) => {
+                        reg.ino_prov.insert(child.ino, InoProvenance::InUse(child.loc));
+                        // The child's own core state is still unvetted.
+                        reg.pending_dirty.insert(child.ino, creator);
+                    }
+                    None => {
+                        reg.ino_prov.insert(child.ino, InoProvenance::InUse(child.loc));
+                    }
+                    Some(InoProvenance::InUse(old)) if old != child.loc => {
+                        reg.ino_prov.insert(child.ino, InoProvenance::InUse(child.loc));
+                        if let Some(cm) = reg.files.get_mut(&child.ino) {
+                            cm.dirent = Some(child.loc);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // The dirty actor loses any residual mappings of pages that are
+            // now part of the verified file.
+            for p in report.pages.all_pages() {
+                let _ = self.device().mmu_unmap(dirty_actor, p);
+            }
+            let meta = reg.files.get_mut(&ino).expect("exists");
+            meta.dirty_by = None;
+            meta.verified_pages = report.pages;
+            true
+        } else {
+            reg.events.push(KernelEvent::CorruptionDetected {
+                ino,
+                violations: report.violations.len(),
+            });
+            self.rollback_locked(reg, ino);
+            reg.events.push(KernelEvent::RolledBack { ino });
+            false
+        }
+    }
+
+    /// Restores `ino` to its checkpoint (paper §4.3 "Fixing metadata
+    /// corruption"), reconciling vanished pages by trimming.
+    fn rollback_locked(&self, reg: &mut Registry, ino: Ino) {
+        let Some(meta) = reg.files.get_mut(&ino) else {
+            return;
+        };
+        let dirty_actor = meta.dirty_by.take();
+        let dirent = meta.dirent;
+        let ftype = meta.ftype;
+        let Some(ck) = meta.checkpoint.clone() else {
+            // Never checkpointed: the file was created raw by the dirty
+            // actor and is corrupt — delete it outright (its pages stay
+            // with the creator's pool).
+            if let Some(loc) = dirent {
+                let _ = DirentRef::new(self.kernel_handle(), loc).clear();
+            }
+            let parent = meta.parent;
+            reg.files.remove(&ino);
+            reg.ino_prov.remove(&ino);
+            let _ = parent;
+            return;
+        };
+        // 1. Restore page images.
+        for (p, img) in &ck.images {
+            let _ = self.device().restore_page(*p, img);
+        }
+        if in_sim() {
+            work(ck.images.len() as u64 * cost::CHECKPOINT_PAGE_NS);
+        }
+        // 2. Restore the dirent slot / root fields.
+        if let (Some(loc), Some(img)) = (dirent, ck.dirent_image) {
+            let h = self.kernel_handle();
+            let _ = h.write_untimed(loc.page, loc.byte_off(), &img);
+            h.flush(loc.page, loc.byte_off(), DIRENT_SIZE);
+            h.fence();
+        }
+        if let Some((fi, size)) = ck.root_fields {
+            let sb = SuperblockRef::new(self.kernel_handle());
+            let _ = sb.set_root_first_index(fi);
+            let _ = sb.set_root_size(size);
+        }
+        // 3. Reconcile: clear slots whose pages no longer belong here.
+        let fi = self.current_first_index(ino, dirent).unwrap_or(0);
+        self.trim_foreign_slots(reg, ino, fi, dirty_actor);
+        // 4. For directories, reconcile each surviving child's chain too.
+        if ftype == CoreFileType::Directory {
+            if let Ok(pages) = walk_file(self.kernel_handle(), fi, self.config().max_index_pages) {
+                let mut children = Vec::new();
+                for dp in pages.data_pages.iter().flatten() {
+                    for slot in 0..DIRENTS_PER_PAGE {
+                        let loc = DirentLoc { page: *dp, slot };
+                        let r = DirentRef::new(self.kernel_handle(), loc);
+                        if let Ok(d) = r.load() {
+                            if d.ino != 0 {
+                                children.push((d.ino, d.first_index, loc));
+                            }
+                        }
+                    }
+                }
+                for (cino, cfi, cloc) in children {
+                    if self.chain_is_broken(cfi) {
+                        // Trim the child to empty rather than leave a
+                        // dangling chain.
+                        let _ = DirentRef::new(self.kernel_handle(), cloc).set_first_index(0);
+                        let _ = DirentRef::new(self.kernel_handle(), cloc).set_size(0);
+                    } else {
+                        self.trim_foreign_slots(reg, cino, cfi, dirty_actor);
+                    }
+                }
+            }
+        }
+        // 5. Re-claim the restored pages and strip the dirty actor's
+        //    residual access.
+        if let Ok(pages) = walk_file(self.kernel_handle(), fi, self.config().max_index_pages) {
+            reg.claim_pages_for_file(ino, &pages);
+            if let Some(da) = dirty_actor {
+                for p in pages.all_pages() {
+                    let _ = self.device().mmu_unmap(da, p);
+                }
+            }
+            let meta = reg.files.get_mut(&ino).expect("exists");
+            meta.verified_pages = pages;
+        }
+    }
+
+    fn chain_is_broken(&self, first_index: u64) -> bool {
+        walk_file(self.kernel_handle(), first_index, self.config().max_index_pages).is_err()
+    }
+
+    /// Clears index slots pointing at pages that neither belong to `ino`
+    /// nor are allocated to `dirty_actor` (trim/pad, §4.3).
+    fn trim_foreign_slots(
+        &self,
+        reg: &Registry,
+        ino: Ino,
+        first_index: u64,
+        dirty_actor: Option<ActorId>,
+    ) {
+        let Ok(pages) = walk_file(self.kernel_handle(), first_index, self.config().max_index_pages)
+        else {
+            return;
+        };
+        for ipage in &pages.index_pages {
+            let ipr = IndexPageRef::new(self.kernel_handle(), *ipage);
+            let Ok((entries, _)) = ipr.load_all() else {
+                continue;
+            };
+            for (i, &e) in entries.iter().enumerate() {
+                if e == 0 {
+                    continue;
+                }
+                let ok = match reg.page_prov.get(&e) {
+                    Some(PageProvenance::InFile(f)) if *f == ino => true,
+                    Some(PageProvenance::AllocatedTo(a)) => Some(*a) == dirty_actor,
+                    _ => false,
+                };
+                if !ok {
+                    let _ = ipr.set_entry(i, 0);
+                }
+            }
+        }
+    }
+
+    /// Snapshots the file's metadata pages (index pages; for directories
+    /// also data pages), its dirent image, and — for directories — the set
+    /// of live children (I3 baseline). Pins the snapshotted pages.
+    fn take_checkpoint_locked(
+        &self,
+        reg: &mut Registry,
+        ino: Ino,
+        pages: &FilePages,
+        dirent: Option<DirentLoc>,
+    ) {
+        let t0 = now_or_zero();
+        self.take_checkpoint_locked_inner(reg, ino, pages, dirent);
+        let dt = now_or_zero().saturating_sub(t0);
+        self.charge_phase(|p, ns| p.checkpoint_ns += ns, dt);
+    }
+
+    fn take_checkpoint_locked_inner(
+        &self,
+        reg: &mut Registry,
+        ino: Ino,
+        pages: &FilePages,
+        dirent: Option<DirentLoc>,
+    ) {
+        let ftype = reg.files.get(&ino).map(|m| m.ftype).unwrap_or(CoreFileType::Regular);
+        let meta_pages: Vec<PageId> = match ftype {
+            CoreFileType::Regular => pages.index_pages.clone(),
+            CoreFileType::Directory => pages.all_pages().collect(),
+        };
+        let mut images = Vec::with_capacity(meta_pages.len());
+        for p in &meta_pages {
+            if let Ok(img) = self.device().snapshot_page(*p) {
+                images.push((*p, img));
+            }
+        }
+        if in_sim() {
+            work(images.len() as u64 * cost::CHECKPOINT_PAGE_NS);
+        }
+        let dirent_image = dirent.and_then(|loc| {
+            let mut b = [0u8; DIRENT_SIZE];
+            self.kernel_handle().read_untimed(loc.page, loc.byte_off(), &mut b).ok().map(|_| b)
+        });
+        let root_fields = if dirent.is_none() {
+            let sb = SuperblockRef::new(self.kernel_handle());
+            Some((sb.root_first_index().unwrap_or(0), sb.root_size().unwrap_or(0)))
+        } else {
+            None
+        };
+        let mut children = HashSet::new();
+        if ftype == CoreFileType::Directory {
+            for dp in pages.data_pages.iter().flatten() {
+                let mut raw = vec![0u8; PAGE_SIZE];
+                if self.kernel_handle().read_untimed(*dp, 0, &mut raw).is_err() {
+                    continue;
+                }
+                for slot in 0..DIRENTS_PER_PAGE {
+                    let b: &[u8; DIRENT_SIZE] =
+                        raw[slot * DIRENT_SIZE..(slot + 1) * DIRENT_SIZE].try_into().expect("slot");
+                    let d = DirentData::decode_bytes(b);
+                    if d.ino != 0 {
+                        children.insert(d.ino);
+                    }
+                }
+            }
+        }
+        let size = match dirent {
+            Some(loc) => DirentRef::new(self.kernel_handle(), loc).size().unwrap_or(0),
+            None => SuperblockRef::new(self.kernel_handle()).root_size().unwrap_or(0),
+        };
+        let new_ck = Checkpoint { images, dirent_image, root_fields, children, size };
+        // Pin new, unpin old.
+        let new_pages: Vec<PageId> = new_ck.images.iter().map(|(p, _)| *p).collect();
+        let old_pages: Vec<PageId> = reg
+            .files
+            .get(&ino)
+            .and_then(|m| m.checkpoint.as_ref())
+            .map(|c| c.images.iter().map(|(p, _)| *p).collect())
+            .unwrap_or_default();
+        self.pin_pages(new_pages.into_iter());
+        if let Some(meta) = reg.files.get_mut(&ino) {
+            meta.checkpoint = Some(new_ck);
+        }
+        self.unpin_pages(old_pages.into_iter());
+    }
+}
+
+fn now_or_zero() -> Nanos {
+    if in_sim() {
+        now()
+    } else {
+        0
+    }
+}

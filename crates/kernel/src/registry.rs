@@ -1,0 +1,252 @@
+//! Kernel bookkeeping: file metadata, shadow inodes, provenance, leases.
+//!
+//! This module is the "global file system information" of paper §4.3/I2:
+//! which inodes and pages are allocated to which LibFS, which belong to
+//! existing files, who maps what, and the per-file checkpoints used for
+//! rollback. The integrity verifier reads it through the
+//! [`trio_verifier::ResourceView`] implementation.
+
+use std::collections::{HashMap, HashSet};
+
+use trio_layout::{CoreFileType, DirentLoc, FilePages, Ino, ROOT_INO};
+use trio_nvm::{ActorId, PageId};
+use trio_sim::Nanos;
+use trio_verifier::{InoProvenance, PageProvenance, ResourceView, ShadowAttr};
+
+/// Credentials of a registered LibFS (one per process or trust group).
+#[derive(Clone, Copy, Debug)]
+pub struct Credentials {
+    /// User id.
+    pub uid: u32,
+    /// Group id.
+    pub gid: u32,
+}
+
+/// A checkpoint of a file's metadata taken before granting write access
+/// (paper §4.3 "Fixing metadata corruption").
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Page images: index pages for regular files; index *and* data pages
+    /// for directories.
+    pub images: Vec<(PageId, Box<[u8]>)>,
+    /// Image of the file's 256-byte dirent slot (None for root).
+    pub dirent_image: Option<[u8; trio_layout::DIRENT_SIZE]>,
+    /// Root only: superblock fields at checkpoint time.
+    pub root_fields: Option<(u64, u64)>, // (first_index, size)
+    /// Directories: live child inos at checkpoint time (for I3).
+    pub children: HashSet<Ino>,
+    /// File size at checkpoint (for trim/pad reconciliation).
+    pub size: u64,
+}
+
+/// Per-file kernel metadata.
+#[derive(Debug)]
+pub struct FileMeta {
+    /// Inode number.
+    pub ino: Ino,
+    /// File type at adoption.
+    pub ftype: CoreFileType,
+    /// Dirent location (`None` for root).
+    pub dirent: Option<DirentLoc>,
+    /// Parent directory ino (root's parent is itself).
+    pub parent: Ino,
+    /// Ground-truth permissions (I4).
+    pub shadow: ShadowAttr,
+    /// Actors holding read mappings.
+    pub readers: HashSet<ActorId>,
+    /// Actor holding the write mapping, if any.
+    pub writer: Option<ActorId>,
+    /// Virtual deadline of the current write lease.
+    pub lease_until: Nanos,
+    /// Set when a writer released (or was revoked) and no verification has
+    /// happened since; holds the actor whose writes are unvetted.
+    pub dirty_by: Option<ActorId>,
+    /// Rollback target.
+    pub checkpoint: Option<Checkpoint>,
+    /// Pages the MMU currently exposes to each actor for this file
+    /// (includes the dirent page for writers).
+    pub mapped_pages: HashMap<ActorId, Vec<PageId>>,
+    /// Pages in the file as of the last verification/adoption.
+    pub verified_pages: FilePages,
+}
+
+impl FileMeta {
+    /// Creates metadata for a newly adopted file.
+    pub fn new(
+        ino: Ino,
+        ftype: CoreFileType,
+        dirent: Option<DirentLoc>,
+        parent: Ino,
+        shadow: ShadowAttr,
+    ) -> Self {
+        FileMeta {
+            ino,
+            ftype,
+            dirent,
+            parent,
+            shadow,
+            readers: HashSet::new(),
+            writer: None,
+            lease_until: 0,
+            dirty_by: None,
+            checkpoint: None,
+            mapped_pages: HashMap::new(),
+            verified_pages: FilePages::default(),
+        }
+    }
+
+    /// Whether anyone maps the file.
+    pub fn is_mapped(&self) -> bool {
+        self.writer.is_some() || !self.readers.is_empty()
+    }
+}
+
+/// Events the kernel records for tests and the attack-suite harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// The verifier rejected a file; `violations` summarises why.
+    CorruptionDetected {
+        /// The corrupted file.
+        ino: Ino,
+        /// Number of violations found.
+        violations: usize,
+    },
+    /// The file was rolled back to its checkpoint.
+    RolledBack {
+        /// The restored file.
+        ino: Ino,
+    },
+    /// A write lease was forcibly revoked.
+    LeaseRevoked {
+        /// The file whose lease expired.
+        ino: Ino,
+        /// The actor that lost access.
+        actor: ActorId,
+    },
+}
+
+/// The kernel's mutable state (held under one virtual-time mutex; kernel
+/// calls are rare in steady state because allocation is batched).
+pub struct Registry {
+    /// Registered LibFS credentials.
+    pub actors: HashMap<ActorId, Credentials>,
+    /// Per-file metadata, keyed by ino.
+    pub files: HashMap<Ino, FileMeta>,
+    /// Page provenance for every non-free page.
+    pub page_prov: HashMap<u64, PageProvenance>,
+    /// Ino provenance for every allocated ino.
+    pub ino_prov: HashMap<Ino, InoProvenance>,
+    /// Children observed during a parent's verification whose own core
+    /// state is still unvetted: ino -> the actor whose writes created it.
+    /// Consumed at adoption so the child is verified on its first
+    /// cross-actor map.
+    pub pending_dirty: HashMap<Ino, trio_nvm::ActorId>,
+    /// Event log (bounded by tests' appetite; cleared on read).
+    pub events: Vec<KernelEvent>,
+    /// Next actor id to hand out.
+    pub next_actor: u32,
+}
+
+impl Registry {
+    /// Fresh registry with the root directory pre-adopted.
+    pub fn new() -> Self {
+        let mut files = HashMap::new();
+        files.insert(
+            ROOT_INO,
+            FileMeta::new(
+                ROOT_INO,
+                CoreFileType::Directory,
+                None,
+                ROOT_INO,
+                ShadowAttr { mode: trio_fsapi::Mode(0o777), uid: 0, gid: 0 },
+            ),
+        );
+        let mut ino_prov = HashMap::new();
+        // Root is "in use" at a synthetic location never compared against.
+        ino_prov.insert(ROOT_INO, InoProvenance::InUse(DirentLoc { page: PageId(0), slot: 0 }));
+        Registry {
+            actors: HashMap::new(),
+            files,
+            page_prov: HashMap::new(),
+            ino_prov,
+            pending_dirty: HashMap::new(),
+            events: Vec::new(),
+            next_actor: 1,
+        }
+    }
+
+    /// Records that `pages` belong to file `ino` (post-verification).
+    pub fn claim_pages_for_file(&mut self, ino: Ino, pages: &FilePages) {
+        for p in pages.all_pages() {
+            self.page_prov.insert(p.0, PageProvenance::InFile(ino));
+        }
+    }
+
+    /// Drops provenance for pages leaving a file (freed or rolled back).
+    pub fn release_pages(&mut self, pages: impl Iterator<Item = PageId>) {
+        for p in pages {
+            self.page_prov.remove(&p.0);
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceView for Registry {
+    fn page_provenance(&self, page: PageId) -> PageProvenance {
+        if page.0 == 0 {
+            return PageProvenance::Kernel;
+        }
+        self.page_prov.get(&page.0).copied().unwrap_or(PageProvenance::Free)
+    }
+
+    fn ino_provenance(&self, ino: Ino) -> InoProvenance {
+        self.ino_prov.get(&ino).copied().unwrap_or(InoProvenance::Unknown)
+    }
+
+    fn shadow_attr(&self, ino: Ino) -> Option<ShadowAttr> {
+        self.files.get(&ino).map(|f| f.shadow)
+    }
+
+    fn is_mapped(&self, ino: Ino) -> bool {
+        self.files.get(&ino).map(|f| f.is_mapped()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_preadopted() {
+        let r = Registry::new();
+        assert!(r.files.contains_key(&ROOT_INO));
+        assert_eq!(r.ino_provenance(ROOT_INO), InoProvenance::InUse(DirentLoc { page: PageId(0), slot: 0 }));
+        assert!(!r.is_mapped(ROOT_INO));
+    }
+
+    #[test]
+    fn page_zero_is_kernel_owned() {
+        let r = Registry::new();
+        assert_eq!(r.page_provenance(PageId(0)), PageProvenance::Kernel);
+        assert_eq!(r.page_provenance(PageId(5)), PageProvenance::Free);
+    }
+
+    #[test]
+    fn claim_and_release_pages() {
+        let mut r = Registry::new();
+        let fp = FilePages {
+            index_pages: vec![PageId(3)],
+            data_pages: vec![Some(PageId(4)), None, Some(PageId(5))],
+        };
+        r.claim_pages_for_file(9, &fp);
+        assert_eq!(r.page_provenance(PageId(4)), PageProvenance::InFile(9));
+        assert_eq!(r.page_provenance(PageId(3)), PageProvenance::InFile(9));
+        r.release_pages(fp.all_pages());
+        assert_eq!(r.page_provenance(PageId(4)), PageProvenance::Free);
+    }
+}

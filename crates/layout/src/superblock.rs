@@ -1,0 +1,143 @@
+//! Superblock format (device page 0).
+//!
+//! Byte layout (little-endian):
+//!
+//! | offset | field                   |
+//! |-------:|-------------------------|
+//! |      0 | magic (`ARCKFS01`)      |
+//! |      8 | total pages             |
+//! |     16 | root: first index page  |
+//! |     24 | root: live entry count  |
+//! |     32 | root: mtime (virtual ns)|
+//! |     40 | inode high-water mark   |
+//!
+//! A LibFS maps the superblock read-only at mount; only the kernel
+//! controller writes it. The root directory has no parent dirent, so its
+//! inode fields live here (it is always a directory with mode 0o777,
+//! uid/gid 0 in this reproduction).
+
+use trio_nvm::{NvmHandle, PageId, ProtError};
+
+/// `b"ARCKFS01"` as a little-endian u64.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"ARCKFS01");
+
+const OFF_MAGIC: usize = 0;
+const OFF_TOTAL_PAGES: usize = 8;
+const OFF_ROOT_FIRST_INDEX: usize = 16;
+const OFF_ROOT_SIZE: usize = 24;
+const OFF_ROOT_MTIME: usize = 32;
+const OFF_NEXT_INO: usize = 40;
+
+/// The superblock page number.
+pub const SUPERBLOCK_PAGE: PageId = PageId(0);
+
+/// Typed accessor over the superblock page.
+#[derive(Clone)]
+pub struct SuperblockRef<'a> {
+    h: &'a NvmHandle,
+}
+
+impl<'a> SuperblockRef<'a> {
+    /// Wraps a handle; no access is performed yet.
+    pub fn new(h: &'a NvmHandle) -> Self {
+        SuperblockRef { h }
+    }
+
+    /// Formats a fresh file system (kernel, at mkfs time).
+    pub fn format(&self, total_pages: u64, first_ino: u64) -> Result<(), ProtError> {
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_MAGIC, MAGIC)?;
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_TOTAL_PAGES, total_pages)?;
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_ROOT_FIRST_INDEX, 0)?;
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_ROOT_SIZE, 0)?;
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_ROOT_MTIME, 0)?;
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_NEXT_INO, first_ino)?;
+        Ok(())
+    }
+
+    /// Whether the magic matches a formatted file system.
+    pub fn is_formatted(&self) -> Result<bool, ProtError> {
+        Ok(self.h.read_u64(SUPERBLOCK_PAGE, OFF_MAGIC)? == MAGIC)
+    }
+
+    /// Total pages recorded at format time.
+    pub fn total_pages(&self) -> Result<u64, ProtError> {
+        self.h.read_u64(SUPERBLOCK_PAGE, OFF_TOTAL_PAGES)
+    }
+
+    /// Head of the root directory's index-page chain (0 = empty root).
+    pub fn root_first_index(&self) -> Result<u64, ProtError> {
+        self.h.read_u64(SUPERBLOCK_PAGE, OFF_ROOT_FIRST_INDEX)
+    }
+
+    /// Atomically publishes a new root index head.
+    pub fn set_root_first_index(&self, page: u64) -> Result<(), ProtError> {
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_ROOT_FIRST_INDEX, page)
+    }
+
+    /// Live entries in the root directory.
+    pub fn root_size(&self) -> Result<u64, ProtError> {
+        self.h.read_u64(SUPERBLOCK_PAGE, OFF_ROOT_SIZE)
+    }
+
+    /// Updates the root entry count.
+    pub fn set_root_size(&self, n: u64) -> Result<(), ProtError> {
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_ROOT_SIZE, n)
+    }
+
+    /// Root mtime (virtual ns).
+    pub fn root_mtime(&self) -> Result<u64, ProtError> {
+        self.h.read_u64(SUPERBLOCK_PAGE, OFF_ROOT_MTIME)
+    }
+
+    /// Updates the root mtime.
+    pub fn set_root_mtime(&self, t: u64) -> Result<(), ProtError> {
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_ROOT_MTIME, t)
+    }
+
+    /// Persisted inode high-water mark (kernel allocator).
+    pub fn next_ino(&self) -> Result<u64, ProtError> {
+        self.h.read_u64(SUPERBLOCK_PAGE, OFF_NEXT_INO)
+    }
+
+    /// Advances the inode high-water mark.
+    pub fn set_next_ino(&self, v: u64) -> Result<(), ProtError> {
+        self.h.write_u64_persist(SUPERBLOCK_PAGE, OFF_NEXT_INO, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trio_nvm::{DeviceConfig, NvmDevice, KERNEL_ACTOR};
+
+    #[test]
+    fn format_and_read_back() {
+        let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+        let h = NvmHandle::new(dev, KERNEL_ACTOR);
+        let sb = SuperblockRef::new(&h);
+        assert!(!sb.is_formatted().unwrap());
+        sb.format(4096, 2).unwrap();
+        assert!(sb.is_formatted().unwrap());
+        assert_eq!(sb.total_pages().unwrap(), 4096);
+        assert_eq!(sb.root_first_index().unwrap(), 0);
+        assert_eq!(sb.next_ino().unwrap(), 2);
+        sb.set_root_first_index(17).unwrap();
+        sb.set_root_size(3).unwrap();
+        assert_eq!(sb.root_first_index().unwrap(), 17);
+        assert_eq!(sb.root_size().unwrap(), 3);
+    }
+
+    #[test]
+    fn unprivileged_actor_cannot_write_superblock() {
+        let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+        let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+        SuperblockRef::new(&kh).format(4096, 2).unwrap();
+        let uh = NvmHandle::new(Arc::clone(&dev), trio_nvm::ActorId(3));
+        // Unmapped: cannot even read.
+        assert!(SuperblockRef::new(&uh).is_formatted().is_err());
+        dev.mmu_map(trio_nvm::ActorId(3), SUPERBLOCK_PAGE, trio_nvm::PagePerm::Read).unwrap();
+        assert!(SuperblockRef::new(&uh).is_formatted().unwrap());
+        assert!(SuperblockRef::new(&uh).set_root_size(9).is_err());
+    }
+}

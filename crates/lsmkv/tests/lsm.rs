@@ -1,0 +1,156 @@
+//! LSM store integration tests over ArckFS.
+
+use std::sync::Arc;
+
+use trio_fsapi::FileSystem;
+use trio_lsmkv::bench::{preload, run, DbBench, ALL_DB_BENCH};
+use trio_lsmkv::{Db, DbConfig};
+use trio_sim::SimRuntime;
+
+fn world() -> Arc<dyn FileSystem> {
+    let dev = Arc::new(trio_nvm::NvmDevice::new(trio_nvm::DeviceConfig {
+        topology: trio_nvm::Topology::new(1, 64 * 1024),
+        ..trio_nvm::DeviceConfig::small()
+    }));
+    let kernel = trio_kernel::KernelController::format(dev, trio_kernel::KernelConfig::default());
+    arckfs::ArckFs::mount(kernel, 0, 0, arckfs::ArckFsConfig::no_delegation())
+}
+
+fn in_sim(f: impl FnOnce() + Send + 'static) {
+    let rt = SimRuntime::new(21);
+    rt.spawn("lsm", f);
+    rt.run();
+}
+
+#[test]
+fn put_get_roundtrip_through_flushes() {
+    in_sim(|| {
+        let fs = world();
+        let cfg = DbConfig { memtable_bytes: 4 * 1024, ..Default::default() };
+        let db = Db::open(fs, "/db", cfg).unwrap();
+        for i in 0..200u32 {
+            db.put(format!("key-{i:04}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        }
+        // Small memtable forces several flushes (and one compaction).
+        let (l0, l1) = db.table_counts();
+        assert!(l0 + l1 >= 1, "tables flushed: l0={l0} l1={l1}");
+        for i in 0..200u32 {
+            let v = db.get(format!("key-{i:04}").as_bytes()).unwrap();
+            assert_eq!(v.as_deref(), Some(format!("value-{i}").as_bytes()));
+        }
+        assert_eq!(db.get(b"absent").unwrap(), None);
+    });
+}
+
+#[test]
+fn overwrites_take_latest_value() {
+    in_sim(|| {
+        let fs = world();
+        let cfg = DbConfig { memtable_bytes: 2 * 1024, ..Default::default() };
+        let db = Db::open(fs, "/db", cfg).unwrap();
+        for round in 0..5u32 {
+            for i in 0..50u32 {
+                db.put(format!("k{i}").as_bytes(), format!("r{round}-v{i}").as_bytes()).unwrap();
+            }
+        }
+        for i in 0..50u32 {
+            let v = db.get(format!("k{i}").as_bytes()).unwrap();
+            assert_eq!(v.as_deref(), Some(format!("r4-v{i}").as_bytes()));
+        }
+    });
+}
+
+#[test]
+fn deletes_shadow_older_values() {
+    in_sim(|| {
+        let fs = world();
+        let cfg = DbConfig { memtable_bytes: 2 * 1024, ..Default::default() };
+        let db = Db::open(fs, "/db", cfg).unwrap();
+        for i in 0..100u32 {
+            db.put(format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap(); // Values now live in tables.
+        for i in (0..100u32).step_by(2) {
+            db.delete(format!("k{i:03}").as_bytes()).unwrap();
+        }
+        for i in 0..100u32 {
+            let v = db.get(format!("k{i:03}").as_bytes()).unwrap();
+            if i % 2 == 0 {
+                assert_eq!(v, None, "k{i:03} deleted");
+            } else {
+                assert_eq!(v.as_deref(), Some(b"v".as_slice()));
+            }
+        }
+        // Compaction drops tombstones but keeps semantics.
+        db.flush().unwrap();
+        for _ in 0..4 {
+            db.put(b"fill", &[0u8; 1024]).unwrap();
+            db.flush().unwrap();
+        }
+        assert_eq!(db.get(b"k000").unwrap(), None);
+        assert_eq!(db.get(b"k001").unwrap().as_deref(), Some(b"v".as_slice()));
+    });
+}
+
+#[test]
+fn wal_recovery_restores_unflushed_writes() {
+    in_sim(|| {
+        let fs = world();
+        let cfg = DbConfig { memtable_bytes: 1 << 20, ..Default::default() };
+        {
+            let db = Db::open(Arc::clone(&fs), "/db", cfg.clone()).unwrap();
+            for i in 0..50u32 {
+                db.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            // Drop without flushing: only the WAL has the data.
+        }
+        let db = Db::recover(fs, "/db", cfg).unwrap();
+        for i in 0..50u32 {
+            assert_eq!(
+                db.get(format!("k{i}").as_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes())
+            );
+        }
+    });
+}
+
+#[test]
+fn recovery_finds_flushed_tables_too() {
+    in_sim(|| {
+        let fs = world();
+        let cfg = DbConfig { memtable_bytes: 2 * 1024, ..Default::default() };
+        {
+            let db = Db::open(Arc::clone(&fs), "/db", cfg.clone()).unwrap();
+            for i in 0..100u32 {
+                db.put(format!("k{i:03}").as_bytes(), &[7u8; 64]).unwrap();
+            }
+        }
+        let db = Db::recover(fs, "/db", cfg).unwrap();
+        for i in 0..100u32 {
+            assert!(db.get(format!("k{i:03}").as_bytes()).unwrap().is_some(), "k{i:03}");
+        }
+    });
+}
+
+#[test]
+fn all_db_bench_rows_execute() {
+    in_sim(|| {
+        for op in ALL_DB_BENCH {
+            let fs = world();
+            let cfg = DbConfig {
+                memtable_bytes: 64 * 1024,
+                sync_writes: op.wants_sync(),
+                ..Default::default()
+            };
+            let db = Db::open(fs, "/db", cfg).unwrap();
+            if op.needs_preload() {
+                preload(&db, 64, 100).unwrap();
+            }
+            let n = if op == DbBench::Fill100K { 8 } else { 64 };
+            let bytes = run(&db, op, n).unwrap();
+            if op != DbBench::DeleteRandom {
+                assert!(bytes > 0, "{op:?} moved no bytes");
+            }
+        }
+    });
+}

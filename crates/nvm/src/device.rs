@@ -1,0 +1,461 @@
+//! The emulated NVM device: page store, MMU, timing, crash injection.
+
+use parking_lot::Mutex;
+use trio_sim::{in_sim, work, Nanos};
+
+use crate::perf::{BandwidthModel, NodeLoad};
+use crate::persist::PersistTracker;
+use crate::prot::{ActorId, PagePerm, PageProt, ProtError, KERNEL_ACTOR};
+use crate::topology::{NodeId, PageId, Topology, PAGE_SIZE};
+
+/// Cost of an `sfence` after flushing.
+const SFENCE_NS: Nanos = 30;
+
+/// Cost per `clwb` of one cache line (overlapped; the sustained-write
+/// bandwidth model already covers the media cost).
+const CLWB_LINE_NS: Nanos = 8;
+
+/// Device construction parameters.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// NUMA geometry.
+    pub topology: Topology,
+    /// Latency/bandwidth model.
+    pub model: BandwidthModel,
+    /// Record dirty cache lines for crash injection (slower; tests only).
+    pub track_persistence: bool,
+}
+
+impl DeviceConfig {
+    /// A small single-node device for unit tests.
+    pub fn small() -> Self {
+        DeviceConfig {
+            topology: Topology::new(1, 4096),
+            model: BandwidthModel::default(),
+            track_persistence: false,
+        }
+    }
+
+    /// The paper-shaped geometry: 8 NUMA nodes. `pages_per_node` is chosen
+    /// by the experiment (capacity is DRAM-bounded).
+    pub fn eight_node(pages_per_node: usize) -> Self {
+        DeviceConfig {
+            topology: Topology::new(8, pages_per_node),
+            model: BandwidthModel::default(),
+            track_persistence: false,
+        }
+    }
+}
+
+struct PageSlot {
+    /// Lazily allocated contents; `None` reads as zeros.
+    data: Option<Box<[u8]>>,
+    prot: PageProt,
+}
+
+impl PageSlot {
+    fn ensure_data(&mut self) -> &mut [u8] {
+        self.data.get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+    }
+}
+
+/// The emulated device. Unprivileged code accesses it through
+/// [`crate::NvmHandle`]; the kernel controller uses the privileged methods
+/// directly.
+pub struct NvmDevice {
+    topo: Topology,
+    model: BandwidthModel,
+    pages: Vec<Mutex<PageSlot>>,
+    loads: Vec<Mutex<NodeLoad>>,
+    tracker: Option<PersistTracker>,
+}
+
+impl NvmDevice {
+    /// Builds a device; memory is committed lazily per page.
+    pub fn new(config: DeviceConfig) -> Self {
+        let total = config.topology.total_pages() as usize;
+        let mut pages = Vec::with_capacity(total);
+        for _ in 0..total {
+            pages.push(Mutex::new(PageSlot { data: None, prot: PageProt::default() }));
+        }
+        NvmDevice {
+            topo: config.topology,
+            model: config.model,
+            pages,
+            loads: (0..config.topology.nodes).map(|_| Mutex::new(NodeLoad::default())).collect(),
+            tracker: config.track_persistence.then(PersistTracker::new),
+        }
+    }
+
+    /// Device geometry.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The timing model in force.
+    pub fn model(&self) -> &BandwidthModel {
+        &self.model
+    }
+
+    fn slot(&self, page: PageId) -> Result<&Mutex<PageSlot>, ProtError> {
+        self.pages.get(page.0 as usize).ok_or(ProtError::OutOfRange)
+    }
+
+    /// Charges virtual time for moving `bytes` at `node`, sampling the
+    /// node's concurrency level. Public so multi-page extent operations can
+    /// charge once per node-contiguous run instead of per page.
+    pub fn charge_transfer(&self, node: NodeId, bytes: usize, is_write: bool, home: NodeId) {
+        if !in_sim() || bytes == 0 {
+            return;
+        }
+        let k = self.loads[node].lock().enter(is_write);
+        let ns = self.model.transfer_ns(bytes, k, is_write, node != home);
+        work(ns);
+        self.loads[node].lock().exit(is_write);
+    }
+
+    /// Copies out of a page with a permission check, without charging time
+    /// (the caller charges per extent). `off + buf.len()` must fit the page.
+    pub fn copy_from_page(
+        &self,
+        actor: ActorId,
+        page: PageId,
+        off: usize,
+        buf: &mut [u8],
+    ) -> Result<(), ProtError> {
+        if off + buf.len() > PAGE_SIZE {
+            return Err(ProtError::OutOfRange);
+        }
+        let slot = self.slot(page)?.lock();
+        slot.prot.check(actor, false)?;
+        match &slot.data {
+            Some(d) => buf.copy_from_slice(&d[off..off + buf.len()]),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    /// Copies into a page with a permission check, without charging time.
+    pub fn copy_to_page(
+        &self,
+        actor: ActorId,
+        page: PageId,
+        off: usize,
+        data: &[u8],
+    ) -> Result<(), ProtError> {
+        if off + data.len() > PAGE_SIZE {
+            return Err(ProtError::OutOfRange);
+        }
+        let mut slot = self.slot(page)?.lock();
+        slot.prot.check(actor, true)?;
+        if let Some(t) = &self.tracker {
+            t.record_store(page, off, data.len(), slot.data.as_deref());
+        }
+        slot.ensure_data()[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Timed single-page read.
+    pub fn read(
+        &self,
+        actor: ActorId,
+        home: NodeId,
+        page: PageId,
+        off: usize,
+        buf: &mut [u8],
+    ) -> Result<(), ProtError> {
+        // Fault before paying the media cost, as a real MMU would.
+        self.slot(page)?.lock().prot.check(actor, false)?;
+        self.charge_transfer(self.topo.node_of(page), buf.len(), false, home);
+        self.copy_from_page(actor, page, off, buf)
+    }
+
+    /// Timed single-page write.
+    pub fn write(
+        &self,
+        actor: ActorId,
+        home: NodeId,
+        page: PageId,
+        off: usize,
+        data: &[u8],
+    ) -> Result<(), ProtError> {
+        self.slot(page)?.lock().prot.check(actor, true)?;
+        self.charge_transfer(self.topo.node_of(page), data.len(), true, home);
+        self.copy_to_page(actor, page, off, data)
+    }
+
+    /// 8-byte atomic read (used for inode fields, index slots).
+    pub fn read_u64(&self, actor: ActorId, page: PageId, off: usize) -> Result<u64, ProtError> {
+        if off % 8 != 0 {
+            return Err(ProtError::Misaligned);
+        }
+        let mut b = [0u8; 8];
+        self.copy_from_page(actor, page, off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// 8-byte atomic durable store: store + `clwb` + `sfence`. This is the
+    /// publication primitive of §4.4 (e.g. flipping an inode number from 0
+    /// to its final value commits a creation).
+    pub fn write_u64_persist(
+        &self,
+        actor: ActorId,
+        page: PageId,
+        off: usize,
+        v: u64,
+    ) -> Result<(), ProtError> {
+        if off % 8 != 0 {
+            return Err(ProtError::Misaligned);
+        }
+        self.copy_to_page(actor, page, off, &v.to_le_bytes())?;
+        self.flush(page, off, 8);
+        self.fence();
+        Ok(())
+    }
+
+    /// `clwb` of the lines covering the range; marks them durable for crash
+    /// injection and charges the (small) flush cost.
+    pub fn flush(&self, page: PageId, off: usize, len: usize) {
+        if let Some(t) = &self.tracker {
+            t.flush(page, off, len);
+        }
+        if in_sim() && len > 0 {
+            let lines = (len as u64).div_ceil(crate::topology::CACHE_LINE as u64);
+            work(lines * CLWB_LINE_NS);
+        }
+    }
+
+    /// `sfence`.
+    pub fn fence(&self) {
+        if in_sim() {
+            work(SFENCE_NS);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Privileged interface (kernel controller / integrity verifier).
+    // ---------------------------------------------------------------
+
+    /// Programs the MMU: grants `actor` access to `page`. Privileged; the
+    /// kernel charges [`trio_sim::cost::MMU_PROGRAM_PAGE_NS`] per call.
+    pub fn mmu_map(&self, actor: ActorId, page: PageId, perm: PagePerm) -> Result<(), ProtError> {
+        assert_ne!(actor, KERNEL_ACTOR, "kernel needs no mappings");
+        self.slot(page)?.lock().prot.map(actor, perm);
+        Ok(())
+    }
+
+    /// Revokes `actor`'s mapping of `page`.
+    pub fn mmu_unmap(&self, actor: ActorId, page: PageId) -> Result<bool, ProtError> {
+        Ok(self.slot(page)?.lock().prot.unmap(actor))
+    }
+
+    /// Current permission of `actor` on `page`.
+    pub fn mmu_perm(&self, actor: ActorId, page: PageId) -> Result<Option<PagePerm>, ProtError> {
+        Ok(self.slot(page)?.lock().prot.perm_of(actor))
+    }
+
+    /// Clears a page: drops contents (reads as zeros) and all mappings.
+    /// Used when the kernel frees or re-allocates a page, so no data leaks
+    /// across LibFSes.
+    pub fn reset_page(&self, page: PageId) -> Result<(), ProtError> {
+        let mut slot = self.slot(page)?.lock();
+        if let (Some(t), Some(d)) = (&self.tracker, slot.data.as_deref()) {
+            // The disappearance of the old contents is itself a store.
+            t.record_store(page, 0, PAGE_SIZE, Some(d));
+        }
+        slot.data = None;
+        slot.prot = PageProt::default();
+        Ok(())
+    }
+
+    /// Copies a whole page (checkpointing). Privileged.
+    pub fn snapshot_page(&self, page: PageId) -> Result<Box<[u8]>, ProtError> {
+        let slot = self.slot(page)?.lock();
+        Ok(match &slot.data {
+            Some(d) => d.clone(),
+            None => vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        })
+    }
+
+    /// Restores a page image (rollback). Privileged; leaves mappings alone.
+    pub fn restore_page(&self, page: PageId, image: &[u8]) -> Result<(), ProtError> {
+        assert_eq!(image.len(), PAGE_SIZE);
+        let mut slot = self.slot(page)?.lock();
+        if let Some(t) = &self.tracker {
+            t.record_store(page, 0, PAGE_SIZE, slot.data.as_deref());
+            t.flush(page, 0, PAGE_SIZE); // Rollback writes are made durable.
+        }
+        slot.ensure_data().copy_from_slice(image);
+        Ok(())
+    }
+
+    /// Injects a crash: every unflushed store is undone. Only meaningful
+    /// with `track_persistence`. Returns how many cache lines were lost.
+    pub fn crash(&self) -> usize {
+        let Some(t) = &self.tracker else {
+            return 0;
+        };
+        let lost = t.drain_for_crash();
+        let n = lost.len();
+        for (page, off, img) in lost {
+            if let Ok(slot) = self.slot(page) {
+                let mut slot = slot.lock();
+                slot.ensure_data()[off..off + img.len()].copy_from_slice(&img);
+            }
+        }
+        n
+    }
+
+    /// Dirty (unflushed) line count; 0 when tracking is disabled.
+    pub fn dirty_lines(&self) -> usize {
+        self.tracker.as_ref().map(|t| t.dirty_lines()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prot::ActorId;
+
+    fn dev() -> NvmDevice {
+        NvmDevice::new(DeviceConfig::small())
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let d = dev();
+        let a = ActorId(1);
+        let mut buf = [0u8; 8];
+        assert_eq!(d.copy_from_page(a, PageId(0), 0, &mut buf), Err(ProtError::NotMapped));
+        assert_eq!(d.copy_to_page(a, PageId(0), 0, &buf), Err(ProtError::NotMapped));
+    }
+
+    #[test]
+    fn mapped_write_roundtrips() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(2), PagePerm::Write).unwrap();
+        d.copy_to_page(a, PageId(2), 100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        d.copy_from_page(a, PageId(2), 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn read_only_mapping_blocks_stores() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(1), PagePerm::Read).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(d.copy_from_page(a, PageId(1), 0, &mut buf).is_ok());
+        assert_eq!(d.copy_to_page(a, PageId(1), 0, &buf), Err(ProtError::ReadOnly));
+    }
+
+    #[test]
+    fn unallocated_page_reads_zero() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(9), PagePerm::Read).unwrap();
+        let mut buf = [7u8; 16];
+        d.copy_from_page(a, PageId(9), 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn atomic_u64_alignment_enforced() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
+        assert_eq!(d.read_u64(a, PageId(0), 4), Err(ProtError::Misaligned));
+        d.write_u64_persist(a, PageId(0), 8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(d.read_u64(a, PageId(0), 8), Ok(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn reset_page_clears_data_and_mappings() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(3), PagePerm::Write).unwrap();
+        d.copy_to_page(a, PageId(3), 0, b"secret").unwrap();
+        d.reset_page(PageId(3)).unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(d.copy_from_page(a, PageId(3), 0, &mut buf), Err(ProtError::NotMapped));
+        // Remap as a different actor: contents must be zeros, not "secret".
+        let b = ActorId(2);
+        d.mmu_map(b, PageId(3), PagePerm::Read).unwrap();
+        d.copy_from_page(b, PageId(3), 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 6]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(5), PagePerm::Write).unwrap();
+        d.copy_to_page(a, PageId(5), 0, b"v1").unwrap();
+        let snap = d.snapshot_page(PageId(5)).unwrap();
+        d.copy_to_page(a, PageId(5), 0, b"v2").unwrap();
+        d.restore_page(PageId(5), &snap).unwrap();
+        let mut buf = [0u8; 2];
+        d.copy_from_page(a, PageId(5), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"v1");
+    }
+
+    #[test]
+    fn crash_reverts_unflushed_stores() {
+        let mut cfg = DeviceConfig::small();
+        cfg.track_persistence = true;
+        let d = NvmDevice::new(cfg);
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
+        d.copy_to_page(a, PageId(0), 0, b"durable!").unwrap();
+        d.flush(PageId(0), 0, 8);
+        d.copy_to_page(a, PageId(0), 64, b"volatile").unwrap();
+        assert!(d.dirty_lines() > 0);
+        d.crash();
+        let mut keep = [0u8; 8];
+        d.copy_from_page(a, PageId(0), 0, &mut keep).unwrap();
+        assert_eq!(&keep, b"durable!");
+        let mut lost = [0u8; 8];
+        d.copy_from_page(a, PageId(0), 64, &mut lost).unwrap();
+        assert_eq!(lost, [0u8; 8]);
+    }
+
+    #[test]
+    fn cross_page_access_rejected() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
+        let buf = [0u8; 64];
+        assert_eq!(d.copy_to_page(a, PageId(0), PAGE_SIZE - 32, &buf), Err(ProtError::OutOfRange));
+    }
+
+    #[test]
+    fn timed_ops_work_outside_sim_without_charging() {
+        // Outside a sim-thread `read`/`write` must not panic.
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
+        d.write(a, 0, PageId(0), 0, b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        d.read(a, 0, PageId(0), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+    }
+
+    #[test]
+    fn timed_ops_charge_inside_sim() {
+        use std::sync::Arc;
+        use trio_sim::SimRuntime;
+        let rt = SimRuntime::new(0);
+        let d = Arc::new(dev());
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
+        let d2 = Arc::clone(&d);
+        rt.spawn("t", move || {
+            d2.write(a, 0, PageId(0), 0, &[0u8; 4096]).unwrap();
+        });
+        let t = rt.run();
+        // A 4 KiB write at k=1 costs latency + media time; must be over 500ns.
+        assert!(t > 500, "charged {t}ns");
+    }
+}

@@ -1,0 +1,245 @@
+//! Unprivileged per-actor access handle.
+//!
+//! An [`NvmHandle`] is a LibFS's "virtual address space window" onto the
+//! device: every access is checked against the MMU state for the handle's
+//! actor. Threads declare their NUMA placement with [`set_home_node`];
+//! accesses to other nodes pay the remote penalty.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crate::device::NvmDevice;
+use crate::prot::{ActorId, ProtError};
+use crate::topology::{NodeId, PageId, PAGE_SIZE};
+
+thread_local! {
+    static HOME_NODE: Cell<NodeId> = const { Cell::new(0) };
+}
+
+/// Declares the calling thread's NUMA node (sticks for the thread's life).
+pub fn set_home_node(node: NodeId) {
+    HOME_NODE.with(|h| h.set(node));
+}
+
+/// The calling thread's NUMA node.
+pub fn home_node() -> NodeId {
+    HOME_NODE.with(|h| h.get())
+}
+
+/// A per-actor (per-LibFS) view of the device.
+#[derive(Clone)]
+pub struct NvmHandle {
+    dev: Arc<NvmDevice>,
+    actor: ActorId,
+}
+
+impl NvmHandle {
+    /// Creates a handle for `actor`. Handing out a handle grants no access
+    /// by itself — the MMU state does.
+    pub fn new(dev: Arc<NvmDevice>, actor: ActorId) -> Self {
+        NvmHandle { dev, actor }
+    }
+
+    /// The actor this handle authenticates as.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<NvmDevice> {
+        &self.dev
+    }
+
+    /// Timed read within one page.
+    pub fn read(&self, page: PageId, off: usize, buf: &mut [u8]) -> Result<(), ProtError> {
+        self.dev.read(self.actor, home_node(), page, off, buf)
+    }
+
+    /// Timed write within one page.
+    pub fn write(&self, page: PageId, off: usize, data: &[u8]) -> Result<(), ProtError> {
+        self.dev.write(self.actor, home_node(), page, off, data)
+    }
+
+    /// Untimed read (callers charge per extent via [`NvmHandle::read_extent`]
+    /// or deliberately model zero-cost cached access).
+    pub fn read_untimed(&self, page: PageId, off: usize, buf: &mut [u8]) -> Result<(), ProtError> {
+        self.dev.copy_from_page(self.actor, page, off, buf)
+    }
+
+    /// Untimed write.
+    pub fn write_untimed(&self, page: PageId, off: usize, data: &[u8]) -> Result<(), ProtError> {
+        self.dev.copy_to_page(self.actor, page, off, data)
+    }
+
+    /// 8-byte read.
+    pub fn read_u64(&self, page: PageId, off: usize) -> Result<u64, ProtError> {
+        self.dev.read_u64(self.actor, page, off)
+    }
+
+    /// 8-byte atomic durable store (§4.4 publication primitive).
+    pub fn write_u64_persist(&self, page: PageId, off: usize, v: u64) -> Result<(), ProtError> {
+        self.dev.write_u64_persist(self.actor, page, off, v)
+    }
+
+    /// `clwb` + bookkeeping for a range.
+    pub fn flush(&self, page: PageId, off: usize, len: usize) {
+        self.dev.flush(page, off, len);
+    }
+
+    /// `sfence`.
+    pub fn fence(&self) {
+        self.dev.fence();
+    }
+
+    /// Reads a byte range spanning `pages` (each holding `PAGE_SIZE` bytes
+    /// of the extent, in order) starting at byte `start` within the extent.
+    /// Charges the media cost once per node-contiguous run of pages, so a
+    /// large sequential access costs `O(nodes)` scheduler events instead of
+    /// `O(pages)`.
+    pub fn read_extent(
+        &self,
+        pages: &[PageId],
+        start: usize,
+        buf: &mut [u8],
+    ) -> Result<(), ProtError> {
+        self.extent_op(pages, start, buf.len(), false, |page, off, pos, len, me, b: &mut [u8]| {
+            me.dev.copy_from_page(me.actor, page, off, &mut b[pos..pos + len])
+        }, buf)
+    }
+
+    /// Writes a byte range spanning `pages` starting at byte `start`.
+    /// Data is flushed per page (persistent-write model).
+    pub fn write_extent(
+        &self,
+        pages: &[PageId],
+        start: usize,
+        data: &[u8],
+    ) -> Result<(), ProtError> {
+        let mut data_mut = data; // Only read; unified helper wants one buffer type.
+        let res = self.extent_op(
+            pages,
+            start,
+            data.len(),
+            true,
+            |page, off, pos, len, me, b: &mut &[u8]| {
+                me.dev.copy_to_page(me.actor, page, off, &b[pos..pos + len])?;
+                me.dev.flush(page, off, len);
+                Ok(())
+            },
+            &mut data_mut,
+        );
+        if res.is_ok() {
+            self.dev.fence();
+        }
+        res
+    }
+
+    fn extent_op<B: ?Sized>(
+        &self,
+        pages: &[PageId],
+        start: usize,
+        len: usize,
+        is_write: bool,
+        mut op: impl FnMut(PageId, usize, usize, usize, &Self, &mut B) -> Result<(), ProtError>,
+        buf: &mut B,
+    ) -> Result<(), ProtError> {
+        if len == 0 {
+            return Ok(());
+        }
+        if start + len > pages.len() * PAGE_SIZE {
+            return Err(ProtError::OutOfRange);
+        }
+        let topo = self.dev.topology();
+        let home = home_node();
+        // Pass 1: charge once per node-contiguous run.
+        let first_page = start / PAGE_SIZE;
+        let last_page = (start + len - 1) / PAGE_SIZE;
+        let mut run_node = topo.node_of(pages[first_page]);
+        let mut run_bytes = 0usize;
+        for pi in first_page..=last_page {
+            let page_start = pi * PAGE_SIZE;
+            let seg_start = start.max(page_start);
+            let seg_end = (start + len).min(page_start + PAGE_SIZE);
+            let node = topo.node_of(pages[pi]);
+            if node != run_node {
+                self.dev.charge_transfer(run_node, run_bytes, is_write, home);
+                run_node = node;
+                run_bytes = 0;
+            }
+            run_bytes += seg_end - seg_start;
+        }
+        self.dev.charge_transfer(run_node, run_bytes, is_write, home);
+        // Pass 2: per-page copies (no timing).
+        let mut pos = 0usize;
+        for pi in first_page..=last_page {
+            let page_start = pi * PAGE_SIZE;
+            let seg_start = start.max(page_start);
+            let seg_end = (start + len).min(page_start + PAGE_SIZE);
+            let seg_len = seg_end - seg_start;
+            op(pages[pi], seg_start - page_start, pos, seg_len, self, buf)?;
+            pos += seg_len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::prot::PagePerm;
+
+    fn setup() -> (Arc<NvmDevice>, NvmHandle) {
+        let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+        let h = NvmHandle::new(Arc::clone(&dev), ActorId(1));
+        (dev, h)
+    }
+
+    #[test]
+    fn extent_roundtrip_across_pages() {
+        let (dev, h) = setup();
+        let pages = [PageId(10), PageId(11), PageId(12)];
+        for p in pages {
+            dev.mmu_map(ActorId(1), p, PagePerm::Write).unwrap();
+        }
+        let data: Vec<u8> = (0..9000).map(|i| (i % 251) as u8).collect();
+        h.write_extent(&pages, 100, &data).unwrap();
+        let mut out = vec![0u8; 9000];
+        h.read_extent(&pages, 100, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn extent_out_of_range() {
+        let (dev, h) = setup();
+        dev.mmu_map(ActorId(1), PageId(0), PagePerm::Write).unwrap();
+        let pages = [PageId(0)];
+        let mut buf = [0u8; 16];
+        assert_eq!(h.read_extent(&pages, PAGE_SIZE - 8, &mut buf), Err(ProtError::OutOfRange));
+    }
+
+    #[test]
+    fn extent_respects_protection() {
+        let (dev, h) = setup();
+        let pages = [PageId(1), PageId(2)];
+        dev.mmu_map(ActorId(1), pages[0], PagePerm::Write).unwrap();
+        // pages[1] unmapped: the write must fault.
+        let data = vec![3u8; PAGE_SIZE + 10];
+        assert_eq!(h.write_extent(&pages, 0, &data), Err(ProtError::NotMapped));
+    }
+
+    #[test]
+    fn home_node_tls_defaults_to_zero() {
+        assert_eq!(home_node(), 0);
+        set_home_node(3);
+        assert_eq!(home_node(), 3);
+        set_home_node(0);
+    }
+
+    #[test]
+    fn empty_extent_is_noop() {
+        let (_, h) = setup();
+        let mut buf = [0u8; 0];
+        h.read_extent(&[], 0, &mut buf).unwrap();
+    }
+}

@@ -1,0 +1,90 @@
+//! Calibration constants for the performance model.
+//!
+//! Every latency that the simulated software stack charges to the virtual
+//! clock is defined here, in one place, so the model can be audited and
+//! re-calibrated. Values are drawn from the Trio paper (SOSP '23) and the
+//! Optane characterization literature it cites (Izraelevitz et al. [29],
+//! Yang et al. [51], OdinFS [55]):
+//!
+//! * Kernel entry/exit (syscall trap) costs several hundred nanoseconds;
+//!   ZoFS reports mediation overheads of 44–68% for small metadata ops,
+//!   which a ~0.6 us trap plus VFS work reproduces.
+//! * The paper's Figure 8 attributes 670 ms to mapping+unmapping a 1 GiB
+//!   file (262,144 pages), i.e. ~1.28 us per page per direction.
+//! * Optane has ~300 ns read / ~100 ns (posted) write latency and per-DIMM
+//!   bandwidth that degrades sharply once more than a handful of threads
+//!   access one NUMA node concurrently.
+
+use crate::time::Nanos;
+
+/// Cost of a kernel trap (syscall entry + exit), charged by every simulated
+/// system call a kernel file system or the Trio kernel controller serves.
+pub const KERNEL_TRAP_NS: Nanos = 600;
+
+/// Round-trip cost of IPC to a trusted userspace process (Strata-style
+/// metadata mediation).
+pub const IPC_ROUNDTRIP_NS: Nanos = 3_000;
+
+/// Programming one page-table entry during map or unmap (one direction).
+/// Calibrated so map+unmap of a 1 GiB file costs ~670 ms (paper Fig. 8).
+pub const MMU_PROGRAM_PAGE_NS: Nanos = 1_280;
+
+/// Fixed per-call overhead of a map/unmap request (trap, VMA bookkeeping).
+pub const MAP_CALL_BASE_NS: Nanos = 2_000;
+
+/// Acquiring an uncontended lock (atomic RMW + fence).
+pub const LOCK_UNCONTENDED_NS: Nanos = 20;
+
+/// Handing a lock off to a waiting thread (cache-line transfer + wakeup).
+pub const LOCK_HANDOFF_NS: Nanos = 150;
+
+/// One hop through a shared-memory ring buffer (delegation request or
+/// response).
+pub const RING_HOP_NS: Nanos = 250;
+
+/// Waking a thread blocked on a condition variable.
+pub const CONDVAR_WAKE_NS: Nanos = 300;
+
+/// Hash-table lookup or insert on a resident structure (per probe).
+pub const HASH_OP_NS: Nanos = 60;
+
+/// One level of radix-tree / B-tree descent.
+pub const INDEX_LEVEL_NS: Nanos = 25;
+
+/// Allocating from an in-DRAM red-black-tree allocator (paper §4.5).
+pub const ALLOCATOR_OP_NS: Nanos = 120;
+
+/// Copying between DRAM buffers, per 4 KiB (warm caches, single thread).
+pub const DRAM_COPY_4K_NS: Nanos = 180;
+
+/// CPU work to validate + format one directory entry.
+pub const DIRENT_WORK_NS: Nanos = 90;
+
+/// Generic per-operation software overhead of a VFS layer (path walk setup,
+/// credential checks, fd lookup) — charged once per VFS syscall on top of
+/// the trap itself.
+pub const VFS_OVERHEAD_NS: Nanos = 450;
+
+/// Per-component dcache lookup during a path walk.
+pub const DCACHE_LOOKUP_NS: Nanos = 80;
+
+/// Journal transaction begin+commit (WineFS-style per-CPU journal).
+pub const JOURNAL_TXN_NS: Nanos = 350;
+
+/// Appending one log entry (NOVA-style per-inode log).
+pub const LOG_APPEND_NS: Nanos = 180;
+
+/// Integrity-verifier CPU cost per inode/dirent checked (paper §6.5: a few
+/// hundred microseconds for a 100-entry directory implies ~3 us/entry
+/// including provenance lookups).
+pub const VERIFY_ENTRY_NS: Nanos = 2_600;
+
+/// Integrity-verifier CPU cost per index-page entry checked.
+pub const VERIFY_INDEX_SLOT_NS: Nanos = 45;
+
+/// Rebuilding auxiliary state: per directory entry inserted into the hash
+/// table, or per index-page slot inserted into the radix tree.
+pub const REBUILD_ENTRY_NS: Nanos = 420;
+
+/// Checkpointing one page of metadata (copy + bookkeeping).
+pub const CHECKPOINT_PAGE_NS: Nanos = 700;

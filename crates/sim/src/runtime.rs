@@ -1,0 +1,650 @@
+//! The virtual-time scheduler.
+//!
+//! Sim-threads are real OS threads, but the scheduler guarantees that at
+//! most one of them executes at any wall-clock instant. Control passes at
+//! *sim points*: [`work`] (charge virtual CPU time), blocking inside a
+//! [`crate::sync`] primitive, [`yield_now`], or thread exit. At each sim
+//! point the scheduler selects the ready thread with the smallest
+//! `(virtual_time, sequence)` key, making execution deterministic.
+
+use std::{
+    cell::RefCell,
+    cmp::Reverse,
+    collections::BinaryHeap,
+    sync::Arc,
+    thread,
+};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::time::Nanos;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Inner>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Returns true when the calling OS thread is a sim-thread.
+pub fn in_sim() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with_current<R>(f: impl FnOnce(&Arc<Inner>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (inner, tid) = b
+            .as_ref()
+            .expect("sim primitive used outside a sim-thread; wrap the code in SimRuntime::spawn");
+        f(inner, *tid)
+    })
+}
+
+/// Charges `ns` of virtual CPU time to the calling sim-thread.
+///
+/// Another thread whose virtual timestamp falls inside the charged interval
+/// may be scheduled before this call returns; shared state must therefore be
+/// accessed under a [`crate::sync`] lock across `work` calls, exactly like
+/// real preemption.
+///
+/// # Panics
+///
+/// Panics when called outside a sim-thread.
+pub fn work(ns: Nanos) {
+    if ns == 0 {
+        return;
+    }
+    with_current(|inner, tid| inner.advance(tid, ns));
+}
+
+/// Current virtual time of the calling sim-thread, in nanoseconds since the
+/// simulation epoch.
+///
+/// # Panics
+///
+/// Panics when called outside a sim-thread.
+pub fn now() -> Nanos {
+    with_current(|inner, tid| inner.sched.lock().threads[tid].time)
+}
+
+/// Identifier of the calling sim-thread (dense, starting at 0 in spawn
+/// order).
+///
+/// # Panics
+///
+/// Panics when called outside a sim-thread.
+pub fn current_tid() -> usize {
+    with_current(|_, tid| tid)
+}
+
+/// Reschedules the calling thread behind all other threads that share its
+/// virtual timestamp.
+pub fn yield_now() {
+    with_current(|inner, tid| inner.advance(tid, 0));
+}
+
+/// Spawns a sim-thread from inside the simulation. The child starts at the
+/// parent's current virtual time.
+///
+/// # Panics
+///
+/// Panics when called outside a sim-thread.
+pub fn spawn<F>(name: &str, f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    with_current(|inner, _| Inner::spawn_thread(inner, name, f))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RunState {
+    /// In the ready queue (or about to run).
+    Ready,
+    /// Currently executing on its OS thread.
+    Running,
+    /// Waiting inside a synchronization primitive; not in the ready queue.
+    Blocked,
+    /// Closure returned (or unwound).
+    Done,
+}
+
+struct Park {
+    flag: Mutex<ParkFlag>,
+    cvar: Condvar,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ParkFlag {
+    Wait,
+    Go,
+    Abort,
+}
+
+impl Park {
+    fn new() -> Self {
+        Park { flag: Mutex::new(ParkFlag::Wait), cvar: Condvar::new() }
+    }
+
+    /// Blocks until unparked. Returns `true` when the simulation was aborted
+    /// and the thread must unwind.
+    fn park(&self) -> bool {
+        let mut flag = self.flag.lock();
+        loop {
+            match *flag {
+                ParkFlag::Go => {
+                    *flag = ParkFlag::Wait;
+                    return false;
+                }
+                ParkFlag::Abort => return true,
+                ParkFlag::Wait => self.cvar.wait(&mut flag),
+            }
+        }
+    }
+
+    fn unpark(&self) {
+        let mut flag = self.flag.lock();
+        if *flag != ParkFlag::Abort {
+            *flag = ParkFlag::Go;
+        }
+        self.cvar.notify_one();
+    }
+
+    fn abort(&self) {
+        *self.flag.lock() = ParkFlag::Abort;
+        self.cvar.notify_one();
+    }
+}
+
+struct ThreadSlot {
+    name: String,
+    park: Arc<Park>,
+    time: Nanos,
+    state: RunState,
+    join_waiters: Vec<usize>,
+    os_handle: Option<thread::JoinHandle<()>>,
+}
+
+pub(crate) struct SchedState {
+    threads: Vec<ThreadSlot>,
+    ready: BinaryHeap<Reverse<(Nanos, u64, usize)>>,
+    seq: u64,
+    live: usize,
+    events: u64,
+    horizon: Nanos,
+    panic_msg: Option<String>,
+    finished: bool,
+}
+
+pub(crate) struct Inner {
+    pub(crate) sched: Mutex<SchedState>,
+    done_cvar: Condvar,
+    seed: u64,
+}
+
+/// Message used to unwind a sim-thread when the whole simulation aborts
+/// (deadlock or a panic on another sim-thread).
+const ABORT_MSG: &str = "trio-sim: simulation aborted";
+
+impl Inner {
+    fn advance(self: &Arc<Self>, tid: usize, ns: Nanos) {
+        let mut st = self.sched.lock();
+        st.events += 1;
+        let t = st.threads[tid].time.saturating_add(ns);
+        if t > st.horizon {
+            st.panic_msg.get_or_insert_with(|| {
+                format!("virtual-time horizon exceeded at {t}ns by thread {tid}")
+            });
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        st.threads[tid].time = t;
+        st.threads[tid].state = RunState::Ready;
+        let seq = st.seq;
+        st.seq += 1;
+        st.ready.push(Reverse((t, seq, tid)));
+        self.dispatch_then_park(st, Some(tid));
+    }
+
+    /// Parks the calling thread without queueing it; some other thread must
+    /// later call [`Inner::make_ready`] for it. Used by sync primitives.
+    pub(crate) fn block_current(self: &Arc<Self>, tid: usize) {
+        let mut st = self.sched.lock();
+        st.events += 1;
+        st.threads[tid].state = RunState::Blocked;
+        self.dispatch_then_park(st, Some(tid));
+    }
+
+    /// Marks `tid` runnable no earlier than `at`. Must be called by the
+    /// currently running thread (possibly via a sync primitive).
+    pub(crate) fn make_ready(st: &mut SchedState, tid: usize, at: Nanos) {
+        if st.threads[tid].state == RunState::Done || st.finished {
+            // Abort/unwind path: guards dropped during teardown may try to
+            // hand locks to threads that already retired.
+            return;
+        }
+        debug_assert_eq!(st.threads[tid].state, RunState::Blocked, "waking a non-blocked thread");
+        let t = st.threads[tid].time.max(at);
+        st.threads[tid].time = t;
+        st.threads[tid].state = RunState::Ready;
+        let seq = st.seq;
+        st.seq += 1;
+        st.ready.push(Reverse((t, seq, tid)));
+    }
+
+    pub(crate) fn time_of(st: &SchedState, tid: usize) -> Nanos {
+        st.threads[tid].time
+    }
+
+    /// Picks the earliest ready thread and transfers control to it. When
+    /// `me` is `Some` and wins the pick, the call simply returns; otherwise
+    /// the caller parks. `me = None` is used by the external `run()` entry.
+    fn dispatch_then_park(self: &Arc<Self>, mut st: MutexGuard<'_, SchedState>, me: Option<usize>) {
+        match st.ready.pop() {
+            Some(Reverse((_, _, next))) => {
+                st.threads[next].state = RunState::Running;
+                if me == Some(next) {
+                    return;
+                }
+                let next_park = Arc::clone(&st.threads[next].park);
+                let my_park = me.map(|m| Arc::clone(&st.threads[m].park));
+                drop(st);
+                next_park.unpark();
+                if let Some(p) = my_park {
+                    if p.park() {
+                        panic!("{ABORT_MSG}");
+                    }
+                }
+            }
+            None => {
+                if st.live > 0 && st.panic_msg.is_none() {
+                    let stuck: Vec<String> = st
+                        .threads
+                        .iter()
+                        .filter(|t| t.state == RunState::Blocked)
+                        .map(|t| t.name.clone())
+                        .collect();
+                    st.panic_msg =
+                        Some(format!("virtual-time deadlock; blocked sim-threads: {stuck:?}"));
+                }
+                self.finish(st, me);
+            }
+        }
+    }
+
+    /// Ends the simulation: aborts every parked thread and wakes `run()`.
+    fn finish(self: &Arc<Self>, mut st: MutexGuard<'_, SchedState>, me: Option<usize>) {
+        st.finished = true;
+        let parks: Vec<Arc<Park>> = st
+            .threads
+            .iter()
+            .filter(|t| t.state != RunState::Done)
+            .map(|t| Arc::clone(&t.park))
+            .collect();
+        let panicked = st.panic_msg.is_some();
+        drop(st);
+        for p in &parks {
+            p.abort();
+        }
+        self.done_cvar.notify_all();
+        if panicked && me.is_some() {
+            panic!("{ABORT_MSG}");
+        }
+    }
+
+    /// Called when a sim-thread's closure returns or unwinds.
+    fn retire(self: &Arc<Self>, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.sched.lock();
+        st.threads[tid].state = RunState::Done;
+        st.live -= 1;
+        if let Some(msg) = panic_msg {
+            if !msg.contains("trio-sim: simulation aborted") {
+                st.panic_msg.get_or_insert(msg);
+            }
+            return self.finish(st, None);
+        }
+        let end = st.threads[tid].time;
+        let waiters = std::mem::take(&mut st.threads[tid].join_waiters);
+        for w in waiters {
+            Self::make_ready(&mut st, w, end);
+        }
+        if st.live == 0 {
+            return self.finish(st, None);
+        }
+        self.dispatch_then_park(st, None);
+    }
+
+    fn spawn_thread<F>(inner: &Arc<Inner>, name: &str, f: F) -> JoinHandle
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut st = inner.sched.lock();
+        assert!(!st.finished, "spawn on a finished SimRuntime");
+        let tid = st.threads.len();
+        let start_time = CURRENT.with(|c| {
+            c.borrow().as_ref().map(|(_, me)| Inner::time_of(&st, *me)).unwrap_or(0)
+        });
+        st.threads.push(ThreadSlot {
+            name: format!("{name}-{tid}"),
+            park: Arc::new(Park::new()),
+            time: start_time,
+            state: RunState::Ready,
+            join_waiters: Vec::new(),
+            os_handle: None,
+        });
+        st.live += 1;
+        let seq = st.seq;
+        st.seq += 1;
+        st.ready.push(Reverse((start_time, seq, tid)));
+
+        let park = Arc::clone(&st.threads[tid].park);
+        let inner2 = Arc::clone(inner);
+        let os_name = st.threads[tid].name.clone();
+        let handle = thread::Builder::new()
+            .name(os_name)
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                if park.park() {
+                    return; // Aborted before first dispatch.
+                }
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner2), tid)));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                CURRENT.with(|c| *c.borrow_mut() = None);
+                let panic_msg = result.err().map(|e| {
+                    if let Some(s) = e.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = e.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "sim-thread panicked".to_string()
+                    }
+                });
+                inner2.retire(tid, panic_msg);
+            })
+            .expect("failed to spawn sim-thread");
+        st.threads[tid].os_handle = Some(handle);
+        drop(st);
+        JoinHandle { inner: Arc::clone(inner), tid }
+    }
+}
+
+/// Handle to a spawned sim-thread; see [`SimRuntime::spawn`] and [`spawn`].
+pub struct JoinHandle {
+    inner: Arc<Inner>,
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Blocks the calling *sim-thread* (in virtual time) until the target
+    /// thread finishes. The caller resumes no earlier than the target's
+    /// final virtual timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside a sim-thread; use [`SimRuntime::run`] to
+    /// wait from the outside.
+    pub fn join(self) {
+        let me = current_tid();
+        let inner = with_current(|i, _| Arc::clone(i));
+        assert!(Arc::ptr_eq(&inner, &self.inner), "join across runtimes");
+        let mut st = self.inner.sched.lock();
+        if st.threads[self.tid].state == RunState::Done {
+            let end = st.threads[self.tid].time;
+            if end > st.threads[me].time {
+                st.threads[me].time = end;
+            }
+            return;
+        }
+        st.threads[self.tid].join_waiters.push(me);
+        drop(st);
+        self.inner.block_current(me);
+    }
+
+    /// The sim-thread id of the target thread.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+/// A deterministic virtual-time runtime; see the crate-level docs.
+pub struct SimRuntime {
+    inner: Arc<Inner>,
+}
+
+impl SimRuntime {
+    /// Creates a runtime. `seed` feeds all per-thread RNGs ([`crate::rng`]).
+    pub fn new(seed: u64) -> Self {
+        SimRuntime {
+            inner: Arc::new(Inner {
+                sched: Mutex::new(SchedState {
+                    threads: Vec::new(),
+                    ready: BinaryHeap::new(),
+                    seq: 0,
+                    live: 0,
+                    events: 0,
+                    horizon: Nanos::MAX / 4,
+                    panic_msg: None,
+                    finished: false,
+                }),
+                done_cvar: Condvar::new(),
+                seed,
+            }),
+        }
+    }
+
+    /// Caps the virtual clock; exceeding it aborts the simulation. Useful as
+    /// a runaway-loop backstop in tests.
+    pub fn set_horizon(&self, horizon: Nanos) {
+        self.inner.sched.lock().horizon = horizon;
+    }
+
+    /// Spawns a sim-thread starting at virtual time 0 (or at the spawning
+    /// sim-thread's current time when called from inside the simulation).
+    pub fn spawn<F>(&self, name: &str, f: F) -> JoinHandle
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        Inner::spawn_thread(&self.inner, name, f)
+    }
+
+    /// Runs the simulation to completion and returns the final virtual time
+    /// (the maximum timestamp reached by any thread).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first sim-thread panic, and panics on virtual-time
+    /// deadlock (every live thread blocked).
+    pub fn run(&self) -> Nanos {
+        let handles: Vec<thread::JoinHandle<()>>;
+        {
+            let mut st = self.inner.sched.lock();
+            if st.live == 0 {
+                st.finished = true;
+            } else if !st.finished {
+                self.inner.dispatch_then_park(st, None);
+                st = self.inner.sched.lock();
+            }
+            while !st.finished {
+                self.inner.done_cvar.wait(&mut st);
+            }
+            handles = st.threads.iter_mut().filter_map(|t| t.os_handle.take()).collect();
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let st = self.inner.sched.lock();
+        if let Some(msg) = &st.panic_msg {
+            panic!("simulation failed: {msg}");
+        }
+        st.threads.iter().map(|t| t.time).max().unwrap_or(0)
+    }
+
+    /// Total scheduler events processed — a determinism fingerprint.
+    pub fn events(&self) -> u64 {
+        self.inner.sched.lock().events
+    }
+
+    /// The seed this runtime was created with.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+}
+
+pub(crate) fn with_inner<R>(f: impl FnOnce(&Arc<Inner>, usize) -> R) -> R {
+    with_current(f)
+}
+
+impl Inner {
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Charges virtual CPU time to `tid` (no-op for zero).
+    pub(crate) fn charge(self: &Arc<Self>, tid: usize, ns: Nanos) {
+        if ns > 0 {
+            self.advance(tid, ns);
+        }
+    }
+
+    /// Makes `tid` runnable no earlier than `delay` after the current time
+    /// of the running thread `me`. Used by sync primitives for hand-offs.
+    pub(crate) fn wake_from(self: &Arc<Self>, me: usize, tid: usize, delay: Nanos) {
+        let mut st = self.sched.lock();
+        let t = Self::time_of(&st, me).saturating_add(delay);
+        Self::make_ready(&mut st, tid, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_thread_accumulates_time() {
+        let rt = SimRuntime::new(1);
+        rt.spawn("t", || {
+            work(100);
+            work(250);
+            assert_eq!(now(), 350);
+        });
+        assert_eq!(rt.run(), 350);
+    }
+
+    #[test]
+    fn threads_interleave_by_virtual_time() {
+        let rt = SimRuntime::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        rt.spawn("slow", move || {
+            work(1_000);
+            o1.lock().push("slow");
+        });
+        let o2 = Arc::clone(&order);
+        rt.spawn("fast", move || {
+            work(10);
+            o2.lock().push("fast");
+        });
+        rt.run();
+        assert_eq!(*order.lock(), vec!["fast", "slow"]);
+    }
+
+    #[test]
+    fn run_returns_max_time() {
+        let rt = SimRuntime::new(1);
+        rt.spawn("a", || work(500));
+        rt.spawn("b", || work(2_000));
+        assert_eq!(rt.run(), 2_000);
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let rt = SimRuntime::new(1);
+        rt.spawn("parent", || {
+            work(100);
+            let child = spawn("child", || {
+                work(400);
+            });
+            child.join();
+            // Child started at 100 and worked 400.
+            assert_eq!(now(), 500);
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn join_already_done_thread() {
+        let rt = SimRuntime::new(1);
+        rt.spawn("parent", || {
+            let child = spawn("child", || work(50));
+            work(500); // Child finishes at 50 while parent works.
+            child.join();
+            assert_eq!(now(), 500);
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_events() {
+        fn go() -> (Nanos, u64) {
+            let rt = SimRuntime::new(7);
+            let sum = Arc::new(AtomicU64::new(0));
+            for i in 0..8u64 {
+                let sum = Arc::clone(&sum);
+                rt.spawn("w", move || {
+                    for k in 0..20 {
+                        work(10 + (i * 7 + k) % 13);
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    }
+                });
+            }
+            let t = rt.run();
+            (t, rt.events())
+        }
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation failed")]
+    fn sim_thread_panic_propagates() {
+        let rt = SimRuntime::new(1);
+        rt.spawn("bad", || panic!("boom"));
+        rt.spawn("good", || work(10));
+        rt.run();
+    }
+
+    #[test]
+    fn empty_runtime_runs() {
+        let rt = SimRuntime::new(1);
+        assert_eq!(rt.run(), 0);
+    }
+
+    #[test]
+    fn yield_rotates_equal_time_threads() {
+        let rt = SimRuntime::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for name in ["a", "b"] {
+            let order = Arc::clone(&order);
+            rt.spawn(name, move || {
+                for _ in 0..2 {
+                    order.lock().push(name);
+                    yield_now();
+                }
+            });
+        }
+        rt.run();
+        assert_eq!(*order.lock(), vec!["a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn many_threads_park_cleanly() {
+        let rt = SimRuntime::new(3);
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let count = Arc::clone(&count);
+            rt.spawn("w", move || {
+                work(17);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.run();
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+}

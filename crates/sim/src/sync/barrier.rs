@@ -1,0 +1,134 @@
+//! Virtual-time barrier.
+
+use parking_lot::Mutex as PlMutex;
+
+use crate::runtime::with_inner;
+
+struct BarrierState {
+    n: usize,
+    waiting: Vec<usize>,
+}
+
+/// A reusable barrier: the `n`-th arriving sim-thread releases everyone, and
+/// all participants resume at the last arriver's virtual timestamp. The
+/// benchmark harnesses use this to open a measurement window at a common
+/// virtual instant.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use trio_sim::{now, work, SimRuntime, sync::SimBarrier};
+///
+/// let rt = SimRuntime::new(0);
+/// let b = Arc::new(SimBarrier::new(2));
+/// for delay in [100u64, 900] {
+///     let b = Arc::clone(&b);
+///     rt.spawn("t", move || {
+///         work(delay);
+///         b.wait();
+///         assert!(now() >= 900);
+///     });
+/// }
+/// rt.run();
+/// ```
+pub struct SimBarrier {
+    state: PlMutex<BarrierState>,
+}
+
+impl SimBarrier {
+    /// Creates a barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        SimBarrier { state: PlMutex::new(BarrierState { n, waiting: Vec::new() }) }
+    }
+
+    /// Blocks until `n` threads have arrived. Returns `true` on the thread
+    /// that tripped the barrier (the last arriver).
+    pub fn wait(&self) -> bool {
+        with_inner(|inner, me| {
+            let mut st = self.state.lock();
+            if st.waiting.len() + 1 == st.n {
+                let woken = std::mem::take(&mut st.waiting);
+                drop(st);
+                // The scheduler runs the minimum-time thread first, so the
+                // last arriver holds the maximum timestamp; release everyone
+                // at it.
+                for tid in woken {
+                    inner.wake_from(me, tid, 0);
+                }
+                true
+            } else {
+                st.waiting.push(me);
+                drop(st);
+                inner.block_current(me);
+                false
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, work, SimRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn releases_all_at_max_time() {
+        let rt = SimRuntime::new(0);
+        let b = Arc::new(SimBarrier::new(4));
+        let times = Arc::new(PlMutex::new(Vec::new()));
+        for i in 0..4u64 {
+            let b = Arc::clone(&b);
+            let times = Arc::clone(&times);
+            rt.spawn("t", move || {
+                work(100 * (i + 1));
+                b.wait();
+                times.lock().push(now());
+            });
+        }
+        rt.run();
+        for t in times.lock().iter() {
+            assert_eq!(*t, 400);
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader() {
+        let rt = SimRuntime::new(0);
+        let b = Arc::new(SimBarrier::new(3));
+        let leaders = Arc::new(PlMutex::new(0u32));
+        for _ in 0..3 {
+            let b = Arc::clone(&b);
+            let leaders = Arc::clone(&leaders);
+            rt.spawn("t", move || {
+                if b.wait() {
+                    *leaders.lock() += 1;
+                }
+            });
+        }
+        rt.run();
+        assert_eq!(*leaders.lock(), 1);
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        let rt = SimRuntime::new(0);
+        let b = Arc::new(SimBarrier::new(2));
+        for _ in 0..2 {
+            let b = Arc::clone(&b);
+            rt.spawn("t", move || {
+                for _ in 0..3 {
+                    work(10);
+                    b.wait();
+                }
+            });
+        }
+        rt.run();
+    }
+}

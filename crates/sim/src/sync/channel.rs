@@ -1,0 +1,272 @@
+//! Virtual-time message channel (MPMC).
+//!
+//! Models the shared-memory ring buffers used for delegation in
+//! OdinFS/ArckFS (paper §4.5): producers block when the ring is full,
+//! consumers block when it is empty, and each hop charges
+//! [`crate::cost::RING_HOP_NS`] to the receiving side's wake-up time.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex as PlMutex;
+
+use crate::cost;
+use crate::runtime::with_inner;
+
+struct Chan<T> {
+    q: VecDeque<T>,
+    cap: usize,
+    send_waiters: VecDeque<usize>,
+    recv_waiters: VecDeque<usize>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer queue on the virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use trio_sim::{SimRuntime, sync::SimChannel};
+///
+/// let rt = SimRuntime::new(0);
+/// let ch = Arc::new(SimChannel::bounded(8));
+/// let tx = Arc::clone(&ch);
+/// rt.spawn("producer", move || {
+///     for i in 0..4u32 {
+///         tx.send(i).unwrap();
+///     }
+///     tx.close();
+/// });
+/// let rx = Arc::clone(&ch);
+/// rt.spawn("consumer", move || {
+///     let mut sum = 0;
+///     while let Some(v) = rx.recv() {
+///         sum += v;
+///     }
+///     assert_eq!(sum, 6);
+/// });
+/// rt.run();
+/// ```
+pub struct SimChannel<T> {
+    state: PlMutex<Chan<T>>,
+}
+
+impl<T> SimChannel<T> {
+    /// Creates an unbounded channel.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates a bounded channel; `send` blocks while `cap` items queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (rendezvous channels are not modelled).
+    pub fn bounded(cap: usize) -> Self {
+        assert!(cap > 0, "use unbounded() for an unbounded channel");
+        Self::with_capacity(cap)
+    }
+
+    fn with_capacity(cap: usize) -> Self {
+        SimChannel {
+            state: PlMutex::new(Chan {
+                q: VecDeque::new(),
+                cap,
+                send_waiters: VecDeque::new(),
+                recv_waiters: VecDeque::new(),
+                closed: false,
+            }),
+        }
+    }
+
+    /// Sends a value, blocking (in virtual time) while the channel is full.
+    /// Returns the value back if the channel was closed.
+    pub fn send(&self, v: T) -> Result<(), T> {
+        enum Outcome {
+            Sent,
+            Closed,
+            Retry,
+        }
+        let mut slot = Some(v);
+        loop {
+            let outcome = with_inner(|inner, me| {
+                let mut st = self.state.lock();
+                if st.closed {
+                    return Outcome::Closed;
+                }
+                if st.cap == 0 || st.q.len() < st.cap {
+                    st.q.push_back(slot.take().expect("send value present"));
+                    if let Some(r) = st.recv_waiters.pop_front() {
+                        inner.wake_from(me, r, cost::RING_HOP_NS);
+                    }
+                    return Outcome::Sent;
+                }
+                st.send_waiters.push_back(me);
+                drop(st);
+                inner.block_current(me);
+                Outcome::Retry
+            });
+            match outcome {
+                Outcome::Closed => return Err(slot.take().expect("send value present")),
+                Outcome::Sent => return Ok(()),
+                Outcome::Retry => continue,
+            }
+        }
+    }
+
+    /// Receives a value, blocking (in virtual time) while the channel is
+    /// empty. Returns `None` once the channel is closed and drained.
+    pub fn recv(&self) -> Option<T> {
+        loop {
+            let got = with_inner(|inner, me| {
+                let mut st = self.state.lock();
+                if let Some(item) = st.q.pop_front() {
+                    if let Some(s) = st.send_waiters.pop_front() {
+                        inner.wake_from(me, s, cost::RING_HOP_NS);
+                    }
+                    return Some(Some(item));
+                }
+                if st.closed {
+                    return Some(None);
+                }
+                st.recv_waiters.push_back(me);
+                drop(st);
+                inner.block_current(me);
+                None
+            });
+            if let Some(res) = got {
+                return res;
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        with_inner(|inner, me| {
+            let mut st = self.state.lock();
+            let item = st.q.pop_front();
+            if item.is_some() {
+                if let Some(s) = st.send_waiters.pop_front() {
+                    inner.wake_from(me, s, cost::RING_HOP_NS);
+                }
+            }
+            item
+        })
+    }
+
+    /// Closes the channel: pending items stay receivable, new sends fail,
+    /// blocked threads wake.
+    pub fn close(&self) {
+        with_inner(|inner, me| {
+            let mut st = self.state.lock();
+            st.closed = true;
+            let mut wake: Vec<usize> = st.send_waiters.drain(..).collect();
+            wake.extend(st.recv_waiters.drain(..));
+            drop(st);
+            for tid in wake {
+                inner.wake_from(me, tid, cost::CONDVAR_WAKE_NS);
+            }
+        });
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{work, SimRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_delivery() {
+        let rt = SimRuntime::new(0);
+        let ch = Arc::new(SimChannel::unbounded());
+        let tx = Arc::clone(&ch);
+        rt.spawn("p", move || {
+            for i in 0..10u32 {
+                tx.send(i).unwrap();
+                work(5);
+            }
+            tx.close();
+        });
+        let rx = Arc::clone(&ch);
+        let out = Arc::new(PlMutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        rt.spawn("c", move || {
+            while let Some(v) = rx.recv() {
+                out2.lock().push(v);
+            }
+        });
+        rt.run();
+        assert_eq!(*out.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity() {
+        let rt = SimRuntime::new(0);
+        let ch = Arc::new(SimChannel::bounded(1));
+        let tx = Arc::clone(&ch);
+        rt.spawn("p", move || {
+            tx.send(1u32).unwrap();
+            tx.send(2).unwrap(); // Blocks until the consumer drains one.
+            assert!(crate::now() >= 1_000);
+        });
+        let rx = Arc::clone(&ch);
+        rt.spawn("c", move || {
+            work(1_000);
+            assert_eq!(rx.recv(), Some(1));
+            assert_eq!(rx.recv(), Some(2));
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let rt = SimRuntime::new(0);
+        let ch = Arc::new(SimChannel::<u8>::unbounded());
+        let rx = Arc::clone(&ch);
+        rt.spawn("c", move || {
+            assert_eq!(rx.recv(), None);
+        });
+        let tx = Arc::clone(&ch);
+        rt.spawn("p", move || {
+            work(100);
+            tx.close();
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn send_after_close_fails() {
+        let rt = SimRuntime::new(0);
+        let ch = Arc::new(SimChannel::<u8>::unbounded());
+        let c = Arc::clone(&ch);
+        rt.spawn("t", move || {
+            c.close();
+            assert_eq!(c.send(9), Err(9));
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let rt = SimRuntime::new(0);
+        let ch = Arc::new(SimChannel::<u8>::unbounded());
+        let c = Arc::clone(&ch);
+        rt.spawn("t", move || {
+            assert_eq!(c.try_recv(), None);
+            c.send(3).unwrap();
+            assert_eq!(c.try_recv(), Some(3));
+        });
+        rt.run();
+    }
+}

@@ -1,0 +1,165 @@
+//! Virtual-time condition variable.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex as PlMutex;
+
+use crate::cost;
+use crate::runtime::with_inner;
+use crate::sync::SimMutexGuard;
+
+/// A condition variable for use with [`SimMutex`].
+///
+/// There are no spurious wakeups, but callers should still re-check their
+/// predicate in a loop: another thread may run between the notification and
+/// the re-acquisition of the mutex.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use trio_sim::{SimRuntime, sync::{SimCondvar, SimMutex}, work};
+///
+/// let rt = SimRuntime::new(0);
+/// let state = Arc::new((SimMutex::new(false), SimCondvar::new()));
+/// let s2 = Arc::clone(&state);
+/// rt.spawn("waiter", move || {
+///     let (m, cv) = &*s2;
+///     let mut g = m.lock();
+///     while !*g {
+///         g = cv.wait(g);
+///     }
+/// });
+/// let s3 = Arc::clone(&state);
+/// rt.spawn("setter", move || {
+///     let (m, cv) = &*s3;
+///     work(500);
+///     *m.lock() = true;
+///     cv.notify_one();
+/// });
+/// rt.run();
+/// ```
+pub struct SimCondvar {
+    waiters: PlMutex<VecDeque<usize>>,
+}
+
+impl Default for SimCondvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimCondvar {
+    /// Creates an empty condition variable.
+    pub fn new() -> Self {
+        SimCondvar { waiters: PlMutex::new(VecDeque::new()) }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// re-acquires the mutex.
+    pub fn wait<'a, T>(&self, guard: SimMutexGuard<'a, T>) -> SimMutexGuard<'a, T> {
+        let mutex = guard.parent();
+        with_inner(|_, me| {
+            self.waiters.lock().push_back(me);
+        });
+        drop(guard);
+        with_inner(|inner, me| inner.block_current(me));
+        mutex.lock()
+    }
+
+    /// Wakes the longest-waiting thread, if any. Returns whether a thread
+    /// was woken.
+    pub fn notify_one(&self) -> bool {
+        with_inner(|inner, me| {
+            let next = self.waiters.lock().pop_front();
+            match next {
+                Some(tid) => {
+                    inner.wake_from(me, tid, cost::CONDVAR_WAKE_NS);
+                    true
+                }
+                None => false,
+            }
+        })
+    }
+
+    /// Wakes all waiting threads. Returns how many were woken.
+    pub fn notify_all(&self) -> usize {
+        with_inner(|inner, me| {
+            let drained: Vec<usize> = self.waiters.lock().drain(..).collect();
+            let n = drained.len();
+            for tid in drained {
+                inner.wake_from(me, tid, cost::CONDVAR_WAKE_NS);
+            }
+            n
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::SimMutex;
+    use crate::{now, work, SimRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_resumes_after_notify_time() {
+        let rt = SimRuntime::new(0);
+        let state = Arc::new((SimMutex::with_costs(false, 0, 0), SimCondvar::new()));
+        let s = Arc::clone(&state);
+        rt.spawn("waiter", move || {
+            let (m, cv) = &*s;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            assert!(now() >= 5_000);
+        });
+        let s = Arc::clone(&state);
+        rt.spawn("setter", move || {
+            let (m, cv) = &*s;
+            work(5_000);
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let rt = SimRuntime::new(0);
+        let state = Arc::new((SimMutex::new(0u32), SimCondvar::new()));
+        for _ in 0..5 {
+            let s = Arc::clone(&state);
+            rt.spawn("waiter", move || {
+                let (m, cv) = &*s;
+                let mut g = m.lock();
+                while *g == 0 {
+                    g = cv.wait(g);
+                }
+                *g += 1;
+            });
+        }
+        let s = Arc::clone(&state);
+        rt.spawn("setter", move || {
+            let (m, cv) = &*s;
+            work(100);
+            *m.lock() = 1;
+            cv.notify_all();
+        });
+        rt.run();
+        assert_eq!(*state.0.lock_uncontended(), 6);
+    }
+
+    #[test]
+    fn notify_without_waiters_is_noop() {
+        let rt = SimRuntime::new(0);
+        let cv = Arc::new(SimCondvar::new());
+        let cv2 = Arc::clone(&cv);
+        rt.spawn("t", move || {
+            assert!(!cv2.notify_one());
+            assert_eq!(cv2.notify_all(), 0);
+        });
+        rt.run();
+    }
+}

@@ -1,0 +1,20 @@
+//! Virtual-time synchronization primitives.
+//!
+//! Each primitive pairs a *virtual protocol* (who may proceed, and at what
+//! virtual timestamp) with a real `parking_lot` lock protecting the payload,
+//! so contention shows up on the virtual clock while memory safety is
+//! enforced by ordinary Rust locking. Because the runtime executes exactly
+//! one sim-thread at a time, the real locks are never contended; they exist
+//! to satisfy the borrow checker and to catch protocol bugs.
+
+mod barrier;
+mod channel;
+mod condvar;
+mod mutex;
+mod rwlock;
+
+pub use barrier::SimBarrier;
+pub use channel::SimChannel;
+pub use condvar::SimCondvar;
+pub use mutex::{SimMutex, SimMutexGuard};
+pub use rwlock::{SimRwLock, SimRwLockReadGuard, SimRwLockWriteGuard};

@@ -1,0 +1,223 @@
+//! Virtual-time mutex.
+
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::Mutex as PlMutex;
+
+use crate::cost;
+use crate::runtime::with_inner;
+use crate::time::Nanos;
+
+struct VState {
+    held_by: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+/// A mutual-exclusion lock whose contention is accounted on the virtual
+/// clock.
+///
+/// An uncontended acquisition charges a small fixed cost; a contended one
+/// blocks the sim-thread until the holder releases, resuming no earlier than
+/// the release timestamp plus a hand-off cost. Waiters are served FIFO,
+/// which makes convoys deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use trio_sim::{SimRuntime, sync::SimMutex, work};
+///
+/// let rt = SimRuntime::new(0);
+/// let m = Arc::new(SimMutex::new(Vec::new()));
+/// for i in 0..3u32 {
+///     let m = Arc::clone(&m);
+///     rt.spawn("t", move || {
+///         let mut g = m.lock();
+///         work(100); // hold the lock for 100 virtual ns
+///         g.push(i);
+///     });
+/// }
+/// rt.run();
+/// assert_eq!(m.lock_uncontended().len(), 3);
+/// ```
+pub struct SimMutex<T> {
+    v: PlMutex<VState>,
+    data: PlMutex<T>,
+    acquire_ns: Nanos,
+    handoff_ns: Nanos,
+}
+
+impl<T> SimMutex<T> {
+    /// Creates a mutex with the default cost model
+    /// ([`cost::LOCK_UNCONTENDED_NS`], [`cost::LOCK_HANDOFF_NS`]).
+    pub fn new(data: T) -> Self {
+        Self::with_costs(data, cost::LOCK_UNCONTENDED_NS, cost::LOCK_HANDOFF_NS)
+    }
+
+    /// Creates a mutex with explicit acquire/hand-off costs — e.g. a cheap
+    /// spinlock (KVFS, paper §5) versus a heavier queued lock.
+    pub fn with_costs(data: T, acquire_ns: Nanos, handoff_ns: Nanos) -> Self {
+        SimMutex {
+            v: PlMutex::new(VState { held_by: None, waiters: VecDeque::new() }),
+            data: PlMutex::new(data),
+            acquire_ns,
+            handoff_ns,
+        }
+    }
+
+    /// Acquires the lock on the virtual clock, blocking the calling
+    /// sim-thread while contended.
+    ///
+    /// Outside a sim-thread (setup/teardown code) this degrades to the
+    /// plain storage lock, asserting the virtual lock is free.
+    pub fn lock(&self) -> SimMutexGuard<'_, T> {
+        if !crate::in_sim() {
+            assert!(self.v.lock().held_by.is_none(), "SimMutex virtually held during non-sim access");
+            return SimMutexGuard { mutex: self, virtually_held: false, real: Some(self.data.lock()) };
+        }
+        with_inner(|inner, me| {
+            let mut v = self.v.lock();
+            if v.held_by.is_none() {
+                v.held_by = Some(me);
+                drop(v);
+                inner.charge(me, self.acquire_ns);
+            } else {
+                v.waiters.push_back(me);
+                drop(v);
+                // The releaser transfers ownership to us before waking us.
+                inner.block_current(me);
+            }
+        });
+        SimMutexGuard { mutex: self, virtually_held: true, real: Some(self.data.lock()) }
+    }
+
+    /// Accesses the payload from outside the simulation (setup, teardown,
+    /// assertions after [`crate::SimRuntime::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sim-thread still virtually holds the lock.
+    pub fn lock_uncontended(&self) -> parking_lot::MutexGuard<'_, T> {
+        assert!(self.v.lock().held_by.is_none(), "SimMutex still virtually held");
+        self.data.lock()
+    }
+
+    /// Mutable access through an exclusive reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    fn unlock(&self) {
+        with_inner(|inner, me| {
+            let mut v = self.v.lock();
+            debug_assert_eq!(v.held_by, Some(me), "guard dropped by non-owner");
+            if let Some(next) = v.waiters.pop_front() {
+                v.held_by = Some(next);
+                inner.wake_from(me, next, self.handoff_ns);
+            } else {
+                v.held_by = None;
+            }
+        });
+    }
+}
+
+/// RAII guard for [`SimMutex`]; releasing it performs the virtual unlock.
+pub struct SimMutexGuard<'a, T> {
+    pub(super) mutex: &'a SimMutex<T>,
+    virtually_held: bool,
+    real: Option<parking_lot::MutexGuard<'a, T>>,
+}
+
+impl<'a, T> SimMutexGuard<'a, T> {
+    pub(super) fn parent(&self) -> &'a SimMutex<T> {
+        self.mutex
+    }
+}
+
+impl<T> Deref for SimMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> DerefMut for SimMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for SimMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the virtual hand-off so the next
+        // owner (woken later) finds it free.
+        self.real = None;
+        if self.virtually_held {
+            self.mutex.unlock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, work, SimRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn serializes_critical_sections_in_virtual_time() {
+        let rt = SimRuntime::new(0);
+        let m = Arc::new(SimMutex::with_costs((), 0, 0));
+        let ends = Arc::new(PlMutex::new(Vec::new()));
+        for _ in 0..3 {
+            let m = Arc::clone(&m);
+            let ends = Arc::clone(&ends);
+            rt.spawn("t", move || {
+                let _g = m.lock();
+                work(100);
+                ends.lock().push(now());
+            });
+        }
+        let total = rt.run();
+        // Three 100ns critical sections must serialize: end times 100/200/300.
+        assert_eq!(*ends.lock(), vec![100, 200, 300]);
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn fifo_ordering_under_contention() {
+        let rt = SimRuntime::new(0);
+        let m = Arc::new(SimMutex::with_costs(Vec::new(), 0, 0));
+        for i in 0..5u32 {
+            let m = Arc::clone(&m);
+            rt.spawn("t", move || {
+                work(10 * (i as u64 + 1)); // Arrive in order 0..5.
+                let mut g = m.lock();
+                work(1_000);
+                g.push(i);
+            });
+        }
+        rt.run();
+        assert_eq!(*m.lock_uncontended(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uncontended_cost_is_charged() {
+        let rt = SimRuntime::new(0);
+        let m = Arc::new(SimMutex::with_costs((), 70, 0));
+        let m2 = Arc::clone(&m);
+        rt.spawn("t", move || {
+            let _g = m2.lock();
+            assert_eq!(now(), 70);
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn lock_outside_sim_degrades_to_plain_lock() {
+        let m = SimMutex::new(0u8);
+        *m.lock() = 9;
+        assert_eq!(*m.lock(), 9);
+    }
+}

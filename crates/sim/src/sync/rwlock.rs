@@ -1,0 +1,297 @@
+//! Virtual-time readers–writer lock.
+
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::{Mutex as PlMutex, RwLock as PlRwLock};
+
+use crate::cost;
+use crate::runtime::with_inner;
+use crate::time::Nanos;
+
+struct VState {
+    writer: Option<usize>,
+    readers: u32,
+    /// FIFO of `(tid, is_writer)` — fair queueing, with consecutive readers
+    /// admitted as a batch.
+    waiters: VecDeque<(usize, bool)>,
+}
+
+/// A readers–writer lock accounted on the virtual clock.
+///
+/// Readers overlap in virtual time; writers are exclusive. Queueing is fair
+/// FIFO (a waiting writer blocks later readers), so neither side starves —
+/// mirroring the BRAVO-style locks ArckFS builds on (paper §4.5).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use trio_sim::{SimRuntime, sync::SimRwLock, work};
+///
+/// let rt = SimRuntime::new(0);
+/// let l = Arc::new(SimRwLock::new(7u32));
+/// for _ in 0..4 {
+///     let l = Arc::clone(&l);
+///     rt.spawn("r", move || {
+///         let g = l.read();
+///         work(100);
+///         assert_eq!(*g, 7);
+///     });
+/// }
+/// // Four overlapping 100ns readers finish in ~100ns, not 400.
+/// assert!(rt.run() < 200);
+/// ```
+pub struct SimRwLock<T> {
+    v: PlMutex<VState>,
+    data: PlRwLock<T>,
+    acquire_ns: Nanos,
+    handoff_ns: Nanos,
+}
+
+impl<T> SimRwLock<T> {
+    /// Creates a lock with the default cost model.
+    pub fn new(data: T) -> Self {
+        Self::with_costs(data, cost::LOCK_UNCONTENDED_NS, cost::LOCK_HANDOFF_NS)
+    }
+
+    /// Creates a lock with explicit acquire/hand-off costs.
+    pub fn with_costs(data: T, acquire_ns: Nanos, handoff_ns: Nanos) -> Self {
+        SimRwLock {
+            v: PlMutex::new(VState { writer: None, readers: 0, waiters: VecDeque::new() }),
+            data: PlRwLock::new(data),
+            acquire_ns,
+            handoff_ns,
+        }
+    }
+
+    /// Acquires shared access on the virtual clock. Outside a sim-thread
+    /// this degrades to the plain storage lock.
+    pub fn read(&self) -> SimRwLockReadGuard<'_, T> {
+        if !crate::in_sim() {
+            return SimRwLockReadGuard { lock: self, virtually_held: false, real: Some(self.data.read()) };
+        }
+        with_inner(|inner, me| {
+            let mut v = self.v.lock();
+            if v.writer.is_none() && v.waiters.is_empty() {
+                v.readers += 1;
+                drop(v);
+                inner.charge(me, self.acquire_ns);
+            } else {
+                v.waiters.push_back((me, false));
+                drop(v);
+                inner.block_current(me);
+            }
+        });
+        SimRwLockReadGuard { lock: self, virtually_held: true, real: Some(self.data.read()) }
+    }
+
+    /// Acquires exclusive access on the virtual clock. Outside a sim-thread
+    /// this degrades to the plain storage lock.
+    pub fn write(&self) -> SimRwLockWriteGuard<'_, T> {
+        if !crate::in_sim() {
+            return SimRwLockWriteGuard { lock: self, virtually_held: false, real: Some(self.data.write()) };
+        }
+        with_inner(|inner, me| {
+            let mut v = self.v.lock();
+            if v.writer.is_none() && v.readers == 0 && v.waiters.is_empty() {
+                v.writer = Some(me);
+                drop(v);
+                inner.charge(me, self.acquire_ns);
+            } else {
+                v.waiters.push_back((me, true));
+                drop(v);
+                inner.block_current(me);
+            }
+        });
+        SimRwLockWriteGuard { lock: self, virtually_held: true, real: Some(self.data.write()) }
+    }
+
+    /// Accesses the payload from outside the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sim-thread still virtually holds the lock.
+    pub fn read_uncontended(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        let v = self.v.lock();
+        assert!(v.writer.is_none() && v.readers == 0, "SimRwLock still virtually held");
+        drop(v);
+        self.data.read()
+    }
+
+    /// Mutable access through an exclusive reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Admits the next batch of waiters: either one writer or a maximal run
+    /// of consecutive readers. Called with the virtual state locked.
+    fn admit(&self, v: &mut VState, me: usize) {
+        with_inner(|inner, _| {
+            if let Some(&(tid, is_writer)) = v.waiters.front() {
+                if is_writer {
+                    if v.readers == 0 && v.writer.is_none() {
+                        v.waiters.pop_front();
+                        v.writer = Some(tid);
+                        inner.wake_from(me, tid, self.handoff_ns);
+                    }
+                } else if v.writer.is_none() {
+                    while let Some(&(tid2, false)) = v.waiters.front() {
+                        v.waiters.pop_front();
+                        v.readers += 1;
+                        inner.wake_from(me, tid2, self.handoff_ns);
+                    }
+                    let _ = tid;
+                }
+            }
+        });
+    }
+
+    fn release_read(&self) {
+        with_inner(|_, me| {
+            let mut v = self.v.lock();
+            debug_assert!(v.readers > 0);
+            v.readers -= 1;
+            if v.readers == 0 {
+                self.admit(&mut v, me);
+            }
+        });
+    }
+
+    fn release_write(&self) {
+        with_inner(|_, me| {
+            let mut v = self.v.lock();
+            debug_assert_eq!(v.writer, Some(me));
+            v.writer = None;
+            self.admit(&mut v, me);
+        });
+    }
+}
+
+/// Shared guard for [`SimRwLock`].
+pub struct SimRwLockReadGuard<'a, T> {
+    lock: &'a SimRwLock<T>,
+    virtually_held: bool,
+    real: Option<parking_lot::RwLockReadGuard<'a, T>>,
+}
+
+impl<T> Deref for SimRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> Drop for SimRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.real = None;
+        if self.virtually_held {
+            self.lock.release_read();
+        }
+    }
+}
+
+/// Exclusive guard for [`SimRwLock`].
+pub struct SimRwLockWriteGuard<'a, T> {
+    lock: &'a SimRwLock<T>,
+    virtually_held: bool,
+    real: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> Deref for SimRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> DerefMut for SimRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for SimRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.real = None;
+        if self.virtually_held {
+            self.lock.release_write();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{work, SimRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_overlap_writers_serialize() {
+        // 4 readers of 100ns overlap; then 2 writers of 100ns serialize.
+        let rt = SimRuntime::new(0);
+        let l = Arc::new(SimRwLock::with_costs(0u64, 0, 0));
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            rt.spawn("r", move || {
+                let _g = l.read();
+                work(100);
+            });
+        }
+        for _ in 0..2 {
+            let l = Arc::clone(&l);
+            rt.spawn("w", move || {
+                work(150); // Arrive after the readers started.
+                let mut g = l.write();
+                work(100);
+                *g += 1;
+            });
+        }
+        let total = rt.run();
+        // Readers end at 100; writer1 ends ~200, writer2 ends ~300.
+        assert!(total >= 300 && total < 400, "total={total}");
+        assert_eq!(*l.read_uncontended(), 2);
+    }
+
+    #[test]
+    fn waiting_writer_blocks_later_readers() {
+        let rt = SimRuntime::new(0);
+        let l = Arc::new(SimRwLock::with_costs(Vec::new(), 0, 0));
+        {
+            let l = Arc::clone(&l);
+            rt.spawn("r0", move || {
+                let _g = l.read();
+                work(1_000);
+            });
+        }
+        {
+            let l = Arc::clone(&l);
+            rt.spawn("w", move || {
+                work(10);
+                let mut g = l.write();
+                g.push("w");
+            });
+        }
+        {
+            let l = Arc::clone(&l);
+            rt.spawn("r1", move || {
+                work(20); // Arrives while the writer waits; must queue behind it.
+                let g = l.read();
+                assert_eq!(g.as_slice(), ["w"]);
+            });
+        }
+        rt.run();
+    }
+
+    #[test]
+    fn write_lock_gives_mutable_access() {
+        let rt = SimRuntime::new(0);
+        let l = Arc::new(SimRwLock::new(vec![1, 2]));
+        let l2 = Arc::clone(&l);
+        rt.spawn("w", move || {
+            l2.write().push(3);
+        });
+        rt.run();
+        assert_eq!(*l.read_uncontended(), vec![1, 2, 3]);
+    }
+}

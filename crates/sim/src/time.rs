@@ -1,0 +1,51 @@
+//! Virtual time units.
+//!
+//! All simulation time is measured in nanoseconds held in a `u64`, giving a
+//! virtual horizon of ~584 years — far beyond any experiment in this
+//! repository.
+
+/// Virtual nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+
+/// One second in [`Nanos`].
+pub const SECONDS: Nanos = 1_000_000_000;
+
+/// Formats a [`Nanos`] value with an adaptive unit for human-readable logs.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(trio_sim::time::format_nanos(1_500), "1.500us");
+/// assert_eq!(trio_sim::time::format_nanos(250), "250ns");
+/// ```
+pub fn format_nanos(ns: Nanos) -> String {
+    if ns >= SECONDS {
+        format!("{:.3}s", ns as f64 / SECONDS as f64)
+    } else if ns >= MILLIS {
+        format!("{:.3}ms", ns as f64 / MILLIS as f64)
+    } else if ns >= MICROS {
+        format!("{:.3}us", ns as f64 / MICROS as f64)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_each_unit() {
+        assert_eq!(format_nanos(0), "0ns");
+        assert_eq!(format_nanos(999), "999ns");
+        assert_eq!(format_nanos(1_000), "1.000us");
+        assert_eq!(format_nanos(2_500_000), "2.500ms");
+        assert_eq!(format_nanos(3 * SECONDS), "3.000s");
+    }
+}

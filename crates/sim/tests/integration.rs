@@ -1,0 +1,217 @@
+//! Cross-primitive integration tests for the virtual-time runtime:
+//! pipelines, mixed lock workloads, deadlock detection, and scheduling
+//! invariants that the file systems rely on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use trio_sim::sync::{SimBarrier, SimChannel, SimCondvar, SimMutex, SimRwLock};
+use trio_sim::{now, spawn, work, SimRuntime};
+
+#[test]
+fn producer_consumer_pipeline_preserves_order_and_time() {
+    // Stage 1 produces, stage 2 transforms, stage 3 consumes; items flow
+    // through two bounded channels. Virtual completion time must reflect
+    // the slowest stage (pipelining, not serialization).
+    let rt = SimRuntime::new(1);
+    let c1 = Arc::new(SimChannel::bounded(4));
+    let c2 = Arc::new(SimChannel::bounded(4));
+    let out = Arc::new(Mutex::new(Vec::new()));
+    {
+        let c1 = Arc::clone(&c1);
+        rt.spawn("produce", move || {
+            for i in 0..32u64 {
+                work(100); // Fast producer.
+                c1.send(i).unwrap();
+            }
+            c1.close();
+        });
+    }
+    {
+        let c1 = Arc::clone(&c1);
+        let c2 = Arc::clone(&c2);
+        rt.spawn("transform", move || {
+            while let Some(v) = c1.recv() {
+                work(300); // The bottleneck stage.
+                c2.send(v * 2).unwrap();
+            }
+            c2.close();
+        });
+    }
+    {
+        let c2 = Arc::clone(&c2);
+        let out = Arc::clone(&out);
+        rt.spawn("consume", move || {
+            while let Some(v) = c2.recv() {
+                work(100);
+                out.lock().push(v);
+            }
+        });
+    }
+    let total = rt.run();
+    let got = out.lock().clone();
+    assert_eq!(got, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    // 32 items through a 300ns bottleneck ≈ 9.6us + drain; far less than
+    // the 16us a fully serialized design would take.
+    assert!(total > 9_600 && total < 16_000, "pipeline time {total}");
+}
+
+#[test]
+fn reader_throughput_scales_writer_throughput_does_not() {
+    fn run(readers: bool, threads: usize) -> u64 {
+        let rt = SimRuntime::new(2);
+        let lock = Arc::new(SimRwLock::with_costs(0u64, 0, 0));
+        for _ in 0..threads {
+            let lock = Arc::clone(&lock);
+            rt.spawn("t", move || {
+                for _ in 0..50 {
+                    if readers {
+                        let _g = lock.read();
+                        work(200);
+                    } else {
+                        let mut g = lock.write();
+                        work(200);
+                        *g += 1;
+                    }
+                }
+            });
+        }
+        rt.run()
+    }
+    let r1 = run(true, 1);
+    let r8 = run(true, 8);
+    let w8 = run(false, 8);
+    // 8 readers finish in about the single-reader time; 8 writers take ~8x.
+    assert!(r8 < r1 * 2, "readers overlap: {r8} vs {r1}");
+    assert!(w8 > r8 * 5, "writers serialize: {w8} vs {r8}");
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn virtual_deadlock_is_detected_and_reported() {
+    let rt = SimRuntime::new(3);
+    let a = Arc::new(SimMutex::new(()));
+    let b = Arc::new(SimMutex::new(()));
+    {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        rt.spawn("ab", move || {
+            let _ga = a.lock();
+            work(100);
+            let _gb = b.lock();
+        });
+    }
+    {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        rt.spawn("ba", move || {
+            let _gb = b.lock();
+            work(100);
+            let _ga = a.lock();
+        });
+    }
+    rt.run();
+}
+
+#[test]
+fn condvar_coordination_with_barrier_start() {
+    // N workers wait on a condition a coordinator sets after the barrier;
+    // all resume after the set-point, none before.
+    let rt = SimRuntime::new(4);
+    let state = Arc::new((SimMutex::new(false), SimCondvar::new()));
+    let barrier = Arc::new(SimBarrier::new(5));
+    let resumed = Arc::new(AtomicU64::new(0));
+    for _ in 0..4 {
+        let state = Arc::clone(&state);
+        let barrier = Arc::clone(&barrier);
+        let resumed = Arc::clone(&resumed);
+        rt.spawn("waiter", move || {
+            barrier.wait();
+            let (m, cv) = &*state;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            assert!(now() >= 5_000);
+            resumed.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    {
+        let state = Arc::clone(&state);
+        let barrier = Arc::clone(&barrier);
+        rt.spawn("setter", move || {
+            barrier.wait();
+            work(5_000);
+            let (m, cv) = &*state;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+    }
+    rt.run();
+    assert_eq!(resumed.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn nested_spawn_trees_join_cleanly() {
+    let rt = SimRuntime::new(5);
+    let count = Arc::new(AtomicU64::new(0));
+    let c0 = Arc::clone(&count);
+    rt.spawn("root", move || {
+        let mut level1 = Vec::new();
+        for _ in 0..3 {
+            let c1 = Arc::clone(&c0);
+            level1.push(spawn("mid", move || {
+                let mut level2 = Vec::new();
+                for _ in 0..3 {
+                    let c2 = Arc::clone(&c1);
+                    level2.push(spawn("leaf", move || {
+                        work(50);
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                for h in level2 {
+                    h.join();
+                }
+                c1.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        for h in level1 {
+            h.join();
+        }
+        c0.fetch_add(1, Ordering::Relaxed);
+    });
+    rt.run();
+    assert_eq!(count.load(Ordering::Relaxed), 13); // 9 leaves + 3 mids + root.
+}
+
+#[test]
+fn fifo_fairness_under_heavy_contention() {
+    // 16 threads hammer one mutex; acquisition order must be FIFO within
+    // rounds (no starvation), which the deterministic ready-queue
+    // guarantees.
+    let rt = SimRuntime::new(6);
+    let m = Arc::new(SimMutex::with_costs(Vec::<usize>::new(), 0, 0));
+    for i in 0..16usize {
+        let m = Arc::clone(&m);
+        rt.spawn("t", move || {
+            work(i as u64); // Stagger arrivals deterministically.
+            for _ in 0..4 {
+                let mut g = m.lock();
+                work(100);
+                g.push(i);
+            }
+        });
+    }
+    rt.run();
+    let order = m.lock_uncontended().clone();
+    assert_eq!(order.len(), 64);
+    // Each thread appears exactly 4 times and no thread gets two slots
+    // while another is waiting (round robin within each full round).
+    for round in 0..4 {
+        let window: Vec<usize> = order[round * 16..(round + 1) * 16].to_vec();
+        let mut sorted = window.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "round {round} fair");
+    }
+}

@@ -1,0 +1,438 @@
+//! The Trio **integrity verifier** (paper §4.3).
+//!
+//! A trusted, standalone component that inspects the core state of a
+//! *single file* when its write access transfers between LibFSes, checking
+//! the four invariant families the paper defines:
+//!
+//! * **I1** — every field of the inode/dirent is valid and internally
+//!   consistent: known file type, legal mode bits, legal name (no `/`, no
+//!   NUL, not empty, within the 200-byte field, length byte consistent),
+//!   no duplicate names under one directory, size consistent with the
+//!   allocated extent.
+//! * **I2** — the file's inode number, index pages, and data pages are
+//!   *provenance-clean*: each page either already belonged to this file or
+//!   was allocated to the LibFS being checked, and nothing is referenced
+//!   twice (no cycles, no cross-file aliasing, no pointing at other files'
+//!   pages or kernel pages).
+//! * **I3** — the directory tree stays a connected tree: a directory that
+//!   disappeared from its parent since the checkpoint must be genuinely
+//!   gone (not still mapped, not still holding children) unless it was
+//!   re-linked elsewhere (rename).
+//! * **I4** — the cached permission bits in the inode match the kernel's
+//!   shadow inode table (LibFSes can scribble on the cached copy; the
+//!   shadow copy is ground truth).
+//!
+//! The verifier is deliberately *small* (the paper reports 457 LoC) because
+//! ArckFS's core state is minimal; this reproduction keeps the same shape:
+//! one pass over the dirent slot, one defensive walk of the index chain,
+//! one scan of directory data pages, plus provenance lookups through the
+//! [`ResourceView`] the kernel controller exposes.
+
+use std::collections::{HashMap, HashSet};
+
+use trio_fsapi::path::validate_name;
+use trio_layout::{
+    walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, FilePages, Ino, WalkError,
+    DIRENTS_PER_PAGE, DIRENT_SIZE,
+};
+use trio_nvm::{ActorId, NvmHandle, PageId, PAGE_SIZE};
+use trio_sim::{cost, in_sim, work};
+
+/// Where a page currently stands in the kernel's books.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageProvenance {
+    /// Not allocated at all (free or reserved) — a file must not point here.
+    Free,
+    /// Allocated to a LibFS's pool, not yet part of any verified file.
+    AllocatedTo(ActorId),
+    /// Part of file `ino`'s verified core state.
+    InFile(Ino),
+    /// A kernel-owned page (superblock, reserved) — never valid in a file.
+    Kernel,
+}
+
+/// Where an inode number currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InoProvenance {
+    /// Never allocated — a dirent naming it is corruption.
+    Unknown,
+    /// Handed to a LibFS for future creates.
+    AllocatedTo(ActorId),
+    /// Live at a known dirent location.
+    InUse(DirentLoc),
+}
+
+/// Ground-truth attributes from the kernel's shadow inode table (I4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowAttr {
+    /// Permission bits.
+    pub mode: trio_fsapi::Mode,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+}
+
+/// The kernel-side knowledge the verifier reads (it has read access to the
+/// controller's global bookkeeping, paper §4.3/I2).
+pub trait ResourceView {
+    /// Provenance of a page.
+    fn page_provenance(&self, page: PageId) -> PageProvenance;
+
+    /// Provenance of an inode number.
+    fn ino_provenance(&self, ino: Ino) -> InoProvenance;
+
+    /// Shadow attributes of an inode, if the kernel has adopted it.
+    fn shadow_attr(&self, ino: Ino) -> Option<ShadowAttr>;
+
+    /// Whether any LibFS currently maps the file `ino` (I3: deleted
+    /// directories must not be).
+    fn is_mapped(&self, ino: Ino) -> bool;
+}
+
+/// One concrete integrity violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// I1: the committed dirent's inode number changed or vanished.
+    InoMismatch { expected: Ino, found: Ino },
+    /// I1: unknown file-type tag.
+    BadFileType { raw: u8 },
+    /// I1: mode bits outside the valid mask.
+    BadMode { raw: u16 },
+    /// I1: illegal name (slash, NUL, empty, overlong, or length-byte lie).
+    BadName,
+    /// I1: two live entries under one directory share a name.
+    DuplicateName { name: Vec<u8> },
+    /// I1: recorded size exceeds the allocated extent.
+    SizeBeyondExtent { size: u64, capacity: u64 },
+    /// I1: directory entry-count field disagrees with the live entries.
+    EntryCountMismatch { recorded: u64, actual: u64 },
+    /// I2: structural damage in the index chain.
+    Structure(WalkError),
+    /// I2: a referenced page belongs to someone else (or nobody).
+    ForeignPage { page: PageId, state: PageProvenance },
+    /// I2: a child inode number was never allocated or is already live at a
+    /// different location (double reference / fabricated ino).
+    ForeignIno { ino: Ino },
+    /// I2: the same inode number appears twice under this directory.
+    DuplicateIno { ino: Ino },
+    /// I3: a child directory vanished but is still mapped or still has
+    /// pages/children.
+    DisconnectedChild { ino: Ino },
+    /// I4: cached permissions disagree with the shadow inode table.
+    PermissionTampered { ino: Ino },
+}
+
+/// What the kernel asks the verifier to check.
+pub struct VerifyRequest<'a> {
+    /// The file's inode number.
+    pub ino: Ino,
+    /// Expected type (from the shadow/metadata at grant time).
+    pub ftype: CoreFileType,
+    /// The file's dirent slot (`None` for the root directory).
+    pub dirent: Option<DirentLoc>,
+    /// Head of the index chain as recorded in the dirent/superblock.
+    pub first_index: u64,
+    /// The LibFS whose write access is being released — pages allocated to
+    /// it are acceptable new members of the file (I2).
+    pub dirty_actor: ActorId,
+    /// For directories: the child inodes present at checkpoint time (I3).
+    pub checkpoint_children: Option<&'a HashSet<Ino>>,
+    /// Upper bound on index pages (device size / geometry driven).
+    pub max_index_pages: usize,
+}
+
+/// A live child entry discovered while verifying a directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChildEntry {
+    /// Child inode.
+    pub ino: Ino,
+    /// Location of its dirent slot.
+    pub loc: DirentLoc,
+    /// Child type tag.
+    pub ftype: CoreFileType,
+    /// Child name.
+    pub name: Vec<u8>,
+    /// Cached mode bits in the child's inode (kernel may adopt them).
+    pub mode: trio_fsapi::Mode,
+    /// Cached uid.
+    pub uid: u32,
+    /// Cached gid.
+    pub gid: u32,
+    /// Child's recorded first index page.
+    pub first_index: u64,
+}
+
+/// Verification outcome: violations plus the facts the kernel needs to
+/// update its provenance after a pass.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// All violations found (empty ⇒ the file passes).
+    pub violations: Vec<Violation>,
+    /// The file's pages as walked (valid even with non-structural
+    /// violations; empty on structural failure).
+    pub pages: FilePages,
+    /// Live children (directories only).
+    pub children: Vec<ChildEntry>,
+}
+
+impl VerifyReport {
+    /// Whether the core state passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The verifier component. Holds a privileged NVM handle (it is a trusted
+/// userspace process with read access to everything).
+pub struct Verifier {
+    h: NvmHandle,
+}
+
+impl Verifier {
+    /// Creates a verifier over a privileged handle.
+    pub fn new(h: NvmHandle) -> Self {
+        Verifier { h }
+    }
+
+    /// Verifies one file's core state. Charges the verification CPU/NVM
+    /// cost to the calling sim-thread (the kernel invokes this on the
+    /// mapping path, so the requester pays — paper §6.5 measures exactly
+    /// this latency).
+    pub fn verify(&self, req: &VerifyRequest<'_>, view: &dyn ResourceView) -> VerifyReport {
+        let mut report = VerifyReport::default();
+
+        // --- Dirent-level I1/I4 -------------------------------------------------
+        if let Some(loc) = req.dirent {
+            let dref = DirentRef::new(&self.h, loc);
+            match dref.load() {
+                Ok(d) => self.check_own_dirent(req, &d, view, &mut report),
+                Err(_) => report.violations.push(Violation::InoMismatch { expected: req.ino, found: 0 }),
+            }
+        }
+
+        // --- Structure walk (I2 core) -------------------------------------------
+        let pages = match walk_file(&self.h, req.first_index, req.max_index_pages) {
+            Ok(p) => p,
+            Err(e) => {
+                report.violations.push(Violation::Structure(e));
+                return report;
+            }
+        };
+        self.charge_walk(&pages);
+
+        // --- Page provenance (I2) ------------------------------------------------
+        for page in pages.all_pages() {
+            match view.page_provenance(page) {
+                PageProvenance::InFile(f) if f == req.ino => {}
+                PageProvenance::AllocatedTo(a) if a == req.dirty_actor => {}
+                state => report.violations.push(Violation::ForeignPage { page, state }),
+            }
+        }
+
+        // --- Directory contents (I1 names, I2 inos, I3) --------------------------
+        if req.ftype == CoreFileType::Directory {
+            self.check_directory(req, &pages, view, &mut report);
+        } else {
+            // Regular file: size vs extent.
+            if let Some(loc) = req.dirent {
+                if let Ok(d) = DirentRef::new(&self.h, loc).load() {
+                    let cap = pages.capacity_bytes();
+                    if d.size > cap {
+                        report
+                            .violations
+                            .push(Violation::SizeBeyondExtent { size: d.size, capacity: cap });
+                    }
+                }
+            }
+        }
+
+        report.pages = pages;
+        report
+    }
+
+    fn check_own_dirent(
+        &self,
+        req: &VerifyRequest<'_>,
+        d: &DirentData,
+        view: &dyn ResourceView,
+        report: &mut VerifyReport,
+    ) {
+        if d.ino != req.ino {
+            report.violations.push(Violation::InoMismatch { expected: req.ino, found: d.ino });
+        }
+        match d.ftype() {
+            Some(t) if t == req.ftype => {}
+            Some(_) | None => report.violations.push(Violation::BadFileType { raw: d.ftype_raw }),
+        }
+        if !d.mode.is_valid() {
+            report.violations.push(Violation::BadMode { raw: d.mode.0 });
+        }
+        if name_is_bad(&d.name) {
+            report.violations.push(Violation::BadName);
+        }
+        // I4: shadow table is ground truth for permissions.
+        if let Some(shadow) = view.shadow_attr(req.ino) {
+            if shadow.mode != d.mode || shadow.uid != d.uid || shadow.gid != d.gid {
+                report.violations.push(Violation::PermissionTampered { ino: req.ino });
+            }
+        }
+    }
+
+    fn check_directory(
+        &self,
+        req: &VerifyRequest<'_>,
+        pages: &FilePages,
+        view: &dyn ResourceView,
+        report: &mut VerifyReport,
+    ) {
+        let mut names: HashMap<Vec<u8>, Ino> = HashMap::new();
+        let mut inos: HashSet<Ino> = HashSet::new();
+        for page in pages.data_pages.iter().flatten() {
+            let mut raw = vec![0u8; PAGE_SIZE];
+            if self.h.read_untimed(*page, 0, &mut raw).is_err() {
+                continue; // Provenance violation already recorded.
+            }
+            for slot in 0..DIRENTS_PER_PAGE {
+                let b: &[u8; DIRENT_SIZE] =
+                    raw[slot * DIRENT_SIZE..(slot + 1) * DIRENT_SIZE].try_into().expect("slot");
+                let loc = DirentLoc { page: *page, slot };
+                let d = DirentData::decode_bytes(b);
+                if d.ino == 0 {
+                    continue;
+                }
+                if in_sim() {
+                    work(cost::VERIFY_ENTRY_NS);
+                }
+                if DirentData::raw_name_len(b) > trio_layout::MAX_NAME {
+                    report.violations.push(Violation::BadName);
+                }
+                self.check_child_entry(req, &d, loc, view, &mut names, &mut inos, report);
+            }
+        }
+        // Entry-count consistency (I1).
+        let recorded = match req.dirent {
+            Some(loc) => DirentRef::new(&self.h, loc).size().unwrap_or(u64::MAX),
+            None => u64::MAX, // Root: the kernel checks the superblock itself.
+        };
+        if recorded != u64::MAX && recorded != report.children.len() as u64 {
+            report.violations.push(Violation::EntryCountMismatch {
+                recorded,
+                actual: report.children.len() as u64,
+            });
+        }
+        // I3: children present at checkpoint but missing now must be truly gone.
+        if let Some(ck) = req.checkpoint_children {
+            for &child in ck {
+                if inos.contains(&child) {
+                    continue;
+                }
+                if view.is_mapped(child) {
+                    report.violations.push(Violation::DisconnectedChild { ino: child });
+                    continue;
+                }
+                // A properly deleted or renamed child is either freed or
+                // re-linked at a *different* live dirent.
+                match view.ino_provenance(child) {
+                    InoProvenance::Unknown | InoProvenance::AllocatedTo(_) => {}
+                    InoProvenance::InUse(loc) => {
+                        // Re-linked (rename) is fine if the slot is really live
+                        // with this ino elsewhere; otherwise it dangles.
+                        let live = DirentRef::new(&self.h, loc).ino().map(|i| i == child);
+                        if !matches!(live, Ok(true)) {
+                            report.violations.push(Violation::DisconnectedChild { ino: child });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_child_entry(
+        &self,
+        req: &VerifyRequest<'_>,
+        d: &DirentData,
+        loc: DirentLoc,
+        view: &dyn ResourceView,
+        names: &mut HashMap<Vec<u8>, Ino>,
+        inos: &mut HashSet<Ino>,
+        report: &mut VerifyReport,
+    ) {
+        let mut entry_ok = true;
+        let ftype = match d.ftype() {
+            Some(t) => t,
+            None => {
+                report.violations.push(Violation::BadFileType { raw: d.ftype_raw });
+                entry_ok = false;
+                CoreFileType::Regular
+            }
+        };
+        if !d.mode.is_valid() {
+            report.violations.push(Violation::BadMode { raw: d.mode.0 });
+            entry_ok = false;
+        }
+        if name_is_bad(&d.name) {
+            report.violations.push(Violation::BadName);
+            entry_ok = false;
+        } else if let Some(prev) = names.insert(d.name.clone(), d.ino) {
+            let _ = prev;
+            report.violations.push(Violation::DuplicateName { name: d.name.clone() });
+            entry_ok = false;
+        }
+        if !inos.insert(d.ino) {
+            report.violations.push(Violation::DuplicateIno { ino: d.ino });
+            entry_ok = false;
+        }
+        // I2 on the child's inode number.
+        match view.ino_provenance(d.ino) {
+            InoProvenance::Unknown => {
+                report.violations.push(Violation::ForeignIno { ino: d.ino });
+                entry_ok = false;
+            }
+            InoProvenance::AllocatedTo(a) if a != req.dirty_actor => {
+                report.violations.push(Violation::ForeignIno { ino: d.ino });
+                entry_ok = false;
+            }
+            InoProvenance::AllocatedTo(_) => {}
+            InoProvenance::InUse(known) if known != loc => {
+                // The ino lives elsewhere: hard-link / double reference.
+                report.violations.push(Violation::ForeignIno { ino: d.ino });
+                entry_ok = false;
+            }
+            InoProvenance::InUse(_) => {}
+        }
+        if entry_ok {
+            report.children.push(ChildEntry {
+                ino: d.ino,
+                loc,
+                ftype,
+                name: d.name.clone(),
+                mode: d.mode,
+                uid: d.uid,
+                gid: d.gid,
+                first_index: d.first_index,
+            });
+        }
+    }
+
+    fn charge_walk(&self, pages: &FilePages) {
+        if !in_sim() {
+            return;
+        }
+        let slots = pages.data_pages.len() as u64;
+        work(slots * cost::VERIFY_INDEX_SLOT_NS);
+        // Media cost of reading the index pages.
+        let dev = self.h.device();
+        for p in &pages.index_pages {
+            dev.charge_transfer(dev.topology().node_of(*p), PAGE_SIZE, false, 0);
+        }
+    }
+}
+
+fn name_is_bad(name: &[u8]) -> bool {
+    match std::str::from_utf8(name) {
+        Ok(s) => validate_name(s).is_err(),
+        Err(_) => true,
+    }
+}

@@ -1,0 +1,326 @@
+//! Unit-level tests of the integrity verifier against hand-built core
+//! state, with a mock kernel [`ResourceView`]. The end-to-end attack suite
+//! (malicious LibFS → kernel → verifier → rollback) lives in the workspace
+//! `tests/integrity_attacks.rs`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use trio_fsapi::Mode;
+use trio_layout::{
+    CoreFileType, DirentData, DirentLoc, DirentRef, IndexPageRef, Ino,
+};
+use trio_nvm::{ActorId, DeviceConfig, NvmDevice, NvmHandle, PageId, KERNEL_ACTOR};
+use trio_verifier::{
+    InoProvenance, PageProvenance, ResourceView, ShadowAttr, VerifyRequest, Verifier, Violation,
+};
+
+const LIBFS: ActorId = ActorId(7);
+
+#[derive(Default)]
+struct MockView {
+    pages: HashMap<u64, PageProvenance>,
+    inos: HashMap<Ino, InoProvenance>,
+    shadows: HashMap<Ino, ShadowAttr>,
+    mapped: HashSet<Ino>,
+}
+
+impl ResourceView for MockView {
+    fn page_provenance(&self, page: PageId) -> PageProvenance {
+        self.pages.get(&page.0).copied().unwrap_or(PageProvenance::Free)
+    }
+    fn ino_provenance(&self, ino: Ino) -> InoProvenance {
+        self.inos.get(&ino).copied().unwrap_or(InoProvenance::Unknown)
+    }
+    fn shadow_attr(&self, ino: Ino) -> Option<ShadowAttr> {
+        self.shadows.get(&ino).copied()
+    }
+    fn is_mapped(&self, ino: Ino) -> bool {
+        self.mapped.contains(&ino)
+    }
+}
+
+struct World {
+    handle: NvmHandle,
+    verifier: Verifier,
+    view: MockView,
+}
+
+/// Builds a device with a directory (ino 10) at dirent (page 2, slot 0)
+/// whose index page is 3 and whose single data page is 4; the data page
+/// holds one child file "a.txt" (ino 20, dirent (4,0)) with index page 5
+/// and data page 6.
+fn build_world() -> World {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+    let h = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+
+    // Directory dirent at (2, 0).
+    let dir_loc = DirentLoc { page: PageId(2), slot: 0 };
+    let mut dir = DirentData::new(b"docs", CoreFileType::Directory, Mode::RWX, 100, 100);
+    dir.first_index = 3;
+    dir.size = 1;
+    let dref = DirentRef::new(&h, dir_loc);
+    dref.prepare(&dir).unwrap();
+    dref.publish(10).unwrap();
+    dref.set_first_index(3).unwrap();
+    dref.set_size(1).unwrap();
+
+    // Directory index page 3 -> data page 4.
+    IndexPageRef::new(&h, PageId(3)).set_entry(0, 4).unwrap();
+
+    // Child file dirent at (4, 0).
+    let child_loc = DirentLoc { page: PageId(4), slot: 0 };
+    let mut child = DirentData::new(b"a.txt", CoreFileType::Regular, Mode::RW, 100, 100);
+    child.first_index = 5;
+    child.size = 100;
+    let cref = DirentRef::new(&h, child_loc);
+    cref.prepare(&child).unwrap();
+    cref.publish(20).unwrap();
+    cref.set_first_index(5).unwrap();
+    cref.set_size(100).unwrap();
+
+    // Child index page 5 -> data page 6.
+    IndexPageRef::new(&h, PageId(5)).set_entry(0, 6).unwrap();
+
+    let mut view = MockView::default();
+    view.pages.insert(3, PageProvenance::InFile(10));
+    view.pages.insert(4, PageProvenance::InFile(10));
+    view.pages.insert(5, PageProvenance::InFile(20));
+    view.pages.insert(6, PageProvenance::InFile(20));
+    view.inos.insert(10, InoProvenance::InUse(dir_loc));
+    view.inos.insert(20, InoProvenance::InUse(child_loc));
+    view.shadows.insert(10, ShadowAttr { mode: Mode::RWX, uid: 100, gid: 100 });
+    view.shadows.insert(20, ShadowAttr { mode: Mode::RW, uid: 100, gid: 100 });
+
+    World { handle: NvmHandle::new(dev, KERNEL_ACTOR), verifier: Verifier::new(h), view }
+}
+
+fn dir_request<'a>(ck: Option<&'a HashSet<Ino>>) -> VerifyRequest<'a> {
+    VerifyRequest {
+        ino: 10,
+        ftype: CoreFileType::Directory,
+        dirent: Some(DirentLoc { page: PageId(2), slot: 0 }),
+        first_index: 3,
+        dirty_actor: LIBFS,
+        checkpoint_children: ck,
+        max_index_pages: 64,
+    }
+}
+
+fn file_request() -> VerifyRequest<'static> {
+    VerifyRequest {
+        ino: 20,
+        ftype: CoreFileType::Regular,
+        dirent: Some(DirentLoc { page: PageId(4), slot: 0 }),
+        first_index: 5,
+        dirty_actor: LIBFS,
+        checkpoint_children: None,
+        max_index_pages: 64,
+    }
+}
+
+#[test]
+fn clean_state_passes() {
+    let w = build_world();
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert_eq!(rep.children.len(), 1);
+    assert_eq!(rep.children[0].ino, 20);
+
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn i1_detects_bad_file_type() {
+    let w = build_world();
+    // Corrupt the child's type tag to 9.
+    let loc = DirentLoc { page: PageId(4), slot: 0 };
+    let d = DirentRef::new(&w.handle, loc).load().unwrap();
+    DirentRef::new(&w.handle, loc).set_attr(d.mode, 9, d.name.len() as u8).unwrap();
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::BadFileType { raw: 9 })));
+}
+
+#[test]
+fn i1_detects_slash_in_name() {
+    let w = build_world();
+    let loc = DirentLoc { page: PageId(4), slot: 1 };
+    let mut evil = DirentData::new(b"x/y", CoreFileType::Regular, Mode::RW, 100, 100);
+    evil.ino = 21;
+    let r = DirentRef::new(&w.handle, loc);
+    r.prepare(&evil).unwrap();
+    r.publish(21).unwrap();
+    let mut w = w;
+    w.view.inos.insert(21, InoProvenance::AllocatedTo(LIBFS));
+    w.view.pages.insert(4, PageProvenance::InFile(10));
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::BadName)));
+}
+
+#[test]
+fn i1_detects_duplicate_names() {
+    let w = build_world();
+    let loc = DirentLoc { page: PageId(4), slot: 2 };
+    let dup = DirentData::new(b"a.txt", CoreFileType::Regular, Mode::RW, 100, 100);
+    let r = DirentRef::new(&w.handle, loc);
+    r.prepare(&dup).unwrap();
+    r.publish(22).unwrap();
+    let mut w = w;
+    w.view.inos.insert(22, InoProvenance::AllocatedTo(LIBFS));
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::DuplicateName { .. })));
+}
+
+#[test]
+fn i1_detects_entry_count_mismatch() {
+    let w = build_world();
+    DirentRef::new(&w.handle, DirentLoc { page: PageId(2), slot: 0 }).set_size(5).unwrap();
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::EntryCountMismatch { recorded: 5, actual: 1 })));
+}
+
+#[test]
+fn i1_detects_size_beyond_extent() {
+    let w = build_world();
+    // One 4 KiB data page but size claims 1 MiB.
+    DirentRef::new(&w.handle, DirentLoc { page: PageId(4), slot: 0 }).set_size(1 << 20).unwrap();
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::SizeBeyondExtent { .. })));
+}
+
+#[test]
+fn i2_detects_foreign_page() {
+    let w = build_world();
+    // Child's index now points at page 30, which belongs to file 99.
+    IndexPageRef::new(&w.handle, PageId(5)).set_entry(1, 30).unwrap();
+    let mut w = w;
+    w.view.pages.insert(30, PageProvenance::InFile(99));
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::ForeignPage { page: PageId(30), .. })));
+}
+
+#[test]
+fn i2_detects_free_page_reference() {
+    let w = build_world();
+    IndexPageRef::new(&w.handle, PageId(5)).set_entry(1, 31).unwrap();
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.violations.iter().any(
+        |v| matches!(v, Violation::ForeignPage { state: PageProvenance::Free, .. })
+    ));
+}
+
+#[test]
+fn i2_accepts_pages_allocated_to_dirty_actor() {
+    let w = build_world();
+    IndexPageRef::new(&w.handle, PageId(5)).set_entry(1, 32).unwrap();
+    let mut w = w;
+    w.view.pages.insert(32, PageProvenance::AllocatedTo(LIBFS));
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn i2_detects_index_cycle() {
+    let w = build_world();
+    IndexPageRef::new(&w.handle, PageId(5)).set_next(5).unwrap();
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::Structure(_))));
+}
+
+#[test]
+fn i2_detects_fabricated_child_ino() {
+    let w = build_world();
+    let loc = DirentLoc { page: PageId(4), slot: 3 };
+    let fake = DirentData::new(b"ghost", CoreFileType::Regular, Mode::RW, 100, 100);
+    let r = DirentRef::new(&w.handle, loc);
+    r.prepare(&fake).unwrap();
+    r.publish(4242).unwrap(); // Ino never allocated by the kernel.
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::ForeignIno { ino: 4242 })));
+}
+
+#[test]
+fn i2_detects_double_referenced_ino() {
+    let w = build_world();
+    // A second dirent claiming ino 20, which lives at (4,0).
+    let loc = DirentLoc { page: PageId(4), slot: 4 };
+    let link = DirentData::new(b"hardlink", CoreFileType::Regular, Mode::RW, 100, 100);
+    let r = DirentRef::new(&w.handle, loc);
+    r.prepare(&link).unwrap();
+    r.publish(20).unwrap();
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::DuplicateIno { ino: 20 })
+        || matches!(v, Violation::ForeignIno { ino: 20 })));
+}
+
+#[test]
+fn i3_detects_vanished_but_mapped_child() {
+    let w = build_world();
+    // Checkpoint had child 20; now remove its dirent and pretend some LibFS
+    // still maps it.
+    DirentRef::new(&w.handle, DirentLoc { page: PageId(4), slot: 0 }).clear().unwrap();
+    DirentRef::new(&w.handle, DirentLoc { page: PageId(2), slot: 0 }).set_size(0).unwrap();
+    let mut w = w;
+    w.view.mapped.insert(20);
+    let ck: HashSet<Ino> = [20].into_iter().collect();
+    let rep = w.verifier.verify(&dir_request(Some(&ck)), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::DisconnectedChild { ino: 20 })));
+}
+
+#[test]
+fn i3_accepts_properly_deleted_child() {
+    let w = build_world();
+    DirentRef::new(&w.handle, DirentLoc { page: PageId(4), slot: 0 }).clear().unwrap();
+    DirentRef::new(&w.handle, DirentLoc { page: PageId(2), slot: 0 }).set_size(0).unwrap();
+    let mut w = w;
+    // Kernel freed the ino back to the LibFS pool.
+    w.view.inos.insert(20, InoProvenance::AllocatedTo(LIBFS));
+    let ck: HashSet<Ino> = [20].into_iter().collect();
+    let rep = w.verifier.verify(&dir_request(Some(&ck)), &w.view);
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn i4_detects_permission_tampering() {
+    let w = build_world();
+    // LibFS rewrites the cached mode to 0o777 hoping to widen access.
+    let loc = DirentLoc { page: PageId(4), slot: 0 };
+    let d = DirentRef::new(&w.handle, loc).load().unwrap();
+    DirentRef::new(&w.handle, loc)
+        .set_attr(Mode(0o777), d.ftype_raw, d.name.len() as u8)
+        .unwrap();
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::PermissionTampered { ino: 20 })));
+}
+
+#[test]
+fn i4_ignores_inodes_without_shadow_entries() {
+    let mut w = build_world();
+    w.view.shadows.remove(&20);
+    let rep = w.verifier.verify(&file_request(), &w.view);
+    assert!(rep.ok());
+}
+
+#[test]
+fn combined_corruptions_all_reported() {
+    let w = build_world();
+    // Type corruption + fabricated ino + cycle in the directory itself.
+    let loc = DirentLoc { page: PageId(4), slot: 5 };
+    let mut evil = DirentData::new(b"bad/name", CoreFileType::Regular, Mode(0o7777), 0, 0);
+    evil.ftype_raw = 77;
+    let r = DirentRef::new(&w.handle, loc);
+    r.prepare(&evil).unwrap();
+    r.publish(999).unwrap();
+    let rep = w.verifier.verify(&dir_request(None), &w.view);
+    let kinds: Vec<&Violation> = rep.violations.iter().collect();
+    assert!(kinds.iter().any(|v| matches!(v, Violation::BadFileType { .. })));
+    assert!(kinds.iter().any(|v| matches!(v, Violation::BadName)));
+    assert!(kinds.iter().any(|v| matches!(v, Violation::ForeignIno { .. })));
+}

@@ -1,0 +1,141 @@
+//! fio-style data microbenchmark (paper §6.2/§6.3, Figures 5 and 6).
+//!
+//! Each thread owns a private preallocated file and performs fixed-size
+//! reads or writes over it, sequentially wrapping around — the paper's
+//! `fio` configuration ("each thread access a 1GB private file", 4 KiB or
+//! 2 MiB blocks).
+
+use trio_fsapi::{FileSystem, Mode, OpenFlags};
+
+use crate::{OpCount, Workload};
+
+/// Access direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FioOp {
+    /// `pread`.
+    Read,
+    /// `pwrite` (over a preallocated extent).
+    Write,
+}
+
+/// One fio job description.
+#[derive(Clone, Debug)]
+pub struct Fio {
+    /// Read or write.
+    pub op: FioOp,
+    /// Block size in bytes (paper: 4 KiB and 2 MiB).
+    pub block: usize,
+    /// Private file size per thread (paper: 1 GiB; scaled here).
+    pub file_bytes: u64,
+    /// Operations per thread in the measured window.
+    pub ops_per_thread: u64,
+}
+
+impl Fio {
+    fn path(thread: usize) -> String {
+        format!("/fio-{thread}")
+    }
+}
+
+impl Workload for Fio {
+    fn setup(&self, fs: &dyn FileSystem, threads: usize) {
+        for t in 0..threads {
+            let path = Self::path(t);
+            if fs.stat(&path).is_ok() {
+                continue;
+            }
+            let fd = fs
+                .open(&path, OpenFlags::CREATE | OpenFlags::WRONLY, Mode::RW)
+                .expect("create fio file");
+            let chunk = vec![0xA5u8; (1 << 20).min(self.file_bytes as usize)];
+            let mut off = 0u64;
+            while off < self.file_bytes {
+                let n = chunk.len().min((self.file_bytes - off) as usize);
+                fs.pwrite(fd, off, &chunk[..n]).expect("prefill");
+                off += n as u64;
+            }
+            fs.close(fd).expect("close");
+        }
+    }
+
+    fn run_thread(&self, fs: &dyn FileSystem, thread: usize) -> OpCount {
+        let path = Self::path(thread);
+        let flags = match self.op {
+            FioOp::Read => OpenFlags::RDONLY,
+            FioOp::Write => OpenFlags::RDWR,
+        };
+        let fd = fs.open(&path, flags, Mode::RW).expect("open fio file");
+        let mut buf = vec![0u8; self.block];
+        let blocks_in_file = (self.file_bytes / self.block as u64).max(1);
+        let mut bytes = 0u64;
+        for i in 0..self.ops_per_thread {
+            let off = (i % blocks_in_file) * self.block as u64;
+            let n = match self.op {
+                FioOp::Read => fs.pread(fd, off, &mut buf).expect("fio read"),
+                FioOp::Write => fs.pwrite(fd, off, &buf).expect("fio write"),
+            };
+            bytes += n as u64;
+        }
+        fs.close(fd).expect("close");
+        OpCount { ops: self.ops_per_thread, bytes }
+    }
+
+    fn name(&self) -> String {
+        let dir = match self.op {
+            FioOp::Read => "read",
+            FioOp::Write => "write",
+        };
+        let bs = if self.block >= 1 << 20 {
+            format!("{}MB", self.block >> 20)
+        } else {
+            format!("{}KB", self.block >> 10)
+        };
+        format!("fio-{bs}-{dir}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive;
+    use arckfs_test_support::arckfs_world;
+    use std::sync::Arc;
+
+    // A minimal in-crate world builder so fio can be smoke-tested without
+    // the bench crate.
+    mod arckfs_test_support {
+        use std::sync::Arc;
+        use trio_fsapi::FileSystem;
+
+        pub fn arckfs_world() -> Arc<dyn FileSystem> {
+            let dev = Arc::new(trio_nvm::NvmDevice::new(trio_nvm::DeviceConfig::small()));
+            let kernel =
+                trio_kernel::KernelController::format(dev, trio_kernel::KernelConfig::default());
+            arckfs::ArckFs::mount(kernel, 0, 0, arckfs::ArckFsConfig::no_delegation())
+        }
+    }
+
+    #[test]
+    fn fio_write_then_read_runs() {
+        let fs = arckfs_world();
+        let wl = Arc::new(Fio {
+            op: FioOp::Write,
+            block: 4096,
+            file_bytes: 64 * 1024,
+            ops_per_thread: 32,
+        });
+        let m = drive(Arc::clone(&fs), wl, 2, 1, 7, || {}, || {});
+        assert_eq!(m.ops, 64);
+        assert_eq!(m.bytes, 64 * 4096);
+        assert!(m.elapsed_ns > 0);
+
+        let wl = Arc::new(Fio {
+            op: FioOp::Read,
+            block: 4096,
+            file_bytes: 64 * 1024,
+            ops_per_thread: 32,
+        });
+        let m = drive(fs, wl, 2, 1, 7, || {}, || {});
+        assert_eq!(m.ops, 64);
+    }
+}

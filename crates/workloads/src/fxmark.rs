@@ -1,0 +1,337 @@
+//! The FxMark metadata microbenchmark suite (paper Table 2, Figure 7).
+//!
+//! Naming follows FxMark: operation (`R`ead / `W`rite of
+//! `D`ata/`M`etadata…) and sharing level (`L`ow = private, `M`edium =
+//! shared directory, `H`igh = same file):
+//!
+//! | name  | operation                                          |
+//! |-------|----------------------------------------------------|
+//! | DWTL  | truncate a private file down by 4 KiB per op       |
+//! | MRPL  | open+close a private file in a five-deep dir       |
+//! | MRPM  | open+close a random file in a shared five-deep dir |
+//! | MRPH  | open+close the *same* file from all threads        |
+//! | MRDL  | enumerate a private directory                      |
+//! | MRDM  | enumerate a shared directory                       |
+//! | MWCL  | create empty files in a private directory          |
+//! | MWCM  | create empty files in a shared directory           |
+//! | MWUL  | unlink empty files in a private directory          |
+//! | MWUM  | unlink empty files in a shared directory           |
+//! | MWRL  | rename a private file within a private directory   |
+//! | MWRM  | move private files into a shared directory         |
+
+use trio_fsapi::{FileSystem, Mode, OpenFlags};
+
+use crate::{quick_rand, OpCount, Workload};
+
+/// The twelve FxMark metadata benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FxBench {
+    /// Truncate private file down 4 KiB at a time.
+    Dwtl,
+    /// Open private file (low sharing).
+    Mrpl,
+    /// Open random shared file (medium).
+    Mrpm,
+    /// Open the same file (high).
+    Mrph,
+    /// Enumerate private dir.
+    Mrdl,
+    /// Enumerate shared dir.
+    Mrdm,
+    /// Create in private dir.
+    Mwcl,
+    /// Create in shared dir.
+    Mwcm,
+    /// Unlink in private dir.
+    Mwul,
+    /// Unlink in shared dir.
+    Mwum,
+    /// Rename within private dir.
+    Mwrl,
+    /// Move private file into shared dir.
+    Mwrm,
+}
+
+/// All benchmarks in Figure 7's panel order.
+pub const ALL_FXMARK: [FxBench; 12] = [
+    FxBench::Dwtl,
+    FxBench::Mrpl,
+    FxBench::Mrpm,
+    FxBench::Mrph,
+    FxBench::Mrdl,
+    FxBench::Mrdm,
+    FxBench::Mwcl,
+    FxBench::Mwcm,
+    FxBench::Mwul,
+    FxBench::Mwum,
+    FxBench::Mwrl,
+    FxBench::Mwrm,
+];
+
+impl FxBench {
+    /// FxMark's name for the benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            FxBench::Dwtl => "DWTL",
+            FxBench::Mrpl => "MRPL",
+            FxBench::Mrpm => "MRPM",
+            FxBench::Mrph => "MRPH",
+            FxBench::Mrdl => "MRDL",
+            FxBench::Mrdm => "MRDM",
+            FxBench::Mwcl => "MWCL",
+            FxBench::Mwcm => "MWCM",
+            FxBench::Mwul => "MWUL",
+            FxBench::Mwum => "MWUM",
+            FxBench::Mwrl => "MWRL",
+            FxBench::Mwrm => "MWRM",
+        }
+    }
+}
+
+/// A configured FxMark run.
+#[derive(Clone, Debug)]
+pub struct FxMark {
+    /// Which benchmark.
+    pub bench: FxBench,
+    /// Operations per thread in the measured window.
+    pub ops_per_thread: u64,
+    /// Files in the shared/random pools (MRPM/MRDx).
+    pub pool_files: usize,
+}
+
+impl FxMark {
+    /// A standard configuration.
+    pub fn new(bench: FxBench, ops_per_thread: u64) -> Self {
+        FxMark { bench, ops_per_thread, pool_files: 64 }
+    }
+
+    fn deep_dir(base: &str) -> String {
+        format!("{base}/d1/d2/d3/d4/d5")
+    }
+
+    fn mk_deep(fs: &dyn FileSystem, base: &str) {
+        let _ = fs.mkdir(base, Mode::RWX);
+        let mut p = base.to_string();
+        for i in 1..=5 {
+            p = format!("{p}/d{i}");
+            let _ = fs.mkdir(&p, Mode::RWX);
+        }
+    }
+}
+
+impl Workload for FxMark {
+    fn setup(&self, fs: &dyn FileSystem, threads: usize) {
+        match self.bench {
+            FxBench::Dwtl => {
+                for t in 0..threads {
+                    let p = format!("/dwtl-{t}");
+                    let fd =
+                        fs.open(&p, OpenFlags::CREATE | OpenFlags::WRONLY, Mode::RW).unwrap();
+                    // Enough bytes to truncate 4K per op.
+                    let total = self.ops_per_thread * 4096;
+                    let chunk = vec![0u8; 1 << 16];
+                    let mut off = 0;
+                    while off < total {
+                        let n = chunk.len().min((total - off) as usize);
+                        fs.pwrite(fd, off, &chunk[..n]).unwrap();
+                        off += n as u64;
+                    }
+                    fs.close(fd).unwrap();
+                }
+            }
+            FxBench::Mrpl => {
+                for t in 0..threads {
+                    let base = format!("/mrpl-{t}");
+                    Self::mk_deep(fs, &base);
+                    fs.create(&format!("{}/target", Self::deep_dir(&base)), Mode::RW).unwrap();
+                }
+            }
+            FxBench::Mrpm => {
+                Self::mk_deep(fs, "/mrpm");
+                for i in 0..self.pool_files {
+                    fs.create(&format!("{}/f{i}", Self::deep_dir("/mrpm")), Mode::RW).unwrap();
+                }
+            }
+            FxBench::Mrph => {
+                Self::mk_deep(fs, "/mrph");
+                fs.create(&format!("{}/hot", Self::deep_dir("/mrph")), Mode::RW).unwrap();
+            }
+            FxBench::Mrdl => {
+                for t in 0..threads {
+                    let d = format!("/mrdl-{t}");
+                    fs.mkdir(&d, Mode::RWX).unwrap();
+                    for i in 0..self.pool_files {
+                        fs.create(&format!("{d}/f{i}"), Mode::RW).unwrap();
+                    }
+                }
+            }
+            FxBench::Mrdm => {
+                fs.mkdir("/mrdm", Mode::RWX).unwrap();
+                for i in 0..self.pool_files {
+                    fs.create(&format!("/mrdm/f{i}"), Mode::RW).unwrap();
+                }
+            }
+            FxBench::Mwcl | FxBench::Mwrl => {
+                for t in 0..threads {
+                    fs.mkdir(&format!("/priv-{t}"), Mode::RWX).unwrap();
+                }
+                if self.bench == FxBench::Mwrl {
+                    for t in 0..threads {
+                        fs.create(&format!("/priv-{t}/subject"), Mode::RW).unwrap();
+                    }
+                }
+            }
+            FxBench::Mwcm => {
+                fs.mkdir("/shared", Mode::RWX).unwrap();
+            }
+            FxBench::Mwul => {
+                for t in 0..threads {
+                    let d = format!("/priv-{t}");
+                    fs.mkdir(&d, Mode::RWX).unwrap();
+                    for i in 0..self.ops_per_thread {
+                        fs.create(&format!("{d}/f{i}"), Mode::RW).unwrap();
+                    }
+                }
+            }
+            FxBench::Mwum => {
+                fs.mkdir("/shared", Mode::RWX).unwrap();
+                for t in 0..threads {
+                    for i in 0..self.ops_per_thread {
+                        fs.create(&format!("/shared/t{t}-f{i}"), Mode::RW).unwrap();
+                    }
+                }
+            }
+            FxBench::Mwrm => {
+                fs.mkdir("/shared", Mode::RWX).unwrap();
+                for t in 0..threads {
+                    let d = format!("/priv-{t}");
+                    fs.mkdir(&d, Mode::RWX).unwrap();
+                    for i in 0..self.ops_per_thread {
+                        fs.create(&format!("{d}/f{i}"), Mode::RW).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_thread(&self, fs: &dyn FileSystem, t: usize) -> OpCount {
+        let n = self.ops_per_thread;
+        let mut rng = (t as u64 + 1) * 0x9E37_79B9;
+        match self.bench {
+            FxBench::Dwtl => {
+                let p = format!("/dwtl-{t}");
+                let total = n * 4096;
+                for i in 0..n {
+                    fs.truncate(&p, total - (i + 1) * 4096).unwrap();
+                }
+            }
+            FxBench::Mrpl => {
+                let p = format!("{}/target", Self::deep_dir(&format!("/mrpl-{t}")));
+                for _ in 0..n {
+                    let fd = fs.open(&p, OpenFlags::RDONLY, Mode::empty()).unwrap();
+                    fs.close(fd).unwrap();
+                }
+            }
+            FxBench::Mrpm => {
+                let base = Self::deep_dir("/mrpm");
+                for _ in 0..n {
+                    let i = quick_rand(&mut rng) as usize % self.pool_files;
+                    let fd =
+                        fs.open(&format!("{base}/f{i}"), OpenFlags::RDONLY, Mode::empty()).unwrap();
+                    fs.close(fd).unwrap();
+                }
+            }
+            FxBench::Mrph => {
+                let p = format!("{}/hot", Self::deep_dir("/mrph"));
+                for _ in 0..n {
+                    let fd = fs.open(&p, OpenFlags::RDONLY, Mode::empty()).unwrap();
+                    fs.close(fd).unwrap();
+                }
+            }
+            FxBench::Mrdl => {
+                let d = format!("/mrdl-{t}");
+                for _ in 0..n {
+                    let entries = fs.readdir(&d).unwrap();
+                    assert_eq!(entries.len(), self.pool_files);
+                }
+            }
+            FxBench::Mrdm => {
+                for _ in 0..n {
+                    let entries = fs.readdir("/mrdm").unwrap();
+                    assert_eq!(entries.len(), self.pool_files);
+                }
+            }
+            FxBench::Mwcl => {
+                let d = format!("/priv-{t}");
+                for i in 0..n {
+                    fs.create(&format!("{d}/new-{i}"), Mode::RW).unwrap();
+                }
+            }
+            FxBench::Mwcm => {
+                for i in 0..n {
+                    fs.create(&format!("/shared/t{t}-new-{i}"), Mode::RW).unwrap();
+                }
+            }
+            FxBench::Mwul => {
+                let d = format!("/priv-{t}");
+                for i in 0..n {
+                    fs.unlink(&format!("{d}/f{i}")).unwrap();
+                }
+            }
+            FxBench::Mwum => {
+                for i in 0..n {
+                    fs.unlink(&format!("/shared/t{t}-f{i}")).unwrap();
+                }
+            }
+            FxBench::Mwrl => {
+                let d = format!("/priv-{t}");
+                let mut cur = format!("{d}/subject");
+                for i in 0..n {
+                    let next = format!("{d}/subject-{i}");
+                    fs.rename(&cur, &next).unwrap();
+                    cur = next;
+                }
+            }
+            FxBench::Mwrm => {
+                let d = format!("/priv-{t}");
+                for i in 0..n {
+                    fs.rename(&format!("{d}/f{i}"), &format!("/shared/m-{t}-{i}")).unwrap();
+                }
+            }
+        }
+        OpCount { ops: n, bytes: 0 }
+    }
+
+    fn name(&self) -> String {
+        self.bench.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive;
+    use std::sync::Arc;
+    use trio_fsapi::FileSystem;
+
+    fn world() -> Arc<dyn FileSystem> {
+        let dev = Arc::new(trio_nvm::NvmDevice::new(trio_nvm::DeviceConfig {
+            topology: trio_nvm::Topology::new(1, 16 * 1024),
+            ..trio_nvm::DeviceConfig::small()
+        }));
+        let kernel =
+            trio_kernel::KernelController::format(dev, trio_kernel::KernelConfig::default());
+        arckfs::ArckFs::mount(kernel, 0, 0, arckfs::ArckFsConfig::no_delegation())
+    }
+
+    #[test]
+    fn every_fxmark_bench_runs_on_arckfs() {
+        for bench in ALL_FXMARK {
+            let fs = world();
+            let wl = Arc::new(FxMark { bench, ops_per_thread: 8, pool_files: 12 });
+            let m = drive(fs, wl, 2, 1, 13, || {}, || {});
+            assert_eq!(m.ops, 16, "bench {:?}", bench);
+            assert!(m.elapsed_ns > 0);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Workload-generator tests: every generator runs on a baseline too (not
+//! just ArckFS), results are deterministic, and op accounting is exact.
+
+use std::sync::Arc;
+
+use trio_fsapi::FileSystem;
+use trio_workloads::filebench::{Filebench, Personality};
+use trio_workloads::fio::{Fio, FioOp};
+use trio_workloads::fxmark::{FxMark, ALL_FXMARK};
+use trio_workloads::{drive, Workload};
+
+fn baseline() -> Arc<dyn FileSystem> {
+    let dev = Arc::new(trio_nvm::NvmDevice::new(trio_nvm::DeviceConfig {
+        topology: trio_nvm::Topology::new(2, 32 * 1024),
+        ..trio_nvm::DeviceConfig::small()
+    }));
+    trio_baselines::build("NOVA", dev, None)
+}
+
+fn arck() -> Arc<dyn FileSystem> {
+    let dev = Arc::new(trio_nvm::NvmDevice::new(trio_nvm::DeviceConfig {
+        topology: trio_nvm::Topology::new(2, 32 * 1024),
+        ..trio_nvm::DeviceConfig::small()
+    }));
+    let kernel = trio_kernel::KernelController::format(dev, trio_kernel::KernelConfig::default());
+    arckfs::ArckFs::mount(kernel, 0, 0, arckfs::ArckFsConfig::no_delegation())
+}
+
+#[test]
+fn every_fxmark_bench_runs_on_a_baseline() {
+    for bench in ALL_FXMARK {
+        let fs = baseline();
+        let wl = Arc::new(FxMark { bench, ops_per_thread: 6, pool_files: 10 });
+        let m = drive(fs, wl, 2, 2, 3, || {}, || {});
+        assert_eq!(m.ops, 12, "{bench:?} op accounting");
+        assert!(m.elapsed_ns > 0);
+    }
+}
+
+#[test]
+fn fio_moves_exactly_the_requested_bytes() {
+    for fs in [baseline(), arck()] {
+        let wl = Arc::new(Fio {
+            op: FioOp::Write,
+            block: 8192,
+            file_bytes: 128 * 1024,
+            ops_per_thread: 20,
+        });
+        let m = drive(fs, wl, 3, 2, 9, || {}, || {});
+        assert_eq!(m.ops, 60);
+        assert_eq!(m.bytes, 60 * 8192);
+    }
+}
+
+#[test]
+fn filebench_personalities_run_on_a_baseline() {
+    for p in [
+        Personality::Fileserver,
+        Personality::Webserver,
+        Personality::Webproxy,
+        Personality::Varmail,
+    ] {
+        let fs = baseline();
+        let mut cfg = Filebench::table4(p, 2, 128);
+        cfg.files_per_thread = 6;
+        let m = drive(fs, Arc::new(cfg), 2, 2, 4, || {}, || {});
+        assert_eq!(m.ops, 4, "{p:?}");
+        assert!(m.bytes > 0, "{p:?} moved data");
+    }
+}
+
+#[test]
+fn measurements_are_deterministic_across_runs() {
+    fn once() -> (u64, u64) {
+        let fs = arck();
+        let wl = Arc::new(FxMark {
+            bench: trio_workloads::fxmark::FxBench::Mwcl,
+            ops_per_thread: 25,
+            pool_files: 8,
+        });
+        let m = drive(fs, wl, 4, 2, 11, || {}, || {});
+        (m.elapsed_ns, m.ops)
+    }
+    assert_eq!(once(), once(), "identical worlds must measure identically");
+}
+
+#[test]
+fn workload_names_are_stable() {
+    assert_eq!(
+        Fio { op: FioOp::Read, block: 4096, file_bytes: 1, ops_per_thread: 1 }.name(),
+        "fio-4KB-read"
+    );
+    assert_eq!(
+        Fio { op: FioOp::Write, block: 2 << 20, file_bytes: 1, ops_per_thread: 1 }.name(),
+        "fio-2MB-write"
+    );
+    assert_eq!(FxMark::new(trio_workloads::fxmark::FxBench::Dwtl, 1).name(), "DWTL");
+    assert_eq!(
+        Filebench::table4(Personality::Varmail, 1, 16).name(),
+        "Varmail"
+    );
+}

@@ -1,0 +1,3 @@
+//! Workspace root: examples (`examples/`) and cross-crate integration
+//! tests (`tests/`) for the Trio/ArckFS reproduction. See README.md for
+//! the tour and DESIGN.md for the system inventory.

@@ -1,0 +1,194 @@
+//! Differential testing: every file system in the repository — ArckFS
+//! (with and without delegation), FPFS, and all seven baselines — runs the
+//! same scripted and randomized operation sequences, and their observable
+//! state (op results, directory listings, file contents, sizes) must be
+//! identical. This is what makes the benchmark comparisons meaningful:
+//! everyone implements the same semantics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use trio_fsapi::{read_file, FileSystem, Mode, OpenFlags};
+use trio_sim::SimRuntime;
+
+const FS_LIST: [&str; 10] = [
+    "ArckFS-nd",
+    "ArckFS",
+    "FPFS",
+    "ext4",
+    "ext4-RAID0",
+    "PMFS",
+    "NOVA",
+    "WineFS",
+    "OdinFS",
+    "SplitFS",
+];
+
+fn build(name: &str) -> (Arc<dyn FileSystem>, Option<Arc<trio_kernel::KernelController>>) {
+    let dev = Arc::new(trio_nvm::NvmDevice::new(trio_nvm::DeviceConfig {
+        topology: trio_nvm::Topology::new(2, 16 * 1024),
+        ..trio_nvm::DeviceConfig::small()
+    }));
+    match name {
+        "ArckFS-nd" | "ArckFS" | "FPFS" => {
+            let kernel =
+                trio_kernel::KernelController::format(dev, trio_kernel::KernelConfig::default());
+            let cfg = if name == "ArckFS" {
+                arckfs::ArckFsConfig::default()
+            } else {
+                arckfs::ArckFsConfig::no_delegation()
+            };
+            let fs = arckfs::ArckFs::mount(Arc::clone(&kernel), 100, 100, cfg);
+            let fs: Arc<dyn FileSystem> =
+                if name == "FPFS" { arckfs::FpFs::new(fs) } else { fs };
+            (fs, Some(kernel))
+        }
+        other => (trio_baselines::build(other, dev, None) as Arc<dyn FileSystem>, None),
+    }
+}
+
+/// Runs `script` on a fresh world and returns a canonical state fingerprint.
+fn fingerprint(
+    name: &'static str,
+    script: impl Fn(&dyn FileSystem) + Send + 'static,
+) -> Vec<String> {
+    let (fs, kernel) = build(name);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    let rt = SimRuntime::new(77);
+    rt.spawn("script", move || {
+        if let Some(k) = &kernel {
+            let _ = k.delegation().start();
+        }
+        script(&*fs);
+        // Canonical dump: BFS over the tree.
+        let mut dump = Vec::new();
+        let mut queue = vec!["/".to_string()];
+        while let Some(dir) = queue.pop() {
+            let mut entries = fs.readdir(&dir).unwrap();
+            entries.sort_by(|a, b| a.name.cmp(&b.name));
+            for e in entries {
+                let p = trio_fsapi::path::join(&dir, &e.name);
+                let st = fs.stat(&p).unwrap_or_else(|e| panic!("dump stat {p} on {}: {e}", fs.fs_name()));
+                match e.ftype {
+                    trio_fsapi::FileType::Directory => {
+                        dump.push(format!("dir  {p}"));
+                        queue.push(p);
+                    }
+                    trio_fsapi::FileType::Regular => {
+                        let data = read_file(&*fs, &p).unwrap();
+                        let sum: u64 =
+                            data.iter().enumerate().map(|(i, &b)| (i as u64 + 1) * b as u64).sum();
+                        dump.push(format!("file {p} size={} sum={sum}", st.size));
+                    }
+                }
+            }
+        }
+        dump.sort();
+        *out2.lock() = dump;
+        if let Some(k) = &kernel {
+            k.delegation().shutdown();
+        }
+    });
+    rt.run();
+    let v = out.lock().clone();
+    v
+}
+
+fn scripted(fs: &dyn FileSystem) {
+    fs.mkdir("/docs", Mode::RWX).unwrap();
+    fs.mkdir("/docs/old", Mode::RWX).unwrap();
+    fs.mkdir("/tmp", Mode::RWX).unwrap();
+    let fd = fs.open("/docs/report", OpenFlags::CREATE | OpenFlags::RDWR, Mode::RW).unwrap();
+    fs.pwrite(fd, 0, &vec![7u8; 10_000]).unwrap();
+    fs.pwrite(fd, 5_000, &vec![9u8; 10_000]).unwrap(); // Overlap + extend.
+    fs.pwrite(fd, 50_000, b"tail after hole").unwrap();
+    fs.close(fd).unwrap();
+    fs.truncate("/docs/report", 52_000).unwrap();
+    for i in 0..30 {
+        fs.create(&format!("/tmp/scratch-{i:02}"), Mode::RW).unwrap();
+    }
+    for i in (0..30).step_by(3) {
+        fs.unlink(&format!("/tmp/scratch-{i:02}")).unwrap();
+    }
+    fs.rename("/docs/report", "/docs/old/report-v1").unwrap();
+    fs.create("/docs/report", Mode::RW).unwrap();
+    fs.rename("/tmp/scratch-01", "/docs/kept").unwrap();
+    fs.rmdir("/tmp").unwrap_err(); // Not empty: must fail everywhere.
+}
+
+#[test]
+fn scripted_sequence_matches_across_all_file_systems() {
+    let reference = fingerprint(FS_LIST[0], scripted);
+    assert!(!reference.is_empty());
+    for name in &FS_LIST[1..] {
+        let got = fingerprint(name, scripted);
+        assert_eq!(got, reference, "state diverged on {name}");
+    }
+}
+
+fn randomized(seed: u64) -> impl Fn(&dyn FileSystem) + Send + Clone {
+    move |fs: &dyn FileSystem| {
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        fs.mkdir("/r", Mode::RWX).unwrap();
+        let mut live: Vec<String> = Vec::new();
+        for step in 0..120 {
+            match rand() % 6 {
+                0 | 1 => {
+                    let p = format!("/r/f{}", rand() % 24);
+                    if fs.create(&p, Mode::RW).is_ok() {
+                        live.push(p);
+                    }
+                }
+                2 => {
+                    if let Some(p) = live.get((rand() % live.len().max(1) as u64) as usize) {
+                        let fd = match fs.open(p, OpenFlags::WRONLY, Mode::RW) {
+                            Ok(fd) => fd,
+                            Err(_) => continue,
+                        };
+                        let data = vec![(step % 251) as u8; (rand() % 9000) as usize + 1];
+                        fs.pwrite(fd, rand() % 4096, &data).unwrap_or_else(|e| panic!("pwrite {p} step {step}: {e}"));
+                        fs.close(fd).unwrap();
+                    }
+                }
+                3 => {
+                    let p = format!("/r/f{}", rand() % 24);
+                    let _ = fs.unlink(&p);
+                    live.retain(|x| *x != p);
+                }
+                4 => {
+                    let src = format!("/r/f{}", rand() % 24);
+                    let dst = format!("/r/g{}", rand() % 24);
+                    if fs.rename(&src, &dst).is_ok() {
+                        live.retain(|x| *x != src);
+                        live.push(dst);
+                    }
+                }
+                _ => {
+                    let p = format!("/r/f{}", rand() % 24);
+                    if fs.stat(&p).is_ok() {
+                        let _ = fs.truncate(&p, rand() % 6000);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_sequences_match_across_all_file_systems() {
+    for seed in [3u64, 1337] {
+        let script = randomized(seed);
+        let reference = fingerprint(FS_LIST[0], script.clone());
+        for name in &FS_LIST[1..] {
+            let got = fingerprint(name, randomized(seed));
+            assert_eq!(got, reference, "seed {seed}: state diverged on {name}");
+        }
+    }
+}

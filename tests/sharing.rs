@@ -1,0 +1,190 @@
+//! Cross-LibFS sharing semantics (paper §3.2): concurrent-read XOR
+//! exclusive-write, lease-bounded hand-off, verification on every
+//! transfer, and trust groups.
+
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig};
+use parking_lot::Mutex;
+use trio_fsapi::{read_file, write_file, FileSystem, FsError, Mode, OpenFlags, SetAttr};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::{DeviceConfig, NvmDevice, Topology};
+use trio_sim::{SimRuntime, MILLIS};
+
+fn world(lease_ms: u64) -> (Arc<KernelController>, Arc<ArckFs>, Arc<ArckFs>) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(
+        dev,
+        KernelConfig { lease_ns: lease_ms * MILLIS, ..KernelConfig::default() },
+    );
+    let a = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let b = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    (kernel, a, b)
+}
+
+#[test]
+fn data_written_by_one_process_is_read_by_another() {
+    let (_, a, b) = world(100);
+    let rt = SimRuntime::new(1);
+    rt.spawn("t", move || {
+        a.mkdir("/x", Mode(0o777)).unwrap();
+        write_file(&*a, "/x/f", b"handoff payload").unwrap();
+        a.release_path("/x").unwrap();
+        assert_eq!(read_file(&*b, "/x/f").unwrap(), b"handoff payload");
+        // And back: B modifies, A re-reads.
+        let fd = b.open("/x/f", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        b.pwrite(fd, 0, b"HANDOFF").unwrap();
+        b.close(fd).unwrap();
+        b.release_path("/x/f").unwrap();
+        assert_eq!(read_file(&*a, "/x/f").unwrap(), b"HANDOFF payload");
+    });
+    rt.run();
+}
+
+#[test]
+fn concurrent_readers_share_without_transfer() {
+    let (kernel, a, b) = world(100);
+    let rt = SimRuntime::new(2);
+    rt.spawn("t", move || {
+        write_file(&*a, "/ro", &vec![3u8; 8192]).unwrap();
+        a.release_path("/ro").unwrap();
+        // Both map read; no revocations, no corruption events.
+        assert_eq!(read_file(&*a, "/ro").unwrap().len(), 8192);
+        assert_eq!(read_file(&*b, "/ro").unwrap().len(), 8192);
+        assert_eq!(read_file(&*a, "/ro").unwrap().len(), 8192);
+        let events = kernel.take_events();
+        assert!(
+            !events.iter().any(|e| matches!(
+                e,
+                trio_kernel::registry::KernelEvent::CorruptionDetected { .. }
+            )),
+            "clean sharing must not flag corruption: {events:?}"
+        );
+    });
+    rt.run();
+}
+
+#[test]
+fn writer_lease_ping_pong_preserves_all_writes() {
+    let (_, a, b) = world(1); // 1ms lease: force many transfers.
+    let rt = SimRuntime::new(3);
+    let procs = [Arc::clone(&a), Arc::clone(&b)];
+    let check = Arc::clone(&a);
+    rt.spawn("main", move || {
+        write_file(&*procs[0], "/pp", &vec![0u8; 64 * 1024]).unwrap();
+        procs[0].release_path("/pp").unwrap();
+        let mut hs = Vec::new();
+        for (i, fs) in procs.iter().enumerate() {
+            let fs = Arc::clone(fs);
+            hs.push(trio_sim::spawn("writer", move || {
+                let fd = fs.open("/pp", OpenFlags::RDWR, Mode(0o666)).unwrap();
+                let block = vec![i as u8 + 1; 4096];
+                // Each process owns a disjoint half of the file.
+                for k in 0..200u64 {
+                    let off = (i as u64 * 8 + (k % 8)) * 4096;
+                    fs.pwrite(fd, off, &block).unwrap();
+                }
+                let _ = fs.close(fd);
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        let _ = procs[0].release_path("/pp");
+        let _ = procs[1].release_path("/pp");
+        let data = read_file(&*check, "/pp").unwrap();
+        assert!(data[..8 * 4096].iter().all(|&x| x == 1), "A's half intact");
+        assert!(data[8 * 4096..16 * 4096].iter().all(|&x| x == 2), "B's half intact");
+    });
+    rt.run();
+}
+
+#[test]
+fn trust_group_shares_one_libfs_without_transfers() {
+    // Two "processes" in a trust group = two sim threads on one ArckFs.
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(dev, KernelConfig::default());
+    let fs = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(4);
+    let fs0 = Arc::clone(&fs);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        write_file(&*fs0, "/tg", &vec![0u8; 32 * 1024]).unwrap();
+        let mut hs = Vec::new();
+        for i in 0..2u64 {
+            let fs = Arc::clone(&fs0);
+            hs.push(trio_sim::spawn("member", move || {
+                let fd = fs.open("/tg", OpenFlags::RDWR, Mode(0o666)).unwrap();
+                let block = vec![i as u8 + 9; 4096];
+                for k in 0..100u64 {
+                    fs.pwrite(fd, (i * 4 + (k % 4)) * 4096, &block).unwrap();
+                }
+                fs.close(fd).unwrap();
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        // No lease revocations: one LibFS, one write grant.
+        let events = k.take_events();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, trio_kernel::registry::KernelEvent::LeaseRevoked { .. })),
+            "trust group must not ping-pong: {events:?}"
+        );
+    });
+    rt.run();
+}
+
+#[test]
+fn permissions_respected_across_processes() {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(dev, KernelConfig::default());
+    let alice = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let eve = ArckFs::mount(Arc::clone(&kernel), 2000, 2000, ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(5);
+    rt.spawn("t", move || {
+        write_file(&*alice, "/secret", b"alice only").unwrap();
+        alice.release_path("/secret").unwrap();
+        // Mode 0600, uid mismatch: Eve cannot read the contents.
+        let fd = eve.open("/secret", OpenFlags::RDONLY, Mode::empty()).unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(eve.pread(fd, 0, &mut buf).err(), Some(FsError::PermissionDenied));
+        eve.close(fd).unwrap();
+        // Alice widens the mode through the mediated chmod (I4 ground truth).
+        alice.setattr("/secret", SetAttr { mode: Some(Mode(0o644)), ..Default::default() }).unwrap();
+        assert_eq!(read_file(&*eve, "/secret").unwrap(), b"alice only");
+    });
+    rt.run();
+}
+
+#[test]
+fn lease_wait_time_matches_configuration() {
+    let (_, a, b) = world(50);
+    let rt = SimRuntime::new(6);
+    let waited = Arc::new(Mutex::new(0u64));
+    let w2 = Arc::clone(&waited);
+    rt.spawn("t", move || {
+        write_file(&*a, "/lease", &vec![0u8; 4096]).unwrap();
+        // A holds the write grant; B's write must wait out the lease.
+        let t0 = trio_sim::now();
+        let fd = b.open("/lease", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        b.pwrite(fd, 0, b"mine now").unwrap();
+        b.close(fd).unwrap();
+        *w2.lock() = trio_sim::now() - t0;
+    });
+    rt.run();
+    let w = *waited.lock();
+    assert!(w >= 45 * MILLIS, "B should wait out most of the 50ms lease, waited {w}ns");
+    assert!(w < 80 * MILLIS, "but not much longer, waited {w}ns");
+}
