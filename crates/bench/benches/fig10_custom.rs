@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_bench::{build_kvfs_world, print_row, scale, World};
 use trio_fsapi::KeyValueFs;
 use trio_workloads::filebench::{

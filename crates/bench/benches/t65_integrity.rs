@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use arckfs::attack::{run_attack, ALL_ATTACKS};
 use arckfs::{ArckFs, ArckFsConfig};
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_bench::build_arckfs_world;
 use trio_fsapi::{FileSystem, Mode};
 use trio_kernel::registry::KernelEvent;

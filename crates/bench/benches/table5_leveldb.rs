@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_bench::{scale, World};
 use trio_lsmkv::bench::{preload, run, DbBench, ALL_DB_BENCH};
 use trio_lsmkv::{Db, DbConfig};

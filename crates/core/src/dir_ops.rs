@@ -198,7 +198,7 @@ impl ArckFs {
         }
         // Re-resolve through the parent on staleness.
         for _ in 0..4 {
-            let loc = node.place.read().loc.expect("non-root");
+            let loc = node.place.read().loc.ok_or(FsError::Stale)?;
             let mut b = [0u8; trio_layout::DIRENT_SIZE];
             match self.h.read(loc.page, loc.byte_off(), &mut b) {
                 Ok(()) => {

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult};
+use trio_kernel::delegation::DelegationError;
 use trio_layout::{DirentRef, IndexPageRef, ENTRIES_PER_INDEX};
 use trio_nvm::{PageId, PAGE_SIZE};
 use trio_sim::{in_sim, now};
@@ -164,8 +165,10 @@ impl ArckFs {
             {
                 end_lp += 1;
             }
-            let pages: Vec<PageId> =
-                g.data_pages[lp..=end_lp].iter().map(|p| p.expect("run is allocated")).collect();
+            let pages: Vec<PageId> = g.data_pages[lp..=end_lp]
+                .iter()
+                .map(|p| p.ok_or(FsError::InvalidArgument))
+                .collect::<FsResult<_>>()?;
             let run_cap = pages.len() * PAGE_SIZE - in_page;
             let n = run_cap.min(buf.len() - pos);
             self.rw_extent_read(&pages, in_page, &mut buf[pos..pos + n])?;
@@ -187,29 +190,50 @@ impl ArckFs {
     }
 
     fn rw_extent_read(&self, pages: &[PageId], start: usize, buf: &mut [u8]) -> FsResult<()> {
-        let delegated = self.cfg.delegation
+        if self.cfg.delegation
             && buf.len() >= self.cfg.delegation_read_min
             && self.kernel.delegation().is_started()
-            && in_sim();
-        if delegated {
-            self.kernel.delegation().read_extent(self.actor, pages, start, buf)
-        } else {
-            self.h.read_extent(pages, start, buf)
+            && in_sim()
+        {
+            // Deadline-bounded with retry-with-backoff: a stalled or wedged
+            // delegation thread must never hang the client. Each retry is
+            // round-robined onto a different ring; a timed-out read only
+            // filled an unspecified prefix, and re-reading is idempotent.
+            let pool = self.kernel.delegation();
+            let mut timeout = self.cfg.delegation_timeout_ns;
+            for _ in 0..self.cfg.delegation_attempts {
+                match pool.try_read_extent(self.actor, pages, start, buf, timeout) {
+                    Ok(()) => return Ok(()),
+                    Err(DelegationError::Timeout) => timeout = timeout.saturating_mul(2),
+                    Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
+                }
+            }
+            // Graceful degradation: serve directly (correct, merely slower
+            // and possibly remote) rather than fail or hang.
         }
-        .map_err(Self::fault)
+        self.h.read_extent(pages, start, buf).map_err(Self::fault)
     }
 
     fn rw_extent_write(&self, pages: &[PageId], start: usize, data: &[u8]) -> FsResult<()> {
-        let delegated = self.cfg.delegation
+        if self.cfg.delegation
             && data.len() >= self.cfg.delegation_write_min
             && self.kernel.delegation().is_started()
-            && in_sim();
-        if delegated {
-            self.kernel.delegation().write_extent(self.actor, pages, start, data)
-        } else {
-            self.h.write_extent(pages, start, data)
+            && in_sim()
+        {
+            // Same protocol as reads. Retrying a possibly-executed write is
+            // safe: a delegated write is idempotent (same bytes, same
+            // location), so at-least-once delivery equals exactly-once.
+            let pool = self.kernel.delegation();
+            let mut timeout = self.cfg.delegation_timeout_ns;
+            for _ in 0..self.cfg.delegation_attempts {
+                match pool.try_write_extent(self.actor, pages, start, data, timeout) {
+                    Ok(()) => return Ok(()),
+                    Err(DelegationError::Timeout) => timeout = timeout.saturating_mul(2),
+                    Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
+                }
+            }
         }
-        .map_err(Self::fault)
+        self.h.write_extent(pages, start, data).map_err(Self::fault)
     }
 
     /// NUMA node for logical page `lp`: striped across nodes in
@@ -242,7 +266,9 @@ impl ArckFs {
                     IndexPageRef::new(&self.h, *prev).set_next(ip.0).map_err(Self::fault)?;
                 }
                 None => {
-                    let loc = node.place.read().loc.expect("regular files have dirents");
+                    // A node whose placement vanished (e.g. rebuilt after a
+                    // fault from damaged core state) must error, not abort.
+                    let loc = node.place.read().loc.ok_or(FsError::Corrupted)?;
                     DirentRef::new(&self.h, loc).set_first_index(ip.0).map_err(Self::fault)?;
                 }
             }
@@ -299,7 +325,7 @@ impl ArckFs {
 
     /// Publishes the size and mtime fields (8-byte atomic persists).
     pub(crate) fn publish_size(&self, node: &Arc<FileNode>, g: &NodeInner) -> FsResult<()> {
-        let loc = node.place.read().loc.expect("regular files have dirents");
+        let loc = node.place.read().loc.ok_or(FsError::Corrupted)?;
         let dref = DirentRef::new(&self.h, loc);
         dref.set_size(g.size).map_err(Self::fault)?;
         dref.set_mtime(g.mtime).map_err(Self::fault)?;

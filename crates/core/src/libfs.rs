@@ -43,6 +43,11 @@ pub struct ArckFsConfig {
     pub ino_batch: u64,
     /// Unlink reclamation batch.
     pub reclaim_batch: usize,
+    /// Virtual-time budget for one delegated request before the client
+    /// retries (doubled per attempt — retry with backoff).
+    pub delegation_timeout_ns: u64,
+    /// Delegated attempts before falling back to direct access.
+    pub delegation_attempts: u32,
 }
 
 impl Default for ArckFsConfig {
@@ -56,6 +61,8 @@ impl Default for ArckFsConfig {
             page_batch: 64,
             ino_batch: 64,
             reclaim_batch: 32,
+            delegation_timeout_ns: 5 * trio_sim::MILLIS,
+            delegation_attempts: 3,
         }
     }
 }
@@ -133,6 +140,15 @@ impl ArckFs {
     /// The root directory node.
     pub fn root_node(&self) -> &Arc<FileNode> {
         &self.root
+    }
+
+    /// Pages backing this LibFS's rename undo journal. A recovery agent
+    /// scans these (with a privileged handle) after the LibFS dies — see
+    /// [`crate::journal::Journal::recover`]. In a full system the kernel
+    /// would record them at allocation time; here the harness carries them
+    /// across the crash.
+    pub fn journal_pages(&self) -> Vec<PageId> {
+        self.journal.pages()
     }
 
     /// Allocates a descriptor directly for a resolved node (FPFS fast
@@ -334,10 +350,13 @@ impl ArckFs {
         Ok(aux)
     }
 
-    /// Converts an MMU fault into the retryable error.
+    /// Converts an MMU fault into the retryable error. Media errors
+    /// (poisoned cache lines) are *not* retryable: remapping cannot cure
+    /// them, so they surface as [`FsError::Corrupted`] instead of looping.
     pub(crate) fn fault(e: ProtError) -> FsError {
         match e {
             ProtError::NotMapped | ProtError::ReadOnly => FsError::Stale,
+            ProtError::Poisoned => FsError::Corrupted,
             _ => FsError::InvalidArgument,
         }
     }

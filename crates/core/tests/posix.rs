@@ -283,7 +283,7 @@ fn concurrent_writers_to_disjoint_regions() {
     let data = {
         let rt2 = SimRuntime::new(1);
         let fs2 = Arc::clone(&fs);
-        let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let out = Arc::new(trio_sim::plock::Mutex::new(Vec::new()));
         let out2 = Arc::clone(&out);
         rt2.spawn("check", move || {
             *out2.lock() = read_file(&*fs2, "/shared").unwrap();

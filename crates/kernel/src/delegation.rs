@@ -11,12 +11,14 @@
 //! Permission is enforced end-to-end: a delegation thread performs the
 //! access *as the requesting actor*, so the MMU check still applies.
 
+#[cfg(feature = "faults")]
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use trio_nvm::{ActorId, NvmDevice, NvmHandle, PageId, ProtError, PAGE_SIZE};
-use trio_sim::sync::SimChannel;
-use trio_sim::{spawn, JoinHandle};
+use trio_sim::sync::{RecvDeadline, SimChannel};
+use trio_sim::{in_sim, now, spawn, JoinHandle, Nanos};
 
 /// One delegated access covering a node-contiguous run of pages.
 pub struct DelegReq {
@@ -34,12 +36,51 @@ pub struct DelegReq {
     pub reply: Arc<SimChannel<Result<Option<Vec<u8>>, ProtError>>>,
 }
 
+/// Why a deadline-bounded delegated access did not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelegationError {
+    /// No reply arrived before the deadline (a delegation thread stalled
+    /// or dropped the request). The access may or may not have executed;
+    /// callers retry or fall back to direct access — both are safe because
+    /// a delegated write is idempotent (same bytes, same location).
+    Timeout,
+    /// The delegated access executed and faulted.
+    Fault(ProtError),
+}
+
+impl std::fmt::Display for DelegationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelegationError::Timeout => write!(f, "delegation request timed out"),
+            DelegationError::Fault(e) => write!(f, "delegated access faulted: {e}"),
+        }
+    }
+}
+
+/// Injectable delegation-thread faults (tentpole fault-injection engine).
+///
+/// Draws come from each delegation thread's own deterministic RNG
+/// ([`trio_sim::rng`]), so a given `(seed, settings)` pair replays the same
+/// stalls and drops. All fields are "one in N" rates; zero disables.
+#[cfg(feature = "faults")]
+#[derive(Default)]
+pub struct DelegationFaults {
+    /// Stall one in N served requests by `stall_ns` of virtual time.
+    stall_one_in: AtomicU64,
+    /// Virtual nanoseconds a stalled request is delayed before serving.
+    stall_ns: AtomicU64,
+    /// Drop one in N requests without ever replying (a wedged thread).
+    drop_one_in: AtomicU64,
+}
+
 /// The pool; create once per device, start once per simulation.
 pub struct DelegationPool {
     dev: Arc<NvmDevice>,
     rings: Vec<Vec<Arc<SimChannel<DelegReq>>>>,
     rr: Vec<AtomicUsize>,
     started: AtomicBool,
+    #[cfg(feature = "faults")]
+    faults: Arc<DelegationFaults>,
 }
 
 impl DelegationPool {
@@ -54,7 +95,19 @@ impl DelegationPool {
             rings,
             rr: (0..nodes).map(|_| AtomicUsize::new(0)).collect(),
             started: AtomicBool::new(false),
+            #[cfg(feature = "faults")]
+            faults: Arc::new(DelegationFaults::default()),
         }
+    }
+
+    /// Arms delegation-thread fault injection: stall one in
+    /// `stall_one_in` requests by `stall_ns`, drop one in `drop_one_in`
+    /// requests without replying. Zero rates disable the respective fault.
+    #[cfg(feature = "faults")]
+    pub fn inject_faults(&self, stall_one_in: u64, stall_ns: Nanos, drop_one_in: u64) {
+        self.faults.stall_one_in.store(stall_one_in, Ordering::Relaxed);
+        self.faults.stall_ns.store(stall_ns, Ordering::Relaxed);
+        self.faults.drop_one_in.store(drop_one_in, Ordering::Relaxed);
     }
 
     /// Spawns the delegation sim-threads. Must be called from inside the
@@ -67,9 +120,26 @@ impl DelegationPool {
             for ring in node_rings {
                 let ring = Arc::clone(ring);
                 let dev = Arc::clone(&self.dev);
+                #[cfg(feature = "faults")]
+                let faults = Arc::clone(&self.faults);
                 handles.push(spawn("delegation", move || {
                     trio_nvm::handle::set_home_node(node);
                     while let Some(req) = ring.recv() {
+                        #[cfg(feature = "faults")]
+                        {
+                            let n = faults.stall_one_in.load(Ordering::Relaxed);
+                            if n != 0 && trio_sim::rng::with_rng(|r| r.one_in(n)) {
+                                trio_sim::work(faults.stall_ns.load(Ordering::Relaxed));
+                            }
+                            let n = faults.drop_one_in.load(Ordering::Relaxed);
+                            if n != 0 && trio_sim::rng::with_rng(|r| r.one_in(n)) {
+                                // A wedged thread: the request vanishes and
+                                // no reply is ever sent. Clients must use
+                                // the deadline-bounded entry points to
+                                // survive this.
+                                continue;
+                            }
+                        }
                         let h = NvmHandle::new(Arc::clone(&dev), req.actor);
                         let result = match req.write_data {
                             Some(data) => {
@@ -224,5 +294,109 @@ impl DelegationPool {
             }
         }
         result
+    }
+
+    /// Deadline-bounded delegated write: like
+    /// [`DelegationPool::write_extent`] but gives up `timeout_ns` of
+    /// virtual time after dispatch instead of waiting forever on a stalled
+    /// or wedged delegation thread. Outside the simulation there is no
+    /// virtual clock (and no injected fault can fire), so this degrades to
+    /// the blocking variant.
+    pub fn try_write_extent(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        data: &[u8],
+        timeout_ns: Nanos,
+    ) -> Result<(), DelegationError> {
+        if !in_sim() {
+            return self.write_extent(actor, pages, start, data).map_err(DelegationError::Fault);
+        }
+        let runs = self.split_runs(pages, start, data.len());
+        let mut pending = Vec::with_capacity(runs.len());
+        for (node, prange, brange) in runs {
+            let reply = Arc::new(SimChannel::bounded(1));
+            let req = DelegReq {
+                actor,
+                pages: pages[prange.clone()].to_vec(),
+                start: brange.start - prange.start * PAGE_SIZE,
+                write_data: Some(data[brange.start - start..brange.end - start].to_vec()),
+                read_len: 0,
+                reply: Arc::clone(&reply),
+            };
+            self.ring_for(node)
+                .send(req)
+                .map_err(|_| DelegationError::Fault(ProtError::NotMapped))?;
+            pending.push(reply);
+        }
+        let deadline = now() + timeout_ns;
+        let mut fault = None;
+        let mut timed_out = false;
+        for reply in pending {
+            match reply.recv_deadline(deadline) {
+                RecvDeadline::Ok(Ok(_)) => {}
+                RecvDeadline::Ok(Err(e)) => fault = Some(e),
+                RecvDeadline::Closed => fault = Some(ProtError::NotMapped),
+                RecvDeadline::TimedOut => timed_out = true,
+            }
+        }
+        match (fault, timed_out) {
+            (Some(e), _) => Err(DelegationError::Fault(e)),
+            (None, true) => Err(DelegationError::Timeout),
+            (None, false) => Ok(()),
+        }
+    }
+
+    /// Deadline-bounded delegated read; see
+    /// [`DelegationPool::try_write_extent`]. On [`DelegationError::Timeout`]
+    /// the buffer contents are unspecified (some runs may have landed).
+    pub fn try_read_extent(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        buf: &mut [u8],
+        timeout_ns: Nanos,
+    ) -> Result<(), DelegationError> {
+        if !in_sim() {
+            return self.read_extent(actor, pages, start, buf).map_err(DelegationError::Fault);
+        }
+        let runs = self.split_runs(pages, start, buf.len());
+        let mut pending = Vec::with_capacity(runs.len());
+        for (node, prange, brange) in runs {
+            let reply = Arc::new(SimChannel::bounded(1));
+            let req = DelegReq {
+                actor,
+                pages: pages[prange.clone()].to_vec(),
+                start: brange.start - prange.start * PAGE_SIZE,
+                write_data: None,
+                read_len: brange.len(),
+                reply: Arc::clone(&reply),
+            };
+            self.ring_for(node)
+                .send(req)
+                .map_err(|_| DelegationError::Fault(ProtError::NotMapped))?;
+            pending.push((reply, brange));
+        }
+        let deadline = now() + timeout_ns;
+        let mut fault = None;
+        let mut timed_out = false;
+        for (reply, brange) in pending {
+            match reply.recv_deadline(deadline) {
+                RecvDeadline::Ok(Ok(Some(data))) => {
+                    buf[brange.start - start..brange.end - start].copy_from_slice(&data);
+                }
+                RecvDeadline::Ok(Ok(None)) => fault = Some(ProtError::NotMapped),
+                RecvDeadline::Ok(Err(e)) => fault = Some(e),
+                RecvDeadline::Closed => fault = Some(ProtError::NotMapped),
+                RecvDeadline::TimedOut => timed_out = true,
+            }
+        }
+        match (fault, timed_out) {
+            (Some(e), _) => Err(DelegationError::Fault(e)),
+            (None, true) => Err(DelegationError::Timeout),
+            (None, false) => Ok(()),
+        }
     }
 }

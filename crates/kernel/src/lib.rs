@@ -21,14 +21,17 @@ pub mod delegation;
 pub mod mapping;
 pub mod registry;
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult, Mode, SetAttr};
-use trio_layout::{DirentLoc, DirentRef, Ino, SuperblockRef, ROOT_INO};
-use trio_nvm::{ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, KERNEL_ACTOR};
+use trio_layout::{
+    walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, Ino, SuperblockRef,
+    DIRENTS_PER_PAGE, DIRENT_SIZE, ROOT_INO,
+};
+use trio_nvm::{ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, KERNEL_ACTOR, PAGE_SIZE};
 use trio_sim::{cost, in_sim, sync::SimMutex, work, Nanos, MILLIS};
-use trio_verifier::{InoProvenance, PageProvenance, Verifier};
+use trio_verifier::{InoProvenance, PageProvenance, Verifier, VerifyRequest, Violation};
 
 use delegation::DelegationPool;
 use registry::{Credentials, KernelEvent, Registry};
@@ -141,6 +144,233 @@ impl KernelController {
             delegation,
             config,
         })
+    }
+
+    /// Remounts an already-formatted device after a crash or kernel
+    /// restart (the recovery half of the fault-injection engine).
+    ///
+    /// A restart loses every volatile structure: MMU mappings, provenance
+    /// books, shadow attributes, checkpoints, free-page pools. Only the
+    /// *core state* on NVM survives. Recovery therefore:
+    ///
+    /// 1. clears the MMU (no LibFS keeps access across a reboot),
+    /// 2. reads the superblock (refusing an unformatted device) and takes
+    ///    the persisted inode high-water mark, so inos are never reused,
+    /// 3. walks the committed tree from the root, rebuilding page and ino
+    ///    provenance; unwalkable or page-aliasing chains are trimmed to
+    ///    empty files and duplicate/fabricated dirents are cleared —
+    ///    paper §4.3's trim policy applied at mount time,
+    /// 4. rebuilds the free pools as the complement of the walked pages.
+    ///
+    /// Shadow attributes are re-adopted lazily from dirents on first map
+    /// (a restart forgets chmod/chown that raced the crash; the dirent
+    /// cache is the persisted source). Rename-journal undo is the LibFS's
+    /// job and must run *before* this walk (see `arckfs::journal`).
+    pub fn recover(dev: Arc<NvmDevice>, config: KernelConfig) -> FsResult<Arc<Self>> {
+        dev.clear_mappings();
+        let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+        let sb = SuperblockRef::new(&kh);
+        if !sb.is_formatted().map_err(|_| FsError::Corrupted)? {
+            return Err(FsError::Corrupted);
+        }
+        let next_ino = sb.next_ino().map_err(|_| FsError::Corrupted)?.max(ROOT_INO + 1);
+        let mut registry = Registry::new();
+        let mut used: HashSet<u64> = HashSet::new();
+        used.insert(trio_layout::superblock::SUPERBLOCK_PAGE.0);
+
+        // Breadth-first walk of the committed tree. Queue entries carry the
+        // dirent location so broken files can be trimmed in place.
+        let root_fi = sb.root_first_index().map_err(|_| FsError::Corrupted)?;
+        let mut queue: VecDeque<(Ino, u64, CoreFileType, Option<DirentLoc>)> = VecDeque::new();
+        queue.push_back((ROOT_INO, root_fi, CoreFileType::Directory, None));
+        let mut seen: HashSet<Ino> = HashSet::new();
+        seen.insert(ROOT_INO);
+        while let Some((ino, fi, ftype, dirent)) = queue.pop_front() {
+            let trim = |reason_ok: bool| -> FsResult<()> {
+                if reason_ok {
+                    return Ok(());
+                }
+                match dirent {
+                    Some(loc) => {
+                        let r = DirentRef::new(&kh, loc);
+                        r.set_first_index(0).map_err(|_| FsError::Corrupted)?;
+                        r.set_size(0).map_err(|_| FsError::Corrupted)?;
+                    }
+                    None => {
+                        sb.set_root_first_index(0).map_err(|_| FsError::Corrupted)?;
+                        sb.set_root_size(0).map_err(|_| FsError::Corrupted)?;
+                    }
+                }
+                Ok(())
+            };
+            let pages = match walk_file(&kh, fi, config.max_index_pages) {
+                Ok(p) => p,
+                Err(_) => {
+                    trim(false)?;
+                    continue;
+                }
+            };
+            // A chain referencing pages an earlier-walked file owns is
+            // corrupt (I2 would reject it); trim the later claimant.
+            if pages.all_pages().any(|p| used.contains(&p.0)) {
+                trim(false)?;
+                continue;
+            }
+            for p in pages.all_pages() {
+                used.insert(p.0);
+                registry.page_prov.insert(p.0, PageProvenance::InFile(ino));
+            }
+            if ftype != CoreFileType::Directory {
+                continue;
+            }
+            let mut live = 0u64;
+            for dp in pages.data_pages.iter().flatten() {
+                let mut raw = vec![0u8; PAGE_SIZE];
+                if kh.read_untimed(*dp, 0, &mut raw).is_err() {
+                    continue;
+                }
+                for slot in 0..DIRENTS_PER_PAGE {
+                    let b: &[u8; DIRENT_SIZE] =
+                        raw[slot * DIRENT_SIZE..(slot + 1) * DIRENT_SIZE].try_into().expect("slot");
+                    let d = DirentData::decode_bytes(b);
+                    if d.ino == 0 {
+                        continue;
+                    }
+                    let loc = DirentLoc { page: *dp, slot };
+                    let cft = d.ftype();
+                    if d.ino >= next_ino || !seen.insert(d.ino) || cft.is_none() {
+                        // Fabricated ino, double reference, or garbage
+                        // type: the entry cannot be trusted — clear it.
+                        let _ = DirentRef::new(&kh, loc).clear();
+                        continue;
+                    }
+                    live += 1;
+                    registry.ino_prov.insert(d.ino, InoProvenance::InUse(loc));
+                    queue.push_back((d.ino, d.first_index, cft.expect("checked"), Some(loc)));
+                }
+            }
+            // A directory's entry count is derived metadata: a crash between
+            // a child's dirent publish and the parent's count update (or an
+            // entry cleared just above) leaves it stale — repair to the live
+            // count so the I1–I4 audit passes on the recovered tree.
+            let recorded = match dirent {
+                Some(loc) => DirentRef::new(&kh, loc).size().map_err(|_| FsError::Corrupted)?,
+                None => sb.root_size().map_err(|_| FsError::Corrupted)?,
+            };
+            if recorded != live {
+                match dirent {
+                    Some(loc) => {
+                        DirentRef::new(&kh, loc).set_size(live).map_err(|_| FsError::Corrupted)?
+                    }
+                    None => sb.set_root_size(live).map_err(|_| FsError::Corrupted)?,
+                }
+            }
+        }
+
+        // Free pools are the complement of the walked set (same LIFO
+        // ordering as `format`). Reclaimed pages — allocated to a LibFS at
+        // crash time but never linked into the committed tree — still hold
+        // whatever was stored in them; scrub before reuse so stale bytes
+        // (old file data, journal records) can never surface in a fresh
+        // allocation's unwritten regions.
+        let topo = dev.topology();
+        let mut pools = Vec::with_capacity(topo.nodes);
+        for node in 0..topo.nodes {
+            let first = topo.first_page_of(node).0;
+            let start = if node == 0 { 1 } else { first };
+            let mut v: Vec<PageId> = (start..first + topo.pages_per_node as u64)
+                .rev()
+                .filter(|p| !used.contains(p))
+                .map(PageId)
+                .collect();
+            for p in &v {
+                dev.reset_page(*p).map_err(|_| FsError::Corrupted)?;
+            }
+            v.shrink_to_fit();
+            pools.push(SimMutex::new(v));
+        }
+
+        let delegation =
+            DelegationPool::new(Arc::clone(&dev), config.delegation_threads_per_node);
+        Ok(Arc::new(KernelController {
+            verifier: Verifier::new(NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR)),
+            kh,
+            dev,
+            registry: SimMutex::new(registry),
+            pools,
+            next_ino: SimMutex::new(next_ino),
+            pins: SimMutex::new(PinState::default()),
+            phases: SimMutex::new(PhaseStats::default()),
+            delegation,
+            config,
+        }))
+    }
+
+    /// Full-tree integrity audit: runs the I1–I4 verifier over every file
+    /// the kernel's books consider live and returns the violations found,
+    /// per ino (empty means a clean file system). Used by the
+    /// crash-sweep harness after [`KernelController::recover`]; on a
+    /// freshly recovered system every page is `InFile`, so a clean audit
+    /// certifies the recovered tree end-to-end.
+    pub fn fsck(&self) -> Vec<(Ino, Vec<Violation>)> {
+        self.trap();
+        let reg = self.registry.lock();
+        let mut bad = Vec::new();
+        let mut targets: Vec<(Ino, Option<DirentLoc>)> = reg
+            .ino_prov
+            .iter()
+            .filter_map(|(i, p)| match p {
+                InoProvenance::InUse(loc) if *i != ROOT_INO => Some((*i, Some(*loc))),
+                _ => None,
+            })
+            .collect();
+        targets.sort_unstable_by_key(|(i, _)| *i);
+        targets.insert(0, (ROOT_INO, None));
+        for (ino, dirent) in targets {
+            let (ftype, first_index) = match dirent {
+                None => {
+                    let sb = SuperblockRef::new(&self.kh);
+                    match sb.root_first_index() {
+                        Ok(fi) => (CoreFileType::Directory, fi),
+                        Err(_) => {
+                            bad.push((ino, vec![Violation::InoMismatch { expected: ino, found: 0 }]));
+                            continue;
+                        }
+                    }
+                }
+                Some(loc) => match DirentRef::new(&self.kh, loc).load() {
+                    Ok(d) if d.ino == ino => match d.ftype() {
+                        Some(ft) => (ft, d.first_index),
+                        None => {
+                            bad.push((ino, vec![Violation::BadFileType { raw: d.ftype_raw }]));
+                            continue;
+                        }
+                    },
+                    Ok(d) => {
+                        bad.push((ino, vec![Violation::InoMismatch { expected: ino, found: d.ino }]));
+                        continue;
+                    }
+                    Err(_) => {
+                        bad.push((ino, vec![Violation::InoMismatch { expected: ino, found: 0 }]));
+                        continue;
+                    }
+                },
+            };
+            let req = VerifyRequest {
+                ino,
+                ftype,
+                dirent,
+                first_index,
+                dirty_actor: KERNEL_ACTOR,
+                checkpoint_children: None,
+                max_index_pages: self.config.max_index_pages,
+            };
+            let report = self.verifier.verify(&req, &*reg);
+            if !report.ok() {
+                bad.push((ino, report.violations));
+            }
+        }
+        bad
     }
 
     /// The device this controller manages.

@@ -165,6 +165,13 @@ impl KernelController {
                 }
             }
 
+            // Verification may have *privatized* the file — expelled a
+            // never-checkpointed corrupt creation from the namespace. It no
+            // longer exists for anyone else; the mapper sees a clean miss.
+            if !reg.files.contains_key(&ino) {
+                return Err(FsError::NotFound);
+            }
+
             // ---- Fresh defensive walk (post-rollback state if any). ----
             let first_index = match target {
                 MapTarget::Root => SuperblockRef::new(self.kernel_handle())
@@ -688,6 +695,7 @@ impl KernelController {
             let parent = meta.parent;
             reg.files.remove(&ino);
             reg.ino_prov.remove(&ino);
+            reg.events.push(KernelEvent::Privatized { ino, actor: dirty_actor });
             let _ = parent;
             return;
         };

@@ -123,6 +123,17 @@ pub enum KernelEvent {
         /// The actor that lost access.
         actor: ActorId,
     },
+    /// A corrupted file had no checkpoint to roll back to (it was created
+    /// raw by the faulty actor), so it was expelled from the namespace and
+    /// its pages left with that actor's pool — the damage is *privatized*
+    /// to the LibFS that caused it (graceful degradation: everyone else's
+    /// files are untouched).
+    Privatized {
+        /// The expelled file.
+        ino: Ino,
+        /// The actor whose unvetted writes produced it, when known.
+        actor: Option<ActorId>,
+    },
 }
 
 /// The kernel's mutable state (held under one virtual-time mutex; kernel

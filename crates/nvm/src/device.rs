@@ -1,11 +1,21 @@
 //! The emulated NVM device: page store, MMU, timing, crash injection.
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_sim::{in_sim, work, Nanos};
 
+#[cfg(feature = "faults")]
+use std::collections::HashSet;
+#[cfg(feature = "faults")]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::fault::CrashReport;
+#[cfg(feature = "faults")]
+use crate::fault::FaultPlan;
 use crate::perf::{BandwidthModel, NodeLoad};
 use crate::persist::PersistTracker;
 use crate::prot::{ActorId, PagePerm, PageProt, ProtError, KERNEL_ACTOR};
+#[cfg(feature = "faults")]
+use crate::topology::CACHE_LINE;
 use crate::topology::{NodeId, PageId, Topology, PAGE_SIZE};
 
 /// Cost of an `sfence` after flushing.
@@ -68,6 +78,15 @@ pub struct NvmDevice {
     pages: Vec<Mutex<PageSlot>>,
     loads: Vec<Mutex<NodeLoad>>,
     tracker: Option<PersistTracker>,
+    /// Poisoned (uncorrectable) cache lines; reads overlapping one fault
+    /// with [`ProtError::Poisoned`]. A store covering a whole line repairs
+    /// it, as writing a full line does on real PM.
+    #[cfg(feature = "faults")]
+    poisoned: Mutex<HashSet<(u64, u16)>>,
+    /// Fast-path poison count so the un-injected hot path is one relaxed
+    /// load, not a lock acquisition.
+    #[cfg(feature = "faults")]
+    poison_count: AtomicUsize,
 }
 
 impl NvmDevice {
@@ -84,6 +103,10 @@ impl NvmDevice {
             pages,
             loads: (0..config.topology.nodes).map(|_| Mutex::new(NodeLoad::default())).collect(),
             tracker: config.track_persistence.then(PersistTracker::new),
+            #[cfg(feature = "faults")]
+            poisoned: Mutex::new(HashSet::new()),
+            #[cfg(feature = "faults")]
+            poison_count: AtomicUsize::new(0),
         }
     }
 
@@ -128,6 +151,8 @@ impl NvmDevice {
         }
         let slot = self.slot(page)?.lock();
         slot.prot.check(actor, false)?;
+        #[cfg(feature = "faults")]
+        self.poison_check_read(page, off, buf.len())?;
         match &slot.data {
             Some(d) => buf.copy_from_slice(&d[off..off + buf.len()]),
             None => buf.fill(0),
@@ -148,10 +173,55 @@ impl NvmDevice {
         }
         let mut slot = self.slot(page)?.lock();
         slot.prot.check(actor, true)?;
+        #[cfg(feature = "faults")]
+        self.poison_check_write(page, off, data.len())?;
         if let Some(t) = &self.tracker {
             t.record_store(page, off, data.len(), slot.data.as_deref());
         }
         slot.ensure_data()[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Fails a read overlapping any poisoned line.
+    #[cfg(feature = "faults")]
+    fn poison_check_read(&self, page: PageId, off: usize, len: usize) -> Result<(), ProtError> {
+        if len == 0 || self.poison_count.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let set = self.poisoned.lock();
+        let (first, last) = (off / CACHE_LINE, (off + len - 1) / CACHE_LINE);
+        for line in first..=last {
+            if set.contains(&(page.0, line as u16)) {
+                return Err(ProtError::Poisoned);
+            }
+        }
+        Ok(())
+    }
+
+    /// A store that fully covers a poisoned line repairs it; one that only
+    /// partially covers it would have to read-modify-write the bad line, so
+    /// it faults instead. Checks everything before repairing anything.
+    #[cfg(feature = "faults")]
+    fn poison_check_write(&self, page: PageId, off: usize, len: usize) -> Result<(), ProtError> {
+        if len == 0 || self.poison_count.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let mut set = self.poisoned.lock();
+        let (first, last) = (off / CACHE_LINE, (off + len - 1) / CACHE_LINE);
+        let mut repaired = Vec::new();
+        for line in first..=last {
+            if set.contains(&(page.0, line as u16)) {
+                let covered = off <= line * CACHE_LINE && (line + 1) * CACHE_LINE <= off + len;
+                if !covered {
+                    return Err(ProtError::Poisoned);
+                }
+                repaired.push(line as u16);
+            }
+        }
+        for line in repaired {
+            set.remove(&(page.0, line));
+            self.poison_count.fetch_sub(1, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -260,11 +330,18 @@ impl NvmDevice {
     pub fn reset_page(&self, page: PageId) -> Result<(), ProtError> {
         let mut slot = self.slot(page)?.lock();
         if let (Some(t), Some(d)) = (&self.tracker, slot.data.as_deref()) {
-            // The disappearance of the old contents is itself a store.
+            // The disappearance of the old contents is itself a store, and a
+            // scrub must be durable before the page is recycled: otherwise a
+            // later crash would revert still-unflushed lines to the previous
+            // owner's data (a security leak, and stale garbage in any file
+            // that reuses the page without rewriting every line).
             t.record_store(page, 0, PAGE_SIZE, Some(d));
+            t.flush(page, 0, PAGE_SIZE);
         }
         slot.data = None;
         slot.prot = PageProt::default();
+        #[cfg(feature = "faults")]
+        self.clear_page_poison(page);
         Ok(())
     }
 
@@ -286,29 +363,123 @@ impl NvmDevice {
             t.flush(page, 0, PAGE_SIZE); // Rollback writes are made durable.
         }
         slot.ensure_data().copy_from_slice(image);
+        // A full-page restore rewrites every line, repairing media errors.
+        #[cfg(feature = "faults")]
+        self.clear_page_poison(page);
         Ok(())
     }
 
-    /// Injects a crash: every unflushed store is undone. Only meaningful
-    /// with `track_persistence`. Returns how many cache lines were lost.
-    pub fn crash(&self) -> usize {
+    /// Injects a crash: every line not durable (unflushed, or flushed only
+    /// after an armed [`FaultPlan`] froze durability) is reverted to its
+    /// pre-image. Only meaningful with `track_persistence`. The returned
+    /// [`CrashReport`] is deterministic for a given sim seed and plan.
+    pub fn crash(&self) -> CrashReport {
+        #[cfg(feature = "faults")]
+        let (points_seen, crash_point) = match &self.tracker {
+            Some(t) => (t.points_seen(), t.fired_at()),
+            None => (0, None),
+        };
+        #[cfg(not(feature = "faults"))]
+        let (points_seen, crash_point) = (0, None);
+
         let Some(t) = &self.tracker else {
-            return 0;
+            return CrashReport {
+                lost_lines: 0,
+                affected_pages: Vec::new(),
+                points_seen,
+                crash_point,
+            };
         };
         let lost = t.drain_for_crash();
-        let n = lost.len();
-        for (page, off, img) in lost {
-            if let Ok(slot) = self.slot(page) {
+        let mut affected_pages: Vec<PageId> = Vec::new();
+        for (page, off, img) in &lost {
+            if affected_pages.last() != Some(page) {
+                affected_pages.push(*page); // Drain is sorted by (page, off).
+            }
+            if let Ok(slot) = self.slot(*page) {
                 let mut slot = slot.lock();
-                slot.ensure_data()[off..off + img.len()].copy_from_slice(&img);
+                slot.ensure_data()[*off..*off + img.len()].copy_from_slice(img);
             }
         }
-        n
+        CrashReport { lost_lines: lost.len(), affected_pages, points_seen, crash_point }
+    }
+
+    /// Drops every MMU mapping on the device (except nothing — the kernel
+    /// actor never needs one). Recovery uses this to model the loss of all
+    /// volatile page-table state at reboot.
+    pub fn clear_mappings(&self) {
+        for slot in &self.pages {
+            slot.lock().prot = PageProt::default();
+        }
     }
 
     /// Dirty (unflushed) line count; 0 when tracking is disabled.
     pub fn dirty_lines(&self) -> usize {
         self.tracker.as_ref().map(|t| t.dirty_lines()).unwrap_or(0)
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection (only with the `faults` feature).
+    // ---------------------------------------------------------------
+
+    /// Arms a crash plan on the persistence tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was built without `track_persistence` — an
+    /// armed plan would silently never fire, which is a test bug.
+    #[cfg(feature = "faults")]
+    pub fn arm_crash_plan(&self, plan: FaultPlan) {
+        self.tracker
+            .as_ref()
+            .expect("arm_crash_plan requires DeviceConfig::track_persistence")
+            .arm(plan);
+    }
+
+    /// Persistence points observed so far (0 without tracking).
+    #[cfg(feature = "faults")]
+    pub fn persistence_points(&self) -> u64 {
+        self.tracker.as_ref().map(|t| t.points_seen()).unwrap_or(0)
+    }
+
+    /// Whether an armed crash plan has fired, and at which point.
+    #[cfg(feature = "faults")]
+    pub fn crash_plan_fired(&self) -> Option<u64> {
+        self.tracker.as_ref().and_then(|t| t.fired_at())
+    }
+
+    /// Marks one cache line as an uncorrectable media error.
+    #[cfg(feature = "faults")]
+    pub fn poison_line(&self, page: PageId, line: u16) {
+        debug_assert!((line as usize) < PAGE_SIZE / CACHE_LINE);
+        if self.poisoned.lock().insert((page.0, line)) {
+            self.poison_count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears one poisoned line (e.g. after the file system rewrote it out
+    /// of band). Returns whether it was poisoned.
+    #[cfg(feature = "faults")]
+    pub fn clear_poison(&self, page: PageId, line: u16) -> bool {
+        let removed = self.poisoned.lock().remove(&(page.0, line));
+        if removed {
+            self.poison_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Number of currently poisoned lines.
+    #[cfg(feature = "faults")]
+    pub fn poisoned_lines(&self) -> usize {
+        self.poison_count.load(Ordering::Relaxed)
+    }
+
+    #[cfg(feature = "faults")]
+    fn clear_page_poison(&self, page: PageId) {
+        let mut set = self.poisoned.lock();
+        let before = set.len();
+        set.retain(|&(p, _)| p != page.0);
+        self.poison_count.fetch_sub(before - set.len(), Ordering::Relaxed);
     }
 }
 
@@ -412,13 +583,76 @@ mod tests {
         d.flush(PageId(0), 0, 8);
         d.copy_to_page(a, PageId(0), 64, b"volatile").unwrap();
         assert!(d.dirty_lines() > 0);
-        d.crash();
+        let report = d.crash();
+        assert_eq!(report.lost_lines, 1);
+        assert_eq!(report.affected_pages, vec![PageId(0)]);
         let mut keep = [0u8; 8];
         d.copy_from_page(a, PageId(0), 0, &mut keep).unwrap();
         assert_eq!(&keep, b"durable!");
         let mut lost = [0u8; 8];
         d.copy_from_page(a, PageId(0), 64, &mut lost).unwrap();
         assert_eq!(lost, [0u8; 8]);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn poisoned_line_faults_reads_until_rewritten() {
+        use crate::topology::CACHE_LINE;
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(2), PagePerm::Write).unwrap();
+        d.copy_to_page(a, PageId(2), 0, &[7u8; 256]).unwrap();
+        d.poison_line(PageId(2), 1);
+        let mut buf = [0u8; 8];
+        // Reads overlapping line 1 fault; other lines are fine.
+        assert_eq!(d.copy_from_page(a, PageId(2), CACHE_LINE, &mut buf), Err(ProtError::Poisoned));
+        assert_eq!(
+            d.copy_from_page(a, PageId(2), CACHE_LINE - 4, &mut buf),
+            Err(ProtError::Poisoned)
+        );
+        assert!(d.copy_from_page(a, PageId(2), 0, &mut buf).is_ok());
+        // A partial store into the bad line faults too...
+        assert_eq!(d.copy_to_page(a, PageId(2), CACHE_LINE, &buf), Err(ProtError::Poisoned));
+        // ...but a store covering the whole line repairs it.
+        d.copy_to_page(a, PageId(2), CACHE_LINE, &[0u8; CACHE_LINE]).unwrap();
+        assert_eq!(d.poisoned_lines(), 0);
+        assert!(d.copy_from_page(a, PageId(2), CACHE_LINE, &mut buf).is_ok());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn crash_plan_freezes_durability_at_point() {
+        use crate::fault::FaultPlan;
+        let mut cfg = DeviceConfig::small();
+        cfg.track_persistence = true;
+        let d = NvmDevice::new(cfg);
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
+        // Points: store=0 flush=1 | store=2 flush=3. Crash at point 2: the
+        // first store+flush is durable, the second store never lands.
+        d.arm_crash_plan(FaultPlan::crash_at_point(2));
+        d.copy_to_page(a, PageId(0), 0, b"first!!!").unwrap();
+        d.flush(PageId(0), 0, 8);
+        d.copy_to_page(a, PageId(0), 64, b"second!!").unwrap();
+        d.flush(PageId(0), 64, 8); // Frozen: no durable effect.
+        let report = d.crash();
+        assert_eq!(report.crash_point, Some(2));
+        assert_eq!(report.points_seen, 4);
+        let mut buf = [0u8; 8];
+        d.copy_from_page(a, PageId(0), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"first!!!");
+        d.copy_from_page(a, PageId(0), 64, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn clear_mappings_drops_all_actors() {
+        let d = dev();
+        d.mmu_map(ActorId(1), PageId(0), PagePerm::Write).unwrap();
+        d.mmu_map(ActorId(2), PageId(3), PagePerm::Read).unwrap();
+        d.clear_mappings();
+        assert_eq!(d.mmu_perm(ActorId(1), PageId(0)).unwrap(), None);
+        assert_eq!(d.mmu_perm(ActorId(2), PageId(3)).unwrap(), None);
     }
 
     #[test]

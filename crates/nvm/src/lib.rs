@@ -23,6 +23,7 @@
 //! injection for crash-consistency tests.
 
 pub mod device;
+pub mod fault;
 pub mod handle;
 pub mod perf;
 pub mod persist;
@@ -30,6 +31,7 @@ pub mod prot;
 pub mod topology;
 
 pub use device::{DeviceConfig, NvmDevice};
+pub use fault::{faults_compiled, CrashReport, FaultPlan};
 pub use handle::NvmHandle;
 pub use perf::BandwidthModel;
 pub use prot::{ActorId, PagePerm, ProtError, KERNEL_ACTOR};

@@ -7,6 +7,13 @@
 //! tests drive file system operations, crash at chosen points, run
 //! recovery, and assert the invariants the paper's §4.4 design guarantees.
 //!
+//! With the `faults` feature, the tracker additionally numbers every
+//! *persistence point* (each recorded store and each flush) and can be
+//! armed with a [`FaultPlan`]: once point `crash_at` is reached the tracker
+//! **freezes** — later flushes stop discarding pre-images — so a subsequent
+//! crash reverts the media to its durable state *as of that point*. See
+//! [`crate::fault`] for the model.
+//!
 //! Simplification (documented in DESIGN.md): a flushed line is considered
 //! durable at flush time rather than at the next fence, so a missing
 //! *flush* is always caught while a missing *fence* alone is not. ArckFS's
@@ -15,30 +22,113 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 
+#[cfg(feature = "faults")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(feature = "faults")]
+use crate::fault::FaultPlan;
 use crate::topology::{PageId, CACHE_LINE, PAGE_SIZE};
+
+/// Sentinel for "no plan armed" / "plan never fired".
+#[cfg(feature = "faults")]
+const UNSET: u64 = u64::MAX;
 
 /// Pre-images of dirty (unflushed) cache lines.
 #[derive(Default)]
 pub struct PersistTracker {
     dirty: Mutex<HashMap<(u64, u16), [u8; CACHE_LINE]>>,
+    /// Persistence points observed so far (stores + flushes).
+    #[cfg(feature = "faults")]
+    points: AtomicU64,
+    /// Point index at which to freeze durability; `UNSET` = disarmed.
+    #[cfg(feature = "faults")]
+    crash_at: AtomicU64,
+    /// Once set, flushes no longer discard pre-images.
+    #[cfg(feature = "faults")]
+    frozen: AtomicBool,
+    /// Point at which the plan fired; `UNSET` until then.
+    #[cfg(feature = "faults")]
+    fired_at: AtomicU64,
 }
 
 impl PersistTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self::default()
+        let t = Self::default();
+        #[cfg(feature = "faults")]
+        {
+            t.crash_at.store(UNSET, Ordering::Relaxed);
+            t.fired_at.store(UNSET, Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Counts one persistence point, freezing if the armed plan's point is
+    /// reached. Compiled out entirely without the `faults` feature.
+    #[inline]
+    fn point_tick(&self) {
+        #[cfg(feature = "faults")]
+        {
+            let p = self.points.fetch_add(1, Ordering::Relaxed);
+            if p == self.crash_at.load(Ordering::Relaxed) {
+                self.frozen.store(true, Ordering::Relaxed);
+                self.fired_at.store(p, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[inline]
+    fn is_frozen(&self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            self.frozen.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            false
+        }
+    }
+
+    /// Arms a crash plan: durability freezes at persistence point
+    /// `plan.crash_at`. Re-arming replaces the previous plan (only a plan
+    /// that has not yet fired can be replaced meaningfully).
+    #[cfg(feature = "faults")]
+    pub fn arm(&self, plan: FaultPlan) {
+        self.fired_at.store(UNSET, Ordering::Relaxed);
+        self.crash_at.store(plan.crash_at, Ordering::Relaxed);
+    }
+
+    /// Persistence points observed so far.
+    #[cfg(feature = "faults")]
+    pub fn points_seen(&self) -> u64 {
+        self.points.load(Ordering::Relaxed)
+    }
+
+    /// The point at which the armed plan fired, if it has.
+    #[cfg(feature = "faults")]
+    pub fn fired_at(&self) -> Option<u64> {
+        match self.fired_at.load(Ordering::Relaxed) {
+            UNSET => None,
+            p => Some(p),
+        }
     }
 
     /// Records pre-images for the lines of `page` covered by
     /// `[off, off+len)`, given the page's current (pre-store) contents.
     /// `current` is the full page; `None` means the page reads as zeros.
+    ///
+    /// Counts one persistence point. Stores after a freeze still record
+    /// pre-images (they will be reverted by the crash): for a line that was
+    /// durable at freeze time, the page content at store time *is* its
+    /// durable image, so first-store-wins capture remains correct.
     pub fn record_store(&self, page: PageId, off: usize, len: usize, current: Option<&[u8]>) {
         debug_assert!(off + len <= PAGE_SIZE);
         if len == 0 {
             return;
         }
+        self.point_tick();
         let first = off / CACHE_LINE;
         let last = (off + len - 1) / CACHE_LINE;
         let mut dirty = self.dirty.lock();
@@ -54,11 +144,19 @@ impl PersistTracker {
     }
 
     /// Marks the lines covering `[off, off+len)` of `page` durable.
+    ///
+    /// Counts one persistence point. After a freeze the flush is a no-op on
+    /// the durable set: the power failed at the frozen point, so this flush
+    /// never took effect.
     pub fn flush(&self, page: PageId, off: usize, len: usize) {
         if len == 0 {
             return;
         }
         debug_assert!(off + len <= PAGE_SIZE);
+        self.point_tick();
+        if self.is_frozen() {
+            return;
+        }
         let first = off / CACHE_LINE;
         let last = (off + len - 1) / CACHE_LINE;
         let mut dirty = self.dirty.lock();
@@ -72,14 +170,23 @@ impl PersistTracker {
         self.dirty.lock().len()
     }
 
-    /// Takes all pre-images, leaving the tracker clean. The device applies
-    /// them to the page store to realize the crash.
+    /// Takes all pre-images, leaving the tracker clean and disarmed. The
+    /// device applies them to the page store to realize the crash. The
+    /// result is sorted by `(page, offset)` so crash realization — and any
+    /// report derived from it — is byte-identical across runs.
     pub fn drain_for_crash(&self) -> Vec<(PageId, usize, [u8; CACHE_LINE])> {
         let mut dirty = self.dirty.lock();
-        dirty
+        let mut v: Vec<(PageId, usize, [u8; CACHE_LINE])> = dirty
             .drain()
             .map(|((page, line), img)| (PageId(page), line as usize * CACHE_LINE, img))
-            .collect()
+            .collect();
+        v.sort_unstable_by_key(|(p, off, _)| (p.0, *off));
+        #[cfg(feature = "faults")]
+        {
+            self.crash_at.store(UNSET, Ordering::Relaxed);
+            self.frozen.store(false, Ordering::Relaxed);
+        }
+        v
     }
 }
 
@@ -116,5 +223,32 @@ mod tests {
         t.record_store(PageId(0), 0, 256, None); // Lines 0..4.
         t.flush(PageId(0), 0, 64); // Only line 0.
         assert_eq!(t.dirty_lines(), 3);
+    }
+
+    #[test]
+    fn drain_is_sorted() {
+        let t = PersistTracker::new();
+        t.record_store(PageId(9), 128, 64, None);
+        t.record_store(PageId(2), 0, 64, None);
+        t.record_store(PageId(9), 0, 64, None);
+        let d = t.drain_for_crash();
+        let keys: Vec<(u64, usize)> = d.iter().map(|(p, off, _)| (p.0, *off)).collect();
+        assert_eq!(keys, vec![(2, 0), (9, 0), (9, 128)]);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn freeze_stops_flushes_from_counting() {
+        let t = PersistTracker::new();
+        t.arm(FaultPlan::crash_at_point(1));
+        t.record_store(PageId(0), 0, 8, None); // point 0
+        t.flush(PageId(0), 0, 8); // point 1 — plan fires *at* this flush,
+                                  // so the flush itself is already lost.
+        assert_eq!(t.fired_at(), Some(1));
+        assert_eq!(t.dirty_lines(), 1);
+        t.record_store(PageId(0), 64, 8, None); // point 2, still recorded
+        t.flush(PageId(0), 64, 8); // point 3, no durable effect
+        assert_eq!(t.dirty_lines(), 2);
+        assert_eq!(t.points_seen(), 4);
     }
 }

@@ -34,6 +34,10 @@ pub enum ProtError {
     OutOfRange,
     /// Misaligned atomic access.
     Misaligned,
+    /// The accessed range overlaps a poisoned (uncorrectable media error)
+    /// cache line. Real PM raises a machine check; the emulation surfaces a
+    /// recoverable error instead so file systems can degrade gracefully.
+    Poisoned,
 }
 
 impl std::fmt::Display for ProtError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for ProtError {
             ProtError::ReadOnly => "page fault: write to read-only mapping",
             ProtError::OutOfRange => "page beyond device capacity",
             ProtError::Misaligned => "misaligned atomic NVM access",
+            ProtError::Poisoned => "media error: poisoned cache line",
         };
         f.write_str(s)
     }

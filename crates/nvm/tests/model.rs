@@ -1,46 +1,49 @@
-//! Property and scenario tests for the NVM device model: protection is
-//! airtight under arbitrary mapping sequences, crash injection never
-//! resurrects flushed data, and the bandwidth model behaves sanely over
-//! its whole domain.
+//! Property-style tests for the NVM device model, driven by the in-tree
+//! deterministic RNG: protection is airtight under arbitrary mapping
+//! sequences, crash injection never resurrects flushed data, and the
+//! bandwidth model behaves sanely over its whole domain.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use trio_nvm::{
-    ActorId, BandwidthModel, DeviceConfig, NvmDevice, NvmHandle, PageId, PagePerm, Topology,
+    ActorId, BandwidthModel, DeviceConfig, NvmDevice, NvmHandle, PageId, PagePerm,
 };
+use trio_sim::rng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The bandwidth model is monotone in bytes and never returns zero
-    /// time; remote access never beats local.
-    #[test]
-    fn transfer_model_sane(
-        bytes in 1usize..(8 << 20),
-        k in 1u32..512,
-        is_write in any::<bool>(),
-    ) {
-        let m = BandwidthModel::default();
+/// The bandwidth model is monotone in bytes and never returns zero time;
+/// remote access never beats local.
+#[test]
+fn transfer_model_sane() {
+    let mut rng = SimRng::seed_from_u64(0xB00C);
+    let m = BandwidthModel::default();
+    for _ in 0..200 {
+        let bytes = 1 + rng.gen_range(8 << 20) as usize;
+        let k = 1 + rng.gen_range(511) as u32;
+        let is_write = rng.one_in(2);
         let local = m.transfer_ns(bytes, k, is_write, false);
         let remote = m.transfer_ns(bytes, k, is_write, true);
         let bigger = m.transfer_ns(bytes * 2, k, is_write, false);
-        prop_assert!(local > 0);
-        prop_assert!(remote >= local);
-        prop_assert!(bigger >= local);
+        assert!(local > 0, "bytes={bytes} k={k} w={is_write}");
+        assert!(remote >= local, "bytes={bytes} k={k} w={is_write}");
+        assert!(bigger >= local, "bytes={bytes} k={k} w={is_write}");
     }
+}
 
-    /// Arbitrary interleavings of map/unmap/access by two actors never
-    /// let an actor read or write a page it does not currently map.
-    #[test]
-    fn protection_is_airtight(ops in proptest::collection::vec((0u8..6, 0u64..8), 1..60)) {
+/// Arbitrary interleavings of map/unmap/access by two actors never let an
+/// actor read or write a page it does not currently map.
+#[test]
+fn protection_is_airtight() {
+    let mut rng = SimRng::seed_from_u64(0xA1B);
+    for case in 0..48 {
         let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
         let actors = [ActorId(1), ActorId(2)];
         let handles: Vec<NvmHandle> =
             actors.iter().map(|a| NvmHandle::new(Arc::clone(&dev), *a)).collect();
         // Model of the MMU state: perms[actor][page].
         let mut perms = [[None::<PagePerm>; 8]; 2];
-        for (op, page) in ops {
+        let n_ops = 1 + rng.gen_range(59) as usize;
+        for _ in 0..n_ops {
+            let (op, page) = (rng.gen_range(6) as u8, rng.gen_range(8));
             let page_id = PageId(page + 1);
             let (who, what) = ((op % 2) as usize, op / 2);
             match what {
@@ -63,19 +66,23 @@ proptest! {
                 let r_ok = handles[probe].read_untimed(page_id, 0, &mut buf).is_ok();
                 let w_ok = handles[probe].write_untimed(page_id, 0, &buf).is_ok();
                 let expect = perms[probe][page as usize];
-                prop_assert_eq!(r_ok, expect.is_some(), "read perm mismatch");
-                prop_assert_eq!(w_ok, expect == Some(PagePerm::Write), "write perm mismatch");
+                assert_eq!(r_ok, expect.is_some(), "case {case}: read perm mismatch");
+                assert_eq!(
+                    w_ok,
+                    expect == Some(PagePerm::Write),
+                    "case {case}: write perm mismatch"
+                );
             }
         }
     }
+}
 
-    /// Crash injection: flushed prefixes survive, unflushed suffixes
-    /// revert, regardless of the store pattern.
-    #[test]
-    fn crash_respects_flush_boundary(
-        stores in proptest::collection::vec((0usize..60, 1usize..200, any::<u8>()), 1..30),
-        flush_upto in 0usize..30,
-    ) {
+/// Crash injection: flushed prefixes survive, unflushed suffixes revert,
+/// regardless of the store pattern.
+#[test]
+fn crash_respects_flush_boundary() {
+    let mut rng = SimRng::seed_from_u64(0xC4A5);
+    for case in 0..48 {
         let dev = Arc::new(NvmDevice::new(DeviceConfig {
             track_persistence: true,
             ..DeviceConfig::small()
@@ -83,21 +90,20 @@ proptest! {
         let a = ActorId(1);
         dev.mmu_map(a, PageId(1), PagePerm::Write).unwrap();
         let h = NvmHandle::new(Arc::clone(&dev), a);
-        // Shadow model of durable contents.
-        let mut durable = vec![0u8; 4096];
-        let mut volatile = vec![0u8; 4096];
+        let n_stores = 1 + rng.gen_range(29) as usize;
+        let flush_upto = rng.gen_range(30) as usize;
+        let stores: Vec<(usize, usize, u8)> = (0..n_stores)
+            .map(|_| {
+                (rng.gen_range(60) as usize, 1 + rng.gen_range(199) as usize, rng.next_u64() as u8)
+            })
+            .collect();
         for (i, (off, len, val)) in stores.iter().enumerate() {
             let off = (*off * 64).min(4096 - *len);
             let data = vec![*val; *len];
             h.write_untimed(PageId(1), off, &data).unwrap();
-            volatile[off..off + len].copy_from_slice(&data);
             if i < flush_upto {
                 h.flush(PageId(1), off, *len);
                 h.fence();
-                durable[off..off + len].copy_from_slice(&data);
-            } else {
-                // An unflushed store may still land on a line that a later
-                // flushed store covers; model at line granularity below.
             }
         }
         // Re-derive the durable image: flushing is line-granular, so replay
@@ -106,23 +112,16 @@ proptest! {
         let mut dirty = [false; 64];
         for (i, (off, len, val)) in stores.iter().enumerate() {
             let off = (*off * 64).min(4096 - *len);
-            for b in off..off + *len {
-                model[b] = *val;
+            for b in model.iter_mut().skip(off).take(*len) {
+                *b = *val;
             }
             let first = off / 64;
             let last = (off + len - 1) / 64;
-            if i < flush_upto {
-                for l in first..=last {
-                    dirty[l] = false;
-                }
-                // Lines become durable with their *current* contents.
-            } else {
-                for l in first..=last {
-                    dirty[l] = true;
-                }
+            for l in first..=last {
+                // Flushed lines become durable with their current contents.
+                dirty[l] = i >= flush_upto;
             }
         }
-        let _ = (&durable, &volatile);
         dev.crash();
         let mut got = vec![0u8; 4096];
         dev.mmu_map(a, PageId(1), PagePerm::Read).unwrap();
@@ -133,10 +132,10 @@ proptest! {
         // clean lines match the full store history.
         for l in 0..64 {
             if !dirty[l] {
-                prop_assert_eq!(
+                assert_eq!(
                     &got[l * 64..(l + 1) * 64],
                     &model[l * 64..(l + 1) * 64],
-                    "clean line {} must survive", l
+                    "case {case}: clean line {l} must survive"
                 );
             }
         }

@@ -21,8 +21,9 @@
 //!   moment its predecessor releases the resource, so lock convoys and
 //!   collapse under contention appear in the virtual timeline exactly as
 //!   they would on real hardware.
-//! * **Safe.** Shared payloads are protected by real `parking_lot` locks in
-//!   addition to the virtual protocol, so the crate contains no `unsafe`.
+//! * **Safe.** Shared payloads are protected by real locks ([`plock`], a
+//!   self-contained `parking_lot`-style layer over `std::sync`) in addition
+//!   to the virtual protocol, so the crate contains no `unsafe`.
 //!
 //! # Examples
 //!
@@ -44,6 +45,7 @@
 //! ```
 
 pub mod cost;
+pub mod plock;
 pub mod rng;
 pub mod runtime;
 pub mod sync;

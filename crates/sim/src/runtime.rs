@@ -15,7 +15,7 @@ use std::{
     thread,
 };
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use crate::plock::{Condvar, Mutex, MutexGuard};
 
 use crate::time::Nanos;
 
@@ -160,11 +160,20 @@ struct ThreadSlot {
     state: RunState,
     join_waiters: Vec<usize>,
     os_handle: Option<thread::JoinHandle<()>>,
+    /// Wake generation: bumped on every Blocked -> Ready transition so stale
+    /// timer entries (from [`Inner::block_current_timed`]) are discarded.
+    gen: u64,
+    /// Fault injection: set by [`JoinHandle::kill`]/[`SimRuntime::kill`]; the
+    /// thread unwinds (cleanly, releasing its locks) at its next sim point.
+    doomed: bool,
 }
 
 pub(crate) struct SchedState {
     threads: Vec<ThreadSlot>,
     ready: BinaryHeap<Reverse<(Nanos, u64, usize)>>,
+    /// Pending wake-up deadlines: `(deadline, seq, tid, gen)`. Entries whose
+    /// `gen` no longer matches the thread's are stale and skipped.
+    timers: BinaryHeap<Reverse<(Nanos, u64, usize, u64)>>,
     seq: u64,
     live: usize,
     events: u64,
@@ -183,9 +192,28 @@ pub(crate) struct Inner {
 /// (deadlock or a panic on another sim-thread).
 const ABORT_MSG: &str = "trio-sim: simulation aborted";
 
+/// Message used to unwind a sim-thread that was killed by fault injection.
+/// Unlike [`ABORT_MSG`], this is a *clean* death: the rest of the simulation
+/// keeps running, exactly like a LibFS process dying mid-operation.
+const KILL_MSG: &str = "trio-sim: sim-thread killed by fault injection";
+
 impl Inner {
+    /// Unwinds the calling thread if it was marked for death. Called at sim
+    /// points so a killed thread dies at a deterministic instruction
+    /// boundary, releasing its locks through ordinary guard drops.
+    fn check_doomed(self: &Arc<Self>, st: &mut MutexGuard<'_, SchedState>, tid: usize) {
+        if st.threads[tid].doomed {
+            // Clear the flag first: guard drops during the unwind re-enter
+            // the scheduler (unlock hand-offs, time charges) and must not
+            // re-panic.
+            st.threads[tid].doomed = false;
+            panic!("{KILL_MSG}");
+        }
+    }
+
     fn advance(self: &Arc<Self>, tid: usize, ns: Nanos) {
         let mut st = self.sched.lock();
+        self.check_doomed(&mut st, tid);
         st.events += 1;
         let t = st.threads[tid].time.saturating_add(ns);
         if t > st.horizon {
@@ -207,8 +235,26 @@ impl Inner {
     /// later call [`Inner::make_ready`] for it. Used by sync primitives.
     pub(crate) fn block_current(self: &Arc<Self>, tid: usize) {
         let mut st = self.sched.lock();
+        self.check_doomed(&mut st, tid);
         st.events += 1;
         st.threads[tid].state = RunState::Blocked;
+        self.dispatch_then_park(st, Some(tid));
+    }
+
+    /// Like [`Inner::block_current`], but the thread also wakes on its own
+    /// no later than virtual `deadline`. Whether it was notified or timed
+    /// out is for the caller's predicate to decide (the primitive re-checks
+    /// its state on resume, as with any wake-up).
+    pub(crate) fn block_current_timed(self: &Arc<Self>, tid: usize, deadline: Nanos) {
+        let mut st = self.sched.lock();
+        self.check_doomed(&mut st, tid);
+        st.events += 1;
+        st.threads[tid].state = RunState::Blocked;
+        let gen = st.threads[tid].gen;
+        let seq = st.seq;
+        st.seq += 1;
+        let at = st.threads[tid].time.max(deadline);
+        st.timers.push(Reverse((at, seq, tid, gen)));
         self.dispatch_then_park(st, Some(tid));
     }
 
@@ -224,9 +270,38 @@ impl Inner {
         let t = st.threads[tid].time.max(at);
         st.threads[tid].time = t;
         st.threads[tid].state = RunState::Ready;
+        st.threads[tid].gen += 1; // Invalidate any pending timer entry.
         let seq = st.seq;
         st.seq += 1;
         st.ready.push(Reverse((t, seq, tid)));
+    }
+
+    /// Picks the next thread to run: the smallest `(time, seq)` key across
+    /// the ready queue and the (validated) timer queue. Timer entries whose
+    /// generation is stale — the thread was notified before its deadline —
+    /// are discarded here.
+    fn pop_next(st: &mut SchedState) -> Option<usize> {
+        loop {
+            let take_timer = match (st.ready.peek(), st.timers.peek()) {
+                (Some(Reverse(r)), Some(Reverse(t))) => (t.0, t.1) < (r.0, r.1),
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => return None,
+            };
+            if !take_timer {
+                let Reverse((_, _, tid)) = st.ready.pop().expect("peeked above");
+                return Some(tid);
+            }
+            let Reverse((at, _, tid, gen)) = st.timers.pop().expect("peeked above");
+            if st.threads[tid].state == RunState::Blocked && st.threads[tid].gen == gen {
+                // The timeout fires: wake the thread at its deadline.
+                if st.threads[tid].time < at {
+                    st.threads[tid].time = at;
+                }
+                st.threads[tid].gen += 1;
+                return Some(tid);
+            }
+        }
     }
 
     pub(crate) fn time_of(st: &SchedState, tid: usize) -> Nanos {
@@ -237,8 +312,8 @@ impl Inner {
     /// `me` is `Some` and wins the pick, the call simply returns; otherwise
     /// the caller parks. `me = None` is used by the external `run()` entry.
     fn dispatch_then_park(self: &Arc<Self>, mut st: MutexGuard<'_, SchedState>, me: Option<usize>) {
-        match st.ready.pop() {
-            Some(Reverse((_, _, next))) => {
+        match Self::pop_next(&mut st) {
+            Some(next) => {
                 st.threads[next].state = RunState::Running;
                 if me == Some(next) {
                     return;
@@ -294,6 +369,9 @@ impl Inner {
         let mut st = self.sched.lock();
         st.threads[tid].state = RunState::Done;
         st.live -= 1;
+        // A kill-injected unwind is a *clean* death (the LibFS process went
+        // away); joiners are released and the simulation continues.
+        let panic_msg = panic_msg.filter(|m| !m.contains(KILL_MSG));
         if let Some(msg) = panic_msg {
             if !msg.contains("trio-sim: simulation aborted") {
                 st.panic_msg.get_or_insert(msg);
@@ -328,6 +406,8 @@ impl Inner {
             state: RunState::Ready,
             join_waiters: Vec::new(),
             os_handle: None,
+            gen: 0,
+            doomed: false,
         });
         st.live += 1;
         let seq = st.seq;
@@ -401,6 +481,21 @@ impl JoinHandle {
     pub fn tid(&self) -> usize {
         self.tid
     }
+
+    /// Fault injection: marks the target thread for death. The thread
+    /// unwinds at its next sim point (a [`work`] charge, a blocking
+    /// primitive, or a [`yield_now`]), releasing any locks it holds through
+    /// ordinary guard drops — modelling a LibFS process killed
+    /// mid-operation. Deterministic: the death lands on the same
+    /// instruction boundary on every run. A thread blocked inside a
+    /// primitive dies when it next resumes. No-op if the thread already
+    /// finished.
+    pub fn kill(&self) {
+        let mut st = self.inner.sched.lock();
+        if st.threads[self.tid].state != RunState::Done {
+            st.threads[self.tid].doomed = true;
+        }
+    }
 }
 
 /// A deterministic virtual-time runtime; see the crate-level docs.
@@ -416,6 +511,7 @@ impl SimRuntime {
                 sched: Mutex::new(SchedState {
                     threads: Vec::new(),
                     ready: BinaryHeap::new(),
+                    timers: BinaryHeap::new(),
                     seq: 0,
                     live: 0,
                     events: 0,
@@ -476,6 +572,14 @@ impl SimRuntime {
         st.threads.iter().map(|t| t.time).max().unwrap_or(0)
     }
 
+    /// Fault injection by thread id; see [`JoinHandle::kill`].
+    pub fn kill(&self, tid: usize) {
+        let mut st = self.inner.sched.lock();
+        if tid < st.threads.len() && st.threads[tid].state != RunState::Done {
+            st.threads[tid].doomed = true;
+        }
+    }
+
     /// Total scheduler events processed — a determinism fingerprint.
     pub fn events(&self) -> u64 {
         self.inner.sched.lock().events
@@ -494,6 +598,11 @@ pub(crate) fn with_inner<R>(f: impl FnOnce(&Arc<Inner>, usize) -> R) -> R {
 impl Inner {
     pub(crate) fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Current virtual time of `tid`.
+    pub(crate) fn now_of(&self, tid: usize) -> Nanos {
+        self.sched.lock().threads[tid].time
     }
 
     /// Charges virtual CPU time to `tid` (no-op for zero).

@@ -1,6 +1,6 @@
 //! Virtual-time barrier.
 
-use parking_lot::Mutex as PlMutex;
+use crate::plock::Mutex as PlMutex;
 
 use crate::runtime::with_inner;
 

@@ -7,10 +7,22 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex as PlMutex;
+use crate::plock::Mutex as PlMutex;
 
 use crate::cost;
 use crate::runtime::with_inner;
+use crate::time::Nanos;
+
+/// Outcome of [`SimChannel::recv_deadline`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvDeadline<T> {
+    /// A value arrived before the deadline.
+    Ok(T),
+    /// The channel was closed and drained.
+    Closed,
+    /// The virtual deadline passed with no value available.
+    TimedOut,
+}
 
 struct Chan<T> {
     q: VecDeque<T>,
@@ -132,6 +144,56 @@ impl<T> SimChannel<T> {
                 st.recv_waiters.push_back(me);
                 drop(st);
                 inner.block_current(me);
+                None
+            });
+            if let Some(res) = got {
+                return res;
+            }
+        }
+    }
+
+    /// Receives a value, giving up once the virtual clock reaches
+    /// `deadline`. This is the primitive behind the delegation client's
+    /// bounded waits: a stalled or dead server thread can no longer hang
+    /// its clients.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use trio_sim::{now, SimRuntime, sync::{RecvDeadline, SimChannel}};
+    ///
+    /// let rt = SimRuntime::new(0);
+    /// let ch = Arc::new(SimChannel::<u8>::unbounded());
+    /// rt.spawn("c", move || {
+    ///     assert_eq!(ch.recv_deadline(5_000), RecvDeadline::TimedOut);
+    ///     assert_eq!(now(), 5_000);
+    /// });
+    /// rt.run();
+    /// ```
+    pub fn recv_deadline(&self, deadline: Nanos) -> RecvDeadline<T> {
+        loop {
+            let got = with_inner(|inner, me| {
+                let mut st = self.state.lock();
+                // A timeout wake-up leaves our waiter registration behind;
+                // clear it so a later sender never tries to wake a thread
+                // that already gave up.
+                st.recv_waiters.retain(|&w| w != me);
+                if let Some(item) = st.q.pop_front() {
+                    if let Some(s) = st.send_waiters.pop_front() {
+                        inner.wake_from(me, s, cost::RING_HOP_NS);
+                    }
+                    return Some(RecvDeadline::Ok(item));
+                }
+                if st.closed {
+                    return Some(RecvDeadline::Closed);
+                }
+                if inner.now_of(me) >= deadline {
+                    return Some(RecvDeadline::TimedOut);
+                }
+                st.recv_waiters.push_back(me);
+                drop(st);
+                inner.block_current_timed(me, deadline);
                 None
             });
             if let Some(res) = got {

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex as PlMutex;
+use crate::plock::Mutex as PlMutex;
 
 use crate::cost;
 use crate::runtime::with_inner;

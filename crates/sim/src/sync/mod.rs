@@ -14,7 +14,7 @@ mod mutex;
 mod rwlock;
 
 pub use barrier::SimBarrier;
-pub use channel::SimChannel;
+pub use channel::{RecvDeadline, SimChannel};
 pub use condvar::SimCondvar;
 pub use mutex::{SimMutex, SimMutexGuard};
 pub use rwlock::{SimRwLock, SimRwLockReadGuard, SimRwLockWriteGuard};

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 
-use parking_lot::{Mutex as PlMutex, RwLock as PlRwLock};
+use crate::plock::{self as parking_lot, Mutex as PlMutex, RwLock as PlRwLock};
 
 use crate::cost;
 use crate::runtime::with_inner;

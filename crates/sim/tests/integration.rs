@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_sim::sync::{SimBarrier, SimChannel, SimCondvar, SimMutex, SimRwLock};
 use trio_sim::{now, spawn, work, SimRuntime};
 

@@ -12,7 +12,7 @@ pub mod fxmark;
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_sim::sync::SimBarrier;
 use trio_sim::{Nanos, SimRuntime};
 

@@ -68,6 +68,9 @@ fn main() {
                     println!("kernel: ino {ino} rolled back to its checkpoint")
                 }
                 KernelEvent::LeaseRevoked { .. } => {}
+                KernelEvent::Privatized { ino, .. } => {
+                    println!("kernel: ino {ino} privatized (corrupt, never checkpointed)")
+                }
             }
         }
         match result {

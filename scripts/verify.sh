@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 tests, the exhaustive crash-point sweep
+# at the pinned seed, and the standalone no-faults bench build that
+# proves the injection hooks compile to no-ops outside the `faults`
+# feature. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo
+echo "== crash-point sweep (pinned seed, all points) =="
+cargo test --test crash_sweep -- --nocapture
+
+echo
+echo "== zero-overhead gate: standalone trio-bench (no 'faults' feature) =="
+# Built with -p, feature unification does not apply: trio-bench must
+# compile and report faults_compiled() == false.
+cargo bench -p trio-bench --bench micro_components 2>&1 | tee /tmp/trio_micro.$$ | sed -n '1,3p'
+if grep -q "faults_compiled() == false" /tmp/trio_micro.$$; then
+    rm -f /tmp/trio_micro.$$
+    echo "OK: injection hooks are no-ops in the standalone bench build."
+else
+    rm -f /tmp/trio_micro.$$
+    echo "FAIL: standalone bench build has the 'faults' feature enabled." >&2
+    exit 1
+fi
+
+echo
+echo "verify.sh: all gates passed."

@@ -61,17 +61,17 @@ fn completed_creates_survive_a_crash() {
     rt.run();
     // Crash: revert every unflushed line. Completed creates persisted
     // their dirents with the prepare/publish protocol, so all survive.
-    dev.crash();
+    let report = dev.crash();
     let rt = SimRuntime::new(2);
     let fs2 = Arc::clone(&fs);
-    let found = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let found = Arc::new(trio_sim::plock::Mutex::new(Vec::new()));
     let f2 = Arc::clone(&found);
     rt.spawn("t", move || {
         *f2.lock() = scan_dir_core(&fs2, "/d");
     });
     rt.run();
     let names = found.lock();
-    assert_eq!(names.len(), 40, "all committed creates survive: {names:?}");
+    assert_eq!(names.len(), 40, "all committed creates survive: {names:?}\n{report}");
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn torn_create_is_invisible_after_crash() {
     let (dev, _, fs) = tracked_world();
     let rt = SimRuntime::new(3);
     let fs2 = Arc::clone(&fs);
-    let loc_out = Arc::new(parking_lot::Mutex::new(None));
+    let loc_out = Arc::new(trio_sim::plock::Mutex::new(None));
     let loc2 = Arc::clone(&loc_out);
     rt.spawn("t", move || {
         fs2.mkdir("/d", Mode(0o777)).unwrap();
@@ -132,14 +132,14 @@ fn data_writes_are_synchronous() {
         fs2.close(fd).unwrap();
     });
     rt.run();
-    dev.crash();
+    let report = dev.crash();
     // Completed pwrite: contents and size survive (no page cache).
     let rt = SimRuntime::new(6);
     let fs2 = Arc::clone(&fs);
     rt.spawn("t", move || {
         let data = trio_fsapi::read_file(&*fs2, "/f").unwrap();
-        assert_eq!(data.len(), 10_000);
-        assert!(data.iter().all(|&b| b == 0xAB));
+        assert_eq!(data.len(), 10_000, "size must survive the crash\n{report}");
+        assert!(data.iter().all(|&b| b == 0xAB), "contents must survive the crash\n{report}");
     });
     rt.run();
 }
@@ -207,16 +207,122 @@ fn crash_loses_nothing_when_everything_is_flushed() {
         fs2.truncate("/a/y", 3).unwrap();
     });
     rt.run();
-    let lost = dev.crash();
-    let _ = lost; // Dirty lines may exist (aux-ish scratch), but...
+    let report = dev.crash(); // Dirty lines may exist (aux-ish scratch), but...
     let rt = SimRuntime::new(9);
     let fs2 = Arc::clone(&fs);
     rt.spawn("t", move || {
         // ...every completed, synchronous operation must be visible.
         let entries = scan_dir_core(&fs2, "/a");
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].0, "y");
-        assert_eq!(trio_fsapi::read_file(&*fs2, "/a/y").unwrap(), b"123");
+        assert_eq!(entries.len(), 1, "exactly the renamed file survives\n{report}");
+        assert_eq!(entries[0].0, "y", "rename must be durable\n{report}");
+        assert_eq!(trio_fsapi::read_file(&*fs2, "/a/y").unwrap(), b"123", "truncate durable\n{report}");
     });
     rt.run();
+}
+
+// ---------------------------------------------------------------------
+// Recovery idempotence (fault-injection engine satellites): the rename
+// undo journal must converge to the same state no matter how many times
+// recovery runs — including when a crash interrupts recovery itself.
+// ---------------------------------------------------------------------
+
+/// Builds a world frozen in the §4.4 rename crash window: journal armed,
+/// destination published, source cleared, disarm never reached. Returns
+/// `(device, src_loc, dst_loc, journal_page, victim_ino)`.
+#[cfg(feature = "faults")]
+fn armed_rename_world(
+    seed: u64,
+) -> (Arc<NvmDevice>, DirentLoc, DirentLoc, trio_nvm::PageId, u64) {
+    let (dev, _, fs) = tracked_world();
+    let rt = SimRuntime::new(seed);
+    let out = Arc::new(trio_sim::plock::Mutex::new(None));
+    let (o2, fs2) = (Arc::clone(&out), Arc::clone(&fs));
+    rt.spawn("setup", move || {
+        fs2.mkdir("/d", Mode(0o777)).unwrap();
+        trio_fsapi::write_file(&*fs2, "/d/victim", b"contents").unwrap();
+        let (_, _, data) = fs2.debug_file_pages("/d").unwrap();
+        let page = data[0].unwrap();
+        let src = DirentLoc { page, slot: 0 };
+        let mut img = [0u8; DIRENT_SIZE];
+        fs2.handle().read_untimed(src.page, src.byte_off(), &mut img).unwrap();
+        let src_ino = DirentRef::new(fs2.handle(), src).ino().unwrap();
+        let mut dst = None;
+        for s in 1..DIRENTS_PER_PAGE {
+            let loc = DirentLoc { page, slot: s };
+            if DirentRef::new(fs2.handle(), loc).ino().unwrap() == 0 {
+                dst = Some(loc);
+                break;
+            }
+        }
+        let dst = dst.unwrap();
+        let jpage = fs2.debug_take_pool_page();
+        let journal = arckfs::journal::Journal::new();
+        let guard = journal
+            .begin_rename(fs2.handle(), 0, src, dst, &img, || Ok(jpage))
+            .unwrap();
+        let mut moved = DirentData::decode_bytes(&img);
+        moved.name = b"moved".to_vec();
+        let dref = DirentRef::new(fs2.handle(), dst);
+        dref.prepare(&moved).unwrap();
+        dref.publish(src_ino).unwrap();
+        DirentRef::new(fs2.handle(), src).clear().unwrap();
+        std::mem::forget(guard); // Crash before disarm.
+        *o2.lock() = Some((src, dst, jpage, src_ino));
+    });
+    rt.run();
+    let (src, dst, jpage, src_ino) = out.lock().take().unwrap();
+    (dev, src, dst, jpage, src_ino)
+}
+
+/// Running journal recovery twice is a no-op the second time: same
+/// dirents, same journal page bytes, zero records undone.
+#[cfg(feature = "faults")]
+#[test]
+fn journal_recovery_is_idempotent() {
+    use arckfs::journal::Journal;
+    let (dev, src, dst, jpage, src_ino) = armed_rename_world(21);
+    let kh = trio_nvm::NvmHandle::new(Arc::clone(&dev), trio_nvm::KERNEL_ACTOR);
+    assert_eq!(Journal::recover(&kh, &[jpage]).unwrap(), 1);
+    assert_eq!(DirentRef::new(&kh, src).ino().unwrap(), src_ino);
+    assert_eq!(DirentRef::new(&kh, dst).ino().unwrap(), 0);
+    let dirents_after_first = dev.snapshot_page(src.page).unwrap();
+    let journal_after_first = dev.snapshot_page(jpage).unwrap();
+    // Second run: journal is disarmed; nothing changes.
+    assert_eq!(Journal::recover(&kh, &[jpage]).unwrap(), 0);
+    assert_eq!(dev.snapshot_page(src.page).unwrap(), dirents_after_first);
+    assert_eq!(dev.snapshot_page(jpage).unwrap(), journal_after_first);
+}
+
+/// Crashing at *every* persistence point inside journal recovery and then
+/// recovering again always converges to the undone state — recovery is
+/// re-runnable from any prefix of itself.
+#[cfg(feature = "faults")]
+#[test]
+fn crash_mid_journal_recovery_then_recover_again_converges() {
+    use arckfs::journal::Journal;
+    use trio_nvm::fault::FaultPlan;
+    // Measure recovery's own persistence-point span on a throwaway world.
+    let span = {
+        let (dev, _, _, jpage, _) = armed_rename_world(22);
+        let kh = trio_nvm::NvmHandle::new(Arc::clone(&dev), trio_nvm::KERNEL_ACTOR);
+        let p0 = dev.persistence_points();
+        Journal::recover(&kh, &[jpage]).unwrap();
+        dev.persistence_points() - p0
+    };
+    assert!(span >= 3, "recovery should span several persistence points, got {span}");
+    for k in 0..span {
+        let (dev, src, dst, jpage, src_ino) = armed_rename_world(22);
+        let kh = trio_nvm::NvmHandle::new(Arc::clone(&dev), trio_nvm::KERNEL_ACTOR);
+        dev.arm_crash_plan(FaultPlan::crash_at_point(dev.persistence_points() + k));
+        Journal::recover(&kh, &[jpage]).unwrap();
+        let report = dev.crash();
+        let undone = Journal::recover(&kh, &[jpage]).unwrap();
+        let s = DirentRef::new(&kh, src).ino().unwrap();
+        let d = DirentRef::new(&kh, dst).ino().unwrap();
+        assert_eq!(
+            (s, d),
+            (src_ino, 0),
+            "recovery did not converge (crash at +{k}, second pass undid {undone})\n{report}"
+        );
+    }
 }

@@ -1,0 +1,442 @@
+//! Exhaustive crash-point sweep (the fault-injection engine's tentpole
+//! test): a fixed, seed-deterministic operation trace runs against a
+//! tracked device once per persistence point; at each point `k` a
+//! [`FaultPlan`] freezes durability, the device crashes, recovery runs
+//! (LibFS rename-journal undo, then the kernel's tree walk), and the
+//! recovered state must (a) pass the full I1–I4 `fsck` audit and (b) be
+//! equivalent to a model file system — every operation that completed
+//! before the freeze is fully visible, the one in-flight operation is
+//! atomic-or-invisible (data writes: torn only at cache-line
+//! granularity), and nothing later survives.
+//!
+//! Every assertion message carries the replayable `(seed, crash_point)`
+//! pair plus the [`CrashReport`], so a failure reproduces with a
+//! single targeted run.
+#![cfg(feature = "faults")]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig};
+use trio_fsapi::{FileSystem, FileType, Mode, OpenFlags};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::fault::FaultPlan;
+use trio_nvm::{DeviceConfig, NvmDevice, NvmHandle, Topology, CACHE_LINE, KERNEL_ACTOR};
+use trio_sim::plock::Mutex;
+use trio_sim::rng::SimRng;
+use trio_sim::SimRuntime;
+
+/// Pinned sweep seed; change only together with EXPERIMENTS.md.
+const SWEEP_SEED: u64 = 0xA5C3_5EED;
+
+// ---------------------------------------------------------------------
+// Operation trace: fixed op kinds (guaranteed coverage of create /
+// overwrite / append / cross- and same-directory rename / unlink of
+// empty and non-empty files), randomized payloads and offsets.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    Mkdir(String),
+    Create(String),
+    Write { path: String, off: u64, data: Vec<u8> },
+    Rename(String, String),
+    Unlink(String),
+}
+
+fn blob(rng: &mut SimRng, min: usize, max: usize) -> Vec<u8> {
+    let len = min + rng.gen_range((max - min) as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// Deterministic trace; appends use the model size at generation time so
+/// `Write.off` is always concrete.
+fn gen_trace(seed: u64) -> Vec<Op> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut sizes: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut ops = Vec::new();
+    let write =
+        |ops: &mut Vec<Op>, sizes: &mut BTreeMap<&'static str, u64>, rng: &mut SimRng,
+         path: &'static str, off: u64, min: usize, max: usize| {
+            let data = blob(rng, min, max);
+            let end = off + data.len() as u64;
+            let s = sizes.entry(path).or_insert(0);
+            *s = (*s).max(end);
+            ops.push(Op::Write { path: path.into(), off, data });
+        };
+    ops.push(Op::Mkdir("/a".into()));
+    ops.push(Op::Mkdir("/b".into()));
+    ops.push(Op::Create("/a/f0".into()));
+    write(&mut ops, &mut sizes, &mut rng, "/a/f0", 0, 600, 1400);
+    ops.push(Op::Create("/b/f1".into()));
+    write(&mut ops, &mut sizes, &mut rng, "/b/f1", 0, 400, 900);
+    ops.push(Op::Create("/a/f2".into()));
+    let off = sizes["/a/f0"];
+    write(&mut ops, &mut sizes, &mut rng, "/a/f0", off, 500, 1100); // append
+    ops.push(Op::Rename("/a/f0".into(), "/b/g0".into())); // cross-dir
+    sizes.insert("/b/g0", sizes["/a/f0"]);
+    let off = rng.gen_range(200);
+    write(&mut ops, &mut sizes, &mut rng, "/b/f1", off, 200, 400); // overwrite
+    ops.push(Op::Unlink("/a/f2".into())); // empty file
+    ops.push(Op::Create("/a/f3".into()));
+    write(&mut ops, &mut sizes, &mut rng, "/a/f3", 0, 900, 1500);
+    ops.push(Op::Rename("/b/f1".into(), "/a/g1".into()));
+    sizes.insert("/a/g1", sizes["/b/f1"]);
+    let off = rng.gen_range(sizes["/b/g0"] / 2);
+    write(&mut ops, &mut sizes, &mut rng, "/b/g0", off, 300, 600);
+    ops.push(Op::Create("/b/f4".into()));
+    write(&mut ops, &mut sizes, &mut rng, "/b/f4", 0, 500, 900);
+    ops.push(Op::Unlink("/a/g1".into())); // non-empty file
+    let off = sizes["/a/f3"];
+    write(&mut ops, &mut sizes, &mut rng, "/a/f3", off, 600, 1000); // append
+    ops.push(Op::Rename("/a/f3".into(), "/a/g3".into())); // same-dir
+    sizes.insert("/a/g3", sizes["/a/f3"]);
+    ops.push(Op::Create("/a/f5".into()));
+    write(&mut ops, &mut sizes, &mut rng, "/a/f5", 0, 700, 1200);
+    ops.push(Op::Unlink("/b/f4".into()));
+    let off = sizes["/b/g0"];
+    write(&mut ops, &mut sizes, &mut rng, "/b/g0", off, 300, 700); // append
+    ops
+}
+
+// ---------------------------------------------------------------------
+// Model file system.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+struct Model {
+    files: BTreeMap<String, Vec<u8>>,
+    dirs: BTreeSet<String>,
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Mkdir(p) => {
+                self.dirs.insert(p.clone());
+            }
+            Op::Create(p) => {
+                self.files.insert(p.clone(), Vec::new());
+            }
+            Op::Write { path, off, data } => {
+                let f = self.files.get_mut(path).expect("write target exists");
+                let end = *off as usize + data.len();
+                if f.len() < end {
+                    f.resize(end, 0);
+                }
+                f[*off as usize..end].copy_from_slice(data);
+            }
+            Op::Rename(s, d) => {
+                let v = self.files.remove(s).expect("rename source exists");
+                self.files.insert(d.clone(), v);
+            }
+            Op::Unlink(p) => {
+                self.files.remove(p).expect("unlink target exists");
+            }
+        }
+    }
+}
+
+fn touched(op: &Op) -> Vec<&str> {
+    match op {
+        Op::Mkdir(p) | Op::Create(p) | Op::Unlink(p) => vec![p],
+        Op::Write { path, .. } => vec![path],
+        Op::Rename(s, d) => vec![s, d],
+    }
+}
+
+// ---------------------------------------------------------------------
+// World plumbing.
+// ---------------------------------------------------------------------
+
+fn world() -> (Arc<NvmDevice>, Arc<KernelController>, Arc<ArckFs>) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 4096),
+        track_persistence: true,
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(Arc::clone(&dev), KernelConfig::default());
+    let fs = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    (dev, kernel, fs)
+}
+
+fn exec(fs: &ArckFs, op: &Op) {
+    let r = match op {
+        Op::Mkdir(p) => fs.mkdir(p, Mode(0o777)),
+        Op::Create(p) => fs.create(p, Mode(0o666)),
+        Op::Write { path, off, data } => (|| {
+            let fd = fs.open(path, OpenFlags::RDWR, Mode::empty())?;
+            fs.pwrite(fd, *off, data)?;
+            fs.close(fd)
+        })(),
+        Op::Rename(s, d) => fs.rename(s, d),
+        Op::Unlink(p) => fs.unlink(p),
+    };
+    r.unwrap_or_else(|e| panic!("op {op:?} failed: {e:?}"));
+}
+
+/// Runs the trace in a sim thread; returns how many ops fully completed
+/// before the armed plan fired (== `ops.len()` if it never fired).
+fn run_trace(dev: &Arc<NvmDevice>, fs: &Arc<ArckFs>, ops: &[Op], seed: u64) -> usize {
+    let rt = SimRuntime::new(seed);
+    let completed = Arc::new(Mutex::new(0usize));
+    let (dev2, fs2, ops2, done) =
+        (Arc::clone(dev), Arc::clone(fs), ops.to_vec(), Arc::clone(&completed));
+    rt.spawn("ops", move || {
+        for op in &ops2 {
+            exec(&fs2, op);
+            if dev2.crash_plan_fired().is_none() {
+                *done.lock() += 1;
+            }
+        }
+    });
+    rt.run();
+    let n = *completed.lock();
+    n
+}
+
+/// Recursive directory walk through the public API; `None` marks a
+/// directory, `Some(bytes)` a regular file's full contents.
+fn readback(fs: &Arc<ArckFs>, seed: u64) -> BTreeMap<String, Option<Vec<u8>>> {
+    let rt = SimRuntime::new(seed ^ 0x9e37_79b9);
+    let out = Arc::new(Mutex::new(BTreeMap::new()));
+    let (fs2, out2) = (Arc::clone(fs), Arc::clone(&out));
+    rt.spawn("walk", move || {
+        let mut map = BTreeMap::new();
+        let mut stack = vec![String::new()];
+        while let Some(d) = stack.pop() {
+            let dpath = if d.is_empty() { "/" } else { d.as_str() };
+            for e in fs2.readdir(dpath).expect("readdir") {
+                let full = format!("{d}/{}", e.name);
+                match e.ftype {
+                    FileType::Directory => {
+                        map.insert(full.clone(), None);
+                        stack.push(full);
+                    }
+                    FileType::Regular => {
+                        let data = trio_fsapi::read_file(&*fs2, &full).expect("read");
+                        map.insert(full, Some(data));
+                    }
+                }
+            }
+        }
+        *out2.lock() = map;
+    });
+    rt.run();
+    let map = out.lock().clone();
+    map
+}
+
+// ---------------------------------------------------------------------
+// Equivalence checking.
+// ---------------------------------------------------------------------
+
+/// Asserts `got` matches `old` or `new` on every cache-line-aligned chunk
+/// — the torn-write granularity the device guarantees.
+fn check_linewise(ctx: &str, path: &str, got: &[u8], old: &[u8], new: &[u8]) {
+    let pad = |src: &[u8], i: usize, j: usize| -> Vec<u8> {
+        (i..j).map(|x| src.get(x).copied().unwrap_or(0)).collect()
+    };
+    let mut c = 0;
+    while c < got.len() {
+        let end = (c + CACHE_LINE).min(got.len());
+        let g = &got[c..end];
+        let o = pad(old, c, end);
+        let n = pad(new, c, end);
+        assert!(
+            g == o.as_slice() || g == n.as_slice(),
+            "{path}: torn write chunk [{c}, {end}) matches neither the old \
+             nor the new image\n{ctx}"
+        );
+        c = end;
+    }
+}
+
+fn check_equiv(
+    ctx: &str,
+    durable: &Model,
+    amb: Option<&Op>,
+    rec: &BTreeMap<String, Option<Vec<u8>>>,
+) {
+    let amb_paths: BTreeSet<&str> = amb.map(touched).unwrap_or_default().into_iter().collect();
+    // 1. Every durably created directory / file survives byte-for-byte.
+    for d in &durable.dirs {
+        if amb_paths.contains(d.as_str()) {
+            continue;
+        }
+        assert_eq!(rec.get(d), Some(&None), "directory {d} lost or corrupted\n{ctx}");
+    }
+    for (f, want) in &durable.files {
+        if amb_paths.contains(f.as_str()) {
+            continue;
+        }
+        match rec.get(f) {
+            Some(Some(got)) => assert_eq!(
+                got, want,
+                "file {f} content diverged (got {} bytes, want {})\n{ctx}",
+                got.len(),
+                want.len()
+            ),
+            other => panic!("file {f} lost after recovery (found {other:?})\n{ctx}"),
+        }
+    }
+    // 2. Nothing not in the durable model survives (in-flight op aside):
+    //    later ops' effects froze and must have been reverted.
+    for p in rec.keys() {
+        if amb_paths.contains(p.as_str()) {
+            continue;
+        }
+        assert!(
+            durable.dirs.contains(p) || durable.files.contains_key(p),
+            "unexpected path {p} resurrected by recovery\n{ctx}"
+        );
+    }
+    // 3. The in-flight operation is atomic-or-invisible.
+    let Some(op) = amb else { return };
+    match op {
+        Op::Mkdir(p) => match rec.get(p) {
+            None => {}
+            Some(None) => {
+                let prefix = format!("{p}/");
+                assert!(
+                    !rec.keys().any(|k| k.starts_with(&prefix)),
+                    "half-made directory {p} has children\n{ctx}"
+                );
+            }
+            Some(Some(_)) => panic!("in-flight mkdir {p} produced a regular file\n{ctx}"),
+        },
+        Op::Create(p) => match rec.get(p) {
+            None => {}
+            Some(Some(got)) => {
+                assert!(got.is_empty(), "in-flight create {p} has content\n{ctx}")
+            }
+            Some(None) => panic!("in-flight create {p} produced a directory\n{ctx}"),
+        },
+        Op::Write { path, off, data } => {
+            let old = durable.files.get(path).expect("write target durable");
+            let new_len = old.len().max(*off as usize + data.len());
+            let mut new = old.clone();
+            new.resize(new_len, 0);
+            new[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+            match rec.get(path) {
+                Some(Some(got)) => {
+                    assert!(
+                        got.len() == old.len() || got.len() == new_len,
+                        "in-flight write {path}: size {} is neither old {} nor new {}\n{ctx}",
+                        got.len(),
+                        old.len(),
+                        new_len
+                    );
+                    check_linewise(ctx, path, got, old, &new);
+                }
+                other => panic!("write target {path} vanished (found {other:?})\n{ctx}"),
+            }
+        }
+        Op::Rename(s, d) => {
+            let old = durable.files.get(s).expect("rename source durable");
+            let at = |p: &str| match rec.get(p) {
+                Some(Some(got)) => Some(got),
+                Some(None) => panic!("rename endpoint {p} became a directory\n{ctx}"),
+                None => None,
+            };
+            match (at(s), at(d)) {
+                (Some(got), None) | (None, Some(got)) => assert_eq!(
+                    got, old,
+                    "in-flight rename {s}->{d}: surviving copy corrupted\n{ctx}"
+                ),
+                (Some(_), Some(_)) =>
+
+                    panic!("in-flight rename {s}->{d}: both endpoints live (journal undo failed)\n{ctx}"),
+                (None, None) => panic!("in-flight rename {s}->{d}: file lost entirely\n{ctx}"),
+            }
+        }
+        Op::Unlink(p) => match rec.get(p) {
+            None => {}
+            Some(Some(got)) => assert_eq!(
+                got,
+                durable.files.get(p).expect("unlink target durable"),
+                "in-flight unlink {p}: surviving copy corrupted\n{ctx}"
+            ),
+            Some(None) => panic!("in-flight unlink {p} left a directory\n{ctx}"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// One sweep iteration.
+// ---------------------------------------------------------------------
+
+/// Runs the trace with a crash armed at point `k`, recovers, audits, and
+/// checks model equivalence. Returns `(crash report, recovered state)`
+/// rendered to strings for byte-identical determinism comparison.
+fn sweep_one(seed: u64, k: u64) -> (String, String) {
+    let ops = gen_trace(seed);
+    let (dev, _kernel, fs) = world();
+    dev.arm_crash_plan(FaultPlan::crash_at_point(k));
+    let completed = run_trace(&dev, &fs, &ops, seed);
+    let jpages = fs.journal_pages();
+    drop(fs);
+    let report = dev.crash();
+    let report_str = format!("{report}");
+    let ctx = format!("seed={seed} crash_point={k} completed_ops={completed}\n{report_str}");
+
+    // Recovery: LibFS journal undo first (it rewrites dirents the kernel
+    // walk will read), then the kernel's provenance-rebuilding walk.
+    let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+    arckfs::journal::Journal::recover(&kh, &jpages)
+        .unwrap_or_else(|e| panic!("journal recovery failed: {e:?}\n{ctx}"));
+    let kernel2 = KernelController::recover(Arc::clone(&dev), KernelConfig::default())
+        .unwrap_or_else(|e| panic!("kernel recovery failed: {e:?}\n{ctx}"));
+    let bad = kernel2.fsck();
+    assert!(bad.is_empty(), "fsck found violations after recovery: {bad:?}\n{ctx}");
+
+    let fs2 = ArckFs::mount(kernel2, 1000, 1000, ArckFsConfig::no_delegation());
+    let rec = readback(&fs2, seed);
+    let mut durable = Model::default();
+    for op in &ops[..completed.min(ops.len())] {
+        durable.apply(op);
+    }
+    check_equiv(&ctx, &durable, ops.get(completed), &rec);
+    (report_str, format!("{rec:?}"))
+}
+
+/// Total persistence points of the unarmed trace (the sweep domain).
+fn total_points(seed: u64) -> u64 {
+    let ops = gen_trace(seed);
+    let (dev, _kernel, fs) = world();
+    let done = run_trace(&dev, &fs, &ops, seed);
+    assert_eq!(done, ops.len(), "unarmed trace must complete");
+    dev.persistence_points()
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhaustive_crash_point_sweep() {
+    let total = total_points(SWEEP_SEED);
+    assert!(
+        total >= 200,
+        "trace too small for a meaningful sweep: {total} persistence points"
+    );
+    assert!(total <= 3000, "trace grew unexpectedly: {total} persistence points");
+    println!("sweeping {total} crash points (seed={SWEEP_SEED:#x})");
+    for k in 0..total {
+        sweep_one(SWEEP_SEED, k);
+    }
+}
+
+/// The engine's replayability contract: the same `(seed, crash_point)`
+/// pair yields a byte-identical crash report and recovered state.
+#[test]
+fn sweep_is_deterministic_and_replayable() {
+    let total = total_points(SWEEP_SEED);
+    for k in [1, total / 3, total / 2, total - 2] {
+        let a = sweep_one(SWEEP_SEED, k);
+        let b = sweep_one(SWEEP_SEED, k);
+        assert_eq!(a, b, "replay of (seed={SWEEP_SEED}, point={k}) diverged");
+    }
+}

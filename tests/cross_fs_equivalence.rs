@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_fsapi::{read_file, FileSystem, Mode, OpenFlags};
 use trio_sim::SimRuntime;
 

@@ -1,0 +1,146 @@
+//! Delegation-thread and media-error fault injection: stalled or wedged
+//! delegation threads must never hang a client (deadline + retry with
+//! backoff, then graceful degradation to direct access), and poisoned
+//! cache lines must surface as `FsError`s — never panics — and be
+//! repairable by full-line overwrites.
+#![cfg(feature = "faults")]
+
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig};
+use trio_fsapi::{FileSystem, FsError, Mode, OpenFlags};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::{DeviceConfig, NvmDevice, Topology};
+use trio_sim::{SimRuntime, MILLIS, SECONDS};
+
+fn world(cfg: ArckFsConfig) -> (Arc<NvmDevice>, Arc<KernelController>, Arc<ArckFs>) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(Arc::clone(&dev), KernelConfig::default());
+    let fs = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, cfg);
+    (dev, kernel, fs)
+}
+
+/// Delegation threads randomly stall past the client deadline and drop
+/// requests outright. Every access still completes correctly — retries
+/// cover transient faults, and after the attempt budget the client falls
+/// back to non-delegated direct access.
+#[test]
+fn delegated_io_survives_stalls_and_drops() {
+    let (_, kernel, fs) = world(ArckFsConfig::default());
+    let rt = SimRuntime::new(31);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        k.delegation().start();
+        // Stall 1-in-3 requests by 20ms (far past the 5ms deadline); drop
+        // 1-in-4 without ever replying.
+        k.delegation().inject_faults(3, 20 * MILLIS, 4);
+        let t0 = trio_sim::now();
+        let fd = fs.open("/big", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let chunk = 64 * 1024; // >= both delegation thresholds
+        for i in 0..8u64 {
+            let block: Vec<u8> = (0..chunk).map(|b| (b as u64 + i) as u8).collect();
+            assert_eq!(fs.pwrite(fd, i * chunk as u64, &block).unwrap(), chunk);
+        }
+        for i in 0..8u64 {
+            let mut buf = vec![0u8; chunk];
+            assert_eq!(fs.pread(fd, i * chunk as u64, &mut buf).unwrap(), chunk);
+            let want: Vec<u8> = (0..chunk).map(|b| (b as u64 + i) as u8).collect();
+            assert_eq!(buf, want, "chunk {i} corrupted under delegation faults");
+        }
+        fs.close(fd).unwrap();
+        // Bounded completion: deadlines + fallback, not unbounded waiting.
+        assert!(
+            trio_sim::now() - t0 < 5 * SECONDS,
+            "faulted delegation took unreasonably long"
+        );
+        k.delegation().shutdown();
+    });
+    rt.run();
+}
+
+/// With every request dropped, all delegated attempts time out and the
+/// client degrades to direct access — still correct, never hung.
+#[test]
+fn fully_wedged_delegation_pool_degrades_to_direct_access() {
+    let (_, kernel, fs) = world(ArckFsConfig::default());
+    let rt = SimRuntime::new(32);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        k.delegation().start();
+        k.delegation().inject_faults(0, 0, 1); // Drop 1-in-1: total wedge.
+        let fd = fs.open("/w", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let data = vec![0x5Au8; 64 * 1024];
+        assert_eq!(fs.pwrite(fd, 0, &data).unwrap(), data.len());
+        let mut buf = vec![0u8; 64 * 1024];
+        assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), buf.len());
+        assert_eq!(buf, data);
+        fs.close(fd).unwrap();
+        k.delegation().shutdown();
+    });
+    rt.run();
+}
+
+/// A poisoned cache line in a file's data page surfaces as
+/// `FsError::Corrupted` on reads and partial overwrites; a store covering
+/// the whole line repairs the media and normal service resumes.
+#[test]
+fn poisoned_line_faults_reads_and_full_overwrite_repairs() {
+    let (dev, _, fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(33);
+    rt.spawn("main", move || {
+        trio_fsapi::write_file(&*fs, "/p", &vec![0xCCu8; 4096]).unwrap();
+        let (_, _, data) = fs.debug_file_pages("/p").unwrap();
+        let page = data[0].unwrap();
+        dev.poison_line(page, 2); // Bytes 128..192.
+        assert_eq!(dev.poisoned_lines(), 1);
+        let fd = fs.open("/p", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        // Reads overlapping the poisoned line fault...
+        let mut buf = [0u8; 64];
+        assert_eq!(fs.pread(fd, 128, &mut buf).err(), Some(FsError::Corrupted));
+        assert_eq!(fs.pread(fd, 100, &mut buf).err(), Some(FsError::Corrupted));
+        // ...but lines outside it still read fine.
+        assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), 64);
+        assert!(buf.iter().all(|&b| b == 0xCC));
+        // A partial store cannot repair (it would have to read-modify-write
+        // the dead line) and faults too.
+        assert_eq!(fs.pwrite(fd, 130, b"xy").err(), Some(FsError::Corrupted));
+        // A store covering the whole line rewrites the media and repairs.
+        assert_eq!(fs.pwrite(fd, 128, &[0xDDu8; 64]).unwrap(), 64);
+        assert_eq!(dev.poisoned_lines(), 0);
+        let mut buf = [0u8; 64];
+        assert_eq!(fs.pread(fd, 128, &mut buf).unwrap(), 64);
+        assert!(buf.iter().all(|&b| b == 0xDD));
+        fs.close(fd).unwrap();
+    });
+    rt.run();
+}
+
+/// Media errors propagate through the delegation path as structured
+/// faults: the delegation thread's access trips the poison, the client
+/// receives `Corrupted` — no retry storm, no panic, no hang.
+#[test]
+fn poison_surfaces_through_delegated_reads() {
+    let (dev, kernel, fs) = world(ArckFsConfig::default());
+    let rt = SimRuntime::new(34);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        k.delegation().start();
+        let len = 64 * 1024;
+        trio_fsapi::write_file(&*fs, "/dp", &vec![0xEEu8; len]).unwrap();
+        let (_, _, data) = fs.debug_file_pages("/dp").unwrap();
+        dev.poison_line(data[3].unwrap(), 5);
+        let fd = fs.open("/dp", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let mut buf = vec![0u8; len]; // Delegated (>= read threshold).
+        assert_eq!(fs.pread(fd, 0, &mut buf).err(), Some(FsError::Corrupted));
+        // Repair by rewriting the whole poisoned page (delegated write).
+        assert_eq!(fs.pwrite(fd, 3 * 4096, &vec![0xEEu8; 4096]).unwrap(), 4096);
+        assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), len);
+        assert!(buf.iter().all(|&b| b == 0xEE));
+        fs.close(fd).unwrap();
+        k.delegation().shutdown();
+    });
+    rt.run();
+}

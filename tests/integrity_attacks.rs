@@ -12,7 +12,7 @@ use trio_fsapi::{read_file, write_file, FileSystem, Mode, OpenFlags};
 use trio_kernel::registry::KernelEvent;
 use trio_kernel::{KernelConfig, KernelController};
 use trio_nvm::{DeviceConfig, NvmDevice, Topology};
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_sim::SimRuntime;
 
 struct AttackWorld {

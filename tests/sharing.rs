@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use arckfs::{ArckFs, ArckFsConfig};
-use parking_lot::Mutex;
+use trio_sim::plock::Mutex;
 use trio_fsapi::{read_file, write_file, FileSystem, FsError, Mode, OpenFlags, SetAttr};
 use trio_kernel::{KernelConfig, KernelController};
 use trio_nvm::{DeviceConfig, NvmDevice, Topology};
@@ -187,4 +187,157 @@ fn lease_wait_time_matches_configuration() {
     let w = *waited.lock();
     assert!(w >= 45 * MILLIS, "B should wait out most of the 50ms lease, waited {w}ns");
     assert!(w < 80 * MILLIS, "but not much longer, waited {w}ns");
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: lease-expiry recovery, LibFS death, privatization.
+// ---------------------------------------------------------------------
+
+/// A writer corrupts its file's metadata and then stalls past its lease.
+/// The next writer's map revokes the expired lease, verification catches
+/// the corruption, and the kernel rolls back to the checkpoint taken when
+/// the faulty writer got its grant — the second writer proceeds on the
+/// checkpointed state.
+#[test]
+fn lease_expiry_rolls_back_a_stalled_corrupting_writer() {
+    let (kernel, a, b) = world(20);
+    let rt = SimRuntime::new(7);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        // Baseline, handed to the kernel's books (release marks it dirty;
+        // the re-open below verifies and checkpoints it).
+        write_file(&*a, "/le", &vec![0xAAu8; 2 * 4096]).unwrap();
+        a.release_path("/le").unwrap();
+        let bad = Arc::clone(&a);
+        let victim = trio_sim::spawn("victim", move || {
+            // Re-acquire the write grant (kernel checkpoints here), then
+            // corrupt the file's index: point an entry at a page the books
+            // say is free. I2 can never pass on this state.
+            let fd = bad.open("/le", OpenFlags::RDWR, Mode(0o666)).unwrap();
+            bad.pwrite(fd, 0, &[0xBBu8; 8]).unwrap();
+            let (_, index, _) = bad.debug_file_pages("/le").unwrap();
+            trio_layout::IndexPageRef::new(bad.handle(), index[0])
+                .set_entry(1, 30_000)
+                .unwrap();
+            // Stall far past the 20ms lease without closing or releasing.
+            trio_sim::work(200 * MILLIS);
+            let _ = bad.close(fd);
+        });
+        // B's write open blocks until A's lease expires, then revokes it,
+        // verifies, detects the corruption, and rolls back.
+        trio_sim::work(1 * MILLIS);
+        let fd = b.open("/le", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let mut buf = vec![0u8; 2 * 4096];
+        b.pread(fd, 0, &mut buf).unwrap();
+        // A's *data* write is direct-access and durable (data pages are not
+        // checkpointed); the *metadata* corruption is what rolls back.
+        assert!(buf[..8].iter().all(|&x| x == 0xBB), "A's legit data write survives");
+        assert!(
+            buf[8..].iter().all(|&x| x == 0xAA),
+            "B must see the checkpointed metadata, not A's corruption"
+        );
+        b.pwrite(fd, 0, b"B owns this now").unwrap();
+        b.close(fd).unwrap();
+        victim.join();
+        let events = k.take_events();
+        use trio_kernel::registry::KernelEvent as E;
+        assert!(
+            events.iter().any(|e| matches!(e, E::LeaseRevoked { .. })),
+            "expired lease must be revoked: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, E::CorruptionDetected { .. })),
+            "verification must flag the bad index entry: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, E::RolledBack { .. })),
+            "the kernel must roll back to the checkpoint: {events:?}"
+        );
+    });
+    rt.run();
+}
+
+/// A LibFS dies mid-write (injected sim-thread kill). Its lease expires,
+/// the kernel revokes the dead writer's grant, and a second LibFS maps
+/// and proceeds — no hang, no panic, and the survivor's writes stick.
+#[test]
+fn killed_libfs_lease_expires_and_survivor_proceeds() {
+    let (kernel, a, b) = world(10);
+    let rt = SimRuntime::new(8);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        write_file(&*a, "/shared", &vec![0u8; 32 * 4096]).unwrap();
+        a.release_path("/shared").unwrap();
+        let doomed = Arc::clone(&a);
+        let victim = trio_sim::spawn("victim", move || {
+            let fd = doomed.open("/shared", OpenFlags::RDWR, Mode(0o666)).unwrap();
+            let block = vec![0x11u8; 4096];
+            // Write forever; the kill lands mid-loop.
+            for i in 0.. {
+                doomed.pwrite(fd, (i % 16) * 4096, &block).unwrap();
+            }
+        });
+        trio_sim::work(2 * MILLIS);
+        victim.kill(); // LibFS process death, mid-operation.
+        // The survivor's open waits out the dead writer's lease, revokes
+        // it, verifies the (valid, possibly partial) writes, and proceeds.
+        let fd = b.open("/shared", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        b.pwrite(fd, 16 * 4096, b"survivor").unwrap();
+        let mut buf = [0u8; 8];
+        b.pread(fd, 16 * 4096, &mut buf).unwrap();
+        assert_eq!(&buf, b"survivor");
+        // The whole file is still readable (dead writer's torn progress is
+        // valid data, not corruption).
+        let all = read_file(&*b, "/shared").unwrap();
+        assert_eq!(all.len(), 32 * 4096);
+        b.close(fd).unwrap();
+        let events = k.take_events();
+        use trio_kernel::registry::KernelEvent as E;
+        assert!(
+            events.iter().any(
+                |e| matches!(e, E::LeaseRevoked { ino: _, actor } if *actor == a.actor())
+            ),
+            "dead writer's lease must be revoked: {events:?}"
+        );
+    });
+    rt.run();
+}
+
+/// Graceful degradation for unverifiable creations: a file created raw by
+/// a LibFS (never checkpointed) whose core state cannot pass verification
+/// is *privatized* — expelled from the shared namespace — rather than
+/// rolled back. Other processes see a clean miss and keep working.
+#[test]
+fn corrupt_unverified_creation_is_privatized_not_fatal() {
+    let (kernel, a, b) = world(20);
+    let rt = SimRuntime::new(9);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        a.mkdir("/d", Mode(0o777)).unwrap();
+        write_file(&*a, "/d/evil", b"never vetted").unwrap();
+        // Corrupt the unvetted file: a first_index pointing nowhere
+        // walkable. No checkpoint exists — this state has no good version.
+        let (loc, _, _) = a.debug_file_pages("/d/evil").unwrap();
+        trio_layout::DirentRef::new(a.handle(), loc.unwrap())
+            .set_first_index(100_000)
+            .unwrap();
+        a.release_path("/").unwrap();
+        a.release_path("/d").unwrap();
+        // B's read maps the file, tripping verification; the kernel expels
+        // the unverifiable creation.
+        assert_eq!(read_file(&*b, "/d/evil").err(), Some(FsError::NotFound));
+        let events = k.take_events();
+        use trio_kernel::registry::KernelEvent as E;
+        assert!(
+            events.iter().any(
+                |e| matches!(e, E::Privatized { ino: _, actor: Some(who) } if *who == a.actor())
+            ),
+            "corrupt creation must be privatized and attributed: {events:?}"
+        );
+        // The directory (and the rest of the namespace) stays serviceable.
+        write_file(&*b, "/d/fresh", b"life goes on").unwrap();
+        assert_eq!(read_file(&*b, "/d/fresh").unwrap(), b"life goes on");
+        assert!(b.readdir("/d").unwrap().iter().all(|e| e.name != "evil"));
+    });
+    rt.run();
 }
