@@ -32,6 +32,7 @@ pub struct Dentry {
 
 /// The chassis. One per mounted baseline.
 pub struct VfsChassis {
+    #[allow(clippy::type_complexity)]
     shards: Box<[SimRwLock<HashMap<(u64, String), Arc<Dentry>>>]>,
     /// Global dcache modification lock.
     pub dcache_mod: SimMutex<()>,

@@ -66,6 +66,7 @@ pub struct BaselineFs {
     profile: FsProfile,
     h: NvmHandle,
     chassis: VfsChassis,
+    #[allow(clippy::type_complexity)]
     inodes: Box<[SimRwLock<HashMap<u64, Arc<Inode>>>]>,
     next_ino: AtomicU64,
     journal_global: SimMutex<()>,
@@ -504,7 +505,7 @@ impl FileSystem for BaselineFs {
                 let extends = end > inode.rwsem.read().size;
                 if extends {
                     let n = self.splitfs_appends.fetch_add(1, Ordering::Relaxed);
-                    if n % SPLITFS_RELINK_EVERY == 0 {
+                    if n.is_multiple_of(SPLITFS_RELINK_EVERY) {
                         self.vfs_enter();
                         self.journal_txn();
                     }
@@ -532,7 +533,7 @@ impl FileSystem for BaselineFs {
             self.charge_index_walk();
             let first = (off as usize) / PAGE_SIZE;
             let last = (off as usize + data.len() - 1) / PAGE_SIZE;
-            self.write_data(&g.pages[first..=last].to_vec(), off as usize % PAGE_SIZE, data)?;
+            self.write_data(&g.pages[first..=last], off as usize % PAGE_SIZE, data)?;
             if end > g.size {
                 g.size = end;
             }
@@ -542,7 +543,7 @@ impl FileSystem for BaselineFs {
             self.charge_index_walk();
             let first = (off as usize) / PAGE_SIZE;
             let last = (off as usize + data.len() - 1) / PAGE_SIZE;
-            self.write_data(&g.pages[first..=last].to_vec(), off as usize % PAGE_SIZE, data)?;
+            self.write_data(&g.pages[first..=last], off as usize % PAGE_SIZE, data)?;
         }
         Ok(data.len())
     }
@@ -742,7 +743,7 @@ impl BaselineFs {
             g.pages.extend(newp);
         }
         // Zero the tail of the boundary page on shrink.
-        if size % PAGE_SIZE as u64 != 0 && keep <= g.pages.len() && keep > 0 {
+        if !size.is_multiple_of(PAGE_SIZE as u64) && keep <= g.pages.len() && keep > 0 {
             let from = (size % PAGE_SIZE as u64) as usize;
             let zeros = vec![0u8; PAGE_SIZE - from];
             let _ = self.h.write_untimed(g.pages[keep - 1], from, &zeros);

@@ -1,0 +1,71 @@
+//! Data-path smoke bench: the numbers behind `BENCH_datapath.json` and
+//! the CI perf gate in `scripts/verify.sh`.
+//!
+//! Two quick, fully deterministic scenarios (fixed seed, virtual time):
+//!
+//! 1. **Delegated-write latency** — 64 KiB writes (always delegated) from
+//!    a handful of threads over 8 nodes. Mean virtual ns per op is the
+//!    gate metric: it moves whenever the batched submission path, the
+//!    ring protocol, or the device model regress, and it is immune to
+//!    host noise because it is simulated time.
+//! 2. **Loaded 4 KiB writes** — the fig6(f) shape at one thread count,
+//!    for headline throughput plus the full [`PathStats`] snapshot
+//!    (routing mix, allocator hit rate, registry lock count).
+//!
+//! Output: human-readable lines on stdout, JSON to `$TRIO_BENCH_OUT`
+//! (default `BENCH_datapath.json` in the current directory).
+
+use std::sync::Arc;
+
+use trio_bench::World;
+use trio_workloads::fio::{Fio, FioOp};
+
+fn main() {
+    println!("# Data-path smoke bench (virtual time, seed 42)");
+
+    // Scenario 1: the gate metric.
+    let world = World::build("ArckFS", 8, 64 * 1024);
+    let stats = world.path_stats().expect("ArckFS world has a kernel");
+    let wl = Arc::new(Fio {
+        op: FioOp::Write,
+        block: 64 * 1024,
+        file_bytes: 8 << 20,
+        ops_per_thread: 128,
+    });
+    let threads = 8;
+    let m = world.measure(wl, threads, 42);
+    let deleg_snap = stats.snapshot();
+    // Total thread-time over total ops = mean per-op latency.
+    let deleg_write_ns_per_op = m.elapsed_ns as f64 * threads as f64 / m.ops as f64;
+    println!("delegated 64KiB write      {deleg_write_ns_per_op:>10.0} ns/op ({} ops)", m.ops);
+    println!("#   {}", deleg_snap.summary_line());
+    assert!(
+        deleg_snap.delegated_write_bytes > 0,
+        "64 KiB writes must take the delegated path"
+    );
+
+    // Scenario 2: loaded small writes, fig6(f) shape at one rung.
+    let world = World::build("ArckFS", 8, 128 * 1024);
+    let stats = world.path_stats().expect("ArckFS world has a kernel");
+    let wl = Arc::new(Fio {
+        op: FioOp::Write,
+        block: 4096,
+        file_bytes: 4 << 20,
+        ops_per_thread: 192,
+    });
+    let threads = 112;
+    let m = world.measure(wl, threads, 42);
+    let loaded_snap = stats.snapshot();
+    let w4k_gib_s = m.gib_per_sec();
+    println!("4KiB write @{threads}t, 8 nodes  {w4k_gib_s:>10.2} GiB/s");
+    println!("#   {}", loaded_snap.summary_line());
+
+    let json = loaded_snap.to_json(&[
+        ("delegated_write_ns_per_op", format!("{deleg_write_ns_per_op:.0}")),
+        ("w4k_112t_gib_s", format!("{w4k_gib_s:.3}")),
+        ("gate_threads", threads.to_string()),
+    ]);
+    let out = std::env::var("TRIO_BENCH_OUT").unwrap_or_else(|_| "BENCH_datapath.json".into());
+    std::fs::write(&out, format!("{json}\n")).expect("write bench json");
+    println!("# wrote {out}");
+}

@@ -17,6 +17,7 @@ fn panel(title: &str, fs_list: &[&str], nodes: usize, block: usize, op: FioOp, t
     let max_threads = *threads.iter().max().unwrap();
     for fs in fs_list {
         let mut vals = Vec::new();
+        let mut top_stats = None;
         for &t in threads {
             // Budget: keep per-thread footprint bounded at high counts.
             let file_bytes =
@@ -25,10 +26,17 @@ fn panel(title: &str, fs_list: &[&str], nodes: usize, block: usize, op: FioOp, t
             let pages_per_node =
                 (max_threads * 2 * file_bytes as usize / 4096 / nodes).max(16 * 1024);
             let world = World::build(fs, nodes, pages_per_node);
+            let stats = world.path_stats();
             let wl = Arc::new(Fio { op, block, file_bytes, ops_per_thread: ops });
             vals.push(world.measure(wl, t, 42).gib_per_sec());
+            if t == max_threads {
+                top_stats = stats.map(|s| s.snapshot());
+            }
         }
         print_row(fs, &vals, "GiB/s");
+        if let Some(snap) = top_stats {
+            println!("#   {fs} @{max_threads}t  {}", snap.summary_line());
+        }
     }
 }
 

@@ -25,14 +25,23 @@ fn main() {
         print_thread_header(bench.name(), &threads);
         for fs in &fs_list {
             let mut vals = Vec::new();
+            let mut top_stats = None;
+            let max_threads = *threads.iter().max().unwrap();
             for &t in &threads {
                 // Bound total ops at high thread counts to keep runtime sane.
                 let ops = (20_000 / t as u64).clamp(40, 400);
                 let world = World::build(fs, 8, PAGES_PER_NODE);
+                let stats = world.path_stats();
                 let wl = Arc::new(FxMark { bench, ops_per_thread: ops, pool_files: 64 });
                 vals.push(world.measure(wl, t, 42).ops_per_usec());
+                if t == max_threads {
+                    top_stats = stats.map(|s| s.snapshot());
+                }
             }
             print_row(fs, &vals, "ops/us");
+            if let Some(snap) = top_stats {
+                println!("#   {fs} @{max_threads}t  {}", snap.summary_line());
+            }
         }
     }
 }

@@ -160,6 +160,25 @@ fn verifier_speed() {
     });
 }
 
+fn path_stats_counters() {
+    use trio_nvm::PathStats;
+    let stats = PathStats::new();
+    // The counters sit on every read/write; they must stay in the
+    // few-nanosecond range or the "op-level observability is free" claim
+    // in DESIGN.md §12 is wrong.
+    bench("stats_record_direct_4k", || stats.record_direct_bytes(4096, true));
+    bench("stats_record_deleg_4k", || {
+        stats.record_delegated_bytes(4096, true);
+        stats.record_submission(1);
+    });
+    let mut ns = 100u64;
+    bench("stats_record_ring_hop", || {
+        ns = ns.wrapping_mul(2862933555777941757).wrapping_add(3037000493) % 1_000_000;
+        stats.record_ring_hop(ns)
+    });
+    bench("stats_snapshot", || stats.snapshot());
+}
+
 fn main() {
     // Zero-overhead gate: the hot paths measured below must be the same
     // machine code the release benches run — no fault-injection hooks.
@@ -180,4 +199,5 @@ fn main() {
     dir_hash_table();
     index_walk();
     verifier_speed();
+    path_stats_counters();
 }

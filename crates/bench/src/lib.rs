@@ -117,6 +117,12 @@ impl World {
         }
     }
 
+    /// The kernel's data-path counters (Trio-based worlds only). Grab the
+    /// `Arc` before `measure` consumes the world, snapshot after.
+    pub fn path_stats(&self) -> Option<Arc<trio_nvm::PathStats>> {
+        self.kernel.as_ref().map(|k| Arc::clone(k.path_stats()))
+    }
+
     /// Runs `workload` on this world with the right delegation lifecycle.
     pub fn measure(
         self,

@@ -102,7 +102,7 @@ impl ArckFs {
             // Zero the partial tail of the boundary page so a later
             // re-extension reads zeros, then unlink whole pages beyond.
             let keep_pages = (size as usize).div_ceil(PAGE_SIZE);
-            if size % PAGE_SIZE as u64 != 0 {
+            if !size.is_multiple_of(PAGE_SIZE as u64) {
                 if let Some(Some(p)) = g.data_pages.get(keep_pages - 1) {
                     let from = (size % PAGE_SIZE as u64) as usize;
                     let zeros = vec![0u8; PAGE_SIZE - from];
@@ -189,59 +189,135 @@ impl ArckFs {
         self.rw_extent_write(&pages, in_page, data)
     }
 
-    fn rw_extent_read(&self, pages: &[PageId], start: usize, buf: &mut [u8]) -> FsResult<()> {
-        if self.cfg.delegation
-            && buf.len() >= self.cfg.delegation_read_min
-            && self.kernel.delegation().is_started()
-            && in_sim()
-        {
-            // Deadline-bounded with retry-with-backoff: a stalled or wedged
-            // delegation thread must never hang the client. Each retry is
-            // round-robined onto a different ring; a timed-out read only
-            // filled an unspecified prefix, and re-reading is idempotent.
-            let pool = self.kernel.delegation();
-            let mut timeout = self.cfg.delegation_timeout_ns;
-            for _ in 0..self.cfg.delegation_attempts {
-                match pool.try_read_extent(self.actor, pages, start, buf, timeout) {
-                    Ok(()) => return Ok(()),
-                    Err(DelegationError::Timeout) => timeout = timeout.saturating_mul(2),
-                    Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
-                }
-            }
-            // Graceful degradation: serve directly (correct, merely slower
-            // and possibly remote) rather than fail or hang.
+    /// Whether this access should go through delegation. Static policy:
+    /// the paper's fixed size thresholds. Adaptive policy: huge accesses
+    /// always delegate (multi-node aggregation plus bounded per-node
+    /// concurrency both pay off), tiny ones never do (the ring round trip
+    /// dominates), and mid-sized accesses delegate only when a target
+    /// node's sampled load has reached the bandwidth-collapse knee — the
+    /// regime delegation exists to prevent — or the access would cross
+    /// sockets (the remote penalty exceeds the ring round trip).
+    fn route_delegated(&self, pages: &[PageId], len: usize, is_write: bool) -> bool {
+        if !self.cfg.delegation || !self.kernel.delegation().is_started() || !in_sim() {
+            return false;
         }
-        self.h.read_extent(pages, start, buf).map_err(Self::fault)
+        match self.cfg.delegation_policy {
+            crate::libfs::DelegationPolicy::Static => {
+                let min = if is_write {
+                    self.cfg.delegation_write_min
+                } else {
+                    self.cfg.delegation_read_min
+                };
+                len >= min
+            }
+            crate::libfs::DelegationPolicy::Adaptive => {
+                let delegate = 'decide: {
+                    if len >= self.cfg.adaptive_delegate_bytes {
+                        break 'decide true;
+                    }
+                    if len < self.cfg.adaptive_floor_bytes {
+                        break 'decide false;
+                    }
+                    let dev = self.kernel.device();
+                    let topo = dev.topology();
+                    let home = trio_nvm::handle::home_node();
+                    let knee = if is_write { self.write_knee } else { self.read_knee };
+                    let mut remote = false;
+                    let mut last_node = usize::MAX;
+                    for p in pages {
+                        let n = topo.node_of(*p);
+                        if n == last_node {
+                            continue;
+                        }
+                        last_node = n;
+                        if dev.node_load_level(n, is_write) >= knee {
+                            break 'decide true;
+                        }
+                        remote |= n != home;
+                    }
+                    remote
+                };
+                self.stats.record_adaptive(delegate);
+                delegate
+            }
+        }
+    }
+
+    /// Per-attempt delegation deadline: base budget plus a per-byte term,
+    /// so large ops on a saturated-but-healthy device are not mistaken
+    /// for wedged workers.
+    fn delegation_deadline(&self, len: usize) -> u64 {
+        self.cfg
+            .delegation_timeout_ns
+            .saturating_add(len as u64 * self.cfg.delegation_timeout_ns_per_byte)
+    }
+
+    fn rw_extent_read(&self, pages: &[PageId], start: usize, buf: &mut [u8]) -> FsResult<()> {
+        if self.route_delegated(pages, buf.len(), false) {
+            // Deadline-bounded with retry-with-backoff (inside the pool):
+            // a stalled or wedged delegation thread must never hang the
+            // client. Each retry is round-robined onto a different ring; a
+            // timed-out read only filled an unspecified prefix, and
+            // re-reading is idempotent.
+            let pool = self.kernel.delegation();
+            match pool.try_read_extent(
+                self.actor,
+                pages,
+                start,
+                buf,
+                self.delegation_deadline(buf.len()),
+                self.cfg.delegation_attempts,
+            ) {
+                Ok(()) => return Ok(()),
+                Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
+                // Graceful degradation: serve directly (correct, merely
+                // slower and possibly remote) rather than fail or hang.
+                Err(DelegationError::Timeout) => self.stats.record_fallback(),
+            }
+        }
+        self.h.read_extent(pages, start, buf).map_err(Self::fault)?;
+        self.stats.record_direct_bytes(buf.len(), false);
+        Ok(())
     }
 
     fn rw_extent_write(&self, pages: &[PageId], start: usize, data: &[u8]) -> FsResult<()> {
-        if self.cfg.delegation
-            && data.len() >= self.cfg.delegation_write_min
-            && self.kernel.delegation().is_started()
-            && in_sim()
-        {
+        if self.route_delegated(pages, data.len(), true) {
             // Same protocol as reads. Retrying a possibly-executed write is
             // safe: a delegated write is idempotent (same bytes, same
             // location), so at-least-once delivery equals exactly-once.
             let pool = self.kernel.delegation();
-            let mut timeout = self.cfg.delegation_timeout_ns;
-            for _ in 0..self.cfg.delegation_attempts {
-                match pool.try_write_extent(self.actor, pages, start, data, timeout) {
-                    Ok(()) => return Ok(()),
-                    Err(DelegationError::Timeout) => timeout = timeout.saturating_mul(2),
-                    Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
-                }
+            match pool.try_write_extent(
+                self.actor,
+                pages,
+                start,
+                data,
+                self.delegation_deadline(data.len()),
+                self.cfg.delegation_attempts,
+            ) {
+                Ok(()) => return Ok(()),
+                Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
+                Err(DelegationError::Timeout) => self.stats.record_fallback(),
             }
         }
-        self.h.write_extent(pages, start, data).map_err(Self::fault)
+        self.h.write_extent(pages, start, data).map_err(Self::fault)?;
+        self.stats.record_direct_bytes(data.len(), true);
+        Ok(())
     }
 
-    /// NUMA node for logical page `lp`: striped across nodes in
-    /// `stripe_pages` units, or the caller's home node.
-    fn placement_node(&self, lp: usize) -> usize {
+    /// NUMA node for logical page `lp` of file `ino`: striped across nodes
+    /// in `stripe_pages` units with a per-file phase, or the caller's home
+    /// node.
+    ///
+    /// The phase matters under load: identical workers sweeping their own
+    /// files in lockstep (the fio pattern) would otherwise all sit on the
+    /// same stripe position at the same instant, convoying onto one node
+    /// while the other seven idle. Offsetting each file's stripe origin by
+    /// its ino spreads the instantaneous load across every node while
+    /// keeping each file's layout deterministic.
+    fn placement_node(&self, ino: u64, lp: usize) -> usize {
         let nodes = self.kernel.device().topology().nodes;
         if self.cfg.stripe && nodes > 1 {
-            (lp / self.cfg.stripe_pages) % nodes
+            (lp / self.cfg.stripe_pages + ino as usize) % nodes
         } else {
             trio_nvm::handle::home_node()
         }
@@ -286,7 +362,7 @@ impl ArckFs {
         }
         let mut by_node: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
         for &lp in &missing {
-            by_node.entry(self.placement_node(lp)).or_default().push(lp);
+            by_node.entry(self.placement_node(node.ino, lp)).or_default().push(lp);
         }
         for (nodeid, lps) in by_node {
             let pages = self.pages.take_many(nodeid, lps.len())?;

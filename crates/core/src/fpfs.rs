@@ -29,6 +29,7 @@ const SHARDS: usize = 64;
 /// The customized full-path-indexing view over an [`ArckFs`] mount.
 pub struct FpFs {
     fs: Arc<ArckFs>,
+    #[allow(clippy::type_complexity)]
     table: Box<[SimMutex<HashMap<String, Arc<FileNode>>>]>,
 }
 

@@ -57,6 +57,7 @@ pub struct KvFs {
     fs: Arc<ArckFs>,
     dir: Arc<crate::node::FileNode>,
     dir_path: String,
+    #[allow(clippy::type_complexity)]
     table: Box<[SimMutex<HashMap<String, Arc<KvNode>>>]>,
 }
 
@@ -292,6 +293,7 @@ mod tests {
     fn delete_removes_core_state_too() {
         let (rt, fs) = world();
         rt.spawn("app", move || {
+            use trio_fsapi::FileSystem;
             let fs2 = Arc::clone(&fs);
             let kv = KvFs::new(fs, "/kv").unwrap();
             kv.kv_set("gone", b"x").unwrap();
@@ -299,7 +301,6 @@ mod tests {
             let mut buf = [0u8; 8];
             assert_eq!(kv.kv_get("gone", &mut buf), Err(FsError::NotFound));
             // The generic API agrees: the file is gone from core state.
-            use trio_fsapi::FileSystem;
             assert_eq!(fs2.stat("/kv/gone"), Err(FsError::NotFound));
         });
         rt.run();
@@ -314,7 +315,6 @@ mod tests {
             kv.kv_set("shared", b"same core state").unwrap();
             // The same LibFS's POSIX path sees the identical bytes: KVFS is
             // auxiliary-state-only customization.
-            use trio_fsapi::FileSystem;
             let data = trio_fsapi::read_file(&*fs2, "/kv/shared").unwrap();
             assert_eq!(data, b"same core state");
         });

@@ -56,7 +56,7 @@ use trio_layout::CoreFileType;
 
 pub use fpfs::FpFs;
 pub use kvfs::KvFs;
-pub use libfs::{ArckFs, ArckFsConfig};
+pub use libfs::{ArckFs, ArckFsConfig, DelegationPolicy};
 
 impl FileSystem for ArckFs {
     fn open(&self, path: &str, flags: OpenFlags, mode: Mode) -> FsResult<Fd> {

@@ -24,19 +24,40 @@ use crate::journal::Journal;
 use crate::node::{DirAux, DirEntryAux, FileNode, MapState, NodeInner};
 use crate::pool::{InoPool, PagePool};
 
+/// How data operations choose between direct access and delegation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelegationPolicy {
+    /// Fixed size thresholds (`delegation_read_min` / `delegation_write_min`)
+    /// — the paper's original policy, kept as the A/B baseline.
+    Static,
+    /// Load-aware routing: huge accesses always delegate (multi-node
+    /// aggregation), tiny ones never do (ring round-trip dominates), and
+    /// mid-sized accesses delegate only when the target node's observed
+    /// concurrency has reached the bandwidth-collapse knee or the access
+    /// would cross sockets.
+    Adaptive,
+}
+
 /// ArckFS tunables (paper §4.5 defaults).
 #[derive(Clone, Debug)]
 pub struct ArckFsConfig {
     /// Use the kernel delegation pool for large accesses.
     pub delegation: bool,
+    /// How eligible accesses are routed; see [`DelegationPolicy`].
+    pub delegation_policy: DelegationPolicy,
     /// Stripe file data pages across NUMA nodes.
     pub stripe: bool,
     /// Pages per stripe unit (16 × 4 KiB = 64 KiB).
     pub stripe_pages: usize,
-    /// Reads below this go direct (paper: 32 KiB).
+    /// Static policy: reads below this go direct (paper: 32 KiB).
     pub delegation_read_min: usize,
-    /// Writes below this go direct (paper: 256 B).
+    /// Static policy: writes below this go direct (paper: 256 B).
     pub delegation_write_min: usize,
+    /// Adaptive policy: accesses at/above this size always delegate.
+    pub adaptive_delegate_bytes: usize,
+    /// Adaptive policy: accesses below this size never delegate; in
+    /// between, node load and remoteness decide.
+    pub adaptive_floor_bytes: usize,
     /// Page-pool refill batch.
     pub page_batch: usize,
     /// Ino-pool refill batch.
@@ -46,6 +67,11 @@ pub struct ArckFsConfig {
     /// Virtual-time budget for one delegated request before the client
     /// retries (doubled per attempt — retry with backoff).
     pub delegation_timeout_ns: u64,
+    /// Extra deadline per payload byte. A saturated device legitimately
+    /// takes ~4 ns/byte of queueing per thread at full fan-in; without
+    /// this term, large ops at high thread counts time out on healthy
+    /// (merely busy) workers and the retries collapse throughput.
+    pub delegation_timeout_ns_per_byte: u64,
     /// Delegated attempts before falling back to direct access.
     pub delegation_attempts: u32,
 }
@@ -54,14 +80,18 @@ impl Default for ArckFsConfig {
     fn default() -> Self {
         ArckFsConfig {
             delegation: true,
+            delegation_policy: DelegationPolicy::Adaptive,
             stripe: true,
             stripe_pages: 16,
             delegation_read_min: 32 * 1024,
             delegation_write_min: 256,
+            adaptive_delegate_bytes: 64 * 1024,
+            adaptive_floor_bytes: 4096,
             page_batch: 64,
             ino_batch: 64,
             reclaim_batch: 32,
             delegation_timeout_ns: 5 * trio_sim::MILLIS,
+            delegation_timeout_ns_per_byte: 8,
             delegation_attempts: 3,
         }
     }
@@ -72,6 +102,12 @@ impl ArckFsConfig {
     /// striping (single-node placement).
     pub fn no_delegation() -> Self {
         ArckFsConfig { delegation: false, stripe: false, ..Default::default() }
+    }
+
+    /// The pre-adaptive configuration: fixed size thresholds (the A/B
+    /// reference for the adaptive policy).
+    pub fn static_thresholds() -> Self {
+        ArckFsConfig { delegation_policy: DelegationPolicy::Static, ..Default::default() }
     }
 }
 
@@ -87,12 +123,20 @@ pub struct ArckFs {
     pub(crate) h: NvmHandle,
     pub(crate) cfg: ArckFsConfig,
     pub(crate) root: Arc<FileNode>,
+    #[allow(clippy::type_complexity)]
     pub(crate) nodes: Box<[SimRwLock<HashMap<Ino, Arc<FileNode>>>]>,
     pub(crate) fds: FdTable,
     pub(crate) pages: PagePool,
     pub(crate) inos: InoPool,
     pub(crate) reclaim: SimMutex<Vec<(Ino, Ino, u64)>>,
     pub(crate) journal: Journal,
+    /// Shared data-path counters (the kernel's sink, so delegation and
+    /// allocator activity land in the same snapshot).
+    pub(crate) stats: Arc<trio_nvm::PathStats>,
+    /// Bandwidth-collapse knees derived from the device model at mount;
+    /// the adaptive policy compares observed node load against these.
+    pub(crate) write_knee: u32,
+    pub(crate) read_knee: u32,
     /// Cumulative virtual time spent rebuilding auxiliary state from core
     /// state (Figure 8 instrumentation).
     pub(crate) rebuild_ns: std::sync::atomic::AtomicU64,
@@ -103,6 +147,8 @@ impl ArckFs {
     pub fn mount(kernel: Arc<KernelController>, uid: u32, gid: u32, cfg: ArckFsConfig) -> Arc<Self> {
         let reg = kernel.register_libfs(uid, gid);
         let root = FileNode::new(ROOT_INO, CoreFileType::Directory, ROOT_INO, None);
+        let model = kernel.device().model();
+        let (write_knee, read_knee) = (model.collapse_knee(true), model.collapse_knee(false));
         Arc::new(ArckFs {
             h: reg.handle.clone(),
             actor: reg.actor,
@@ -115,6 +161,9 @@ impl ArckFs {
             inos: InoPool::new(Arc::clone(&kernel), reg.actor, cfg.ino_batch),
             reclaim: SimMutex::new(Vec::new()),
             journal: Journal::new(),
+            stats: Arc::clone(kernel.path_stats()),
+            write_knee,
+            read_knee,
             rebuild_ns: std::sync::atomic::AtomicU64::new(0),
             cfg,
             kernel,
@@ -165,6 +214,7 @@ impl ArckFs {
     /// Core-state coordinates of `path` — the raw material the attack
     /// harness (§6.5) corrupts: the file's dirent slot, index pages, and
     /// data pages as currently mapped.
+    #[allow(clippy::type_complexity)]
     pub fn debug_file_pages(
         &self,
         path: &str,

@@ -59,7 +59,8 @@ impl PagePool {
                     return Ok(pool.split_off(at));
                 }
             }
-            let want = self.batch.max(n);
+            let have = self.per_node[node].lock().len();
+            let want = self.batch.max(n - have);
             let refill = self.kernel.alloc_pages(self.actor, want, Some(node))?;
             self.per_node[node].lock().extend(refill);
         }
@@ -81,13 +82,14 @@ impl PagePool {
         self.len() == 0
     }
 
-    /// Hands every pooled page back to the kernel (shutdown).
+    /// Hands every pooled page back to the kernel (shutdown). One batched
+    /// call: the kernel's free path takes its registry lock per call, not
+    /// per page, so merging the per-node buckets keeps shutdown O(1) locks.
     pub fn drain_to_kernel(&self) {
-        for pool in &self.per_node {
-            let pages: Vec<PageId> = pool.lock().drain(..).collect();
-            if !pages.is_empty() {
-                let _ = self.kernel.free_pages(self.actor, &pages);
-            }
+        let pages: Vec<PageId> =
+            self.per_node.iter().flat_map(|pool| pool.lock().drain(..).collect::<Vec<_>>()).collect();
+        if !pages.is_empty() {
+            let _ = self.kernel.free_pages(self.actor, &pages);
         }
     }
 }

@@ -375,11 +375,13 @@ fn kernel_never_touched_after_warmup_for_private_ops() {
         let kernel = Arc::clone(fs.kernel());
         fs.mkdir("/p", Mode::RWX).unwrap();
         fs.create("/p/seed", Mode::RW).unwrap();
-        let before = kernel.free_page_count();
+        // Count cached pages too: refills may park extras in the actor's
+        // allocator cache, which is batching, not consumption.
+        let before = kernel.free_page_count() + kernel.cached_page_count();
         for i in 0..100 {
             fs.create(&format!("/p/f{i}"), Mode::RW).unwrap();
         }
-        let after = kernel.free_page_count();
+        let after = kernel.free_page_count() + kernel.cached_page_count();
         // 100 empty creates fit in ~7 dirent pages; anything near 64 (one
         // batch) proves allocation is batched, not per-op.
         assert!(before - after <= 64, "consumed {} pages", before - after);

@@ -8,6 +8,14 @@
 //! bandwidth collapse. Large extents are split per node and served in
 //! parallel, aggregating the bandwidth of all nodes.
 //!
+//! Submission is *batched*: one scatter-gather [`DelegReq`] per node carries
+//! every node-contiguous run the extent places there, so an op costs one
+//! ring hop per touched node rather than one per run. Write payloads travel
+//! as a shared `Arc<[u8]>` sliced per run — the client materializes the
+//! buffer exactly once per op, and deadline retries re-enqueue the same
+//! `Arc` without copying. Completions come back tagged on a per-op reply
+//! ring drawn from a pool, so steady-state ops allocate no channels.
+//!
 //! Permission is enforced end-to-end: a delegation thread performs the
 //! access *as the requesting actor*, so the MMU check still applies.
 
@@ -16,24 +24,66 @@ use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use trio_nvm::{ActorId, NvmDevice, NvmHandle, PageId, ProtError, PAGE_SIZE};
+use trio_nvm::{ActorId, NvmDevice, NvmHandle, PageId, PathStats, ProtError, PAGE_SIZE};
+use trio_sim::plock::Mutex as PlMutex;
 use trio_sim::sync::{RecvDeadline, SimChannel};
 use trio_sim::{in_sim, now, spawn, JoinHandle, Nanos};
 
-/// One delegated access covering a node-contiguous run of pages.
+/// Reply-ring capacity. Must exceed the most completions an op can have in
+/// flight (touched nodes × retry attempts), so a late worker reply to an
+/// abandoned (timed-out) op never blocks the worker.
+const REPLY_RING_CAP: usize = 64;
+
+/// Tagged completion: `(request tag, result)`. Reads return the batch's
+/// runs concatenated in submission order.
+pub type DelegReply = (usize, Result<Option<Vec<u8>>, ProtError>);
+
+/// One node-contiguous run inside a batched request.
+#[derive(Clone)]
+pub struct DelegRun {
+    /// The run's pages, in extent order (all on the target node).
+    pub pages: Vec<PageId>,
+    /// Byte offset within the run at which the access starts.
+    pub start: usize,
+    /// For writes: this run's slice of the shared payload.
+    pub payload: std::ops::Range<usize>,
+    /// For reads: how many bytes to read.
+    pub read_len: usize,
+}
+
+/// One scatter-gather request: every run an extent access places on a
+/// single node, served by one delegation thread in one ring hop.
+#[derive(Clone)]
 pub struct DelegReq {
     /// The requesting LibFS (MMU checks run against it).
     pub actor: ActorId,
-    /// The run's pages, in extent order.
-    pub pages: Vec<PageId>,
-    /// Byte offset within the run.
-    pub start: usize,
-    /// For writes: the bytes. For reads: `None`.
-    pub write_data: Option<Vec<u8>>,
-    /// For reads: how many bytes to read.
-    pub read_len: usize,
-    /// Completion channel.
-    pub reply: Arc<SimChannel<Result<Option<Vec<u8>>, ProtError>>>,
+    /// Node-contiguous runs, in extent order.
+    pub runs: Vec<DelegRun>,
+    /// For writes: the op's whole payload, shared (not copied) across
+    /// batches and retries.
+    pub payload: Option<Arc<[u8]>>,
+    /// Which batch of the op this is; echoed in the reply.
+    pub tag: usize,
+    /// Completion ring (one per op, pooled).
+    pub reply: Arc<SimChannel<DelegReply>>,
+}
+
+/// Sizing knobs for the pool; see [`crate::KernelConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct DelegationConfig {
+    /// Delegation threads (and rings) per NUMA node.
+    pub threads_per_node: usize,
+    /// Submission-ring capacity; a full ring is counted as backpressure
+    /// and the producer blocks.
+    pub ring_capacity: usize,
+}
+
+impl Default for DelegationConfig {
+    fn default() -> Self {
+        // 12 threads matches OdinFS's per-node writer pool; 64 slots per
+        // ring keeps ~5 ops of headroom per thread before backpressure.
+        DelegationConfig { threads_per_node: 12, ring_capacity: 64 }
+    }
 }
 
 /// Why a deadline-bounded delegated access did not complete.
@@ -73,31 +123,64 @@ pub struct DelegationFaults {
     drop_one_in: AtomicU64,
 }
 
+/// Client-side bookkeeping for one batch of an in-flight op.
+struct Batch {
+    node: usize,
+    req: DelegReq,
+    /// Read scatter list: `(offset into the caller's buffer, len)` per run,
+    /// in the same order the worker concatenates them.
+    scatter: Vec<(usize, usize)>,
+    /// Virtual submit time of the latest attempt, for the hop histogram.
+    submitted: Nanos,
+    done: bool,
+}
+
 /// The pool; create once per device, start once per simulation.
 pub struct DelegationPool {
     dev: Arc<NvmDevice>,
     rings: Vec<Vec<Arc<SimChannel<DelegReq>>>>,
     rr: Vec<AtomicUsize>,
     started: AtomicBool,
+    stats: Arc<PathStats>,
+    reply_pool: PlMutex<Vec<Arc<SimChannel<DelegReply>>>>,
     #[cfg(feature = "faults")]
     faults: Arc<DelegationFaults>,
 }
 
 impl DelegationPool {
-    /// Builds rings for `threads_per_node` delegation threads on each node.
+    /// Builds rings for `threads_per_node` delegation threads on each node,
+    /// with default ring capacity and private counters.
     pub fn new(dev: Arc<NvmDevice>, threads_per_node: usize) -> Self {
+        let config = DelegationConfig { threads_per_node, ..DelegationConfig::default() };
+        Self::with_config(dev, config, Arc::new(PathStats::new()))
+    }
+
+    /// Builds the pool with explicit sizing and a shared counter sink.
+    pub fn with_config(dev: Arc<NvmDevice>, config: DelegationConfig, stats: Arc<PathStats>) -> Self {
         let nodes = dev.topology().nodes;
+        let cap = config.ring_capacity.max(1);
         let rings = (0..nodes)
-            .map(|_| (0..threads_per_node).map(|_| Arc::new(SimChannel::bounded(64))).collect())
+            .map(|_| {
+                (0..config.threads_per_node.max(1))
+                    .map(|_| Arc::new(SimChannel::bounded(cap)))
+                    .collect()
+            })
             .collect();
         DelegationPool {
             dev,
             rings,
             rr: (0..nodes).map(|_| AtomicUsize::new(0)).collect(),
             started: AtomicBool::new(false),
+            stats,
+            reply_pool: PlMutex::new(Vec::new()),
             #[cfg(feature = "faults")]
             faults: Arc::new(DelegationFaults::default()),
         }
+    }
+
+    /// The pool's data-path counters.
+    pub fn stats(&self) -> &Arc<PathStats> {
+        &self.stats
     }
 
     /// Arms delegation-thread fault injection: stall one in
@@ -141,16 +224,35 @@ impl DelegationPool {
                             }
                         }
                         let h = NvmHandle::new(Arc::clone(&dev), req.actor);
-                        let result = match req.write_data {
-                            Some(data) => {
-                                h.write_extent(&req.pages, req.start, &data).map(|()| None)
+                        let result = match &req.payload {
+                            Some(payload) => {
+                                let mut r = Ok(None);
+                                for run in &req.runs {
+                                    let data = &payload[run.payload.clone()];
+                                    if let Err(e) = h.write_extent(&run.pages, run.start, data) {
+                                        r = Err(e);
+                                        break;
+                                    }
+                                }
+                                r
                             }
                             None => {
-                                let mut buf = vec![0u8; req.read_len];
-                                h.read_extent(&req.pages, req.start, &mut buf).map(|()| Some(buf))
+                                let total: usize = req.runs.iter().map(|r| r.read_len).sum();
+                                let mut buf = vec![0u8; total];
+                                let mut r = Ok(());
+                                let mut off = 0;
+                                for run in &req.runs {
+                                    let dst = &mut buf[off..off + run.read_len];
+                                    if let Err(e) = h.read_extent(&run.pages, run.start, dst) {
+                                        r = Err(e);
+                                        break;
+                                    }
+                                    off += run.read_len;
+                                }
+                                r.map(|()| Some(buf))
                             }
                         };
-                        let _ = req.reply.send(result);
+                        let _ = req.reply.send((req.tag, result));
                     }
                 }));
             }
@@ -178,8 +280,30 @@ impl DelegationPool {
         &rings[i % rings.len()]
     }
 
+    /// Grabs a pooled reply ring, or makes one sized so that even an
+    /// abandoned op's stragglers fit without blocking a worker.
+    fn take_reply(&self) -> Arc<SimChannel<DelegReply>> {
+        if let Some(ch) = self.reply_pool.lock().pop() {
+            return ch;
+        }
+        Arc::new(SimChannel::bounded(REPLY_RING_CAP))
+    }
+
+    /// Returns a reply ring to the pool. Callers may only do this when
+    /// every submitted batch was received — an abandoned ring with
+    /// stragglers in flight must be dropped instead, or a late reply
+    /// would bleed into the next op.
+    fn put_reply(&self, ch: Arc<SimChannel<DelegReply>>) {
+        debug_assert!(ch.is_empty());
+        let mut pool = self.reply_pool.lock();
+        if pool.len() < 256 {
+            pool.push(ch);
+        }
+    }
+
     /// Splits `[start, start+len)` over `pages` into node-contiguous runs.
     /// Returns `(node, page_range, byte_range_within_extent)` tuples.
+    #[allow(clippy::needless_range_loop)] // `pi` marks run boundaries
     fn split_runs(
         &self,
         pages: &[PageId],
@@ -220,8 +344,189 @@ impl DelegationPool {
         (node, from_page..to_page, byte_from..byte_to)
     }
 
-    /// Delegated write of an extent: split per node, dispatch in parallel,
-    /// wait for all completions.
+    /// Groups the extent's runs into one tagged batch per touched node.
+    fn build_batches(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        len: usize,
+        payload: Option<&Arc<[u8]>>,
+        reply: &Arc<SimChannel<DelegReply>>,
+    ) -> Vec<Batch> {
+        let mut batches: Vec<Batch> = Vec::new();
+        for (node, prange, brange) in self.split_runs(pages, start, len) {
+            let run = DelegRun {
+                pages: pages[prange.clone()].to_vec(),
+                start: brange.start - prange.start * PAGE_SIZE,
+                payload: brange.start - start..brange.end - start,
+                read_len: if payload.is_some() { 0 } else { brange.len() },
+            };
+            let scatter = (brange.start - start, brange.len());
+            match batches.iter_mut().find(|b| b.node == node) {
+                Some(b) => {
+                    b.req.runs.push(run);
+                    b.scatter.push(scatter);
+                }
+                None => batches.push(Batch {
+                    node,
+                    req: DelegReq {
+                        actor,
+                        runs: vec![run],
+                        payload: payload.map(Arc::clone),
+                        tag: batches.len(),
+                        reply: Arc::clone(reply),
+                    },
+                    scatter: vec![scatter],
+                    submitted: 0,
+                    done: false,
+                }),
+            }
+        }
+        batches
+    }
+
+    /// Enqueues one batch, counting (but then riding out) ring
+    /// backpressure. Fails only when the pool is shut down.
+    fn submit(&self, batch: &mut Batch) -> Result<(), ProtError> {
+        self.stats.record_submission(batch.req.runs.len());
+        batch.submitted = if in_sim() { now() } else { 0 };
+        match self.ring_for(batch.node).try_send(batch.req.clone()) {
+            Ok(()) => Ok(()),
+            Err(req) => {
+                self.stats.record_ring_backpressure();
+                self.ring_for(batch.node).send(req).map_err(|_| ProtError::NotMapped)
+            }
+        }
+    }
+
+    /// Core submit-and-collect loop shared by every entry point.
+    ///
+    /// Dispatches one batch per touched node, then waits for tagged
+    /// completions. With `deadline_ns = Some(t)`, waits up to `t` per
+    /// attempt and re-enqueues only the still-pending batches (same shared
+    /// payload — no copy) with a doubled window, `attempts` times in total;
+    /// with `None` it waits forever (the baseline-compatible blocking
+    /// mode). `buf` receives scattered read data.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batches(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        len: usize,
+        payload: Option<&Arc<[u8]>>,
+        mut buf: Option<&mut [u8]>,
+        deadline_ns: Option<Nanos>,
+        attempts: u32,
+    ) -> Result<(), DelegationError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let reply = self.take_reply();
+        let mut batches = self.build_batches(actor, pages, start, len, payload, &reply);
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut fault: Option<ProtError> = None;
+        let mut pending = batches.len();
+        for b in batches.iter_mut() {
+            match self.submit(b) {
+                Ok(()) => sent += 1,
+                Err(e) => {
+                    fault = Some(e);
+                    b.done = true;
+                    pending -= 1;
+                }
+            }
+        }
+        let mut window = deadline_ns.unwrap_or(0);
+        let mut attempt = 0u32;
+        'attempts: while pending > 0 {
+            attempt += 1;
+            let deadline = deadline_ns.map(|_| now() + window);
+            while pending > 0 {
+                let got = match deadline {
+                    Some(d) => reply.recv_deadline(d),
+                    None => match reply.recv() {
+                        Some(v) => RecvDeadline::Ok(v),
+                        None => RecvDeadline::Closed,
+                    },
+                };
+                match got {
+                    RecvDeadline::Ok((tag, result)) => {
+                        received += 1;
+                        let b = &mut batches[tag];
+                        if b.done {
+                            // Straggler from a retried attempt; already
+                            // accounted for.
+                            continue;
+                        }
+                        if in_sim() {
+                            self.stats.record_ring_hop(now().saturating_sub(b.submitted));
+                        }
+                        b.done = true;
+                        pending -= 1;
+                        match result {
+                            Ok(Some(data)) => {
+                                if let Some(buf) = buf.as_deref_mut() {
+                                    let mut off = 0;
+                                    for &(dst, n) in &b.scatter {
+                                        buf[dst..dst + n].copy_from_slice(&data[off..off + n]);
+                                        off += n;
+                                    }
+                                }
+                            }
+                            Ok(None) => {
+                                if buf.is_some() {
+                                    fault = Some(ProtError::NotMapped);
+                                }
+                            }
+                            Err(e) => fault = Some(e),
+                        }
+                    }
+                    RecvDeadline::Closed => {
+                        fault = Some(ProtError::NotMapped);
+                        break 'attempts;
+                    }
+                    RecvDeadline::TimedOut => {
+                        self.stats.record_timeout();
+                        if attempt >= attempts.max(1) {
+                            break 'attempts;
+                        }
+                        // Re-enqueue only what is still missing; the shared
+                        // payload rides along untouched.
+                        window = window.saturating_mul(2);
+                        for b in batches.iter_mut().filter(|b| !b.done) {
+                            self.stats.record_retry();
+                            match self.submit(b) {
+                                Ok(()) => sent += 1,
+                                Err(e) => {
+                                    fault = Some(e);
+                                    b.done = true;
+                                    pending -= 1;
+                                }
+                            }
+                        }
+                        continue 'attempts;
+                    }
+                }
+            }
+        }
+        if received == sent {
+            self.put_reply(reply);
+        }
+        match (fault, pending) {
+            (Some(e), _) => Err(DelegationError::Fault(e)),
+            (None, 0) => {
+                self.stats.record_delegated_bytes(len, payload.is_some());
+                Ok(())
+            }
+            (None, _) => Err(DelegationError::Timeout),
+        }
+    }
+
+    /// Delegated write of an extent: one batch per touched node, dispatched
+    /// in parallel, waiting (unbounded) for all completions.
     pub fn write_extent(
         &self,
         actor: ActorId,
@@ -229,35 +534,16 @@ impl DelegationPool {
         start: usize,
         data: &[u8],
     ) -> Result<(), ProtError> {
-        let runs = self.split_runs(pages, start, data.len());
-        let mut pending = Vec::with_capacity(runs.len());
-        for (node, prange, brange) in runs {
-            let reply = Arc::new(SimChannel::bounded(1));
-            let sub_pages = pages[prange.clone()].to_vec();
-            let sub_start = brange.start - prange.start * PAGE_SIZE;
-            let req = DelegReq {
-                actor,
-                pages: sub_pages,
-                start: sub_start,
-                write_data: Some(data[brange.start - start..brange.end - start].to_vec()),
-                read_len: 0,
-                reply: Arc::clone(&reply),
-            };
-            self.ring_for(node).send(req).map_err(|_| ProtError::NotMapped)?;
-            pending.push(reply);
+        self.stats.record_payload_copy();
+        let payload: Arc<[u8]> = data.into();
+        match self.run_batches(actor, pages, start, data.len(), Some(&payload), None, None, 1) {
+            Ok(()) => Ok(()),
+            Err(DelegationError::Fault(e)) => Err(e),
+            Err(DelegationError::Timeout) => Err(ProtError::NotMapped),
         }
-        let mut result = Ok(());
-        for reply in pending {
-            match reply.recv() {
-                Some(Ok(_)) => {}
-                Some(Err(e)) => result = Err(e),
-                None => result = Err(ProtError::NotMapped),
-            }
-        }
-        result
     }
 
-    /// Delegated read of an extent.
+    /// Delegated read of an extent (unbounded wait).
     pub fn read_extent(
         &self,
         actor: ActorId,
@@ -265,41 +551,20 @@ impl DelegationPool {
         start: usize,
         buf: &mut [u8],
     ) -> Result<(), ProtError> {
-        let runs = self.split_runs(pages, start, buf.len());
-        let mut pending = Vec::with_capacity(runs.len());
-        for (node, prange, brange) in runs {
-            let reply = Arc::new(SimChannel::bounded(1));
-            let sub_pages = pages[prange.clone()].to_vec();
-            let sub_start = brange.start - prange.start * PAGE_SIZE;
-            let req = DelegReq {
-                actor,
-                pages: sub_pages,
-                start: sub_start,
-                write_data: None,
-                read_len: brange.len(),
-                reply: Arc::clone(&reply),
-            };
-            self.ring_for(node).send(req).map_err(|_| ProtError::NotMapped)?;
-            pending.push((reply, brange));
+        let len = buf.len();
+        match self.run_batches(actor, pages, start, len, None, Some(buf), None, 1) {
+            Ok(()) => Ok(()),
+            Err(DelegationError::Fault(e)) => Err(e),
+            Err(DelegationError::Timeout) => Err(ProtError::NotMapped),
         }
-        let mut result = Ok(());
-        for (reply, brange) in pending {
-            match reply.recv() {
-                Some(Ok(Some(data))) => {
-                    buf[brange.start - start..brange.end - start].copy_from_slice(&data);
-                }
-                Some(Ok(None)) => result = Err(ProtError::NotMapped),
-                Some(Err(e)) => result = Err(e),
-                None => result = Err(ProtError::NotMapped),
-            }
-        }
-        result
     }
 
     /// Deadline-bounded delegated write: like
-    /// [`DelegationPool::write_extent`] but gives up `timeout_ns` of
-    /// virtual time after dispatch instead of waiting forever on a stalled
-    /// or wedged delegation thread. Outside the simulation there is no
+    /// [`DelegationPool::write_extent`] but bounds each wait by a virtual
+    /// deadline instead of hanging on a stalled or wedged delegation
+    /// thread. Up to `attempts` windows are tried, each double the last,
+    /// re-enqueueing only the batches that have not completed — the shared
+    /// payload is never re-copied. Outside the simulation there is no
     /// virtual clock (and no injected fault can fire), so this degrades to
     /// the blocking variant.
     pub fn try_write_extent(
@@ -309,43 +574,12 @@ impl DelegationPool {
         start: usize,
         data: &[u8],
         timeout_ns: Nanos,
+        attempts: u32,
     ) -> Result<(), DelegationError> {
-        if !in_sim() {
-            return self.write_extent(actor, pages, start, data).map_err(DelegationError::Fault);
-        }
-        let runs = self.split_runs(pages, start, data.len());
-        let mut pending = Vec::with_capacity(runs.len());
-        for (node, prange, brange) in runs {
-            let reply = Arc::new(SimChannel::bounded(1));
-            let req = DelegReq {
-                actor,
-                pages: pages[prange.clone()].to_vec(),
-                start: brange.start - prange.start * PAGE_SIZE,
-                write_data: Some(data[brange.start - start..brange.end - start].to_vec()),
-                read_len: 0,
-                reply: Arc::clone(&reply),
-            };
-            self.ring_for(node)
-                .send(req)
-                .map_err(|_| DelegationError::Fault(ProtError::NotMapped))?;
-            pending.push(reply);
-        }
-        let deadline = now() + timeout_ns;
-        let mut fault = None;
-        let mut timed_out = false;
-        for reply in pending {
-            match reply.recv_deadline(deadline) {
-                RecvDeadline::Ok(Ok(_)) => {}
-                RecvDeadline::Ok(Err(e)) => fault = Some(e),
-                RecvDeadline::Closed => fault = Some(ProtError::NotMapped),
-                RecvDeadline::TimedOut => timed_out = true,
-            }
-        }
-        match (fault, timed_out) {
-            (Some(e), _) => Err(DelegationError::Fault(e)),
-            (None, true) => Err(DelegationError::Timeout),
-            (None, false) => Ok(()),
-        }
+        self.stats.record_payload_copy();
+        let payload: Arc<[u8]> = data.into();
+        let deadline = if in_sim() { Some(timeout_ns) } else { None };
+        self.run_batches(actor, pages, start, data.len(), Some(&payload), None, deadline, attempts)
     }
 
     /// Deadline-bounded delegated read; see
@@ -358,45 +592,10 @@ impl DelegationPool {
         start: usize,
         buf: &mut [u8],
         timeout_ns: Nanos,
+        attempts: u32,
     ) -> Result<(), DelegationError> {
-        if !in_sim() {
-            return self.read_extent(actor, pages, start, buf).map_err(DelegationError::Fault);
-        }
-        let runs = self.split_runs(pages, start, buf.len());
-        let mut pending = Vec::with_capacity(runs.len());
-        for (node, prange, brange) in runs {
-            let reply = Arc::new(SimChannel::bounded(1));
-            let req = DelegReq {
-                actor,
-                pages: pages[prange.clone()].to_vec(),
-                start: brange.start - prange.start * PAGE_SIZE,
-                write_data: None,
-                read_len: brange.len(),
-                reply: Arc::clone(&reply),
-            };
-            self.ring_for(node)
-                .send(req)
-                .map_err(|_| DelegationError::Fault(ProtError::NotMapped))?;
-            pending.push((reply, brange));
-        }
-        let deadline = now() + timeout_ns;
-        let mut fault = None;
-        let mut timed_out = false;
-        for (reply, brange) in pending {
-            match reply.recv_deadline(deadline) {
-                RecvDeadline::Ok(Ok(Some(data))) => {
-                    buf[brange.start - start..brange.end - start].copy_from_slice(&data);
-                }
-                RecvDeadline::Ok(Ok(None)) => fault = Some(ProtError::NotMapped),
-                RecvDeadline::Ok(Err(e)) => fault = Some(e),
-                RecvDeadline::Closed => fault = Some(ProtError::NotMapped),
-                RecvDeadline::TimedOut => timed_out = true,
-            }
-        }
-        match (fault, timed_out) {
-            (Some(e), _) => Err(DelegationError::Fault(e)),
-            (None, true) => Err(DelegationError::Timeout),
-            (None, false) => Ok(()),
-        }
+        let deadline = if in_sim() { Some(timeout_ns) } else { None };
+        let len = buf.len();
+        self.run_batches(actor, pages, start, len, None, Some(buf), deadline, attempts)
     }
 }

@@ -21,7 +21,7 @@ pub mod delegation;
 pub mod mapping;
 pub mod registry;
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult, Mode, SetAttr};
@@ -29,11 +29,14 @@ use trio_layout::{
     walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, Ino, SuperblockRef,
     DIRENTS_PER_PAGE, DIRENT_SIZE, ROOT_INO,
 };
-use trio_nvm::{ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, KERNEL_ACTOR, PAGE_SIZE};
+use trio_nvm::{
+    ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, PathStats, KERNEL_ACTOR, PAGE_SIZE,
+};
+use trio_sim::plock::Mutex as PlMutex;
 use trio_sim::{cost, in_sim, sync::SimMutex, work, Nanos, MILLIS};
 use trio_verifier::{InoProvenance, PageProvenance, Verifier, VerifyRequest, Violation};
 
-use delegation::DelegationPool;
+use delegation::{DelegationConfig, DelegationPool};
 use registry::{Credentials, KernelEvent, Registry};
 
 /// Controller tunables.
@@ -43,6 +46,16 @@ pub struct KernelConfig {
     pub lease_ns: Nanos,
     /// Delegation threads per NUMA node (paper/OdinFS default: 12).
     pub delegation_threads_per_node: usize,
+    /// Capacity of each delegation submission ring; a full ring counts as
+    /// backpressure in [`PathStats`] before the producer blocks.
+    pub delegation_ring_capacity: usize,
+    /// Extra pages a per-actor allocator-cache refill stocks beyond the
+    /// immediate request, so subsequent `alloc_pages` calls skip the
+    /// global pools and registry entirely.
+    pub alloc_cache_refill: usize,
+    /// Per-actor cache size past which freed pages spill back to the
+    /// global pools.
+    pub alloc_cache_high_water: usize,
     /// Upper bound on a file's index-page chain (defensive walks).
     pub max_index_pages: usize,
 }
@@ -52,6 +65,9 @@ impl Default for KernelConfig {
         KernelConfig {
             lease_ns: 100 * MILLIS,
             delegation_threads_per_node: 12,
+            delegation_ring_capacity: 64,
+            alloc_cache_refill: 192,
+            alloc_cache_high_water: 512,
             max_index_pages: 1 << 16,
         }
     }
@@ -82,7 +98,21 @@ pub struct KernelController {
     pub(crate) pins: SimMutex<PinState>,
     pub(crate) phases: SimMutex<PhaseStats>,
     delegation: DelegationPool,
+    /// Per-actor allocator caches: scrubbed, unmapped pages whose
+    /// provenance (`AllocatedTo`) is already recorded, served by
+    /// `alloc_pages` without touching the global pools or registry.
+    caches: PlMutex<HashMap<ActorId, Arc<SimMutex<ActorCache>>>>,
+    stats: Arc<PathStats>,
     config: KernelConfig,
+}
+
+/// One actor's sharded allocation cache. Pages here are invisible to every
+/// MMU (freed pages stay inaccessible), read as zeros (scrubbed on entry),
+/// and carry `AllocatedTo` provenance — so granting one needs only an MMU
+/// map, and a crash reclaims them through the normal complement walk.
+struct ActorCache {
+    per_node: Vec<Vec<PageId>>,
+    total: usize,
 }
 
 /// Checkpoint pinning state (see `mapping.rs` for the rollback protocol).
@@ -127,9 +157,14 @@ impl KernelController {
             pools.push(SimMutex::new(v));
         }
 
-        let delegation = DelegationPool::new(
+        let stats = Arc::new(PathStats::new());
+        let delegation = DelegationPool::with_config(
             Arc::clone(&dev),
-            config.delegation_threads_per_node,
+            DelegationConfig {
+                threads_per_node: config.delegation_threads_per_node,
+                ring_capacity: config.delegation_ring_capacity,
+            },
+            Arc::clone(&stats),
         );
 
         Arc::new(KernelController {
@@ -142,6 +177,8 @@ impl KernelController {
             pins: SimMutex::new(PinState::default()),
             phases: SimMutex::new(PhaseStats::default()),
             delegation,
+            caches: PlMutex::new(HashMap::new()),
+            stats,
             config,
         })
     }
@@ -290,8 +327,15 @@ impl KernelController {
             pools.push(SimMutex::new(v));
         }
 
-        let delegation =
-            DelegationPool::new(Arc::clone(&dev), config.delegation_threads_per_node);
+        let stats = Arc::new(PathStats::new());
+        let delegation = DelegationPool::with_config(
+            Arc::clone(&dev),
+            DelegationConfig {
+                threads_per_node: config.delegation_threads_per_node,
+                ring_capacity: config.delegation_ring_capacity,
+            },
+            Arc::clone(&stats),
+        );
         Ok(Arc::new(KernelController {
             verifier: Verifier::new(NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR)),
             kh,
@@ -302,6 +346,8 @@ impl KernelController {
             pins: SimMutex::new(PinState::default()),
             phases: SimMutex::new(PhaseStats::default()),
             delegation,
+            caches: PlMutex::new(HashMap::new()),
+            stats,
             config,
         }))
     }
@@ -398,6 +444,12 @@ impl KernelController {
         &self.delegation
     }
 
+    /// Shared data-path counters: delegation traffic, adaptive-policy
+    /// decisions, and allocator fast-path behaviour all land here.
+    pub fn path_stats(&self) -> &Arc<PathStats> {
+        &self.stats
+    }
+
     /// Charges the syscall trap cost; called at every public entry point.
     pub(crate) fn trap(&self) {
         if in_sim() {
@@ -443,6 +495,21 @@ impl KernelController {
     /// attributable until their files are next verified.
     pub fn unregister(&self, actor: ActorId) {
         self.trap();
+        // Flush the actor's allocator cache back to the global pools —
+        // the pages are already scrubbed and unmapped.
+        let cached: Vec<PageId> = self
+            .caches
+            .lock()
+            .remove(&actor)
+            .map(|c| {
+                let mut c = c.lock();
+                c.total = 0;
+                c.per_node.iter_mut().flat_map(std::mem::take).collect()
+            })
+            .unwrap_or_default();
+        if !cached.is_empty() {
+            self.spill_cached(&cached);
+        }
         let mut reg = self.registry.lock();
         let held: Vec<Ino> = reg
             .files
@@ -485,8 +552,23 @@ impl KernelController {
     // Allocation (batched; LibFSes keep local pools).
     // -----------------------------------------------------------------
 
+    /// The actor's allocator cache, created on first use.
+    fn cache_of(&self, actor: ActorId) -> Arc<SimMutex<ActorCache>> {
+        let nodes = self.pools.len();
+        let mut map = self.caches.lock();
+        Arc::clone(map.entry(actor).or_insert_with(|| {
+            Arc::new(SimMutex::new(ActorCache { per_node: vec![Vec::new(); nodes], total: 0 }))
+        }))
+    }
+
     /// Allocates `n` pages, preferring `node`, mapping them read-write to
     /// `actor` (a LibFS's private pool, ready for direct use).
+    ///
+    /// Fast path: the pages come out of the actor's cache — provenance is
+    /// already recorded, so no global pool or registry lock is touched and
+    /// the only privileged work is programming the MMU. Otherwise one
+    /// batch refill pulls the request plus [`KernelConfig::alloc_cache_refill`]
+    /// extra pages from the pools under a single registry acquisition.
     pub fn alloc_pages(
         &self,
         actor: ActorId,
@@ -497,36 +579,103 @@ impl KernelController {
         if in_sim() {
             work(cost::ALLOCATOR_OP_NS);
         }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let topo = self.dev.topology();
         let nodes = self.pools.len();
         let start = node.unwrap_or(0).min(nodes - 1);
-        let mut out = Vec::with_capacity(n);
-        // Preferred node first, then steal round-robin.
-        for i in 0..nodes {
-            let ni = (start + i) % nodes;
-            let mut pool = self.pools[ni].lock();
-            while out.len() < n {
-                match pool.pop() {
-                    Some(p) => out.push(p),
-                    None => break,
+        let cache = self.cache_of(actor);
+        let mut c = cache.lock();
+        let mut out: Vec<PageId>;
+        let have = c.per_node[start].len();
+        if have >= n {
+            let keep = have - n;
+            out = c.per_node[start].split_off(keep);
+            c.total -= n;
+            self.stats.record_alloc_fast_hit();
+        } else {
+            // Batch refill: the mandatory remainder plus extra stock, all
+            // provenance-tagged under one registry lock.
+            out = c.per_node[start].split_off(0);
+            c.total -= have;
+            let need = n - have;
+            let refill = self.config.alloc_cache_refill;
+            let mut fresh: Vec<PageId> = Vec::new();
+            {
+                let mut pool = self.pools[start].lock();
+                // Stock extras only while the pool stays comfortably
+                // deep, so small devices keep exact-allocation behaviour.
+                let extra = if pool.len() > need + 4 * refill { refill } else { 0 };
+                let take = (need + extra).min(pool.len());
+                let at = pool.len() - take;
+                fresh.extend(pool.drain(at..).rev());
+            }
+            if fresh.len() < need {
+                // Preferred node dry: steal the mandatory remainder
+                // round-robin (never extras — stolen pages would pollute
+                // the per-node cache).
+                for i in 1..nodes {
+                    let ni = (start + i) % nodes;
+                    let mut pool = self.pools[ni].lock();
+                    while fresh.len() < need {
+                        match pool.pop() {
+                            Some(p) => fresh.push(p),
+                            None => break,
+                        }
+                    }
+                    if fresh.len() >= need {
+                        break;
+                    }
                 }
             }
-            if out.len() == n {
-                break;
+            // Last resort: this actor's own cache on other nodes — those
+            // pages are already granted, so using them beats failing.
+            while fresh.len() + out.len() < n {
+                let mut got = false;
+                for ni in 0..nodes {
+                    if ni != start {
+                        if let Some(p) = c.per_node[ni].pop() {
+                            c.total -= 1;
+                            out.push(p);
+                            got = true;
+                            if fresh.len() + out.len() == n {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !got {
+                    break;
+                }
             }
-        }
-        if out.len() < n {
-            // Roll back the partial grab.
-            for p in &out {
-                self.pools[self.dev.topology().node_of(*p)].lock().push(*p);
+            if fresh.len() + out.len() < n {
+                // Roll back the partial grab: fresh pages to their pools,
+                // harvested cache pages back to the cache.
+                for p in &fresh {
+                    self.pools[topo.node_of(*p)].lock().push(*p);
+                }
+                for p in out {
+                    c.per_node[topo.node_of(p)].push(p);
+                    c.total += 1;
+                }
+                return Err(FsError::NoSpace);
             }
-            return Err(FsError::NoSpace);
-        }
-        {
-            let mut reg = self.registry.lock();
-            for p in &out {
-                reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
+            if !fresh.is_empty() {
+                let mut reg = self.registry.lock();
+                self.stats.record_registry_lock();
+                for p in &fresh {
+                    reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
+                }
             }
+            self.stats.record_alloc_refill(fresh.len());
+            let mandatory = n - out.len();
+            let extras = fresh.split_off(mandatory.min(fresh.len()));
+            out.extend(fresh);
+            c.total += extras.len();
+            c.per_node[start].extend(extras);
         }
+        drop(c);
         for p in &out {
             self.dev.mmu_map(actor, *p, PagePerm::Write).map_err(|_| FsError::NoSpace)?;
         }
@@ -539,10 +688,16 @@ impl KernelController {
     /// Returns pages to the free pool. A page must be in the caller's pool
     /// (`AllocatedTo`) or belong to a file the caller is reclaiming through
     /// [`KernelController::reclaim_file`]; anything else is refused.
+    ///
+    /// Unpinned pages are scrubbed and parked in the actor's allocator
+    /// cache (still provenance-tagged, no longer mapped anywhere) rather
+    /// than returned to the global pools; past the high-water mark the
+    /// cold end spills back.
     pub fn free_pages(&self, actor: ActorId, pages: &[PageId]) -> FsResult<()> {
         self.trap();
         {
             let reg = self.registry.lock();
+            self.stats.record_registry_lock();
             for p in pages {
                 match reg.page_prov.get(&p.0) {
                     Some(PageProvenance::AllocatedTo(a)) if *a == actor => {}
@@ -550,8 +705,66 @@ impl KernelController {
                 }
             }
         }
-        self.release_pages_internal(pages);
+        // Pinned pages (checkpoint rollback images) must take the
+        // deferred-free path.
+        let (pinned, cacheable): (Vec<PageId>, Vec<PageId>) = {
+            let pins = self.pins.lock();
+            pages.iter().partition(|p| pins.pinned.contains_key(&p.0))
+        };
+        if !pinned.is_empty() {
+            self.release_pages_internal(&pinned);
+        }
+        if cacheable.is_empty() {
+            return Ok(());
+        }
+        let topo = self.dev.topology();
+        let cache = self.cache_of(actor);
+        let mut c = cache.lock();
+        for p in &cacheable {
+            // Scrub now (dropping every mapping with it): the page reads
+            // as zeros and is inaccessible for as long as it sits here.
+            self.dev.reset_page(*p).expect("valid page");
+            c.per_node[topo.node_of(*p)].push(*p);
+        }
+        c.total += cacheable.len();
+        if in_sim() {
+            work(cacheable.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+        }
+        let mut spill: Vec<PageId> = Vec::new();
+        if c.total > self.config.alloc_cache_high_water {
+            let mut excess = c.total - self.config.alloc_cache_high_water;
+            for per_node in c.per_node.iter_mut() {
+                let k = excess.min(per_node.len());
+                // Drain the cold end (the bottom of the LIFO).
+                spill.extend(per_node.drain(..k));
+                excess -= k;
+                if excess == 0 {
+                    break;
+                }
+            }
+            c.total -= spill.len();
+        }
+        drop(c);
+        self.stats.record_free(cacheable.len(), spill.len());
+        if !spill.is_empty() {
+            self.spill_cached(&spill);
+        }
         Ok(())
+    }
+
+    /// Returns already-scrubbed, unmapped cache pages to the global pools.
+    fn spill_cached(&self, pages: &[PageId]) {
+        {
+            let mut reg = self.registry.lock();
+            self.stats.record_registry_lock();
+            for p in pages {
+                reg.page_prov.remove(&p.0);
+            }
+        }
+        let topo = self.dev.topology();
+        for p in pages {
+            self.pools[topo.node_of(*p)].lock().push(*p);
+        }
     }
 
     /// Internal free path (already authorized): unmaps everyone, scrubs,
@@ -739,6 +952,14 @@ impl KernelController {
     /// Free pages remaining (all pools).
     pub fn free_page_count(&self) -> usize {
         self.pools.iter().map(|p| p.lock().len()).sum()
+    }
+
+    /// Pages parked in per-actor allocator caches: granted (provenance
+    /// recorded) but not handed out, scrubbed and unmapped. Together with
+    /// [`KernelController::free_page_count`] and the pages reachable from
+    /// files this accounts for every page — the ledger tests rely on it.
+    pub fn cached_page_count(&self) -> usize {
+        self.caches.lock().values().map(|c| c.lock().total).sum()
     }
 
     /// Whether `ino` currently has a write mapping.

@@ -619,10 +619,7 @@ impl KernelController {
         };
         let ftype = meta.ftype;
         let dirent = meta.dirent;
-        let first_index = match self.current_first_index(ino, dirent) {
-            Ok(fi) => fi,
-            Err(_) => 0,
-        };
+        let first_index = self.current_first_index(ino, dirent).unwrap_or_default();
         let ck_children = meta.checkpoint.as_ref().map(|c| c.children.clone());
         let req = VerifyRequest {
             ino,

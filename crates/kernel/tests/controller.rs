@@ -52,11 +52,13 @@ fn alloc_and_free_pages_roundtrip() {
         let before = k2.free_page_count();
         let pages = k2.alloc_pages(reg.actor, 8, None).unwrap();
         assert_eq!(pages.len(), 8);
-        assert_eq!(k2.free_page_count(), before - 8);
+        // Conservation: pages not handed out are either in the global pool
+        // or parked in the actor's allocator cache (refills may stock it).
+        assert_eq!(k2.free_page_count() + k2.cached_page_count(), before - 8);
         // Pool pages are immediately writable.
         reg.handle.write_untimed(pages[0], 0, b"mine").unwrap();
         k2.free_pages(reg.actor, &pages).unwrap();
-        assert_eq!(k2.free_page_count(), before);
+        assert_eq!(k2.free_page_count() + k2.cached_page_count(), before);
         // Freed pages are no longer accessible.
         assert!(reg.handle.write_untimed(pages[0], 0, b"nope").is_err());
     });

@@ -70,6 +70,7 @@ impl Wal {
     }
 
     /// Reads every intact record from the start (recovery).
+    #[allow(clippy::type_complexity)]
     pub fn replay(&self, fs: &dyn FileSystem) -> FsResult<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
         let size = fs.fstat(self.fd)?.size;
         let mut data = vec![0u8; size as usize];

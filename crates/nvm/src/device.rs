@@ -137,6 +137,14 @@ impl NvmDevice {
         self.loads[node].lock().exit(is_write);
     }
 
+    /// Current same-kind accessor count on `node` — the load signal the
+    /// adaptive delegation policy reads before routing an access. A cheap
+    /// sampled observation, not a reservation: the level can change the
+    /// moment the lock drops.
+    pub fn node_load_level(&self, node: NodeId, is_write: bool) -> u32 {
+        self.loads[node].lock().level(is_write)
+    }
+
     /// Copies out of a page with a permission check, without charging time
     /// (the caller charges per extent). `off + buf.len()` must fit the page.
     pub fn copy_from_page(
@@ -256,7 +264,7 @@ impl NvmDevice {
 
     /// 8-byte atomic read (used for inode fields, index slots).
     pub fn read_u64(&self, actor: ActorId, page: PageId, off: usize) -> Result<u64, ProtError> {
-        if off % 8 != 0 {
+        if !off.is_multiple_of(8) {
             return Err(ProtError::Misaligned);
         }
         let mut b = [0u8; 8];
@@ -274,7 +282,7 @@ impl NvmDevice {
         off: usize,
         v: u64,
     ) -> Result<(), ProtError> {
-        if off % 8 != 0 {
+        if !off.is_multiple_of(8) {
             return Err(ProtError::Misaligned);
         }
         self.copy_to_page(actor, page, off, &v.to_le_bytes())?;

@@ -134,6 +134,7 @@ impl NvmHandle {
         res
     }
 
+    #[allow(clippy::needless_range_loop)] // `pi` also derives byte offsets
     fn extent_op<B: ?Sized>(
         &self,
         pages: &[PageId],

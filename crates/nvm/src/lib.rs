@@ -28,11 +28,13 @@ pub mod handle;
 pub mod perf;
 pub mod persist;
 pub mod prot;
+pub mod stats;
 pub mod topology;
 
 pub use device::{DeviceConfig, NvmDevice};
 pub use fault::{faults_compiled, CrashReport, FaultPlan};
 pub use handle::NvmHandle;
 pub use perf::BandwidthModel;
+pub use stats::{PathStats, PathStatsSnapshot};
 pub use prot::{ActorId, PagePerm, ProtError, KERNEL_ACTOR};
 pub use topology::{NodeId, PageId, Topology, CACHE_LINE, PAGE_SIZE};

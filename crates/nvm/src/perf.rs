@@ -124,6 +124,17 @@ impl BandwidthModel {
         let t = self.transfer_ns(1 << 20, k, is_write, false);
         (1u64 << 20) as f64 / t as f64
     }
+
+    /// The collapse knee: the largest concurrency at which the node still
+    /// delivers (within 0.1% of) its peak aggregate bandwidth. Beyond it,
+    /// adding accessors shrinks the aggregate — the regime delegation
+    /// exists to prevent. The adaptive policy uses this as its default
+    /// delegation threshold (writes: 12, the OdinFS pool size; reads: 16).
+    pub fn collapse_knee(&self, is_write: bool) -> u32 {
+        let agg = |k: u32| self.observed_bw(k, is_write) * k as f64;
+        let peak = (1..=64).map(agg).fold(0.0f64, f64::max);
+        (1..=64).rev().find(|&k| agg(k) >= peak * 0.999).unwrap_or(1)
+    }
 }
 
 /// Per-node concurrency bookkeeping. Entry/exit brackets every transfer so
@@ -211,7 +222,16 @@ mod tests {
     fn latency_dominates_tiny_transfers() {
         let m = BandwidthModel::default();
         let t = m.transfer_ns(8, 1, false, false);
-        assert!(t >= 300 && t < 400, "8-byte read ~ latency: {t}");
+        assert!((300..400).contains(&t), "8-byte read ~ latency: {t}");
+    }
+
+    #[test]
+    fn collapse_knee_matches_efficiency_tables() {
+        let m = BandwidthModel::default();
+        // Writes peak through the 8..=12 plateau (the OdinFS pool size);
+        // reads through 13..=16.
+        assert_eq!(m.collapse_knee(true), 12);
+        assert_eq!(m.collapse_knee(false), 16);
     }
 
     #[test]

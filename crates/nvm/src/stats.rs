@@ -1,0 +1,425 @@
+//! Op-level data-path performance counters.
+//!
+//! One [`PathStats`] instance is shared by the kernel controller, its
+//! delegation pool, and every mounted LibFS, so a bench can snapshot the
+//! whole data path at once: how many bytes went through delegation vs
+//! direct access, how often the adaptive policy picked each, how the ring
+//! round-trip latency distributes, and how well the allocator fast path
+//! is doing. Counters are relaxed atomics — the recording cost must stay
+//! negligible next to the modeled media costs — and recording never
+//! charges virtual time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Power-of-two histogram buckets for ring round-trip latency. Bucket `i`
+/// covers `[2^i, 2^(i+1))` ns (bucket 0 is `[0, 2)`); the last bucket is
+/// open-ended. 24 buckets reach ~16 ms, far past the delegation deadline.
+pub const HIST_BUCKETS: usize = 24;
+
+/// Shared relaxed-atomic counters for the hot data path.
+#[derive(Default)]
+pub struct PathStats {
+    // -- delegation client --
+    delegated_read_bytes: AtomicU64,
+    delegated_write_bytes: AtomicU64,
+    direct_read_bytes: AtomicU64,
+    direct_write_bytes: AtomicU64,
+    /// Scatter-gather node-batches submitted to delegation rings.
+    deleg_requests: AtomicU64,
+    /// Node-contiguous runs carried inside those batches.
+    deleg_runs: AtomicU64,
+    /// Node-batches re-enqueued after a deadline miss.
+    deleg_retries: AtomicU64,
+    /// Deadline misses observed by clients.
+    deleg_timeouts: AtomicU64,
+    /// Whole ops that exhausted the attempt budget and went direct.
+    deleg_fallbacks: AtomicU64,
+    /// Write-payload buffer materializations (one `Arc<[u8]>` per op on
+    /// the zero-copy path; retries must not add to this).
+    payload_copies: AtomicU64,
+    /// Submissions that found the ring full and had to block.
+    ring_backpressure: AtomicU64,
+    /// Ring round-trip latency (submit → reply) histogram.
+    ring_hop_hist: [AtomicU64; HIST_BUCKETS],
+    // -- adaptive policy --
+    /// Policy decisions that kept an eligible access on the direct path.
+    adaptive_direct: AtomicU64,
+    /// Policy decisions that sent an access through delegation.
+    adaptive_delegated: AtomicU64,
+    // -- kernel allocator --
+    /// `alloc_pages` calls served entirely from the per-actor cache.
+    alloc_fast_hits: AtomicU64,
+    /// Batch refills of a per-actor cache from the global pools.
+    alloc_refills: AtomicU64,
+    /// Pages moved by those refills.
+    alloc_refill_pages: AtomicU64,
+    /// Freed pages parked in the per-actor cache.
+    free_cached: AtomicU64,
+    /// Freed pages spilled past the cache high-water mark to the pools.
+    free_spills: AtomicU64,
+    /// Global registry lock acquisitions on the alloc/free path.
+    registry_locks: AtomicU64,
+}
+
+impl PathStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bump(c: &AtomicU64, by: u64) {
+        c.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Bytes moved through the delegation path.
+    #[inline]
+    pub fn record_delegated_bytes(&self, bytes: usize, is_write: bool) {
+        let c = if is_write { &self.delegated_write_bytes } else { &self.delegated_read_bytes };
+        Self::bump(c, bytes as u64);
+    }
+
+    /// Bytes moved by direct (non-delegated) access.
+    #[inline]
+    pub fn record_direct_bytes(&self, bytes: usize, is_write: bool) {
+        let c = if is_write { &self.direct_write_bytes } else { &self.direct_read_bytes };
+        Self::bump(c, bytes as u64);
+    }
+
+    /// One scatter-gather node-batch carrying `runs` runs was submitted.
+    #[inline]
+    pub fn record_submission(&self, runs: usize) {
+        Self::bump(&self.deleg_requests, 1);
+        Self::bump(&self.deleg_runs, runs as u64);
+    }
+
+    /// A node-batch was re-enqueued after a deadline miss.
+    #[inline]
+    pub fn record_retry(&self) {
+        Self::bump(&self.deleg_retries, 1);
+    }
+
+    /// A client-side deadline miss.
+    #[inline]
+    pub fn record_timeout(&self) {
+        Self::bump(&self.deleg_timeouts, 1);
+    }
+
+    /// A whole op gave up on delegation and went direct.
+    #[inline]
+    pub fn record_fallback(&self) {
+        Self::bump(&self.deleg_fallbacks, 1);
+    }
+
+    /// A write payload buffer was materialized (copied).
+    #[inline]
+    pub fn record_payload_copy(&self) {
+        Self::bump(&self.payload_copies, 1);
+    }
+
+    /// A submission found its ring full.
+    #[inline]
+    pub fn record_ring_backpressure(&self) {
+        Self::bump(&self.ring_backpressure, 1);
+    }
+
+    /// Ring round-trip (submit → reply) of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ring_hop(&self, ns: u64) {
+        let bucket = (63 - (ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        Self::bump(&self.ring_hop_hist[bucket], 1);
+    }
+
+    /// The adaptive policy routed an eligible access.
+    #[inline]
+    pub fn record_adaptive(&self, delegated: bool) {
+        let c = if delegated { &self.adaptive_delegated } else { &self.adaptive_direct };
+        Self::bump(c, 1);
+    }
+
+    /// `alloc_pages` served from the per-actor cache without touching the
+    /// global pools or registry.
+    #[inline]
+    pub fn record_alloc_fast_hit(&self) {
+        Self::bump(&self.alloc_fast_hits, 1);
+    }
+
+    /// A batch refill moved `pages` pages into a per-actor cache.
+    #[inline]
+    pub fn record_alloc_refill(&self, pages: usize) {
+        Self::bump(&self.alloc_refills, 1);
+        Self::bump(&self.alloc_refill_pages, pages as u64);
+    }
+
+    /// Freed pages parked in the cache / spilled to the global pools.
+    #[inline]
+    pub fn record_free(&self, cached: usize, spilled: usize) {
+        Self::bump(&self.free_cached, cached as u64);
+        Self::bump(&self.free_spills, spilled as u64);
+    }
+
+    /// The global registry lock was taken on the alloc/free path.
+    #[inline]
+    pub fn record_registry_lock(&self) {
+        Self::bump(&self.registry_locks, 1);
+    }
+
+    /// Coherent-enough copy of every counter (relaxed loads; exact once
+    /// the workload has quiesced).
+    pub fn snapshot(&self) -> PathStatsSnapshot {
+        let mut hist = [0u64; HIST_BUCKETS];
+        for (i, b) in self.ring_hop_hist.iter().enumerate() {
+            hist[i] = b.load(Ordering::Relaxed);
+        }
+        PathStatsSnapshot {
+            delegated_read_bytes: self.delegated_read_bytes.load(Ordering::Relaxed),
+            delegated_write_bytes: self.delegated_write_bytes.load(Ordering::Relaxed),
+            direct_read_bytes: self.direct_read_bytes.load(Ordering::Relaxed),
+            direct_write_bytes: self.direct_write_bytes.load(Ordering::Relaxed),
+            deleg_requests: self.deleg_requests.load(Ordering::Relaxed),
+            deleg_runs: self.deleg_runs.load(Ordering::Relaxed),
+            deleg_retries: self.deleg_retries.load(Ordering::Relaxed),
+            deleg_timeouts: self.deleg_timeouts.load(Ordering::Relaxed),
+            deleg_fallbacks: self.deleg_fallbacks.load(Ordering::Relaxed),
+            payload_copies: self.payload_copies.load(Ordering::Relaxed),
+            ring_backpressure: self.ring_backpressure.load(Ordering::Relaxed),
+            ring_hop_hist: hist,
+            adaptive_direct: self.adaptive_direct.load(Ordering::Relaxed),
+            adaptive_delegated: self.adaptive_delegated.load(Ordering::Relaxed),
+            alloc_fast_hits: self.alloc_fast_hits.load(Ordering::Relaxed),
+            alloc_refills: self.alloc_refills.load(Ordering::Relaxed),
+            alloc_refill_pages: self.alloc_refill_pages.load(Ordering::Relaxed),
+            free_cached: self.free_cached.load(Ordering::Relaxed),
+            free_spills: self.free_spills.load(Ordering::Relaxed),
+            registry_locks: self.registry_locks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (bench setup vs measured window).
+    pub fn reset(&self) {
+        self.delegated_read_bytes.store(0, Ordering::Relaxed);
+        self.delegated_write_bytes.store(0, Ordering::Relaxed);
+        self.direct_read_bytes.store(0, Ordering::Relaxed);
+        self.direct_write_bytes.store(0, Ordering::Relaxed);
+        self.deleg_requests.store(0, Ordering::Relaxed);
+        self.deleg_runs.store(0, Ordering::Relaxed);
+        self.deleg_retries.store(0, Ordering::Relaxed);
+        self.deleg_timeouts.store(0, Ordering::Relaxed);
+        self.deleg_fallbacks.store(0, Ordering::Relaxed);
+        self.payload_copies.store(0, Ordering::Relaxed);
+        self.ring_backpressure.store(0, Ordering::Relaxed);
+        for b in &self.ring_hop_hist {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.adaptive_direct.store(0, Ordering::Relaxed);
+        self.adaptive_delegated.store(0, Ordering::Relaxed);
+        self.alloc_fast_hits.store(0, Ordering::Relaxed);
+        self.alloc_refills.store(0, Ordering::Relaxed);
+        self.alloc_refill_pages.store(0, Ordering::Relaxed);
+        self.free_cached.store(0, Ordering::Relaxed);
+        self.free_spills.store(0, Ordering::Relaxed);
+        self.registry_locks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value snapshot of [`PathStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathStatsSnapshot {
+    pub delegated_read_bytes: u64,
+    pub delegated_write_bytes: u64,
+    pub direct_read_bytes: u64,
+    pub direct_write_bytes: u64,
+    pub deleg_requests: u64,
+    pub deleg_runs: u64,
+    pub deleg_retries: u64,
+    pub deleg_timeouts: u64,
+    pub deleg_fallbacks: u64,
+    pub payload_copies: u64,
+    pub ring_backpressure: u64,
+    pub ring_hop_hist: [u64; HIST_BUCKETS],
+    pub adaptive_direct: u64,
+    pub adaptive_delegated: u64,
+    pub alloc_fast_hits: u64,
+    pub alloc_refills: u64,
+    pub alloc_refill_pages: u64,
+    pub free_cached: u64,
+    pub free_spills: u64,
+    pub registry_locks: u64,
+}
+
+impl PathStatsSnapshot {
+    /// Fraction of `alloc_pages` calls served from the per-actor cache.
+    pub fn alloc_fast_hit_rate(&self) -> f64 {
+        let total = self.alloc_fast_hits + self.alloc_refills;
+        if total == 0 {
+            0.0
+        } else {
+            self.alloc_fast_hits as f64 / total as f64
+        }
+    }
+
+    /// Median-ish ring hop latency: lower bound of the bucket holding the
+    /// 50th percentile sample, in ns. 0 when no hops were recorded.
+    pub fn ring_hop_p50_ns(&self) -> u64 {
+        let total: u64 = self.ring_hop_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.ring_hop_hist.iter().enumerate() {
+            seen += n;
+            if seen * 2 >= total {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+
+    /// Hand-rolled JSON object (the workspace is dependency-free). Keys
+    /// are stable; `extra` appends caller context such as bench geometry.
+    pub fn to_json(&self, extra: &[(&str, String)]) -> String {
+        let mut out = String::from("{\n");
+        let mut push = |k: &str, v: String| {
+            out.push_str(&format!("  \"{k}\": {v},\n"));
+        };
+        for (k, v) in extra {
+            push(k, v.clone());
+        }
+        push("delegated_read_bytes", self.delegated_read_bytes.to_string());
+        push("delegated_write_bytes", self.delegated_write_bytes.to_string());
+        push("direct_read_bytes", self.direct_read_bytes.to_string());
+        push("direct_write_bytes", self.direct_write_bytes.to_string());
+        push("deleg_requests", self.deleg_requests.to_string());
+        push("deleg_runs", self.deleg_runs.to_string());
+        push("deleg_retries", self.deleg_retries.to_string());
+        push("deleg_timeouts", self.deleg_timeouts.to_string());
+        push("deleg_fallbacks", self.deleg_fallbacks.to_string());
+        push("payload_copies", self.payload_copies.to_string());
+        push("ring_backpressure", self.ring_backpressure.to_string());
+        push("adaptive_direct", self.adaptive_direct.to_string());
+        push("adaptive_delegated", self.adaptive_delegated.to_string());
+        push("alloc_fast_hits", self.alloc_fast_hits.to_string());
+        push("alloc_refills", self.alloc_refills.to_string());
+        push("alloc_refill_pages", self.alloc_refill_pages.to_string());
+        push("free_cached", self.free_cached.to_string());
+        push("free_spills", self.free_spills.to_string());
+        push("registry_locks", self.registry_locks.to_string());
+        push("alloc_fast_hit_rate", format!("{:.4}", self.alloc_fast_hit_rate()));
+        push("ring_hop_p50_ns", self.ring_hop_p50_ns().to_string());
+        let hist: Vec<String> = self.ring_hop_hist.iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!("  \"ring_hop_hist\": [{}]\n", hist.join(", ")));
+        out.push('}');
+        out
+    }
+
+    /// One-line human summary for bench footers.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "path: deleg {:.1} MiB w / {:.1} MiB r, direct {:.1} MiB w / {:.1} MiB r | \
+             batches {} (runs {}), retries {}, fallbacks {}, backpressure {} | \
+             ring p50 {} ns | alloc hit {:.0}%, registry locks {}",
+            self.delegated_write_bytes as f64 / (1 << 20) as f64,
+            self.delegated_read_bytes as f64 / (1 << 20) as f64,
+            self.direct_write_bytes as f64 / (1 << 20) as f64,
+            self.direct_read_bytes as f64 / (1 << 20) as f64,
+            self.deleg_requests,
+            self.deleg_runs,
+            self.deleg_retries,
+            self.deleg_fallbacks,
+            self.ring_backpressure,
+            self.ring_hop_p50_ns(),
+            self.alloc_fast_hit_rate() * 100.0,
+            self.registry_locks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip_through_snapshot() {
+        let s = PathStats::new();
+        s.record_delegated_bytes(4096, true);
+        s.record_delegated_bytes(100, false);
+        s.record_direct_bytes(64, true);
+        s.record_submission(3);
+        s.record_retry();
+        s.record_timeout();
+        s.record_fallback();
+        s.record_payload_copy();
+        s.record_ring_backpressure();
+        s.record_adaptive(true);
+        s.record_adaptive(false);
+        s.record_alloc_fast_hit();
+        s.record_alloc_refill(64);
+        s.record_free(10, 2);
+        s.record_registry_lock();
+        let snap = s.snapshot();
+        assert_eq!(snap.delegated_write_bytes, 4096);
+        assert_eq!(snap.delegated_read_bytes, 100);
+        assert_eq!(snap.direct_write_bytes, 64);
+        assert_eq!(snap.deleg_requests, 1);
+        assert_eq!(snap.deleg_runs, 3);
+        assert_eq!(snap.deleg_retries, 1);
+        assert_eq!(snap.deleg_timeouts, 1);
+        assert_eq!(snap.deleg_fallbacks, 1);
+        assert_eq!(snap.payload_copies, 1);
+        assert_eq!(snap.ring_backpressure, 1);
+        assert_eq!(snap.adaptive_delegated, 1);
+        assert_eq!(snap.adaptive_direct, 1);
+        assert_eq!(snap.alloc_fast_hits, 1);
+        assert_eq!(snap.alloc_refills, 1);
+        assert_eq!(snap.alloc_refill_pages, 64);
+        assert_eq!(snap.free_cached, 10);
+        assert_eq!(snap.free_spills, 2);
+        assert_eq!(snap.registry_locks, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), PathStatsSnapshot::default());
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let s = PathStats::new();
+        s.record_ring_hop(0); // bucket 0
+        s.record_ring_hop(1); // bucket 0
+        s.record_ring_hop(2); // bucket 1
+        s.record_ring_hop(1023); // bucket 9
+        s.record_ring_hop(1024); // bucket 10
+        s.record_ring_hop(u64::MAX); // clamped to last bucket
+        let h = s.snapshot().ring_hop_hist;
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[9], 1);
+        assert_eq!(h[10], 1);
+        assert_eq!(h[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn p50_and_hit_rate() {
+        let s = PathStats::new();
+        for _ in 0..3 {
+            s.record_ring_hop(512); // bucket 9
+        }
+        s.record_ring_hop(100_000);
+        assert_eq!(s.snapshot().ring_hop_p50_ns(), 512);
+        for _ in 0..9 {
+            s.record_alloc_fast_hit();
+        }
+        s.record_alloc_refill(64);
+        let snap = s.snapshot();
+        assert!((snap.alloc_fast_hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = PathStats::new();
+        s.record_submission(2);
+        let j = s.snapshot().to_json(&[("threads", "28".into())]);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"threads\": 28"));
+        assert!(j.contains("\"deleg_requests\": 1"));
+        assert!(j.contains("\"ring_hop_hist\": ["));
+    }
+}

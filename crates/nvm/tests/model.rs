@@ -117,9 +117,9 @@ fn crash_respects_flush_boundary() {
             }
             let first = off / 64;
             let last = (off + len - 1) / 64;
-            for l in first..=last {
-                // Flushed lines become durable with their current contents.
-                dirty[l] = i >= flush_upto;
+            // Flushed lines become durable with their current contents.
+            for d in dirty[first..=last].iter_mut() {
+                *d = i >= flush_upto;
             }
         }
         dev.crash();

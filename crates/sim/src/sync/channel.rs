@@ -126,6 +126,24 @@ impl<T> SimChannel<T> {
         }
     }
 
+    /// Non-blocking send: enqueues if the ring has room, otherwise hands
+    /// the value back as `Err` without blocking. Lets producers observe
+    /// backpressure (a full delegation ring) instead of silently stalling.
+    /// Closed channels also return `Err`.
+    pub fn try_send(&self, v: T) -> Result<(), T> {
+        with_inner(|inner, me| {
+            let mut st = self.state.lock();
+            if st.closed || (st.cap != 0 && st.q.len() >= st.cap) {
+                return Err(v);
+            }
+            st.q.push_back(v);
+            if let Some(r) = st.recv_waiters.pop_front() {
+                inner.wake_from(me, r, cost::RING_HOP_NS);
+            }
+            Ok(())
+        })
+    }
+
     /// Receives a value, blocking (in virtual time) while the channel is
     /// empty. Returns `None` once the channel is closed and drained.
     pub fn recv(&self) -> Option<T> {
@@ -315,6 +333,23 @@ mod tests {
         rt.spawn("t", move || {
             c.close();
             assert_eq!(c.send(9), Err(9));
+        });
+        rt.run();
+    }
+
+    #[test]
+    fn try_send_reports_full_ring() {
+        let rt = SimRuntime::new(0);
+        let ch = Arc::new(SimChannel::bounded(2));
+        let c = Arc::clone(&ch);
+        rt.spawn("t", move || {
+            assert_eq!(c.try_send(1u32), Ok(()));
+            assert_eq!(c.try_send(2), Ok(()));
+            assert_eq!(c.try_send(3), Err(3)); // full, no block
+            assert_eq!(c.recv(), Some(1));
+            assert_eq!(c.try_send(3), Ok(()));
+            c.close();
+            assert_eq!(c.try_send(4), Err(4)); // closed
         });
         rt.run();
     }

@@ -249,7 +249,7 @@ mod tests {
         }
         let total = rt.run();
         // Readers end at 100; writer1 ends ~200, writer2 ends ~300.
-        assert!(total >= 300 && total < 400, "total={total}");
+        assert!((300..400).contains(&total), "total={total}");
         assert_eq!(*l.read_uncontended(), 2);
     }
 

@@ -11,6 +11,10 @@ cargo build --release
 cargo test -q
 
 echo
+echo "== lint gate: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo
 echo "== crash-point sweep (pinned seed, all points) =="
 cargo test --test crash_sweep -- --nocapture
 
@@ -27,6 +31,29 @@ else
     echo "FAIL: standalone bench build has the 'faults' feature enabled." >&2
     exit 1
 fi
+
+echo
+echo "== perf smoke gate: data-path bench vs committed baseline =="
+# Regenerate BENCH numbers (virtual time: host noise cannot move them)
+# and fail if delegated-write latency regressed >20% vs the committed
+# BENCH_datapath.json baseline.
+TRIO_BENCH_OUT=/tmp/trio_datapath.$$ TRIO_SCALE=16 \
+    cargo bench -p trio-bench --bench bench_datapath
+if [ -f BENCH_datapath.json ]; then
+    python3 - /tmp/trio_datapath.$$ BENCH_datapath.json <<'EOF'
+import json, sys
+new = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+key = "delegated_write_ns_per_op"
+n, b = float(new[key]), float(base[key])
+if n > b * 1.2:
+    sys.exit(f"FAIL: {key} regressed {n:.0f} ns vs baseline {b:.0f} ns (>20%)")
+print(f"OK: {key} {n:.0f} ns vs baseline {b:.0f} ns (within 20%)")
+EOF
+else
+    echo "NOTE: no committed BENCH_datapath.json baseline; skipping comparison."
+fi
+rm -f /tmp/trio_datapath.$$
 
 echo
 echo "verify.sh: all gates passed."

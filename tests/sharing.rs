@@ -225,7 +225,7 @@ fn lease_expiry_rolls_back_a_stalled_corrupting_writer() {
         });
         // B's write open blocks until A's lease expires, then revokes it,
         // verifies, detects the corruption, and rolls back.
-        trio_sim::work(1 * MILLIS);
+        trio_sim::work(MILLIS);
         let fd = b.open("/le", OpenFlags::RDWR, Mode(0o666)).unwrap();
         let mut buf = vec![0u8; 2 * 4096];
         b.pread(fd, 0, &mut buf).unwrap();
