@@ -79,8 +79,18 @@ impl Journal {
         write(OFF_DST_PAGE, dst.page.0).map_err(fault)?;
         write(OFF_DST_SLOT, dst.slot as u64).map_err(fault)?;
         // Arm last: everything below is persistent before the record goes
-        // live.
-        write(OFF_STATE, 1).map_err(fault)?;
+        // live. Declaring the record body as publish deps lets the sanitize
+        // build verify the ordering instead of trusting it.
+        h.publish_u64(
+            page,
+            OFF_STATE,
+            1,
+            &[
+                (page, OFF_SRC_PAGE, OFF_DST_SLOT + 8 - OFF_SRC_PAGE),
+                (page, OFF_IMAGE, DIRENT_SIZE),
+            ],
+        )
+        .map_err(fault)?;
         Ok(JournalGuard { h: h.clone(), page, _slot: guard })
     }
 

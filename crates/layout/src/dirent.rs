@@ -215,7 +215,14 @@ impl<'a> DirentRef<'a> {
     /// the entry.
     pub fn publish(&self, ino: Ino) -> Result<(), ProtError> {
         debug_assert_ne!(ino, 0);
-        self.h.write_u64_persist(self.loc.page, self.loc.byte_off() + OFF_INO, ino)
+        // The prepared slot image (step 1) must be durable before the ino
+        // goes live; the dep lets the sanitize build verify that ordering.
+        self.h.publish_u64(
+            self.loc.page,
+            self.loc.byte_off() + OFF_INO,
+            ino,
+            &[(self.loc.page, self.loc.byte_off(), DIRENT_SIZE)],
+        )
     }
 
     /// Deletion: atomically clears the inode number; the slot becomes free.

@@ -25,6 +25,11 @@
 //! creation protocol writes the whole slot with `ino = 0`, persists it,
 //! then atomically publishes the real inode number.
 
+// The whole crate is plain safe Rust over the typed NvmHandle API; the
+// xtask lint (safety-comment rule) found zero unsafe blocks, and this
+// attribute keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod dirent;
 pub mod index;
 pub mod superblock;

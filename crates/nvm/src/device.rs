@@ -1,12 +1,14 @@
 //! The emulated NVM device: page store, MMU, timing, crash injection.
 
 use trio_sim::plock::Mutex;
+use trio_sim::race::RaceDetector;
 use trio_sim::{in_sim, work, Nanos};
 
 #[cfg(feature = "faults")]
 use std::collections::HashSet;
 #[cfg(feature = "faults")]
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::fault::CrashReport;
 #[cfg(feature = "faults")]
@@ -14,7 +16,8 @@ use crate::fault::FaultPlan;
 use crate::perf::{BandwidthModel, NodeLoad};
 use crate::persist::PersistTracker;
 use crate::prot::{ActorId, PagePerm, PageProt, ProtError, KERNEL_ACTOR};
-#[cfg(feature = "faults")]
+#[cfg(feature = "sanitize")]
+use crate::sanitize::SanitizeReport;
 use crate::topology::CACHE_LINE;
 use crate::topology::{NodeId, PageId, Topology, PAGE_SIZE};
 
@@ -78,6 +81,10 @@ pub struct NvmDevice {
     pages: Vec<Mutex<PageSlot>>,
     loads: Vec<Mutex<NodeLoad>>,
     tracker: Option<PersistTracker>,
+    /// Optional cross-actor race detector (see [`trio_sim::race`]); when
+    /// installed, every page access is reported with its cache-line span.
+    /// Absent on the hot path: one pointer load.
+    race: OnceLock<Arc<RaceDetector>>,
     /// Poisoned (uncorrectable) cache lines; reads overlapping one fault
     /// with [`ProtError::Poisoned`]. A store covering a whole line repairs
     /// it, as writing a full line does on real PM.
@@ -103,6 +110,7 @@ impl NvmDevice {
             pages,
             loads: (0..config.topology.nodes).map(|_| Mutex::new(NodeLoad::default())).collect(),
             tracker: config.track_persistence.then(PersistTracker::new),
+            race: OnceLock::new(),
             #[cfg(feature = "faults")]
             poisoned: Mutex::new(HashSet::new()),
             #[cfg(feature = "faults")]
@@ -161,6 +169,11 @@ impl NvmDevice {
         slot.prot.check(actor, false)?;
         #[cfg(feature = "faults")]
         self.poison_check_read(page, off, buf.len())?;
+        #[cfg(feature = "sanitize")]
+        if let Some(t) = &self.tracker {
+            t.recovery_read_check(page, off, buf.len());
+        }
+        self.race_check(actor, page, off, buf.len(), false);
         match &slot.data {
             Some(d) => buf.copy_from_slice(&d[off..off + buf.len()]),
             None => buf.fill(0),
@@ -183,11 +196,35 @@ impl NvmDevice {
         slot.prot.check(actor, true)?;
         #[cfg(feature = "faults")]
         self.poison_check_write(page, off, data.len())?;
+        self.race_check(actor, page, off, data.len(), true);
         if let Some(t) = &self.tracker {
             t.record_store(page, off, data.len(), slot.data.as_deref());
         }
         slot.ensure_data()[off..off + data.len()].copy_from_slice(data);
         Ok(())
+    }
+
+    /// Installs a cross-actor race detector. Returns `false` (and leaves
+    /// the existing detector in place) if one was already installed.
+    pub fn set_race_detector(&self, d: Arc<RaceDetector>) -> bool {
+        self.race.set(d).is_ok()
+    }
+
+    /// Reports an access to the installed race detector, if any, one cache
+    /// line at a time. Runs under the page-slot lock, so for a given line
+    /// the detector observes accesses in a deterministic (virtual-time)
+    /// order.
+    #[inline]
+    fn race_check(&self, actor: ActorId, page: PageId, off: usize, len: usize, is_write: bool) {
+        if len == 0 {
+            return;
+        }
+        if let Some(rd) = self.race.get() {
+            let (first, last) = (off / CACHE_LINE, (off + len - 1) / CACHE_LINE);
+            for line in first..=last {
+                rd.on_access(page.0, line as u16, is_write, actor.0 as u64);
+            }
+        }
     }
 
     /// Fails a read overlapping any poisoned line.
@@ -291,20 +328,50 @@ impl NvmDevice {
         Ok(())
     }
 
-    /// `clwb` of the lines covering the range; marks them durable for crash
-    /// injection and charges the (small) flush cost.
+    /// [`Self::write_u64_persist`] with declared publication dependencies:
+    /// the byte ranges that must already be durable when this commit store
+    /// becomes visible (§4.4 "prepare, persist, then publish"). Under the
+    /// `sanitize` feature each dependency line is checked and a
+    /// not-yet-durable one records a `publish-before-persist` hazard;
+    /// without it the dependencies are documentation.
+    pub fn publish_u64(
+        &self,
+        actor: ActorId,
+        page: PageId,
+        off: usize,
+        v: u64,
+        deps: &[(PageId, usize, usize)],
+    ) -> Result<(), ProtError> {
+        #[cfg(feature = "sanitize")]
+        if let Some(t) = &self.tracker {
+            for &(dp, doff, dlen) in deps {
+                t.assert_durable(dp, doff, dlen);
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = deps;
+        self.write_u64_persist(actor, page, off, v)
+    }
+
+    /// `clwb` of the lines covering the range: stages them for the next
+    /// [`Self::fence`] (durability advances at the fence, not here) and
+    /// charges the (small) flush cost.
     pub fn flush(&self, page: PageId, off: usize, len: usize) {
         if let Some(t) = &self.tracker {
             t.flush(page, off, len);
         }
         if in_sim() && len > 0 {
-            let lines = (len as u64).div_ceil(crate::topology::CACHE_LINE as u64);
+            let lines = (len as u64).div_ceil(CACHE_LINE as u64);
             work(lines * CLWB_LINE_NS);
         }
     }
 
-    /// `sfence`.
+    /// `sfence`: retires all staged write-backs, making flushed lines
+    /// durable for crash injection.
     pub fn fence(&self) {
+        if let Some(t) = &self.tracker {
+            t.fence();
+        }
         if in_sim() {
             work(SFENCE_NS);
         }
@@ -345,6 +412,7 @@ impl NvmDevice {
             // that reuses the page without rewriting every line).
             t.record_store(page, 0, PAGE_SIZE, Some(d));
             t.flush(page, 0, PAGE_SIZE);
+            t.fence();
         }
         slot.data = None;
         slot.prot = PageProt::default();
@@ -368,7 +436,9 @@ impl NvmDevice {
         let mut slot = self.slot(page)?.lock();
         if let Some(t) = &self.tracker {
             t.record_store(page, 0, PAGE_SIZE, slot.data.as_deref());
-            t.flush(page, 0, PAGE_SIZE); // Rollback writes are made durable.
+            // Rollback writes are made durable on the spot.
+            t.flush(page, 0, PAGE_SIZE);
+            t.fence();
         }
         slot.ensure_data().copy_from_slice(image);
         // A full-page restore rewrites every line, repairing media errors.
@@ -377,9 +447,9 @@ impl NvmDevice {
         Ok(())
     }
 
-    /// Injects a crash: every line not durable (unflushed, or flushed only
-    /// after an armed [`FaultPlan`] froze durability) is reverted to its
-    /// pre-image. Only meaningful with `track_persistence`. The returned
+    /// Injects a crash: every line not durable (not yet fenced, or fenced
+    /// only after an armed [`FaultPlan`] froze durability) is reverted to
+    /// its pre-image. Only meaningful with `track_persistence`. The returned
     /// [`CrashReport`] is deterministic for a given sim seed and plan.
     pub fn crash(&self) -> CrashReport {
         #[cfg(feature = "faults")]
@@ -421,7 +491,7 @@ impl NvmDevice {
         }
     }
 
-    /// Dirty (unflushed) line count; 0 when tracking is disabled.
+    /// Not-yet-durable (unfenced) line count; 0 when tracking is disabled.
     pub fn dirty_lines(&self) -> usize {
         self.tracker.as_ref().map(|t| t.dirty_lines()).unwrap_or(0)
     }
@@ -488,6 +558,43 @@ impl NvmDevice {
         let before = set.len();
         set.retain(|&(p, _)| p != page.0);
         self.poison_count.fetch_sub(before - set.len(), Ordering::Relaxed);
+    }
+}
+
+/// Persistence-order sanitizer surface (only with the `sanitize` feature;
+/// all methods are no-ops without `track_persistence`).
+#[cfg(feature = "sanitize")]
+impl NvmDevice {
+    /// Quiescence check: records a hazard for every line that is not yet
+    /// durable — `missing-flush` for dirty lines, `missing-fence` for
+    /// flushed-but-unfenced ones. Call where the workload claims all its
+    /// writes have been persisted.
+    pub fn sanitize_quiesce_check(&self) {
+        if let Some(t) = &self.tracker {
+            t.quiesce_check();
+        }
+    }
+
+    /// Arms or disarms recovery mode: while armed, any read overlapping a
+    /// not-yet-durable line records a `read-not-durable` hazard.
+    pub fn set_recovery_mode(&self, on: bool) {
+        if let Some(t) = &self.tracker {
+            t.set_recovery_mode(on);
+        }
+    }
+
+    /// Hazards observed so far (cheap poll; does not clear).
+    pub fn sanitize_hazard_count(&self) -> usize {
+        self.tracker.as_ref().map(|t| t.hazard_count()).unwrap_or(0)
+    }
+
+    /// Takes all hazards observed so far into a [`SanitizeReport`] tagged
+    /// with the run's sim seed, clearing the tracker's hazard list.
+    pub fn take_sanitize_report(&self, seed: u64) -> SanitizeReport {
+        SanitizeReport {
+            seed,
+            hazards: self.tracker.as_ref().map(|t| t.take_hazards()).unwrap_or_default(),
+        }
     }
 }
 
@@ -589,6 +696,7 @@ mod tests {
         d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
         d.copy_to_page(a, PageId(0), 0, b"durable!").unwrap();
         d.flush(PageId(0), 0, 8);
+        d.fence(); // Durability advances at the fence, not the flush.
         d.copy_to_page(a, PageId(0), 64, b"volatile").unwrap();
         assert!(d.dirty_lines() > 0);
         let report = d.crash();
@@ -636,16 +744,19 @@ mod tests {
         let d = NvmDevice::new(cfg);
         let a = ActorId(1);
         d.mmu_map(a, PageId(0), PagePerm::Write).unwrap();
-        // Points: store=0 flush=1 | store=2 flush=3. Crash at point 2: the
-        // first store+flush is durable, the second store never lands.
-        d.arm_crash_plan(FaultPlan::crash_at_point(2));
+        // Points: store=0 flush=1 fence=2 | store=3 flush=4 fence=5. Crash
+        // at point 3: the first store/flush/fence triple is durable, the
+        // second store never lands.
+        d.arm_crash_plan(FaultPlan::crash_at_point(3));
         d.copy_to_page(a, PageId(0), 0, b"first!!!").unwrap();
         d.flush(PageId(0), 0, 8);
+        d.fence();
         d.copy_to_page(a, PageId(0), 64, b"second!!").unwrap();
-        d.flush(PageId(0), 64, 8); // Frozen: no durable effect.
+        d.flush(PageId(0), 64, 8);
+        d.fence(); // Frozen: no durable effect.
         let report = d.crash();
-        assert_eq!(report.crash_point, Some(2));
-        assert_eq!(report.points_seen, 4);
+        assert_eq!(report.crash_point, Some(3));
+        assert_eq!(report.points_seen, 6);
         let mut buf = [0u8; 8];
         d.copy_from_page(a, PageId(0), 0, &mut buf).unwrap();
         assert_eq!(&buf, b"first!!!");

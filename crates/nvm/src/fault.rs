@@ -9,20 +9,23 @@
 //! # Persistence points
 //!
 //! A **persistence point** is any event that changes what would survive a
-//! power loss: every store recorded by the persistence tracker and every
-//! explicit cache-line flush. Points are numbered from 0 in execution order;
-//! because the sim runtime is deterministic, point *k* of a run names the
-//! same event on every run with the same seed.
+//! power loss: every store recorded by the persistence tracker, every
+//! explicit cache-line flush, and every fence. Points are numbered from 0
+//! in execution order; because the sim runtime is deterministic, point *k*
+//! of a run names the same event on every run with the same seed.
 //!
 //! # Freeze semantics
 //!
 //! A plan armed with `crash_at = k` does not abort the workload at point
-//! *k*. Instead the tracker *freezes*: flushes after point *k* no longer
-//! move data into the durable set, while stores keep recording pre-images.
-//! The workload then runs to completion, and a later [`crate::NvmDevice::crash`]
-//! reverts every line that was not durable *as of point k*. This yields
-//! exactly the media image a power cut at point *k* would have left, without
-//! needing to unwind in-flight Rust call stacks.
+//! *k*. Instead the tracker *freezes*: fences after point *k* no longer
+//! retire flushed lines into the durable set, while stores keep recording
+//! pre-images. The workload then runs to completion, and a later
+//! [`crate::NvmDevice::crash`] reverts every line that was not durable *as
+//! of point k*. This yields exactly the media image a power cut at point
+//! *k* would have left, without needing to unwind in-flight Rust call
+//! stacks. (Durability advances at the **fence**, not the flush — a `clwb`
+//! only queues the write-back — so a crash between flush and fence loses
+//! the line, exactly as on real hardware.)
 //!
 //! The hooks are compiled in only under the `faults` cargo feature; release
 //! benchmarks build without it and [`faults_compiled`] reports `false`.
@@ -62,6 +65,24 @@ pub struct CrashReport {
     pub points_seen: u64,
     /// The plan point at which durability froze, if a plan fired.
     pub crash_point: Option<u64>,
+}
+
+impl CrashReport {
+    /// Hand-rolled JSON for CI artifacts (the workspace is dependency-free
+    /// by policy, so no serde; see [`crate::sanitize`] module docs).
+    pub fn to_json(&self) -> String {
+        let pages: Vec<String> = self.affected_pages.iter().map(|p| p.0.to_string()).collect();
+        format!(
+            "{{\"lost_lines\":{},\"affected_pages\":[{}],\"points_seen\":{},\"crash_point\":{}}}",
+            self.lost_lines,
+            pages.join(","),
+            self.points_seen,
+            match self.crash_point {
+                Some(k) => k.to_string(),
+                None => "null".to_string(),
+            }
+        )
+    }
 }
 
 impl std::fmt::Display for CrashReport {
@@ -106,5 +127,26 @@ mod tests {
     #[test]
     fn plan_constructor() {
         assert_eq!(FaultPlan::crash_at_point(7).crash_at, 7);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = CrashReport {
+            lost_lines: 2,
+            affected_pages: vec![PageId(4), PageId(9)],
+            points_seen: 120,
+            crash_point: Some(57),
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"lost_lines\":2,\"affected_pages\":[4,9],\"points_seen\":120,\"crash_point\":57}"
+        );
+        let none = CrashReport {
+            lost_lines: 0,
+            affected_pages: Vec::new(),
+            points_seen: 0,
+            crash_point: None,
+        };
+        assert!(none.to_json().ends_with("\"crash_point\":null}"));
     }
 }

@@ -81,6 +81,20 @@ impl NvmHandle {
         self.dev.write_u64_persist(self.actor, page, off, v)
     }
 
+    /// [`Self::write_u64_persist`] with declared publication dependencies:
+    /// byte ranges `(page, off, len)` that must already be durable when
+    /// this commit store lands. The persistence-order sanitizer checks
+    /// them (`sanitize` feature); otherwise they are documentation.
+    pub fn publish_u64(
+        &self,
+        page: PageId,
+        off: usize,
+        v: u64,
+        deps: &[(PageId, usize, usize)],
+    ) -> Result<(), ProtError> {
+        self.dev.publish_u64(self.actor, page, off, v, deps)
+    }
+
     /// `clwb` + bookkeeping for a range.
     pub fn flush(&self, page: PageId, off: usize, len: usize) {
         self.dev.flush(page, off, len);

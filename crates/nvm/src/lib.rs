@@ -28,11 +28,15 @@ pub mod handle;
 pub mod perf;
 pub mod persist;
 pub mod prot;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod stats;
 pub mod topology;
 
 pub use device::{DeviceConfig, NvmDevice};
 pub use fault::{faults_compiled, CrashReport, FaultPlan};
+#[cfg(feature = "sanitize")]
+pub use sanitize::{Hazard, HazardKind, SanitizeReport};
 pub use handle::NvmHandle;
 pub use perf::BandwidthModel;
 pub use stats::{PathStats, PathStatsSnapshot};

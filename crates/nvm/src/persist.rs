@@ -1,24 +1,38 @@
-//! Cache-line persistence tracking and crash injection.
+//! Cache-line persistence tracking, crash injection, and (with the
+//! `sanitize` feature) persistence-order hazard detection.
 //!
-//! When enabled, every store records the *last-persisted* image of each
-//! cache line it dirties; `flush` discards the pre-image (the line is now
-//! durable). Injecting a crash restores every still-dirty line to its
-//! pre-image — i.e. the store never reached the media. Crash-consistency
-//! tests drive file system operations, crash at chosen points, run
-//! recovery, and assert the invariants the paper's §4.4 design guarantees.
+//! Every store records the *last-persisted* image of each cache line it
+//! dirties, and the line walks a three-state machine:
+//!
+//! ```text
+//!   store            flush             fence
+//! ───────▶  Dirty  ────────▶ Flushed ────────▶ durable (dropped)
+//!             ▲                  │ store
+//!             └──────────────────┘  (StoreWhileFlushed hazard)
+//! ```
+//!
+//! A line becomes durable only at the **fence** following its flush — a
+//! `clwb` alone queues the write-back but guarantees nothing until the
+//! next `sfence` retires. Injecting a crash restores every line that has
+//! not reached the durable state to its pre-image, so both a missing
+//! flush *and* a missing fence are caught by the crash-consistency
+//! sweeps. (Earlier revisions treated a flushed line as durable at flush
+//! time; that blind spot is exactly what this module now closes.)
 //!
 //! With the `faults` feature, the tracker additionally numbers every
-//! *persistence point* (each recorded store and each flush) and can be
-//! armed with a [`FaultPlan`]: once point `crash_at` is reached the tracker
-//! **freezes** — later flushes stop discarding pre-images — so a subsequent
-//! crash reverts the media to its durable state *as of that point*. See
-//! [`crate::fault`] for the model.
+//! *persistence point* (each recorded store, each flush, and each fence)
+//! and can be armed with a [`FaultPlan`]: once point `crash_at` is
+//! reached the tracker **freezes** — later fences stop promoting flushed
+//! lines — so a subsequent crash reverts the media to its durable state
+//! *as of that point*. See [`crate::fault`] for the model.
 //!
-//! Simplification (documented in DESIGN.md): a flushed line is considered
-//! durable at flush time rather than at the next fence, so a missing
-//! *flush* is always caught while a missing *fence* alone is not. ArckFS's
-//! consistency mechanism always pairs them, and the ordering bugs the tests
-//! target are missing/mis-ordered flushes.
+//! With the `sanitize` feature (which implies `faults`), the tracker also
+//! records ordering [`Hazard`]s: redundant flushes, stores into a
+//! flushed-but-unfenced line, publications whose declared dependencies
+//! are not yet durable, recovery-path reads of not-yet-durable lines, and
+//! — at an explicit quiescence check — lines that never got their flush
+//! or fence. Each hazard carries the persistence-point index at which it
+//! was observed, so `(seed, point)` replays it exactly like a crash.
 
 use std::collections::HashMap;
 
@@ -29,28 +43,54 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 #[cfg(feature = "faults")]
 use crate::fault::FaultPlan;
+#[cfg(feature = "sanitize")]
+use crate::sanitize::{Hazard, HazardKind};
 use crate::topology::{PageId, CACHE_LINE, PAGE_SIZE};
 
 /// Sentinel for "no plan armed" / "plan never fired".
 #[cfg(feature = "faults")]
 const UNSET: u64 = u64::MAX;
 
-/// Pre-images of dirty (unflushed) cache lines.
+/// Where a tracked (not yet durable) line sits in the state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LinePhase {
+    /// Stored but not flushed: lost on any crash.
+    Dirty,
+    /// Flushed (`clwb`) but not fenced: still lost on a crash — the
+    /// write-back has been queued, not retired.
+    Flushed,
+}
+
+/// Pre-image and phase of one tracked cache line.
+struct LineState {
+    /// First-store-wins image of the line's last durable contents.
+    preimage: [u8; CACHE_LINE],
+    phase: LinePhase,
+}
+
+/// Pre-images and phases of all not-yet-durable cache lines.
 #[derive(Default)]
 pub struct PersistTracker {
-    dirty: Mutex<HashMap<(u64, u16), [u8; CACHE_LINE]>>,
-    /// Persistence points observed so far (stores + flushes).
+    lines: Mutex<HashMap<(u64, u16), LineState>>,
+    /// Persistence points observed so far (stores + flushes + fences).
     #[cfg(feature = "faults")]
     points: AtomicU64,
     /// Point index at which to freeze durability; `UNSET` = disarmed.
     #[cfg(feature = "faults")]
     crash_at: AtomicU64,
-    /// Once set, flushes no longer discard pre-images.
+    /// Once set, fences no longer promote flushed lines to durable.
     #[cfg(feature = "faults")]
     frozen: AtomicBool,
     /// Point at which the plan fired; `UNSET` until then.
     #[cfg(feature = "faults")]
     fired_at: AtomicU64,
+    /// Ordering hazards observed so far.
+    #[cfg(feature = "sanitize")]
+    hazards: Mutex<Vec<Hazard>>,
+    /// When set, reads overlapping a not-yet-durable line are hazards:
+    /// a recovery path is consuming data a crash could still take away.
+    #[cfg(feature = "sanitize")]
+    recovery_mode: AtomicBool,
 }
 
 impl PersistTracker {
@@ -91,6 +131,16 @@ impl PersistTracker {
         }
     }
 
+    /// Records an ordering hazard, stamped with the index of the most
+    /// recent persistence point (for event-coupled hazards that is the
+    /// offending event itself; for quiescence/read checks it is the last
+    /// event before the check).
+    #[cfg(feature = "sanitize")]
+    fn hazard(&self, kind: HazardKind, page: u64, line: u16) {
+        let point = self.points.load(Ordering::Relaxed).saturating_sub(1);
+        self.hazards.lock().push(Hazard { kind, page, line, point });
+    }
+
     /// Arms a crash plan: durability freezes at persistence point
     /// `plan.crash_at`. Re-arming replaces the previous plan (only a plan
     /// that has not yet fired can be replaced meaningfully).
@@ -123,6 +173,10 @@ impl PersistTracker {
     /// pre-images (they will be reverted by the crash): for a line that was
     /// durable at freeze time, the page content at store time *is* its
     /// durable image, so first-store-wins capture remains correct.
+    ///
+    /// A store into a `Flushed` line demotes it back to `Dirty` (the
+    /// queued write-back no longer covers the new bytes) and, under
+    /// `sanitize`, records a [`HazardKind::StoreWhileFlushed`] hazard.
     pub fn record_store(&self, page: PageId, off: usize, len: usize, current: Option<&[u8]>) {
         debug_assert!(off + len <= PAGE_SIZE);
         if len == 0 {
@@ -131,43 +185,74 @@ impl PersistTracker {
         self.point_tick();
         let first = off / CACHE_LINE;
         let last = (off + len - 1) / CACHE_LINE;
-        let mut dirty = self.dirty.lock();
+        let mut lines = self.lines.lock();
         for line in first..=last {
-            dirty.entry((page.0, line as u16)).or_insert_with(|| {
-                let mut img = [0u8; CACHE_LINE];
-                if let Some(cur) = current {
-                    img.copy_from_slice(&cur[line * CACHE_LINE..(line + 1) * CACHE_LINE]);
+            match lines.entry((page.0, line as u16)) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let mut img = [0u8; CACHE_LINE];
+                    if let Some(cur) = current {
+                        img.copy_from_slice(&cur[line * CACHE_LINE..(line + 1) * CACHE_LINE]);
+                    }
+                    v.insert(LineState { preimage: img, phase: LinePhase::Dirty });
                 }
-                img
-            });
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if o.get().phase == LinePhase::Flushed {
+                        #[cfg(feature = "sanitize")]
+                        self.hazard(HazardKind::StoreWhileFlushed, page.0, line as u16);
+                        o.get_mut().phase = LinePhase::Dirty;
+                    }
+                }
+            }
         }
     }
 
-    /// Marks the lines covering `[off, off+len)` of `page` durable.
+    /// Stages the lines covering `[off, off+len)` of `page` for the next
+    /// fence (`clwb`). The lines stay non-durable until [`Self::fence`].
     ///
-    /// Counts one persistence point. After a freeze the flush is a no-op on
-    /// the durable set: the power failed at the frozen point, so this flush
-    /// never took effect.
+    /// Counts one persistence point. Flushing a clean (already durable)
+    /// line is a no-op — range flushes legitimately cover clean lines —
+    /// but re-flushing an already staged line is, under `sanitize`, a
+    /// [`HazardKind::RedundantFlush`] hazard.
     pub fn flush(&self, page: PageId, off: usize, len: usize) {
         if len == 0 {
             return;
         }
         debug_assert!(off + len <= PAGE_SIZE);
         self.point_tick();
-        if self.is_frozen() {
-            return;
-        }
         let first = off / CACHE_LINE;
         let last = (off + len - 1) / CACHE_LINE;
-        let mut dirty = self.dirty.lock();
+        let mut lines = self.lines.lock();
         for line in first..=last {
-            dirty.remove(&(page.0, line as u16));
+            if let Some(e) = lines.get_mut(&(page.0, line as u16)) {
+                match e.phase {
+                    LinePhase::Dirty => e.phase = LinePhase::Flushed,
+                    LinePhase::Flushed => {
+                        #[cfg(feature = "sanitize")]
+                        self.hazard(HazardKind::RedundantFlush, page.0, line as u16);
+                    }
+                }
+            }
         }
     }
 
-    /// Number of dirty (would-be-lost) lines.
+    /// Retires all staged write-backs (`sfence`): every `Flushed` line
+    /// becomes durable and its pre-image is dropped. `Dirty` lines are
+    /// untouched — a fence orders flushes, it does not replace them.
+    ///
+    /// Counts one persistence point. After a freeze the fence is a no-op
+    /// on the durable set: the power failed at the frozen point, so this
+    /// fence never retired anything.
+    pub fn fence(&self) {
+        self.point_tick();
+        if self.is_frozen() {
+            return;
+        }
+        self.lines.lock().retain(|_, e| e.phase != LinePhase::Flushed);
+    }
+
+    /// Number of not-yet-durable (would-be-lost) lines, dirty or staged.
     pub fn dirty_lines(&self) -> usize {
-        self.dirty.lock().len()
+        self.lines.lock().len()
     }
 
     /// Takes all pre-images, leaving the tracker clean and disarmed. The
@@ -175,10 +260,10 @@ impl PersistTracker {
     /// result is sorted by `(page, offset)` so crash realization — and any
     /// report derived from it — is byte-identical across runs.
     pub fn drain_for_crash(&self) -> Vec<(PageId, usize, [u8; CACHE_LINE])> {
-        let mut dirty = self.dirty.lock();
-        let mut v: Vec<(PageId, usize, [u8; CACHE_LINE])> = dirty
+        let mut lines = self.lines.lock();
+        let mut v: Vec<(PageId, usize, [u8; CACHE_LINE])> = lines
             .drain()
-            .map(|((page, line), img)| (PageId(page), line as usize * CACHE_LINE, img))
+            .map(|((page, line), st)| (PageId(page), line as usize * CACHE_LINE, st.preimage))
             .collect();
         v.sort_unstable_by_key(|(p, off, _)| (p.0, *off));
         #[cfg(feature = "faults")]
@@ -190,17 +275,112 @@ impl PersistTracker {
     }
 }
 
+/// Sanitizer-only surface: hazard collection, quiescence and recovery
+/// checks, publication dependencies.
+#[cfg(feature = "sanitize")]
+impl PersistTracker {
+    /// Quiescence check: at a point where the workload claims everything
+    /// it wrote is durable, any line still `Dirty` is a missing flush and
+    /// any line still `Flushed` is a missing fence. Records one hazard
+    /// per offending line; the lines themselves are left untouched.
+    pub fn quiesce_check(&self) {
+        let lines = self.lines.lock();
+        let mut offenders: Vec<(u64, u16, LinePhase)> =
+            lines.iter().map(|(&(p, l), e)| (p, l, e.phase)).collect();
+        drop(lines);
+        // Deterministic hazard order regardless of hash-map iteration.
+        offenders.sort_unstable_by_key(|&(p, l, _)| (p, l));
+        for (page, line, phase) in offenders {
+            let kind = match phase {
+                LinePhase::Dirty => HazardKind::MissingFlush,
+                LinePhase::Flushed => HazardKind::MissingFence,
+            };
+            self.hazard(kind, page, line);
+        }
+    }
+
+    /// Enters or leaves recovery mode. While set, reads overlapping a
+    /// not-yet-durable line record [`HazardKind::ReadNotDurable`]: a
+    /// recovery or observer path is consuming bytes that a crash at this
+    /// instant would still revert.
+    pub fn set_recovery_mode(&self, on: bool) {
+        self.recovery_mode.store(on, Ordering::Relaxed);
+    }
+
+    /// Read-side check, called by the device on every read while recovery
+    /// mode is armed.
+    pub fn recovery_read_check(&self, page: PageId, off: usize, len: usize) {
+        if len == 0 || !self.recovery_mode.load(Ordering::Relaxed) {
+            return;
+        }
+        let first = off / CACHE_LINE;
+        let last = (off + len - 1) / CACHE_LINE;
+        let lines = self.lines.lock();
+        let mut bad: Vec<u16> = (first..=last)
+            .map(|l| l as u16)
+            .filter(|l| lines.contains_key(&(page.0, *l)))
+            .collect();
+        drop(lines);
+        bad.sort_unstable();
+        for line in bad {
+            self.hazard(HazardKind::ReadNotDurable, page.0, line);
+        }
+    }
+
+    /// Publication dependency check: every line covering `[off, off+len)`
+    /// must already be durable (untracked). Records one
+    /// [`HazardKind::PublishBeforePersist`] hazard per line that is not.
+    pub fn assert_durable(&self, page: PageId, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / CACHE_LINE;
+        let last = (off + len - 1) / CACHE_LINE;
+        let lines = self.lines.lock();
+        let mut bad: Vec<u16> = (first..=last)
+            .map(|l| l as u16)
+            .filter(|l| lines.contains_key(&(page.0, *l)))
+            .collect();
+        drop(lines);
+        bad.sort_unstable();
+        for line in bad {
+            self.hazard(HazardKind::PublishBeforePersist, page.0, line);
+        }
+    }
+
+    /// Takes (and clears) all hazards observed so far.
+    pub fn take_hazards(&self) -> Vec<Hazard> {
+        std::mem::take(&mut *self.hazards.lock())
+    }
+
+    /// Number of hazards observed so far.
+    pub fn hazard_count(&self) -> usize {
+        self.hazards.lock().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn store_then_flush_leaves_nothing_dirty() {
+    fn store_flush_fence_leaves_nothing_tracked() {
         let t = PersistTracker::new();
         t.record_store(PageId(3), 10, 100, None);
         assert_eq!(t.dirty_lines(), 2); // Lines 0 and 1 (bytes 10..110).
         t.flush(PageId(3), 0, 128);
+        // Flushed but not fenced: still revertible.
+        assert_eq!(t.dirty_lines(), 2);
+        t.fence();
         assert_eq!(t.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn fence_without_flush_keeps_dirty_lines() {
+        let t = PersistTracker::new();
+        t.record_store(PageId(1), 0, 64, None);
+        t.fence(); // No flush: the fence has nothing to retire.
+        assert_eq!(t.dirty_lines(), 1);
     }
 
     #[test]
@@ -218,10 +398,23 @@ mod tests {
     }
 
     #[test]
-    fn partial_flush_keeps_other_lines() {
+    fn store_into_flushed_line_demotes_it() {
+        let t = PersistTracker::new();
+        t.record_store(PageId(2), 0, 8, None);
+        t.flush(PageId(2), 0, 8);
+        // The store lands after the clwb was queued: the line must go back
+        // to Dirty so the following fence does NOT make it durable.
+        t.record_store(PageId(2), 8, 8, None);
+        t.fence();
+        assert_eq!(t.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn partial_flush_then_fence_keeps_other_lines() {
         let t = PersistTracker::new();
         t.record_store(PageId(0), 0, 256, None); // Lines 0..4.
         t.flush(PageId(0), 0, 64); // Only line 0.
+        t.fence();
         assert_eq!(t.dirty_lines(), 3);
     }
 
@@ -238,17 +431,129 @@ mod tests {
 
     #[cfg(feature = "faults")]
     #[test]
-    fn freeze_stops_flushes_from_counting() {
+    fn freeze_stops_fences_from_retiring() {
         let t = PersistTracker::new();
-        t.arm(FaultPlan::crash_at_point(1));
+        t.arm(FaultPlan::crash_at_point(2));
         t.record_store(PageId(0), 0, 8, None); // point 0
-        t.flush(PageId(0), 0, 8); // point 1 — plan fires *at* this flush,
-                                  // so the flush itself is already lost.
-        assert_eq!(t.fired_at(), Some(1));
+        t.flush(PageId(0), 0, 8); // point 1
+        t.fence(); // point 2 — plan fires *at* this fence, so the
+                   // retirement itself is already lost.
+        assert_eq!(t.fired_at(), Some(2));
         assert_eq!(t.dirty_lines(), 1);
-        t.record_store(PageId(0), 64, 8, None); // point 2, still recorded
-        t.flush(PageId(0), 64, 8); // point 3, no durable effect
+        t.record_store(PageId(0), 64, 8, None); // point 3, still recorded
+        t.flush(PageId(0), 64, 8); // point 4
+        t.fence(); // point 5, no durable effect
         assert_eq!(t.dirty_lines(), 2);
-        assert_eq!(t.points_seen(), 4);
+        assert_eq!(t.points_seen(), 6);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn fence_before_freeze_is_durable() {
+        let t = PersistTracker::new();
+        t.arm(FaultPlan::crash_at_point(3));
+        t.record_store(PageId(0), 0, 8, None); // point 0
+        t.flush(PageId(0), 0, 8); // point 1
+        t.fence(); // point 2 — durable before the freeze
+        t.record_store(PageId(0), 64, 8, None); // point 3 — freeze fires
+        assert_eq!(t.fired_at(), Some(3));
+        assert_eq!(t.dirty_lines(), 1);
+    }
+
+    #[cfg(feature = "sanitize")]
+    mod sanitize {
+        use super::*;
+        use crate::sanitize::HazardKind;
+
+        fn kinds(t: &PersistTracker) -> Vec<HazardKind> {
+            t.take_hazards().into_iter().map(|h| h.kind).collect()
+        }
+
+        #[test]
+        fn clean_protocol_records_no_hazards() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(1), 0, 100, None);
+            t.flush(PageId(1), 0, 100);
+            t.fence();
+            t.quiesce_check();
+            assert!(kinds(&t).is_empty());
+        }
+
+        #[test]
+        fn missing_flush_and_fence_flagged_at_quiesce() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(1), 0, 8, None); // Never flushed.
+            t.record_store(PageId(2), 0, 8, None);
+            t.flush(PageId(2), 0, 8); // Flushed, never fenced.
+            t.quiesce_check();
+            assert_eq!(kinds(&t), vec![HazardKind::MissingFlush, HazardKind::MissingFence]);
+        }
+
+        #[test]
+        fn redundant_flush_flagged() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(1), 0, 8, None);
+            t.flush(PageId(1), 0, 8);
+            t.flush(PageId(1), 0, 8);
+            assert_eq!(kinds(&t), vec![HazardKind::RedundantFlush]);
+        }
+
+        #[test]
+        fn flushing_clean_lines_is_not_redundant() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(1), 0, 8, None);
+            // A range flush covering clean neighbours is normal.
+            t.flush(PageId(1), 0, PAGE_SIZE);
+            t.fence();
+            assert!(kinds(&t).is_empty());
+        }
+
+        #[test]
+        fn store_while_flushed_flagged() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(1), 0, 8, None);
+            t.flush(PageId(1), 0, 8);
+            t.record_store(PageId(1), 8, 8, None);
+            assert_eq!(kinds(&t), vec![HazardKind::StoreWhileFlushed]);
+        }
+
+        #[test]
+        fn publish_dependency_checked() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(5), 0, 8, None);
+            t.assert_durable(PageId(5), 0, 8); // Dirty: hazard.
+            t.flush(PageId(5), 0, 8);
+            t.assert_durable(PageId(5), 0, 8); // Flushed, unfenced: hazard.
+            t.fence();
+            t.assert_durable(PageId(5), 0, 8); // Durable: clean.
+            assert_eq!(
+                kinds(&t),
+                vec![HazardKind::PublishBeforePersist, HazardKind::PublishBeforePersist]
+            );
+        }
+
+        #[test]
+        fn recovery_reads_of_nondurable_lines_flagged() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(7), 0, 8, None);
+            t.recovery_read_check(PageId(7), 0, 8); // Mode off: clean.
+            t.set_recovery_mode(true);
+            t.recovery_read_check(PageId(7), 0, 8); // Dirty line: hazard.
+            t.recovery_read_check(PageId(8), 0, 8); // Untracked: clean.
+            t.set_recovery_mode(false);
+            assert_eq!(kinds(&t), vec![HazardKind::ReadNotDurable]);
+        }
+
+        #[test]
+        fn hazards_carry_replayable_points() {
+            let t = PersistTracker::new();
+            t.record_store(PageId(1), 0, 8, None); // point 0
+            t.flush(PageId(1), 0, 8); // point 1
+            t.flush(PageId(1), 0, 8); // point 2 — redundant
+            let h = t.take_hazards();
+            assert_eq!(h.len(), 1);
+            assert_eq!(h[0].point, 2);
+            assert_eq!(h[0].page, 1);
+        }
     }
 }

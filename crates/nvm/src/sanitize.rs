@@ -1,0 +1,209 @@
+//! Persistence-order sanitizer types: hazards and structured reports.
+//!
+//! Compiled only with the `sanitize` feature (which implies `faults`, so
+//! every hazard carries the persistence-point index of the fault engine —
+//! the same `(seed, point)` pair that replays a crash replays a hazard).
+//!
+//! The tracker records hazards instead of panicking: a workload runs to
+//! completion, then the harness collects a [`SanitizeReport`] and decides.
+//! That keeps hazard detection composable with the crash sweeps (which
+//! must run the workload to its end) and makes "the unmutated path is
+//! report-clean" a positive assertion rather than the absence of a panic.
+//!
+//! # Serialization
+//!
+//! The workspace is dependency-free by policy, so instead of deriving
+//! `serde::Serialize` the reports hand-roll the tiny JSON subset they need
+//! ([`SanitizeReport::to_json`], [`crate::CrashReport::to_json`]) and CI
+//! dumps them with [`dump_artifact`]. The output is plain JSON; anything
+//! that can read a serde dump can read these.
+
+use std::fmt;
+
+/// One persistence-ordering violation observed by the tracker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HazardKind {
+    /// A line was still `Dirty` (never flushed) at a quiescence check.
+    MissingFlush,
+    /// A line was still `Flushed` (never fenced) at a quiescence check.
+    MissingFence,
+    /// A line already staged for write-back was flushed again before any
+    /// fence — wasted `clwb` work, and usually a sign of confused
+    /// flush bookkeeping.
+    RedundantFlush,
+    /// A store landed in a line between its flush and the fence — the
+    /// queued write-back no longer covers the new bytes, so the code
+    /// path's "flush then fence" reasoning is broken.
+    StoreWhileFlushed,
+    /// A publication (8-byte commit store) declared a dependency on a
+    /// range that was not yet durable: readers can observe the commit
+    /// before the data it commits.
+    PublishBeforePersist,
+    /// A recovery path read a line that is not yet durable: it is
+    /// consuming bytes a crash at this instant would revert.
+    ReadNotDurable,
+}
+
+impl HazardKind {
+    /// Stable machine-readable name (used in JSON and diagnostics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HazardKind::MissingFlush => "missing-flush",
+            HazardKind::MissingFence => "missing-fence",
+            HazardKind::RedundantFlush => "redundant-flush",
+            HazardKind::StoreWhileFlushed => "store-while-flushed",
+            HazardKind::PublishBeforePersist => "publish-before-persist",
+            HazardKind::ReadNotDurable => "read-not-durable",
+        }
+    }
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One hazard occurrence: what, where, and when (persistence point).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hazard {
+    /// The violation class.
+    pub kind: HazardKind,
+    /// Page holding the offending cache line.
+    pub page: u64,
+    /// Cache-line index within the page.
+    pub line: u16,
+    /// Persistence point at which the hazard was observed. With the run's
+    /// seed this replays the exact event (same numbering the fault
+    /// engine's crash plans use).
+    pub point: u64,
+}
+
+impl Hazard {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"page\":{},\"line\":{},\"point\":{}}}",
+            self.kind.as_str(),
+            self.page,
+            self.line,
+            self.point
+        )
+    }
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on page {} line {} at persistence point {}",
+            self.kind, self.page, self.line, self.point
+        )
+    }
+}
+
+/// The sanitizer's verdict on one run: the sim seed plus every hazard, in
+/// observation order. Empty `hazards` means the run was sanitizer-clean.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Seed of the deterministic run that produced these hazards.
+    pub seed: u64,
+    /// All hazards observed, in persistence-point order.
+    pub hazards: Vec<Hazard>,
+}
+
+impl SanitizeReport {
+    /// `true` when no hazards were observed.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.is_empty()
+    }
+
+    /// Hazards of one kind (mutation tests assert on exactly one class).
+    pub fn of_kind(&self, kind: HazardKind) -> Vec<Hazard> {
+        self.hazards.iter().copied().filter(|h| h.kind == kind).collect()
+    }
+
+    /// Hand-rolled JSON (see module docs for why not serde).
+    pub fn to_json(&self) -> String {
+        let hazards: Vec<String> = self.hazards.iter().map(|h| h.to_json()).collect();
+        format!("{{\"seed\":{},\"hazards\":[{}]}}", self.seed, hazards.join(","))
+    }
+}
+
+impl fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "sanitize report: clean (seed {:#x})", self.seed);
+        }
+        writeln!(
+            f,
+            "sanitize report: {} hazard(s), seed {:#x} — replay with (seed, point):",
+            self.hazards.len(),
+            self.seed
+        )?;
+        for h in &self.hazards {
+            writeln!(f, "  {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes a JSON report to `target/sanitize-report.json` (relative to the
+/// working directory, which for `cargo test` is the package root) so CI
+/// uploads a replayable artifact instead of a truncated panic message.
+/// Returns the path written. Errors are returned, not swallowed — but
+/// callers on a failure path typically `ok()` them: a failed dump must not
+/// mask the test failure itself.
+pub fn dump_artifact(json: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("sanitize-report.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let r = SanitizeReport {
+            seed: 7,
+            hazards: vec![
+                Hazard { kind: HazardKind::MissingFence, page: 4, line: 2, point: 19 },
+                Hazard { kind: HazardKind::RedundantFlush, page: 9, line: 0, point: 33 },
+            ],
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"seed\":7,\"hazards\":[\
+             {\"kind\":\"missing-fence\",\"page\":4,\"line\":2,\"point\":19},\
+             {\"kind\":\"redundant-flush\",\"page\":9,\"line\":0,\"point\":33}]}"
+        );
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = SanitizeReport { seed: 1, hazards: Vec::new() };
+        assert!(r.is_clean());
+        assert_eq!(r.to_json(), "{\"seed\":1,\"hazards\":[]}");
+        assert!(r.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn display_lists_replay_pairs() {
+        let r = SanitizeReport {
+            seed: 0xA5,
+            hazards: vec![Hazard {
+                kind: HazardKind::PublishBeforePersist,
+                page: 12,
+                line: 3,
+                point: 101,
+            }],
+        };
+        let s = r.to_string();
+        assert!(s.contains("publish-before-persist"));
+        assert!(s.contains("point 101"));
+        assert!(s.contains("0xa5"));
+    }
+}

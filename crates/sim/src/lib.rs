@@ -46,11 +46,13 @@
 
 pub mod cost;
 pub mod plock;
+pub mod race;
 pub mod rng;
 pub mod runtime;
 pub mod sync;
 pub mod time;
 
+pub use race::{RaceDetector, VectorClock};
 pub use runtime::{
     current_tid,
     in_sim,

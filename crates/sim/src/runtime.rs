@@ -11,12 +11,14 @@ use std::{
     cell::RefCell,
     cmp::Reverse,
     collections::BinaryHeap,
+    sync::atomic::{AtomicBool, Ordering},
     sync::Arc,
     thread,
 };
 
 use crate::plock::{Condvar, Mutex, MutexGuard};
 
+use crate::race::{vc_join, VectorClock};
 use crate::time::Nanos;
 
 thread_local! {
@@ -166,6 +168,11 @@ struct ThreadSlot {
     /// Fault injection: set by [`JoinHandle::kill`]/[`SimRuntime::kill`]; the
     /// thread unwinds (cleanly, releasing its locks) at its next sim point.
     doomed: bool,
+    /// Vector clock for race detection (empty unless
+    /// [`SimRuntime::enable_race_detection`] was called). Indexed by tid;
+    /// `vc[tid]` is this thread's own epoch, initialized to 1 lazily so
+    /// fresh threads are never "covered" by a default clock.
+    vc: Vec<u64>,
 }
 
 pub(crate) struct SchedState {
@@ -186,6 +193,9 @@ pub(crate) struct Inner {
     pub(crate) sched: Mutex<SchedState>,
     done_cvar: Condvar,
     seed: u64,
+    /// Vector-clock maintenance switch (off by default: zero overhead on
+    /// the sync primitives unless a test opts in).
+    race: AtomicBool,
 }
 
 /// Message used to unwind a sim-thread when the whole simulation aborts
@@ -396,9 +406,22 @@ impl Inner {
         let mut st = inner.sched.lock();
         assert!(!st.finished, "spawn on a finished SimRuntime");
         let tid = st.threads.len();
-        let start_time = CURRENT.with(|c| {
-            c.borrow().as_ref().map(|(_, me)| Inner::time_of(&st, *me)).unwrap_or(0)
-        });
+        let parent = CURRENT.with(|c| c.borrow().as_ref().map(|(_, me)| *me));
+        let start_time = parent.map(|me| Inner::time_of(&st, me)).unwrap_or(0);
+        // Spawn is a release edge: the child inherits everything the parent
+        // has done so far, then the parent moves to a fresh epoch.
+        let mut vc = Vec::new();
+        if inner.race.load(Ordering::Relaxed) {
+            if let Some(p) = parent {
+                Self::vc_init(&mut st, p);
+                vc = st.threads[p].vc.clone();
+                st.threads[p].vc[p] += 1;
+            }
+            if vc.len() <= tid {
+                vc.resize(tid + 1, 0);
+            }
+            vc[tid] = 1;
+        }
         st.threads.push(ThreadSlot {
             name: format!("{name}-{tid}"),
             park: Arc::new(Park::new()),
@@ -408,6 +431,7 @@ impl Inner {
             os_handle: None,
             gen: 0,
             doomed: false,
+            vc,
         });
         st.live += 1;
         let seq = st.seq;
@@ -470,11 +494,14 @@ impl JoinHandle {
             if end > st.threads[me].time {
                 st.threads[me].time = end;
             }
+            Inner::join_clock(&self.inner, &mut st, me, self.tid);
             return;
         }
         st.threads[self.tid].join_waiters.push(me);
         drop(st);
         self.inner.block_current(me);
+        let mut st = self.inner.sched.lock();
+        Inner::join_clock(&self.inner, &mut st, me, self.tid);
     }
 
     /// The sim-thread id of the target thread.
@@ -521,8 +548,18 @@ impl SimRuntime {
                 }),
                 done_cvar: Condvar::new(),
                 seed,
+                race: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Turns on vector-clock maintenance for this runtime (spawn/join
+    /// edges, [`crate::sync`] primitives, and the [`crate::race`] clock
+    /// API). Off by default: without it every clock operation is a single
+    /// relaxed load. Enable *before* spawning for full coverage; threads
+    /// spawned earlier get a fresh clock lazily and appear unordered.
+    pub fn enable_race_detection(&self) {
+        self.inner.race.store(true, Ordering::Relaxed);
     }
 
     /// Caps the virtual clock; exceeding it aborts the simulation. Useful as
@@ -595,9 +632,114 @@ pub(crate) fn with_inner<R>(f: impl FnOnce(&Arc<Inner>, usize) -> R) -> R {
     with_current(f)
 }
 
+// ---------------------------------------------------------------------
+// Vector-clock API (used by `sync` primitives and `race::RaceDetector`).
+// Every function is a no-op / cheap default outside a sim-thread or when
+// the runtime has not called `enable_race_detection`.
+// ---------------------------------------------------------------------
+
+/// Whether the calling sim-thread's runtime maintains vector clocks.
+pub fn race_clocks_on() -> bool {
+    in_sim() && with_current(|inner, _| inner.race.load(Ordering::Relaxed))
+}
+
+/// The calling thread's `(tid, epoch)` pair — the identity a memory access
+/// is recorded under. Epochs start at 1.
+pub fn clock_epoch() -> (usize, u64) {
+    with_current(|inner, me| {
+        let mut st = inner.sched.lock();
+        Inner::vc_init(&mut st, me);
+        (me, st.threads[me].vc[me])
+    })
+}
+
+/// Whether the calling thread's clock already covers (happens-after) the
+/// access `(tid, epoch)`.
+pub fn clock_covers(tid: usize, epoch: u64) -> bool {
+    with_current(|inner, me| {
+        let st = inner.sched.lock();
+        st.threads[me].vc.get(tid).copied().unwrap_or(0) >= epoch
+    })
+}
+
+/// Acquire edge: joins `clock` into the calling thread's vector clock.
+/// Everything the releasing thread did before its release now
+/// happens-before everything this thread does next.
+pub fn clock_acquire(clock: &VectorClock) {
+    if !race_clocks_on() {
+        return;
+    }
+    with_current(|inner, me| {
+        let mut st = inner.sched.lock();
+        Inner::vc_init(&mut st, me);
+        vc_join(&mut st.threads[me].vc, &clock.0);
+    });
+}
+
+/// Release edge: joins the calling thread's clock into `clock`, then
+/// advances the caller's own epoch so later accesses are not covered by
+/// this release.
+pub fn clock_release(clock: &mut VectorClock) {
+    if !race_clocks_on() {
+        return;
+    }
+    with_current(|inner, me| {
+        let mut st = inner.sched.lock();
+        Inner::vc_init(&mut st, me);
+        vc_join(&mut clock.0, &st.threads[me].vc);
+        st.threads[me].vc[me] += 1;
+    });
+}
+
+/// Release edge into a fresh clock — for message passing, where each
+/// message carries the sender's clock at send time.
+pub fn clock_release_snapshot() -> VectorClock {
+    let mut c = VectorClock::new();
+    clock_release(&mut c);
+    c
+}
+
+/// Display name of sim-thread `tid` on the calling thread's runtime
+/// (`"<spawn-name>-<tid>"`), or `"?"` if out of range.
+pub fn thread_name(tid: usize) -> String {
+    with_current(|inner, _| {
+        let st = inner.sched.lock();
+        st.threads.get(tid).map(|t| t.name.clone()).unwrap_or_else(|| "?".to_string())
+    })
+}
+
+/// Seed of the calling sim-thread's runtime (for replay diagnostics).
+pub fn current_seed() -> u64 {
+    with_current(|inner, _| inner.seed())
+}
+
 impl Inner {
     pub(crate) fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Lazily initializes `tid`'s own vector-clock component (so enabling
+    /// detection after threads were spawned still works).
+    fn vc_init(st: &mut SchedState, tid: usize) {
+        let vc = &mut st.threads[tid].vc;
+        if vc.len() <= tid {
+            vc.resize(tid + 1, 0);
+        }
+        if vc[tid] == 0 {
+            vc[tid] = 1;
+        }
+    }
+
+    /// Join is an acquire edge: the joiner inherits the target's final
+    /// clock. No-op when race detection is off.
+    fn join_clock(inner: &Arc<Inner>, st: &mut SchedState, me: usize, target: usize) {
+        if !inner.race.load(Ordering::Relaxed) {
+            return;
+        }
+        Self::vc_init(st, me);
+        let tvc = std::mem::take(&mut st.threads[target].vc);
+        vc_join(&mut st.threads[me].vc, &tvc);
+        st.threads[target].vc = tvc;
     }
 
     /// Current virtual time of `tid`.

@@ -2,11 +2,16 @@
 
 use crate::plock::Mutex as PlMutex;
 
-use crate::runtime::with_inner;
+use crate::race::VectorClock;
+use crate::runtime::{clock_acquire, clock_release, with_inner};
 
 struct BarrierState {
     n: usize,
     waiting: Vec<usize>,
+    /// Race-detection clock: every arriver releases into it and acquires
+    /// it on resume, so all pre-barrier work happens-before all
+    /// post-barrier work.
+    clock: VectorClock,
 }
 
 /// A reusable barrier: the `n`-th arriving sim-thread releases everyone, and
@@ -44,7 +49,13 @@ impl SimBarrier {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
-        SimBarrier { state: PlMutex::new(BarrierState { n, waiting: Vec::new() }) }
+        SimBarrier {
+            state: PlMutex::new(BarrierState {
+                n,
+                waiting: Vec::new(),
+                clock: VectorClock::new(),
+            }),
+        }
     }
 
     /// Blocks until `n` threads have arrived. Returns `true` on the thread
@@ -52,8 +63,10 @@ impl SimBarrier {
     pub fn wait(&self) -> bool {
         with_inner(|inner, me| {
             let mut st = self.state.lock();
+            clock_release(&mut st.clock);
             if st.waiting.len() + 1 == st.n {
                 let woken = std::mem::take(&mut st.waiting);
+                clock_acquire(&st.clock);
                 drop(st);
                 // The scheduler runs the minimum-time thread first, so the
                 // last arriver holds the maximum timestamp; release everyone
@@ -66,6 +79,7 @@ impl SimBarrier {
                 st.waiting.push(me);
                 drop(st);
                 inner.block_current(me);
+                clock_acquire(&self.state.lock().clock);
                 false
             }
         })

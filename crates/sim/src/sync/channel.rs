@@ -10,7 +10,8 @@ use std::collections::VecDeque;
 use crate::plock::Mutex as PlMutex;
 
 use crate::cost;
-use crate::runtime::with_inner;
+use crate::race::VectorClock;
+use crate::runtime::{clock_acquire, clock_release_snapshot, with_inner};
 use crate::time::Nanos;
 
 /// Outcome of [`SimChannel::recv_deadline`].
@@ -25,7 +26,11 @@ pub enum RecvDeadline<T> {
 }
 
 struct Chan<T> {
-    q: VecDeque<T>,
+    /// Each message carries the sender's vector clock at send time, so a
+    /// receive is an acquire of everything the sender did first — this is
+    /// what orders a delegated write against the client that requested it.
+    /// The clock is empty (no allocation) when race detection is off.
+    q: VecDeque<(T, VectorClock)>,
     cap: usize,
     send_waiters: VecDeque<usize>,
     recv_waiters: VecDeque<usize>,
@@ -107,7 +112,10 @@ impl<T> SimChannel<T> {
                     return Outcome::Closed;
                 }
                 if st.cap == 0 || st.q.len() < st.cap {
-                    st.q.push_back(slot.take().expect("send value present"));
+                    st.q.push_back((
+                        slot.take().expect("send value present"),
+                        clock_release_snapshot(),
+                    ));
                     if let Some(r) = st.recv_waiters.pop_front() {
                         inner.wake_from(me, r, cost::RING_HOP_NS);
                     }
@@ -136,7 +144,7 @@ impl<T> SimChannel<T> {
             if st.closed || (st.cap != 0 && st.q.len() >= st.cap) {
                 return Err(v);
             }
-            st.q.push_back(v);
+            st.q.push_back((v, clock_release_snapshot()));
             if let Some(r) = st.recv_waiters.pop_front() {
                 inner.wake_from(me, r, cost::RING_HOP_NS);
             }
@@ -150,10 +158,11 @@ impl<T> SimChannel<T> {
         loop {
             let got = with_inner(|inner, me| {
                 let mut st = self.state.lock();
-                if let Some(item) = st.q.pop_front() {
+                if let Some((item, clock)) = st.q.pop_front() {
                     if let Some(s) = st.send_waiters.pop_front() {
                         inner.wake_from(me, s, cost::RING_HOP_NS);
                     }
+                    clock_acquire(&clock);
                     return Some(Some(item));
                 }
                 if st.closed {
@@ -197,10 +206,11 @@ impl<T> SimChannel<T> {
                 // clear it so a later sender never tries to wake a thread
                 // that already gave up.
                 st.recv_waiters.retain(|&w| w != me);
-                if let Some(item) = st.q.pop_front() {
+                if let Some((item, clock)) = st.q.pop_front() {
                     if let Some(s) = st.send_waiters.pop_front() {
                         inner.wake_from(me, s, cost::RING_HOP_NS);
                     }
+                    clock_acquire(&clock);
                     return Some(RecvDeadline::Ok(item));
                 }
                 if st.closed {
@@ -225,12 +235,13 @@ impl<T> SimChannel<T> {
         with_inner(|inner, me| {
             let mut st = self.state.lock();
             let item = st.q.pop_front();
-            if item.is_some() {
+            item.map(|(v, clock)| {
                 if let Some(s) = st.send_waiters.pop_front() {
                     inner.wake_from(me, s, cost::RING_HOP_NS);
                 }
-            }
-            item
+                clock_acquire(&clock);
+                v
+            })
         })
     }
 

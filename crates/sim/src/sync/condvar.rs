@@ -5,7 +5,8 @@ use std::collections::VecDeque;
 use crate::plock::Mutex as PlMutex;
 
 use crate::cost;
-use crate::runtime::with_inner;
+use crate::race::VectorClock;
+use crate::runtime::{clock_acquire, clock_release, with_inner};
 use crate::sync::SimMutexGuard;
 
 /// A condition variable for use with [`SimMutex`].
@@ -41,6 +42,9 @@ use crate::sync::SimMutexGuard;
 /// ```
 pub struct SimCondvar {
     waiters: PlMutex<VecDeque<usize>>,
+    /// Race-detection clock: notifiers release into it, woken waiters
+    /// acquire it (in addition to the mutex clock they re-acquire).
+    clock: PlMutex<VectorClock>,
 }
 
 impl Default for SimCondvar {
@@ -52,7 +56,10 @@ impl Default for SimCondvar {
 impl SimCondvar {
     /// Creates an empty condition variable.
     pub fn new() -> Self {
-        SimCondvar { waiters: PlMutex::new(VecDeque::new()) }
+        SimCondvar {
+            waiters: PlMutex::new(VecDeque::new()),
+            clock: PlMutex::new(VectorClock::new()),
+        }
     }
 
     /// Atomically releases `guard` and blocks until notified, then
@@ -64,12 +71,14 @@ impl SimCondvar {
         });
         drop(guard);
         with_inner(|inner, me| inner.block_current(me));
+        clock_acquire(&self.clock.lock());
         mutex.lock()
     }
 
     /// Wakes the longest-waiting thread, if any. Returns whether a thread
     /// was woken.
     pub fn notify_one(&self) -> bool {
+        clock_release(&mut self.clock.lock());
         with_inner(|inner, me| {
             let next = self.waiters.lock().pop_front();
             match next {
@@ -84,6 +93,7 @@ impl SimCondvar {
 
     /// Wakes all waiting threads. Returns how many were woken.
     pub fn notify_all(&self) -> usize {
+        clock_release(&mut self.clock.lock());
         with_inner(|inner, me| {
             let drained: Vec<usize> = self.waiters.lock().drain(..).collect();
             let n = drained.len();

@@ -6,12 +6,18 @@ use std::ops::{Deref, DerefMut};
 use crate::plock::{self as parking_lot, Mutex as PlMutex};
 
 use crate::cost;
-use crate::runtime::with_inner;
+use crate::race::VectorClock;
+use crate::runtime::{clock_acquire, clock_release, with_inner};
 use crate::time::Nanos;
 
 struct VState {
     held_by: Option<usize>,
     waiters: VecDeque<usize>,
+    /// Race-detection clock: released into on unlock, acquired on lock, so
+    /// everything done under the mutex is happens-before-ordered for the
+    /// next owner. Empty (and untouched) unless the runtime enables
+    /// race detection.
+    clock: VectorClock,
 }
 
 /// A mutual-exclusion lock whose contention is accounted on the virtual
@@ -59,7 +65,11 @@ impl<T> SimMutex<T> {
     /// spinlock (KVFS, paper §5) versus a heavier queued lock.
     pub fn with_costs(data: T, acquire_ns: Nanos, handoff_ns: Nanos) -> Self {
         SimMutex {
-            v: PlMutex::new(VState { held_by: None, waiters: VecDeque::new() }),
+            v: PlMutex::new(VState {
+                held_by: None,
+                waiters: VecDeque::new(),
+                clock: VectorClock::new(),
+            }),
             data: PlMutex::new(data),
             acquire_ns,
             handoff_ns,
@@ -80,6 +90,7 @@ impl<T> SimMutex<T> {
             let mut v = self.v.lock();
             if v.held_by.is_none() {
                 v.held_by = Some(me);
+                clock_acquire(&v.clock);
                 drop(v);
                 inner.charge(me, self.acquire_ns);
             } else {
@@ -87,6 +98,7 @@ impl<T> SimMutex<T> {
                 drop(v);
                 // The releaser transfers ownership to us before waking us.
                 inner.block_current(me);
+                clock_acquire(&self.v.lock().clock);
             }
         });
         SimMutexGuard { mutex: self, virtually_held: true, real: Some(self.data.lock()) }
@@ -112,6 +124,7 @@ impl<T> SimMutex<T> {
         with_inner(|inner, me| {
             let mut v = self.v.lock();
             debug_assert_eq!(v.held_by, Some(me), "guard dropped by non-owner");
+            clock_release(&mut v.clock);
             if let Some(next) = v.waiters.pop_front() {
                 v.held_by = Some(next);
                 inner.wake_from(me, next, self.handoff_ns);

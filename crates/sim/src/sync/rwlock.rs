@@ -6,7 +6,8 @@ use std::ops::{Deref, DerefMut};
 use crate::plock::{self as parking_lot, Mutex as PlMutex, RwLock as PlRwLock};
 
 use crate::cost;
-use crate::runtime::with_inner;
+use crate::race::VectorClock;
+use crate::runtime::{clock_acquire, clock_release, with_inner};
 use crate::time::Nanos;
 
 struct VState {
@@ -15,6 +16,10 @@ struct VState {
     /// FIFO of `(tid, is_writer)` — fair queueing, with consecutive readers
     /// admitted as a batch.
     waiters: VecDeque<(usize, bool)>,
+    /// Race-detection clock. One clock for the whole lock: releasing
+    /// readers also join it, which adds a (harmless but imprecise) false
+    /// ordering edge between sibling readers — see `crate::race` docs.
+    clock: VectorClock,
 }
 
 /// A readers–writer lock accounted on the virtual clock.
@@ -58,7 +63,12 @@ impl<T> SimRwLock<T> {
     /// Creates a lock with explicit acquire/hand-off costs.
     pub fn with_costs(data: T, acquire_ns: Nanos, handoff_ns: Nanos) -> Self {
         SimRwLock {
-            v: PlMutex::new(VState { writer: None, readers: 0, waiters: VecDeque::new() }),
+            v: PlMutex::new(VState {
+                writer: None,
+                readers: 0,
+                waiters: VecDeque::new(),
+                clock: VectorClock::new(),
+            }),
             data: PlRwLock::new(data),
             acquire_ns,
             handoff_ns,
@@ -75,12 +85,14 @@ impl<T> SimRwLock<T> {
             let mut v = self.v.lock();
             if v.writer.is_none() && v.waiters.is_empty() {
                 v.readers += 1;
+                clock_acquire(&v.clock);
                 drop(v);
                 inner.charge(me, self.acquire_ns);
             } else {
                 v.waiters.push_back((me, false));
                 drop(v);
                 inner.block_current(me);
+                clock_acquire(&self.v.lock().clock);
             }
         });
         SimRwLockReadGuard { lock: self, virtually_held: true, real: Some(self.data.read()) }
@@ -96,12 +108,14 @@ impl<T> SimRwLock<T> {
             let mut v = self.v.lock();
             if v.writer.is_none() && v.readers == 0 && v.waiters.is_empty() {
                 v.writer = Some(me);
+                clock_acquire(&v.clock);
                 drop(v);
                 inner.charge(me, self.acquire_ns);
             } else {
                 v.waiters.push_back((me, true));
                 drop(v);
                 inner.block_current(me);
+                clock_acquire(&self.v.lock().clock);
             }
         });
         SimRwLockWriteGuard { lock: self, virtually_held: true, real: Some(self.data.write()) }
@@ -152,6 +166,7 @@ impl<T> SimRwLock<T> {
             let mut v = self.v.lock();
             debug_assert!(v.readers > 0);
             v.readers -= 1;
+            clock_release(&mut v.clock);
             if v.readers == 0 {
                 self.admit(&mut v, me);
             }
@@ -163,6 +178,7 @@ impl<T> SimRwLock<T> {
             let mut v = self.v.lock();
             debug_assert_eq!(v.writer, Some(me));
             v.writer = None;
+            clock_release(&mut v.clock);
             self.admit(&mut v, me);
         });
     }

@@ -28,6 +28,11 @@
 //! one scan of directory data pages, plus provenance lookups through the
 //! [`ResourceView`] the kernel controller exposes.
 
+// The whole crate is plain safe Rust over the typed NvmHandle API; the
+// xtask lint (safety-comment rule) found zero unsafe blocks, and this
+// attribute keeps it that way.
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 
 use trio_fsapi::path::validate_name;

@@ -1,0 +1,58 @@
+//! Lint fixture: one function per `cargo xtask lint` rule, violating and
+//! conforming variants side by side. `xtask`'s `fixture_trips_every_rule`
+//! test pins the expected findings; keep the marker comments intact.
+
+use std::sync::Mutex; // trips no-std-sync
+
+pub struct Dev;
+impl Dev {
+    pub fn copy_from_page(&self, _p: u64, _o: usize, _b: &mut [u8]) {}
+    pub fn copy_to_page(&self, _p: u64, _o: usize, _b: &[u8]) {}
+}
+
+pub struct H;
+impl H {
+    pub fn flush(&self, _p: u64, _o: usize, _l: usize) {}
+    pub fn fence(&self) {}
+}
+
+pub fn raw_access(dev: &Dev, buf: &mut [u8]) {
+    dev.copy_from_page(0, 0, buf); // trips raw-device-access
+    dev.copy_to_page(0, 0, buf); // trips raw-device-access
+}
+
+pub fn spawn_untracked() {
+    let _guard = Mutex::new(0u32);
+    let t = std::thread::spawn(|| {}); // trips no-std-sync
+    let _ = t.join();
+}
+
+pub fn paired_flush_is_clean(h: &H) {
+    h.flush(1, 0, 64);
+    h.fence(); // pairs the flush above: no finding
+}
+
+pub fn annotated_flush_is_clean(h: &H) {
+    // lint: allow(flush-fence) suppressed: caller fences the batch
+    h.flush(2, 0, 64);
+}
+
+pub fn bare_allow_is_reported(h: &H) {
+    // lint: allow(flush-fence)
+    h.flush(3, 0, 64); // reported: allow without a reason
+}
+
+// SAFETY: fixture demonstrates a documented unsafe block — no finding.
+pub unsafe fn documented(p: *mut u8) {
+    *p = 1;
+}
+
+pub unsafe fn missing_safety_comment(p: *mut u8) {
+    // trips safety-comment
+    *p = 0;
+}
+
+// Kept last and >12 lines from any fence so the pairing scan cannot see one.
+pub fn unpaired_flush(h: &H) {
+    h.flush(4, 0, 64); // trips flush-fence
+}

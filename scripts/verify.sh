@@ -15,8 +15,36 @@ echo "== lint gate: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
 echo
+echo "== lint gate: cargo xtask lint =="
+# Project-specific static pass (DESIGN.md §13): raw-device-access,
+# no-std-sync, safety-comment, flush-fence. Must be clean on the
+# workspace and must still flag every rule on its fixture crate.
+cargo xtask lint
+if cargo xtask lint crates/xtask/fixtures/lint-fixture > /dev/null 2>&1; then
+    echo "FAIL: xtask lint did not flag the rule-violating fixture." >&2
+    exit 1
+fi
+echo "OK: fixture crate still trips the lint."
+
+echo
 echo "== crash-point sweep (pinned seed, all points) =="
 cargo test --test crash_sweep -- --nocapture
+
+echo
+echo "== sanitize gates: mutation tests + sampled sanitized sweep =="
+# The persistence-order sanitizer must catch each seeded mutant (dropped
+# flush, dropped fence, publish-before-persist) and report the unmutated
+# paths clean. The sweep runs sampled: the sanitizer makes each point
+# pricier, and the plain build above already swept exhaustively.
+cargo test -q --features sanitize --test sanitize_mutations
+TRIO_SWEEP_SAMPLE=13 cargo test -q --features sanitize --test crash_sweep
+# The scalability data path must also run (and pass) with the sanitizer
+# hooks compiled in — catches cfg drift between the two builds.
+cargo test -q --features sanitize --test datapath
+
+echo
+echo "== race-detector gate: cross-LibFS races + clean delegated path =="
+cargo test -q --test race_detect
 
 echo
 echo "== zero-overhead gate: standalone trio-bench (no 'faults' feature) =="

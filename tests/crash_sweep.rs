@@ -378,12 +378,20 @@ fn sweep_one(seed: u64, k: u64) -> (String, String) {
     let completed = run_trace(&dev, &fs, &ops, seed);
     let jpages = fs.journal_pages();
     drop(fs);
+    // Captured before `crash()` drains the tracker and resets the plan.
+    #[cfg(feature = "sanitize")]
+    let fired_at = dev.crash_plan_fired();
     let report = dev.crash();
     let report_str = format!("{report}");
     let ctx = format!("seed={seed} crash_point={k} completed_ops={completed}\n{report_str}");
 
     // Recovery: LibFS journal undo first (it rewrites dirents the kernel
-    // walk will read), then the kernel's provenance-rebuilding walk.
+    // walk will read), then the kernel's provenance-rebuilding walk. With
+    // the sanitizer on, recovery-mode read checks flag any recovery read
+    // of a line that is not durable (i.e. one recovery itself dirtied and
+    // has not yet fenced — a crash-idempotence bug).
+    #[cfg(feature = "sanitize")]
+    dev.set_recovery_mode(true);
     let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
     arckfs::journal::Journal::recover(&kh, &jpages)
         .unwrap_or_else(|e| panic!("journal recovery failed: {e:?}\n{ctx}"));
@@ -391,6 +399,8 @@ fn sweep_one(seed: u64, k: u64) -> (String, String) {
         .unwrap_or_else(|e| panic!("kernel recovery failed: {e:?}\n{ctx}"));
     let bad = kernel2.fsck();
     assert!(bad.is_empty(), "fsck found violations after recovery: {bad:?}\n{ctx}");
+    #[cfg(feature = "sanitize")]
+    dev.set_recovery_mode(false);
 
     let fs2 = ArckFs::mount(kernel2, 1000, 1000, ArckFsConfig::no_delegation());
     let rec = readback(&fs2, seed);
@@ -399,6 +409,34 @@ fn sweep_one(seed: u64, k: u64) -> (String, String) {
         durable.apply(op);
     }
     check_equiv(&ctx, &durable, ops.get(completed), &rec);
+
+    // Sanitizer verdict for this iteration. Hazards recorded after the
+    // freeze point are unreliable (a frozen fence retires nothing, so a
+    // later re-flush of the same line *looks* redundant), so event-coupled
+    // hazards only count up to the freeze; recovery-read hazards are
+    // checked unconditionally — they can only come from the recovery
+    // phase, where recovery mode was on.
+    #[cfg(feature = "sanitize")]
+    {
+        let report = dev.take_sanitize_report(seed);
+        let frozen_at = fired_at.unwrap_or(u64::MAX);
+        let real: Vec<_> = report
+            .hazards
+            .iter()
+            .filter(|h| {
+                h.point < frozen_at || h.kind == trio_nvm::HazardKind::ReadNotDurable
+            })
+            .copied()
+            .collect();
+        if !real.is_empty() {
+            let artifact = trio_nvm::sanitize::dump_artifact(&report.to_json()).ok();
+            panic!(
+                "persistence-order hazards in an unmutated run \
+                 (artifact: {artifact:?}):\n{}\n{ctx}",
+                real.iter().map(|h| format!("  {h}")).collect::<Vec<_>>().join("\n")
+            );
+        }
+    }
     (report_str, format!("{rec:?}"))
 }
 
@@ -423,9 +461,35 @@ fn exhaustive_crash_point_sweep() {
         "trace too small for a meaningful sweep: {total} persistence points"
     );
     assert!(total <= 3000, "trace grew unexpectedly: {total} persistence points");
-    println!("sweeping {total} crash points (seed={SWEEP_SEED:#x})");
-    for k in 0..total {
+    // TRIO_SWEEP_SAMPLE=n sweeps every n-th point — CI uses it for the
+    // sanitize-enabled pass (the sanitizer makes each iteration pricier)
+    // while the default build still sweeps exhaustively.
+    let stride: usize = std::env::var("TRIO_SWEEP_SAMPLE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    println!("sweeping {total} crash points, stride {stride} (seed={SWEEP_SEED:#x})");
+    for k in (0..total).step_by(stride) {
         sweep_one(SWEEP_SEED, k);
+    }
+}
+
+/// With the sanitizer on, the unmutated trace must run to quiescence with
+/// zero hazards — the positive "report-clean" half of the mutation tests.
+#[cfg(feature = "sanitize")]
+#[test]
+fn sanitized_unarmed_trace_is_report_clean() {
+    let ops = gen_trace(SWEEP_SEED);
+    let (dev, _kernel, fs) = world();
+    let done = run_trace(&dev, &fs, &ops, SWEEP_SEED);
+    assert_eq!(done, ops.len(), "unarmed trace must complete");
+    drop(fs);
+    dev.sanitize_quiesce_check();
+    let report = dev.take_sanitize_report(SWEEP_SEED);
+    if !report.is_clean() {
+        let artifact = trio_nvm::sanitize::dump_artifact(&report.to_json()).ok();
+        panic!("unmutated trace is not sanitizer-clean (artifact: {artifact:?}): {report}");
     }
 }
 
