@@ -153,6 +153,7 @@ fn verifier_speed() {
             dirty_actor: ActorId(7),
             checkpoint_children: Some(&ck),
             max_index_pages: 64,
+            max_dir_entries: 1 << 20,
         };
         let rep = verifier.verify(&req, &BenchView);
         assert!(rep.ok(), "{:?}", rep.violations);

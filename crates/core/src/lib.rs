@@ -36,6 +36,7 @@
 //! rt.run();
 //! ```
 
+pub mod adversary;
 pub mod attack;
 pub mod dir_ops;
 pub mod fd;

@@ -42,6 +42,10 @@ pub enum FsError {
     /// Operation not supported by this (customized) file system (`ENOTSUP`),
     /// e.g. `rename` on FPFS.
     Unsupported,
+    /// The target subtree (or the calling LibFS itself) is quarantined
+    /// after a confirmed integrity violation; access is refused until the
+    /// kernel's repair pass re-admits it (Trio-specific, PR 4).
+    Quarantined,
 }
 
 impl fmt::Display for FsError {
@@ -62,6 +66,7 @@ impl fmt::Display for FsError {
             FsError::TooManyOpenFiles => "too many open files",
             FsError::ReadOnly => "read-only file or mapping",
             FsError::Unsupported => "operation not supported",
+            FsError::Quarantined => "subtree quarantined pending repair",
         };
         f.write_str(s)
     }

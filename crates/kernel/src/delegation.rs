@@ -34,6 +34,53 @@ use trio_sim::{in_sim, now, spawn, JoinHandle, Nanos};
 /// abandoned (timed-out) op never blocks the worker.
 const REPLY_RING_CAP: usize = 64;
 
+/// Hard ceiling on runs per request. The rings are shared memory, so a
+/// hostile LibFS can enqueue arbitrary [`DelegReq`]s; the worker must
+/// bound its own work regardless of what the client-side builder would
+/// have produced.
+const MAX_RUNS_PER_REQ: usize = 4096;
+
+/// Hard ceiling on bytes per request. Reads allocate the reply buffer on
+/// the delegation thread, so an unchecked `read_len` is a kernel-side
+/// allocation bomb.
+const MAX_BYTES_PER_REQ: usize = 64 << 20;
+
+/// Worker-side admission check for one ring request. Everything here is
+/// normally guaranteed by [`DelegationPool::build_batches`], but the ring
+/// is writable by the (untrusted) client, so the worker re-validates:
+/// run/byte ceilings, payload slice bounds, and extent-capacity bounds.
+/// The MMU check still runs per page during the access itself.
+fn validate_req(req: &DelegReq) -> Result<(), ProtError> {
+    if req.runs.is_empty() || req.runs.len() > MAX_RUNS_PER_REQ {
+        return Err(ProtError::OutOfRange);
+    }
+    let payload_len = req.payload.as_ref().map(|p| p.len());
+    let mut total: usize = 0;
+    for run in &req.runs {
+        if run.pages.is_empty() {
+            return Err(ProtError::OutOfRange);
+        }
+        let cap = run.pages.len() * PAGE_SIZE;
+        let span = match payload_len {
+            Some(pl) => {
+                if run.payload.start > run.payload.end || run.payload.end > pl {
+                    return Err(ProtError::OutOfRange);
+                }
+                run.payload.len()
+            }
+            None => run.read_len,
+        };
+        if run.start >= cap || span > cap - run.start {
+            return Err(ProtError::OutOfRange);
+        }
+        total = total.checked_add(span).ok_or(ProtError::OutOfRange)?;
+    }
+    if total > MAX_BYTES_PER_REQ {
+        return Err(ProtError::OutOfRange);
+    }
+    Ok(())
+}
+
 /// Tagged completion: `(request tag, result)`. Reads return the batch's
 /// runs concatenated in submission order.
 pub type DelegReply = (usize, Result<Option<Vec<u8>>, ProtError>);
@@ -203,6 +250,7 @@ impl DelegationPool {
             for ring in node_rings {
                 let ring = Arc::clone(ring);
                 let dev = Arc::clone(&self.dev);
+                let stats = Arc::clone(&self.stats);
                 #[cfg(feature = "faults")]
                 let faults = Arc::clone(&self.faults);
                 handles.push(spawn("delegation", move || {
@@ -223,12 +271,20 @@ impl DelegationPool {
                                 continue;
                             }
                         }
+                        if let Err(e) = validate_req(&req) {
+                            stats.record_deleg_rejected();
+                            let _ = req.reply.send((req.tag, Err(e)));
+                            continue;
+                        }
                         let h = NvmHandle::new(Arc::clone(&dev), req.actor);
                         let result = match &req.payload {
                             Some(payload) => {
                                 let mut r = Ok(None);
                                 for run in &req.runs {
-                                    let data = &payload[run.payload.clone()];
+                                    let Some(data) = payload.get(run.payload.clone()) else {
+                                        r = Err(ProtError::OutOfRange);
+                                        break;
+                                    };
                                     if let Err(e) = h.write_extent(&run.pages, run.start, data) {
                                         r = Err(e);
                                         break;
@@ -272,6 +328,19 @@ impl DelegationPool {
                 ring.close();
             }
         }
+    }
+
+    /// Adversary/test hook: enqueue a raw, possibly malformed [`DelegReq`]
+    /// on one of `node`'s rings, bypassing every client-side invariant —
+    /// exactly what a hostile LibFS with ring access can do. The worker's
+    /// [`validate_req`] admission check and the per-page MMU check are the
+    /// only defenses that apply.
+    pub fn submit_raw(&self, node: usize, req: DelegReq) -> Result<(), ProtError> {
+        if node >= self.rings.len() {
+            return Err(ProtError::OutOfRange);
+        }
+        self.stats.record_submission(req.runs.len());
+        self.ring_for(node).send(req).map_err(|_| ProtError::NotMapped)
     }
 
     fn ring_for(&self, node: usize) -> &Arc<SimChannel<DelegReq>> {

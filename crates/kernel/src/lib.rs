@@ -19,6 +19,7 @@
 
 pub mod delegation;
 pub mod mapping;
+pub mod quarantine;
 pub mod registry;
 
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -37,6 +38,7 @@ use trio_sim::{cost, in_sim, sync::SimMutex, work, Nanos, MILLIS};
 use trio_verifier::{InoProvenance, PageProvenance, Verifier, VerifyRequest, Violation};
 
 use delegation::{DelegationConfig, DelegationPool};
+use quarantine::ResilienceStats;
 use registry::{Credentials, KernelEvent, Registry};
 
 /// Controller tunables.
@@ -58,6 +60,15 @@ pub struct KernelConfig {
     pub alloc_cache_high_water: usize,
     /// Upper bound on a file's index-page chain (defensive walks).
     pub max_index_pages: usize,
+    /// Explicit budget on directory entries one verification may examine
+    /// (hostile entry bombs are cut off and rejected past this).
+    pub max_dir_entries: u64,
+    /// Run the quarantine repair pass inline as soon as an offender is
+    /// contained (models the background repair thread having completed).
+    /// With `false`, tainted subtrees answer `FsError::Quarantined` until
+    /// [`KernelController::repair_quarantined`] is called — the mode the
+    /// isolation tests and the fuzzer use to observe the contained window.
+    pub auto_repair: bool,
 }
 
 impl Default for KernelConfig {
@@ -69,6 +80,8 @@ impl Default for KernelConfig {
             alloc_cache_refill: 192,
             alloc_cache_high_water: 512,
             max_index_pages: 1 << 16,
+            max_dir_entries: 1 << 20,
+            auto_repair: true,
         }
     }
 }
@@ -103,6 +116,13 @@ pub struct KernelController {
     /// `alloc_pages` without touching the global pools or registry.
     caches: PlMutex<HashMap<ActorId, Arc<SimMutex<ActorCache>>>>,
     stats: Arc<PathStats>,
+    /// Detection/containment/repair counters (DESIGN.md §14), surfaced
+    /// alongside [`PathStats`].
+    resilience: Arc<ResilienceStats>,
+    /// Mirror of the registry's quarantined-actor set, readable without
+    /// the (virtual-time) registry lock so the allocator fast path can
+    /// refuse a contained LibFS without giving up its lock-free design.
+    pub(crate) quarantined_mirror: PlMutex<HashSet<ActorId>>,
     config: KernelConfig,
 }
 
@@ -143,6 +163,8 @@ impl KernelController {
         let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
         let sb = SuperblockRef::new(&kh);
         let topo = dev.topology();
+        // lint: allow(no-panic) format runs on a fresh device the kernel
+        // just built; page 0 always exists and no LibFS is registered yet.
         sb.format(topo.total_pages(), ROOT_INO + 1).expect("kernel formats the superblock");
 
         // Page 0 is the superblock; everything else is free, per node.
@@ -179,6 +201,8 @@ impl KernelController {
             delegation,
             caches: PlMutex::new(HashMap::new()),
             stats,
+            resilience: Arc::new(ResilienceStats::new()),
+            quarantined_mirror: PlMutex::new(HashSet::new()),
             config,
         })
     }
@@ -266,24 +290,28 @@ impl KernelController {
                 if kh.read_untimed(*dp, 0, &mut raw).is_err() {
                     continue;
                 }
-                for slot in 0..DIRENTS_PER_PAGE {
-                    let b: &[u8; DIRENT_SIZE] =
-                        raw[slot * DIRENT_SIZE..(slot + 1) * DIRENT_SIZE].try_into().expect("slot");
+                for (slot, b) in raw.chunks_exact(DIRENT_SIZE).take(DIRENTS_PER_PAGE).enumerate() {
+                    let Ok(b) = <&[u8; DIRENT_SIZE]>::try_from(b) else {
+                        continue; // chunks_exact guarantees the size; defensive.
+                    };
                     let d = DirentData::decode_bytes(b);
                     if d.ino == 0 {
                         continue;
                     }
                     let loc = DirentLoc { page: *dp, slot };
-                    let cft = d.ftype();
-                    if d.ino >= next_ino || !seen.insert(d.ino) || cft.is_none() {
-                        // Fabricated ino, double reference, or garbage
-                        // type: the entry cannot be trusted — clear it.
+                    let Some(cft) = d.ftype() else {
+                        // Garbage type: the entry cannot be trusted — clear it.
+                        let _ = DirentRef::new(&kh, loc).clear();
+                        continue;
+                    };
+                    if d.ino >= next_ino || !seen.insert(d.ino) {
+                        // Fabricated ino or double reference — clear it too.
                         let _ = DirentRef::new(&kh, loc).clear();
                         continue;
                     }
                     live += 1;
                     registry.ino_prov.insert(d.ino, InoProvenance::InUse(loc));
-                    queue.push_back((d.ino, d.first_index, cft.expect("checked"), Some(loc)));
+                    queue.push_back((d.ino, d.first_index, cft, Some(loc)));
                 }
             }
             // A directory's entry count is derived metadata: a crash between
@@ -348,6 +376,8 @@ impl KernelController {
             delegation,
             caches: PlMutex::new(HashMap::new()),
             stats,
+            resilience: Arc::new(ResilienceStats::new()),
+            quarantined_mirror: PlMutex::new(HashSet::new()),
             config,
         }))
     }
@@ -378,8 +408,8 @@ impl KernelController {
                     let sb = SuperblockRef::new(&self.kh);
                     match sb.root_first_index() {
                         Ok(fi) => (CoreFileType::Directory, fi),
-                        Err(_) => {
-                            bad.push((ino, vec![Violation::InoMismatch { expected: ino, found: 0 }]));
+                        Err(cause) => {
+                            bad.push((ino, vec![Violation::UnreadableAttr { ino, cause }]));
                             continue;
                         }
                     }
@@ -396,8 +426,8 @@ impl KernelController {
                         bad.push((ino, vec![Violation::InoMismatch { expected: ino, found: d.ino }]));
                         continue;
                     }
-                    Err(_) => {
-                        bad.push((ino, vec![Violation::InoMismatch { expected: ino, found: 0 }]));
+                    Err(cause) => {
+                        bad.push((ino, vec![Violation::UnreadableAttr { ino, cause }]));
                         continue;
                     }
                 },
@@ -410,8 +440,12 @@ impl KernelController {
                 dirty_actor: KERNEL_ACTOR,
                 checkpoint_children: None,
                 max_index_pages: self.config.max_index_pages,
+                max_dir_entries: self.config.max_dir_entries,
             };
             let report = self.verifier.verify(&req, &*reg);
+            if report.budget_hit {
+                self.resilience.record_budget_hit();
+            }
             if !report.ok() {
                 bad.push((ino, report.violations));
             }
@@ -450,6 +484,21 @@ impl KernelController {
         &self.stats
     }
 
+    /// Detection/containment/repair counters (DESIGN.md §14), the
+    /// resilience companion to [`KernelController::path_stats`].
+    pub fn resilience_stats(&self) -> &Arc<ResilienceStats> {
+        &self.resilience
+    }
+
+    /// Refuses kernel service to a quarantined LibFS (cheap mirror check,
+    /// no registry lock — the allocator fast path stays lock-free).
+    pub(crate) fn check_not_quarantined(&self, actor: ActorId) -> FsResult<()> {
+        if self.quarantined_mirror.lock().contains(&actor) {
+            return Err(FsError::Quarantined);
+        }
+        Ok(())
+    }
+
     /// Charges the syscall trap cost; called at every public entry point.
     pub(crate) fn trap(&self) {
         if in_sim() {
@@ -473,9 +522,10 @@ impl KernelController {
             reg.actors.insert(id, Credentials { uid, gid });
             id
         };
-        self.dev
-            .mmu_map(actor, trio_layout::superblock::SUPERBLOCK_PAGE, PagePerm::Read)
-            .expect("superblock exists");
+        // Page 0 always exists, so this cannot fail; if it ever did the
+        // new LibFS would merely lack superblock visibility — nothing the
+        // kernel must panic over.
+        let _ = self.dev.mmu_map(actor, trio_layout::superblock::SUPERBLOCK_PAGE, PagePerm::Read);
         if in_sim() {
             work(cost::MMU_PROGRAM_PAGE_NS);
         }
@@ -533,6 +583,10 @@ impl KernelController {
                 }
             }
         }
+        // Drop the credentials *before* vetting: a departing LibFS has no
+        // further access to contain, so failed verifications below roll
+        // back / privatize without entering the quarantine machine.
+        reg.actors.remove(&actor);
         // Eagerly vet everything the departing LibFS dirtied — there will
         // be no later "next map by the same actor" to skip it.
         let dirty: Vec<Ino> = reg
@@ -544,7 +598,11 @@ impl KernelController {
         for ino in dirty {
             self.verify_file_locked(&mut reg, ino);
         }
-        reg.actors.remove(&actor);
+        // A quarantined actor that exits leaves its taint to the repair
+        // pass; the record itself dies with the registration.
+        if reg.quarantine.contains_key(&actor) {
+            self.repair_actor_locked(&mut reg, actor);
+        }
         let _ = self.dev.mmu_unmap(actor, trio_layout::superblock::SUPERBLOCK_PAGE);
     }
 
@@ -579,6 +637,7 @@ impl KernelController {
         if in_sim() {
             work(cost::ALLOCATOR_OP_NS);
         }
+        self.check_not_quarantined(actor)?;
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -720,13 +779,19 @@ impl KernelController {
         let topo = self.dev.topology();
         let cache = self.cache_of(actor);
         let mut c = cache.lock();
+        let mut kept = 0usize;
         for p in &cacheable {
             // Scrub now (dropping every mapping with it): the page reads
-            // as zeros and is inaccessible for as long as it sits here.
-            self.dev.reset_page(*p).expect("valid page");
+            // as zeros and is inaccessible for as long as it sits here. A
+            // page the device refuses to scrub (out of range) must never
+            // be recycled, so it simply is not cached.
+            if self.dev.reset_page(*p).is_err() {
+                continue;
+            }
             c.per_node[topo.node_of(*p)].push(*p);
+            kept += 1;
         }
-        c.total += cacheable.len();
+        c.total += kept;
         if in_sim() {
             work(cacheable.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
         }
@@ -781,10 +846,11 @@ impl KernelController {
         for p in pages {
             if pins.pinned.contains_key(&p.0) {
                 pins.deferred.push(*p);
-            } else {
-                self.dev.reset_page(*p).expect("valid page");
+            } else if self.dev.reset_page(*p).is_ok() {
                 self.pools[topo.node_of(*p)].lock().push(*p);
             }
+            // An unscrubbable page is dropped, never pooled: leaking it is
+            // safe, recycling its contents would not be.
         }
         if in_sim() {
             work(pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
@@ -817,8 +883,9 @@ impl KernelController {
         drop(pins);
         let topo = self.dev.topology();
         for p in ready {
-            self.dev.reset_page(p).expect("valid page");
-            self.pools[topo.node_of(p)].lock().push(p);
+            if self.dev.reset_page(p).is_ok() {
+                self.pools[topo.node_of(p)].lock().push(p);
+            }
         }
     }
 
@@ -828,6 +895,7 @@ impl KernelController {
         if in_sim() {
             work(cost::ALLOCATOR_OP_NS);
         }
+        self.check_not_quarantined(actor)?;
         let range = {
             let mut next = self.next_ino.lock();
             let start = *next;
@@ -835,7 +903,9 @@ impl KernelController {
             start..start + n
         };
         // Persist the high-water mark so crash recovery never reuses inos.
-        SuperblockRef::new(&self.kh).set_next_ino(range.end).expect("kernel writes superblock");
+        // A failed write refuses the grant (the advanced counter just
+        // leaves a harmless ino gap).
+        SuperblockRef::new(&self.kh).set_next_ino(range.end).map_err(|_| FsError::Corrupted)?;
         let mut reg = self.registry.lock();
         let out: Vec<Ino> = range.collect();
         for i in &out {
@@ -859,9 +929,10 @@ impl KernelController {
         mtime: Option<u64>,
     ) -> FsResult<()> {
         self.trap();
+        self.check_not_quarantined(actor)?;
         {
             let reg = self.registry.lock();
-            let root = reg.files.get(&ROOT_INO).expect("root adopted");
+            let root = reg.files.get(&ROOT_INO).ok_or(FsError::NotFound)?;
             if root.writer != Some(actor) {
                 return Err(FsError::PermissionDenied);
             }
@@ -883,6 +954,7 @@ impl KernelController {
     /// refreshes the cached copy in the dirent.
     pub fn setattr(&self, actor: ActorId, ino: Ino, attr: SetAttr) -> FsResult<()> {
         self.trap();
+        self.check_not_quarantined(actor)?;
         let (dirent, new_mode, name_len, ftype_raw) = {
             let mut reg = self.registry.lock();
             let cred = *reg.actors.get(&actor).ok_or(FsError::PermissionDenied)?;

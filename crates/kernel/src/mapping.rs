@@ -75,6 +75,7 @@ impl KernelController {
         if in_sim() {
             work(cost::MAP_CALL_BASE_NS);
         }
+        self.check_not_quarantined(actor)?;
         loop {
             let mut reg = self.registry.lock();
             // ---- Identify the file from its committed core state. ----
@@ -98,10 +99,18 @@ impl KernelController {
 
             self.adopt_file(&mut reg, ino, ftype, dirent, parent)?;
 
+            // Reads into a quarantined subtree are refused until the
+            // repair pass re-admits it (DESIGN.md §14).
+            if reg.ino_quarantined(ino) || reg.ino_quarantined(parent) {
+                return Err(FsError::Quarantined);
+            }
+
             // ---- Permission check against the shadow inode table. ----
             let cred = *reg.actors.get(&actor).ok_or(FsError::PermissionDenied)?;
             {
-                let meta = reg.files.get(&ino).expect("adopted above");
+                let Some(meta) = reg.files.get(&ino) else {
+                    return Err(FsError::Corrupted);
+                };
                 let m = meta.shadow.mode.0;
                 let (r_ok, w_ok) = if cred.uid == 0 {
                     (true, true)
@@ -118,7 +127,9 @@ impl KernelController {
             }
 
             // ---- Sharing policy: concurrent reads XOR exclusive write. ----
-            let meta = reg.files.get_mut(&ino).expect("adopted");
+            let Some(meta) = reg.files.get_mut(&ino) else {
+                return Err(FsError::Corrupted);
+            };
             if let Some(w) = meta.writer {
                 if w != actor {
                     let lease = meta.lease_until;
@@ -132,7 +143,9 @@ impl KernelController {
                 }
             }
             if write {
-                let meta = reg.files.get_mut(&ino).expect("adopted");
+                let Some(meta) = reg.files.get_mut(&ino) else {
+                    return Err(FsError::Corrupted);
+                };
                 let others: Vec<ActorId> =
                     meta.readers.iter().copied().filter(|r| *r != actor).collect();
                 for r in others {
@@ -170,6 +183,12 @@ impl KernelController {
             // longer exists for anyone else; the mapper sees a clean miss.
             if !reg.files.contains_key(&ino) {
                 return Err(FsError::NotFound);
+            }
+            // Verification may also have quarantined the offender; without
+            // auto-repair the subtree stays off-limits until the repair
+            // pass runs, and this very map is the first refused read.
+            if reg.ino_quarantined(ino) || reg.ino_quarantined(parent) {
+                return Err(FsError::Quarantined);
             }
 
             // ---- Fresh defensive walk (post-rollback state if any). ----
@@ -219,7 +238,9 @@ impl KernelController {
                 }
             };
             let lease_until = if write { now_or_zero() + self.config().lease_ns } else { 0 };
-            let meta = reg.files.get_mut(&ino).expect("adopted");
+            let Some(meta) = reg.files.get_mut(&ino) else {
+                return Err(FsError::Corrupted);
+            };
             meta.mapped_pages.insert(actor, grant_pages);
             if write {
                 meta.writer = Some(actor);
@@ -280,6 +301,7 @@ impl KernelController {
     /// changes. The caller must hold the write grant.
     pub fn commit(&self, actor: ActorId, ino: Ino) -> FsResult<()> {
         self.trap();
+        self.check_not_quarantined(actor)?;
         let mut reg = self.registry.lock();
         let Some(meta) = reg.files.get_mut(&ino) else {
             return Err(FsError::NotFound);
@@ -309,7 +331,9 @@ impl KernelController {
         if in_sim() {
             work(grant_pages.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
         }
-        let meta = reg.files.get_mut(&ino).expect("checked");
+        let Some(meta) = reg.files.get_mut(&ino) else {
+            return Err(FsError::Corrupted);
+        };
         meta.mapped_pages.insert(actor, grant_pages);
         meta.verified_pages = pages;
         meta.dirty_by = None;
@@ -354,6 +378,7 @@ impl KernelController {
     /// the LibFS owned write access to every one of them already.
     pub fn reclaim_batch(&self, actor: ActorId, items: &[(Ino, Ino, u64)]) -> FsResult<Vec<PageId>> {
         self.trap();
+        self.check_not_quarantined(actor)?;
         let mut recycled = Vec::new();
         for (parent, ino, first_index) in items {
             recycled.extend(self.reclaim_file_inner(actor, *parent, *ino, *first_index)?);
@@ -373,6 +398,7 @@ impl KernelController {
         first_index: u64,
     ) -> FsResult<Vec<PageId>> {
         self.trap();
+        self.check_not_quarantined(actor)?;
         self.reclaim_file_inner(actor, parent, ino, first_index)
     }
 
@@ -629,8 +655,12 @@ impl KernelController {
             dirty_actor,
             checkpoint_children: ck_children.as_ref(),
             max_index_pages: self.config().max_index_pages,
+            max_dir_entries: self.config().max_dir_entries,
         };
         let report = self.verifier().verify(&req, reg);
+        if report.budget_hit {
+            self.resilience_stats().record_budget_hit();
+        }
         if report.ok() {
             reg.claim_pages_for_file(ino, &report.pages);
             for child in &report.children {
@@ -658,17 +688,30 @@ impl KernelController {
             for p in report.pages.all_pages() {
                 let _ = self.device().mmu_unmap(dirty_actor, p);
             }
-            let meta = reg.files.get_mut(&ino).expect("exists");
-            meta.dirty_by = None;
-            meta.verified_pages = report.pages;
+            // Rollback must restore the *last verified* state. The image
+            // taken at write-grant time is superseded the moment this
+            // verification passes; keeping it would let a later rollback
+            // resurrect pre-verification contents.
+            let dirent = reg.files.get(&ino).and_then(|m| m.dirent);
+            self.take_checkpoint_locked(reg, ino, &report.pages, dirent);
+            if let Some(meta) = reg.files.get_mut(&ino) {
+                meta.dirty_by = None;
+                meta.verified_pages = report.pages;
+            }
             true
         } else {
+            self.resilience_stats().record_violations(&report.violations);
             reg.events.push(KernelEvent::CorruptionDetected {
                 ino,
                 violations: report.violations.len(),
             });
             self.rollback_locked(reg, ino);
             reg.events.push(KernelEvent::RolledBack { ino });
+            // Containment: a confirmed violation by a live, registered
+            // LibFS quarantines it (rollback above already stopped the
+            // bleeding on this file; the quarantine covers the rest of its
+            // unvetted subtree).
+            self.maybe_quarantine_locked(reg, dirty_actor);
             false
         }
     }
@@ -734,12 +777,27 @@ impl KernelController {
                     }
                 }
                 for (cino, cfi, cloc) in children {
-                    if self.chain_is_broken(cfi) {
+                    let child_has_ck = cino != ino
+                        && reg.files.get(&cino).is_some_and(|m| m.checkpoint.is_some());
+                    let broken = self.chain_is_broken(cfi);
+                    let foreign = !broken && self.has_foreign_slots(reg, cino, cfi, dirty_actor);
+                    if (broken || foreign) && child_has_ck {
+                        // The child's own checkpoint can restore its chain;
+                        // trimming here would erase data its rollback is
+                        // about to recover.
+                        if let Some(cm) = reg.files.get_mut(&cino) {
+                            if cm.dirty_by.is_none() {
+                                cm.dirty_by = dirty_actor;
+                            }
+                        }
+                        self.rollback_locked(reg, cino);
+                        reg.events.push(KernelEvent::RolledBack { ino: cino });
+                    } else if broken {
                         // Trim the child to empty rather than leave a
                         // dangling chain.
                         let _ = DirentRef::new(self.kernel_handle(), cloc).set_first_index(0);
                         let _ = DirentRef::new(self.kernel_handle(), cloc).set_size(0);
-                    } else {
+                    } else if foreign {
                         self.trim_foreign_slots(reg, cino, cfi, dirty_actor);
                     }
                 }
@@ -754,8 +812,9 @@ impl KernelController {
                     let _ = self.device().mmu_unmap(da, p);
                 }
             }
-            let meta = reg.files.get_mut(&ino).expect("exists");
-            meta.verified_pages = pages;
+            if let Some(meta) = reg.files.get_mut(&ino) {
+                meta.verified_pages = pages;
+            }
         }
     }
 
@@ -795,6 +854,42 @@ impl KernelController {
                 }
             }
         }
+    }
+
+    /// True when `trim_foreign_slots` would clear at least one entry —
+    /// i.e. the chain references a page that neither belongs to `ino` nor
+    /// is legal growth from `dirty_actor`'s pool.
+    fn has_foreign_slots(
+        &self,
+        reg: &Registry,
+        ino: Ino,
+        first_index: u64,
+        dirty_actor: Option<ActorId>,
+    ) -> bool {
+        let Ok(pages) = walk_file(self.kernel_handle(), first_index, self.config().max_index_pages)
+        else {
+            return false;
+        };
+        for ipage in &pages.index_pages {
+            let ipr = IndexPageRef::new(self.kernel_handle(), *ipage);
+            let Ok((entries, _)) = ipr.load_all() else {
+                continue;
+            };
+            for &e in &entries {
+                if e == 0 {
+                    continue;
+                }
+                let ok = match reg.page_prov.get(&e) {
+                    Some(PageProvenance::InFile(f)) if *f == ino => true,
+                    Some(PageProvenance::AllocatedTo(a)) => Some(*a) == dirty_actor,
+                    _ => false,
+                };
+                if !ok {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Snapshots the file's metadata pages (index pages; for directories
@@ -851,9 +946,10 @@ impl KernelController {
                 if self.kernel_handle().read_untimed(*dp, 0, &mut raw).is_err() {
                     continue;
                 }
-                for slot in 0..DIRENTS_PER_PAGE {
-                    let b: &[u8; DIRENT_SIZE] =
-                        raw[slot * DIRENT_SIZE..(slot + 1) * DIRENT_SIZE].try_into().expect("slot");
+                for b in raw.chunks_exact(DIRENT_SIZE).take(DIRENTS_PER_PAGE) {
+                    let Ok(b) = <&[u8; DIRENT_SIZE]>::try_from(b) else {
+                        continue; // chunks_exact guarantees the size; defensive.
+                    };
                     let d = DirentData::decode_bytes(b);
                     if d.ino != 0 {
                         children.insert(d.ino);

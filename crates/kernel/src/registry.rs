@@ -134,6 +134,31 @@ pub enum KernelEvent {
         /// The actor whose unvetted writes produced it, when known.
         actor: Option<ActorId>,
     },
+    /// A confirmed violation quarantined the offending LibFS: its device
+    /// mappings were revoked wholesale and the subtree it dirtied marked
+    /// off-limits pending repair (DESIGN.md §14).
+    Quarantined {
+        /// The offending LibFS.
+        actor: ActorId,
+        /// How many files its unvetted writes tainted.
+        tainted: usize,
+    },
+    /// The repair pass finished for a quarantined LibFS: every tainted
+    /// file was re-verified, rolled back, or privatized, and the actor may
+    /// use the kernel interface again.
+    Readmitted {
+        /// The re-admitted LibFS.
+        actor: ActorId,
+    },
+}
+
+/// Quarantine record for one offending LibFS (DESIGN.md §14 lifecycle:
+/// `active → quarantined → (repair) → re-admitted`).
+#[derive(Clone, Debug, Default)]
+pub struct QuarantineInfo {
+    /// Files whose unvetted state the offender may have corrupted; reads
+    /// into these return `FsError::Quarantined` until repaired.
+    pub tainted: HashSet<Ino>,
 }
 
 /// The kernel's mutable state (held under one virtual-time mutex; kernel
@@ -156,6 +181,13 @@ pub struct Registry {
     pub events: Vec<KernelEvent>,
     /// Next actor id to hand out.
     pub next_actor: u32,
+    /// LibFSes currently quarantined after a confirmed violation, with the
+    /// subtree each one tainted.
+    pub quarantine: HashMap<ActorId, QuarantineInfo>,
+    /// Set while the kernel's own repair pass re-verifies tainted files —
+    /// failures inside the pass must roll back or privatize, never
+    /// re-enter quarantine (the offender is already contained).
+    pub repairing: bool,
 }
 
 impl Registry {
@@ -183,7 +215,14 @@ impl Registry {
             pending_dirty: HashMap::new(),
             events: Vec::new(),
             next_actor: 1,
+            quarantine: HashMap::new(),
+            repairing: false,
         }
+    }
+
+    /// Whether `ino` sits in any quarantined LibFS's tainted subtree.
+    pub fn ino_quarantined(&self, ino: Ino) -> bool {
+        self.quarantine.values().any(|q| q.tainted.contains(&ino))
     }
 
     /// Records that `pages` belong to file `ino` (post-verification).

@@ -491,6 +491,21 @@ impl NvmDevice {
         }
     }
 
+    /// Revokes **every** mapping `actor` holds, device-wide, and returns
+    /// how many pages were unmapped. This is the quarantine hook: when the
+    /// kernel confirms an integrity violation it pulls the offending
+    /// LibFS's page tables in one sweep, so no further store can land
+    /// anywhere — not even on pages the kernel's books say are clean.
+    pub fn revoke_actor(&self, actor: ActorId) -> usize {
+        let mut revoked = 0;
+        for slot in &self.pages {
+            if slot.lock().prot.unmap(actor) {
+                revoked += 1;
+            }
+        }
+        revoked
+    }
+
     /// Not-yet-durable (unfenced) line count; 0 when tracking is disabled.
     pub fn dirty_lines(&self) -> usize {
         self.tracker.as_ref().map(|t| t.dirty_lines()).unwrap_or(0)

@@ -39,6 +39,9 @@ pub struct PathStats {
     payload_copies: AtomicU64,
     /// Submissions that found the ring full and had to block.
     ring_backpressure: AtomicU64,
+    /// Malformed / out-of-bounds delegation requests the workers refused
+    /// to serve (hostile or corrupt run lists; see DESIGN.md §14).
+    deleg_rejected: AtomicU64,
     /// Ring round-trip latency (submit → reply) histogram.
     ring_hop_hist: [AtomicU64; HIST_BUCKETS],
     // -- adaptive policy --
@@ -123,6 +126,12 @@ impl PathStats {
         Self::bump(&self.ring_backpressure, 1);
     }
 
+    /// A delegation worker refused a malformed request.
+    #[inline]
+    pub fn record_deleg_rejected(&self) {
+        Self::bump(&self.deleg_rejected, 1);
+    }
+
     /// Ring round-trip (submit → reply) of `ns` nanoseconds.
     #[inline]
     pub fn record_ring_hop(&self, ns: u64) {
@@ -183,6 +192,7 @@ impl PathStats {
             deleg_fallbacks: self.deleg_fallbacks.load(Ordering::Relaxed),
             payload_copies: self.payload_copies.load(Ordering::Relaxed),
             ring_backpressure: self.ring_backpressure.load(Ordering::Relaxed),
+            deleg_rejected: self.deleg_rejected.load(Ordering::Relaxed),
             ring_hop_hist: hist,
             adaptive_direct: self.adaptive_direct.load(Ordering::Relaxed),
             adaptive_delegated: self.adaptive_delegated.load(Ordering::Relaxed),
@@ -208,6 +218,7 @@ impl PathStats {
         self.deleg_fallbacks.store(0, Ordering::Relaxed);
         self.payload_copies.store(0, Ordering::Relaxed);
         self.ring_backpressure.store(0, Ordering::Relaxed);
+        self.deleg_rejected.store(0, Ordering::Relaxed);
         for b in &self.ring_hop_hist {
             b.store(0, Ordering::Relaxed);
         }
@@ -236,6 +247,7 @@ pub struct PathStatsSnapshot {
     pub deleg_fallbacks: u64,
     pub payload_copies: u64,
     pub ring_backpressure: u64,
+    pub deleg_rejected: u64,
     pub ring_hop_hist: [u64; HIST_BUCKETS],
     pub adaptive_direct: u64,
     pub adaptive_delegated: u64,
@@ -296,6 +308,7 @@ impl PathStatsSnapshot {
         push("deleg_fallbacks", self.deleg_fallbacks.to_string());
         push("payload_copies", self.payload_copies.to_string());
         push("ring_backpressure", self.ring_backpressure.to_string());
+        push("deleg_rejected", self.deleg_rejected.to_string());
         push("adaptive_direct", self.adaptive_direct.to_string());
         push("adaptive_delegated", self.adaptive_delegated.to_string());
         push("alloc_fast_hits", self.alloc_fast_hits.to_string());

@@ -40,7 +40,7 @@ use trio_layout::{
     walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, FilePages, Ino, WalkError,
     DIRENTS_PER_PAGE, DIRENT_SIZE,
 };
-use trio_nvm::{ActorId, NvmHandle, PageId, PAGE_SIZE};
+use trio_nvm::{ActorId, NvmHandle, PageId, ProtError, PAGE_SIZE};
 use trio_sim::{cost, in_sim, work};
 
 /// Where a page currently stands in the kernel's books.
@@ -126,7 +126,96 @@ pub enum Violation {
     DisconnectedChild { ino: Ino },
     /// I4: cached permissions disagree with the shadow inode table.
     PermissionTampered { ino: Ino },
+    /// The dirent slot itself could not be read (unmapped page, poisoned
+    /// line). Distinct from a field mismatch: the attributes are
+    /// *unreachable*, not wrong, and the cause says why.
+    UnreadableAttr { ino: Ino, cause: ProtError },
+    /// The verification walk hit its explicit entry budget before covering
+    /// the whole structure — a hostile graph (entry bomb) was cut off.
+    /// Anything past the budget is unvetted, so this always rejects.
+    BudgetExceeded { entries_seen: u64 },
 }
+
+/// What repair can do about a violation: the **repair-or-reject** contract
+/// (DESIGN.md §14). Every detected violation falls in one of two classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairClass {
+    /// A field-level lie over intact structure — scrubbing the field back
+    /// from ground truth (shadow table, live entry count, walked extent),
+    /// as PR 1's `recover()` does, restores a model-equivalent state.
+    Repairable,
+    /// Structural or provenance damage (aliased pages, forged inos,
+    /// cycles, unreadable slots, budget bombs): the state cannot be
+    /// trusted field-by-field and must be rejected — rolled back to the
+    /// last verified checkpoint, or privatized if none exists.
+    Reject,
+}
+
+impl Violation {
+    /// Classifies this violation under the repair-or-reject contract.
+    pub fn repair_class(&self) -> RepairClass {
+        match self {
+            // Field lies over intact structure: ground truth exists.
+            Violation::BadMode { .. }
+            | Violation::PermissionTampered { .. }
+            | Violation::EntryCountMismatch { .. }
+            | Violation::SizeBeyondExtent { .. } => RepairClass::Repairable,
+            // Everything structural, aliased, forged, or unreadable.
+            Violation::InoMismatch { .. }
+            | Violation::BadFileType { .. }
+            | Violation::BadName
+            | Violation::DuplicateName { .. }
+            | Violation::Structure(_)
+            | Violation::ForeignPage { .. }
+            | Violation::ForeignIno { .. }
+            | Violation::DuplicateIno { .. }
+            | Violation::DisconnectedChild { .. }
+            | Violation::UnreadableAttr { .. }
+            | Violation::BudgetExceeded { .. } => RepairClass::Reject,
+        }
+    }
+
+    /// Stable short tag for counters and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::InoMismatch { .. } => "ino_mismatch",
+            Violation::BadFileType { .. } => "bad_file_type",
+            Violation::BadMode { .. } => "bad_mode",
+            Violation::BadName => "bad_name",
+            Violation::DuplicateName { .. } => "duplicate_name",
+            Violation::SizeBeyondExtent { .. } => "size_beyond_extent",
+            Violation::EntryCountMismatch { .. } => "entry_count_mismatch",
+            Violation::Structure(_) => "structure",
+            Violation::ForeignPage { .. } => "foreign_page",
+            Violation::ForeignIno { .. } => "foreign_ino",
+            Violation::DuplicateIno { .. } => "duplicate_ino",
+            Violation::DisconnectedChild { .. } => "disconnected_child",
+            Violation::PermissionTampered { .. } => "permission_tampered",
+            Violation::UnreadableAttr { .. } => "unreadable_attr",
+            Violation::BudgetExceeded { .. } => "budget_exceeded",
+        }
+    }
+}
+
+/// Every violation kind tag, in `Violation` declaration order — the fixed
+/// index space for by-kind counters.
+pub const VIOLATION_KINDS: [&str; 15] = [
+    "ino_mismatch",
+    "bad_file_type",
+    "bad_mode",
+    "bad_name",
+    "duplicate_name",
+    "size_beyond_extent",
+    "entry_count_mismatch",
+    "structure",
+    "foreign_page",
+    "foreign_ino",
+    "duplicate_ino",
+    "disconnected_child",
+    "permission_tampered",
+    "unreadable_attr",
+    "budget_exceeded",
+];
 
 /// What the kernel asks the verifier to check.
 pub struct VerifyRequest<'a> {
@@ -145,6 +234,11 @@ pub struct VerifyRequest<'a> {
     pub checkpoint_children: Option<&'a HashSet<Ino>>,
     /// Upper bound on index pages (device size / geometry driven).
     pub max_index_pages: usize,
+    /// Explicit budget on directory entries examined. A hostile directory
+    /// graph cannot stretch verification past
+    /// `max_index_pages + max_dir_entries` visits: the walk stops and a
+    /// [`Violation::BudgetExceeded`] rejects the file.
+    pub max_dir_entries: u64,
 }
 
 /// A live child entry discovered while verifying a directory.
@@ -179,6 +273,9 @@ pub struct VerifyReport {
     pub pages: FilePages,
     /// Live children (directories only).
     pub children: Vec<ChildEntry>,
+    /// Whether any explicit walk/scan budget was hit (hostile graph cut
+    /// off early) — surfaced so the kernel can count budget events.
+    pub budget_hit: bool,
 }
 
 impl VerifyReport {
@@ -212,7 +309,12 @@ impl Verifier {
             let dref = DirentRef::new(&self.h, loc);
             match dref.load() {
                 Ok(d) => self.check_own_dirent(req, &d, view, &mut report),
-                Err(_) => report.violations.push(Violation::InoMismatch { expected: req.ino, found: 0 }),
+                // Not a field mismatch: the slot itself is unreadable.
+                // Report what actually failed so repair can distinguish a
+                // poisoned line from a forged field (satellite of PR 4).
+                Err(cause) => {
+                    report.violations.push(Violation::UnreadableAttr { ino: req.ino, cause })
+                }
             }
         }
 
@@ -220,6 +322,11 @@ impl Verifier {
         let pages = match walk_file(&self.h, req.first_index, req.max_index_pages) {
             Ok(p) => p,
             Err(e) => {
+                // A chain that exhausts the index-page bound is a hostile
+                // graph cut off by budget, not just structural damage.
+                if matches!(e, WalkError::ChainTooLong) {
+                    report.budget_hit = true;
+                }
                 report.violations.push(Violation::Structure(e));
                 return report;
             }
@@ -293,18 +400,29 @@ impl Verifier {
     ) {
         let mut names: HashMap<Vec<u8>, Ino> = HashMap::new();
         let mut inos: HashSet<Ino> = HashSet::new();
-        for page in pages.data_pages.iter().flatten() {
+        let mut entries_seen: u64 = 0;
+        'scan: for page in pages.data_pages.iter().flatten() {
             let mut raw = vec![0u8; PAGE_SIZE];
             if self.h.read_untimed(*page, 0, &mut raw).is_err() {
                 continue; // Provenance violation already recorded.
             }
-            for slot in 0..DIRENTS_PER_PAGE {
-                let b: &[u8; DIRENT_SIZE] =
-                    raw[slot * DIRENT_SIZE..(slot + 1) * DIRENT_SIZE].try_into().expect("slot");
+            for (slot, b) in raw.chunks_exact(DIRENT_SIZE).take(DIRENTS_PER_PAGE).enumerate() {
+                let Ok(b) = <&[u8; DIRENT_SIZE]>::try_from(b) else {
+                    continue; // chunks_exact guarantees the size; defensive.
+                };
                 let loc = DirentLoc { page: *page, slot };
                 let d = DirentData::decode_bytes(b);
                 if d.ino == 0 {
                     continue;
+                }
+                entries_seen += 1;
+                if entries_seen > req.max_dir_entries {
+                    // Hostile entry bomb: stop here, reject the file. The
+                    // bound keeps verification time independent of how
+                    // much garbage the LibFS can forge.
+                    report.budget_hit = true;
+                    report.violations.push(Violation::BudgetExceeded { entries_seen });
+                    break 'scan;
                 }
                 if in_sim() {
                     work(cost::VERIFY_ENTRY_NS);

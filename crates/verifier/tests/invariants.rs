@@ -104,6 +104,7 @@ fn dir_request<'a>(ck: Option<&'a HashSet<Ino>>) -> VerifyRequest<'a> {
         dirty_actor: LIBFS,
         checkpoint_children: ck,
         max_index_pages: 64,
+        max_dir_entries: 1 << 20,
     }
 }
 
@@ -116,6 +117,7 @@ fn file_request() -> VerifyRequest<'static> {
         dirty_actor: LIBFS,
         checkpoint_children: None,
         max_index_pages: 64,
+        max_dir_entries: 1 << 20,
     }
 }
 

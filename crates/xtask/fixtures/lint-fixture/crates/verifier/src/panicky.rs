@@ -1,0 +1,28 @@
+//! no-panic fixture: this file sits under `crates/verifier/src/` inside
+//! the fixture tree, so every panicking construct below must be reported
+//! — except the annotated one.
+
+pub fn trips_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn trips_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn trips_panic_macro(x: u32) -> u32 {
+    if x == 0 {
+        panic!("fixture abort");
+    }
+    x
+}
+
+pub fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic) fixture: invariant established two lines up
+    x.unwrap()
+}
+
+pub fn not_a_panic_site(x: Option<u32>) -> u32 {
+    // `unwrap_or` and `should_panic`-style identifiers must not match.
+    x.unwrap_or(0)
+}

@@ -18,6 +18,12 @@
 //!   `// lint: allow(flush-fence) <reason>` annotation. A flush that never
 //!   meets a fence is exactly the bug class the runtime sanitizer flags as
 //!   `missing-fence`; this catches the easy cases at review time.
+//! * **no-panic** — `crates/verifier/src` and `crates/kernel/src` process
+//!   attacker-controlled bytes and must uphold the repair-or-reject
+//!   contract (DESIGN.md §14): every failure becomes a `Violation` or an
+//!   `FsError`, never a panic. `.unwrap()`, `.expect(…)` and `panic!(…)`
+//!   are forbidden there; the rare justified site carries
+//!   `// lint: allow(no-panic) <reason>`.
 //!
 //! Any rule can be suppressed per-site with `// lint: allow(<rule-id>)
 //! <reason>` on the flagged line or up to two lines above it; the reason is
@@ -96,6 +102,7 @@ pub enum Rule {
     NoStdSync,
     SafetyComment,
     FlushFence,
+    NoPanic,
 }
 
 impl Rule {
@@ -105,6 +112,7 @@ impl Rule {
             Rule::NoStdSync => "no-std-sync",
             Rule::SafetyComment => "safety-comment",
             Rule::FlushFence => "flush-fence",
+            Rule::NoPanic => "no-panic",
         }
     }
 }
@@ -177,6 +185,10 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
     let in_nvm = krate.as_deref() == Some("nvm");
     let in_sim = krate.as_deref() == Some("sim");
     let in_xtask = krate.as_deref() == Some("xtask");
+    // The panic-freedom contract covers the code that parses
+    // attacker-controlled bytes — not those crates' test trees.
+    let no_panic_scope =
+        rel.starts_with("crates/verifier/src") || rel.starts_with("crates/kernel/src");
 
     let masked = mask_source(src);
     let raw: Vec<&str> = src.lines().collect();
@@ -250,7 +262,44 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
                 }
             }
         }
+
+        // R5: the verifier and kernel sources are panic-free — attacker
+        // bytes must end in a Violation/FsError, never an abort.
+        if no_panic_scope {
+            for m in ["unwrap", "expect"] {
+                if find_call(line, m).is_some() {
+                    emit(out, rel, &raw, i, Rule::NoPanic, format!(
+                        "`.{m}(…)` can panic on attacker-controlled state; return a \
+                         `Violation`/`FsError` instead (repair-or-reject contract)"
+                    ));
+                }
+            }
+            if macro_invocation(line, "panic").is_some() {
+                emit(out, rel, &raw, i, Rule::NoPanic,
+                    "`panic!` aborts the kernel on attacker-controlled state; return \
+                     a `Violation`/`FsError` instead (repair-or-reject contract)"
+                        .to_string());
+            }
+        }
     }
+}
+
+/// Finds a `name!(` macro invocation in a masked line, tolerating
+/// whitespace before the paren. `name` must not be part of a longer
+/// identifier (`should_panic` doesn't match `panic`).
+fn macro_invocation(line: &str, name: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel_pos) = line[from..].find(name) {
+        let pos = from + rel_pos;
+        let end = pos + name.len();
+        let left_ok = pos == 0 || !is_ident(line[..pos].chars().next_back().unwrap());
+        let after = line[end..].trim_start();
+        if left_ok && after.starts_with('!') && after[1..].trim_start().starts_with('(') {
+            return Some(pos);
+        }
+        from = end;
+    }
+    None
 }
 
 /// Records a finding unless a `lint: allow(<rule-id>) <reason>` annotation
@@ -559,9 +608,13 @@ mod tests {
         let fixture =
             Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join("lint-fixture");
         let (findings, _) = lint_tree(&fixture).unwrap();
-        for rule in
-            [Rule::RawDeviceAccess, Rule::NoStdSync, Rule::SafetyComment, Rule::FlushFence]
-        {
+        for rule in [
+            Rule::RawDeviceAccess,
+            Rule::NoStdSync,
+            Rule::SafetyComment,
+            Rule::FlushFence,
+            Rule::NoPanic,
+        ] {
             assert!(
                 findings.iter().any(|f| f.rule == rule),
                 "fixture should trip {}, got:\n{}",
@@ -580,6 +633,20 @@ mod tests {
             findings.iter().any(|f| f.msg.contains("requires a reason")),
             "bare allow must be reported"
         );
+        // no-panic: the three live sites trip, the annotated one and the
+        // `unwrap_or` lookalike stay clean.
+        let panicky: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::NoPanic)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(panicky.len(), 3, "exactly the three live panic sites: {panicky:?}");
+        let fixture_src = fixture.join("crates").join("verifier").join("src").join("panicky.rs");
+        let src = std::fs::read_to_string(&fixture_src).unwrap();
+        let line_of = |needle: &str| src.lines().position(|l| l.contains(needle)).unwrap() + 1;
+        assert!(!panicky.contains(&line_of("lint: allow(no-panic) fixture")));
+        assert!(!panicky.contains(&(line_of("lint: allow(no-panic) fixture") + 1)));
+        assert!(!panicky.contains(&line_of("unwrap_or(0)")));
     }
 
     /// 1-based line of the first raw line containing `needle` in the

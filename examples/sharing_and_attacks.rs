@@ -71,6 +71,12 @@ fn main() {
                 KernelEvent::Privatized { ino, .. } => {
                     println!("kernel: ino {ino} privatized (corrupt, never checkpointed)")
                 }
+                KernelEvent::Quarantined { actor, tainted } => {
+                    println!("kernel: actor {actor:?} quarantined ({tainted} tainted files)")
+                }
+                KernelEvent::Readmitted { actor } => {
+                    println!("kernel: actor {actor:?} repaired and re-admitted")
+                }
             }
         }
         match result {
@@ -81,6 +87,7 @@ fn main() {
             Err(e) => println!("alice's read failed cleanly: {e}"),
         }
         println!("\ncorruption was confined to the attacker; alice was never exposed.");
+        println!("resilience counters: {}", k.resilience_stats().snapshot().to_json());
     });
     rt.run();
 }

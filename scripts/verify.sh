@@ -16,9 +16,9 @@ cargo clippy --workspace -- -D warnings
 
 echo
 echo "== lint gate: cargo xtask lint =="
-# Project-specific static pass (DESIGN.md §13): raw-device-access,
-# no-std-sync, safety-comment, flush-fence. Must be clean on the
-# workspace and must still flag every rule on its fixture crate.
+# Project-specific static pass (DESIGN.md §13, §14): raw-device-access,
+# no-std-sync, safety-comment, flush-fence, no-panic. Must be clean on
+# the workspace and must still flag every rule on its fixture crate.
 cargo xtask lint
 if cargo xtask lint crates/xtask/fixtures/lint-fixture > /dev/null 2>&1; then
     echo "FAIL: xtask lint did not flag the rule-violating fixture." >&2
@@ -45,6 +45,17 @@ cargo test -q --features sanitize --test datapath
 echo
 echo "== race-detector gate: cross-LibFS races + clean delegated path =="
 cargo test -q --test race_detect
+
+echo
+echo "== adversarial gate: seeded grammar-corruption campaign (2k iters) =="
+# The corruption fuzzer (DESIGN.md §14) drives every mutation production
+# through a hostile LibFS at a fixed seed: zero panics, zero hangs,
+# victim model-equivalence, and quarantine→repair→re-admission on every
+# confirmed violation. Dumps target/adversary-report.json for triage;
+# any failure line carries the (seed, iteration) needed to replay it via
+# TRIO_ADV_SEED/TRIO_ADV_ITER.
+TRIO_FUZZ_ITERS=2000 cargo test -q --release --test adversary_fuzz
+echo "OK: adversarial campaign clean (report at target/adversary-report.json)."
 
 echo
 echo "== zero-overhead gate: standalone trio-bench (no 'faults' feature) =="

@@ -121,6 +121,49 @@ fn victim_sees_consistent_state_after_every_attack() {
     }
 }
 
+/// Every handcrafted attack must also drive the quarantine lifecycle end
+/// to end: the offender is quarantined (mappings revoked, taint recorded),
+/// background repair runs, and the offender is re-admitted — after which
+/// the victim's view is consistent and nothing is left quarantined.
+#[test]
+fn all_eleven_attacks_quarantine_repair_and_readmit() {
+    for attack in ALL_ATTACKS {
+        let w = Arc::new(world());
+        let rt = SimRuntime::new(41);
+        let w2 = Arc::clone(&w);
+        rt.spawn("attack", move || {
+            let evil_actor = w2.evil.actor();
+            stage(&w2);
+            let target = if attack == Attack::RemoveNonEmptyDir { "victim-sub" } else { "victim" };
+            run_attack(&w2.evil, attack, "/dir", target).unwrap();
+            let events = victim_remaps(&w2);
+            let quarantined = events
+                .iter()
+                .any(|e| matches!(e, KernelEvent::Quarantined { actor, .. } if *actor == evil_actor));
+            let readmitted = events
+                .iter()
+                .any(|e| matches!(e, KernelEvent::Readmitted { actor } if *actor == evil_actor));
+            assert!(quarantined, "{attack:?}: offender must be quarantined");
+            assert!(readmitted, "{attack:?}: offender must be repaired and re-admitted");
+            assert!(
+                w2.kernel.quarantined_actors().is_empty(),
+                "{attack:?}: no actor may remain quarantined after repair"
+            );
+            // Re-admission is real: the offender can operate again...
+            w2.evil.create("/dir/after-readmit", Mode(0o666)).unwrap();
+            w2.evil.unlink("/dir/after-readmit").unwrap();
+            let _ = w2.evil.release_path("/dir");
+            // ...and the victim's view stayed consistent throughout.
+            let entries = w2.victim.readdir("/dir").unwrap();
+            for e in &entries {
+                let st = w2.victim.stat(&format!("/dir/{}", e.name)).unwrap();
+                assert_eq!(st.ino, e.ino, "{attack:?}: ino consistent after re-admission");
+            }
+        });
+        rt.run();
+    }
+}
+
 /// Scripted corruption sweeps (the paper's automated buggy-LibFS scripts;
 /// §6.5 reports 134 scenarios in total — here 8 offsets × 16 seeds = 128
 /// random single-word corruptions of the directory page plus the 11

@@ -341,3 +341,73 @@ fn corrupt_unverified_creation_is_privatized_not_fatal() {
     });
     rt.run();
 }
+
+/// Lease expiry racing a concurrent re-acquire, under the cross-LibFS
+/// race detector (DESIGN.md §13). A writer stalls past its lease while
+/// TWO other LibFSes contend to take over the same file; the kernel must
+/// serialize revocation → verification → re-grant so that no two actors
+/// ever touch a shared NVM line without a happens-before edge. The
+/// detector aborts the run (panic with a replay seed) if the hand-off is
+/// ever racy; both contenders must also complete and their writes stick.
+#[test]
+fn lease_expiry_vs_concurrent_reacquire_is_race_free() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let rd = Arc::new(trio_sim::RaceDetector::new());
+    assert!(dev.set_race_detector(rd));
+    let kernel = KernelController::format(
+        Arc::clone(&dev),
+        KernelConfig { lease_ns: 10 * MILLIS, ..KernelConfig::default() },
+    );
+    let a = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let b = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let c = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+
+    let rt = SimRuntime::new(0xBEEF);
+    rt.enable_race_detection();
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        write_file(&*a, "/rl", &vec![0x5Au8; 2 * 4096]).unwrap();
+        a.release_path("/rl").unwrap();
+        // A re-acquires the grant and stalls far past the 10ms lease.
+        let stall = Arc::clone(&a);
+        let staller = trio_sim::spawn("staller", move || {
+            let fd = stall.open("/rl", OpenFlags::RDWR, Mode(0o666)).unwrap();
+            stall.pwrite(fd, 0, &[0x11u8; 8]).unwrap();
+            trio_sim::work(120 * MILLIS);
+            let _ = stall.close(fd);
+        });
+        // B and C race each other (and the expiring lease) for the grant.
+        let contender = |fs: Arc<ArckFs>, tag: u8| {
+            move || {
+                trio_sim::work(MILLIS);
+                let fd = fs.open("/rl", OpenFlags::RDWR, Mode(0o666)).unwrap();
+                fs.pwrite(fd, 4096 + tag as u64 * 64, &[tag; 64]).unwrap();
+                fs.close(fd).unwrap();
+                fs.release_path("/rl").unwrap();
+            }
+        };
+        let hb = trio_sim::spawn("contender-b", contender(Arc::clone(&b), 1));
+        let hc = trio_sim::spawn("contender-c", contender(Arc::clone(&c), 2));
+        hb.join();
+        hc.join();
+        staller.join();
+        // Exactly one revocation chain ran and both takeovers landed.
+        let events = k.take_events();
+        use trio_kernel::registry::KernelEvent as E;
+        assert!(
+            events.iter().any(|e| matches!(e, E::LeaseRevoked { .. })),
+            "the stalled writer's lease must be revoked: {events:?}"
+        );
+        let got = read_file(&*b, "/rl").unwrap();
+        assert!(got[4096 + 64..4096 + 128].iter().all(|&x| x == 1), "B's write survives");
+        assert!(got[4096 + 128..4096 + 192].iter().all(|&x| x == 2), "C's write survives");
+    });
+    // The detector panics the whole run on any unsynchronized hand-off.
+    let out = catch_unwind(AssertUnwindSafe(|| rt.run()));
+    assert!(out.is_ok(), "lease hand-off raced under the detector");
+}
