@@ -24,6 +24,8 @@ fn main() {
     println!("# Data-path smoke bench (virtual time, seed 42)");
 
     // Scenario 1: the gate metric.
+    #[cfg(feature = "obs")]
+    let obs_base = trio_obs::snapshot();
     let world = World::build("ArckFS", 8, 64 * 1024);
     let stats = world.path_stats().expect("ArckFS world has a kernel");
     let wl = Arc::new(Fio {
@@ -43,6 +45,14 @@ fn main() {
         deleg_snap.delegated_write_bytes > 0,
         "64 KiB writes must take the delegated path"
     );
+    #[cfg(feature = "obs")]
+    let obs_base = {
+        let snap = trio_obs::snapshot();
+        for line in snap.delta(&obs_base).table_lines() {
+            println!("# obs {line}");
+        }
+        snap
+    };
 
     // Scenario 2: loaded small writes, fig6(f) shape at one rung.
     let world = World::build("ArckFS", 8, 128 * 1024);
@@ -68,4 +78,16 @@ fn main() {
     let out = std::env::var("TRIO_BENCH_OUT").unwrap_or_else(|_| "BENCH_datapath.json".into());
     std::fs::write(&out, format!("{json}\n")).expect("write bench json");
     println!("# wrote {out}");
+
+    // With obs on, also print the per-stage latency table for scenario 2
+    // (EXPERIMENTS.md's breakdown table comes from here) and leave a
+    // timeline artifact for the verify.sh obs gate to validate.
+    #[cfg(feature = "obs")]
+    {
+        for line in trio_obs::snapshot().delta(&obs_base).table_lines() {
+            println!("# obs {line}");
+        }
+        let path = trio_obs::dump_now("bench-datapath").expect("write obs timeline");
+        println!("# wrote {}", path.display());
+    }
 }

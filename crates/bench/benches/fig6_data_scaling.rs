@@ -14,6 +14,8 @@ use trio_workloads::fio::{Fio, FioOp};
 
 fn panel(title: &str, fs_list: &[&str], nodes: usize, block: usize, op: FioOp, threads: &[usize]) {
     print_thread_header(title, threads);
+    #[cfg(feature = "obs")]
+    let obs_base = trio_obs::snapshot();
     let max_threads = *threads.iter().max().unwrap();
     for fs in fs_list {
         let mut vals = Vec::new();
@@ -37,6 +39,12 @@ fn panel(title: &str, fs_list: &[&str], nodes: usize, block: usize, op: FioOp, t
         if let Some(snap) = top_stats {
             println!("#   {fs} @{max_threads}t  {}", snap.summary_line());
         }
+    }
+    // Per-stage latency breakdown for the whole panel (all FSes, all
+    // rungs); EXPERIMENTS.md's fig6 table reads the (f) panel of this.
+    #[cfg(feature = "obs")]
+    for line in trio_obs::snapshot().delta(&obs_base).table_lines() {
+        println!("# obs {line}");
     }
 }
 

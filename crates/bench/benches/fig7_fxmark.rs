@@ -23,6 +23,8 @@ fn main() {
     };
     for bench in ALL_FXMARK {
         print_thread_header(bench.name(), &threads);
+        #[cfg(feature = "obs")]
+        let obs_base = trio_obs::snapshot();
         for fs in &fs_list {
             let mut vals = Vec::new();
             let mut top_stats = None;
@@ -42,6 +44,11 @@ fn main() {
             if let Some(snap) = top_stats {
                 println!("#   {fs} @{max_threads}t  {}", snap.summary_line());
             }
+        }
+        // Per-stage latency breakdown across the panel's delegated ops.
+        #[cfg(feature = "obs")]
+        for line in trio_obs::snapshot().delta(&obs_base).table_lines() {
+            println!("# obs {line}");
         }
     }
 }

@@ -314,6 +314,7 @@ pub fn run_mutation(
             let payload: Arc<[u8]> = vec![0xAB; 64].into();
             let req = |reply| DelegReq {
                 actor: fs.actor(),
+                op_id: 0,
                 runs: vec![DelegRun {
                     pages: vec![page],
                     start: 0,
@@ -331,6 +332,7 @@ pub fn run_mutation(
             let page = fs.debug_take_pool_page();
             let req = |reply| DelegReq {
                 actor: fs.actor(),
+                op_id: 0,
                 runs: vec![DelegRun {
                     pages: vec![page],
                     start: 0,
@@ -349,6 +351,7 @@ pub fn run_mutation(
             let payload: Arc<[u8]> = vec![0x5A; 128].into();
             let req = |reply| DelegReq {
                 actor: fs.actor(),
+                op_id: 0,
                 runs: vec![DelegRun { pages: vec![page], start: 0, payload: 0..128, read_len: 0 }],
                 payload: Some(Arc::clone(&payload)),
                 tag: 0,
@@ -362,6 +365,7 @@ pub fn run_mutation(
             let runs: Vec<DelegRun> = (0..10_000).map(|_| run.clone()).collect();
             let req = |reply| DelegReq {
                 actor: fs.actor(),
+                op_id: 0,
                 runs: runs.clone(),
                 payload: None,
                 tag: 0,

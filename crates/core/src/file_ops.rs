@@ -28,6 +28,7 @@ impl ArckFs {
         if buf.is_empty() {
             return Ok(0);
         }
+        let _span = crate::obs::syscall_span(false, self.actor.0, buf.len() as u64);
         self.with_mapped(node, false, |fs| {
             let g = node.inner.read();
             if g.map == MapState::Unmapped {
@@ -53,6 +54,7 @@ impl ArckFs {
         if data.is_empty() {
             return Ok(0);
         }
+        let _span = crate::obs::syscall_span(true, self.actor.0, data.len() as u64);
         let len = data.len();
         self.with_mapped(node, true, |fs| {
             // Fast path: in-place overwrite of an allocated span — shared
@@ -272,7 +274,10 @@ impl ArckFs {
                 Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
                 // Graceful degradation: serve directly (correct, merely
                 // slower and possibly remote) rather than fail or hang.
-                Err(DelegationError::Timeout) => self.stats.record_fallback(),
+                Err(DelegationError::Timeout) => {
+                    self.stats.record_fallback();
+                    crate::obs::fallback_dump();
+                }
             }
         }
         self.h.read_extent(pages, start, buf).map_err(Self::fault)?;
@@ -296,7 +301,10 @@ impl ArckFs {
             ) {
                 Ok(()) => return Ok(()),
                 Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
-                Err(DelegationError::Timeout) => self.stats.record_fallback(),
+                Err(DelegationError::Timeout) => {
+                    self.stats.record_fallback();
+                    crate::obs::fallback_dump();
+                }
             }
         }
         self.h.write_extent(pages, start, data).map_err(Self::fault)?;

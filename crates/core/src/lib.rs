@@ -46,6 +46,7 @@ pub mod journal;
 pub mod kvfs;
 pub mod libfs;
 pub mod node;
+pub(crate) mod obs;
 pub mod pool;
 
 use std::sync::Arc;

@@ -104,6 +104,11 @@ pub struct DelegRun {
 pub struct DelegReq {
     /// The requesting LibFS (MMU checks run against it).
     pub actor: ActorId,
+    /// Observability op id of the syscall span this batch serves (0 when
+    /// none — raw/hostile submissions, or the `obs` feature off). Workers
+    /// echo it into their span events so a timeline can stitch the
+    /// client-side submit to the worker-side service.
+    pub op_id: u64,
     /// Node-contiguous runs, in extent order.
     pub runs: Vec<DelegRun>,
     /// For writes: the op's whole payload, shared (not copied) across
@@ -276,7 +281,10 @@ impl DelegationPool {
                             let _ = req.reply.send((req.tag, Err(e)));
                             continue;
                         }
+                        let is_write = req.payload.is_some();
+                        let svc_t0 = crate::obs::worker_begin(req.op_id, is_write, node, req.actor.0);
                         let h = NvmHandle::new(Arc::clone(&dev), req.actor);
+                        let xfer_t0 = crate::obs::transfer_begin();
                         let result = match &req.payload {
                             Some(payload) => {
                                 let mut r = Ok(None);
@@ -308,6 +316,15 @@ impl DelegationPool {
                                 r.map(|()| Some(buf))
                             }
                         };
+                        crate::obs::transfer_end(
+                            req.op_id,
+                            is_write,
+                            node,
+                            req.actor.0,
+                            req.runs.len() as u64,
+                            xfer_t0,
+                        );
+                        crate::obs::worker_end(req.op_id, is_write, node, req.actor.0, svc_t0);
                         let _ = req.reply.send((req.tag, result));
                     }
                 }));
@@ -441,6 +458,7 @@ impl DelegationPool {
                     node,
                     req: DelegReq {
                         actor,
+                        op_id: crate::obs::current_op(),
                         runs: vec![run],
                         payload: payload.map(Arc::clone),
                         tag: batches.len(),
@@ -459,6 +477,13 @@ impl DelegationPool {
     /// backpressure. Fails only when the pool is shut down.
     fn submit(&self, batch: &mut Batch) -> Result<(), ProtError> {
         self.stats.record_submission(batch.req.runs.len());
+        crate::obs::ring_submit(
+            batch.req.op_id,
+            batch.req.payload.is_some(),
+            batch.node,
+            batch.req.actor.0,
+            batch.req.runs.len() as u64,
+        );
         batch.submitted = if in_sim() { now() } else { 0 };
         match self.ring_for(batch.node).try_send(batch.req.clone()) {
             Ok(()) => Ok(()),
@@ -477,8 +502,33 @@ impl DelegationPool {
     /// payload — no copy) with a doubled window, `attempts` times in total;
     /// with `None` it waits forever (the baseline-compatible blocking
     /// mode). `buf` receives scattered read data.
+    ///
+    /// This wrapper also maintains the in-flight gauge that guards
+    /// [`PathStats::reset`] and auto-dumps the obs flight recorder when
+    /// the whole op times out.
     #[allow(clippy::too_many_arguments)]
     fn run_batches(
+        &self,
+        actor: ActorId,
+        pages: &[PageId],
+        start: usize,
+        len: usize,
+        payload: Option<&Arc<[u8]>>,
+        buf: Option<&mut [u8]>,
+        deadline_ns: Option<Nanos>,
+        attempts: u32,
+    ) -> Result<(), DelegationError> {
+        self.stats.enter_delegated_op();
+        let r = self.run_batches_inner(actor, pages, start, len, payload, buf, deadline_ns, attempts);
+        self.stats.exit_delegated_op();
+        if matches!(r, Err(DelegationError::Timeout)) {
+            crate::obs::timeout_dump();
+        }
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_batches_inner(
         &self,
         actor: ActorId,
         pages: &[PageId],
@@ -531,7 +581,15 @@ impl DelegationPool {
                             continue;
                         }
                         if in_sim() {
-                            self.stats.record_ring_hop(now().saturating_sub(b.submitted));
+                            let hop = now().saturating_sub(b.submitted);
+                            self.stats.record_ring_hop(hop);
+                            crate::obs::ring_reply(
+                                b.req.op_id,
+                                b.req.payload.is_some(),
+                                b.node,
+                                b.req.actor.0,
+                                hop,
+                            );
                         }
                         b.done = true;
                         pending -= 1;

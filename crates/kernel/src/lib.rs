@@ -18,6 +18,7 @@
 //! Every public entry point charges the syscall trap cost.
 
 pub mod delegation;
+pub(crate) mod obs;
 pub mod mapping;
 pub mod quarantine;
 pub mod registry;

@@ -705,6 +705,7 @@ impl KernelController {
                 ino,
                 violations: report.violations.len(),
             });
+            crate::obs::violation_dump(ino);
             self.rollback_locked(reg, ino);
             reg.events.push(KernelEvent::RolledBack { ino });
             // Containment: a confirmed violation by a live, registered

@@ -1,0 +1,161 @@
+//! Feature shim over `trio-obs` (DESIGN.md §15).
+//!
+//! The kernel's delegation path calls these hooks unconditionally; with
+//! the `obs` feature off they compile to empty inline bodies, so the hot
+//! path carries no `trio_obs` symbols at all (the `obs-gate` xtask lint
+//! keeps `trio_obs` references confined to this file).
+
+#[cfg(feature = "obs")]
+mod real {
+    use trio_obs::{event, record_latency, trigger_dump, OpKind, Phase, Stage, Trigger};
+
+    #[inline]
+    fn kind(write: bool) -> OpKind {
+        if write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        }
+    }
+
+    /// Op id of the span currently open on this (sim) thread, stamped
+    /// into `DelegReq`s so workers attribute their events to the op.
+    #[inline]
+    pub(crate) fn current_op() -> u64 {
+        trio_obs::current_op()
+    }
+
+    /// A node-batch entered its delegation ring (`aux` = run count).
+    #[inline]
+    pub(crate) fn ring_submit(op: u64, write: bool, node: usize, actor: u32, runs: u64) {
+        event(op, kind(write), Stage::RingHop, Phase::Open, actor as u64, node as u32, runs);
+    }
+
+    /// The client received the reply for a node-batch.
+    #[inline]
+    pub(crate) fn ring_reply(op: u64, write: bool, node: usize, actor: u32, hop_ns: u64) {
+        event(op, kind(write), Stage::RingHop, Phase::Close, actor as u64, node as u32, hop_ns);
+        record_latency(kind(write), Stage::RingHop, hop_ns);
+    }
+
+    /// A delegation worker dequeued a request; returns the service start
+    /// time for the matching [`worker_end`].
+    #[inline]
+    pub(crate) fn worker_begin(op: u64, write: bool, node: usize, actor: u32) -> u64 {
+        event(op, kind(write), Stage::WorkerService, Phase::Open, actor as u64, node as u32, 0);
+        trio_obs::now_ns()
+    }
+
+    /// The worker sent its reply.
+    #[inline]
+    pub(crate) fn worker_end(op: u64, write: bool, node: usize, actor: u32, t0: u64) {
+        let ns = trio_obs::now_ns().saturating_sub(t0);
+        event(op, kind(write), Stage::WorkerService, Phase::Close, actor as u64, node as u32, ns);
+        record_latency(kind(write), Stage::WorkerService, ns);
+    }
+
+    /// The worker is about to touch NVM extents; returns the transfer
+    /// start time for the matching [`transfer_end`].
+    #[inline]
+    pub(crate) fn transfer_begin() -> u64 {
+        trio_obs::now_ns()
+    }
+
+    /// The worker finished its NVM extent accesses (`runs` = run count).
+    #[inline]
+    pub(crate) fn transfer_end(op: u64, write: bool, node: usize, actor: u32, runs: u64, t0: u64) {
+        let ns = trio_obs::now_ns().saturating_sub(t0);
+        event(op, kind(write), Stage::NumaTransfer, Phase::Open, actor as u64, node as u32, runs);
+        event(op, kind(write), Stage::NumaTransfer, Phase::Close, actor as u64, node as u32, ns);
+        record_latency(kind(write), Stage::NumaTransfer, ns);
+    }
+
+    /// A whole delegated op missed its deadline budget.
+    #[inline]
+    pub(crate) fn timeout_dump() {
+        trigger_dump(Trigger::DelegationTimeout);
+    }
+
+    /// The mapping path detected an integrity violation on `ino`.
+    #[inline]
+    pub(crate) fn violation_dump(ino: u64) {
+        event(
+            trio_obs::current_op(),
+            OpKind::Verify,
+            Stage::VerifierWalk,
+            Phase::Close,
+            0,
+            u32::MAX,
+            ino,
+        );
+        trigger_dump(Trigger::Violation);
+    }
+
+    /// A LibFS instance entered quarantine.
+    #[inline]
+    pub(crate) fn quarantine_dump(actor: u32) {
+        event(
+            trio_obs::current_op(),
+            OpKind::Verify,
+            Stage::VerifierWalk,
+            Phase::Close,
+            actor as u64,
+            u32::MAX,
+            0,
+        );
+        trigger_dump(Trigger::QuarantineEntry);
+    }
+}
+
+#[cfg(feature = "obs")]
+pub(crate) use real::*;
+
+#[cfg(not(feature = "obs"))]
+mod noop {
+    #[inline(always)]
+    pub(crate) fn current_op() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn ring_submit(_op: u64, _write: bool, _node: usize, _actor: u32, _runs: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn ring_reply(_op: u64, _write: bool, _node: usize, _actor: u32, _hop_ns: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn worker_begin(_op: u64, _write: bool, _node: usize, _actor: u32) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn worker_end(_op: u64, _write: bool, _node: usize, _actor: u32, _t0: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn transfer_begin() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn transfer_end(
+        _op: u64,
+        _write: bool,
+        _node: usize,
+        _actor: u32,
+        _runs: u64,
+        _t0: u64,
+    ) {
+    }
+
+    #[inline(always)]
+    pub(crate) fn timeout_dump() {}
+
+    #[inline(always)]
+    pub(crate) fn violation_dump(_ino: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn quarantine_dump(_actor: u32) {}
+}
+
+#[cfg(not(feature = "obs"))]
+pub(crate) use noop::*;

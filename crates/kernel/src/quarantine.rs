@@ -235,6 +235,7 @@ impl KernelController {
         self.quarantined_mirror.lock().insert(offender);
         reg.events.push(KernelEvent::Quarantined { actor: offender, tainted: n });
         self.resilience_stats().record_quarantine_entry();
+        crate::obs::quarantine_dump(offender.0);
         if self.config().auto_repair {
             self.repair_actor_locked(reg, offender);
         }
@@ -316,8 +317,8 @@ mod tests {
         let s = ResilienceStats::new();
         s.record_violations(&[
             Violation::BadMode { raw: 0xFFFF },
-            Violation::Structure(WalkError::IndexCycle),
-            Violation::Structure(WalkError::IndexCycle),
+            Violation::Structure(WalkError::IndexCycle(PageId(7))),
+            Violation::Structure(WalkError::IndexCycle(PageId(7))),
         ]);
         let snap = s.snapshot();
         assert_eq!(snap.total_violations(), 3);

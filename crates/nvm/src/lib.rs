@@ -39,6 +39,6 @@ pub use fault::{faults_compiled, CrashReport, FaultPlan};
 pub use sanitize::{Hazard, HazardKind, SanitizeReport};
 pub use handle::NvmHandle;
 pub use perf::BandwidthModel;
-pub use stats::{PathStats, PathStatsSnapshot};
+pub use stats::{PathStats, PathStatsSnapshot, HIST_BUCKETS};
 pub use prot::{ActorId, PagePerm, ProtError, KERNEL_ACTOR};
 pub use topology::{NodeId, PageId, Topology, CACHE_LINE, PAGE_SIZE};

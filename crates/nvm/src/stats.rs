@@ -12,9 +12,22 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Power-of-two histogram buckets for ring round-trip latency. Bucket `i`
-/// covers `[2^i, 2^(i+1))` ns (bucket 0 is `[0, 2)`); the last bucket is
+/// covers `[2^i, 2^(i+1))` ns (zero-ns hops have their own dedicated
+/// counter, so bucket 0 holds exactly the 1 ns hops); the last bucket is
 /// open-ended. 24 buckets reach ~16 ms, far past the delegation deadline.
 pub const HIST_BUCKETS: usize = 24;
+
+/// Geometric midpoint of log bucket `i` (`[2^i, 2^(i+1))`): `2^i·√2`, the
+/// unbiased point estimate for a log-uniform sample. Reporting this
+/// instead of the lower bound removes the up-to-2× downward bias the old
+/// `1 << i` readout carried. Bucket 0 holds only the value 1.
+fn bucket_midpoint_ns(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else {
+        ((1u64 << i) as f64 * std::f64::consts::SQRT_2) as u64
+    }
+}
 
 /// Shared relaxed-atomic counters for the hot data path.
 #[derive(Default)]
@@ -44,6 +57,15 @@ pub struct PathStats {
     deleg_rejected: AtomicU64,
     /// Ring round-trip latency (submit → reply) histogram.
     ring_hop_hist: [AtomicU64; HIST_BUCKETS],
+    /// Ring hops measured at exactly 0 ns (same-instant reply in virtual
+    /// time). Kept out of the log buckets so a zero-cost sim hop is never
+    /// aliased with a 1 ns one.
+    ring_hop_zero: AtomicU64,
+    /// Delegated ops currently between submit and completion — a gauge,
+    /// not a counter. `reset()` debug-asserts it is 0: resetting while
+    /// workers are in flight would mix pre/post-reset counts in one
+    /// measured window (use snapshot deltas instead).
+    in_flight: AtomicU64,
     // -- adaptive policy --
     /// Policy decisions that kept an eligible access on the direct path.
     adaptive_direct: AtomicU64,
@@ -135,8 +157,29 @@ impl PathStats {
     /// Ring round-trip (submit → reply) of `ns` nanoseconds.
     #[inline]
     pub fn record_ring_hop(&self, ns: u64) {
-        let bucket = (63 - (ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        if ns == 0 {
+            Self::bump(&self.ring_hop_zero, 1);
+            return;
+        }
+        let bucket = (63 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1);
         Self::bump(&self.ring_hop_hist[bucket], 1);
+    }
+
+    /// A delegated op entered the submit-and-collect loop.
+    #[inline]
+    pub fn enter_delegated_op(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A delegated op left the submit-and-collect loop (any outcome).
+    #[inline]
+    pub fn exit_delegated_op(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Delegated ops currently in flight (gauge; not part of snapshots).
+    pub fn delegated_in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
     }
 
     /// The adaptive policy routed an eligible access.
@@ -194,6 +237,7 @@ impl PathStats {
             ring_backpressure: self.ring_backpressure.load(Ordering::Relaxed),
             deleg_rejected: self.deleg_rejected.load(Ordering::Relaxed),
             ring_hop_hist: hist,
+            ring_hop_zero: self.ring_hop_zero.load(Ordering::Relaxed),
             adaptive_direct: self.adaptive_direct.load(Ordering::Relaxed),
             adaptive_delegated: self.adaptive_delegated.load(Ordering::Relaxed),
             alloc_fast_hits: self.alloc_fast_hits.load(Ordering::Relaxed),
@@ -205,8 +249,20 @@ impl PathStats {
         }
     }
 
-    /// Resets every counter to zero (bench setup vs measured window).
+    /// Resets every counter to zero.
+    ///
+    /// Only valid on a quiesced path: resetting while delegated ops are in
+    /// flight tears the measured window (a worker that entered before the
+    /// reset keeps bumping counters after it). Bench and test windows
+    /// should prefer [`PathStatsSnapshot::delta`] arithmetic, which needs
+    /// no quiescence at all.
     pub fn reset(&self) {
+        debug_assert_eq!(
+            self.delegated_in_flight(),
+            0,
+            "PathStats::reset() with delegated ops in flight; \
+             use snapshot deltas for measured windows"
+        );
         self.delegated_read_bytes.store(0, Ordering::Relaxed);
         self.delegated_write_bytes.store(0, Ordering::Relaxed);
         self.direct_read_bytes.store(0, Ordering::Relaxed);
@@ -222,6 +278,8 @@ impl PathStats {
         for b in &self.ring_hop_hist {
             b.store(0, Ordering::Relaxed);
         }
+        self.ring_hop_zero.store(0, Ordering::Relaxed);
+        // `in_flight` is a gauge, not a counter: it survives the reset.
         self.adaptive_direct.store(0, Ordering::Relaxed);
         self.adaptive_delegated.store(0, Ordering::Relaxed);
         self.alloc_fast_hits.store(0, Ordering::Relaxed);
@@ -249,6 +307,7 @@ pub struct PathStatsSnapshot {
     pub ring_backpressure: u64,
     pub deleg_rejected: u64,
     pub ring_hop_hist: [u64; HIST_BUCKETS],
+    pub ring_hop_zero: u64,
     pub adaptive_direct: u64,
     pub adaptive_delegated: u64,
     pub alloc_fast_hits: u64,
@@ -270,21 +329,72 @@ impl PathStatsSnapshot {
         }
     }
 
-    /// Median-ish ring hop latency: lower bound of the bucket holding the
-    /// 50th percentile sample, in ns. 0 when no hops were recorded.
-    pub fn ring_hop_p50_ns(&self) -> u64 {
-        let total: u64 = self.ring_hop_hist.iter().sum();
+    /// Latency at the `num/den` quantile of the ring-hop distribution, in
+    /// ns. Zero-ns hops count below bucket 0; samples inside a bucket are
+    /// reported at the bucket's geometric midpoint (`2^i·√2`), not its
+    /// lower bound — the lower bound understated skewed tails by up to 2×.
+    /// Returns 0 when no hops were recorded.
+    fn ring_hop_percentile_ns(&self, num: u64, den: u64) -> u64 {
+        let total = self.ring_hop_zero + self.ring_hop_hist.iter().sum::<u64>();
         if total == 0 {
             return 0;
         }
-        let mut seen = 0u64;
+        let mut seen = self.ring_hop_zero;
+        if seen * den >= num * total {
+            return 0;
+        }
         for (i, &n) in self.ring_hop_hist.iter().enumerate() {
             seen += n;
-            if seen * 2 >= total {
-                return 1u64 << i;
+            if seen * den >= num * total {
+                return bucket_midpoint_ns(i);
             }
         }
-        1u64 << (HIST_BUCKETS - 1)
+        bucket_midpoint_ns(HIST_BUCKETS - 1)
+    }
+
+    /// Median ring hop latency (geometric bucket midpoint), in ns.
+    pub fn ring_hop_p50_ns(&self) -> u64 {
+        self.ring_hop_percentile_ns(1, 2)
+    }
+
+    /// 99th-percentile ring hop latency (geometric bucket midpoint), in ns.
+    pub fn ring_hop_p99_ns(&self) -> u64 {
+        self.ring_hop_percentile_ns(99, 100)
+    }
+
+    /// Counters accumulated since `earlier` (field-wise saturating
+    /// subtraction). The race-free way to carve a measured window out of a
+    /// shared live [`PathStats`]: snapshot before, snapshot after, delta —
+    /// no quiescence needed, unlike [`PathStats::reset`].
+    pub fn delta(&self, earlier: &PathStatsSnapshot) -> PathStatsSnapshot {
+        let mut hist = [0u64; HIST_BUCKETS];
+        for (i, h) in hist.iter_mut().enumerate() {
+            *h = self.ring_hop_hist[i].saturating_sub(earlier.ring_hop_hist[i]);
+        }
+        PathStatsSnapshot {
+            delegated_read_bytes: self.delegated_read_bytes.saturating_sub(earlier.delegated_read_bytes),
+            delegated_write_bytes: self.delegated_write_bytes.saturating_sub(earlier.delegated_write_bytes),
+            direct_read_bytes: self.direct_read_bytes.saturating_sub(earlier.direct_read_bytes),
+            direct_write_bytes: self.direct_write_bytes.saturating_sub(earlier.direct_write_bytes),
+            deleg_requests: self.deleg_requests.saturating_sub(earlier.deleg_requests),
+            deleg_runs: self.deleg_runs.saturating_sub(earlier.deleg_runs),
+            deleg_retries: self.deleg_retries.saturating_sub(earlier.deleg_retries),
+            deleg_timeouts: self.deleg_timeouts.saturating_sub(earlier.deleg_timeouts),
+            deleg_fallbacks: self.deleg_fallbacks.saturating_sub(earlier.deleg_fallbacks),
+            payload_copies: self.payload_copies.saturating_sub(earlier.payload_copies),
+            ring_backpressure: self.ring_backpressure.saturating_sub(earlier.ring_backpressure),
+            deleg_rejected: self.deleg_rejected.saturating_sub(earlier.deleg_rejected),
+            ring_hop_hist: hist,
+            ring_hop_zero: self.ring_hop_zero.saturating_sub(earlier.ring_hop_zero),
+            adaptive_direct: self.adaptive_direct.saturating_sub(earlier.adaptive_direct),
+            adaptive_delegated: self.adaptive_delegated.saturating_sub(earlier.adaptive_delegated),
+            alloc_fast_hits: self.alloc_fast_hits.saturating_sub(earlier.alloc_fast_hits),
+            alloc_refills: self.alloc_refills.saturating_sub(earlier.alloc_refills),
+            alloc_refill_pages: self.alloc_refill_pages.saturating_sub(earlier.alloc_refill_pages),
+            free_cached: self.free_cached.saturating_sub(earlier.free_cached),
+            free_spills: self.free_spills.saturating_sub(earlier.free_spills),
+            registry_locks: self.registry_locks.saturating_sub(earlier.registry_locks),
+        }
     }
 
     /// Hand-rolled JSON object (the workspace is dependency-free). Keys
@@ -319,6 +429,8 @@ impl PathStatsSnapshot {
         push("registry_locks", self.registry_locks.to_string());
         push("alloc_fast_hit_rate", format!("{:.4}", self.alloc_fast_hit_rate()));
         push("ring_hop_p50_ns", self.ring_hop_p50_ns().to_string());
+        push("ring_hop_p99_ns", self.ring_hop_p99_ns().to_string());
+        push("ring_hop_zero", self.ring_hop_zero.to_string());
         let hist: Vec<String> = self.ring_hop_hist.iter().map(|v| v.to_string()).collect();
         out.push_str(&format!("  \"ring_hop_hist\": [{}]\n", hist.join(", ")));
         out.push('}');
@@ -330,7 +442,7 @@ impl PathStatsSnapshot {
         format!(
             "path: deleg {:.1} MiB w / {:.1} MiB r, direct {:.1} MiB w / {:.1} MiB r | \
              batches {} (runs {}), retries {}, fallbacks {}, backpressure {} | \
-             ring p50 {} ns | alloc hit {:.0}%, registry locks {}",
+             ring p50/p99 {}/{} ns | alloc hit {:.0}%, registry locks {}",
             self.delegated_write_bytes as f64 / (1 << 20) as f64,
             self.delegated_read_bytes as f64 / (1 << 20) as f64,
             self.direct_write_bytes as f64 / (1 << 20) as f64,
@@ -341,6 +453,7 @@ impl PathStatsSnapshot {
             self.deleg_fallbacks,
             self.ring_backpressure,
             self.ring_hop_p50_ns(),
+            self.ring_hop_p99_ns(),
             self.alloc_fast_hit_rate() * 100.0,
             self.registry_locks,
         )
@@ -395,14 +508,16 @@ mod tests {
     #[test]
     fn histogram_buckets_by_power_of_two() {
         let s = PathStats::new();
-        s.record_ring_hop(0); // bucket 0
+        s.record_ring_hop(0); // dedicated zero counter, not a bucket
         s.record_ring_hop(1); // bucket 0
         s.record_ring_hop(2); // bucket 1
         s.record_ring_hop(1023); // bucket 9
         s.record_ring_hop(1024); // bucket 10
         s.record_ring_hop(u64::MAX); // clamped to last bucket
-        let h = s.snapshot().ring_hop_hist;
-        assert_eq!(h[0], 2);
+        let snap = s.snapshot();
+        let h = snap.ring_hop_hist;
+        assert_eq!(snap.ring_hop_zero, 1);
+        assert_eq!(h[0], 1);
         assert_eq!(h[1], 1);
         assert_eq!(h[9], 1);
         assert_eq!(h[10], 1);
@@ -413,16 +528,88 @@ mod tests {
     fn p50_and_hit_rate() {
         let s = PathStats::new();
         for _ in 0..3 {
-            s.record_ring_hop(512); // bucket 9
+            s.record_ring_hop(512); // bucket 9, midpoint 512·√2 = 724
         }
         s.record_ring_hop(100_000);
-        assert_eq!(s.snapshot().ring_hop_p50_ns(), 512);
+        assert_eq!(s.snapshot().ring_hop_p50_ns(), 724);
         for _ in 0..9 {
             s.record_alloc_fast_hit();
         }
         s.record_alloc_refill(64);
         let snap = s.snapshot();
         assert!((snap.alloc_fast_hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_pin_against_hand_computed_histogram() {
+        // 2 zero-ns hops, 3 samples in bucket 9, 1 sample in bucket 16.
+        // Ranked: [0, 0, b9, b9, b9, b16]; p50 rank = 3rd sample → bucket 9
+        // midpoint 724; p99 rank = 6th sample → bucket 16 midpoint
+        // 65536·√2 = 92681.
+        let s = PathStats::new();
+        s.record_ring_hop(0);
+        s.record_ring_hop(0);
+        for _ in 0..3 {
+            s.record_ring_hop(600);
+        }
+        s.record_ring_hop(70_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.ring_hop_p50_ns(), 724);
+        assert_eq!(snap.ring_hop_p99_ns(), 92_681);
+
+        // Zero-dominated distribution: the median falls in the zero mass.
+        let z = PathStats::new();
+        for _ in 0..10 {
+            z.record_ring_hop(0);
+        }
+        z.record_ring_hop(64);
+        let zs = z.snapshot();
+        assert_eq!(zs.ring_hop_p50_ns(), 0);
+        assert_eq!(zs.ring_hop_p99_ns(), 90); // 64·√2
+
+        // Empty histogram reports 0, not bucket 0's midpoint.
+        assert_eq!(PathStatsSnapshot::default().ring_hop_p50_ns(), 0);
+        assert_eq!(PathStatsSnapshot::default().ring_hop_p99_ns(), 0);
+    }
+
+    #[test]
+    fn zero_ns_hops_do_not_alias_one_ns_hops() {
+        let s = PathStats::new();
+        s.record_ring_hop(0);
+        s.record_ring_hop(0);
+        s.record_ring_hop(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.ring_hop_zero, 2);
+        assert_eq!(snap.ring_hop_hist[0], 1);
+    }
+
+    #[test]
+    fn delta_isolates_a_measured_window() {
+        let s = PathStats::new();
+        s.record_submission(4);
+        s.record_delegated_bytes(1 << 20, true);
+        s.record_ring_hop(512);
+        let base = s.snapshot();
+        s.record_submission(2);
+        s.record_delegated_bytes(4096, true);
+        s.record_ring_hop(0);
+        s.record_ring_hop(2048);
+        let win = s.snapshot().delta(&base);
+        assert_eq!(win.deleg_requests, 1);
+        assert_eq!(win.deleg_runs, 2);
+        assert_eq!(win.delegated_write_bytes, 4096);
+        assert_eq!(win.ring_hop_zero, 1);
+        assert_eq!(win.ring_hop_hist[9], 0); // pre-window hop subtracted out
+        assert_eq!(win.ring_hop_hist[11], 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn reset_asserts_quiesced() {
+        let s = PathStats::new();
+        s.enter_delegated_op();
+        s.reset();
     }
 
     #[test]
@@ -433,6 +620,8 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"threads\": 28"));
         assert!(j.contains("\"deleg_requests\": 1"));
+        assert!(j.contains("\"ring_hop_p99_ns\": "));
+        assert!(j.contains("\"ring_hop_zero\": "));
         assert!(j.contains("\"ring_hop_hist\": ["));
     }
 }

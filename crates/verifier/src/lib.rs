@@ -33,6 +33,8 @@
 // attribute keeps it that way.
 #![forbid(unsafe_code)]
 
+pub(crate) mod obs;
+
 use std::collections::{HashMap, HashSet};
 
 use trio_fsapi::path::validate_name;
@@ -302,6 +304,9 @@ impl Verifier {
     /// mapping path, so the requester pays — paper §6.5 measures exactly
     /// this latency).
     pub fn verify(&self, req: &VerifyRequest<'_>, view: &dyn ResourceView) -> VerifyReport {
+        // Span guard: closes on every exit path, including the early
+        // structure-walk rejection below.
+        let _walk = crate::obs::walk_span(req.ino, req.dirty_actor.0);
         let mut report = VerifyReport::default();
 
         // --- Dirent-level I1/I4 -------------------------------------------------

@@ -118,6 +118,10 @@ pub fn run_parallel(
         }
         let elapsed = trio_sim::now() - *start.lock();
         let t = *totals.lock();
+        // Mark the measured window in the obs flight recorder so a dumped
+        // timeline shows which spans fell inside it.
+        #[cfg(feature = "obs")]
+        trio_obs::window_marker(*start.lock(), trio_sim::now(), threads as u64, t.ops);
         *out2.lock() =
             Some(Measurement { elapsed_ns: elapsed.max(1), ops: t.ops, bytes: t.bytes, threads });
         teardown();

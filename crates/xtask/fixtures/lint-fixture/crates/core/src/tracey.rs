@@ -1,0 +1,13 @@
+//! Fixture for the obs-gate rule: a hot-path file referencing `trio_obs`
+//! directly instead of going through the crate's cfg-gated `obs.rs` shim.
+
+pub fn leaky_span() -> u64 {
+    // Trips obs-gate: the symbol would be compiled in even with the
+    // feature off.
+    trio_obs::current_op()
+}
+
+pub fn clean_span() -> u64 {
+    // Clean: routed through the shim, which is cfg-gated per crate.
+    crate::obs::current_op()
+}

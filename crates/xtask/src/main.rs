@@ -103,6 +103,7 @@ pub enum Rule {
     SafetyComment,
     FlushFence,
     NoPanic,
+    ObsGate,
 }
 
 impl Rule {
@@ -113,6 +114,7 @@ impl Rule {
             Rule::SafetyComment => "safety-comment",
             Rule::FlushFence => "flush-fence",
             Rule::NoPanic => "no-panic",
+            Rule::ObsGate => "obs-gate",
         }
     }
 }
@@ -189,6 +191,14 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
     // attacker-controlled bytes — not those crates' test trees.
     let no_panic_scope =
         rel.starts_with("crates/verifier/src") || rel.starts_with("crates/kernel/src");
+    // The zero-overhead-when-off story for `obs` rests on every hot-path
+    // crate funneling trio_obs through its cfg-gated `obs.rs` shim; a
+    // direct reference anywhere else would compile the symbol in (or break
+    // obs-off builds outright).
+    let obs_gate_scope = ["crates/nvm/src", "crates/core/src", "crates/kernel/src", "crates/verifier/src"]
+        .iter()
+        .any(|p| rel.starts_with(p))
+        && rel.file_name().is_none_or(|n| n != "obs.rs");
 
     let masked = mask_source(src);
     let raw: Vec<&str> = src.lines().collect();
@@ -280,6 +290,16 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
                      a `Violation`/`FsError` instead (repair-or-reject contract)"
                         .to_string());
             }
+        }
+
+        // R6: `trio_obs` stays behind each crate's `obs.rs` feature shim,
+        // so obs-off builds carry zero observability symbols on the hot
+        // path (mirrors the `faults` zero-overhead gate).
+        if obs_gate_scope && contains_word(line, "trio_obs") {
+            emit(out, rel, &raw, i, Rule::ObsGate,
+                "direct `trio_obs` reference outside the crate's `obs.rs` shim; \
+                 route through `crate::obs::*` so obs-off builds stay symbol-free"
+                    .to_string());
         }
     }
 }
@@ -614,6 +634,7 @@ mod tests {
             Rule::SafetyComment,
             Rule::FlushFence,
             Rule::NoPanic,
+            Rule::ObsGate,
         ] {
             assert!(
                 findings.iter().any(|f| f.rule == rule),

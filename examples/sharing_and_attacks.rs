@@ -88,6 +88,14 @@ fn main() {
         }
         println!("\ncorruption was confined to the attacker; alice was never exposed.");
         println!("resilience counters: {}", k.resilience_stats().snapshot().to_json());
+
+        // The quarantine entry above auto-dumped the obs flight recorder:
+        // a replayable timeline of every span leading up to the attack.
+        #[cfg(feature = "obs")]
+        println!(
+            "obs timeline (auto-dumped on quarantine entry): {}",
+            trio_obs::timeline_path().display()
+        );
     });
     rt.run();
 }

@@ -72,6 +72,31 @@ else
 fi
 
 echo
+echo "== obs gate: obs-on bench auto-dumps a valid flight-recorder timeline =="
+# With the 'obs' feature on, bench_datapath must leave a parseable
+# target/obs-timeline.json behind (DESIGN.md §15): non-empty events and
+# per-stage histograms covering at least the ring hop and the worker
+# service stage. The obs-off half of the gate is the xtask obs-gate lint
+# above: no crate outside its obs.rs shim may reference trio_obs, so the
+# standalone obs-off bench build stays symbol-free.
+rm -f target/obs-timeline.json
+TRIO_BENCH_OUT=/tmp/trio_obs_bench.$$ TRIO_SCALE=16 \
+    cargo bench -p trio-bench --features obs --bench bench_datapath > /dev/null
+rm -f /tmp/trio_obs_bench.$$
+python3 - target/obs-timeline.json <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+events = t.get("events", [])
+stages = set(t.get("stages", {}))
+if not events:
+    sys.exit("FAIL: obs timeline has no events")
+need = {"write/ring-hop", "write/worker-service"}
+if not need <= stages:
+    sys.exit(f"FAIL: obs timeline missing stages {need - stages}")
+print(f"OK: obs timeline valid ({len(events)} events, {len(stages)} stages).")
+EOF
+
+echo
 echo "== perf smoke gate: data-path bench vs committed baseline =="
 # Regenerate BENCH numbers (virtual time: host noise cannot move them)
 # and fail if delegated-write latency regressed >20% vs the committed

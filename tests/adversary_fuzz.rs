@@ -95,7 +95,7 @@ fn run_iteration(campaign_seed: u64, iteration: u64) -> IterOutcome {
         // clean state, exactly like a real sharing handoff.
         evil.mkdir("/dir", Mode(0o777)).unwrap();
         evil.mkdir("/dir/victim-sub", Mode(0o777)).unwrap();
-        write_file(&**&evil, "/dir/victim", &model).unwrap();
+        write_file(&*evil, "/dir/victim", &model).unwrap();
         evil.release_path("/dir").unwrap();
         let _ = victim.readdir("/dir").unwrap();
         assert_eq!(read_file(&*victim, "/dir/victim").unwrap(), model);
@@ -252,7 +252,7 @@ fn run_iteration(campaign_seed: u64, iteration: u64) -> IterOutcome {
 
 #[test]
 fn seeded_corruption_campaign_holds_all_invariants() {
-    let campaign_seed = env_u64("TRIO_ADV_SEED", 0xF0CC_ED);
+    let campaign_seed = env_u64("TRIO_ADV_SEED", 0x00F0_CCED);
     let iters = env_u64("TRIO_FUZZ_ITERS", 400);
     // Replay mode: TRIO_ADV_ITER pins the campaign to one iteration.
     let only: Option<u64> = std::env::var("TRIO_ADV_ITER").ok().and_then(|v| v.parse().ok());

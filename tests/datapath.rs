@@ -39,15 +39,18 @@ fn adaptive_scenario(seed: u64) -> (PathStatsSnapshot, PathStatsSnapshot) {
         // Phase 1: uncontended small writes.
         let fd = fs.open("/solo", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
         fs.pwrite(fd, 0, &vec![0u8; 256 * 1024]).unwrap(); // preallocate
-        stats.reset();
+        let base = stats.snapshot();
         let block = vec![0xABu8; 4096];
         for i in 0..50u64 {
             fs.pwrite(fd, (i % 64) * 4096, &block).unwrap();
         }
         fs.close(fd).unwrap();
-        let uncontended = stats.snapshot();
+        let uncontended = stats.snapshot().delta(&base);
 
         // Phase 2: the same 4 KiB writes, but 24 writers deep on one node.
+        // Snapshot-delta window: taken before the spawns, so no reset can
+        // race a worker already inside the delegation path.
+        let herd_base = stats.snapshot();
         let mut handles = Vec::new();
         for t in 0..24u64 {
             let fs2 = Arc::clone(&fs);
@@ -63,13 +66,10 @@ fn adaptive_scenario(seed: u64) -> (PathStatsSnapshot, PathStatsSnapshot) {
                 fs2.close(fd).unwrap();
             }));
         }
-        stats.reset();
-        // (The reset races benignly with thread startup; phase 2 only
-        // asserts "some writes delegated", not exact phase boundaries.)
         for h in handles {
             h.join();
         }
-        let contended = stats.snapshot();
+        let contended = stats.snapshot().delta(&herd_base);
         k.delegation().shutdown();
         *result2.lock() = Some((uncontended, contended));
     });
@@ -190,9 +190,9 @@ fn delegated_write_copies_payload_exactly_once_across_retries() {
         // Drop every other request: the op only completes via retries.
         k.delegation().inject_faults(0, 0, 2);
         let stats = Arc::clone(k.path_stats());
-        stats.reset();
+        let base = stats.snapshot();
         assert_eq!(fs.pwrite(fd, 0, &data).unwrap(), data.len());
-        let snap = stats.snapshot();
+        let snap = stats.snapshot().delta(&base);
         assert!(snap.deleg_retries >= 1, "drop injection produced no retries: {snap:?}");
         assert_eq!(
             snap.payload_copies, 1,
