@@ -315,6 +315,7 @@ pub fn run_mutation(
             let req = |reply| DelegReq {
                 actor: fs.actor(),
                 op_id: 0,
+                seq: 0,
                 runs: vec![DelegRun {
                     pages: vec![page],
                     start: 0,
@@ -333,6 +334,7 @@ pub fn run_mutation(
             let req = |reply| DelegReq {
                 actor: fs.actor(),
                 op_id: 0,
+                seq: 0,
                 runs: vec![DelegRun {
                     pages: vec![page],
                     start: 0,
@@ -352,6 +354,7 @@ pub fn run_mutation(
             let req = |reply| DelegReq {
                 actor: fs.actor(),
                 op_id: 0,
+                seq: 0,
                 runs: vec![DelegRun { pages: vec![page], start: 0, payload: 0..128, read_len: 0 }],
                 payload: Some(Arc::clone(&payload)),
                 tag: 0,
@@ -366,6 +369,7 @@ pub fn run_mutation(
             let req = |reply| DelegReq {
                 actor: fs.actor(),
                 op_id: 0,
+                seq: 0,
                 runs: runs.clone(),
                 payload: None,
                 tag: 0,

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult};
 use trio_kernel::delegation::DelegationError;
+use trio_kernel::RetryPolicy;
 use trio_layout::{DirentRef, IndexPageRef, ENTRIES_PER_INDEX};
 use trio_nvm::{PageId, PAGE_SIZE};
 use trio_sim::{in_sim, now};
@@ -39,7 +40,7 @@ impl ArckFs {
             }
             let len = buf.len().min((g.size - off) as usize);
             let _r = node.range.acquire(off, len as u64, false);
-            fs.read_span(&g, off, &mut buf[..len])?;
+            fs.read_span(node, &g, off, &mut buf[..len])?;
             Ok(len)
         })
     }
@@ -66,7 +67,7 @@ impl ArckFs {
                 }
                 if off + len as u64 <= g.size && fs.span_allocated(&g, off, len) {
                     let _r = node.range.acquire(off, len as u64, true);
-                    fs.write_span(&g, off, data)?;
+                    fs.write_span(node, &g, off, data)?;
                     return Ok(len);
                 }
             }
@@ -77,7 +78,7 @@ impl ArckFs {
                 return Err(FsError::Stale);
             }
             fs.ensure_span(node, &mut g, off, len)?;
-            fs.write_span(&g, off, data)?;
+            fs.write_span(node, &g, off, data)?;
             if off + len as u64 > g.size {
                 g.size = off + len as u64;
                 g.mtime = now_or_zero();
@@ -146,7 +147,13 @@ impl ArckFs {
 
     /// Reads `[off, off+buf.len())`, filling holes with zeros, charging
     /// per contiguous run.
-    pub(crate) fn read_span(&self, g: &NodeInner, off: u64, buf: &mut [u8]) -> FsResult<()> {
+    pub(crate) fn read_span(
+        &self,
+        node: &Arc<FileNode>,
+        g: &NodeInner,
+        off: u64,
+        buf: &mut [u8],
+    ) -> FsResult<()> {
         let mut pos = 0usize;
         while pos < buf.len() {
             let abs = off as usize + pos;
@@ -173,14 +180,20 @@ impl ArckFs {
                 .collect::<FsResult<_>>()?;
             let run_cap = pages.len() * PAGE_SIZE - in_page;
             let n = run_cap.min(buf.len() - pos);
-            self.rw_extent_read(&pages, in_page, &mut buf[pos..pos + n])?;
+            self.rw_extent_read(node, &pages, in_page, &mut buf[pos..pos + n])?;
             pos += n;
         }
         Ok(())
     }
 
     /// Writes `data` at `off`; every page in the span must be allocated.
-    pub(crate) fn write_span(&self, g: &NodeInner, off: u64, data: &[u8]) -> FsResult<()> {
+    pub(crate) fn write_span(
+        &self,
+        node: &Arc<FileNode>,
+        g: &NodeInner,
+        off: u64,
+        data: &[u8],
+    ) -> FsResult<()> {
         let first = (off as usize) / PAGE_SIZE;
         let last = (off as usize + data.len() - 1) / PAGE_SIZE;
         let pages: Vec<PageId> = g.data_pages[first..=last]
@@ -188,7 +201,7 @@ impl ArckFs {
             .map(|p| p.ok_or(FsError::InvalidArgument))
             .collect::<FsResult<_>>()?;
         let in_page = (off as usize) % PAGE_SIZE;
-        self.rw_extent_write(&pages, in_page, data)
+        self.rw_extent_write(node, &pages, in_page, data)
     }
 
     /// Whether this access should go through delegation. Static policy:
@@ -199,8 +212,22 @@ impl ArckFs {
     /// node's sampled load has reached the bandwidth-collapse knee — the
     /// regime delegation exists to prevent — or the access would cross
     /// sockets (the remote penalty exceeds the ring round trip).
-    fn route_delegated(&self, pages: &[PageId], len: usize, is_write: bool) -> bool {
-        if !self.cfg.delegation || !self.kernel.delegation().is_started() || !in_sim() {
+    fn route_delegated(
+        &self,
+        node: &Arc<FileNode>,
+        pages: &[PageId],
+        len: usize,
+        is_write: bool,
+    ) -> bool {
+        let pool = self.kernel.delegation();
+        if !self.cfg.delegation || !pool.is_started() || !in_sim() {
+            return false;
+        }
+        // Failure-domain gates (DESIGN.md §16): a pool in degraded mode
+        // sheds everything but probes, and a file whose last delegation
+        // fell back stays direct until the pool recovers or its demotion
+        // window lapses.
+        if !pool.admit_delegated() || node.delegation_demoted(pool.recovery_epoch(), now()) {
             return false;
         }
         match self.cfg.delegation_policy {
@@ -245,31 +272,50 @@ impl ArckFs {
         }
     }
 
-    /// Per-attempt delegation deadline: base budget plus a per-byte term,
-    /// so large ops on a saturated-but-healthy device are not mistaken
-    /// for wedged workers.
-    fn delegation_deadline(&self, len: usize) -> u64 {
-        self.cfg
-            .delegation_timeout_ns
-            .saturating_add(len as u64 * self.cfg.delegation_timeout_ns_per_byte)
+    /// The unified delegation retry policy (DESIGN.md §16): base budget
+    /// plus a per-byte term — recomputed by the pool from the *remaining*
+    /// bytes each attempt, so large ops on a saturated-but-healthy device
+    /// are not mistaken for wedged workers, and retries of a partially
+    /// completed batch get windows scaled to what is actually left.
+    fn delegation_policy(&self) -> RetryPolicy {
+        let p = RetryPolicy::new(
+            self.cfg.delegation_timeout_ns,
+            self.cfg.delegation_timeout_ns_per_byte,
+            self.cfg.delegation_attempts,
+            self.cfg.delegation_backoff_cap_ns,
+        );
+        if self.cfg.delegation_jitter {
+            p
+        } else {
+            p.no_jitter()
+        }
     }
 
-    fn rw_extent_read(&self, pages: &[PageId], start: usize, buf: &mut [u8]) -> FsResult<()> {
-        if self.route_delegated(pages, buf.len(), false) {
+    /// On a whole-op delegation timeout, demote this file to direct
+    /// access for a few op-deadlines so a struggling pool is not hammered
+    /// with doomed submissions; the pool's recovery epoch re-promotes it
+    /// early when a worker restart or degraded-mode exit lands.
+    fn demote_after_fallback(&self, node: &Arc<FileNode>, len: usize) {
+        let pool = self.kernel.delegation();
+        let hold = self.delegation_policy().base_window_ns(0, len).saturating_mul(4);
+        node.demote_delegation(pool.recovery_epoch(), now().saturating_add(hold));
+    }
+
+    fn rw_extent_read(
+        &self,
+        node: &Arc<FileNode>,
+        pages: &[PageId],
+        start: usize,
+        buf: &mut [u8],
+    ) -> FsResult<()> {
+        if self.route_delegated(node, pages, buf.len(), false) {
             // Deadline-bounded with retry-with-backoff (inside the pool):
-            // a stalled or wedged delegation thread must never hang the
-            // client. Each retry is round-robined onto a different ring; a
-            // timed-out read only filled an unspecified prefix, and
-            // re-reading is idempotent.
+            // a stalled, wedged, or dead delegation thread must never hang
+            // the client. Each retry is round-robined onto a different
+            // ring after a watchdog pass; a timed-out read only filled an
+            // unspecified prefix, and re-reading is idempotent.
             let pool = self.kernel.delegation();
-            match pool.try_read_extent(
-                self.actor,
-                pages,
-                start,
-                buf,
-                self.delegation_deadline(buf.len()),
-                self.cfg.delegation_attempts,
-            ) {
+            match pool.try_read_extent(self.actor, pages, start, buf, &self.delegation_policy()) {
                 Ok(()) => return Ok(()),
                 Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
                 // Graceful degradation: serve directly (correct, merely
@@ -277,6 +323,7 @@ impl ArckFs {
                 Err(DelegationError::Timeout) => {
                     self.stats.record_fallback();
                     crate::obs::fallback_dump();
+                    self.demote_after_fallback(node, buf.len());
                 }
             }
         }
@@ -285,25 +332,28 @@ impl ArckFs {
         Ok(())
     }
 
-    fn rw_extent_write(&self, pages: &[PageId], start: usize, data: &[u8]) -> FsResult<()> {
-        if self.route_delegated(pages, data.len(), true) {
-            // Same protocol as reads. Retrying a possibly-executed write is
-            // safe: a delegated write is idempotent (same bytes, same
-            // location), so at-least-once delivery equals exactly-once.
+    fn rw_extent_write(
+        &self,
+        node: &Arc<FileNode>,
+        pages: &[PageId],
+        start: usize,
+        data: &[u8],
+    ) -> FsResult<()> {
+        if self.route_delegated(node, pages, data.len(), true) {
+            // Same protocol as reads. Retrying a possibly-executed write
+            // is safe twice over: the bytes are idempotent (same data,
+            // same location), and the pool's per-op idempotence token
+            // makes the application exactly-once even when a worker died
+            // after applying but before replying.
             let pool = self.kernel.delegation();
-            match pool.try_write_extent(
-                self.actor,
-                pages,
-                start,
-                data,
-                self.delegation_deadline(data.len()),
-                self.cfg.delegation_attempts,
-            ) {
+            match pool.try_write_extent(self.actor, pages, start, data, &self.delegation_policy())
+            {
                 Ok(()) => return Ok(()),
                 Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
                 Err(DelegationError::Timeout) => {
                     self.stats.record_fallback();
                     crate::obs::fallback_dump();
+                    self.demote_after_fallback(node, data.len());
                 }
             }
         }

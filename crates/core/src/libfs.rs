@@ -74,6 +74,12 @@ pub struct ArckFsConfig {
     pub delegation_timeout_ns_per_byte: u64,
     /// Delegated attempts before falling back to direct access.
     pub delegation_attempts: u32,
+    /// Ceiling on the per-attempt exponential backoff (the size-scaled
+    /// first window is never capped; see [`trio_kernel::RetryPolicy`]).
+    pub delegation_backoff_cap_ns: u64,
+    /// Add deterministic jitter (sim-RNG-drawn, up to +12.5%) to each
+    /// retry window so synchronized clients don't retry in lockstep.
+    pub delegation_jitter: bool,
 }
 
 impl Default for ArckFsConfig {
@@ -93,6 +99,8 @@ impl Default for ArckFsConfig {
             delegation_timeout_ns: 5 * trio_sim::MILLIS,
             delegation_timeout_ns_per_byte: 8,
             delegation_attempts: 3,
+            delegation_backoff_cap_ns: 40 * trio_sim::MILLIS,
+            delegation_jitter: true,
         }
     }
 }

@@ -63,6 +63,21 @@ mod real {
     pub(crate) fn fallback_dump() {
         trigger_dump(Trigger::DelegationFallback);
     }
+
+    /// The page pool hit allocator exhaustion and is backing off before
+    /// re-requesting a (smaller) refill.
+    #[inline]
+    pub(crate) fn refill_retry(attempt: u32, window_ns: u64) {
+        event(
+            trio_obs::current_op(),
+            OpKind::Harness,
+            Stage::Retry,
+            Phase::Open,
+            attempt as u64,
+            u32::MAX,
+            window_ns,
+        );
+    }
 }
 
 #[cfg(feature = "obs")]
@@ -80,6 +95,9 @@ mod noop {
 
     #[inline(always)]
     pub(crate) fn fallback_dump() {}
+
+    #[inline(always)]
+    pub(crate) fn refill_retry(_attempt: u32, _window_ns: u64) {}
 }
 
 #[cfg(not(feature = "obs"))]

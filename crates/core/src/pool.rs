@@ -8,11 +8,18 @@
 
 use std::sync::Arc;
 
-use trio_fsapi::FsResult;
-use trio_kernel::KernelController;
+use trio_fsapi::{FsError, FsResult};
+use trio_kernel::{KernelController, RetryPolicy};
 use trio_layout::Ino;
 use trio_nvm::{ActorId, PageId};
 use trio_sim::sync::SimMutex;
+use trio_sim::{in_sim, work};
+
+/// Backoff for allocator-exhaustion refill retries: transient `NoSpace`
+/// (another LibFS is between free and reuse, or the pools are momentarily
+/// drained by a reclamation burst) deserves a brief wait and a smaller
+/// ask before the failure propagates to the syscall.
+const REFILL_RETRY: RetryPolicy = RetryPolicy::new(50_000, 0, 3, 400_000).no_jitter();
 
 /// Batched page pool, one bucket per NUMA node.
 pub struct PagePool {
@@ -34,6 +41,31 @@ impl PagePool {
         }
     }
 
+    /// One kernel refill, retrying transient exhaustion per
+    /// [`REFILL_RETRY`]: each retry waits the policy window and halves
+    /// the ask (a smaller batch can succeed where a full one cannot);
+    /// never returns fewer than `need` pages.
+    fn refill(&self, node: usize, need: usize) -> FsResult<Vec<PageId>> {
+        let mut want = self.batch.max(need);
+        let mut attempt = 0u32;
+        loop {
+            match self.kernel.alloc_pages(self.actor, want, Some(node)) {
+                Ok(pages) => return Ok(pages),
+                Err(FsError::NoSpace) if attempt + 1 < REFILL_RETRY.attempts() => {
+                    let w = REFILL_RETRY.window_ns(attempt, 0);
+                    self.kernel.delegation().stats().record_refill_retry();
+                    crate::obs::refill_retry(attempt, w);
+                    if in_sim() {
+                        work(w);
+                    }
+                    want = (want / 2).max(need).max(1);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Takes one page on `node` (refilling from the kernel as needed).
     /// Refills run *outside* the pool lock so one thread's kernel trip
     /// (batched MMU programming) never convoys its siblings.
@@ -42,7 +74,7 @@ impl PagePool {
         if let Some(p) = self.per_node[node].lock().pop() {
             return Ok(p);
         }
-        let refill = self.kernel.alloc_pages(self.actor, self.batch, Some(node))?;
+        let refill = self.refill(node, 1)?;
         let mut pool = self.per_node[node].lock();
         pool.extend(refill);
         Ok(pool.pop().expect("batch is non-empty"))
@@ -60,8 +92,7 @@ impl PagePool {
                 }
             }
             let have = self.per_node[node].lock().len();
-            let want = self.batch.max(n - have);
-            let refill = self.kernel.alloc_pages(self.actor, want, Some(node))?;
+            let refill = self.refill(node, n - have)?;
             self.per_node[node].lock().extend(refill);
         }
     }

@@ -18,16 +18,40 @@
 //!
 //! Permission is enforced end-to-end: a delegation thread performs the
 //! access *as the requesting actor*, so the MMU check still applies.
+//!
+//! # Failure domains (DESIGN.md §16)
+//!
+//! The pool is also a failure domain. Each worker carries a heartbeat
+//! epoch and an in-flight slot; [`DelegationPool::watchdog_scan`]
+//! (invoked from every client deadline miss, and callable directly)
+//! detects workers that died mid-request, re-dispatches the orphaned
+//! request to a healthy ring, and respawns the worker on its original
+//! ring. Writes carry a monotonic `(actor, seq)` idempotence token: a
+//! worker records the token only *after* the full request applied, and a
+//! re-dispatched or retried write whose token is already recorded is
+//! acknowledged without touching media — exactly-once application even
+//! when the first worker died between apply and reply. Under sustained
+//! failure or ring backpressure the pool enters a [`DegradedMode`] that
+//! sheds delegation to direct access, probing periodically so recovery
+//! re-promotes traffic.
 
+use std::collections::{HashSet, VecDeque};
 #[cfg(feature = "faults")]
-use std::sync::atomic::AtomicU64;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicU8;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use trio_nvm::{ActorId, NvmDevice, NvmHandle, PageId, PathStats, ProtError, PAGE_SIZE};
+#[cfg(feature = "faults")]
+use trio_nvm::WorkerKillPlan;
+use trio_nvm::{
+    ActorId, NvmDevice, NvmHandle, PageId, PathStats, ProtError, WorkerKillPoint, PAGE_SIZE,
+};
 use trio_sim::plock::Mutex as PlMutex;
 use trio_sim::sync::{RecvDeadline, SimChannel};
 use trio_sim::{in_sim, now, spawn, JoinHandle, Nanos};
+
+use crate::registry::KernelEvent;
+use crate::retry::RetryPolicy;
 
 /// Reply-ring capacity. Must exceed the most completions an op can have in
 /// flight (touched nodes × retry attempts), so a late worker reply to an
@@ -44,6 +68,28 @@ const MAX_RUNS_PER_REQ: usize = 4096;
 /// the delegation thread, so an unchecked `read_len` is a kernel-side
 /// allocation bomb.
 const MAX_BYTES_PER_REQ: usize = 64 << 20;
+
+/// Idempotence-token window: the most recently recorded write tokens the
+/// pool remembers. Sized far past any plausible in-flight retry horizon
+/// (tokens only matter while the op that minted them can still retry).
+const IDEM_WINDOW: usize = 8192;
+
+/// Consecutive whole-op delegation failures that trip degraded mode.
+const DEGRADE_AFTER_FAILURES: u64 = 3;
+
+/// Consecutive backpressured submissions that trip degraded mode.
+const DEGRADE_AFTER_BACKPRESSURE: u64 = 64;
+
+/// Consecutive delegated successes that clear degraded mode.
+const RECOVER_AFTER_SUCCESSES: u64 = 8;
+
+/// While degraded, one in this many eligible ops is admitted as a probe
+/// (its success is what eventually clears degraded mode).
+const PROBE_EVERY: u64 = 16;
+
+/// "No worker-kill plan armed" sentinel.
+#[cfg(feature = "faults")]
+const KILL_UNSET: u64 = u64::MAX;
 
 /// Worker-side admission check for one ring request. Everything here is
 /// normally guaranteed by [`DelegationPool::build_batches`], but the ring
@@ -109,6 +155,13 @@ pub struct DelegReq {
     /// echo it into their span events so a timeline can stitch the
     /// client-side submit to the worker-side service.
     pub op_id: u64,
+    /// Idempotence token: monotonic per-pool write sequence (0 = none;
+    /// reads and raw submissions carry 0). Together with `actor` and
+    /// `tag` it names one batch of one write op; a worker records the
+    /// token after applying and skips any re-dispatch/retry that carries
+    /// an already-recorded token, so a write applies exactly once even
+    /// if the worker that applied it died before replying.
+    pub seq: u64,
     /// Node-contiguous runs, in extent order.
     pub runs: Vec<DelegRun>,
     /// For writes: the op's whole payload, shared (not copied) across
@@ -163,9 +216,8 @@ impl std::fmt::Display for DelegationError {
 ///
 /// Draws come from each delegation thread's own deterministic RNG
 /// ([`trio_sim::rng`]), so a given `(seed, settings)` pair replays the same
-/// stalls and drops. All fields are "one in N" rates; zero disables.
+/// stalls, drops, and kills. The rate fields are "one in N"; zero disables.
 #[cfg(feature = "faults")]
-#[derive(Default)]
 pub struct DelegationFaults {
     /// Stall one in N served requests by `stall_ns` of virtual time.
     stall_one_in: AtomicU64,
@@ -173,6 +225,52 @@ pub struct DelegationFaults {
     stall_ns: AtomicU64,
     /// Drop one in N requests without ever replying (a wedged thread).
     drop_one_in: AtomicU64,
+    /// Requests popped so far, across all workers — the replay coordinate
+    /// of an armed [`WorkerKillPlan`].
+    served: AtomicU64,
+    /// Pop index at which to kill the serving worker; `KILL_UNSET` off.
+    kill_at_request: AtomicU64,
+    /// The armed kill point (`WorkerKillPoint as u8`).
+    kill_point: AtomicU8,
+    /// Randomly kill the serving worker one in N requests, at a kill
+    /// point drawn from the worker's RNG.
+    kill_one_in: AtomicU64,
+}
+
+#[cfg(feature = "faults")]
+impl Default for DelegationFaults {
+    fn default() -> Self {
+        DelegationFaults {
+            stall_one_in: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            drop_one_in: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            // 0 is a real pop index; "disarmed" must be the sentinel.
+            kill_at_request: AtomicU64::new(KILL_UNSET),
+            kill_point: AtomicU8::new(0),
+            kill_one_in: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+impl DelegationFaults {
+    /// Per-request kill decision, made right after the ring pop. The
+    /// armed one-shot plan disarms itself when it fires so the respawned
+    /// worker serves the re-dispatch instead of dying again.
+    fn draw_kill(&self) -> Option<WorkerKillPoint> {
+        let n = self.served.fetch_add(1, Ordering::Relaxed);
+        if self.kill_at_request.load(Ordering::Relaxed) == n {
+            self.kill_at_request.store(KILL_UNSET, Ordering::Relaxed);
+            return WorkerKillPoint::from_index(self.kill_point.load(Ordering::Relaxed));
+        }
+        let one_in = self.kill_one_in.load(Ordering::Relaxed);
+        if one_in != 0 && trio_sim::rng::with_rng(|r| r.one_in(one_in)) {
+            let idx = trio_sim::rng::with_rng(|r| r.gen_range(3)) as u8;
+            return WorkerKillPoint::from_index(idx);
+        }
+        None
+    }
 }
 
 /// Client-side bookkeeping for one batch of an in-flight op.
@@ -182,9 +280,111 @@ struct Batch {
     /// Read scatter list: `(offset into the caller's buffer, len)` per run,
     /// in the same order the worker concatenates them.
     scatter: Vec<(usize, usize)>,
+    /// Bytes this batch moves — the unit the retry window is recomputed
+    /// from (remaining work only, not the original op size).
+    bytes: usize,
     /// Virtual submit time of the latest attempt, for the hop histogram.
     submitted: Nanos,
     done: bool,
+}
+
+/// One delegation worker's kernel-side health record. The worker bumps
+/// `epoch` every servicing loop (the heartbeat) and parks the request it
+/// is serving in `inflight`; a killed worker sets `died` and returns,
+/// leaving the orphan behind for the watchdog.
+struct WorkerState {
+    node: usize,
+    /// Ring index within the node (stable across respawns).
+    index: usize,
+    ring: Arc<SimChannel<DelegReq>>,
+    /// Heartbeat: bumped on every ring pop.
+    epoch: AtomicU64,
+    /// Last heartbeat value the watchdog observed.
+    seen_epoch: AtomicU64,
+    /// Set by a dying worker (the sim analogue of process exit — the
+    /// watchdog's `waitpid`-equivalent ground truth).
+    died: AtomicBool,
+    /// Virtual time of death, for recovery-latency accounting.
+    died_at: AtomicU64,
+    /// The request being serviced, if any; a dead worker's orphan.
+    inflight: PlMutex<Option<DelegReq>>,
+}
+
+impl WorkerState {
+    fn new(node: usize, index: usize, ring: Arc<SimChannel<DelegReq>>) -> Self {
+        WorkerState {
+            node,
+            index,
+            ring,
+            epoch: AtomicU64::new(0),
+            seen_epoch: AtomicU64::new(0),
+            died: AtomicBool::new(false),
+            died_at: AtomicU64::new(0),
+            inflight: PlMutex::new(None),
+        }
+    }
+
+    /// Marks this worker dead. Called by the worker itself at a kill
+    /// point; the in-flight slot is deliberately left populated — that is
+    /// the orphan the watchdog re-dispatches.
+    fn die(&self) {
+        self.died_at.store(if in_sim() { now() } else { 0 }, Ordering::Relaxed);
+        self.died.store(true, Ordering::Release);
+    }
+}
+
+/// Bounded-window idempotence-token table (see [`DelegReq::seq`]).
+#[derive(Default)]
+struct IdemTable {
+    set: HashSet<(u64, u64, usize)>,
+    order: VecDeque<(u64, u64, usize)>,
+}
+
+impl IdemTable {
+    fn contains(&self, key: &(u64, u64, usize)) -> bool {
+        self.set.contains(key)
+    }
+
+    fn record(&mut self, key: (u64, u64, usize)) {
+        if self.set.insert(key) {
+            self.order.push_back(key);
+            if self.order.len() > IDEM_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Degradation state machine counters (all relaxed atomics; transitions
+/// are serialized through `degraded`'s swap).
+#[derive(Default)]
+struct Health {
+    consec_failures: AtomicU64,
+    consec_successes: AtomicU64,
+    backpressure_run: AtomicU64,
+    degraded: AtomicBool,
+    /// Bumped on every degraded-mode exit and every worker restart; the
+    /// per-file demotion in the LibFS re-promotes when it advances.
+    recovery_epoch: AtomicU64,
+    probe_tick: AtomicU64,
+    enters: AtomicU64,
+    exits: AtomicU64,
+}
+
+/// Snapshot of the pool's degradation state, surfaced through
+/// [`crate::KernelController::degraded_mode`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradedMode {
+    /// Whether the pool is currently shedding delegation to direct access.
+    pub active: bool,
+    /// Consecutive whole-op delegation failures observed.
+    pub consecutive_failures: u64,
+    /// Lifetime count of degraded-mode entries.
+    pub enters: u64,
+    /// Lifetime count of degraded-mode exits.
+    pub exits: u64,
 }
 
 /// The pool; create once per device, start once per simulation.
@@ -193,8 +393,20 @@ pub struct DelegationPool {
     rings: Vec<Vec<Arc<SimChannel<DelegReq>>>>,
     rr: Vec<AtomicUsize>,
     started: AtomicBool,
+    shutting_down: AtomicBool,
     stats: Arc<PathStats>,
     reply_pool: PlMutex<Vec<Arc<SimChannel<DelegReply>>>>,
+    /// One health record per worker, flattened node-major.
+    workers: Vec<Arc<WorkerState>>,
+    /// Monotonic write-sequence source for idempotence tokens.
+    next_seq: AtomicU64,
+    idem: Arc<PlMutex<IdemTable>>,
+    health: Health,
+    /// Failure-domain events, merged into the registry's stream by
+    /// [`crate::KernelController::take_events`].
+    events: PlMutex<Vec<KernelEvent>>,
+    /// Death-to-restart latencies observed by the watchdog, in virtual ns.
+    recovery_ns: PlMutex<Vec<Nanos>>,
     #[cfg(feature = "faults")]
     faults: Arc<DelegationFaults>,
 }
@@ -211,20 +423,39 @@ impl DelegationPool {
     pub fn with_config(dev: Arc<NvmDevice>, config: DelegationConfig, stats: Arc<PathStats>) -> Self {
         let nodes = dev.topology().nodes;
         let cap = config.ring_capacity.max(1);
-        let rings = (0..nodes)
+        let rings: Vec<Vec<Arc<SimChannel<DelegReq>>>> = (0..nodes)
             .map(|_| {
                 (0..config.threads_per_node.max(1))
                     .map(|_| Arc::new(SimChannel::bounded(cap)))
                     .collect()
             })
             .collect();
+        let workers = rings
+            .iter()
+            .enumerate()
+            .flat_map(|(node, node_rings)| {
+                node_rings
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, ring)| Arc::new(WorkerState::new(node, i, Arc::clone(ring))))
+            })
+            .collect();
+        let health = Health::default();
+        health.recovery_epoch.store(1, Ordering::Relaxed);
         DelegationPool {
             dev,
             rings,
             rr: (0..nodes).map(|_| AtomicUsize::new(0)).collect(),
             started: AtomicBool::new(false),
+            shutting_down: AtomicBool::new(false),
             stats,
             reply_pool: PlMutex::new(Vec::new()),
+            workers,
+            next_seq: AtomicU64::new(0),
+            idem: Arc::new(PlMutex::new(IdemTable::default())),
+            health,
+            events: PlMutex::new(Vec::new()),
+            recovery_ns: PlMutex::new(Vec::new()),
             #[cfg(feature = "faults")]
             faults: Arc::new(DelegationFaults::default()),
         }
@@ -245,92 +476,319 @@ impl DelegationPool {
         self.faults.drop_one_in.store(drop_one_in, Ordering::Relaxed);
     }
 
+    /// Arms a one-shot worker-kill plan: the worker that pops the
+    /// `plan.at_request`-th request (0-based, global pop order) dies at
+    /// `plan.point`. The plan disarms when it fires, so the re-dispatch
+    /// and any client retry are served by healthy workers.
+    #[cfg(feature = "faults")]
+    pub fn arm_worker_kill(&self, plan: WorkerKillPlan) {
+        self.faults.kill_point.store(plan.point as u8, Ordering::Relaxed);
+        self.faults.kill_at_request.store(plan.at_request, Ordering::Relaxed);
+    }
+
+    /// Random worker-kill mode: one in `one_in` served requests kills the
+    /// serving worker at an RNG-drawn kill point. Zero disables.
+    #[cfg(feature = "faults")]
+    pub fn inject_worker_kills(&self, one_in: u64) {
+        self.faults.kill_one_in.store(one_in, Ordering::Relaxed);
+    }
+
+    /// Requests popped so far across all workers (the replay coordinate
+    /// of [`Self::arm_worker_kill`]).
+    #[cfg(feature = "faults")]
+    pub fn requests_served(&self) -> u64 {
+        self.faults.served.load(Ordering::Relaxed)
+    }
+
     /// Spawns the delegation sim-threads. Must be called from inside the
     /// simulation (e.g. the harness's main sim-thread). Returns their join
     /// handles; call [`DelegationPool::shutdown`] to let them exit.
+    /// (Respawned workers' handles are not returned; the runtime joins
+    /// them like any other sim thread.)
     pub fn start(&self) -> Vec<JoinHandle> {
         assert!(!self.started.swap(true, Ordering::SeqCst), "delegation pool already started");
-        let mut handles = Vec::new();
-        for (node, node_rings) in self.rings.iter().enumerate() {
-            for ring in node_rings {
-                let ring = Arc::clone(ring);
-                let dev = Arc::clone(&self.dev);
-                let stats = Arc::clone(&self.stats);
+        self.workers.iter().map(|ws| self.spawn_worker(Arc::clone(ws))).collect()
+    }
+
+    /// Spawns (or respawns) the sim-thread for one worker slot. The
+    /// incarnation serves the slot's original ring, so requests queued
+    /// behind a death are preserved.
+    fn spawn_worker(&self, ws: Arc<WorkerState>) -> JoinHandle {
+        let dev = Arc::clone(&self.dev);
+        let stats = Arc::clone(&self.stats);
+        let idem = Arc::clone(&self.idem);
+        #[cfg(feature = "faults")]
+        let faults = Arc::clone(&self.faults);
+        spawn("delegation", move || {
+            trio_nvm::handle::set_home_node(ws.node);
+            while let Some(req) = ws.ring.recv() {
+                // Heartbeat + in-flight parking: what the watchdog reads.
+                ws.epoch.fetch_add(1, Ordering::Relaxed);
+                *ws.inflight.lock() = Some(req.clone());
                 #[cfg(feature = "faults")]
-                let faults = Arc::clone(&self.faults);
-                handles.push(spawn("delegation", move || {
-                    trio_nvm::handle::set_home_node(node);
-                    while let Some(req) = ring.recv() {
-                        #[cfg(feature = "faults")]
-                        {
-                            let n = faults.stall_one_in.load(Ordering::Relaxed);
-                            if n != 0 && trio_sim::rng::with_rng(|r| r.one_in(n)) {
-                                trio_sim::work(faults.stall_ns.load(Ordering::Relaxed));
-                            }
-                            let n = faults.drop_one_in.load(Ordering::Relaxed);
-                            if n != 0 && trio_sim::rng::with_rng(|r| r.one_in(n)) {
-                                // A wedged thread: the request vanishes and
-                                // no reply is ever sent. Clients must use
-                                // the deadline-bounded entry points to
-                                // survive this.
-                                continue;
-                            }
-                        }
-                        if let Err(e) = validate_req(&req) {
-                            stats.record_deleg_rejected();
-                            let _ = req.reply.send((req.tag, Err(e)));
-                            continue;
-                        }
-                        let is_write = req.payload.is_some();
-                        let svc_t0 = crate::obs::worker_begin(req.op_id, is_write, node, req.actor.0);
-                        let h = NvmHandle::new(Arc::clone(&dev), req.actor);
-                        let xfer_t0 = crate::obs::transfer_begin();
-                        let result = match &req.payload {
-                            Some(payload) => {
-                                let mut r = Ok(None);
-                                for run in &req.runs {
-                                    let Some(data) = payload.get(run.payload.clone()) else {
-                                        r = Err(ProtError::OutOfRange);
-                                        break;
-                                    };
-                                    if let Err(e) = h.write_extent(&run.pages, run.start, data) {
-                                        r = Err(e);
-                                        break;
-                                    }
-                                }
-                                r
-                            }
-                            None => {
-                                let total: usize = req.runs.iter().map(|r| r.read_len).sum();
-                                let mut buf = vec![0u8; total];
-                                let mut r = Ok(());
-                                let mut off = 0;
-                                for run in &req.runs {
-                                    let dst = &mut buf[off..off + run.read_len];
-                                    if let Err(e) = h.read_extent(&run.pages, run.start, dst) {
-                                        r = Err(e);
-                                        break;
-                                    }
-                                    off += run.read_len;
-                                }
-                                r.map(|()| Some(buf))
-                            }
-                        };
-                        crate::obs::transfer_end(
-                            req.op_id,
-                            is_write,
-                            node,
-                            req.actor.0,
-                            req.runs.len() as u64,
-                            xfer_t0,
-                        );
-                        crate::obs::worker_end(req.op_id, is_write, node, req.actor.0, svc_t0);
-                        let _ = req.reply.send((req.tag, result));
+                let kill = faults.draw_kill();
+                #[cfg(not(feature = "faults"))]
+                let kill: Option<WorkerKillPoint> = None;
+                if kill == Some(WorkerKillPoint::AfterPop) {
+                    // Dies with nothing applied: the orphan re-dispatch
+                    // must run the request from scratch.
+                    ws.die();
+                    return;
+                }
+                #[cfg(feature = "faults")]
+                {
+                    let n = faults.stall_one_in.load(Ordering::Relaxed);
+                    if n != 0 && trio_sim::rng::with_rng(|r| r.one_in(n)) {
+                        trio_sim::work(faults.stall_ns.load(Ordering::Relaxed));
                     }
-                }));
+                    let n = faults.drop_one_in.load(Ordering::Relaxed);
+                    if n != 0 && trio_sim::rng::with_rng(|r| r.one_in(n)) {
+                        // A wedged thread: the request vanishes and no
+                        // reply is ever sent. Clients must use the
+                        // deadline-bounded entry points to survive this.
+                        // Not an orphan — the thread lives on — so the
+                        // in-flight slot is cleared.
+                        *ws.inflight.lock() = None;
+                        continue;
+                    }
+                }
+                if let Err(e) = validate_req(&req) {
+                    stats.record_deleg_rejected();
+                    let _ = req.reply.send((req.tag, Err(e)));
+                    *ws.inflight.lock() = None;
+                    continue;
+                }
+                let is_write = req.payload.is_some();
+                let key = (req.actor.0 as u64, req.seq, req.tag);
+                if is_write && req.seq != 0 && idem.lock().contains(&key) {
+                    // Already applied by a previous incarnation that died
+                    // before replying: acknowledge without touching media.
+                    stats.record_dedup_hit();
+                    let _ = req.reply.send((req.tag, Ok(None)));
+                    *ws.inflight.lock() = None;
+                    continue;
+                }
+                let svc_t0 = crate::obs::worker_begin(req.op_id, is_write, ws.node, req.actor.0);
+                let h = NvmHandle::new(Arc::clone(&dev), req.actor);
+                let xfer_t0 = crate::obs::transfer_begin();
+                let mut killed_mid = false;
+                let result = match &req.payload {
+                    Some(payload) => {
+                        let mut r = Ok(None);
+                        for (i, run) in req.runs.iter().enumerate() {
+                            let Some(data) = payload.get(run.payload.clone()) else {
+                                r = Err(ProtError::OutOfRange);
+                                break;
+                            };
+                            if let Err(e) = h.write_extent(&run.pages, run.start, data) {
+                                r = Err(e);
+                                break;
+                            }
+                            if i == 0 && kill == Some(WorkerKillPoint::MidPayload) {
+                                // Dies with the first run applied and the
+                                // token NOT recorded: the re-dispatch
+                                // re-applies the same bytes (idempotent).
+                                killed_mid = true;
+                                break;
+                            }
+                        }
+                        r
+                    }
+                    None => {
+                        let total: usize = req.runs.iter().map(|r| r.read_len).sum();
+                        let mut buf = vec![0u8; total];
+                        let mut r = Ok(());
+                        let mut off = 0;
+                        for (i, run) in req.runs.iter().enumerate() {
+                            let dst = &mut buf[off..off + run.read_len];
+                            if let Err(e) = h.read_extent(&run.pages, run.start, dst) {
+                                r = Err(e);
+                                break;
+                            }
+                            off += run.read_len;
+                            if i == 0 && kill == Some(WorkerKillPoint::MidPayload) {
+                                killed_mid = true;
+                                break;
+                            }
+                        }
+                        r.map(|()| Some(buf))
+                    }
+                };
+                if killed_mid {
+                    ws.die();
+                    return;
+                }
+                crate::obs::transfer_end(
+                    req.op_id,
+                    is_write,
+                    ws.node,
+                    req.actor.0,
+                    req.runs.len() as u64,
+                    xfer_t0,
+                );
+                crate::obs::worker_end(req.op_id, is_write, ws.node, req.actor.0, svc_t0);
+                if is_write && req.seq != 0 && result.is_ok() {
+                    // Token records only after the full apply: a death
+                    // before this line re-applies (byte-idempotent), a
+                    // death after it dedups.
+                    idem.lock().record(key);
+                }
+                if kill == Some(WorkerKillPoint::BeforeReply) {
+                    // Dies with everything applied and the token recorded
+                    // but the client still waiting: the re-dispatch must
+                    // reply via the dedup path without re-applying.
+                    ws.die();
+                    return;
+                }
+                let _ = req.reply.send((req.tag, result));
+                *ws.inflight.lock() = None;
+            }
+        })
+    }
+
+    /// Watchdog pass over every worker: advances the heartbeat bookkeeping
+    /// and, for each worker whose death flag is set (the sim analogue of a
+    /// `waitpid` reap), re-dispatches its orphaned in-flight request to a
+    /// healthy ring and respawns the worker on its original ring. Invoked
+    /// from every client deadline miss — a dead worker is detected within
+    /// one retry window — and callable directly by harnesses. Returns the
+    /// number of deaths handled.
+    ///
+    /// Workers that are merely wedged (alive but not replying — the drop
+    /// fault) are left alone: killing a live thread is not modelled, and
+    /// the client-side deadline/fallback path already covers them.
+    pub fn watchdog_scan(&self) -> usize {
+        let mut deaths = 0;
+        for ws in &self.workers {
+            let e = ws.epoch.load(Ordering::Relaxed);
+            ws.seen_epoch.store(e, Ordering::Relaxed);
+            if !ws.died.load(Ordering::Acquire) {
+                continue;
+            }
+            deaths += 1;
+            let orphan = ws.inflight.lock().take();
+            self.stats.record_worker_death();
+            crate::obs::worker_death(ws.node, ws.index as u64);
+            self.events
+                .lock()
+                .push(KernelEvent::WorkerDied { node: ws.node, worker: ws.index });
+            self.note_op_failure();
+            // Respawn first so the orphan can even land back on this
+            // worker's own ring without waiting for a third party.
+            let restarted = in_sim() && !self.shutting_down.load(Ordering::Relaxed);
+            if restarted {
+                ws.died.store(false, Ordering::Release);
+                let _ = self.spawn_worker(Arc::clone(ws));
+                self.stats.record_worker_restart();
+                let rec = now().saturating_sub(ws.died_at.load(Ordering::Relaxed));
+                self.recovery_ns.lock().push(rec);
+                crate::obs::worker_restart(ws.node, ws.index as u64, rec);
+                self.events
+                    .lock()
+                    .push(KernelEvent::WorkerRestarted { node: ws.node, worker: ws.index });
+                self.health.recovery_epoch.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(req) = orphan {
+                // Best-effort re-dispatch; a full ring drops the orphan
+                // (the client's own retry covers it — double-enqueue is
+                // safe either way thanks to the idempotence token).
+                match self.ring_for(ws.node).try_send(req) {
+                    Ok(()) => {
+                        self.stats.record_redispatch();
+                        crate::obs::redispatch(ws.node, ws.index as u64);
+                    }
+                    Err(_) => self.stats.record_ring_backpressure(),
+                }
             }
         }
-        handles
+        deaths
+    }
+
+    // --- degradation state machine -------------------------------------
+
+    fn note_op_success(&self) {
+        self.health.consec_failures.store(0, Ordering::Relaxed);
+        self.health.backpressure_run.store(0, Ordering::Relaxed);
+        let ok = self.health.consec_successes.fetch_add(1, Ordering::Relaxed) + 1;
+        if ok >= RECOVER_AFTER_SUCCESSES && self.health.degraded.swap(false, Ordering::Relaxed) {
+            self.health.exits.fetch_add(1, Ordering::Relaxed);
+            self.health.recovery_epoch.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_degraded(false);
+            crate::obs::degraded_exit();
+            self.events.lock().push(KernelEvent::DelegationRecovered);
+        }
+    }
+
+    fn note_op_failure(&self) {
+        self.health.consec_successes.store(0, Ordering::Relaxed);
+        let bad = self.health.consec_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if bad >= DEGRADE_AFTER_FAILURES {
+            self.enter_degraded(bad);
+        }
+    }
+
+    fn note_backpressure(&self) {
+        self.stats.record_ring_backpressure();
+        let run = self.health.backpressure_run.fetch_add(1, Ordering::Relaxed) + 1;
+        if run >= DEGRADE_AFTER_BACKPRESSURE {
+            self.enter_degraded(self.health.consec_failures.load(Ordering::Relaxed));
+        }
+    }
+
+    fn enter_degraded(&self, failures: u64) {
+        if !self.health.degraded.swap(true, Ordering::Relaxed) {
+            self.health.enters.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_degraded(true);
+            crate::obs::degraded_enter(failures);
+            self.events.lock().push(KernelEvent::DelegationDegraded);
+        }
+    }
+
+    /// Routing gate for the LibFS: while healthy every eligible op is
+    /// admitted; while degraded only one in [`PROBE_EVERY`] is, as a
+    /// probe whose success (a run of them) clears degraded mode.
+    pub fn admit_delegated(&self) -> bool {
+        if !self.health.degraded.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.health.probe_tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(PROBE_EVERY)
+    }
+
+    /// Whether the pool is currently in degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.health.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Bumped on every recovery (degraded-mode exit or worker restart);
+    /// per-file demotions re-promote when it advances.
+    pub fn recovery_epoch(&self) -> u64 {
+        self.health.recovery_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the degradation state machine.
+    pub fn degraded_mode(&self) -> DegradedMode {
+        DegradedMode {
+            active: self.health.degraded.load(Ordering::Relaxed),
+            consecutive_failures: self.health.consec_failures.load(Ordering::Relaxed),
+            enters: self.health.enters.load(Ordering::Relaxed),
+            exits: self.health.exits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the pool's failure-domain events (worker deaths/restarts,
+    /// degraded-mode transitions), oldest first.
+    pub fn take_events(&self) -> Vec<KernelEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Drains the death-to-restart latencies the watchdog observed.
+    pub fn take_recovery_latencies(&self) -> Vec<Nanos> {
+        std::mem::take(&mut *self.recovery_ns.lock())
+    }
+
+    /// Total worker slots (nodes × threads per node).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Whether [`DelegationPool::start`] ran.
@@ -338,8 +796,10 @@ impl DelegationPool {
         self.started.load(Ordering::SeqCst)
     }
 
-    /// Closes all rings; delegation threads drain and exit.
+    /// Closes all rings; delegation threads drain and exit. Suppresses
+    /// watchdog respawns from this point on.
     pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Relaxed);
         for node_rings in &self.rings {
             for ring in node_rings {
                 ring.close();
@@ -378,7 +838,10 @@ impl DelegationPool {
     /// Returns a reply ring to the pool. Callers may only do this when
     /// every submitted batch was received — an abandoned ring with
     /// stragglers in flight must be dropped instead, or a late reply
-    /// would bleed into the next op.
+    /// would bleed into the next op. (The watchdog's re-dispatches keep
+    /// this sound: a re-dispatch only exists because the original worker
+    /// died without replying, so total replies never exceed the client's
+    /// own submissions.)
     fn put_reply(&self, ch: Arc<SimChannel<DelegReply>>) {
         debug_assert!(ch.is_empty());
         let mut pool = self.reply_pool.lock();
@@ -431,6 +894,7 @@ impl DelegationPool {
     }
 
     /// Groups the extent's runs into one tagged batch per touched node.
+    #[allow(clippy::too_many_arguments)]
     fn build_batches(
         &self,
         actor: ActorId,
@@ -439,6 +903,7 @@ impl DelegationPool {
         len: usize,
         payload: Option<&Arc<[u8]>>,
         reply: &Arc<SimChannel<DelegReply>>,
+        seq: u64,
     ) -> Vec<Batch> {
         let mut batches: Vec<Batch> = Vec::new();
         for (node, prange, brange) in self.split_runs(pages, start, len) {
@@ -453,18 +918,21 @@ impl DelegationPool {
                 Some(b) => {
                     b.req.runs.push(run);
                     b.scatter.push(scatter);
+                    b.bytes += scatter.1;
                 }
                 None => batches.push(Batch {
                     node,
                     req: DelegReq {
                         actor,
                         op_id: crate::obs::current_op(),
+                        seq,
                         runs: vec![run],
                         payload: payload.map(Arc::clone),
                         tag: batches.len(),
                         reply: Arc::clone(reply),
                     },
                     scatter: vec![scatter],
+                    bytes: scatter.1,
                     submitted: 0,
                     done: false,
                 }),
@@ -473,8 +941,10 @@ impl DelegationPool {
         batches
     }
 
-    /// Enqueues one batch, counting (but then riding out) ring
-    /// backpressure. Fails only when the pool is shut down.
+    /// Enqueues one batch, counting ring backpressure (which feeds the
+    /// degradation state machine) and giving the watchdog a chance to
+    /// clear a dead worker before blocking on a full ring. Fails only
+    /// when the pool is shut down.
     fn submit(&self, batch: &mut Batch) -> Result<(), ProtError> {
         self.stats.record_submission(batch.req.runs.len());
         crate::obs::ring_submit(
@@ -488,7 +958,10 @@ impl DelegationPool {
         match self.ring_for(batch.node).try_send(batch.req.clone()) {
             Ok(()) => Ok(()),
             Err(req) => {
-                self.stats.record_ring_backpressure();
+                self.note_backpressure();
+                // The ring may be full because its worker died mid-queue:
+                // reap and respawn before committing to a blocking send.
+                self.watchdog_scan();
                 self.ring_for(batch.node).send(req).map_err(|_| ProtError::NotMapped)
             }
         }
@@ -497,15 +970,18 @@ impl DelegationPool {
     /// Core submit-and-collect loop shared by every entry point.
     ///
     /// Dispatches one batch per touched node, then waits for tagged
-    /// completions. With `deadline_ns = Some(t)`, waits up to `t` per
-    /// attempt and re-enqueues only the still-pending batches (same shared
-    /// payload — no copy) with a doubled window, `attempts` times in total;
-    /// with `None` it waits forever (the baseline-compatible blocking
-    /// mode). `buf` receives scattered read data.
+    /// completions. With a [`RetryPolicy`], each attempt waits one policy
+    /// window — recomputed from the *remaining* (not yet completed)
+    /// bytes, so retries of a partially-completed scatter-gather op get
+    /// deadlines scaled to what is actually left — then runs a watchdog
+    /// scan and re-enqueues only the still-pending batches (same shared
+    /// payload — no copy), up to the policy's attempt budget. Without a
+    /// policy it waits forever (the baseline-compatible blocking mode).
+    /// `buf` receives scattered read data.
     ///
     /// This wrapper also maintains the in-flight gauge that guards
-    /// [`PathStats::reset`] and auto-dumps the obs flight recorder when
-    /// the whole op times out.
+    /// [`PathStats::reset`], feeds the degradation state machine, and
+    /// auto-dumps the obs flight recorder when the whole op times out.
     #[allow(clippy::too_many_arguments)]
     fn run_batches(
         &self,
@@ -515,14 +991,20 @@ impl DelegationPool {
         len: usize,
         payload: Option<&Arc<[u8]>>,
         buf: Option<&mut [u8]>,
-        deadline_ns: Option<Nanos>,
-        attempts: u32,
+        policy: Option<&RetryPolicy>,
     ) -> Result<(), DelegationError> {
         self.stats.enter_delegated_op();
-        let r = self.run_batches_inner(actor, pages, start, len, payload, buf, deadline_ns, attempts);
+        let r = self.run_batches_inner(actor, pages, start, len, payload, buf, policy);
         self.stats.exit_delegated_op();
-        if matches!(r, Err(DelegationError::Timeout)) {
-            crate::obs::timeout_dump();
+        match &r {
+            Ok(()) => self.note_op_success(),
+            Err(DelegationError::Timeout) => {
+                self.note_op_failure();
+                crate::obs::timeout_dump();
+            }
+            // Faults are the access's own outcome (permissions, bounds),
+            // not delegation-infrastructure health.
+            Err(DelegationError::Fault(_)) => {}
         }
         r
     }
@@ -536,14 +1018,17 @@ impl DelegationPool {
         len: usize,
         payload: Option<&Arc<[u8]>>,
         mut buf: Option<&mut [u8]>,
-        deadline_ns: Option<Nanos>,
-        attempts: u32,
+        policy: Option<&RetryPolicy>,
     ) -> Result<(), DelegationError> {
         if len == 0 {
             return Ok(());
         }
+        // Idempotence tokens are minted per write op and shared by all of
+        // its batches (the batch tag disambiguates them).
+        let seq =
+            if payload.is_some() { self.next_seq.fetch_add(1, Ordering::Relaxed) + 1 } else { 0 };
         let reply = self.take_reply();
-        let mut batches = self.build_batches(actor, pages, start, len, payload, &reply);
+        let mut batches = self.build_batches(actor, pages, start, len, payload, &reply, seq);
         let mut sent = 0u64;
         let mut received = 0u64;
         let mut fault: Option<ProtError> = None;
@@ -558,11 +1043,28 @@ impl DelegationPool {
                 }
             }
         }
-        let mut window = deadline_ns.unwrap_or(0);
+        // Deadlines need the virtual clock; outside the sim (where no
+        // injected fault can fire either) waits degrade to blocking.
         let mut attempt = 0u32;
         'attempts: while pending > 0 {
+            let deadline = match policy {
+                Some(p) if in_sim() => {
+                    let remaining: usize =
+                        batches.iter().filter(|b| !b.done).map(|b| b.bytes).sum();
+                    let window = p.window_ns(attempt, remaining);
+                    if attempt > 0 {
+                        crate::obs::retry_decision(
+                            crate::obs::current_op(),
+                            payload.is_some(),
+                            attempt,
+                            window,
+                        );
+                    }
+                    Some(now() + window)
+                }
+                _ => None,
+            };
             attempt += 1;
-            let deadline = deadline_ns.map(|_| now() + window);
             while pending > 0 {
                 let got = match deadline {
                     Some(d) => reply.recv_deadline(d),
@@ -617,12 +1119,18 @@ impl DelegationPool {
                     }
                     RecvDeadline::TimedOut => {
                         self.stats.record_timeout();
-                        if attempt >= attempts.max(1) {
+                        // Timeouts only occur under a policy (deadlines
+                        // are only set when one is present).
+                        let budget = policy.map_or(1, |p| p.attempts());
+                        if attempt >= budget {
                             break 'attempts;
                         }
-                        // Re-enqueue only what is still missing; the shared
-                        // payload rides along untouched.
-                        window = window.saturating_mul(2);
+                        // A dead worker may be holding one of our batches
+                        // hostage: reap, re-dispatch its orphan, respawn —
+                        // then re-enqueue whatever is still missing (the
+                        // shared payload rides along untouched; a double
+                        // enqueue is defused by the idempotence token).
+                        self.watchdog_scan();
                         for b in batches.iter_mut().filter(|b| !b.done) {
                             self.stats.record_retry();
                             match self.submit(b) {
@@ -663,7 +1171,7 @@ impl DelegationPool {
     ) -> Result<(), ProtError> {
         self.stats.record_payload_copy();
         let payload: Arc<[u8]> = data.into();
-        match self.run_batches(actor, pages, start, data.len(), Some(&payload), None, None, 1) {
+        match self.run_batches(actor, pages, start, data.len(), Some(&payload), None, None) {
             Ok(()) => Ok(()),
             Err(DelegationError::Fault(e)) => Err(e),
             Err(DelegationError::Timeout) => Err(ProtError::NotMapped),
@@ -679,7 +1187,7 @@ impl DelegationPool {
         buf: &mut [u8],
     ) -> Result<(), ProtError> {
         let len = buf.len();
-        match self.run_batches(actor, pages, start, len, None, Some(buf), None, 1) {
+        match self.run_batches(actor, pages, start, len, None, Some(buf), None) {
             Ok(()) => Ok(()),
             Err(DelegationError::Fault(e)) => Err(e),
             Err(DelegationError::Timeout) => Err(ProtError::NotMapped),
@@ -687,26 +1195,23 @@ impl DelegationPool {
     }
 
     /// Deadline-bounded delegated write: like
-    /// [`DelegationPool::write_extent`] but bounds each wait by a virtual
-    /// deadline instead of hanging on a stalled or wedged delegation
-    /// thread. Up to `attempts` windows are tried, each double the last,
-    /// re-enqueueing only the batches that have not completed — the shared
-    /// payload is never re-copied. Outside the simulation there is no
-    /// virtual clock (and no injected fault can fire), so this degrades to
-    /// the blocking variant.
+    /// [`DelegationPool::write_extent`] but every wait is bounded by the
+    /// [`RetryPolicy`] instead of hanging on a stalled, wedged, or dead
+    /// delegation thread. Each retry window is recomputed from the bytes
+    /// still outstanding and runs a watchdog scan first. Outside the
+    /// simulation there is no virtual clock (and no injected fault can
+    /// fire), so this degrades to the blocking variant.
     pub fn try_write_extent(
         &self,
         actor: ActorId,
         pages: &[PageId],
         start: usize,
         data: &[u8],
-        timeout_ns: Nanos,
-        attempts: u32,
+        policy: &RetryPolicy,
     ) -> Result<(), DelegationError> {
         self.stats.record_payload_copy();
         let payload: Arc<[u8]> = data.into();
-        let deadline = if in_sim() { Some(timeout_ns) } else { None };
-        self.run_batches(actor, pages, start, data.len(), Some(&payload), None, deadline, attempts)
+        self.run_batches(actor, pages, start, data.len(), Some(&payload), None, Some(policy))
     }
 
     /// Deadline-bounded delegated read; see
@@ -718,11 +1223,9 @@ impl DelegationPool {
         pages: &[PageId],
         start: usize,
         buf: &mut [u8],
-        timeout_ns: Nanos,
-        attempts: u32,
+        policy: &RetryPolicy,
     ) -> Result<(), DelegationError> {
-        let deadline = if in_sim() { Some(timeout_ns) } else { None };
         let len = buf.len();
-        self.run_batches(actor, pages, start, len, None, Some(buf), deadline, attempts)
+        self.run_batches(actor, pages, start, len, None, Some(buf), Some(policy))
     }
 }

@@ -22,6 +22,10 @@ pub(crate) mod obs;
 pub mod mapping;
 pub mod quarantine;
 pub mod registry;
+pub mod retry;
+
+pub use delegation::DegradedMode;
+pub use retry::RetryPolicy;
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -70,6 +74,12 @@ pub struct KernelConfig {
     /// [`KernelController::repair_quarantined`] is called — the mode the
     /// isolation tests and the fuzzer use to observe the contained window.
     pub auto_repair: bool,
+    /// Backoff policy for waiting out another actor's write lease in
+    /// [`KernelController::map`]. The default (base = lease duration,
+    /// jitter off) waits exactly the remaining lease on the first
+    /// attempt, matching the pre-policy behaviour bit for bit; every
+    /// wait is additionally clamped to the remaining lease.
+    pub lease_retry: RetryPolicy,
 }
 
 impl Default for KernelConfig {
@@ -83,6 +93,7 @@ impl Default for KernelConfig {
             max_index_pages: 1 << 16,
             max_dir_entries: 1 << 20,
             auto_repair: true,
+            lease_retry: RetryPolicy::new(100 * MILLIS, 0, 8, 400 * MILLIS).no_jitter(),
         }
     }
 }
@@ -1005,9 +1016,19 @@ impl KernelController {
     // -----------------------------------------------------------------
 
     /// Drains the kernel event log (corruption detections, rollbacks,
-    /// lease revocations).
+    /// lease revocations, and the delegation pool's failure-domain
+    /// events — worker deaths/restarts and degraded-mode transitions).
     pub fn take_events(&self) -> Vec<KernelEvent> {
-        std::mem::take(&mut self.registry.lock().events)
+        let mut events = std::mem::take(&mut self.registry.lock().events);
+        events.extend(self.delegation.take_events());
+        events
+    }
+
+    /// Snapshot of the delegation pool's degradation state (DESIGN.md
+    /// §16): whether new ops are currently shed to direct access, and the
+    /// lifetime enter/exit counts.
+    pub fn degraded_mode(&self) -> DegradedMode {
+        self.delegation.degraded_mode()
     }
 
     /// Drains the cumulative phase timings (Figure 8 instrumentation).

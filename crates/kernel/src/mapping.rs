@@ -76,6 +76,7 @@ impl KernelController {
             work(cost::MAP_CALL_BASE_NS);
         }
         self.check_not_quarantined(actor)?;
+        let mut lease_attempt = 0u32;
         loop {
             let mut reg = self.registry.lock();
             // ---- Identify the file from its committed core state. ----
@@ -136,7 +137,14 @@ impl KernelController {
                     let t = now();
                     if t < lease {
                         drop(reg);
-                        work(lease - t); // Wait out the lease, then retry.
+                        // Wait out the lease via the unified retry policy,
+                        // clamped to the remaining lease (the default
+                        // policy makes attempt 0 exactly the remainder).
+                        let w = self.config().lease_retry.window_ns(lease_attempt, 0);
+                        crate::obs::lease_retry(lease_attempt, w);
+                        self.stats.record_lease_retry();
+                        lease_attempt = lease_attempt.saturating_add(1);
+                        work(w.min(lease - t).max(1));
                         continue;
                     }
                     self.revoke_writer_locked(&mut reg, ino);

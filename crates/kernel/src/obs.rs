@@ -105,6 +105,60 @@ mod real {
         );
         trigger_dump(Trigger::QuarantineEntry);
     }
+
+    /// A bounded op is entering retry `attempt` (1-based) with a backoff
+    /// window of `window_ns`.
+    #[inline]
+    pub(crate) fn retry_decision(op: u64, write: bool, attempt: u32, window_ns: u64) {
+        event(op, kind(write), Stage::Retry, Phase::Open, attempt as u64, u32::MAX, window_ns);
+    }
+
+    /// The lease-wait path is backing off for `window_ns` before
+    /// re-checking the lease (`attempt` 0-based).
+    #[inline]
+    pub(crate) fn lease_retry(attempt: u32, window_ns: u64) {
+        event(
+            trio_obs::current_op(),
+            OpKind::Harness,
+            Stage::Retry,
+            Phase::Open,
+            attempt as u64,
+            u32::MAX,
+            window_ns,
+        );
+    }
+
+    /// The watchdog reaped a dead delegation worker.
+    #[inline]
+    pub(crate) fn worker_death(node: usize, worker: u64) {
+        event(0, OpKind::Harness, Stage::Failover, Phase::Open, worker, node as u32, 0);
+    }
+
+    /// The watchdog respawned a dead worker `recovery_ns` after its death.
+    #[inline]
+    pub(crate) fn worker_restart(node: usize, worker: u64, recovery_ns: u64) {
+        event(0, OpKind::Harness, Stage::Failover, Phase::Close, worker, node as u32, recovery_ns);
+        record_latency(OpKind::Harness, Stage::Failover, recovery_ns);
+    }
+
+    /// A dead worker's orphaned request was re-dispatched to a live ring.
+    #[inline]
+    pub(crate) fn redispatch(node: usize, worker: u64) {
+        event(0, OpKind::Harness, Stage::Retry, Phase::Close, worker, node as u32, 0);
+    }
+
+    /// The pool entered degraded mode after `failures` consecutive
+    /// failures. Distinguished from worker deaths by `actor == u64::MAX`.
+    #[inline]
+    pub(crate) fn degraded_enter(failures: u64) {
+        event(0, OpKind::Harness, Stage::Failover, Phase::Open, u64::MAX, u32::MAX, failures);
+    }
+
+    /// The pool left degraded mode.
+    #[inline]
+    pub(crate) fn degraded_exit() {
+        event(0, OpKind::Harness, Stage::Failover, Phase::Close, u64::MAX, u32::MAX, 0);
+    }
 }
 
 #[cfg(feature = "obs")]
@@ -155,6 +209,27 @@ mod noop {
 
     #[inline(always)]
     pub(crate) fn quarantine_dump(_actor: u32) {}
+
+    #[inline(always)]
+    pub(crate) fn retry_decision(_op: u64, _write: bool, _attempt: u32, _window_ns: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn lease_retry(_attempt: u32, _window_ns: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn worker_death(_node: usize, _worker: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn worker_restart(_node: usize, _worker: u64, _recovery_ns: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn redispatch(_node: usize, _worker: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn degraded_enter(_failures: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn degraded_exit() {}
 }
 
 #[cfg(not(feature = "obs"))]

@@ -150,6 +150,28 @@ pub enum KernelEvent {
         /// The re-admitted LibFS.
         actor: ActorId,
     },
+    /// The watchdog reaped a delegation worker that died mid-request
+    /// (DESIGN.md §16).
+    WorkerDied {
+        /// NUMA node the worker served.
+        node: usize,
+        /// Worker slot index within the node.
+        worker: usize,
+    },
+    /// The watchdog respawned a dead delegation worker on its original
+    /// ring; queued requests behind the death are preserved.
+    WorkerRestarted {
+        /// NUMA node the worker serves.
+        node: usize,
+        /// Worker slot index within the node.
+        worker: usize,
+    },
+    /// Sustained delegation failure or ring backpressure tripped degraded
+    /// mode: new ops shed to direct access except periodic probes.
+    DelegationDegraded,
+    /// A run of successful probes cleared degraded mode; delegation
+    /// resumes for all eligible ops.
+    DelegationRecovered,
 }
 
 /// Quarantine record for one offending LibFS (DESIGN.md §14 lifecycle:

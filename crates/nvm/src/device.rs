@@ -198,7 +198,7 @@ impl NvmDevice {
         self.poison_check_write(page, off, data.len())?;
         self.race_check(actor, page, off, data.len(), true);
         if let Some(t) = &self.tracker {
-            t.record_store(page, off, data.len(), slot.data.as_deref());
+            t.record_store_data(page, off, data, slot.data.as_deref());
         }
         slot.ensure_data()[off..off + data.len()].copy_from_slice(data);
         Ok(())

@@ -43,12 +43,79 @@ pub const fn faults_compiled() -> bool {
 pub struct FaultPlan {
     /// Index of the persistence point at which durability freezes.
     pub crash_at: u64,
+    /// Torn-store mode: if the plan fires exactly at a *data store* point
+    /// and that store spans more than one aligned 8-byte word, an aligned
+    /// prefix of the store (length drawn from the sim RNG, so replayable
+    /// from the seed) reaches media while the tail is lost. Models the
+    /// platform's 8-byte-atomicity floor: nothing larger than one word
+    /// persists atomically across a power cut.
+    pub torn: bool,
 }
 
 impl FaultPlan {
     /// Plan a crash at persistence point `k` (0-based, execution order).
     pub fn crash_at_point(k: u64) -> Self {
-        FaultPlan { crash_at: k }
+        FaultPlan { crash_at: k, torn: false }
+    }
+
+    /// Same plan, with the torn 8-byte-store mode enabled.
+    pub fn with_torn_store(mut self) -> Self {
+        self.torn = true;
+        self
+    }
+}
+
+/// Where inside request servicing a delegation worker is killed. The
+/// three points bracket the idempotence window: `AfterPop` dies before
+/// any byte is applied, `MidPayload` dies with the request partially
+/// applied (token not yet recorded), `BeforeReply` dies with everything
+/// applied and the idempotence token recorded but the reply unsent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerKillPoint {
+    /// Immediately after popping the request off the ring.
+    AfterPop = 0,
+    /// After applying the first run of a multi-run payload.
+    MidPayload = 1,
+    /// After full application (and token record), before the reply send.
+    BeforeReply = 2,
+}
+
+impl WorkerKillPoint {
+    /// All kill points, in servicing order — chaos sweeps iterate this.
+    pub const ALL: [WorkerKillPoint; 3] =
+        [WorkerKillPoint::AfterPop, WorkerKillPoint::MidPayload, WorkerKillPoint::BeforeReply];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkerKillPoint::AfterPop => "after-pop",
+            WorkerKillPoint::MidPayload => "mid-payload",
+            WorkerKillPoint::BeforeReply => "before-reply",
+        }
+    }
+
+    /// Inverse of `as u8` (chaos harnesses store the point in an atomic).
+    pub fn from_index(i: u8) -> Option<WorkerKillPoint> {
+        WorkerKillPoint::ALL.get(i as usize).copied()
+    }
+}
+
+/// Declarative worker-death plan: kill the delegation worker servicing
+/// the `at_request`-th popped request (0-based, counted across all
+/// workers in pop order, which is deterministic under the sim) at the
+/// given kill point. Consumed by the kernel's delegation pool; lives
+/// here because it is part of the fault vocabulary a chaos sweep replays
+/// from `(seed, request, point)` alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerKillPlan {
+    /// Global pop index of the doomed request.
+    pub at_request: u64,
+    /// Where inside servicing the worker dies.
+    pub point: WorkerKillPoint,
+}
+
+impl WorkerKillPlan {
+    pub fn kill_at(at_request: u64, point: WorkerKillPoint) -> Self {
+        WorkerKillPlan { at_request, point }
     }
 }
 
@@ -127,6 +194,19 @@ mod tests {
     #[test]
     fn plan_constructor() {
         assert_eq!(FaultPlan::crash_at_point(7).crash_at, 7);
+        assert!(!FaultPlan::crash_at_point(7).torn);
+        assert!(FaultPlan::crash_at_point(7).with_torn_store().torn);
+    }
+
+    #[test]
+    fn kill_point_round_trips_through_index() {
+        for p in WorkerKillPoint::ALL {
+            assert_eq!(WorkerKillPoint::from_index(p as u8), Some(p));
+        }
+        assert_eq!(WorkerKillPoint::from_index(3), None);
+        let plan = WorkerKillPlan::kill_at(12, WorkerKillPoint::MidPayload);
+        assert_eq!(plan.at_request, 12);
+        assert_eq!(plan.point.as_str(), "mid-payload");
     }
 
     #[test]

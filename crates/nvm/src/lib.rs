@@ -34,7 +34,7 @@ pub mod stats;
 pub mod topology;
 
 pub use device::{DeviceConfig, NvmDevice};
-pub use fault::{faults_compiled, CrashReport, FaultPlan};
+pub use fault::{faults_compiled, CrashReport, FaultPlan, WorkerKillPlan, WorkerKillPoint};
 #[cfg(feature = "sanitize")]
 pub use sanitize::{Hazard, HazardKind, SanitizeReport};
 pub use handle::NvmHandle;

@@ -42,6 +42,9 @@ use trio_sim::plock::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 #[cfg(feature = "faults")]
+use trio_sim::{in_sim, rng::with_rng};
+
+#[cfg(feature = "faults")]
 use crate::fault::FaultPlan;
 #[cfg(feature = "sanitize")]
 use crate::sanitize::{Hazard, HazardKind};
@@ -84,6 +87,9 @@ pub struct PersistTracker {
     /// Point at which the plan fired; `UNSET` until then.
     #[cfg(feature = "faults")]
     fired_at: AtomicU64,
+    /// Torn-store mode of the armed plan (see [`FaultPlan::torn`]).
+    #[cfg(feature = "faults")]
+    torn: AtomicBool,
     /// Ordering hazards observed so far.
     #[cfg(feature = "sanitize")]
     hazards: Mutex<Vec<Hazard>>,
@@ -106,9 +112,10 @@ impl PersistTracker {
     }
 
     /// Counts one persistence point, freezing if the armed plan's point is
-    /// reached. Compiled out entirely without the `faults` feature.
+    /// reached. Returns the index of the point just consumed (always 0
+    /// without the `faults` feature, where nothing is counted).
     #[inline]
-    fn point_tick(&self) {
+    fn point_tick(&self) -> u64 {
         #[cfg(feature = "faults")]
         {
             let p = self.points.fetch_add(1, Ordering::Relaxed);
@@ -116,7 +123,10 @@ impl PersistTracker {
                 self.frozen.store(true, Ordering::Relaxed);
                 self.fired_at.store(p, Ordering::Relaxed);
             }
+            p
         }
+        #[cfg(not(feature = "faults"))]
+        0
     }
 
     #[inline]
@@ -147,6 +157,7 @@ impl PersistTracker {
     #[cfg(feature = "faults")]
     pub fn arm(&self, plan: FaultPlan) {
         self.fired_at.store(UNSET, Ordering::Relaxed);
+        self.torn.store(plan.torn, Ordering::Relaxed);
         self.crash_at.store(plan.crash_at, Ordering::Relaxed);
     }
 
@@ -178,11 +189,32 @@ impl PersistTracker {
     /// queued write-back no longer covers the new bytes) and, under
     /// `sanitize`, records a [`HazardKind::StoreWhileFlushed`] hazard.
     pub fn record_store(&self, page: PageId, off: usize, len: usize, current: Option<&[u8]>) {
+        self.record_store_inner(page, off, len, current, None);
+    }
+
+    /// Like [`Self::record_store`], but with the store's actual bytes, so
+    /// an armed torn-store plan firing at exactly this point can let an
+    /// aligned 8-byte prefix of the store escape to media (the escaped
+    /// words are patched into the pre-images the crash will restore).
+    /// The data path uses this variant; metadata-free internal writes
+    /// (rollback, page reset) keep the length-only form and never tear.
+    pub fn record_store_data(&self, page: PageId, off: usize, data: &[u8], current: Option<&[u8]>) {
+        self.record_store_inner(page, off, data.len(), current, Some(data));
+    }
+
+    fn record_store_inner(
+        &self,
+        page: PageId,
+        off: usize,
+        len: usize,
+        current: Option<&[u8]>,
+        new_data: Option<&[u8]>,
+    ) {
         debug_assert!(off + len <= PAGE_SIZE);
         if len == 0 {
             return;
         }
-        self.point_tick();
+        let point = self.point_tick();
         let first = off / CACHE_LINE;
         let last = (off + len - 1) / CACHE_LINE;
         let mut lines = self.lines.lock();
@@ -203,6 +235,52 @@ impl PersistTracker {
                     }
                 }
             }
+        }
+        #[cfg(feature = "faults")]
+        if let Some(data) = new_data {
+            if self.torn.load(Ordering::Relaxed)
+                && self.fired_at.load(Ordering::Relaxed) == point
+            {
+                self.tear_store(&mut lines, page, off, data);
+            }
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = (point, new_data);
+        }
+    }
+
+    /// Realizes a torn store: a prefix of the crash-point store reached
+    /// media before the cut, so those bytes are patched into the
+    /// pre-images the crash will restore. The cut falls on an 8-byte
+    /// *page-aligned* boundary — hardware store atomicity is address
+    /// aligned, not store-relative — drawn from the sim RNG
+    /// (deterministic per seed); outside the sim it falls at the middle
+    /// boundary. A store confined to one aligned word never tears.
+    #[cfg(feature = "faults")]
+    fn tear_store(
+        &self,
+        lines: &mut HashMap<(u64, u16), LineState>,
+        page: PageId,
+        off: usize,
+        data: &[u8],
+    ) {
+        let store_end = off + data.len();
+        // Candidate cuts: aligned boundaries strictly inside the store.
+        let first_cut = (off / 8 + 1) * 8;
+        if first_cut >= store_end {
+            return;
+        }
+        let cuts = (store_end - first_cut).div_ceil(8);
+        let draw = if in_sim() { with_rng(|r| r.gen_range(cuts as u64)) } else { cuts as u64 / 2 };
+        let (start, end) = (off, first_cut + 8 * draw as usize);
+        debug_assert!(end < store_end && end.is_multiple_of(8));
+        for line in start / CACHE_LINE..=(end - 1) / CACHE_LINE {
+            let Some(st) = lines.get_mut(&(page.0, line as u16)) else { continue };
+            let lo = start.max(line * CACHE_LINE);
+            let hi = end.min((line + 1) * CACHE_LINE);
+            st.preimage[lo - line * CACHE_LINE..hi - line * CACHE_LINE]
+                .copy_from_slice(&data[lo - off..hi - off]);
         }
     }
 
@@ -270,6 +348,7 @@ impl PersistTracker {
         {
             self.crash_at.store(UNSET, Ordering::Relaxed);
             self.frozen.store(false, Ordering::Relaxed);
+            self.torn.store(false, Ordering::Relaxed);
         }
         v
     }
@@ -445,6 +524,51 @@ mod tests {
         t.fence(); // point 5, no durable effect
         assert_eq!(t.dirty_lines(), 2);
         assert_eq!(t.points_seen(), 6);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn torn_store_lets_an_aligned_prefix_escape() {
+        // Outside the sim the split falls at the midpoint: a 32-byte
+        // store at the crash point keeps chunks = 31/8 = 3, draw = 1,
+        // escaped = 16 bytes.
+        let t = PersistTracker::new();
+        t.arm(FaultPlan::crash_at_point(0).with_torn_store());
+        let page = vec![0x11u8; PAGE_SIZE];
+        let data = [0x22u8; 32];
+        t.record_store_data(PageId(1), 64, &data, Some(&page)); // point 0, fires
+        let drained = t.drain_for_crash();
+        assert_eq!(drained.len(), 1);
+        let (p, off, img) = &drained[0];
+        assert_eq!((p.0, *off), (1, 64));
+        // First 16 bytes of the store escaped; the tail reverts.
+        assert!(img[..16].iter().all(|&b| b == 0x22), "escaped prefix");
+        assert!(img[16..48].iter().all(|&b| b == 0x11), "lost tail");
+        assert!(img[48..].iter().all(|&b| b == 0x11), "untouched remainder");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn torn_mode_never_tears_single_word_stores() {
+        let t = PersistTracker::new();
+        t.arm(FaultPlan::crash_at_point(0).with_torn_store());
+        let page = vec![0x11u8; PAGE_SIZE];
+        t.record_store_data(PageId(1), 0, &[0x22u8; 8], Some(&page)); // atomic
+        let drained = t.drain_for_crash();
+        assert!(drained[0].2[..8].iter().all(|&b| b == 0x11), "8-byte store is atomic");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn torn_mode_only_fires_at_the_plan_point() {
+        let t = PersistTracker::new();
+        t.arm(FaultPlan::crash_at_point(0).with_torn_store());
+        let page = vec![0x11u8; PAGE_SIZE];
+        t.record_store_data(PageId(1), 0, &[0x22u8; 32], Some(&page)); // point 0, tears
+        t.record_store_data(PageId(2), 0, &[0x33u8; 32], Some(&page)); // point 1, whole store lost
+        let drained = t.drain_for_crash();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[1].2[..32].iter().all(|&b| b == 0x11), "post-freeze store fully reverts");
     }
 
     #[cfg(feature = "faults")]

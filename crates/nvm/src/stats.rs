@@ -84,6 +84,24 @@ pub struct PathStats {
     free_spills: AtomicU64,
     /// Global registry lock acquisitions on the alloc/free path.
     registry_locks: AtomicU64,
+    // -- failure domains --
+    /// Delegation workers observed dead by the watchdog.
+    worker_deaths: AtomicU64,
+    /// Dead workers respawned by the watchdog.
+    worker_restarts: AtomicU64,
+    /// Orphaned in-flight requests re-dispatched after a worker death.
+    deleg_redispatches: AtomicU64,
+    /// Write requests skipped because their idempotence token was already
+    /// recorded (the dead worker had applied them before dying).
+    deleg_dedup_hits: AtomicU64,
+    /// Transitions into degraded (direct-access) mode.
+    degraded_enters: AtomicU64,
+    /// Transitions back out of degraded mode.
+    degraded_exits: AtomicU64,
+    /// Allocation-cache refills retried after transient exhaustion.
+    refill_retries: AtomicU64,
+    /// Lease-wait retries on the mapping path.
+    lease_retries: AtomicU64,
 }
 
 impl PathStats {
@@ -216,6 +234,50 @@ impl PathStats {
         Self::bump(&self.registry_locks, 1);
     }
 
+    /// The watchdog confirmed a delegation worker dead.
+    #[inline]
+    pub fn record_worker_death(&self) {
+        Self::bump(&self.worker_deaths, 1);
+    }
+
+    /// The watchdog respawned a dead worker.
+    #[inline]
+    pub fn record_worker_restart(&self) {
+        Self::bump(&self.worker_restarts, 1);
+    }
+
+    /// An orphaned request was re-dispatched to a healthy ring.
+    #[inline]
+    pub fn record_redispatch(&self) {
+        Self::bump(&self.deleg_redispatches, 1);
+    }
+
+    /// A retried write was skipped: its idempotence token was already
+    /// recorded, so the bytes are on media.
+    #[inline]
+    pub fn record_dedup_hit(&self) {
+        Self::bump(&self.deleg_dedup_hits, 1);
+    }
+
+    /// The pool entered or left degraded (direct-access) mode.
+    #[inline]
+    pub fn record_degraded(&self, entered: bool) {
+        let c = if entered { &self.degraded_enters } else { &self.degraded_exits };
+        Self::bump(c, 1);
+    }
+
+    /// An allocation-cache refill was retried after exhaustion.
+    #[inline]
+    pub fn record_refill_retry(&self) {
+        Self::bump(&self.refill_retries, 1);
+    }
+
+    /// A mapping-path lease wait was retried.
+    #[inline]
+    pub fn record_lease_retry(&self) {
+        Self::bump(&self.lease_retries, 1);
+    }
+
     /// Coherent-enough copy of every counter (relaxed loads; exact once
     /// the workload has quiesced).
     pub fn snapshot(&self) -> PathStatsSnapshot {
@@ -246,6 +308,14 @@ impl PathStats {
             free_cached: self.free_cached.load(Ordering::Relaxed),
             free_spills: self.free_spills.load(Ordering::Relaxed),
             registry_locks: self.registry_locks.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            deleg_redispatches: self.deleg_redispatches.load(Ordering::Relaxed),
+            deleg_dedup_hits: self.deleg_dedup_hits.load(Ordering::Relaxed),
+            degraded_enters: self.degraded_enters.load(Ordering::Relaxed),
+            degraded_exits: self.degraded_exits.load(Ordering::Relaxed),
+            refill_retries: self.refill_retries.load(Ordering::Relaxed),
+            lease_retries: self.lease_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -288,6 +358,14 @@ impl PathStats {
         self.free_cached.store(0, Ordering::Relaxed);
         self.free_spills.store(0, Ordering::Relaxed);
         self.registry_locks.store(0, Ordering::Relaxed);
+        self.worker_deaths.store(0, Ordering::Relaxed);
+        self.worker_restarts.store(0, Ordering::Relaxed);
+        self.deleg_redispatches.store(0, Ordering::Relaxed);
+        self.deleg_dedup_hits.store(0, Ordering::Relaxed);
+        self.degraded_enters.store(0, Ordering::Relaxed);
+        self.degraded_exits.store(0, Ordering::Relaxed);
+        self.refill_retries.store(0, Ordering::Relaxed);
+        self.lease_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -316,6 +394,14 @@ pub struct PathStatsSnapshot {
     pub free_cached: u64,
     pub free_spills: u64,
     pub registry_locks: u64,
+    pub worker_deaths: u64,
+    pub worker_restarts: u64,
+    pub deleg_redispatches: u64,
+    pub deleg_dedup_hits: u64,
+    pub degraded_enters: u64,
+    pub degraded_exits: u64,
+    pub refill_retries: u64,
+    pub lease_retries: u64,
 }
 
 impl PathStatsSnapshot {
@@ -394,6 +480,16 @@ impl PathStatsSnapshot {
             free_cached: self.free_cached.saturating_sub(earlier.free_cached),
             free_spills: self.free_spills.saturating_sub(earlier.free_spills),
             registry_locks: self.registry_locks.saturating_sub(earlier.registry_locks),
+            worker_deaths: self.worker_deaths.saturating_sub(earlier.worker_deaths),
+            worker_restarts: self.worker_restarts.saturating_sub(earlier.worker_restarts),
+            deleg_redispatches: self
+                .deleg_redispatches
+                .saturating_sub(earlier.deleg_redispatches),
+            deleg_dedup_hits: self.deleg_dedup_hits.saturating_sub(earlier.deleg_dedup_hits),
+            degraded_enters: self.degraded_enters.saturating_sub(earlier.degraded_enters),
+            degraded_exits: self.degraded_exits.saturating_sub(earlier.degraded_exits),
+            refill_retries: self.refill_retries.saturating_sub(earlier.refill_retries),
+            lease_retries: self.lease_retries.saturating_sub(earlier.lease_retries),
         }
     }
 
@@ -427,6 +523,14 @@ impl PathStatsSnapshot {
         push("free_cached", self.free_cached.to_string());
         push("free_spills", self.free_spills.to_string());
         push("registry_locks", self.registry_locks.to_string());
+        push("worker_deaths", self.worker_deaths.to_string());
+        push("worker_restarts", self.worker_restarts.to_string());
+        push("deleg_redispatches", self.deleg_redispatches.to_string());
+        push("deleg_dedup_hits", self.deleg_dedup_hits.to_string());
+        push("degraded_enters", self.degraded_enters.to_string());
+        push("degraded_exits", self.degraded_exits.to_string());
+        push("refill_retries", self.refill_retries.to_string());
+        push("lease_retries", self.lease_retries.to_string());
         push("alloc_fast_hit_rate", format!("{:.4}", self.alloc_fast_hit_rate()));
         push("ring_hop_p50_ns", self.ring_hop_p50_ns().to_string());
         push("ring_hop_p99_ns", self.ring_hop_p99_ns().to_string());
@@ -482,6 +586,14 @@ mod tests {
         s.record_alloc_refill(64);
         s.record_free(10, 2);
         s.record_registry_lock();
+        s.record_worker_death();
+        s.record_worker_restart();
+        s.record_redispatch();
+        s.record_dedup_hit();
+        s.record_degraded(true);
+        s.record_degraded(false);
+        s.record_refill_retry();
+        s.record_lease_retry();
         let snap = s.snapshot();
         assert_eq!(snap.delegated_write_bytes, 4096);
         assert_eq!(snap.delegated_read_bytes, 100);
@@ -501,6 +613,14 @@ mod tests {
         assert_eq!(snap.free_cached, 10);
         assert_eq!(snap.free_spills, 2);
         assert_eq!(snap.registry_locks, 1);
+        assert_eq!(snap.worker_deaths, 1);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.deleg_redispatches, 1);
+        assert_eq!(snap.deleg_dedup_hits, 1);
+        assert_eq!(snap.degraded_enters, 1);
+        assert_eq!(snap.degraded_exits, 1);
+        assert_eq!(snap.refill_retries, 1);
+        assert_eq!(snap.lease_retries, 1);
         s.reset();
         assert_eq!(s.snapshot(), PathStatsSnapshot::default());
     }
@@ -620,6 +740,9 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"threads\": 28"));
         assert!(j.contains("\"deleg_requests\": 1"));
+        assert!(j.contains("\"worker_deaths\": 0"));
+        assert!(j.contains("\"deleg_dedup_hits\": 0"));
+        assert!(j.contains("\"degraded_enters\": 0"));
         assert!(j.contains("\"ring_hop_p99_ns\": "));
         assert!(j.contains("\"ring_hop_zero\": "));
         assert!(j.contains("\"ring_hop_hist\": ["));

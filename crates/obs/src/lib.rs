@@ -69,10 +69,17 @@ pub enum Stage {
     VerifierWalk = 4,
     /// Measured harness window (open at barrier release, close at join).
     Window = 5,
+    /// One retry decision on the delegation/refill/lease paths: open
+    /// carries the attempt number in `actor` and the chosen backoff
+    /// window (ns) in `aux`.
+    Retry = 6,
+    /// Failure-domain transition: worker death/restart and degraded-mode
+    /// enter/exit. Open = failure observed, close = recovered.
+    Failover = 7,
 }
 
 /// Number of [`Stage`] variants (histogram array extent).
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 8;
 
 /// Span event phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +112,8 @@ impl Stage {
             Stage::NumaTransfer => "numa-transfer",
             Stage::VerifierWalk => "verifier-walk",
             Stage::Window => "window",
+            Stage::Retry => "retry",
+            Stage::Failover => "failover",
         }
     }
 
@@ -116,6 +125,8 @@ impl Stage {
             Stage::NumaTransfer,
             Stage::VerifierWalk,
             Stage::Window,
+            Stage::Retry,
+            Stage::Failover,
         ]
         .get(i)
         .copied()

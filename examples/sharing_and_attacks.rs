@@ -77,6 +77,18 @@ fn main() {
                 KernelEvent::Readmitted { actor } => {
                     println!("kernel: actor {actor:?} repaired and re-admitted")
                 }
+                KernelEvent::WorkerDied { node, worker } => {
+                    println!("kernel: delegation worker {worker} on node {node} died")
+                }
+                KernelEvent::WorkerRestarted { node, worker } => {
+                    println!("kernel: delegation worker {worker} on node {node} restarted")
+                }
+                KernelEvent::DelegationDegraded => {
+                    println!("kernel: delegation degraded — shedding to direct access")
+                }
+                KernelEvent::DelegationRecovered => {
+                    println!("kernel: delegation recovered — resuming")
+                }
             }
         }
         match result {

@@ -47,6 +47,27 @@ echo "== race-detector gate: cross-LibFS races + clean delegated path =="
 cargo test -q --test race_detect
 
 echo
+echo "== chaos gate: worker-kill sweep under concurrent delegated traffic =="
+# Delegation failure domains (DESIGN.md §16): TRIO_CHAOS_ITER seeded
+# iterations crossing worker-kill points (after-pop / mid-payload /
+# before-reply) with multi-LibFS traffic and stall injection. Gates: no
+# hangs, model equivalence (no lost or doubly-applied writes), every
+# death recovered. Any failure replays from (CHAOS_SEED, iteration).
+# Dumps target/chaos-report.json with recovery-latency percentiles.
+TRIO_CHAOS_ITER="${TRIO_CHAOS_ITER:-500}" cargo test -q --release --test chaos_delegation
+python3 - target/chaos-report.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+if r["worker_deaths"] == 0 or r["worker_deaths"] != r["worker_restarts"]:
+    sys.exit(f"FAIL: chaos sweep deaths/restarts inconsistent: {r}")
+print(
+    f"OK: chaos sweep {r['iterations']} iters, {r['worker_deaths']} kills "
+    f"recovered (p50 {r['recovery_p50_ns']} ns, p99 {r['recovery_p99_ns']} ns), "
+    f"{r['dedup_hits']} dedup hits."
+)
+EOF
+
+echo
 echo "== adversarial gate: seeded grammar-corruption campaign (2k iters) =="
 # The corruption fuzzer (DESIGN.md §14) drives every mutation production
 # through a hostile LibFS at a fixed seed: zero panics, zero hangs,
@@ -113,6 +134,15 @@ n, b = float(new[key]), float(base[key])
 if n > b * 1.2:
     sys.exit(f"FAIL: {key} regressed {n:.0f} ns vs baseline {b:.0f} ns (>20%)")
 print(f"OK: {key} {n:.0f} ns vs baseline {b:.0f} ns (within 20%)")
+# Watchdog quiescence: with no faults armed, the failure-domain machinery
+# must never fire on the benched path — a nonzero counter here means the
+# watchdog is adding work (and latency) to healthy delegated I/O.
+quiet = ["worker_deaths", "worker_restarts", "deleg_redispatches",
+         "deleg_dedup_hits", "degraded_enters", "degraded_exits"]
+noisy = {k: new[k] for k in quiet if int(new.get(k, 0)) != 0}
+if noisy:
+    sys.exit(f"FAIL: watchdog counters nonzero in a fault-free perf run: {noisy}")
+print(f"OK: watchdog counters quiescent on the benched path ({', '.join(quiet)}).")
 EOF
 else
     echo "NOTE: no committed BENCH_datapath.json baseline; skipping comparison."

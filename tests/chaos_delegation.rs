@@ -1,0 +1,505 @@
+//! Chaos sweep for delegation failure domains (DESIGN.md §16).
+//!
+//! Each iteration builds a fresh 2-node world with a small delegation
+//! pool, arms a deterministic worker-kill plan (request index × kill
+//! point derived from the iteration number), optionally layers stall
+//! injection on top, and drives three concurrent LibFS clients through
+//! overlapping delegated writes and reads. The gates:
+//!
+//! - **No hangs**: the simulation's deadlock detector would panic if any
+//!   client blocked forever; every op completes within its retry budget
+//!   (or falls back to direct access) so `rt.run()` returns.
+//! - **No lost or doubly-applied writes**: each client replays its write
+//!   sequence against an in-DRAM model and the final file contents must
+//!   match byte for byte — a stale re-dispatched request applied after a
+//!   newer overlapping write would diverge here.
+//! - **Recovery**: every worker death is matched by a restart, and
+//!   recovery latencies are recorded for the report.
+//!
+//! Like `crash_sweep.rs`, every iteration is replayable from
+//! `(CHAOS_SEED, iteration)` alone; `TRIO_CHAOS_ITER` sets the sweep
+//! width (default 500) and the sweep dumps an aggregate report to
+//! `target/chaos-report.json` for the CI gate.
+#![cfg(feature = "faults")]
+
+use std::sync::Arc;
+
+use arckfs::attack::{run_attack, Attack};
+use arckfs::{ArckFs, ArckFsConfig};
+use trio_fsapi::{read_file, write_file, FileSystem, Mode, OpenFlags};
+use trio_kernel::registry::KernelEvent;
+use trio_kernel::{KernelConfig, KernelController};
+use trio_nvm::fault::{WorkerKillPlan, WorkerKillPoint};
+use trio_nvm::{DeviceConfig, NvmDevice, Topology};
+use trio_sim::{work, RaceDetector, SimRuntime, MILLIS};
+
+const CHAOS_SEED: u64 = 0xC4A0_05ED;
+const CLIENTS: u64 = 3;
+const OPS_PER_CLIENT: u64 = 6;
+/// Large enough to clear both delegation thresholds.
+const CHUNK: usize = 64 * 1024;
+/// Each client's file is 4 chunks; ops overwrite overlapping regions so
+/// a stale re-applied request would clobber newer data and fail the
+/// model check.
+const REGIONS: u64 = 4;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Everything one iteration observed, rendered comparably for the
+/// replayability gate.
+#[derive(Debug, PartialEq, Eq, Default)]
+struct IterReport {
+    deaths: u64,
+    restarts: u64,
+    redispatches: u64,
+    dedup_hits: u64,
+    fallbacks: u64,
+    degraded_enters: u64,
+    degraded_exits: u64,
+    recovery_ns: Vec<u64>,
+    /// FNV-1a digest of every client's final file contents.
+    state_digest: u64,
+}
+
+fn world() -> (Arc<KernelController>, Vec<Arc<ArckFs>>) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(2, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(
+        dev,
+        KernelConfig { delegation_threads_per_node: 2, ..KernelConfig::default() },
+    );
+    let fses = (0..CLIENTS)
+        .map(|c| {
+            ArckFs::mount(Arc::clone(&kernel), 1000 + c as u32, 1000, ArckFsConfig::default())
+        })
+        .collect();
+    (kernel, fses)
+}
+
+/// One replayable chaos iteration: derived kill coordinates, concurrent
+/// clients, per-client model check inside the sim, counters collected
+/// after it drains.
+fn chaos_one(i: u64) -> IterReport {
+    let seed = splitmix(CHAOS_SEED ^ i);
+    // Kill coordinates: which pop of the global request stream dies, and
+    // at which point in the worker's lifecycle. ~36 requests flow per
+    // iteration (writes + readbacks), so an index in 0..24 nearly always
+    // fires while traffic is still in flight.
+    let kill_req = seed % 24;
+    let kill_point = WorkerKillPoint::ALL[(i % 3) as usize];
+    let stall = i % 2 == 1;
+
+    let (kernel, fses) = world();
+    let rt = SimRuntime::new(seed);
+    let k = Arc::clone(&kernel);
+    // Clients fold their final-state digests in with XOR — commutative,
+    // so the combined value is independent of completion order.
+    let digest = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let digest_in = Arc::clone(&digest);
+    rt.spawn("chaos-boot", move || {
+        k.delegation().start();
+        k.delegation().arm_worker_kill(WorkerKillPlan::kill_at(kill_req, kill_point));
+        if stall {
+            // Stalls past the 5ms base deadline force retries alongside
+            // the kill — backpressure and death interleave.
+            k.delegation().inject_faults(5, 8 * MILLIS, 0);
+        }
+        let handles: Vec<_> = fses
+            .into_iter()
+            .enumerate()
+            .map(|(c, fs)| {
+                let digest = Arc::clone(&digest_in);
+                trio_sim::spawn(&format!("chaos-client-{c}"), move || {
+                    let path = format!("/chaos-{c}");
+                    let fd = fs
+                        .open(&path, OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666))
+                        .unwrap();
+                    // Base pass sizes the file so the final readback
+                    // always covers every region.
+                    let mut model = vec![c as u8; REGIONS as usize * CHUNK];
+                    assert_eq!(fs.pwrite(fd, 0, &model).unwrap(), model.len());
+                    for j in 0..OPS_PER_CLIENT {
+                        let h = splitmix(seed ^ (c as u64) << 32 ^ j);
+                        let off = (h % REGIONS) as usize * CHUNK;
+                        let fill = (h >> 8) as u8;
+                        let block: Vec<u8> =
+                            (0..CHUNK).map(|b| fill.wrapping_add(b as u8)).collect();
+                        assert_eq!(fs.pwrite(fd, off as u64, &block).unwrap(), CHUNK);
+                        model[off..off + CHUNK].copy_from_slice(&block);
+                    }
+                    // Full readback through the (still chaotic) delegated
+                    // read path: lost or stale-reapplied writes diverge.
+                    let mut got = vec![0u8; model.len()];
+                    assert_eq!(fs.pread(fd, 0, &mut got).unwrap(), got.len());
+                    assert_eq!(
+                        got, model,
+                        "client {c}: delegated state diverged from model \
+                         (iteration {i}, seed {seed:#x})"
+                    );
+                    fs.close(fd).unwrap();
+                    let mut fnv = 0xcbf2_9ce4_8422_2325u64 ^ c as u64;
+                    for &b in &got {
+                        fnv = (fnv ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                    }
+                    digest.fetch_xor(splitmix(fnv), std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        k.delegation().shutdown();
+    });
+    rt.run();
+
+    let s = kernel.delegation().stats().snapshot();
+    assert_eq!(
+        s.worker_deaths, s.worker_restarts,
+        "iteration {i}: a dead worker was never restarted"
+    );
+    let recovery_ns: Vec<u64> = kernel.delegation().take_recovery_latencies();
+    assert_eq!(
+        recovery_ns.len() as u64,
+        s.worker_deaths,
+        "iteration {i}: every death must record a recovery latency"
+    );
+    IterReport {
+        deaths: s.worker_deaths,
+        restarts: s.worker_restarts,
+        redispatches: s.deleg_redispatches,
+        dedup_hits: s.deleg_dedup_hits,
+        fallbacks: s.deleg_fallbacks,
+        degraded_enters: s.degraded_enters,
+        degraded_exits: s.degraded_exits,
+        recovery_ns,
+        state_digest: digest.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The sweep: `TRIO_CHAOS_ITER` iterations (default 500), each
+/// replayable from `(CHAOS_SEED, i)`. Dumps `target/chaos-report.json`.
+#[test]
+fn chaos_sweep_worker_kills_under_concurrent_traffic() {
+    let iters: u64 = std::env::var("TRIO_CHAOS_ITER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(500);
+    let mut agg = IterReport::default();
+    let mut all_recovery: Vec<u64> = Vec::new();
+    for i in 0..iters {
+        let r = chaos_one(i);
+        agg.deaths += r.deaths;
+        agg.restarts += r.restarts;
+        agg.redispatches += r.redispatches;
+        agg.dedup_hits += r.dedup_hits;
+        agg.fallbacks += r.fallbacks;
+        agg.degraded_enters += r.degraded_enters;
+        agg.degraded_exits += r.degraded_exits;
+        all_recovery.extend(&r.recovery_ns);
+    }
+    // The sweep must actually exercise the failure domain: kills fire in
+    // nearly every iteration, and the idempotence table has to be doing
+    // real work (a re-dispatched + retried request dedups).
+    assert!(
+        agg.deaths >= iters / 2,
+        "sweep exercised too few kills: {} deaths in {iters} iterations",
+        agg.deaths
+    );
+    assert_eq!(agg.deaths, agg.restarts, "unrecovered worker deaths");
+    all_recovery.sort_unstable();
+    let (p50, p99) = (percentile(&all_recovery, 0.50), percentile(&all_recovery, 0.99));
+    let report = format!(
+        "{{\n  \"seed\": {CHAOS_SEED},\n  \"iterations\": {iters},\n  \
+         \"worker_deaths\": {},\n  \"worker_restarts\": {},\n  \
+         \"redispatches\": {},\n  \"dedup_hits\": {},\n  \
+         \"fallbacks\": {},\n  \"degraded_enters\": {},\n  \
+         \"degraded_exits\": {},\n  \"recovery_p50_ns\": {p50},\n  \
+         \"recovery_p99_ns\": {p99}\n}}\n",
+        agg.deaths,
+        agg.restarts,
+        agg.redispatches,
+        agg.dedup_hits,
+        agg.fallbacks,
+        agg.degraded_enters,
+        agg.degraded_exits,
+    );
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write("target/chaos-report.json", &report).expect("write chaos report");
+    println!("chaos report: {report}");
+}
+
+/// Replayability: the same `(seed, iteration)` pair yields an identical
+/// report — counters, recovery latencies, and final state digest.
+#[test]
+fn chaos_iteration_is_deterministic_and_replayable() {
+    for i in [0u64, 1, 5] {
+        let a = chaos_one(i);
+        let b = chaos_one(i);
+        assert_eq!(a, b, "replay of chaos iteration {i} diverged");
+    }
+}
+
+/// Every kill point is survivable on its own: arm each deterministically
+/// against single-client traffic and check the exactly-once contract —
+/// `mid-payload` and `before-reply` kills leave a copy whose re-dispatch
+/// or retry must dedup rather than re-apply.
+#[test]
+fn each_kill_point_recovers_exactly_once() {
+    for (idx, point) in WorkerKillPoint::ALL.into_iter().enumerate() {
+        let (kernel, fses) = world();
+        let rt = SimRuntime::new(0xD1E + idx as u64);
+        let k = Arc::clone(&kernel);
+        let fs = Arc::clone(&fses[0]);
+        rt.spawn("kill-point", move || {
+            k.delegation().start();
+            // Kill on the second pop: the first write proves the healthy
+            // path, the second rides through death + recovery.
+            k.delegation().arm_worker_kill(WorkerKillPlan::kill_at(1, point));
+            let fd = fs.open("/kp", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+            for j in 0..4u64 {
+                let block = vec![j as u8 + 1; CHUNK];
+                assert_eq!(fs.pwrite(fd, j * CHUNK as u64, &block).unwrap(), CHUNK);
+            }
+            let mut got = vec![0u8; 4 * CHUNK];
+            assert_eq!(fs.pread(fd, 0, &mut got).unwrap(), got.len());
+            for j in 0..4usize {
+                assert!(
+                    got[j * CHUNK..(j + 1) * CHUNK].iter().all(|&b| b == j as u8 + 1),
+                    "chunk {j} corrupted across a {} kill",
+                    point.as_str()
+                );
+            }
+            fs.close(fd).unwrap();
+            k.delegation().shutdown();
+        });
+        rt.run();
+        let s = kernel.delegation().stats().snapshot();
+        assert_eq!(s.worker_deaths, 1, "{} kill never fired", point.as_str());
+        assert_eq!(s.worker_restarts, 1, "{} kill never recovered", point.as_str());
+        let events = kernel.take_events();
+        assert!(
+            events.iter().any(|e| matches!(e, KernelEvent::WorkerDied { .. })),
+            "{}: no WorkerDied event",
+            point.as_str()
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, KernelEvent::WorkerRestarted { .. })),
+            "{}: no WorkerRestarted event",
+            point.as_str()
+        );
+    }
+}
+
+/// The quarantine lifecycle is its own failure domain: one LibFS
+/// corrupts shared state, is quarantined, repaired, and re-admitted —
+/// all *while* two other LibFSes keep issuing delegated writes to
+/// adjacent files, with the cross-LibFS race detector armed and a worker
+/// kill thrown in. Gates: the run is race-free (the detector would
+/// abort), the offender completes the full lifecycle, and the bystander
+/// files come through byte-perfect.
+///
+/// All namespace mutation (creates, file sizing — the dirent stores) is
+/// serialized in the boot thread before the concurrent phase starts; the
+/// bystanders then issue only in-place delegated overwrites, the
+/// sanctioned lock-free sharing pattern, so every surviving cross-actor
+/// access must be ordered by the kernel's clocked primitives.
+#[test]
+fn quarantine_repairs_and_readmits_under_live_delegated_traffic() {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    assert!(dev.set_race_detector(Arc::new(RaceDetector::new())));
+    let kernel = KernelController::format(Arc::clone(&dev), KernelConfig::default());
+    let evil = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let auditor = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let writers: Vec<Arc<ArckFs>> = (0..2)
+        .map(|c| {
+            ArckFs::mount(Arc::clone(&kernel), 2000 + c, 2000, ArckFsConfig::static_thresholds())
+        })
+        .collect();
+
+    let rt = SimRuntime::new(0x0_B5E55ED);
+    rt.enable_race_detection();
+    let k = Arc::clone(&kernel);
+    rt.spawn("quarantine-live", move || {
+        k.delegation().start();
+
+        // --- Setup, single-threaded: every dirent-touching operation
+        // (creates, extensions) happens before any concurrency exists.
+        let evil_actor = evil.actor();
+        evil.mkdir("/dir", Mode(0o777)).unwrap();
+        write_file(&*evil, "/dir/victim", &vec![7u8; CHUNK]).unwrap();
+        evil.release_path("/dir").unwrap();
+        let _ = auditor.readdir("/dir").unwrap();
+        let _ = read_file(&*auditor, "/dir/victim").unwrap();
+        // Re-acquire write grants (checkpointing the clean state)...
+        let fd = evil.open("/dir/victim", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        evil.pwrite(fd, 0, &[7u8]).unwrap();
+        evil.close(fd).unwrap();
+        // ...and size each bystander file to its final extent.
+        let staged: Vec<_> = writers
+            .into_iter()
+            .enumerate()
+            .map(|(c, fs)| {
+                let path = format!("/bystander-{c}");
+                let fd =
+                    fs.open(&path, OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+                let base = vec![c as u8; 3 * CHUNK];
+                assert_eq!(fs.pwrite(fd, 0, &base).unwrap(), base.len());
+                (c, fs, fd)
+            })
+            .collect();
+
+        // --- Concurrent phase. One worker dies mid-traffic: watchdog
+        // recovery and quarantine repair overlap, and both must stay
+        // race-free.
+        k.delegation().arm_worker_kill(WorkerKillPlan::kill_at(3, WorkerKillPoint::MidPayload));
+        let handles: Vec<_> = staged
+            .into_iter()
+            .map(|(c, fs, fd)| {
+                trio_sim::spawn(&format!("bystander-{c}"), move || {
+                    for j in 0..10u64 {
+                        let block = vec![(c as u8) << 4 | j as u8; CHUNK];
+                        assert_eq!(fs.pwrite(fd, (j % 3) * CHUNK as u64, &block).unwrap(), CHUNK);
+                        work(MILLIS);
+                    }
+                    let mut got = vec![0u8; CHUNK];
+                    for r in 0..3u64 {
+                        assert_eq!(fs.pread(fd, r * CHUNK as u64, &mut got).unwrap(), CHUNK);
+                        let want = got[0];
+                        assert!(
+                            got.iter().all(|&b| b == want),
+                            "bystander {c}: region {r} torn by quarantine traffic"
+                        );
+                    }
+                    fs.close(fd).unwrap();
+                })
+            })
+            .collect();
+
+        // The offender corrupts and releases; the auditor's remap detects
+        // it, quarantines, repairs, and re-admits — all mid-traffic.
+        work(2 * MILLIS);
+        run_attack(&evil, Attack::IndexCycle, "/dir", "victim").unwrap();
+        let _ = evil.release_path("/dir/victim");
+        let _ = evil.release_path("/dir");
+        let _ = auditor.readdir("/dir");
+        let _ = read_file(&*auditor, "/dir/victim");
+
+        for h in handles {
+            h.join();
+        }
+        k.delegation().shutdown();
+
+        let events = k.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, KernelEvent::Quarantined { actor, .. } if *actor == evil_actor)),
+            "offender must be quarantined"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, KernelEvent::Readmitted { actor } if *actor == evil_actor)),
+            "offender must be repaired and re-admitted"
+        );
+        assert!(k.quarantined_actors().is_empty(), "nothing may stay quarantined");
+        // Re-admission is real while the pool is still up.
+        evil.create("/dir/after-readmit", Mode(0o666)).unwrap();
+        evil.unlink("/dir/after-readmit").unwrap();
+    });
+    rt.run();
+    let s = kernel.delegation().stats().snapshot();
+    assert_eq!(s.worker_deaths, 1, "the armed kill must fire during the lifecycle");
+    assert_eq!(s.worker_restarts, 1, "and recover");
+}
+
+/// Graceful degradation end to end: a fully wedged pool trips the
+/// circuit breaker (visible in kernel stats, events, and the obs
+/// timeline), direct access keeps ops flowing, and once the pool heals
+/// the probe stream re-promotes delegation.
+#[test]
+fn degraded_mode_enters_and_recovers_visibly() {
+    let (kernel, fses) = world();
+    let rt = SimRuntime::new(0xDE6);
+    let k = Arc::clone(&kernel);
+    let fs = Arc::clone(&fses[0]);
+    rt.spawn("degrade", move || {
+        k.delegation().start();
+        k.delegation().inject_faults(0, 0, 1); // Drop everything: wedge.
+        let block = vec![0xABu8; CHUNK];
+        // One delegated write to a fresh file per turn: each op exhausts
+        // its retry budget, falls back to direct access (demoting that
+        // *file*), and counts one consecutive pool failure; the
+        // pool-level breaker opens after three. Fresh files matter —
+        // per-file demotion would otherwise shield the pool from ever
+        // seeing the repeat failures.
+        let wr = |path: &str| {
+            let fd = fs.open(path, OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+            assert_eq!(fs.pwrite(fd, 0, &block).unwrap(), CHUNK);
+            fs.close(fd).unwrap();
+        };
+        let mut ops = 0u64;
+        while !k.delegation().degraded() {
+            wr(&format!("/deg-{ops}"));
+            ops += 1;
+            assert!(ops <= 16, "breaker never opened under a total wedge");
+        }
+        assert!(k.degraded_mode().active, "kernel stats must surface DegradedMode");
+        // Degraded ops route direct and stay correct.
+        for j in 0..8u64 {
+            wr(&format!("/shed-{j}"));
+        }
+        // Heal the pool; probe traffic (1 in 16 eligible ops) must
+        // re-promote after enough successes.
+        k.delegation().inject_faults(0, 0, 0);
+        let mut probes = 0u64;
+        while k.delegation().degraded() {
+            wr(&format!("/probe-{probes}"));
+            probes += 1;
+            assert!(probes <= 4096, "pool never recovered after faults were cleared");
+        }
+        k.delegation().shutdown();
+    });
+    rt.run();
+
+    let dm = kernel.degraded_mode();
+    assert!(!dm.active, "pool must have re-promoted");
+    assert_eq!(dm.enters, 1, "exactly one degraded episode");
+    assert_eq!(dm.exits, 1, "exactly one recovery");
+    let s = kernel.delegation().stats().snapshot();
+    assert_eq!(s.degraded_enters, 1);
+    assert_eq!(s.degraded_exits, 1);
+    assert!(s.deleg_fallbacks >= 3, "fallbacks fed the breaker");
+    let events = kernel.take_events();
+    assert!(events.iter().any(|e| matches!(e, KernelEvent::DelegationDegraded)));
+    assert!(events.iter().any(|e| matches!(e, KernelEvent::DelegationRecovered)));
+    // The transition must be visible in the obs timeline as failover
+    // spans (degraded-enter opens, degraded-exit closes).
+    #[cfg(feature = "obs")]
+    {
+        let j = trio_obs::timeline_json("chaos-degraded");
+        assert!(
+            j.contains("\"stage\": \"failover\""),
+            "degraded transitions missing from the obs timeline"
+        );
+    }
+}

@@ -233,15 +233,17 @@ fn readback(fs: &Arc<ArckFs>, seed: u64) -> BTreeMap<String, Option<Vec<u8>>> {
 // Equivalence checking.
 // ---------------------------------------------------------------------
 
-/// Asserts `got` matches `old` or `new` on every cache-line-aligned chunk
-/// — the torn-write granularity the device guarantees.
-fn check_linewise(ctx: &str, path: &str, got: &[u8], old: &[u8], new: &[u8]) {
+/// Asserts `got` matches `old` or `new` on every `gran`-aligned chunk —
+/// the torn-write granularity the device guarantees: cache lines
+/// normally, 8 bytes when the torn-store fault mode is armed (an aligned
+/// prefix of the in-flight store may escape to media).
+fn check_chunkwise(ctx: &str, path: &str, got: &[u8], old: &[u8], new: &[u8], gran: usize) {
     let pad = |src: &[u8], i: usize, j: usize| -> Vec<u8> {
         (i..j).map(|x| src.get(x).copied().unwrap_or(0)).collect()
     };
     let mut c = 0;
     while c < got.len() {
-        let end = (c + CACHE_LINE).min(got.len());
+        let end = (c + gran).min(got.len());
         let g = &got[c..end];
         let o = pad(old, c, end);
         let n = pad(new, c, end);
@@ -259,6 +261,7 @@ fn check_equiv(
     durable: &Model,
     amb: Option<&Op>,
     rec: &BTreeMap<String, Option<Vec<u8>>>,
+    gran: usize,
 ) {
     let amb_paths: BTreeSet<&str> = amb.map(touched).unwrap_or_default().into_iter().collect();
     // 1. Every durably created directory / file survives byte-for-byte.
@@ -329,7 +332,7 @@ fn check_equiv(
                         old.len(),
                         new_len
                     );
-                    check_linewise(ctx, path, got, old, &new);
+                    check_chunkwise(ctx, path, got, old, &new, gran);
                 }
                 other => panic!("write target {path} vanished (found {other:?})\n{ctx}"),
             }
@@ -372,9 +375,18 @@ fn check_equiv(
 /// checks model equivalence. Returns `(crash report, recovered state)`
 /// rendered to strings for byte-identical determinism comparison.
 fn sweep_one(seed: u64, k: u64) -> (String, String) {
+    sweep_one_with(seed, k, false)
+}
+
+/// [`sweep_one`] with an optional torn-store twist: when `torn` is set,
+/// the crash additionally lets an aligned 8-byte prefix of the in-flight
+/// data store escape to media, so in-flight-write equivalence is checked
+/// at 8-byte rather than cache-line granularity.
+fn sweep_one_with(seed: u64, k: u64, torn: bool) -> (String, String) {
     let ops = gen_trace(seed);
     let (dev, _kernel, fs) = world();
-    dev.arm_crash_plan(FaultPlan::crash_at_point(k));
+    let plan = FaultPlan::crash_at_point(k);
+    dev.arm_crash_plan(if torn { plan.with_torn_store() } else { plan });
     let completed = run_trace(&dev, &fs, &ops, seed);
     let jpages = fs.journal_pages();
     drop(fs);
@@ -383,7 +395,8 @@ fn sweep_one(seed: u64, k: u64) -> (String, String) {
     let fired_at = dev.crash_plan_fired();
     let report = dev.crash();
     let report_str = format!("{report}");
-    let ctx = format!("seed={seed} crash_point={k} completed_ops={completed}\n{report_str}");
+    let ctx =
+        format!("seed={seed} crash_point={k} torn={torn} completed_ops={completed}\n{report_str}");
 
     // Recovery: LibFS journal undo first (it rewrites dirents the kernel
     // walk will read), then the kernel's provenance-rebuilding walk. With
@@ -408,7 +421,7 @@ fn sweep_one(seed: u64, k: u64) -> (String, String) {
     for op in &ops[..completed.min(ops.len())] {
         durable.apply(op);
     }
-    check_equiv(&ctx, &durable, ops.get(completed), &rec);
+    check_equiv(&ctx, &durable, ops.get(completed), &rec, if torn { 8 } else { CACHE_LINE });
 
     // Sanitizer verdict for this iteration. Hazards recorded after the
     // freeze point are unreliable (a frozen fence retires nothing, so a
@@ -475,6 +488,25 @@ fn exhaustive_crash_point_sweep() {
     }
 }
 
+/// Torn-store pass (delegation failure domains, §16): at sampled crash
+/// points the in-flight data store additionally tears at an aligned
+/// 8-byte boundary before the crash. Recovery must still produce a
+/// fsck-clean, model-equivalent state — with in-flight writes now only
+/// 8-byte (not cache-line) atomic. `TRIO_TORN_SAMPLE=n` tunes the stride.
+#[test]
+fn torn_store_sweep_at_sampled_points() {
+    let total = total_points(SWEEP_SEED);
+    let stride: usize = std::env::var("TRIO_TORN_SAMPLE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(7);
+    println!("torn-store sweep over {total} crash points, stride {stride}");
+    for k in (0..total).step_by(stride) {
+        sweep_one_with(SWEEP_SEED, k, true);
+    }
+}
+
 /// With the sanitizer on, the unmutated trace must run to quiescence with
 /// zero hazards — the positive "report-clean" half of the mutation tests.
 #[cfg(feature = "sanitize")]
@@ -503,4 +535,9 @@ fn sweep_is_deterministic_and_replayable() {
         let b = sweep_one(SWEEP_SEED, k);
         assert_eq!(a, b, "replay of (seed={SWEEP_SEED}, point={k}) diverged");
     }
+    // The torn-store variant must replay identically too: the escaped
+    // prefix length is drawn from the same deterministic plan state.
+    let a = sweep_one_with(SWEEP_SEED, total / 2, true);
+    let b = sweep_one_with(SWEEP_SEED, total / 2, true);
+    assert_eq!(a, b, "torn replay of (seed={SWEEP_SEED}, point={}) diverged", total / 2);
 }

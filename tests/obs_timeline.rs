@@ -11,7 +11,7 @@ use arckfs::attack::{run_attack, Attack};
 use arckfs::{ArckFs, ArckFsConfig};
 use trio_fsapi::{read_file, write_file, FileSystem, Mode, OpenFlags};
 use trio_kernel::delegation::DelegationError;
-use trio_kernel::{KernelConfig, KernelController};
+use trio_kernel::{KernelConfig, KernelController, RetryPolicy};
 use trio_nvm::{DeviceConfig, NvmDevice, PathStats, Topology};
 use trio_sim::{SimRuntime, MILLIS};
 
@@ -265,10 +265,22 @@ fn forced_failures_auto_dump_replayable_timelines() {
             // so the worker events stitch to it.
             trio_obs::set_current_op(trio_obs::next_op_id());
             k.delegation()
-                .try_write_extent(reg.actor, &pages, 0, &data, 5 * MILLIS, 2)
+                .try_write_extent(
+                    reg.actor,
+                    &pages,
+                    0,
+                    &data,
+                    &RetryPolicy::new(5 * MILLIS, 0, 2, 40 * MILLIS),
+                )
                 .unwrap();
             k.delegation().inject_faults(0, 0, 1); // Drop 1-in-1: wedge.
-            let r = k.delegation().try_write_extent(reg.actor, &pages, 0, &data, MILLIS, 1);
+            let r = k.delegation().try_write_extent(
+                reg.actor,
+                &pages,
+                0,
+                &data,
+                &RetryPolicy::new(MILLIS, 0, 1, 8 * MILLIS),
+            );
             assert_eq!(r, Err(DelegationError::Timeout));
             trio_obs::set_current_op(0);
             k.delegation().shutdown();
