@@ -8,9 +8,14 @@
 //!    gate metric: it moves whenever the batched submission path, the
 //!    ring protocol, or the device model regress, and it is immune to
 //!    host noise because it is simulated time.
-//! 2. **Loaded 4 KiB writes** — the fig6(f) shape at one thread count,
-//!    for headline throughput plus the full [`PathStats`] snapshot
-//!    (routing mix, allocator hit rate, registry lock count).
+//! 2. **Loaded multi-phase run** — three phases against one live kernel:
+//!    the fig6(f) 4 KiB-write shape at one thread count (headline
+//!    throughput), a delegated 64 KiB read phase (the read lane of the
+//!    same grant-window machinery), and a truncate/re-extend churn phase
+//!    that exercises the per-actor free-page cache. The final
+//!    [`PathStats`] snapshot must show zero payload copies, checksummed
+//!    bytes equal to delegated write bytes, delegated read traffic, and
+//!    a live free cache.
 //!
 //! Output: human-readable lines on stdout, JSON to `$TRIO_BENCH_OUT`
 //! (default `BENCH_datapath.json` in the current directory).
@@ -18,7 +23,55 @@
 use std::sync::Arc;
 
 use trio_bench::World;
+use trio_fsapi::{FileSystem, Mode, OpenFlags};
 use trio_workloads::fio::{Fio, FioOp};
+use trio_workloads::{OpCount, Workload};
+
+/// Truncate/re-extend churn: each thread repeatedly fills a private file
+/// through a registered grant window (no payload bytes on submit), then
+/// truncates it to zero. The truncate path parks the freed pages in the
+/// actor's scrubbed allocator cache, and the next round's extension
+/// allocates straight out of it — so a healthy run shows `free_cached`,
+/// `free_spills`, and a fast-path allocator hit rate in the snapshot.
+struct Churn {
+    /// Bytes each round writes before truncating.
+    file_bytes: u64,
+    /// Fill-then-truncate rounds per thread.
+    rounds: u32,
+}
+
+impl Workload for Churn {
+    fn setup(&self, _fs: &dyn FileSystem, _threads: usize) {}
+
+    fn run_thread(&self, fs: &dyn FileSystem, thread: usize) -> OpCount {
+        let path = format!("/churn-{thread}");
+        let chunk = vec![0x5Cu8; (1 << 20).min(self.file_bytes as usize)];
+        let reg = fs.register_write_buffer(&chunk).expect("churn grant");
+        let mut bytes = 0u64;
+        for _ in 0..self.rounds {
+            let fd = fs
+                .open(&path, OpenFlags::CREATE | OpenFlags::WRONLY, Mode::RW)
+                .expect("churn open");
+            let mut off = 0u64;
+            while off < self.file_bytes {
+                let n = chunk.len().min((self.file_bytes - off) as usize);
+                fs.pwrite_registered(fd, off, reg, 0, n).expect("churn write");
+                off += n as u64;
+            }
+            bytes += off;
+            fs.close(fd).expect("churn close");
+            // Frees every data page; the kernel parks them in this
+            // actor's allocator cache for the next round's extension.
+            fs.truncate(&path, 0).expect("churn truncate");
+        }
+        fs.unregister_write_buffer(reg).expect("churn unregister");
+        OpCount { ops: self.rounds as u64, bytes }
+    }
+
+    fn name(&self) -> String {
+        "churn-truncate-extend".into()
+    }
+}
 
 fn main() {
     println!("# Data-path smoke bench (virtual time, seed 42)");
@@ -54,24 +107,63 @@ fn main() {
         snap
     };
 
-    // Scenario 2: loaded small writes, fig6(f) shape at one rung.
+    // Scenario 2: three phases against one live kernel — loaded small
+    // writes (fig6(f) shape at one rung), delegated 64 KiB reads, then
+    // truncate/re-extend churn over the free-page cache.
     let world = World::build("ArckFS", 8, 128 * 1024);
     let stats = world.path_stats().expect("ArckFS world has a kernel");
-    let wl = Arc::new(Fio {
-        op: FioOp::Write,
-        block: 4096,
-        file_bytes: 4 << 20,
-        ops_per_thread: 192,
-    });
     let threads = 112;
-    let m = world.measure(wl, threads, 42);
+    let read_threads = 8;
+    let phases: Vec<(Arc<dyn Workload>, usize)> = vec![
+        (
+            Arc::new(Fio { op: FioOp::Write, block: 4096, file_bytes: 4 << 20, ops_per_thread: 192 }),
+            threads,
+        ),
+        // The read phase reuses the first 8 fio files prefilled above
+        // (Fio::setup skips existing files), so every read is over a
+        // fully mapped 4 MiB extent.
+        (
+            Arc::new(Fio {
+                op: FioOp::Read,
+                block: 64 * 1024,
+                file_bytes: 4 << 20,
+                ops_per_thread: 128,
+            }),
+            read_threads,
+        ),
+        (Arc::new(Churn { file_bytes: 4 << 20, rounds: 4 }), read_threads),
+    ];
+    let ms = world.measure_phases(phases, 42);
     let loaded_snap = stats.snapshot();
-    let w4k_gib_s = m.gib_per_sec();
+    let w4k_gib_s = ms[0].gib_per_sec();
+    let deleg_read_ns_per_op = ms[1].elapsed_ns as f64 * read_threads as f64 / ms[1].ops as f64;
     println!("4KiB write @{threads}t, 8 nodes  {w4k_gib_s:>10.2} GiB/s");
+    println!(
+        "delegated 64KiB read       {deleg_read_ns_per_op:>10.0} ns/op ({} ops)",
+        ms[1].ops
+    );
+    println!("churn @{read_threads}t                  {:>10.2} GiB moved", ms[2].bytes as f64 / (1u64 << 30) as f64);
     println!("#   {}", loaded_snap.summary_line());
+    assert!(
+        loaded_snap.delegated_read_bytes > 0,
+        "64 KiB reads must take the delegated path"
+    );
+    assert!(
+        loaded_snap.free_cached > 0,
+        "churn truncates must park freed pages in the actor cache"
+    );
+    assert_eq!(
+        loaded_snap.payload_copies, 0,
+        "registered writes must not materialize payloads on the submit path"
+    );
+    assert_eq!(
+        loaded_snap.checksummed_bytes, loaded_snap.delegated_write_bytes,
+        "every delegated write byte must be checksummed inline"
+    );
 
     let json = loaded_snap.to_json(&[
         ("delegated_write_ns_per_op", format!("{deleg_write_ns_per_op:.0}")),
+        ("delegated_read_ns_per_op", format!("{deleg_read_ns_per_op:.0}")),
         ("w4k_112t_gib_s", format!("{w4k_gib_s:.3}")),
         ("gate_threads", threads.to_string()),
     ]);

@@ -65,4 +65,17 @@ fn main() {
     panel("(f) 4KB write, 8 NUMA nodes", &eight_fs, 8, 4096, FioOp::Write, &eight);
     panel("(g) 2MB read, 8 NUMA nodes", &eight_fs, 8, 2 << 20, FioOp::Read, &eight);
     panel("(h) 2MB write, 8 NUMA nodes", &eight_fs, 8, 2 << 20, FioOp::Write, &eight);
+
+    // Read variant of the delegated lane: 64 KiB is past the delegation
+    // knee at every rung, so the ArckFS row here is pure delegated-read
+    // traffic through the grant-window machinery (the `deleg … r` term of
+    // the summary line must be the whole transfer).
+    panel(
+        "(i) 64KB read, 8 NUMA nodes (delegated lane)",
+        &["OdinFS", "ArckFS"],
+        8,
+        64 * 1024,
+        FioOp::Read,
+        &eight,
+    );
 }

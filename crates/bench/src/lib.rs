@@ -160,6 +160,43 @@ impl World {
         )
     }
 
+    /// Runs several workload phases back to back on this world inside one
+    /// simulation, with a single delegation-pool start/shutdown around the
+    /// whole sequence (pools cannot restart). Returns one measurement per
+    /// phase, in order.
+    pub fn measure_phases(
+        self,
+        phases: Vec<(Arc<dyn Workload>, usize)>,
+        seed: u64,
+    ) -> Vec<Measurement> {
+        let nodes = self.nodes;
+        let kernel = self.kernel.clone();
+        let kernel2 = self.kernel.clone();
+        let pool = self.baseline_delegation.clone();
+        let pool2 = self.baseline_delegation.clone();
+        trio_workloads::drive_phases(
+            Arc::clone(&self.fs),
+            phases,
+            nodes,
+            seed,
+            move || {
+                if let Some(k) = &kernel {
+                    let _ = k.delegation().start();
+                }
+                if let Some(p) = &pool {
+                    let _ = p.start();
+                }
+            },
+            move || {
+                if let Some(k) = &kernel2 {
+                    k.delegation().shutdown();
+                }
+                if let Some(p) = &pool2 {
+                    p.shutdown();
+                }
+            },
+        )
+    }
 }
 
 /// Builds an ArckFS world returning the concrete LibFS (for KVFS/FPFS and

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult, Mode};
 use trio_kernel::delegation::{DelegReply, DelegReq, DelegRun};
+use trio_kernel::grant::GrantRef;
 use trio_layout::{CoreFileType, DirentData, DirentLoc, DirentRef, IndexPageRef, DIRENTS_PER_PAGE};
 use trio_nvm::{PageId, PAGE_SIZE};
 use trio_sim::rng::SimRng;
@@ -64,7 +65,8 @@ pub enum Mutation {
     IndexInflate,
     /// Scribble random bytes over the LibFS's own journal records.
     JournalScribble,
-    /// Ring attack: a `DelegReq` whose payload range is out of bounds.
+    /// Ring attack: a `DelegReq` whose run payload ranges reach past the
+    /// grant window it references.
     DelegMalformedRun,
     /// Ring attack: a read whose `read_len` asks the kernel thread to
     /// allocate far more than the run's pages can hold.
@@ -73,10 +75,18 @@ pub enum Mutation {
     DelegReplay,
     /// Ring attack: a request with a hostile, enormous run list.
     DelegRunBomb,
+    /// Ring attack: a write referencing a forged grant — an id the kernel
+    /// never issued (or a wild epoch), hoping a worker dereferences it.
+    DelegGrantForge,
+    /// Ring attack: a write referencing the LibFS's *own* grant after
+    /// revoking or rewriting it — the stale-grant read attempt. Workers
+    /// must fault it cleanly ([`trio_nvm::ProtError::GrantRevoked`]), never
+    /// serve the old bytes.
+    DelegGrantStale,
 }
 
 /// Every production, for exhaustive sweeps and report indexing.
-pub const ALL_MUTATIONS: [Mutation; 18] = [
+pub const ALL_MUTATIONS: [Mutation; 20] = [
     Mutation::DirentFieldFlip,
     Mutation::DirentClear,
     Mutation::DirentForge,
@@ -95,6 +105,8 @@ pub const ALL_MUTATIONS: [Mutation; 18] = [
     Mutation::DelegOversizedRead,
     Mutation::DelegReplay,
     Mutation::DelegRunBomb,
+    Mutation::DelegGrantForge,
+    Mutation::DelegGrantStale,
 ];
 
 impl Mutation {
@@ -119,6 +131,8 @@ impl Mutation {
             Mutation::DelegOversizedRead => "deleg_oversized_read",
             Mutation::DelegReplay => "deleg_replay",
             Mutation::DelegRunBomb => "deleg_run_bomb",
+            Mutation::DelegGrantForge => "deleg_grant_forge",
+            Mutation::DelegGrantStale => "deleg_grant_stale",
         }
     }
 
@@ -311,7 +325,10 @@ pub fn run_mutation(
         }
         Mutation::DelegMalformedRun => {
             let page = fs.debug_take_pool_page();
-            let payload: Arc<[u8]> = vec![0xAB; 64].into();
+            let grants = fs.kernel().delegation().grants();
+            let data: Arc<[u8]> = vec![0xAB; 64].into();
+            let id = grants.register(fs.actor(), data);
+            let gref = GrantRef { grant_id: id, start: 0, len: 64, epoch: 1 };
             let req = |reply| DelegReq {
                 actor: fs.actor(),
                 op_id: 0,
@@ -319,15 +336,17 @@ pub fn run_mutation(
                 runs: vec![DelegRun {
                     pages: vec![page],
                     start: 0,
-                    // Payload range reaches past the shared buffer.
+                    // Payload range reaches past the grant window.
                     payload: 32..(PAGE_SIZE * 2),
                     read_len: 0,
                 }],
-                payload: Some(Arc::clone(&payload)),
+                grant: Some(gref),
                 tag: 0,
                 reply,
             };
-            submit_hostile(fs, rng, req, 1)
+            let r = submit_hostile(fs, rng, req, 1);
+            grants.revoke(fs.actor(), id);
+            r
         }
         Mutation::DelegOversizedRead => {
             let page = fs.debug_take_pool_page();
@@ -342,7 +361,7 @@ pub fn run_mutation(
                     // Allocation bomb: one page backing a gigabyte "read".
                     read_len: 1 << 30,
                 }],
-                payload: None,
+                grant: None,
                 tag: 0,
                 reply,
             };
@@ -350,17 +369,22 @@ pub fn run_mutation(
         }
         Mutation::DelegReplay => {
             let page = fs.debug_take_pool_page();
-            let payload: Arc<[u8]> = vec![0x5A; 128].into();
+            let grants = fs.kernel().delegation().grants();
+            let data: Arc<[u8]> = vec![0x5A; 128].into();
+            let id = grants.register(fs.actor(), data);
+            let gref = GrantRef { grant_id: id, start: 0, len: 128, epoch: 1 };
             let req = |reply| DelegReq {
                 actor: fs.actor(),
                 op_id: 0,
                 seq: 0,
                 runs: vec![DelegRun { pages: vec![page], start: 0, payload: 0..128, read_len: 0 }],
-                payload: Some(Arc::clone(&payload)),
+                grant: Some(gref),
                 tag: 0,
                 reply,
             };
-            submit_hostile(fs, rng, req, 2)
+            let r = submit_hostile(fs, rng, req, 2);
+            grants.revoke(fs.actor(), id);
+            r
         }
         Mutation::DelegRunBomb => {
             let page = fs.debug_take_pool_page();
@@ -371,11 +395,64 @@ pub fn run_mutation(
                 op_id: 0,
                 seq: 0,
                 runs: runs.clone(),
-                payload: None,
+                grant: None,
                 tag: 0,
                 reply,
             };
             submit_hostile(fs, rng, req, 1)
+        }
+        Mutation::DelegGrantForge => {
+            let page = fs.debug_take_pool_page();
+            // An id the kernel never issued, or (half the time) an absurd
+            // epoch on a plausible id — either way the worker must refuse
+            // to dereference it.
+            let gref = GrantRef {
+                grant_id: 0x8000_0000_0000_0000 | rng.next_u64(),
+                start: 0,
+                len: 128,
+                epoch: 1 + rng.gen_range(1 << 30),
+            };
+            let req = |reply| DelegReq {
+                actor: fs.actor(),
+                op_id: 0,
+                seq: 0,
+                runs: vec![DelegRun { pages: vec![page], start: 0, payload: 0..128, read_len: 0 }],
+                grant: Some(gref),
+                tag: 0,
+                reply,
+            };
+            submit_hostile(fs, rng, req, 1)
+        }
+        Mutation::DelegGrantStale => {
+            let page = fs.debug_take_pool_page();
+            let grants = fs.kernel().delegation().grants();
+            let data: Arc<[u8]> = vec![0xEE; 128].into();
+            let id = grants.register(fs.actor(), data);
+            let gref = grants.window(fs.actor(), id, 0, 128).map_err(ArckFs::fault)?;
+            // Invalidate the window before the workers see it: revoke the
+            // grant outright, or rewrite it (epoch bump) — the two ways a
+            // submitter can yank a buffer out from under its own request.
+            let how = if rng.gen_range(2) == 0 {
+                grants.revoke(fs.actor(), id);
+                "revoked"
+            } else {
+                grants
+                    .update(fs.actor(), id, vec![0x11; 128].into())
+                    .map_err(ArckFs::fault)?;
+                "rewritten"
+            };
+            let req = |reply| DelegReq {
+                actor: fs.actor(),
+                op_id: 0,
+                seq: 0,
+                runs: vec![DelegRun { pages: vec![page], start: 0, payload: 0..128, read_len: 0 }],
+                grant: Some(gref),
+                tag: 0,
+                reply,
+            };
+            let r = submit_hostile(fs, rng, req, 1);
+            grants.revoke(fs.actor(), id);
+            r.map(|s| format!("{s} ({how} grant)"))
         }
     }
 }

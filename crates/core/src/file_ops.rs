@@ -18,6 +18,15 @@ use trio_sim::{in_sim, now};
 use crate::libfs::ArckFs;
 use crate::node::{FileNode, MapState, NodeInner};
 
+/// A write's payload source. `data` is always readable (the caller's
+/// slice, or its snapshot of a registered buffer) and serves the direct
+/// path; when `grant` is set, the delegation path submits the window by
+/// reference instead of materializing the bytes.
+pub(crate) struct WriteSrc<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) grant: Option<trio_kernel::GrantRef>,
+}
+
 impl ArckFs {
     /// Reads up to `buf.len()` bytes at `off`.
     pub(crate) fn pread_node(
@@ -52,6 +61,26 @@ impl ArckFs {
         off: u64,
         data: &[u8],
     ) -> FsResult<usize> {
+        self.pwrite_src(node, off, &WriteSrc { data, grant: None })
+    }
+
+    /// Zero-copy variant: `gref` names a window of a registered grant and
+    /// is what the delegation path submits; `snap` is the client's own
+    /// consistent snapshot of the granted buffer, used by the direct path
+    /// (small writes, delegation fallback) without re-materializing.
+    pub(crate) fn pwrite_registered_node(
+        &self,
+        node: &Arc<FileNode>,
+        off: u64,
+        gref: trio_kernel::GrantRef,
+        snap: &[u8],
+    ) -> FsResult<usize> {
+        let data = snap.get(gref.start..gref.start + gref.len).ok_or(FsError::InvalidArgument)?;
+        self.pwrite_src(node, off, &WriteSrc { data, grant: Some(gref) })
+    }
+
+    fn pwrite_src(&self, node: &Arc<FileNode>, off: u64, src: &WriteSrc<'_>) -> FsResult<usize> {
+        let data = src.data;
         if data.is_empty() {
             return Ok(0);
         }
@@ -67,7 +96,7 @@ impl ArckFs {
                 }
                 if off + len as u64 <= g.size && fs.span_allocated(&g, off, len) {
                     let _r = node.range.acquire(off, len as u64, true);
-                    fs.write_span(node, &g, off, data)?;
+                    fs.write_span(node, &g, off, src)?;
                     return Ok(len);
                 }
             }
@@ -78,7 +107,7 @@ impl ArckFs {
                 return Err(FsError::Stale);
             }
             fs.ensure_span(node, &mut g, off, len)?;
-            fs.write_span(node, &g, off, data)?;
+            fs.write_span(node, &g, off, src)?;
             if off + len as u64 > g.size {
                 g.size = off + len as u64;
                 g.mtime = now_or_zero();
@@ -186,22 +215,23 @@ impl ArckFs {
         Ok(())
     }
 
-    /// Writes `data` at `off`; every page in the span must be allocated.
+    /// Writes the source at `off`; every page in the span must be
+    /// allocated.
     pub(crate) fn write_span(
         &self,
         node: &Arc<FileNode>,
         g: &NodeInner,
         off: u64,
-        data: &[u8],
+        src: &WriteSrc<'_>,
     ) -> FsResult<()> {
         let first = (off as usize) / PAGE_SIZE;
-        let last = (off as usize + data.len() - 1) / PAGE_SIZE;
+        let last = (off as usize + src.data.len() - 1) / PAGE_SIZE;
         let pages: Vec<PageId> = g.data_pages[first..=last]
             .iter()
             .map(|p| p.ok_or(FsError::InvalidArgument))
             .collect::<FsResult<_>>()?;
         let in_page = (off as usize) % PAGE_SIZE;
-        self.rw_extent_write(node, &pages, in_page, data)
+        self.rw_extent_write(node, &pages, in_page, src)
     }
 
     /// Whether this access should go through delegation. Static policy:
@@ -337,28 +367,34 @@ impl ArckFs {
         node: &Arc<FileNode>,
         pages: &[PageId],
         start: usize,
-        data: &[u8],
+        src: &WriteSrc<'_>,
     ) -> FsResult<()> {
-        if self.route_delegated(node, pages, data.len(), true) {
+        if self.route_delegated(node, pages, src.data.len(), true) {
             // Same protocol as reads. Retrying a possibly-executed write
             // is safe twice over: the bytes are idempotent (same data,
             // same location), and the pool's per-op idempotence token
             // makes the application exactly-once even when a worker died
             // after applying but before replying.
             let pool = self.kernel.delegation();
-            match pool.try_write_extent(self.actor, pages, start, data, &self.delegation_policy())
-            {
+            let policy = self.delegation_policy();
+            // Registered buffers submit by reference (the grant window);
+            // only the legacy slice path materializes a transient grant.
+            let r = match src.grant {
+                Some(gref) => pool.try_write_extent_granted(self.actor, pages, start, gref, &policy),
+                None => pool.try_write_extent(self.actor, pages, start, src.data, &policy),
+            };
+            match r {
                 Ok(()) => return Ok(()),
                 Err(DelegationError::Fault(e)) => return Err(Self::fault(e)),
                 Err(DelegationError::Timeout) => {
                     self.stats.record_fallback();
                     crate::obs::fallback_dump();
-                    self.demote_after_fallback(node, data.len());
+                    self.demote_after_fallback(node, src.data.len());
                 }
             }
         }
-        self.h.write_extent(pages, start, data).map_err(Self::fault)?;
-        self.stats.record_direct_bytes(data.len(), true);
+        self.h.write_extent(pages, start, src.data).map_err(Self::fault)?;
+        self.stats.record_direct_bytes(src.data.len(), true);
         Ok(())
     }
 

@@ -201,6 +201,53 @@ impl FileSystem for ArckFs {
         }
     }
 
+    fn register_write_buffer(&self, data: &[u8]) -> FsResult<u64> {
+        // The one materialization: the buffer is shared with the kernel's
+        // grant table here, once, and every pwrite_registered against it
+        // moves no payload bytes at all.
+        Ok(self.kernel.delegation().grants().register(self.actor, data.into()))
+    }
+
+    fn update_write_buffer(&self, buf: u64, data: &[u8]) -> FsResult<()> {
+        self.kernel
+            .delegation()
+            .grants()
+            .update(self.actor, buf, data.into())
+            .map_err(Self::fault)
+    }
+
+    fn unregister_write_buffer(&self, buf: u64) -> FsResult<()> {
+        if self.kernel.delegation().grants().revoke(self.actor, buf) {
+            Ok(())
+        } else {
+            Err(FsError::InvalidArgument)
+        }
+    }
+
+    fn pwrite_registered(
+        &self,
+        fd: Fd,
+        off: u64,
+        buf: u64,
+        start: usize,
+        len: usize,
+    ) -> FsResult<usize> {
+        let e = self.fds.get(fd)?;
+        if !e.flags.writable() {
+            return Err(FsError::ReadOnly);
+        }
+        if e.node.ftype != CoreFileType::Regular {
+            return Err(FsError::IsDir);
+        }
+        let grants = self.kernel.delegation().grants();
+        // Pre-flight window cut; the delegation workers re-validate it on
+        // every dispatch. The snapshot serves the direct path (small
+        // writes, delegation fallback) without re-materializing.
+        let gref = grants.window(self.actor, buf, start, len).map_err(Self::fault)?;
+        let snap = grants.data_of(self.actor, buf).map_err(Self::fault)?;
+        self.pwrite_registered_node(&e.node, off, gref, &snap)
+    }
+
     fn fs_name(&self) -> &'static str {
         if self.cfg.delegation {
             "ArckFS"

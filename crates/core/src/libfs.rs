@@ -415,6 +415,10 @@ impl ArckFs {
         match e {
             ProtError::NotMapped | ProtError::ReadOnly => FsError::Stale,
             ProtError::Poisoned => FsError::Corrupted,
+            // A revoked/updated grant mid-flight is the submitter's own
+            // contract breach; remapping cannot cure it, so it is a clean
+            // error, not `Stale` (which would trigger remap-and-retry).
+            ProtError::GrantRevoked => FsError::InvalidArgument,
             _ => FsError::InvalidArgument,
         }
     }

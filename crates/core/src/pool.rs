@@ -84,14 +84,19 @@ impl PagePool {
     pub fn take_many(&self, node: usize, n: usize) -> FsResult<Vec<PageId>> {
         let node = node % self.per_node.len();
         loop {
-            {
+            // The deficit must be computed under the same lock hold as the
+            // availability check: a sibling's refill landing between two
+            // separate acquisitions can push `have` past `n`, and
+            // `n - have` would then underflow into an absurd ask that
+            // drains the device.
+            let have = {
                 let mut pool = self.per_node[node].lock();
                 if pool.len() >= n {
                     let at = pool.len() - n;
                     return Ok(pool.split_off(at));
                 }
-            }
-            let have = self.per_node[node].lock().len();
+                pool.len()
+            };
             let refill = self.refill(node, n - have)?;
             self.per_node[node].lock().extend(refill);
         }

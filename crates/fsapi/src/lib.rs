@@ -80,6 +80,44 @@ pub trait FileSystem: Send + Sync {
     /// paper §4.3/I4).
     fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()>;
 
+    /// Registers `data` as a reusable **write-source buffer** and returns
+    /// its handle. On Trio file systems this maps the buffer into a
+    /// kernel grant window: subsequent [`Self::pwrite_registered`] calls
+    /// name byte ranges of it instead of carrying payload bytes, so the
+    /// delegation submit path moves nothing — the registration itself is
+    /// the only copy, amortized over every write that reuses the buffer.
+    /// File systems without zero-copy delegation return
+    /// [`FsError::Unsupported`]; callers fall back to [`Self::pwrite`].
+    fn register_write_buffer(&self, _data: &[u8]) -> FsResult<u64> {
+        Err(FsError::Unsupported)
+    }
+
+    /// Replaces the contents of a registered write buffer. In-flight
+    /// writes still reading the old contents are drained first (the grant
+    /// epoch bumps), so no write ever observes a torn mix of old and new.
+    fn update_write_buffer(&self, _buf: u64, _data: &[u8]) -> FsResult<()> {
+        Err(FsError::Unsupported)
+    }
+
+    /// Unregisters a write buffer. A revocation barrier: when this
+    /// returns, no in-flight write is still reading the buffer.
+    fn unregister_write_buffer(&self, _buf: u64) -> FsResult<()> {
+        Err(FsError::Unsupported)
+    }
+
+    /// Writes `len` bytes from byte `start` of registered buffer `buf` at
+    /// file offset `off` — the zero-copy analogue of [`Self::pwrite`].
+    fn pwrite_registered(
+        &self,
+        _fd: Fd,
+        _off: u64,
+        _buf: u64,
+        _start: usize,
+        _len: usize,
+    ) -> FsResult<usize> {
+        Err(FsError::Unsupported)
+    }
+
     /// Short, stable identifier used in benchmark output (e.g. `"ArckFS"`).
     fn fs_name(&self) -> &'static str;
 }

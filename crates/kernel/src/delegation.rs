@@ -8,13 +8,20 @@
 //! bandwidth collapse. Large extents are split per node and served in
 //! parallel, aggregating the bandwidth of all nodes.
 //!
-//! Submission is *batched*: one scatter-gather [`DelegReq`] per node carries
-//! every node-contiguous run the extent places there, so an op costs one
-//! ring hop per touched node rather than one per run. Write payloads travel
-//! as a shared `Arc<[u8]>` sliced per run — the client materializes the
-//! buffer exactly once per op, and deadline retries re-enqueue the same
-//! `Arc` without copying. Completions come back tagged on a per-op reply
-//! ring drawn from a pool, so steady-state ops allocate no channels.
+//! Submission is *batched*: one scatter-gather [`DelegReq`] per `(node,
+//! worker slot)` carries node-contiguous runs of the extent. Write payloads
+//! travel **by reference** as a revocable [`GrantRef`] window (DESIGN.md
+//! §17): the client registers its buffer with the kernel's
+//! [`crate::grant::GrantTable`] and the worker reads the bytes straight out
+//! of the granted region during its one write pass into NVM — zero copies
+//! on the submit path, and that same pass folds each byte into a streaming
+//! checksum recorded in the page sidecars. Large single-node runs addition-
+//! ally *fan out* across the node's worker slots in page-aligned chunks of
+//! at least [`FANOUT_MIN_BYTES`], so one big op engages enough threads to
+//! reach the node's concurrency sweet spot instead of crawling through a
+//! single worker at `k = 1` efficiency. Completions come back tagged on a
+//! per-op reply ring drawn from a pool, so steady-state ops allocate no
+//! channels.
 //!
 //! Permission is enforced end-to-end: a delegation thread performs the
 //! access *as the requesting actor*, so the MMU check still applies.
@@ -50,13 +57,23 @@ use trio_sim::plock::Mutex as PlMutex;
 use trio_sim::sync::{RecvDeadline, SimChannel};
 use trio_sim::{in_sim, now, spawn, JoinHandle, Nanos};
 
+use crate::grant::{GrantRef, GrantTable};
 use crate::registry::KernelEvent;
 use crate::retry::RetryPolicy;
 
 /// Reply-ring capacity. Must exceed the most completions an op can have in
-/// flight (touched nodes × retry attempts), so a late worker reply to an
-/// abandoned (timed-out) op never blocks the worker.
-const REPLY_RING_CAP: usize = 64;
+/// flight (touched nodes × per-node fan-out × retry attempts), so a late
+/// worker reply to an abandoned (timed-out) op never blocks the worker.
+const REPLY_RING_CAP: usize = 512;
+
+/// Minimum bytes per fan-out chunk. A single-node run is split across the
+/// node's worker slots only in page-aligned chunks at least this large:
+/// big ops reach the concurrency the bandwidth model rewards (per-node
+/// write efficiency peaks around 8–12 concurrent accessors), while small
+/// ops — a lone 4 KiB write — stay whole and keep their one-hop latency.
+/// Page alignment means no page ever has two workers writing it, which is
+/// also what keeps the per-page checksum sidecars single-writer.
+const FANOUT_MIN_BYTES: usize = 8192;
 
 /// Hard ceiling on runs per request. The rings are shared memory, so a
 /// hostile LibFS can enqueue arbitrary [`DelegReq`]s; the worker must
@@ -100,7 +117,7 @@ fn validate_req(req: &DelegReq) -> Result<(), ProtError> {
     if req.runs.is_empty() || req.runs.len() > MAX_RUNS_PER_REQ {
         return Err(ProtError::OutOfRange);
     }
-    let payload_len = req.payload.as_ref().map(|p| p.len());
+    let payload_len = req.grant.as_ref().map(|g| g.len);
     let mut total: usize = 0;
     for run in &req.runs {
         if run.pages.is_empty() {
@@ -138,7 +155,7 @@ pub struct DelegRun {
     pub pages: Vec<PageId>,
     /// Byte offset within the run at which the access starts.
     pub start: usize,
-    /// For writes: this run's slice of the shared payload.
+    /// For writes: this run's byte range within the op's grant window.
     pub payload: std::ops::Range<usize>,
     /// For reads: how many bytes to read.
     pub read_len: usize,
@@ -164,9 +181,12 @@ pub struct DelegReq {
     pub seq: u64,
     /// Node-contiguous runs, in extent order.
     pub runs: Vec<DelegRun>,
-    /// For writes: the op's whole payload, shared (not copied) across
-    /// batches and retries.
-    pub payload: Option<Arc<[u8]>>,
+    /// For writes: the grant window holding the op's payload. Run payload
+    /// ranges index *within* this window. The worker re-validates the
+    /// grant (owner, epoch, bounds) on every dispatch and reads the bytes
+    /// straight from the granted buffer — nothing is copied, and retries
+    /// and re-dispatches carry only this reference.
+    pub grant: Option<GrantRef>,
     /// Which batch of the op this is; echoed in the reply.
     pub tag: usize,
     /// Completion ring (one per op, pooled).
@@ -276,6 +296,9 @@ impl DelegationFaults {
 /// Client-side bookkeeping for one batch of an in-flight op.
 struct Batch {
     node: usize,
+    /// Fan-out slot within the node: chunks of one op are spread over
+    /// distinct slots so distinct workers serve them concurrently.
+    slot: usize,
     req: DelegReq,
     /// Read scatter list: `(offset into the caller's buffer, len)` per run,
     /// in the same order the worker concatenates them.
@@ -401,6 +424,9 @@ pub struct DelegationPool {
     /// Monotonic write-sequence source for idempotence tokens.
     next_seq: AtomicU64,
     idem: Arc<PlMutex<IdemTable>>,
+    /// Live grant windows; shared with every worker for per-dispatch
+    /// re-validation.
+    grants: Arc<GrantTable>,
     health: Health,
     /// Failure-domain events, merged into the registry's stream by
     /// [`crate::KernelController::take_events`].
@@ -442,6 +468,7 @@ impl DelegationPool {
             .collect();
         let health = Health::default();
         health.recovery_epoch.store(1, Ordering::Relaxed);
+        let grants = Arc::new(GrantTable::new(Arc::clone(&stats)));
         DelegationPool {
             dev,
             rings,
@@ -453,6 +480,7 @@ impl DelegationPool {
             workers,
             next_seq: AtomicU64::new(0),
             idem: Arc::new(PlMutex::new(IdemTable::default())),
+            grants,
             health,
             events: PlMutex::new(Vec::new()),
             recovery_ns: PlMutex::new(Vec::new()),
@@ -464,6 +492,11 @@ impl DelegationPool {
     /// The pool's data-path counters.
     pub fn stats(&self) -> &Arc<PathStats> {
         &self.stats
+    }
+
+    /// The pool's grant-window table (buffer registration lives here).
+    pub fn grants(&self) -> &GrantTable {
+        &self.grants
     }
 
     /// Arms delegation-thread fault injection: stall one in
@@ -517,6 +550,7 @@ impl DelegationPool {
         let dev = Arc::clone(&self.dev);
         let stats = Arc::clone(&self.stats);
         let idem = Arc::clone(&self.idem);
+        let grants = Arc::clone(&self.grants);
         #[cfg(feature = "faults")]
         let faults = Arc::clone(&self.faults);
         spawn("delegation", move || {
@@ -558,7 +592,7 @@ impl DelegationPool {
                     *ws.inflight.lock() = None;
                     continue;
                 }
-                let is_write = req.payload.is_some();
+                let is_write = req.grant.is_some();
                 let key = (req.actor.0 as u64, req.seq, req.tag);
                 if is_write && req.seq != 0 && idem.lock().contains(&key) {
                     // Already applied by a previous incarnation that died
@@ -568,22 +602,44 @@ impl DelegationPool {
                     *ws.inflight.lock() = None;
                     continue;
                 }
+                // Grant admission runs on *every* dispatch — first send,
+                // client retry, watchdog re-dispatch — so a window whose
+                // backing buffer was revoked, unregistered, or mutated
+                // (epoch bumped) in the meantime faults here instead of
+                // being read stale.
+                let granted = match &req.grant {
+                    Some(g) => match grants.resolve(req.actor, g) {
+                        Ok(data) => Some(data),
+                        Err(e) => {
+                            stats.record_grant_fault();
+                            let _ = req.reply.send((req.tag, Err(e)));
+                            *ws.inflight.lock() = None;
+                            continue;
+                        }
+                    },
+                    None => None,
+                };
                 let svc_t0 = crate::obs::worker_begin(req.op_id, is_write, ws.node, req.actor.0);
                 let h = NvmHandle::new(Arc::clone(&dev), req.actor);
                 let xfer_t0 = crate::obs::transfer_begin();
                 let mut killed_mid = false;
-                let result = match &req.payload {
-                    Some(payload) => {
+                let mut result = match (&req.grant, &granted) {
+                    (Some(gref), Some(buffer)) => {
+                        // The worker's single pass over the granted bytes:
+                        // read straight from the grant window, stream the
+                        // checksum, store into NVM. No copy in between.
+                        let window = &buffer[gref.start..gref.start + gref.len];
                         let mut r = Ok(None);
                         for (i, run) in req.runs.iter().enumerate() {
-                            let Some(data) = payload.get(run.payload.clone()) else {
+                            let Some(data) = window.get(run.payload.clone()) else {
                                 r = Err(ProtError::OutOfRange);
                                 break;
                             };
-                            if let Err(e) = h.write_extent(&run.pages, run.start, data) {
+                            if let Err(e) = h.write_extent_hashed(&run.pages, run.start, data) {
                                 r = Err(e);
                                 break;
                             }
+                            stats.record_checksummed_bytes(data.len());
                             if i == 0 && kill == Some(WorkerKillPoint::MidPayload) {
                                 // Dies with the first run applied and the
                                 // token NOT recorded: the re-dispatch
@@ -594,7 +650,7 @@ impl DelegationPool {
                         }
                         r
                     }
-                    None => {
+                    _ => {
                         let total: usize = req.runs.iter().map(|r| r.read_len).sum();
                         let mut buf = vec![0u8; total];
                         let mut r = Ok(());
@@ -615,6 +671,12 @@ impl DelegationPool {
                     }
                 };
                 if killed_mid {
+                    // The controller reaps a dead worker's grant pins so a
+                    // pending revocation can still drain; the sim models
+                    // that reap as an unpin on the death path.
+                    if let Some(g) = &req.grant {
+                        grants.unpin(g.grant_id);
+                    }
                     ws.die();
                     return;
                 }
@@ -627,6 +689,21 @@ impl DelegationPool {
                     xfer_t0,
                 );
                 crate::obs::worker_end(req.op_id, is_write, ws.node, req.actor.0, svc_t0);
+                if let Some(g) = &req.grant {
+                    // Post-pass re-check: the pass itself read a
+                    // consistent snapshot, but if the submitter revoked
+                    // or rewrote the grant while it ran, the contract is
+                    // broken and the client must see a clean fault, not
+                    // a success for bytes it no longer stands behind.
+                    if result.is_ok() && !grants.is_current(g) {
+                        stats.record_grant_fault();
+                        result = Err(ProtError::GrantRevoked);
+                    }
+                    // Pin held since resolve: releasing it is what lets a
+                    // waiting revocation complete — strictly after this
+                    // pass's bytes (stale or not) are on media.
+                    grants.unpin(g.grant_id);
+                }
                 if is_write && req.seq != 0 && result.is_ok() {
                     // Token records only after the full apply: a death
                     // before this line re-applies (byte-idempotent), a
@@ -893,7 +970,13 @@ impl DelegationPool {
         (node, from_page..to_page, byte_from..byte_to)
     }
 
-    /// Groups the extent's runs into one tagged batch per touched node.
+    /// Groups the extent's runs into tagged batches, one per `(node,
+    /// fan-out slot)`. Each node-contiguous run bigger than
+    /// [`FANOUT_MIN_BYTES`] is additionally split into page-aligned chunks
+    /// spread round-robin over the node's worker slots, so a single large
+    /// op is served by several delegation threads concurrently — that is
+    /// what lifts the node to the concurrency level its bandwidth model
+    /// rewards. Small runs stay whole: one chunk, one hop.
     #[allow(clippy::too_many_arguments)]
     fn build_batches(
         &self,
@@ -901,41 +984,61 @@ impl DelegationPool {
         pages: &[PageId],
         start: usize,
         len: usize,
-        payload: Option<&Arc<[u8]>>,
+        grant: Option<&GrantRef>,
         reply: &Arc<SimChannel<DelegReply>>,
         seq: u64,
     ) -> Vec<Batch> {
         let mut batches: Vec<Batch> = Vec::new();
+        let mut next_slot: Vec<usize> = vec![0; self.rings.len()];
         for (node, prange, brange) in self.split_runs(pages, start, len) {
-            let run = DelegRun {
-                pages: pages[prange.clone()].to_vec(),
-                start: brange.start - prange.start * PAGE_SIZE,
-                payload: brange.start - start..brange.end - start,
-                read_len: if payload.is_some() { 0 } else { brange.len() },
-            };
-            let scatter = (brange.start - start, brange.len());
-            match batches.iter_mut().find(|b| b.node == node) {
-                Some(b) => {
-                    b.req.runs.push(run);
-                    b.scatter.push(scatter);
-                    b.bytes += scatter.1;
+            let threads = self.rings[node].len();
+            let chunks = (brange.len() / FANOUT_MIN_BYTES).clamp(1, threads);
+            let run_pages = prange.len();
+            let mut from_page = prange.start;
+            for ci in 0..chunks {
+                // Even page split: every page belongs to exactly one
+                // chunk, so no two workers ever share a page.
+                let to_page = prange.start + (run_pages * (ci + 1)) / chunks;
+                if to_page == from_page {
+                    continue;
                 }
-                None => batches.push(Batch {
-                    node,
-                    req: DelegReq {
-                        actor,
-                        op_id: crate::obs::current_op(),
-                        seq,
-                        runs: vec![run],
-                        payload: payload.map(Arc::clone),
-                        tag: batches.len(),
-                        reply: Arc::clone(reply),
-                    },
-                    scatter: vec![scatter],
-                    bytes: scatter.1,
-                    submitted: 0,
-                    done: false,
-                }),
+                let byte_from = brange.start.max(from_page * PAGE_SIZE);
+                let byte_to = brange.end.min(to_page * PAGE_SIZE);
+                let run = DelegRun {
+                    // lint: allow(no-payload-copy) page-id list, not payload bytes
+                    pages: pages[from_page..to_page].to_vec(),
+                    start: byte_from - from_page * PAGE_SIZE,
+                    payload: byte_from - start..byte_to - start,
+                    read_len: if grant.is_some() { 0 } else { byte_to - byte_from },
+                };
+                let scatter = (byte_from - start, byte_to - byte_from);
+                let slot = next_slot[node];
+                next_slot[node] = (slot + 1) % threads.max(1);
+                from_page = to_page;
+                match batches.iter_mut().find(|b| b.node == node && b.slot == slot) {
+                    Some(b) => {
+                        b.req.runs.push(run);
+                        b.scatter.push(scatter);
+                        b.bytes += scatter.1;
+                    }
+                    None => batches.push(Batch {
+                        node,
+                        slot,
+                        req: DelegReq {
+                            actor,
+                            op_id: crate::obs::current_op(),
+                            seq,
+                            runs: vec![run],
+                            grant: grant.copied(),
+                            tag: batches.len(),
+                            reply: Arc::clone(reply),
+                        },
+                        scatter: vec![scatter],
+                        bytes: scatter.1,
+                        submitted: 0,
+                        done: false,
+                    }),
+                }
             }
         }
         batches
@@ -949,7 +1052,7 @@ impl DelegationPool {
         self.stats.record_submission(batch.req.runs.len());
         crate::obs::ring_submit(
             batch.req.op_id,
-            batch.req.payload.is_some(),
+            batch.req.grant.is_some(),
             batch.node,
             batch.req.actor.0,
             batch.req.runs.len() as u64,
@@ -989,12 +1092,12 @@ impl DelegationPool {
         pages: &[PageId],
         start: usize,
         len: usize,
-        payload: Option<&Arc<[u8]>>,
+        grant: Option<&GrantRef>,
         buf: Option<&mut [u8]>,
         policy: Option<&RetryPolicy>,
     ) -> Result<(), DelegationError> {
         self.stats.enter_delegated_op();
-        let r = self.run_batches_inner(actor, pages, start, len, payload, buf, policy);
+        let r = self.run_batches_inner(actor, pages, start, len, grant, buf, policy);
         self.stats.exit_delegated_op();
         match &r {
             Ok(()) => self.note_op_success(),
@@ -1016,7 +1119,7 @@ impl DelegationPool {
         pages: &[PageId],
         start: usize,
         len: usize,
-        payload: Option<&Arc<[u8]>>,
+        grant: Option<&GrantRef>,
         mut buf: Option<&mut [u8]>,
         policy: Option<&RetryPolicy>,
     ) -> Result<(), DelegationError> {
@@ -1026,9 +1129,9 @@ impl DelegationPool {
         // Idempotence tokens are minted per write op and shared by all of
         // its batches (the batch tag disambiguates them).
         let seq =
-            if payload.is_some() { self.next_seq.fetch_add(1, Ordering::Relaxed) + 1 } else { 0 };
+            if grant.is_some() { self.next_seq.fetch_add(1, Ordering::Relaxed) + 1 } else { 0 };
         let reply = self.take_reply();
-        let mut batches = self.build_batches(actor, pages, start, len, payload, &reply, seq);
+        let mut batches = self.build_batches(actor, pages, start, len, grant, &reply, seq);
         let mut sent = 0u64;
         let mut received = 0u64;
         let mut fault: Option<ProtError> = None;
@@ -1055,7 +1158,7 @@ impl DelegationPool {
                     if attempt > 0 {
                         crate::obs::retry_decision(
                             crate::obs::current_op(),
-                            payload.is_some(),
+                            grant.is_some(),
                             attempt,
                             window,
                         );
@@ -1087,7 +1190,7 @@ impl DelegationPool {
                             self.stats.record_ring_hop(hop);
                             crate::obs::ring_reply(
                                 b.req.op_id,
-                                b.req.payload.is_some(),
+                                b.req.grant.is_some(),
                                 b.node,
                                 b.req.actor.0,
                                 hop,
@@ -1153,25 +1256,30 @@ impl DelegationPool {
         match (fault, pending) {
             (Some(e), _) => Err(DelegationError::Fault(e)),
             (None, 0) => {
-                self.stats.record_delegated_bytes(len, payload.is_some());
+                self.stats.record_delegated_bytes(len, grant.is_some());
                 Ok(())
             }
             (None, _) => Err(DelegationError::Timeout),
         }
     }
 
-    /// Delegated write of an extent: one batch per touched node, dispatched
-    /// in parallel, waiting (unbounded) for all completions.
-    pub fn write_extent(
+    /// Zero-copy delegated write of an extent: the payload is named by a
+    /// [`GrantRef`] window (see [`Self::grants`]) and read by the workers
+    /// straight from the granted buffer — no bytes move on the submit
+    /// path. Batches are dispatched in parallel (fanned out across each
+    /// node's workers for large runs), waiting (unbounded) for all
+    /// completions. `gref.len` is the op's payload length.
+    pub fn write_extent_granted(
         &self,
         actor: ActorId,
         pages: &[PageId],
         start: usize,
-        data: &[u8],
+        gref: GrantRef,
     ) -> Result<(), ProtError> {
-        self.stats.record_payload_copy();
-        let payload: Arc<[u8]> = data.into();
-        match self.run_batches(actor, pages, start, data.len(), Some(&payload), None, None) {
+        let op = self.grants.op_window(actor, &gref)?;
+        let r = self.run_batches(actor, pages, start, op.len, Some(&op), None, None);
+        self.grants.revoke(actor, op.grant_id);
+        match r {
             Ok(()) => Ok(()),
             Err(DelegationError::Fault(e)) => Err(e),
             Err(DelegationError::Timeout) => Err(ProtError::NotMapped),
@@ -1194,24 +1302,31 @@ impl DelegationPool {
         }
     }
 
-    /// Deadline-bounded delegated write: like
-    /// [`DelegationPool::write_extent`] but every wait is bounded by the
-    /// [`RetryPolicy`] instead of hanging on a stalled, wedged, or dead
-    /// delegation thread. Each retry window is recomputed from the bytes
-    /// still outstanding and runs a watchdog scan first. Outside the
-    /// simulation there is no virtual clock (and no injected fault can
-    /// fire), so this degrades to the blocking variant.
-    pub fn try_write_extent(
+    /// Deadline-bounded zero-copy delegated write: like
+    /// [`DelegationPool::write_extent_granted`] but every wait is bounded
+    /// by the [`RetryPolicy`] instead of hanging on a stalled, wedged, or
+    /// dead delegation thread. Each retry window is recomputed from the
+    /// bytes still outstanding and runs a watchdog scan first; retries
+    /// re-enqueue only the [`GrantRef`], and every re-dispatch re-resolves
+    /// it. Outside the simulation there is no virtual clock (and no
+    /// injected fault can fire), so this degrades to the blocking variant.
+    pub fn try_write_extent_granted(
         &self,
         actor: ActorId,
         pages: &[PageId],
         start: usize,
-        data: &[u8],
+        gref: GrantRef,
         policy: &RetryPolicy,
     ) -> Result<(), DelegationError> {
-        self.stats.record_payload_copy();
-        let payload: Arc<[u8]> = data.into();
-        self.run_batches(actor, pages, start, data.len(), Some(&payload), None, Some(policy))
+        // The op dispatches an op-scoped child of `gref` and revokes it on
+        // the way out: the revoke is a drain barrier, so when this returns
+        // (success, fault, or timeout-then-fallback) no worker is still
+        // reading the window — a straggling duplicate can never re-apply
+        // stale bytes over whatever the caller writes next.
+        let op = self.grants.op_window(actor, &gref).map_err(DelegationError::Fault)?;
+        let r = self.run_batches(actor, pages, start, op.len, Some(&op), None, Some(policy));
+        self.grants.revoke(actor, op.grant_id);
+        r
     }
 
     /// Deadline-bounded delegated read; see

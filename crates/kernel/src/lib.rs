@@ -18,6 +18,7 @@
 //! Every public entry point charges the syscall trap cost.
 
 pub mod delegation;
+pub mod grant;
 pub(crate) mod obs;
 pub mod mapping;
 pub mod quarantine;
@@ -25,6 +26,7 @@ pub mod registry;
 pub mod retry;
 
 pub use delegation::DegradedMode;
+pub use grant::{GrantRef, GrantTable};
 pub use retry::RetryPolicy;
 
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -557,6 +559,11 @@ impl KernelController {
     /// attributable until their files are next verified.
     pub fn unregister(&self, actor: ActorId) {
         self.trap();
+        // Pull every grant window the actor registered: a delegation
+        // worker (or watchdog re-dispatch) that touches one of its
+        // requests after this point faults cleanly instead of reading a
+        // buffer whose owner is gone.
+        self.delegation.grants().revoke_actor(actor);
         // Flush the actor's allocator cache back to the global pools —
         // the pages are already scrubbed and unmapped.
         let cached: Vec<PageId> = self
@@ -776,6 +783,18 @@ impl KernelController {
                 }
             }
         }
+        self.park_freed_pages(actor, pages);
+        Ok(())
+    }
+
+    /// The caching half of the free path (authorization already done, all
+    /// pages provenance-tagged to `actor`): scrub and park in the actor's
+    /// allocator cache, spilling the cold end past the high-water mark.
+    /// Shared by [`KernelController::free_pages`] and the truncate path's
+    /// [`KernelController::return_file_pages`], so freed file pages feed
+    /// the next allocation burst instead of round-tripping through the
+    /// global pools and their registry lock.
+    pub(crate) fn park_freed_pages(&self, actor: ActorId, pages: &[PageId]) {
         // Pinned pages (checkpoint rollback images) must take the
         // deferred-free path.
         let (pinned, cacheable): (Vec<PageId>, Vec<PageId>) = {
@@ -786,7 +805,7 @@ impl KernelController {
             self.release_pages_internal(&pinned);
         }
         if cacheable.is_empty() {
-            return Ok(());
+            return;
         }
         let topo = self.dev.topology();
         let cache = self.cache_of(actor);
@@ -826,7 +845,6 @@ impl KernelController {
         if !spill.is_empty() {
             self.spill_cached(&spill);
         }
-        Ok(())
     }
 
     /// Returns already-scrubbed, unmapped cache pages to the global pools.

@@ -360,7 +360,7 @@ impl KernelController {
     ) -> FsResult<()> {
         self.trap();
         {
-            let reg = self.registry.lock();
+            let mut reg = self.registry.lock();
             // Pages still in the caller's pool need no write grant; pages
             // the kernel has claimed for the file do (a by-construction
             // writer — a file never kernel-mapped — only ever holds
@@ -373,8 +373,16 @@ impl KernelController {
                     _ => return Err(FsError::PermissionDenied),
                 }
             }
+            // Authorized: the pages leave the file and come back to the
+            // caller's pool, under the registry lock already held — so
+            // they can park in the actor's scrubbed allocator cache and
+            // feed its next allocation burst instead of round-tripping
+            // through the global pools.
+            for p in pages {
+                reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
+            }
         }
-        self.release_pages_internal(pages);
+        self.park_freed_pages(actor, pages);
         Ok(())
     }
 

@@ -220,6 +220,9 @@ impl KernelController {
             }
         }
         self.device().revoke_actor(offender);
+        // Its grant windows go with the MMU grants: a contained LibFS's
+        // in-flight delegated writes must not keep reading its buffers.
+        self.delegation().grants().revoke_actor(offender);
         let pool: Vec<PageId> = reg
             .page_prov
             .iter()

@@ -64,6 +64,12 @@ struct PageSlot {
     /// Lazily allocated contents; `None` reads as zeros.
     data: Option<Box<[u8]>>,
     prot: PageProt,
+    /// Data checksum recorded by a delegation worker's streaming write pass
+    /// (DESIGN.md §17), valid only while the page still holds exactly the
+    /// bytes that pass wrote. Kernel-maintained volatile metadata, like the
+    /// MMU table: any ordinary store, restore, scrub, or crash invalidates
+    /// it, and the verifier only checks pages whose sidecar is present.
+    csum: Option<u64>,
 }
 
 impl PageSlot {
@@ -102,7 +108,7 @@ impl NvmDevice {
         let total = config.topology.total_pages() as usize;
         let mut pages = Vec::with_capacity(total);
         for _ in 0..total {
-            pages.push(Mutex::new(PageSlot { data: None, prot: PageProt::default() }));
+            pages.push(Mutex::new(PageSlot { data: None, prot: PageProt::default(), csum: None }));
         }
         NvmDevice {
             topo: config.topology,
@@ -189,9 +195,30 @@ impl NvmDevice {
         off: usize,
         data: &[u8],
     ) -> Result<(), ProtError> {
+        self.copy_to_page_csum(actor, page, off, data, None)
+    }
+
+    /// [`Self::copy_to_page`] that additionally records (or, with `None`,
+    /// invalidates) the page's integrity sidecar atomically under the slot
+    /// lock, so a concurrent writer can never leave a stale checksum
+    /// describing someone else's bytes. `Some` requires a full-page store —
+    /// the checksum covers the whole page, so a partial store cannot vouch
+    /// for bytes it did not write.
+    pub fn copy_to_page_csum(
+        &self,
+        actor: ActorId,
+        page: PageId,
+        off: usize,
+        data: &[u8],
+        csum: Option<u64>,
+    ) -> Result<(), ProtError> {
         if off + data.len() > PAGE_SIZE {
             return Err(ProtError::OutOfRange);
         }
+        debug_assert!(
+            csum.is_none() || (off == 0 && data.len() == PAGE_SIZE),
+            "checksum sidecar requires a full-page store"
+        );
         let mut slot = self.slot(page)?.lock();
         slot.prot.check(actor, true)?;
         #[cfg(feature = "faults")]
@@ -201,7 +228,14 @@ impl NvmDevice {
             t.record_store_data(page, off, data, slot.data.as_deref());
         }
         slot.ensure_data()[off..off + data.len()].copy_from_slice(data);
+        slot.csum = csum;
         Ok(())
+    }
+
+    /// The integrity sidecar recorded for `page`, if still valid.
+    /// Privileged (verifier walk).
+    pub fn page_csum(&self, page: PageId) -> Result<Option<u64>, ProtError> {
+        Ok(self.slot(page)?.lock().csum)
     }
 
     /// Installs a cross-actor race detector. Returns `false` (and leaves
@@ -416,6 +450,7 @@ impl NvmDevice {
         }
         slot.data = None;
         slot.prot = PageProt::default();
+        slot.csum = None;
         #[cfg(feature = "faults")]
         self.clear_page_poison(page);
         Ok(())
@@ -441,6 +476,7 @@ impl NvmDevice {
             t.fence();
         }
         slot.ensure_data().copy_from_slice(image);
+        slot.csum = None;
         // A full-page restore rewrites every line, repairing media errors.
         #[cfg(feature = "faults")]
         self.clear_page_poison(page);
@@ -468,6 +504,12 @@ impl NvmDevice {
                 crash_point,
             };
         };
+        // Sidecar checksums are volatile kernel metadata (like the MMU
+        // table): reboot loses them all, and the verifier simply has no
+        // sidecar to check until fresh delegated writes repopulate them.
+        for slot in &self.pages {
+            slot.lock().csum = None;
+        }
         let lost = t.drain_for_crash();
         let mut affected_pages: Vec<PageId> = Vec::new();
         for (page, off, img) in &lost {
@@ -565,6 +607,20 @@ impl NvmDevice {
     #[cfg(feature = "faults")]
     pub fn poisoned_lines(&self) -> usize {
         self.poison_count.load(Ordering::Relaxed)
+    }
+
+    /// Flips one byte of `page` *without* touching the integrity sidecar,
+    /// the persistence tracker, or the MMU — silent bit rot, the exact
+    /// failure the checksum walk exists to catch. Test-only by
+    /// construction: real corruption does not announce itself either.
+    #[cfg(feature = "faults")]
+    pub fn corrupt_for_test(&self, page: PageId, off: usize) -> Result<(), ProtError> {
+        if off >= PAGE_SIZE {
+            return Err(ProtError::OutOfRange);
+        }
+        let mut slot = self.slot(page)?.lock();
+        slot.ensure_data()[off] ^= 0x40;
+        Ok(())
     }
 
     #[cfg(feature = "faults")]
@@ -777,6 +833,41 @@ mod tests {
         assert_eq!(&buf, b"first!!!");
         d.copy_from_page(a, PageId(0), 64, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn csum_sidecar_set_read_and_invalidated_by_plain_stores() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(4), PagePerm::Write).unwrap();
+        let img = vec![0x5Au8; PAGE_SIZE];
+        let c = crate::checksum::checksum(&img);
+        d.copy_to_page_csum(a, PageId(4), 0, &img, Some(c)).unwrap();
+        assert_eq!(d.page_csum(PageId(4)).unwrap(), Some(c));
+        // Any ordinary store invalidates: the sidecar can no longer vouch.
+        d.copy_to_page(a, PageId(4), 16, b"dirty").unwrap();
+        assert_eq!(d.page_csum(PageId(4)).unwrap(), None);
+        // Scrub clears it too.
+        d.copy_to_page_csum(a, PageId(4), 0, &img, Some(c)).unwrap();
+        d.reset_page(PageId(4)).unwrap();
+        assert_eq!(d.page_csum(PageId(4)).unwrap(), None);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn corrupt_for_test_is_silent_bit_rot() {
+        let d = dev();
+        let a = ActorId(1);
+        d.mmu_map(a, PageId(6), PagePerm::Write).unwrap();
+        let img = vec![0x11u8; PAGE_SIZE];
+        let c = crate::checksum::checksum(&img);
+        d.copy_to_page_csum(a, PageId(6), 0, &img, Some(c)).unwrap();
+        d.corrupt_for_test(PageId(6), 100).unwrap();
+        // The sidecar survives (that is the point), but the data changed.
+        assert_eq!(d.page_csum(PageId(6)).unwrap(), Some(c));
+        let mut buf = vec![0u8; PAGE_SIZE];
+        d.copy_from_page(a, PageId(6), 0, &mut buf).unwrap();
+        assert_ne!(crate::checksum::checksum(&buf), c);
     }
 
     #[test]

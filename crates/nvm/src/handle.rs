@@ -148,6 +148,42 @@ impl NvmHandle {
         res
     }
 
+    /// [`Self::write_extent`] with inline streaming integrity (DESIGN.md
+    /// §17): the one pass that moves each byte into NVM also folds it into
+    /// a seahash-style checksum, and every segment that covers a whole page
+    /// records its digest in the page's sidecar atomically with the store.
+    /// Partial head/tail segments cannot vouch for bytes outside the write,
+    /// so they invalidate the sidecar exactly as an ordinary store would.
+    /// Used by delegation workers, where the payload arrives by grant
+    /// reference and this is the only traversal the data ever gets.
+    pub fn write_extent_hashed(
+        &self,
+        pages: &[PageId],
+        start: usize,
+        data: &[u8],
+    ) -> Result<(), ProtError> {
+        let mut data_mut = data;
+        let res = self.extent_op(
+            pages,
+            start,
+            data.len(),
+            true,
+            |page, off, pos, len, me, b: &mut &[u8]| {
+                let seg = &b[pos..pos + len];
+                let csum =
+                    (off == 0 && len == PAGE_SIZE).then(|| crate::checksum::checksum(seg));
+                me.dev.copy_to_page_csum(me.actor, page, off, seg, csum)?;
+                me.dev.flush(page, off, len);
+                Ok(())
+            },
+            &mut data_mut,
+        );
+        if res.is_ok() {
+            self.dev.fence();
+        }
+        res
+    }
+
     #[allow(clippy::needless_range_loop)] // `pi` also derives byte offsets
     fn extent_op<B: ?Sized>(
         &self,
@@ -241,6 +277,26 @@ mod tests {
         // pages[1] unmapped: the write must fault.
         let data = vec![3u8; PAGE_SIZE + 10];
         assert_eq!(h.write_extent(&pages, 0, &data), Err(ProtError::NotMapped));
+    }
+
+    #[test]
+    fn hashed_extent_records_sidecars_on_full_pages_only() {
+        let (dev, h) = setup();
+        let pages = [PageId(20), PageId(21), PageId(22)];
+        for p in pages {
+            dev.mmu_map(ActorId(1), p, PagePerm::Write).unwrap();
+        }
+        // Start mid-page: head and tail are partial, the middle page full.
+        let data: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 241) as u8).collect();
+        h.write_extent_hashed(&pages, 100, &data).unwrap();
+        assert_eq!(dev.page_csum(pages[0]).unwrap(), None);
+        let mid = &data[PAGE_SIZE - 100..2 * PAGE_SIZE - 100];
+        assert_eq!(dev.page_csum(pages[1]).unwrap(), Some(crate::checksum::checksum(mid)));
+        assert_eq!(dev.page_csum(pages[2]).unwrap(), None);
+        // The data itself round-trips identically to the plain path.
+        let mut out = vec![0u8; data.len()];
+        h.read_extent(&pages, 100, &mut out).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]

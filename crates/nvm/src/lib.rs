@@ -22,6 +22,7 @@
 //! optional cache-line-granularity persistence tracking with crash
 //! injection for crash-consistency tests.
 
+pub mod checksum;
 pub mod device;
 pub mod fault;
 pub mod handle;
@@ -33,6 +34,7 @@ pub mod sanitize;
 pub mod stats;
 pub mod topology;
 
+pub use checksum::SeaHasher;
 pub use device::{DeviceConfig, NvmDevice};
 pub use fault::{faults_compiled, CrashReport, FaultPlan, WorkerKillPlan, WorkerKillPoint};
 #[cfg(feature = "sanitize")]

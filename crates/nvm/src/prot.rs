@@ -38,6 +38,10 @@ pub enum ProtError {
     /// cache line. Real PM raises a machine check; the emulation surfaces a
     /// recoverable error instead so file systems can degrade gracefully.
     Poisoned,
+    /// A delegation grant window was revoked, unmapped, or mutated while a
+    /// request referencing it was in flight. The submitter broke the grant
+    /// contract (DESIGN.md §17); the op fails cleanly instead of tearing.
+    GrantRevoked,
 }
 
 impl std::fmt::Display for ProtError {
@@ -48,6 +52,7 @@ impl std::fmt::Display for ProtError {
             ProtError::OutOfRange => "page beyond device capacity",
             ProtError::Misaligned => "misaligned atomic NVM access",
             ProtError::Poisoned => "media error: poisoned cache line",
+            ProtError::GrantRevoked => "delegation grant revoked mid-flight",
         };
         f.write_str(s)
     }

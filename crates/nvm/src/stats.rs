@@ -55,6 +55,19 @@ pub struct PathStats {
     /// Malformed / out-of-bounds delegation requests the workers refused
     /// to serve (hostile or corrupt run lists; see DESIGN.md §14).
     deleg_rejected: AtomicU64,
+    /// Payload bytes checksummed inline by a delegation worker's single
+    /// write pass (DESIGN.md §17). On a healthy path this equals
+    /// `delegated_write_bytes`: every delegated byte was hashed on its way
+    /// into NVM, for free.
+    checksummed_bytes: AtomicU64,
+    /// Grant windows registered (persistent buffer registrations and
+    /// transient per-op grants alike).
+    grant_registers: AtomicU64,
+    /// Grant windows revoked (completion, fallback, unregister, quarantine).
+    grant_revokes: AtomicU64,
+    /// Requests refused because their grant was missing, foreign, revoked,
+    /// or mutated mid-flight — the submitter broke the grant contract.
+    grant_faults: AtomicU64,
     /// Ring round-trip latency (submit → reply) histogram.
     ring_hop_hist: [AtomicU64; HIST_BUCKETS],
     /// Ring hops measured at exactly 0 ns (same-instant reply in virtual
@@ -170,6 +183,31 @@ impl PathStats {
     #[inline]
     pub fn record_deleg_rejected(&self) {
         Self::bump(&self.deleg_rejected, 1);
+    }
+
+    /// A delegation worker folded `bytes` payload bytes into the inline
+    /// streaming checksum during its write pass.
+    #[inline]
+    pub fn record_checksummed_bytes(&self, bytes: usize) {
+        Self::bump(&self.checksummed_bytes, bytes as u64);
+    }
+
+    /// A grant window was registered.
+    #[inline]
+    pub fn record_grant_register(&self) {
+        Self::bump(&self.grant_registers, 1);
+    }
+
+    /// A grant window was revoked.
+    #[inline]
+    pub fn record_grant_revoke(&self) {
+        Self::bump(&self.grant_revokes, 1);
+    }
+
+    /// A request was refused over a missing/foreign/revoked/stale grant.
+    #[inline]
+    pub fn record_grant_fault(&self) {
+        Self::bump(&self.grant_faults, 1);
     }
 
     /// Ring round-trip (submit → reply) of `ns` nanoseconds.
@@ -298,6 +336,10 @@ impl PathStats {
             payload_copies: self.payload_copies.load(Ordering::Relaxed),
             ring_backpressure: self.ring_backpressure.load(Ordering::Relaxed),
             deleg_rejected: self.deleg_rejected.load(Ordering::Relaxed),
+            checksummed_bytes: self.checksummed_bytes.load(Ordering::Relaxed),
+            grant_registers: self.grant_registers.load(Ordering::Relaxed),
+            grant_revokes: self.grant_revokes.load(Ordering::Relaxed),
+            grant_faults: self.grant_faults.load(Ordering::Relaxed),
             ring_hop_hist: hist,
             ring_hop_zero: self.ring_hop_zero.load(Ordering::Relaxed),
             adaptive_direct: self.adaptive_direct.load(Ordering::Relaxed),
@@ -345,6 +387,10 @@ impl PathStats {
         self.payload_copies.store(0, Ordering::Relaxed);
         self.ring_backpressure.store(0, Ordering::Relaxed);
         self.deleg_rejected.store(0, Ordering::Relaxed);
+        self.checksummed_bytes.store(0, Ordering::Relaxed);
+        self.grant_registers.store(0, Ordering::Relaxed);
+        self.grant_revokes.store(0, Ordering::Relaxed);
+        self.grant_faults.store(0, Ordering::Relaxed);
         for b in &self.ring_hop_hist {
             b.store(0, Ordering::Relaxed);
         }
@@ -384,6 +430,10 @@ pub struct PathStatsSnapshot {
     pub payload_copies: u64,
     pub ring_backpressure: u64,
     pub deleg_rejected: u64,
+    pub checksummed_bytes: u64,
+    pub grant_registers: u64,
+    pub grant_revokes: u64,
+    pub grant_faults: u64,
     pub ring_hop_hist: [u64; HIST_BUCKETS],
     pub ring_hop_zero: u64,
     pub adaptive_direct: u64,
@@ -470,6 +520,10 @@ impl PathStatsSnapshot {
             payload_copies: self.payload_copies.saturating_sub(earlier.payload_copies),
             ring_backpressure: self.ring_backpressure.saturating_sub(earlier.ring_backpressure),
             deleg_rejected: self.deleg_rejected.saturating_sub(earlier.deleg_rejected),
+            checksummed_bytes: self.checksummed_bytes.saturating_sub(earlier.checksummed_bytes),
+            grant_registers: self.grant_registers.saturating_sub(earlier.grant_registers),
+            grant_revokes: self.grant_revokes.saturating_sub(earlier.grant_revokes),
+            grant_faults: self.grant_faults.saturating_sub(earlier.grant_faults),
             ring_hop_hist: hist,
             ring_hop_zero: self.ring_hop_zero.saturating_sub(earlier.ring_hop_zero),
             adaptive_direct: self.adaptive_direct.saturating_sub(earlier.adaptive_direct),
@@ -515,6 +569,10 @@ impl PathStatsSnapshot {
         push("payload_copies", self.payload_copies.to_string());
         push("ring_backpressure", self.ring_backpressure.to_string());
         push("deleg_rejected", self.deleg_rejected.to_string());
+        push("checksummed_bytes", self.checksummed_bytes.to_string());
+        push("grant_registers", self.grant_registers.to_string());
+        push("grant_revokes", self.grant_revokes.to_string());
+        push("grant_faults", self.grant_faults.to_string());
         push("adaptive_direct", self.adaptive_direct.to_string());
         push("adaptive_delegated", self.adaptive_delegated.to_string());
         push("alloc_fast_hits", self.alloc_fast_hits.to_string());
@@ -579,6 +637,11 @@ mod tests {
         s.record_timeout();
         s.record_fallback();
         s.record_payload_copy();
+        s.record_checksummed_bytes(4096);
+        s.record_grant_register();
+        s.record_grant_register();
+        s.record_grant_revoke();
+        s.record_grant_fault();
         s.record_ring_backpressure();
         s.record_adaptive(true);
         s.record_adaptive(false);
@@ -604,6 +667,10 @@ mod tests {
         assert_eq!(snap.deleg_timeouts, 1);
         assert_eq!(snap.deleg_fallbacks, 1);
         assert_eq!(snap.payload_copies, 1);
+        assert_eq!(snap.checksummed_bytes, 4096);
+        assert_eq!(snap.grant_registers, 2);
+        assert_eq!(snap.grant_revokes, 1);
+        assert_eq!(snap.grant_faults, 1);
         assert_eq!(snap.ring_backpressure, 1);
         assert_eq!(snap.adaptive_delegated, 1);
         assert_eq!(snap.adaptive_direct, 1);

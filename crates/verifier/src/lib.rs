@@ -118,6 +118,12 @@ pub enum Violation {
     Structure(WalkError),
     /// I2: a referenced page belongs to someone else (or nobody).
     ForeignPage { page: PageId, state: PageProvenance },
+    /// Data integrity (DESIGN.md §17): a page whose delegated-write
+    /// sidecar checksum is still recorded no longer hashes to it — the
+    /// bytes rotted or were scribbled through a channel that bypassed the
+    /// store path. Only pages with a *present* sidecar are checked; an
+    /// ordinary store legitimately invalidates it.
+    DataChecksumMismatch { page: PageId },
     /// I2: a child inode number was never allocated or is already live at a
     /// different location (double reference / fabricated ino).
     ForeignIno { ino: Ino },
@@ -169,6 +175,9 @@ impl Violation {
             | Violation::DuplicateName { .. }
             | Violation::Structure(_)
             | Violation::ForeignPage { .. }
+            // Corrupt bytes have no field-level ground truth to scrub
+            // back from — the only safe answer is the last checkpoint.
+            | Violation::DataChecksumMismatch { .. }
             | Violation::ForeignIno { .. }
             | Violation::DuplicateIno { .. }
             | Violation::DisconnectedChild { .. }
@@ -189,6 +198,7 @@ impl Violation {
             Violation::EntryCountMismatch { .. } => "entry_count_mismatch",
             Violation::Structure(_) => "structure",
             Violation::ForeignPage { .. } => "foreign_page",
+            Violation::DataChecksumMismatch { .. } => "data_checksum_mismatch",
             Violation::ForeignIno { .. } => "foreign_ino",
             Violation::DuplicateIno { .. } => "duplicate_ino",
             Violation::DisconnectedChild { .. } => "disconnected_child",
@@ -201,7 +211,7 @@ impl Violation {
 
 /// Every violation kind tag, in `Violation` declaration order — the fixed
 /// index space for by-kind counters.
-pub const VIOLATION_KINDS: [&str; 15] = [
+pub const VIOLATION_KINDS: [&str; 16] = [
     "ino_mismatch",
     "bad_file_type",
     "bad_mode",
@@ -211,6 +221,7 @@ pub const VIOLATION_KINDS: [&str; 15] = [
     "entry_count_mismatch",
     "structure",
     "foreign_page",
+    "data_checksum_mismatch",
     "foreign_ino",
     "duplicate_ino",
     "disconnected_child",
@@ -346,6 +357,15 @@ impl Verifier {
                 state => report.violations.push(Violation::ForeignPage { page, state }),
             }
         }
+
+        // --- Inline data integrity (sidecar checksums) ---------------------------
+        // Delegated writes record a per-page streaming digest atomically
+        // with the store (DESIGN.md §17); since the walk already visits
+        // every data page, checking them here costs one extra hash per
+        // page instead of a separate integrity traversal. A missing
+        // sidecar proves nothing (ordinary stores invalidate it) — only a
+        // present-but-wrong digest is corruption, and it always rejects.
+        self.check_data_checksums(&pages, &mut report);
 
         // --- Directory contents (I1 names, I2 inos, I3) --------------------------
         if req.ftype == CoreFileType::Directory {
@@ -541,6 +561,28 @@ impl Verifier {
                 gid: d.gid,
                 first_index: d.first_index,
             });
+        }
+    }
+
+    fn check_data_checksums(&self, pages: &FilePages, report: &mut VerifyReport) {
+        let dev = self.h.device();
+        for page in pages.data_pages.iter().flatten() {
+            let Ok(Some(want)) = dev.page_csum(*page) else {
+                continue; // No sidecar (or unreadable — provenance flags that).
+            };
+            let mut raw = vec![0u8; PAGE_SIZE];
+            if self.h.read_untimed(*page, 0, &mut raw).is_err() {
+                continue;
+            }
+            if in_sim() {
+                // Hashing rides the walk: one media read plus the digest
+                // cost, no second traversal.
+                dev.charge_transfer(dev.topology().node_of(*page), PAGE_SIZE, false, 0);
+                work(cost::VERIFY_ENTRY_NS);
+            }
+            if trio_nvm::checksum::checksum(&raw) != want {
+                report.violations.push(Violation::DataChecksumMismatch { page: *page });
+            }
         }
     }
 

@@ -172,6 +172,72 @@ pub fn drive(
     )
 }
 
+/// Drives several workload phases back to back inside ONE virtual-time
+/// runtime, returning one [`Measurement`] per phase.
+///
+/// Delegation pools cannot restart (`shutdown` closes the rings for
+/// good), so any bench that wants to observe several workloads against
+/// the same live kernel — e.g. a write phase, then a delegated-read
+/// phase, then a free/realloc churn phase — must run them in a single
+/// simulation. `prelude` runs once before the first phase's setup;
+/// `postlude` once after the last phase's workers join. Each phase gets
+/// its own barrier release and its own measured window.
+pub fn drive_phases(
+    fs: Arc<dyn trio_fsapi::FileSystem>,
+    phases: Vec<(Arc<dyn Workload>, usize)>,
+    numa_nodes: usize,
+    seed: u64,
+    prelude: impl FnOnce() + Send + 'static,
+    postlude: impl FnOnce() + Send + 'static,
+) -> Vec<Measurement> {
+    assert!(!phases.is_empty());
+    let rt = SimRuntime::new(seed);
+    let out: Arc<Mutex<Vec<Measurement>>> = Arc::new(Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    rt.spawn("harness", move || {
+        prelude();
+        for (workload, threads) in phases {
+            assert!(threads > 0);
+            workload.setup(&*fs, threads);
+            let barrier = Arc::new(SimBarrier::new(threads));
+            let totals = Arc::new(Mutex::new(OpCount::default()));
+            let start = Arc::new(Mutex::new(0u64));
+            let mut handles = Vec::with_capacity(threads);
+            for i in 0..threads {
+                let barrier = Arc::clone(&barrier);
+                let totals = Arc::clone(&totals);
+                let start = Arc::clone(&start);
+                let fs = Arc::clone(&fs);
+                let workload = Arc::clone(&workload);
+                handles.push(trio_sim::spawn("worker", move || {
+                    trio_nvm::handle::set_home_node(i % numa_nodes.max(1));
+                    barrier.wait();
+                    *start.lock() = trio_sim::now(); // Same instant for all.
+                    let count = workload.run_thread(&*fs, i);
+                    totals.lock().add(count);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let elapsed = trio_sim::now() - *start.lock();
+            let t = *totals.lock();
+            #[cfg(feature = "obs")]
+            trio_obs::window_marker(*start.lock(), trio_sim::now(), threads as u64, t.ops);
+            out2.lock().push(Measurement {
+                elapsed_ns: elapsed.max(1),
+                ops: t.ops,
+                bytes: t.bytes,
+                threads,
+            });
+        }
+        postlude();
+    });
+    rt.run();
+    let ms = std::mem::take(&mut *out.lock());
+    ms
+}
+
 /// Deterministic per-call pseudo-random index (cheap xorshift; workloads
 /// needing real RNG use `trio_sim::rng`).
 pub fn quick_rand(state: &mut u64) -> u64 {

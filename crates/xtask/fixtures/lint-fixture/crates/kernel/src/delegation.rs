@@ -1,0 +1,18 @@
+//! Fixture for the `no-payload-copy` rule: the delegation submit path
+//! moves payloads by grant reference, never as materialized bytes. Two
+//! live sites below must trip, the annotated fallback stays suppressed,
+//! and the read-path destination buffer is a lookalike that stays clean.
+
+pub fn submit(payload: &[u8]) -> usize {
+    // Live site 1: owned copy of the source payload.
+    let copied = payload.to_vec();
+    // Live site 2: the same copy through the From route.
+    let shared: std::sync::Arc<[u8]> = std::sync::Arc::from(payload);
+    // lint: allow(no-payload-copy) fixture: degraded fallback lane copies once by design
+    let fallback = payload.to_owned();
+    // Lookalike: a read-path destination buffer is not a payload copy.
+    let mut dst = vec![0u8; copied.len()];
+    let n = fallback.len().min(dst.len());
+    dst[..n].copy_from_slice(&fallback[..n]);
+    shared.len() + dst.len()
+}

@@ -24,6 +24,14 @@
 //!   `FsError`, never a panic. `.unwrap()`, `.expect(…)` and `panic!(…)`
 //!   are forbidden there; the rare justified site carries
 //!   `// lint: allow(no-panic) <reason>`.
+//! * **no-payload-copy** — the delegation submit path
+//!   (`crates/kernel/src/delegation.rs`, `crates/core/src/file_ops.rs`)
+//!   moves payloads by `GrantRef` window only (DESIGN.md §17); any byte
+//!   materialization (`.to_vec()`, `.to_owned()`, `Vec::from(…)`,
+//!   `Arc::from(…)`, `Box::from(…)`) re-introduces the memcpy the
+//!   zero-copy architecture removed, and the perf gate pins
+//!   `payload_copies == 0`. Destination buffers for reads are fine — the
+//!   rule targets the source-payload constructors, not `vec![0u8; n]`.
 //!
 //! Any rule can be suppressed per-site with `// lint: allow(<rule-id>)
 //! <reason>` on the flagged line or up to two lines above it; the reason is
@@ -104,6 +112,7 @@ pub enum Rule {
     FlushFence,
     NoPanic,
     ObsGate,
+    PayloadMaterialize,
 }
 
 impl Rule {
@@ -115,6 +124,7 @@ impl Rule {
             Rule::FlushFence => "flush-fence",
             Rule::NoPanic => "no-panic",
             Rule::ObsGate => "obs-gate",
+            Rule::PayloadMaterialize => "no-payload-copy",
         }
     }
 }
@@ -199,10 +209,22 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
         .iter()
         .any(|p| rel.starts_with(p))
         && rel.file_name().is_none_or(|n| n != "obs.rs");
+    // Zero-copy delegation (DESIGN.md §17): the submit path hands workers a
+    // `GrantRef` into granted pages; constructing an owned byte payload
+    // here is the copy the grant-window architecture exists to remove.
+    let payload_scope = rel == Path::new("crates/kernel/src/delegation.rs")
+        || rel == Path::new("crates/core/src/file_ops.rs");
 
     let masked = mask_source(src);
     let raw: Vec<&str> = src.lines().collect();
     let lines: Vec<&str> = masked.lines().collect();
+
+    // Unit-test modules (`#[cfg(test)]` onward — conventionally the file
+    // tail) are exempt from no-panic and no-std-sync: those contracts
+    // cover shipped attacker-facing code, and tests legitimately unwrap
+    // and use real threads to exercise the non-sim paths.
+    let test_region =
+        lines.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
 
     for (i, line) in lines.iter().enumerate() {
         // R1: raw device byte access outside crates/nvm.
@@ -220,7 +242,7 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
         // R2: std::sync blocking primitives / std::thread outside crates/sim.
         // (Arc, Weak, OnceLock and atomics stay legal everywhere: they don't
         // block, so the deterministic scheduler doesn't need to see them.)
-        if !in_sim && !in_xtask {
+        if !in_sim && !in_xtask && i < test_region {
             if contains_word(line, "std") && line.contains("std::thread") {
                 emit(out, rel, &raw, i, Rule::NoStdSync,
                     "`std::thread` is invisible to the deterministic scheduler; \
@@ -275,7 +297,7 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
 
         // R5: the verifier and kernel sources are panic-free — attacker
         // bytes must end in a Violation/FsError, never an abort.
-        if no_panic_scope {
+        if no_panic_scope && i < test_region {
             for m in ["unwrap", "expect"] {
                 if find_call(line, m).is_some() {
                     emit(out, rel, &raw, i, Rule::NoPanic, format!(
@@ -300,6 +322,31 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
                 "direct `trio_obs` reference outside the crate's `obs.rs` shim; \
                  route through `crate::obs::*` so obs-off builds stay symbol-free"
                     .to_string());
+        }
+
+        // R7: no payload materialization on the delegation submit path.
+        // Reads still need destination buffers (`vec![0u8; n]` is fine);
+        // what's forbidden is constructing an *owned copy of the source
+        // payload* instead of passing the grant window through.
+        if payload_scope {
+            for m in ["to_vec", "to_owned"] {
+                if find_call(line, m).is_some() {
+                    emit(out, rel, &raw, i, Rule::PayloadMaterialize, format!(
+                        "`.{m}(…)` materializes a payload on the zero-copy \
+                         delegation path; pass a `GrantRef` window instead \
+                         (perf gate pins payload_copies == 0)"
+                    ));
+                }
+            }
+            for m in ["Vec::from", "Arc::from", "Box::from"] {
+                if line.contains(&format!("{m}(")) {
+                    emit(out, rel, &raw, i, Rule::PayloadMaterialize, format!(
+                        "`{m}(…)` materializes a payload on the zero-copy \
+                         delegation path; pass a `GrantRef` window instead \
+                         (perf gate pins payload_copies == 0)"
+                    ));
+                }
+            }
         }
     }
 }
@@ -635,6 +682,7 @@ mod tests {
             Rule::FlushFence,
             Rule::NoPanic,
             Rule::ObsGate,
+            Rule::PayloadMaterialize,
         ] {
             assert!(
                 findings.iter().any(|f| f.rule == rule),
@@ -668,6 +716,23 @@ mod tests {
         assert!(!panicky.contains(&line_of("lint: allow(no-panic) fixture")));
         assert!(!panicky.contains(&(line_of("lint: allow(no-panic) fixture") + 1)));
         assert!(!panicky.contains(&line_of("unwrap_or(0)")));
+        // no-payload-copy: exactly the two live materialization sites trip;
+        // the annotated fallback and the `vec![0u8; n]` destination buffer
+        // stay clean.
+        let payload_hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::PayloadMaterialize)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(payload_hits.len(), 2, "exactly the two live copy sites: {payload_hits:?}");
+        let deleg_src =
+            fixture.join("crates").join("kernel").join("src").join("delegation.rs");
+        let src = std::fs::read_to_string(&deleg_src).unwrap();
+        let line_of = |needle: &str| src.lines().position(|l| l.contains(needle)).unwrap() + 1;
+        assert!(payload_hits.contains(&line_of("payload.to_vec()")));
+        assert!(payload_hits.contains(&line_of("Arc::from(payload)")));
+        assert!(!payload_hits.contains(&(line_of("lint: allow(no-payload-copy)") + 1)));
+        assert!(!payload_hits.contains(&line_of("vec![0u8; copied.len()]")));
     }
 
     /// 1-based line of the first raw line containing `needle` in the

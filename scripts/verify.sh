@@ -134,6 +134,23 @@ n, b = float(new[key]), float(base[key])
 if n > b * 1.2:
     sys.exit(f"FAIL: {key} regressed {n:.0f} ns vs baseline {b:.0f} ns (>20%)")
 print(f"OK: {key} {n:.0f} ns vs baseline {b:.0f} ns (within 20%)")
+# Zero-copy gate: grant-window delegation means the submit path never
+# materializes a payload — one worker read from the granted pages is the
+# only traversal. A nonzero copy counter is a reintroduced memcpy.
+if int(new["payload_copies"]) != 0:
+    sys.exit(f"FAIL: payload_copies = {new['payload_copies']}; delegation submit path copied a payload")
+print("OK: payload_copies == 0 (grant windows, no materialization).")
+# Inline-integrity gate: every delegated byte is checksummed in the same
+# write pass (DESIGN.md §17). A shortfall means some lane silently
+# skipped the streaming digest; an excess means a second traversal.
+cs, dw = int(new["checksummed_bytes"]), int(new["delegated_write_bytes"])
+if cs != dw:
+    sys.exit(f"FAIL: checksummed_bytes {cs} != delegated_write_bytes {dw}")
+print(f"OK: checksummed_bytes == delegated_write_bytes ({dw}).")
+# The read lane must actually exercise delegation in the bench mix.
+if int(new.get("delegated_read_bytes", 0)) == 0:
+    sys.exit("FAIL: delegated_read_bytes == 0; read lane not exercised")
+print(f"OK: delegated read lane exercised ({new['delegated_read_bytes']} bytes).")
 # Watchdog quiescence: with no faults armed, the failure-domain machinery
 # must never fire on the benched path — a nonzero counter here means the
 # watchdog is adding work (and latency) to healthy delegated I/O.

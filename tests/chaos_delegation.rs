@@ -125,24 +125,53 @@ fn chaos_one(i: u64) -> IterReport {
                     // always covers every region.
                     let mut model = vec![c as u8; REGIONS as usize * CHUNK];
                     assert_eq!(fs.pwrite(fd, 0, &model).unwrap(), model.len());
+                    // Half the ops go through a live grant window (the
+                    // zero-copy registered-buffer lane), updated in place
+                    // between ops — so every kill point and stall also
+                    // fires while a grant is pinned, and a stale grant
+                    // epoch re-applied late would diverge from the model.
+                    let reg = fs.register_write_buffer(&model[..CHUNK]).unwrap();
                     for j in 0..OPS_PER_CLIENT {
                         let h = splitmix(seed ^ (c as u64) << 32 ^ j);
                         let off = (h % REGIONS) as usize * CHUNK;
                         let fill = (h >> 8) as u8;
                         let block: Vec<u8> =
                             (0..CHUNK).map(|b| fill.wrapping_add(b as u8)).collect();
-                        assert_eq!(fs.pwrite(fd, off as u64, &block).unwrap(), CHUNK);
+                        if j % 2 == 0 {
+                            fs.update_write_buffer(reg, &block).unwrap();
+                            assert_eq!(
+                                fs.pwrite_registered(fd, off as u64, reg, 0, CHUNK).unwrap(),
+                                CHUNK
+                            );
+                        } else {
+                            assert_eq!(fs.pwrite(fd, off as u64, &block).unwrap(), CHUNK);
+                        }
                         model[off..off + CHUNK].copy_from_slice(&block);
                     }
+                    fs.unregister_write_buffer(reg).unwrap();
                     // Full readback through the (still chaotic) delegated
                     // read path: lost or stale-reapplied writes diverge.
                     let mut got = vec![0u8; model.len()];
                     assert_eq!(fs.pread(fd, 0, &mut got).unwrap(), got.len());
-                    assert_eq!(
-                        got, model,
-                        "client {c}: delegated state diverged from model \
-                         (iteration {i}, seed {seed:#x})"
-                    );
+                    if got != model {
+                        let first = got.iter().zip(&model).position(|(a, b)| a != b).unwrap();
+                        let last = got
+                            .iter()
+                            .zip(&model)
+                            .rposition(|(a, b)| a != b)
+                            .unwrap();
+                        panic!(
+                            "client {c}: delegated state diverged from model \
+                             (iteration {i}, seed {seed:#x}); first diff @ {first} \
+                             (got {:#x} want {:#x}), last diff @ {last} \
+                             (got {:#x} want {:#x}), span {} bytes",
+                            got[first],
+                            model[first],
+                            got[last],
+                            model[last],
+                            last - first + 1
+                        );
+                    }
                     fs.close(fd).unwrap();
                     let mut fnv = 0xcbf2_9ce4_8422_2325u64 ^ c as u64;
                     for &b in &got {
@@ -200,9 +229,11 @@ fn chaos_sweep_worker_kills_under_concurrent_traffic() {
         .and_then(|s| s.parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(500);
+    let start: u64 =
+        std::env::var("TRIO_CHAOS_START").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
     let mut agg = IterReport::default();
     let mut all_recovery: Vec<u64> = Vec::new();
-    for i in 0..iters {
+    for i in start..start + iters {
         let r = chaos_one(i);
         agg.deaths += r.deaths;
         agg.restarts += r.restarts;
@@ -306,6 +337,120 @@ fn each_kill_point_recovers_exactly_once() {
     }
 }
 
+/// A worker killed in the middle of reading payload bytes out of a live
+/// grant window must not strand the grant: the pinned pass is unwound,
+/// the op completes through re-dispatch/retry on a surviving worker, and
+/// a subsequent in-place buffer update (epoch bump) plus write must land
+/// the *new* bytes — a zombie pass applying the old epoch after that
+/// point would be a stale-grant read.
+#[test]
+fn worker_death_mid_grant_read_leaves_no_stale_grant_state() {
+    let (kernel, fses) = world();
+    let rt = SimRuntime::new(0x6AA7);
+    let k = Arc::clone(&kernel);
+    let fs = Arc::clone(&fses[0]);
+    rt.spawn("grant-kill", move || {
+        k.delegation().start();
+        let fd = fs.open("/grant-kill", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let base = vec![0x11u8; 2 * CHUNK];
+        assert_eq!(fs.pwrite(fd, 0, &base).unwrap(), base.len());
+        let stats = Arc::clone(k.path_stats());
+        let granted_base = stats.snapshot();
+
+        let gen1 = vec![0xA1u8; CHUNK];
+        let buf = fs.register_write_buffer(&gen1).unwrap();
+        // The very next pop is the first batch of the granted write: the
+        // worker dies while its pass is pinned to the grant.
+        k.delegation().arm_worker_kill(WorkerKillPlan::kill_at(
+            k.delegation().requests_served() + 1,
+            WorkerKillPoint::MidPayload,
+        ));
+        assert_eq!(fs.pwrite_registered(fd, 0, buf, 0, CHUNK).unwrap(), CHUNK);
+
+        // The grant survived the death; mutate it in place (epoch bump —
+        // the update spins until every pinned pass drains) and write the
+        // second region through the new epoch.
+        let gen2 = vec![0xB2u8; CHUNK];
+        fs.update_write_buffer(buf, &gen2).unwrap();
+        assert_eq!(fs.pwrite_registered(fd, CHUNK as u64, buf, 0, CHUNK).unwrap(), CHUNK);
+        fs.unregister_write_buffer(buf).unwrap();
+
+        let mut got = vec![0u8; 2 * CHUNK];
+        assert_eq!(fs.pread(fd, 0, &mut got).unwrap(), got.len());
+        assert!(
+            got[..CHUNK].iter().all(|&b| b == 0xA1),
+            "region 0 lost or stale after a mid-grant-read worker death"
+        );
+        assert!(
+            got[CHUNK..].iter().all(|&b| b == 0xB2),
+            "region 1 carries a stale grant epoch"
+        );
+        fs.close(fd).unwrap();
+        let granted = stats.snapshot().delta(&granted_base);
+        assert_eq!(
+            granted.payload_copies, 0,
+            "granted ops must stay zero-copy across death and retry: {granted:?}"
+        );
+        k.delegation().shutdown();
+    });
+    rt.run();
+    let s = kernel.delegation().stats().snapshot();
+    assert_eq!(s.worker_deaths, 1, "the kill must fire during the granted pass");
+    assert_eq!(s.worker_restarts, 1, "and be recovered");
+}
+
+/// Client retry racing watchdog re-dispatch while the grant stays live:
+/// stalls past the op deadline put two copies of the same granted
+/// request in flight. The idempotence window must apply it exactly once,
+/// and once the op returns, the revocation barrier guarantees no
+/// straggler still holds the old window — so an immediate epoch-bumped
+/// overwrite of the same region must win and stay won.
+#[test]
+fn client_retry_racing_redispatch_applies_live_grant_exactly_once() {
+    let (kernel, fses) = world();
+    let rt = SimRuntime::new(0x6AA8);
+    let k = Arc::clone(&kernel);
+    let fs = Arc::clone(&fses[0]);
+    rt.spawn("grant-race", move || {
+        k.delegation().start();
+        let fd = fs.open("/grant-race", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let base = vec![0x22u8; CHUNK];
+        assert_eq!(fs.pwrite(fd, 0, &base).unwrap(), base.len());
+
+        let gen1 = vec![0xC3u8; CHUNK];
+        let buf = fs.register_write_buffer(&gen1).unwrap();
+        // Stall the next requests past the 5 ms base deadline: the client
+        // retries while the watchdog re-dispatches the original — both
+        // copies resolve the same live grant.
+        k.delegation().inject_faults(5, 8 * MILLIS, 0);
+        assert_eq!(fs.pwrite_registered(fd, 0, buf, 0, CHUNK).unwrap(), CHUNK);
+        k.delegation().inject_faults(0, 0, 0);
+
+        // Same region, new epoch: if the racing duplicate were applied
+        // after this (stale-grant read), the readback would see 0xC3.
+        let gen2 = vec![0xD4u8; CHUNK];
+        fs.update_write_buffer(buf, &gen2).unwrap();
+        assert_eq!(fs.pwrite_registered(fd, 0, buf, 0, CHUNK).unwrap(), CHUNK);
+        fs.unregister_write_buffer(buf).unwrap();
+
+        let mut got = vec![0u8; CHUNK];
+        assert_eq!(fs.pread(fd, 0, &mut got).unwrap(), got.len());
+        assert!(
+            got.iter().all(|&b| b == 0xD4),
+            "stale grant epoch re-applied after the racing retry resolved"
+        );
+        fs.close(fd).unwrap();
+        k.delegation().shutdown();
+    });
+    rt.run();
+    let s = kernel.delegation().stats().snapshot();
+    assert!(
+        s.deleg_retries >= 1,
+        "the stall must force at least one client retry: {s:?}"
+    );
+    assert_eq!(s.worker_deaths, 0, "no kill armed: stalls only");
+}
+
 /// The quarantine lifecycle is its own failure domain: one LibFS
 /// corrupts shared state, is quarantined, repaired, and re-admitted —
 /// all *while* two other LibFSes keep issuing delegated writes to
@@ -370,7 +515,13 @@ fn quarantine_repairs_and_readmits_under_live_delegated_traffic() {
         // --- Concurrent phase. One worker dies mid-traffic: watchdog
         // recovery and quarantine repair overlap, and both must stay
         // race-free.
-        k.delegation().arm_worker_kill(WorkerKillPlan::kill_at(3, WorkerKillPoint::MidPayload));
+        // Arm relative to the live pop counter: the staging writes above
+        // fan out into a setup-dependent number of batches, so an absolute
+        // index could land before the concurrent phase even starts.
+        k.delegation().arm_worker_kill(WorkerKillPlan::kill_at(
+            k.delegation().requests_served() + 3,
+            WorkerKillPoint::MidPayload,
+        ));
         let handles: Vec<_> = staged
             .into_iter()
             .map(|(c, fs, fd)| {

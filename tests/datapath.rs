@@ -173,6 +173,47 @@ fn concurrent_alloc_free_across_actors_leaks_no_pages() {
     rt.run();
 }
 
+/// Truncate/re-extend churn must reach a steady state: every data page a
+/// truncate frees parks in the actor's scrubbed allocator cache (or
+/// spills back to the global pool past the high-water mark), and the
+/// next extension allocates straight out of the cache. A leak anywhere
+/// in the return→park→realloc cycle shows up as a shrinking ledger.
+#[test]
+fn truncate_extend_churn_recycles_pages_through_actor_cache() {
+    let (_, kernel, fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(55);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        let stats = Arc::clone(k.path_stats());
+        let chunk = vec![0x5Cu8; 1 << 20];
+        let reg = fs.register_write_buffer(&chunk).unwrap();
+        let mut steady: Option<usize> = None;
+        for round in 0..20u32 {
+            let fd =
+                fs.open("/churn", OpenFlags::CREATE | OpenFlags::WRONLY, Mode(0o666)).unwrap();
+            for i in 0..2u64 {
+                fs.pwrite_registered(fd, i * chunk.len() as u64, reg, 0, chunk.len()).unwrap();
+            }
+            fs.close(fd).unwrap();
+            fs.truncate("/churn", 0).unwrap();
+            let avail = k.free_page_count() + k.cached_page_count();
+            match steady {
+                // Round 0 pays for index pages and directory metadata;
+                // every later round must come back to the same ledger.
+                None => steady = Some(avail),
+                Some(s) => assert_eq!(avail, s, "page leak by round {round}"),
+            }
+        }
+        fs.unregister_write_buffer(reg).unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.free_cached > 0, "truncate frees never reached the actor cache: {snap:?}");
+        assert!(snap.free_spills > 0, "512-page frees must spill past the high-water mark: {snap:?}");
+        assert!(snap.alloc_fast_hits > 0, "re-extension never hit the cache fast path: {snap:?}");
+        assert_eq!(snap.payload_copies, 0, "registered churn writes must not copy payloads: {snap:?}");
+    });
+    rt.run();
+}
+
 /// A delegated write shares one payload buffer across every per-node batch
 /// and every retry: exactly one copy (`&[u8]` → `Arc<[u8]>`) per op, no
 /// matter how many times faulted requests are re-enqueued.

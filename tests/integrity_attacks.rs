@@ -241,3 +241,91 @@ fn unmapped_pages_are_unreachable_to_attackers() {
     });
     rt.run();
 }
+
+/// Silent bit rot under a checksummed delegated extent (DESIGN.md §17).
+///
+/// Delegation workers record a streaming per-page digest in the page
+/// sidecar atomically with the store; `corrupt_for_test` then flips one
+/// data bit *without* touching the sidecar — the exact failure mode no
+/// metadata invariant can see. The next verifier walk must catch it as
+/// `data_checksum_mismatch` (Reject class: there is no field-level ground
+/// truth to scrub rotten bytes back from), roll the file back to its
+/// checkpoint, and hand the victim the checkpointed bytes, not the rot.
+#[cfg(feature = "faults")]
+#[test]
+fn silent_bit_rot_under_checksummed_extent_rejects_on_next_walk() {
+    use trio_nvm::PageId;
+    use trio_verifier::VIOLATION_KINDS;
+
+    let dev = Arc::new(trio_nvm::NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, 32 * 1024),
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(Arc::clone(&dev), KernelConfig::default());
+    // Delegation stays ON: only delegated writes go through
+    // `write_extent_hashed`, so this world is the one where sidecars exist.
+    let evil = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::default());
+    let victim = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::default());
+
+    let rt = SimRuntime::new(0xB17_0707);
+    let k = Arc::clone(&kernel);
+    rt.spawn("bit-rot", move || {
+        k.delegation().start();
+        let checkpoint_img = vec![0x7Au8; 256 * 1024];
+
+        // Round 1: delegated write, handover, clean victim map. This both
+        // establishes the rollback checkpoint and proves intact sidecars
+        // verify clean (the checksum walk must not false-positive).
+        write_file(&*evil, "/victim", &checkpoint_img).unwrap();
+        evil.release_path("/victim").unwrap();
+        let _ = k.take_events();
+        assert_eq!(read_file(&*victim, "/victim").unwrap(), checkpoint_img);
+        assert!(
+            !k.take_events()
+                .iter()
+                .any(|e| matches!(e, KernelEvent::CorruptionDetected { .. })),
+            "intact checksummed extent must verify clean"
+        );
+
+        // Round 2: evil dirties the file again (fresh sidecars), releases,
+        // and then one bit rots under the recorded digests.
+        let fd = evil.open("/victim", OpenFlags::WRONLY, Mode(0o666)).unwrap();
+        assert_eq!(evil.pwrite(fd, 0, &vec![0x5Bu8; 256 * 1024]).unwrap(), 256 * 1024);
+        evil.close(fd).unwrap();
+        evil.release_path("/victim").unwrap();
+        let page = (0..dev.topology().total_pages())
+            .map(PageId)
+            .find(|p| matches!(dev.page_csum(*p), Ok(Some(_))))
+            .expect("delegated write must leave sidecar digests");
+        dev.corrupt_for_test(page, 1234).unwrap();
+
+        // The victim's next map triggers the walk: detection, reject-class
+        // accounting, rollback.
+        let _ = k.take_events();
+        let _ = read_file(&*victim, "/victim");
+        let events = k.take_events();
+        assert!(
+            events.iter().any(|e| matches!(e, KernelEvent::CorruptionDetected { .. })),
+            "bit rot under a sidecar digest must be detected: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, KernelEvent::RolledBack { .. })),
+            "checksum mismatch is reject-class: the file must roll back"
+        );
+        let snap = k.resilience_stats().snapshot();
+        let idx =
+            VIOLATION_KINDS.iter().position(|x| *x == "data_checksum_mismatch").unwrap();
+        assert!(snap.by_kind[idx] >= 1, "violation must be counted under its own kind");
+        assert!(snap.class_reject >= 1);
+        // Checkpoints cover core state (index/dirent), not data images, so
+        // rollback cannot un-rot the bytes — containment is the contract:
+        // the dirty actor is quarantined and the rotten extent never
+        // reaches the victim as verified state.
+        assert!(
+            events.iter().any(|e| matches!(e, KernelEvent::Quarantined { .. })),
+            "reject-class corruption must quarantine the dirty actor: {events:?}"
+        );
+        k.delegation().shutdown();
+    });
+    rt.run();
+}
