@@ -127,8 +127,8 @@ fn verifier_speed() {
                 0,
             );
             let r = DirentRef::new(&h, loc);
-            r.prepare(&d).unwrap();
-            r.publish(1000 + idx).unwrap();
+            let w = r.prepare(&d).unwrap();
+            r.publish(1000 + idx, &w).unwrap();
         }
     }
     // The directory's own dirent.
@@ -137,8 +137,8 @@ fn verifier_speed() {
     dd.first_index = ip.0;
     dd.size = 160;
     let r = DirentRef::new(&h, own);
-    r.prepare(&dd).unwrap();
-    r.publish(999).unwrap();
+    let w = r.prepare(&dd).unwrap();
+    r.publish(999, &w).unwrap();
     r.set_first_index(ip.0).unwrap();
     r.set_size(160).unwrap();
 

@@ -194,8 +194,13 @@ pub fn run_mutation(
             let d = vic.load().map_err(ArckFs::fault)?;
             let bit = rng.gen_range(64);
             let field = rng.gen_range(5);
+            // The victim slot is already live (published in a previous
+            // op), so its image really is durable — the adversary only
+            // forges the witness, not the durability.
+            // lint: allow(raw-publish) adversary mints a witness for an already-durable victim slot
+            let slot = h.assume_durable(vic_loc.page, vic_loc.byte_off(), trio_layout::DIRENT_SIZE);
             match field {
-                0 => vic.publish(d.ino ^ (1 << bit)).map_err(ArckFs::fault)?,
+                0 => vic.publish(d.ino ^ (1 << bit), &slot).map_err(ArckFs::fault)?,
                 1 => vic.set_size(d.size ^ (1 << bit)).map_err(ArckFs::fault)?,
                 2 => vic.set_first_index(d.first_index ^ (1 << bit)).map_err(ArckFs::fault)?,
                 3 => vic
@@ -228,8 +233,8 @@ pub fn run_mutation(
                 _ => rng.next_u64() | 1,                   // wild
             };
             let r = DirentRef::new(h, free);
-            r.prepare(&evil).map_err(ArckFs::fault)?;
-            r.publish(ino).map_err(ArckFs::fault)?;
+            let w = r.prepare(&evil).map_err(ArckFs::fault)?;
+            r.publish(ino, &w).map_err(ArckFs::fault)?;
             Ok(format!("forged ino {ino} name {:?}", String::from_utf8_lossy(name)))
         }
         Mutation::DirentAlias => {
@@ -242,8 +247,8 @@ pub fn run_mutation(
             }
             let ino = dup.ino;
             let r = DirentRef::new(h, free);
-            r.prepare(&dup).map_err(ArckFs::fault)?;
-            r.publish(ino).map_err(ArckFs::fault)?;
+            let w = r.prepare(&dup).map_err(ArckFs::fault)?;
+            r.publish(ino, &w).map_err(ArckFs::fault)?;
             Ok(format!("aliased ino {ino} (same_name={same_name})"))
         }
         Mutation::SizeInflate => {

@@ -67,7 +67,7 @@ impl ArckFs {
             };
             let d = DirentData::new(name.as_bytes(), ftype, mode, fs.uid, fs.gid);
             let dref = DirentRef::new(&fs.h, loc);
-            let res = dref.prepare(&d).and_then(|_| dref.publish(ino));
+            let res = dref.prepare(&d).and_then(|w| dref.publish(ino, &w));
             if let Err(e) = res {
                 aux.with_bucket(name, |b| b.retain(|x| x.name != name));
                 aux.put_slot(loc);
@@ -303,8 +303,8 @@ impl ArckFs {
                 fs.pages.take(trio_nvm::handle::home_node())
             })?;
             let dref = DirentRef::new(&fs.h, dloc);
-            dref.prepare(&moved).map_err(Self::fault)?;
-            dref.publish(e.ino).map_err(Self::fault)?;
+            let w = dref.prepare(&moved).map_err(Self::fault)?;
+            dref.publish(e.ino, &w).map_err(Self::fault)?;
             DirentRef::new(&fs.h, e.loc).clear().map_err(Self::fault)?;
             guard.disarm().map_err(Self::fault)?;
 

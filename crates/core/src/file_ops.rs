@@ -478,6 +478,10 @@ impl ArckFs {
             e.0 = e.0.min(slot);
             e.1 = e.1.max(slot);
         }
+        // Typestate persist of the new entries: one coalesced span per
+        // touched index page (same flush schedule as before — per-slot
+        // spans would re-flush shared cache lines), one fence for all.
+        let mut spans = Vec::with_capacity(touched.len());
         for (ipi, (lo, hi)) in touched {
             let ipage = g.index_pages[ipi];
             let bytes = (hi - lo + 1) * 8;
@@ -487,9 +491,9 @@ impl ArckFs {
                 true,
                 trio_nvm::handle::home_node(),
             );
-            self.h.flush(ipage, lo * 8, bytes);
+            spans.push(trio_nvm::Span::new(ipage, lo * 8, bytes));
         }
-        self.h.fence();
+        let _links = self.h.fence_flushed(self.h.flush_dirty(self.h.dirty_spans(spans)));
         Ok(())
     }
 

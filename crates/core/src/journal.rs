@@ -71,26 +71,25 @@ impl Journal {
                 p
             }
         };
-        let write = |off: usize, v: u64| h.write_u64_persist(page, off, v);
-        h.write_untimed(page, OFF_IMAGE, src_image).map_err(fault)?;
-        h.flush(page, OFF_IMAGE, DIRENT_SIZE);
-        write(OFF_SRC_PAGE, src.page.0).map_err(fault)?;
-        write(OFF_SRC_SLOT, src.slot as u64).map_err(fault)?;
-        write(OFF_DST_PAGE, dst.page.0).map_err(fault)?;
-        write(OFF_DST_SLOT, dst.slot as u64).map_err(fault)?;
-        // Arm last: everything below is persistent before the record goes
-        // live. Declaring the record body as publish deps lets the sanitize
-        // build verify the ordering instead of trusting it.
-        h.publish_u64(
-            page,
-            OFF_STATE,
-            1,
-            &[
-                (page, OFF_SRC_PAGE, OFF_DST_SLOT + 8 - OFF_SRC_PAGE),
-                (page, OFF_IMAGE, DIRENT_SIZE),
-            ],
-        )
-        .map_err(fault)?;
+        // Record body through the typestate pipeline: the pre-image and
+        // the four location words each become Durable witnesses (same
+        // store/flush/fence schedule as the raw persists they replace),
+        // and arming only type-checks against the joined witness — the
+        // record cannot go live before its body is durable.
+        let img = h.flush_dirty(h.write_dirty(page, OFF_IMAGE, src_image).map_err(fault)?);
+        let f1 = h.flush_dirty(h.store_u64_dirty(page, OFF_SRC_PAGE, src.page.0).map_err(fault)?);
+        let d1 = h.fence_flushed(img.and(f1));
+        let d2 = h
+            .fence_flushed(h.flush_dirty(h.store_u64_dirty(page, OFF_SRC_SLOT, src.slot as u64).map_err(fault)?));
+        let d3 = h
+            .fence_flushed(h.flush_dirty(h.store_u64_dirty(page, OFF_DST_PAGE, dst.page.0).map_err(fault)?));
+        let d4 = h
+            .fence_flushed(h.flush_dirty(h.store_u64_dirty(page, OFF_DST_SLOT, dst.slot as u64).map_err(fault)?));
+        let record = d1.and(d2).and(d3).and(d4);
+        // Arm last: the Durable witness proves everything above is
+        // persistent before the record goes live, and the sanitize build
+        // re-checks each witnessed range against the tracker.
+        h.publish_u64(page, OFF_STATE, 1, &record).map_err(fault)?;
         Ok(JournalGuard { h: h.clone(), page, _slot: guard })
     }
 
@@ -114,12 +113,12 @@ impl Journal {
             let mut image = [0u8; DIRENT_SIZE];
             h.read_untimed(page, OFF_IMAGE, &mut image)?;
             // Undo order: clear dst first (it may alias a replaced file),
-            // then restore src, then disarm.
+            // then restore src, then disarm. Disarming publishes against
+            // the restore's Durable witness: the record cannot read as
+            // idle while the src image could still be torn.
             h.write_u64_persist(dst.page, dst.byte_off(), 0)?;
-            h.write_untimed(src.page, src.byte_off(), &image)?;
-            h.flush(src.page, src.byte_off(), DIRENT_SIZE);
-            h.fence();
-            h.write_u64_persist(page, OFF_STATE, 0)?;
+            let restored = h.persist_dirty(h.write_dirty(src.page, src.byte_off(), &image)?);
+            h.publish_u64(page, OFF_STATE, 0, &restored)?;
             undone += 1;
         }
         Ok(undone)
@@ -175,8 +174,8 @@ mod tests {
         let dst = DirentLoc { page: PageId(3), slot: 1 };
         let d = DirentData::new(b"victim", CoreFileType::Regular, trio_fsapi::Mode::RW, 1, 1);
         let sref = DirentRef::new(&h, src);
-        sref.prepare(&d).unwrap();
-        sref.publish(42).unwrap();
+        let w = sref.prepare(&d).unwrap();
+        sref.publish(42, &w).unwrap();
         let mut image = [0u8; DIRENT_SIZE];
         h.read_untimed(src.page, src.byte_off(), &mut image).unwrap();
 
@@ -187,8 +186,8 @@ mod tests {
         let dref = DirentRef::new(&h, dst);
         let mut d2 = d.clone();
         d2.name = b"moved".to_vec();
-        dref.prepare(&d2).unwrap();
-        dref.publish(42).unwrap();
+        let w2 = dref.prepare(&d2).unwrap();
+        dref.publish(42, &w2).unwrap();
         sref.clear().unwrap();
 
         let undone = Journal::recover(&h, &j.pages()).unwrap();

@@ -174,10 +174,12 @@ impl KvFs {
             }
         }
         let pages: Vec<PageId> = g.pages[..need].iter().map(|p| p.expect("allocated")).collect();
-        fs.h.write_extent(&pages, 0, data).map_err(ArckFs::fault)?;
+        // The extent write's Durable witness gates the size publish: a
+        // reader trusting `size` can never observe torn value bytes.
+        let proof = fs.h.write_extent(&pages, 0, data).map_err(ArckFs::fault)?;
         g.len = data.len();
         let dref = DirentRef::new(&fs.h, node.loc);
-        dref.set_size(data.len() as u64).map_err(ArckFs::fault)?;
+        dref.set_size_durable(data.len() as u64, &proof).map_err(ArckFs::fault)?;
         Ok(())
     }
 

@@ -630,14 +630,24 @@ impl DelegationPool {
                         // checksum, store into NVM. No copy in between.
                         let window = &buffer[gref.start..gref.start + gref.len];
                         let mut r = Ok(None);
+                        // Acked ⇒ durable: every run must yield a Durable
+                        // witness (write_extent_hashed fences before
+                        // returning) before the reply goes out below.
+                        let mut durable_runs = 0usize;
                         for (i, run) in req.runs.iter().enumerate() {
                             let Some(data) = window.get(run.payload.clone()) else {
                                 r = Err(ProtError::OutOfRange);
                                 break;
                             };
-                            if let Err(e) = h.write_extent_hashed(&run.pages, run.start, data) {
-                                r = Err(e);
-                                break;
+                            match h.write_extent_hashed(&run.pages, run.start, data) {
+                                Ok(proof) => {
+                                    debug_assert_eq!(proof.witness().bytes(), data.len());
+                                    durable_runs += 1;
+                                }
+                                Err(e) => {
+                                    r = Err(e);
+                                    break;
+                                }
                             }
                             stats.record_checksummed_bytes(data.len());
                             if i == 0 && kill == Some(WorkerKillPoint::MidPayload) {
@@ -647,6 +657,12 @@ impl DelegationPool {
                                 killed_mid = true;
                                 break;
                             }
+                        }
+                        if r.is_ok() && !killed_mid {
+                            // Type-level form of the reply contract: an Ok
+                            // reply is only sent once every run produced a
+                            // durability witness.
+                            debug_assert_eq!(durable_runs, req.runs.len());
                         }
                         r
                     }

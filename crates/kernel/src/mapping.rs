@@ -766,9 +766,9 @@ impl KernelController {
         // 2. Restore the dirent slot / root fields.
         if let (Some(loc), Some(img)) = (dirent, ck.dirent_image) {
             let h = self.kernel_handle();
-            let _ = h.write_untimed(loc.page, loc.byte_off(), &img);
-            h.flush(loc.page, loc.byte_off(), DIRENT_SIZE);
-            h.fence();
+            if let Ok(dirty) = h.write_dirty(loc.page, loc.byte_off(), &img) {
+                let _restored = h.persist_dirty(dirty);
+            }
         }
         if let Some((fi, size)) = ck.root_fields {
             let sb = SuperblockRef::new(self.kernel_handle());

@@ -35,8 +35,8 @@ fn create_in_empty_root(
     let loc = DirentLoc { page: dpage, slot: 0 };
     let d = DirentData::new(name, ftype, Mode::RW, 100, 100);
     let dref = DirentRef::new(&reg.handle, loc);
-    dref.prepare(&d).unwrap();
-    dref.publish(ino).unwrap();
+    let w = dref.prepare(&d).unwrap();
+    dref.publish(ino, &w).unwrap();
     IndexPageRef::new(&reg.handle, ipage).set_entry(0, dpage.0).unwrap();
     k.update_root(reg.actor, Some(ipage.0), Some(1), Some(1)).unwrap();
     (ipage, dpage, loc)
@@ -149,8 +149,8 @@ fn fabricated_ino_detected_and_rolled_back() {
         let loc = DirentLoc { page: dpage, slot: 1 };
         let evil = DirentData::new(b"ghost", CoreFileType::Regular, Mode::RW, 100, 100);
         let r = DirentRef::new(&a.handle, loc);
-        r.prepare(&evil).unwrap();
-        r.publish(999_999).unwrap();
+        let w = r.prepare(&evil).unwrap();
+        r.publish(999_999, &w).unwrap();
         k2.update_root(a.actor, None, Some(2), None).unwrap();
         k2.release(a.actor, ROOT_INO).unwrap();
 

@@ -24,7 +24,7 @@
 //! point for creation (§4.4).
 
 use trio_fsapi::Mode;
-use trio_nvm::{NvmHandle, PageId, ProtError, PAGE_SIZE};
+use trio_nvm::{Durable, NvmHandle, PageId, ProtError, Span, Spans, PAGE_SIZE};
 
 use crate::{CoreFileType, Ino};
 
@@ -201,28 +201,23 @@ impl<'a> DirentRef<'a> {
     }
 
     /// Creation step 1 (§4.4): writes the whole slot with `ino = 0` and
-    /// persists it. The slot stays invisible to readers.
-    pub fn prepare(&self, data: &DirentData) -> Result<(), ProtError> {
+    /// persists it. The slot stays invisible to readers. The returned
+    /// [`Durable`] witness is the only way to call [`Self::publish`] —
+    /// publishing an unprepared slot no longer type-checks.
+    pub fn prepare(&self, data: &DirentData) -> Result<Durable<Span>, ProtError> {
         let mut img = data.encode();
         img[OFF_INO..OFF_INO + 8].copy_from_slice(&0u64.to_le_bytes());
-        self.h.write_untimed(self.loc.page, self.loc.byte_off(), &img)?;
-        self.h.flush(self.loc.page, self.loc.byte_off(), DIRENT_SIZE);
-        self.h.fence();
-        Ok(())
+        let dirty = self.h.write_dirty(self.loc.page, self.loc.byte_off(), &img)?;
+        Ok(self.h.persist_dirty(dirty))
     }
 
     /// Creation step 2: atomically publishes the inode number, committing
-    /// the entry.
-    pub fn publish(&self, ino: Ino) -> Result<(), ProtError> {
+    /// the entry. `prepared` is the durability witness from
+    /// [`Self::prepare`] (or a join that includes it); under `sanitize`
+    /// the tracker re-checks every witnessed range.
+    pub fn publish<T: Spans>(&self, ino: Ino, prepared: &Durable<T>) -> Result<(), ProtError> {
         debug_assert_ne!(ino, 0);
-        // The prepared slot image (step 1) must be durable before the ino
-        // goes live; the dep lets the sanitize build verify that ordering.
-        self.h.publish_u64(
-            self.loc.page,
-            self.loc.byte_off() + OFF_INO,
-            ino,
-            &[(self.loc.page, self.loc.byte_off(), DIRENT_SIZE)],
-        )
+        self.h.publish_u64(self.loc.page, self.loc.byte_off() + OFF_INO, ino, prepared)
     }
 
     /// Deletion: atomically clears the inode number; the slot becomes free.
@@ -233,6 +228,18 @@ impl<'a> DirentRef<'a> {
     /// Atomically updates the size field.
     pub fn set_size(&self, size: u64) -> Result<(), ProtError> {
         self.h.write_u64_persist(self.loc.page, self.loc.byte_off() + OFF_SIZE, size)
+    }
+
+    /// [`Self::set_size`] as a dependent commit point: the size word only
+    /// goes live against a [`Durable`] witness for the data it describes
+    /// (e.g. an extent-write proof). Readers that trust `size` then never
+    /// see bytes that could still be torn by a crash.
+    pub fn set_size_durable<T: Spans>(
+        &self,
+        size: u64,
+        data: &Durable<T>,
+    ) -> Result<(), ProtError> {
+        self.h.publish_u64(self.loc.page, self.loc.byte_off() + OFF_SIZE, size, data)
     }
 
     /// Atomically updates the mtime field.
@@ -298,10 +305,10 @@ mod tests {
         let h = handle();
         let loc = DirentLoc { page: PageId(7), slot: 3 };
         let r = DirentRef::new(&h, loc);
-        r.prepare(&d).unwrap();
+        let w = r.prepare(&d).unwrap();
         // Before publish the slot reads as free.
         assert_eq!(r.ino().unwrap(), 0);
-        r.publish(42).unwrap();
+        r.publish(42, &w).unwrap();
         let back = r.load().unwrap();
         assert_eq!(back, d);
         assert_eq!(back.ftype(), Some(CoreFileType::Regular));
@@ -314,8 +321,8 @@ mod tests {
         let loc = DirentLoc { page: PageId(7), slot: 0 };
         let r = DirentRef::new(&h, loc);
         let d = DirentData::new(b"x", CoreFileType::Directory, Mode::RWX, 0, 0);
-        r.prepare(&d).unwrap();
-        r.publish(5).unwrap();
+        let w = r.prepare(&d).unwrap();
+        r.publish(5, &w).unwrap();
         assert_eq!(r.ino().unwrap(), 5);
         r.clear().unwrap();
         assert_eq!(r.ino().unwrap(), 0);
@@ -327,8 +334,8 @@ mod tests {
         let loc = DirentLoc { page: PageId(7), slot: 15 };
         let r = DirentRef::new(&h, loc);
         let d = DirentData::new(b"f", CoreFileType::Regular, Mode::RW, 1, 1);
-        r.prepare(&d).unwrap();
-        r.publish(6).unwrap();
+        let w = r.prepare(&d).unwrap();
+        r.publish(6, &w).unwrap();
         r.set_size(4096).unwrap();
         r.set_first_index(33).unwrap();
         r.set_mtime(99).unwrap();
@@ -346,8 +353,8 @@ mod tests {
         let d = DirentData::new(&long, CoreFileType::Regular, Mode::RW, 0, 0);
         let h = handle();
         let r = DirentRef::new(&h, DirentLoc { page: PageId(7), slot: 1 });
-        r.prepare(&d).unwrap();
-        r.publish(9).unwrap();
+        let w = r.prepare(&d).unwrap();
+        r.publish(9, &w).unwrap();
         let back = r.load().unwrap();
         // name_len wraps at u8 (300 & 0xFF = 44); raw layout preserves the
         // mismatch for the verifier to flag rather than hiding it.

@@ -387,6 +387,41 @@ impl NvmDevice {
         self.write_u64_persist(actor, page, off, v)
     }
 
+    /// [`Self::publish_u64`] for the typestate API (DESIGN.md §18): the
+    /// dependencies arrive as a [`crate::typestate::Spans`] witness
+    /// instead of a slice, so the typed commit point enumerates them
+    /// without materializing a `Vec`. Identical store + `clwb` + `sfence`
+    /// sequence; under `sanitize` each witnessed line is re-checked
+    /// against the tracker (the oracle for forged `assume_durable`
+    /// witnesses).
+    pub fn publish_u64_spans(
+        &self,
+        actor: ActorId,
+        page: PageId,
+        off: usize,
+        v: u64,
+        deps: &dyn crate::typestate::Spans,
+    ) -> Result<(), ProtError> {
+        #[cfg(feature = "sanitize")]
+        if let Some(t) = &self.tracker {
+            deps.for_each(&mut |dp, doff, dlen| t.assert_durable(dp, doff, dlen));
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = deps;
+        self.write_u64_persist(actor, page, off, v)
+    }
+
+    /// Re-checks a range an [`crate::NvmHandle::assume_durable`] caller
+    /// claims is durable: every covered line that is not actually durable
+    /// records a `publish-before-persist` hazard, so a forged witness is
+    /// caught by the same oracle as a raw early publish.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_assert_durable(&self, page: PageId, off: usize, len: usize) {
+        if let Some(t) = &self.tracker {
+            t.assert_durable(page, off, len);
+        }
+    }
+
     /// `clwb` of the lines covering the range: stages them for the next
     /// [`Self::fence`] (durability advances at the fence, not here) and
     /// charges the (small) flush cost.

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use crate::device::NvmDevice;
 use crate::prot::{ActorId, ProtError};
 use crate::topology::{NodeId, PageId, PAGE_SIZE};
+use crate::typestate::{Dirty, Durable, ExtentProof, Flushed, Span, Spans};
 
 thread_local! {
     static HOME_NODE: Cell<NodeId> = const { Cell::new(0) };
@@ -81,11 +82,97 @@ impl NvmHandle {
         self.dev.write_u64_persist(self.actor, page, off, v)
     }
 
-    /// [`Self::write_u64_persist`] with declared publication dependencies:
-    /// byte ranges `(page, off, len)` that must already be durable when
-    /// this commit store lands. The persistence-order sanitizer checks
-    /// them (`sanitize` feature); otherwise they are documentation.
-    pub fn publish_u64(
+    // -----------------------------------------------------------------
+    // Typestate persist pipeline (DESIGN.md §18): Dirty -> Flushed ->
+    // Durable, with publish_u64 as the only dependent commit point.
+    // Each method performs exactly the hardware step its raw predecessor
+    // did — same stores, same clwb/sfence costs, same sanitizer events —
+    // the tokens only add compile-time ordering evidence.
+    // -----------------------------------------------------------------
+
+    /// Untimed store returning a [`Dirty`] token for the written range —
+    /// the entry point of the typestate pipeline.
+    pub fn write_dirty(
+        &self,
+        page: PageId,
+        off: usize,
+        data: &[u8],
+    ) -> Result<Dirty<Span>, ProtError> {
+        self.dev.copy_to_page(self.actor, page, off, data)?;
+        Ok(Dirty::new(Span::new(page, off, data.len())))
+    }
+
+    /// 8-byte store (no flush, no fence) returning its [`Dirty`] token:
+    /// for protocols that batch several word stores under one flush/fence
+    /// pair (e.g. the rename journal record).
+    pub fn store_u64_dirty(
+        &self,
+        page: PageId,
+        off: usize,
+        v: u64,
+    ) -> Result<Dirty<Span>, ProtError> {
+        if !off.is_multiple_of(8) {
+            return Err(ProtError::Misaligned);
+        }
+        self.write_dirty(page, off, &v.to_le_bytes())
+    }
+
+    /// Mints a [`Dirty`] token for ranges the caller already stored via
+    /// [`Self::write`]/[`Self::write_untimed`] (e.g. a batch of index
+    /// entries flushed as one coalesced range). Safe in the claiming
+    /// direction: declaring clean bytes dirty only costs an extra
+    /// write-back; the unsafe direction — claiming durability — stays
+    /// gated behind the fence.
+    pub fn dirty_spans(&self, spans: Vec<Span>) -> Dirty<Vec<Span>> {
+        Dirty::new(spans)
+    }
+
+    /// `clwb` of every range the token carries, consuming [`Dirty`] into
+    /// [`Flushed`]. One flush call per span: callers batching stores that
+    /// share cache lines should carry one coalesced span (the sanitizer
+    /// flags per-line re-flushes as `redundant-flush`).
+    pub fn flush_dirty<T: Spans>(&self, d: Dirty<T>) -> Flushed<T> {
+        let t = d.into_inner();
+        t.for_each(&mut |page, off, len| self.dev.flush(page, off, len));
+        Flushed::new(t)
+    }
+
+    /// `sfence`, consuming [`Flushed`] into a [`Durable`] witness. The
+    /// fence is global: one call retires every staged line, so join
+    /// tokens with [`Flushed::and`] rather than fencing per range.
+    pub fn fence_flushed<T>(&self, f: Flushed<T>) -> Durable<T> {
+        self.dev.fence();
+        Durable::new(f.into_inner())
+    }
+
+    /// Flush + fence in one step (the common single-range persist).
+    pub fn persist_dirty<T: Spans>(&self, d: Dirty<T>) -> Durable<T> {
+        self.fence_flushed(self.flush_dirty(d))
+    }
+
+    /// [`Self::write_u64_persist`] as a dependent commit point: the typed
+    /// §4.4 publication primitive. The store only type-checks with a
+    /// [`Durable`] witness, so publish-before-persist, missing-flush and
+    /// missing-fence are compile errors. Under `sanitize` every witnessed
+    /// range is additionally re-checked against the persistence tracker —
+    /// the runtime oracle that the token (or an [`Self::assume_durable`]
+    /// escape) is truthful.
+    pub fn publish_u64<T: Spans>(
+        &self,
+        page: PageId,
+        off: usize,
+        v: u64,
+        deps: &Durable<T>,
+    ) -> Result<(), ProtError> {
+        self.dev.publish_u64_spans(self.actor, page, off, v, deps.witness())
+    }
+
+    /// Untyped escape hatch: [`Self::publish_u64`] with raw
+    /// `(page, off, len)` dependency tuples and no compile-time evidence.
+    /// Reserved for `trio-nvm` internals and test harnesses that
+    /// deliberately construct hazards — the `raw-publish` xtask lint
+    /// forbids it elsewhere.
+    pub fn publish_u64_raw(
         &self,
         page: PageId,
         off: usize,
@@ -95,12 +182,27 @@ impl NvmHandle {
         self.dev.publish_u64(self.actor, page, off, v, deps)
     }
 
-    /// `clwb` + bookkeeping for a range.
+    /// Escape hatch minting a [`Durable`] witness from a *claim* instead
+    /// of a fence — for ranges whose durability predates this process
+    /// (e.g. a slot published in a previous mount). Under `sanitize` the
+    /// claim is checked immediately: a forged witness records the same
+    /// `publish-before-persist` hazard a raw early publish would.
+    /// Restricted by the `raw-publish` lint outside `trio-nvm`.
+    pub fn assume_durable(&self, page: PageId, off: usize, len: usize) -> Durable<Span> {
+        #[cfg(feature = "sanitize")]
+        self.dev.sanitize_assert_durable(page, off, len);
+        Durable::new(Span::new(page, off, len))
+    }
+
+    /// `clwb` + bookkeeping for a range. Raw half of the typestate
+    /// pipeline — outside `trio-nvm`, use [`Self::flush_dirty`] (the
+    /// `raw-publish` lint enforces this in shipped crates).
     pub fn flush(&self, page: PageId, off: usize, len: usize) {
         self.dev.flush(page, off, len);
     }
 
-    /// `sfence`.
+    /// `sfence`. Raw half of the typestate pipeline — outside `trio-nvm`,
+    /// use [`Self::fence_flushed`].
     pub fn fence(&self) {
         self.dev.fence();
     }
@@ -122,15 +224,17 @@ impl NvmHandle {
     }
 
     /// Writes a byte range spanning `pages` starting at byte `start`.
-    /// Data is flushed per page (persistent-write model).
+    /// Data is flushed per page and fenced before returning
+    /// (persistent-write model), so the returned [`Durable`] witness is
+    /// minted by construction.
     pub fn write_extent(
         &self,
         pages: &[PageId],
         start: usize,
         data: &[u8],
-    ) -> Result<(), ProtError> {
+    ) -> Result<Durable<ExtentProof>, ProtError> {
         let mut data_mut = data; // Only read; unified helper wants one buffer type.
-        let res = self.extent_op(
+        self.extent_op(
             pages,
             start,
             data.len(),
@@ -141,11 +245,9 @@ impl NvmHandle {
                 Ok(())
             },
             &mut data_mut,
-        );
-        if res.is_ok() {
-            self.dev.fence();
-        }
-        res
+        )?;
+        self.dev.fence();
+        Ok(Durable::new(ExtentProof::new(data.len())))
     }
 
     /// [`Self::write_extent`] with inline streaming integrity (DESIGN.md
@@ -161,9 +263,9 @@ impl NvmHandle {
         pages: &[PageId],
         start: usize,
         data: &[u8],
-    ) -> Result<(), ProtError> {
+    ) -> Result<Durable<ExtentProof>, ProtError> {
         let mut data_mut = data;
-        let res = self.extent_op(
+        self.extent_op(
             pages,
             start,
             data.len(),
@@ -177,11 +279,9 @@ impl NvmHandle {
                 Ok(())
             },
             &mut data_mut,
-        );
-        if res.is_ok() {
-            self.dev.fence();
-        }
-        res
+        )?;
+        self.dev.fence();
+        Ok(Durable::new(ExtentProof::new(data.len())))
     }
 
     #[allow(clippy::needless_range_loop)] // `pi` also derives byte offsets

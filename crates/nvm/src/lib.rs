@@ -33,6 +33,7 @@ pub mod prot;
 pub mod sanitize;
 pub mod stats;
 pub mod topology;
+pub mod typestate;
 
 pub use checksum::SeaHasher;
 pub use device::{DeviceConfig, NvmDevice};
@@ -44,3 +45,4 @@ pub use perf::BandwidthModel;
 pub use stats::{PathStats, PathStatsSnapshot, HIST_BUCKETS};
 pub use prot::{ActorId, PagePerm, ProtError, KERNEL_ACTOR};
 pub use topology::{NodeId, PageId, Topology, CACHE_LINE, PAGE_SIZE};
+pub use typestate::{Dirty, Durable, ExtentProof, Flushed, Span, Spans};

@@ -60,8 +60,8 @@ fn build_world() -> World {
     dir.first_index = 3;
     dir.size = 1;
     let dref = DirentRef::new(&h, dir_loc);
-    dref.prepare(&dir).unwrap();
-    dref.publish(10).unwrap();
+    let prep = dref.prepare(&dir).unwrap();
+    dref.publish(10, &prep).unwrap();
     dref.set_first_index(3).unwrap();
     dref.set_size(1).unwrap();
 
@@ -74,8 +74,8 @@ fn build_world() -> World {
     child.first_index = 5;
     child.size = 100;
     let cref = DirentRef::new(&h, child_loc);
-    cref.prepare(&child).unwrap();
-    cref.publish(20).unwrap();
+    let prep = cref.prepare(&child).unwrap();
+    cref.publish(20, &prep).unwrap();
     cref.set_first_index(5).unwrap();
     cref.set_size(100).unwrap();
 
@@ -151,8 +151,8 @@ fn i1_detects_slash_in_name() {
     let mut evil = DirentData::new(b"x/y", CoreFileType::Regular, Mode::RW, 100, 100);
     evil.ino = 21;
     let r = DirentRef::new(&w.handle, loc);
-    r.prepare(&evil).unwrap();
-    r.publish(21).unwrap();
+    let prep = r.prepare(&evil).unwrap();
+    r.publish(21, &prep).unwrap();
     let mut w = w;
     w.view.inos.insert(21, InoProvenance::AllocatedTo(LIBFS));
     w.view.pages.insert(4, PageProvenance::InFile(10));
@@ -166,8 +166,8 @@ fn i1_detects_duplicate_names() {
     let loc = DirentLoc { page: PageId(4), slot: 2 };
     let dup = DirentData::new(b"a.txt", CoreFileType::Regular, Mode::RW, 100, 100);
     let r = DirentRef::new(&w.handle, loc);
-    r.prepare(&dup).unwrap();
-    r.publish(22).unwrap();
+    let prep = r.prepare(&dup).unwrap();
+    r.publish(22, &prep).unwrap();
     let mut w = w;
     w.view.inos.insert(22, InoProvenance::AllocatedTo(LIBFS));
     let rep = w.verifier.verify(&dir_request(None), &w.view);
@@ -242,8 +242,8 @@ fn i2_detects_fabricated_child_ino() {
     let loc = DirentLoc { page: PageId(4), slot: 3 };
     let fake = DirentData::new(b"ghost", CoreFileType::Regular, Mode::RW, 100, 100);
     let r = DirentRef::new(&w.handle, loc);
-    r.prepare(&fake).unwrap();
-    r.publish(4242).unwrap(); // Ino never allocated by the kernel.
+    let prep = r.prepare(&fake).unwrap();
+    r.publish(4242, &prep).unwrap(); // Ino never allocated by the kernel.
     let rep = w.verifier.verify(&dir_request(None), &w.view);
     assert!(rep.violations.iter().any(|v| matches!(v, Violation::ForeignIno { ino: 4242 })));
 }
@@ -255,8 +255,8 @@ fn i2_detects_double_referenced_ino() {
     let loc = DirentLoc { page: PageId(4), slot: 4 };
     let link = DirentData::new(b"hardlink", CoreFileType::Regular, Mode::RW, 100, 100);
     let r = DirentRef::new(&w.handle, loc);
-    r.prepare(&link).unwrap();
-    r.publish(20).unwrap();
+    let prep = r.prepare(&link).unwrap();
+    r.publish(20, &prep).unwrap();
     let rep = w.verifier.verify(&dir_request(None), &w.view);
     assert!(rep.violations.iter().any(|v| matches!(v, Violation::DuplicateIno { ino: 20 })
         || matches!(v, Violation::ForeignIno { ino: 20 })));
@@ -318,8 +318,8 @@ fn combined_corruptions_all_reported() {
     let mut evil = DirentData::new(b"bad/name", CoreFileType::Regular, Mode(0o7777), 0, 0);
     evil.ftype_raw = 77;
     let r = DirentRef::new(&w.handle, loc);
-    r.prepare(&evil).unwrap();
-    r.publish(999).unwrap();
+    let prep = r.prepare(&evil).unwrap();
+    r.publish(999, &prep).unwrap();
     let rep = w.verifier.verify(&dir_request(None), &w.view);
     let kinds: Vec<&Violation> = rep.violations.iter().collect();
     assert!(kinds.iter().any(|v| matches!(v, Violation::BadFileType { .. })));

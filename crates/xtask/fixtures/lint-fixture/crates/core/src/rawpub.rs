@@ -1,0 +1,35 @@
+//! raw-publish fixture: untyped persist escape hatches in shipped library
+//! code (`crates/<k>/src`). Each live site below must trip; the annotated
+//! one and the `write_u64_persist` single-word persist stay clean.
+
+pub struct H;
+impl H {
+    pub fn publish_u64_raw(&self, _p: u64, _o: usize, _v: u64) {}
+    pub fn assume_durable(&self, _p: u64, _o: usize, _l: usize) {}
+    pub fn flush(&self, _p: u64, _o: usize, _l: usize) {}
+    pub fn fence(&self) {}
+    pub fn write_u64_persist(&self, _p: u64, _o: usize, _v: u64) {}
+}
+
+pub fn untyped_escape(h: &H) {
+    h.publish_u64_raw(1, 0, 7); // trips raw-publish
+}
+
+pub fn forged_witness(h: &H) {
+    h.assume_durable(1, 0, 64); // trips raw-publish
+}
+
+pub fn raw_pipeline_halves(h: &H) {
+    h.flush(1, 0, 64); // trips raw-publish (R4 sees the fence below, R8 still fires)
+    h.fence(); // trips raw-publish
+}
+
+pub fn annotated_escape_is_clean(h: &H) {
+    // lint: allow(raw-publish) fixture: recovery claims a slot made durable by a previous mount
+    h.assume_durable(2, 0, 64);
+}
+
+pub fn single_word_persist_is_clean(h: &H) {
+    // A complete self-fencing 8-byte persist is not an escape hatch.
+    h.write_u64_persist(3, 0, 9);
+}

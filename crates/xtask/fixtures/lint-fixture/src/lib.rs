@@ -52,7 +52,29 @@ pub unsafe fn missing_safety_comment(p: *mut u8) {
     *p = 0;
 }
 
+pub fn chained_paired_flush_is_clean(h: &H) {
+    // Multi-line chain shapes with a fence in range: no finding.
+    h.
+        flush(7, 0, 64);
+    h.flush
+        (8, 0, 64);
+    h.fence();
+}
+
 // Kept last and >12 lines from any fence so the pairing scan cannot see one.
 pub fn unpaired_flush(h: &H) {
     h.flush(4, 0, 64); // trips flush-fence
+}
+
+pub fn chained_unpaired_flush(h: &H) {
+    // The receiver dot ends the previous line — the lexical blind spot the
+    // multi-line fix closes. Must trip.
+    h.
+        flush(5, 0, 64); // trips flush-fence (chained shape)
+}
+
+pub fn split_unpaired_flush(h: &H) {
+    // Name at end of line, arguments on the next. Must trip.
+    h.flush
+        (6, 0, 64); // trips flush-fence (split shape)
 }

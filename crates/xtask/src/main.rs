@@ -1,7 +1,19 @@
 //! `cargo xtask` — in-tree developer tooling for the Trio reproduction.
 //!
-//! The only subcommand today is `lint`, a project-specific static pass that
-//! enforces invariants `rustc` and clippy cannot see (DESIGN.md §13):
+//! Subcommands:
+//!
+//! * `lint` — a project-specific static pass enforcing invariants `rustc`
+//!   and clippy cannot see (DESIGN.md §13), rules below.
+//! * `typestate-check` — the compile-fail gate for the typestate persist
+//!   pipeline (DESIGN.md §18): `cargo check`s the
+//!   `fixtures/typestate-fixture` crate once with no features (the
+//!   well-typed pipeline must compile) and once per hazard feature
+//!   (`hazard-publish-before-persist`, `hazard-missing-fence`,
+//!   `hazard-missing-flush`), each of which must FAIL with a type error
+//!   (`E0308`) — pinning that the ordering bugs the runtime sanitizer
+//!   catches dynamically genuinely do not compile under the typed API.
+//!
+//! Lint rules:
 //!
 //! * **raw-device-access** — `NvmDevice::copy_from_page` / `copy_to_page`
 //!   bypass the protection *and* sanitizer hooks layered on the typed
@@ -13,11 +25,17 @@
 //! * **safety-comment** — every `unsafe` token needs a `// SAFETY:` comment
 //!   within the three preceding lines.
 //! * **flush-fence** — a persist `.flush(args…)` call site must be lexically
-//!   paired with a `.fence(` / `write_u64_persist` / `publish_u64` within
-//!   the next twelve lines, or carry an explicit
-//!   `// lint: allow(flush-fence) <reason>` annotation. A flush that never
-//!   meets a fence is exactly the bug class the runtime sanitizer flags as
-//!   `missing-fence`; this catches the easy cases at review time.
+//!   paired with a `.fence(` / `fence_flushed` / `persist_dirty` /
+//!   `write_u64_persist` / `publish_u64` within the next twelve lines, or
+//!   carry an explicit `// lint: allow(flush-fence) <reason>` annotation.
+//!   Method-chained and multi-line call shapes count as flush sites too:
+//!   a receiver dot ending the previous line (`h.` ⏎ `flush(…)`) and a
+//!   name/paren split (`h.flush` ⏎ `(…)`) are both recognized, so the
+//!   lint agrees with the typestate API's notion of a flush site
+//!   (`flush_dirty` is likewise a flush site, paired by its fence). A
+//!   flush that never meets a fence is exactly the bug class the runtime
+//!   sanitizer flags as `missing-fence`; this catches the easy cases at
+//!   review time.
 //! * **no-panic** — `crates/verifier/src` and `crates/kernel/src` process
 //!   attacker-controlled bytes and must uphold the repair-or-reject
 //!   contract (DESIGN.md §14): every failure becomes a `Violation` or an
@@ -32,6 +50,15 @@
 //!   zero-copy architecture removed, and the perf gate pins
 //!   `payload_copies == 0`. Destination buffers for reads are fine — the
 //!   rule targets the source-payload constructors, not `vec![0u8; n]`.
+//! * **raw-publish** — shipped library code (`crates/*/src`, excluding
+//!   `crates/nvm` itself) must persist through the typestate pipeline
+//!   (DESIGN.md §18): the untyped escape hatches `.publish_u64_raw(…)`
+//!   and `.assume_durable(…)`, and the raw `.flush(args…)` / `.fence(…)`
+//!   halves, are forbidden there. Test trees, benches and root-level
+//!   integration tests stay free to use them (mutation harnesses
+//!   deliberately construct hazards). `write_u64_persist` remains legal:
+//!   it is a complete self-fencing single-word persist, not an ordering
+//!   escape hatch.
 //!
 //! Any rule can be suppressed per-site with `// lint: allow(<rule-id>)
 //! <reason>` on the flagged line or up to two lines above it; the reason is
@@ -58,12 +85,13 @@ fn main() -> ExitCode {
             };
             run_lint(&root)
         }
+        Some("typestate-check") => run_typestate_check(),
         Some(other) => {
-            eprintln!("xtask: unknown command `{other}` (expected `lint`)");
+            eprintln!("xtask: unknown command `{other}` (expected `lint` or `typestate-check`)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [TREE]");
+            eprintln!("usage: cargo xtask <lint [TREE] | typestate-check>");
             ExitCode::FAILURE
         }
     }
@@ -100,6 +128,80 @@ fn run_lint(root: &Path) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// typestate-check: compile-fail gate for the persist pipeline
+// ---------------------------------------------------------------------------
+
+/// Hazard-class features of `fixtures/typestate-fixture`; each must make
+/// the fixture fail to compile with a type error.
+const TYPESTATE_HAZARDS: [&str; 3] =
+    ["hazard-publish-before-persist", "hazard-missing-fence", "hazard-missing-flush"];
+
+fn run_typestate_check() -> ExitCode {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("typestate-fixture")
+        .join("Cargo.toml");
+    // A dedicated target dir: the fixture is outside the workspace, and
+    // sharing the main target dir would thrash its lock under `verify.sh`.
+    let target_dir = workspace_root().join("target").join("typestate-fixture");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+
+    let check = |features: Option<&str>| -> std::io::Result<(bool, String)> {
+        let mut cmd = std::process::Command::new(&cargo);
+        cmd.arg("check")
+            .arg("--quiet")
+            .arg("--manifest-path")
+            .arg(&manifest)
+            .arg("--target-dir")
+            .arg(&target_dir);
+        if let Some(f) = features {
+            cmd.arg("--features").arg(f);
+        }
+        let out = cmd.output()?;
+        Ok((out.status.success(), String::from_utf8_lossy(&out.stderr).into_owned()))
+    };
+
+    // 1. The well-typed pipeline must compile.
+    match check(None) {
+        Ok((true, _)) => println!("typestate-check: well-typed pipeline compiles"),
+        Ok((false, err)) => {
+            eprintln!("typestate-check: FAIL — well-typed fixture does not compile:\n{err}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("typestate-check: could not run cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // 2. Each hazard class must be a type error (the whole point: the
+    //    bugs the sanitizer catches at runtime don't compile).
+    for hazard in TYPESTATE_HAZARDS {
+        match check(Some(hazard)) {
+            Ok((true, _)) => {
+                eprintln!("typestate-check: FAIL — `{hazard}` compiled; the hazard is representable");
+                return ExitCode::FAILURE;
+            }
+            Ok((false, err)) if err.contains("E0308") => {
+                println!("typestate-check: {hazard} rejected (E0308)");
+            }
+            Ok((false, err)) => {
+                eprintln!(
+                    "typestate-check: FAIL — `{hazard}` failed for the wrong reason \
+                     (expected a type mismatch E0308):\n{err}"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("typestate-check: could not run cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("typestate-check: OK (1 well-typed + {} compile-fail cases)", TYPESTATE_HAZARDS.len());
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
 // Rules
 // ---------------------------------------------------------------------------
 
@@ -113,6 +215,7 @@ pub enum Rule {
     NoPanic,
     ObsGate,
     PayloadMaterialize,
+    RawPublish,
 }
 
 impl Rule {
@@ -125,6 +228,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::ObsGate => "obs-gate",
             Rule::PayloadMaterialize => "no-payload-copy",
+            Rule::RawPublish => "raw-publish",
         }
     }
 }
@@ -214,6 +318,10 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
     // here is the copy the grant-window architecture exists to remove.
     let payload_scope = rel == Path::new("crates/kernel/src/delegation.rs")
         || rel == Path::new("crates/core/src/file_ops.rs");
+    // Shipped library code persists through the typestate pipeline only
+    // (DESIGN.md §18); tests/benches keep the raw API for mutation
+    // harnesses that deliberately construct hazards.
+    let raw_publish_scope = !in_nvm && !in_xtask && shipped_src(rel);
 
     let masked = mask_source(src);
     let raw: Vec<&str> = src.lines().collect();
@@ -274,21 +382,27 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
         // R4: persist flush is paired with a fence. `.flush(` with arguments
         // is the persist signature `(page, off, len)`; zero-arg `.flush()`
         // (e.g. the LSM memtable flush) is a different API and exempt.
+        // Multi-line/method-chained shapes (receiver dot on the previous
+        // line, name/paren split across lines) count as flush sites too,
+        // and `flush_dirty` is the typestate pipeline's flush site.
         if !in_nvm {
-            if let Some(pos) = find_call(line, "flush") {
-                let after = line[pos..].split_once('(').map_or("", |(_, rest)| rest);
-                let zero_arg = after.trim_start().starts_with(')');
+            let site = flush_call_site(&lines, i, "flush")
+                .or_else(|| flush_call_site(&lines, i, "flush_dirty"));
+            if let Some(zero_arg) = site {
                 if !zero_arg {
                     let hi = (i + 12).min(lines.len() - 1);
                     let paired = lines[i..=hi].iter().any(|l| {
                         find_call(l, "fence").is_some()
+                            || l.contains("fence_flushed")
+                            || l.contains("persist_dirty")
                             || l.contains("write_u64_persist")
                             || l.contains("publish_u64")
                     });
                     if !paired {
                         emit(out, rel, &raw, i, Rule::FlushFence,
-                            "flush with no `.fence(`/`write_u64_persist`/`publish_u64` \
-                             within 12 lines; the line may never become durable \
+                            "flush with no `.fence(`/`fence_flushed`/`persist_dirty`/\
+                             `write_u64_persist`/`publish_u64` within 12 lines; the \
+                             line may never become durable \
                              (runtime hazard: missing-fence)".to_string());
                     }
                 }
@@ -348,7 +462,110 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
                 }
             }
         }
+
+        // R8: shipped library code must use the typestate persist pipeline;
+        // the untyped escape hatches and the raw flush/fence halves are
+        // reserved for `trio-nvm` internals and test harnesses.
+        if raw_publish_scope && i < test_region {
+            for m in ["publish_u64_raw", "assume_durable"] {
+                if find_call(line, m).is_some() {
+                    emit(out, rel, &raw, i, Rule::RawPublish, format!(
+                        "`.{m}(…)` is the untyped persist escape hatch; use the \
+                         typestate pipeline (write_dirty → flush_dirty → \
+                         fence_flushed → publish_u64) so ordering is \
+                         compiler-checked (DESIGN.md §18)"
+                    ));
+                }
+            }
+            if flush_call_site(&lines, i, "flush") == Some(false) {
+                emit(out, rel, &raw, i, Rule::RawPublish,
+                    "raw `.flush(page, off, len)` carries no ordering evidence; \
+                     use `flush_dirty`/`persist_dirty` so the Durable witness \
+                     is compiler-checked (DESIGN.md §18)".to_string());
+            }
+            if find_call(line, "fence").is_some() {
+                emit(out, rel, &raw, i, Rule::RawPublish,
+                    "raw `.fence()` mints no Durable witness; use \
+                     `fence_flushed`/`persist_dirty` so ordering is \
+                     compiler-checked (DESIGN.md §18)".to_string());
+            }
+        }
     }
+}
+
+/// Whether a workspace-relative path is shipped library code: a file under
+/// `crates/<name>/src/…` (crate test trees, benches and root-level
+/// integration tests are not).
+fn shipped_src(rel: &Path) -> bool {
+    let mut it = rel.components();
+    it.next().is_some_and(|c| c.as_os_str() == "crates")
+        && it.next().is_some()
+        && it.next().is_some_and(|c| c.as_os_str() == "src")
+}
+
+/// Detects a persist-style `.name(…)` call site anchored at line `i`,
+/// including the multi-line shapes a lexical per-line scan would miss:
+///
+/// * same-line `recv.name(args…)` (via [`find_call`]);
+/// * receiver dot ending the previous non-empty line (`recv.` ⏎ `name(…)`);
+/// * name at end of line with the paren on the next (`recv.name` ⏎ `(…)`).
+///
+/// Returns `Some(zero_arg)` when a call site anchors here, else `None`.
+/// `zero_arg` is true for `.name()` with no arguments (a different API —
+/// e.g. the LSM memtable flush — exempt from persist pairing rules).
+fn flush_call_site(lines: &[&str], i: usize, name: &str) -> Option<bool> {
+    let line = lines[i];
+    // Shape 1: same-line call.
+    if let Some(pos) = find_call(line, name) {
+        let after = line[pos..].split_once('(').map_or("", |(_, rest)| rest);
+        return Some(zero_arg_at(lines, i, after));
+    }
+    // Shape 2: `recv.` on the previous non-empty line, `name(` starting
+    // this one.
+    let trimmed = line.trim_start();
+    if let Some(rest) = trimmed.strip_prefix(name) {
+        let rest_t = rest.trim_start();
+        if rest_t.starts_with('(')
+            && prev_nonempty(lines, i).is_some_and(|p| p.trim_end().ends_with('.'))
+        {
+            let after = rest_t.split_once('(').map_or("", |(_, r)| r);
+            return Some(zero_arg_at(lines, i, after));
+        }
+    }
+    // Shape 3: `.name` at end of line, `(` opening the next non-empty one.
+    if line.trim_end().ends_with(&format!(".{name}")) {
+        if let Some((j, next)) = next_nonempty(lines, i) {
+            let nt = next.trim_start();
+            if let Some(after) = nt.strip_prefix('(') {
+                return Some(zero_arg_at(lines, j, after));
+            }
+        }
+    }
+    None
+}
+
+/// Whether the argument list whose opening paren precedes `after` (the
+/// remainder of line `i` past that paren) is empty, looking across the
+/// line break when the paren ends the line.
+fn zero_arg_at(lines: &[&str], i: usize, after: &str) -> bool {
+    let a = after.trim_start();
+    if !a.is_empty() {
+        return a.starts_with(')');
+    }
+    next_nonempty(lines, i).is_some_and(|(_, l)| l.trim_start().starts_with(')'))
+}
+
+fn prev_nonempty<'a>(lines: &[&'a str], i: usize) -> Option<&'a str> {
+    lines[..i].iter().rev().find(|l| !l.trim().is_empty()).copied()
+}
+
+fn next_nonempty<'a>(lines: &[&'a str], i: usize) -> Option<(usize, &'a str)> {
+    lines
+        .iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, l)| !l.trim().is_empty())
+        .map(|(j, l)| (j, *l))
 }
 
 /// Finds a `name!(` macro invocation in a masked line, tolerating
@@ -683,6 +900,7 @@ mod tests {
             Rule::NoPanic,
             Rule::ObsGate,
             Rule::PayloadMaterialize,
+            Rule::RawPublish,
         ] {
             assert!(
                 findings.iter().any(|f| f.rule == rule),
@@ -733,6 +951,51 @@ mod tests {
         assert!(payload_hits.contains(&line_of("Arc::from(payload)")));
         assert!(!payload_hits.contains(&(line_of("lint: allow(no-payload-copy)") + 1)));
         assert!(!payload_hits.contains(&line_of("vec![0u8; copied.len()]")));
+        // flush-fence multi-line shapes: both blind-spot cases trip, the
+        // fenced chain stays clean.
+        let ff_hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::FlushFence && f.file.ends_with("src/lib.rs"))
+            .map(|f| f.line)
+            .collect();
+        let lib_src = std::fs::read_to_string(fixture.join("src").join("lib.rs")).unwrap();
+        let lib_line = |needle: &str| lib_src.lines().position(|l| l.contains(needle)).unwrap() + 1;
+        assert!(
+            ff_hits.contains(&lib_line("trips flush-fence (chained shape)")),
+            "chained flush (dot on previous line) must trip: {ff_hits:?}"
+        );
+        // The split shape anchors on the `h.flush` line, one above the
+        // argument line.
+        assert!(
+            ff_hits.contains(&(lib_line("(6, 0, 64)") - 1)),
+            "split flush (paren on next line) must trip: {ff_hits:?}"
+        );
+        assert!(
+            !ff_hits.contains(&lib_line("flush(7, 0, 64)")),
+            "fenced chained flush must stay clean: {ff_hits:?}"
+        );
+        assert!(
+            !ff_hits.contains(&(lib_line("(8, 0, 64)") - 1)),
+            "fenced split flush must stay clean: {ff_hits:?}"
+        );
+        // raw-publish: exactly the four live escape-hatch sites trip; the
+        // annotated escape and the single-word persist stay clean.
+        let raw_hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::RawPublish)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(raw_hits.len(), 4, "exactly the four live raw sites: {raw_hits:?}");
+        let raw_src =
+            fixture.join("crates").join("core").join("src").join("rawpub.rs");
+        let src = std::fs::read_to_string(&raw_src).unwrap();
+        let line_of = |needle: &str| src.lines().position(|l| l.contains(needle)).unwrap() + 1;
+        assert!(raw_hits.contains(&line_of("h.publish_u64_raw(1, 0, 7)")));
+        assert!(raw_hits.contains(&line_of("h.assume_durable(1, 0, 64)")));
+        assert!(raw_hits.contains(&line_of("h.flush(1, 0, 64)")));
+        assert!(raw_hits.contains(&line_of("h.fence();")));
+        assert!(!raw_hits.contains(&(line_of("lint: allow(raw-publish) fixture") + 1)));
+        assert!(!raw_hits.contains(&line_of("h.write_u64_persist(3, 0, 9)")));
     }
 
     /// 1-based line of the first raw line containing `needle` in the

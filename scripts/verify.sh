@@ -27,6 +27,15 @@ fi
 echo "OK: fixture crate still trips the lint."
 
 echo
+echo "== typestate gate: raw-publish lint + compile-fail fixture =="
+# Compiler-checked persistence ordering (DESIGN.md §18): the raw-publish
+# rule (part of `cargo xtask lint` above) keeps shipped library code on
+# the typed Dirty -> Flushed -> Durable pipeline, and typestate-check
+# proves each hazard class (publish-before-persist, missing-fence,
+# missing-flush) fails to compile — with a type error, not incidentally.
+cargo xtask typestate-check
+
+echo
 echo "== crash-point sweep (pinned seed, all points) =="
 cargo test --test crash_sweep -- --nocapture
 
@@ -134,6 +143,14 @@ n, b = float(new[key]), float(base[key])
 if n > b * 1.2:
     sys.exit(f"FAIL: {key} regressed {n:.0f} ns vs baseline {b:.0f} ns (>20%)")
 print(f"OK: {key} {n:.0f} ns vs baseline {b:.0f} ns (within 20%)")
+# Typestate zero-cost gate (DESIGN.md §18): the persist-pipeline witness
+# tokens are zero-sized and must compile away entirely. The bench runs in
+# virtual time, so the delta vs the pre-typestate baseline is exact —
+# anything beyond float formatting noise means the tokens grew code.
+delta = abs(n - b) / b * 100.0
+if delta > 0.05:
+    sys.exit(f"FAIL: {key} moved {delta:.2f}% vs baseline; typestate tokens are not zero-cost")
+print(f"OK: typestate tokens zero-cost ({key} delta {delta:.2f}%).")
 # Zero-copy gate: grant-window delegation means the submit path never
 # materializes a payload — one worker read from the granted pages is the
 # only traversal. A nonzero copy counter is a reintroduced memcpy.

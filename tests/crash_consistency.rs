@@ -180,8 +180,8 @@ fn rename_journal_recovers_the_half_done_move() {
         let mut moved = DirentData::decode_bytes(&img);
         moved.name = b"moved".to_vec();
         let dref = DirentRef::new(fs2.handle(), dst);
-        dref.prepare(&moved).unwrap();
-        dref.publish(src_ino).unwrap();
+        let w = dref.prepare(&moved).unwrap();
+        dref.publish(src_ino, &w).unwrap();
         DirentRef::new(fs2.handle(), src).clear().unwrap();
         std::mem::forget(guard); // Crash before disarm.
         // Recovery undoes the rename from the journal.
@@ -263,8 +263,8 @@ fn armed_rename_world(
         let mut moved = DirentData::decode_bytes(&img);
         moved.name = b"moved".to_vec();
         let dref = DirentRef::new(fs2.handle(), dst);
-        dref.prepare(&moved).unwrap();
-        dref.publish(src_ino).unwrap();
+        let w = dref.prepare(&moved).unwrap();
+        dref.publish(src_ino, &w).unwrap();
         DirentRef::new(fs2.handle(), src).clear().unwrap();
         std::mem::forget(guard); // Crash before disarm.
         *o2.lock() = Some((src, dst, jpage, src_ino));

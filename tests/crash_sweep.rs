@@ -525,6 +525,149 @@ fn sanitized_unarmed_trace_is_report_clean() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Delegated acked ⇒ durable (typestate witness, DESIGN.md §18).
+// ---------------------------------------------------------------------
+
+/// One registered-buffer delegated write per region; all the same size so
+/// an acked prefix maps to a byte range.
+const DELEG_CHUNK: usize = 64 * 1024;
+const DELEG_WRITES: usize = 6;
+
+/// Per-region fill byte; the base image is all-zero, so any torn mix of
+/// old and new bytes inside an acked region is detectable.
+fn deleg_fill(j: usize) -> u8 {
+    0xA1 ^ (j as u8).wrapping_mul(0x3B)
+}
+
+fn delegated_world() -> (Arc<NvmDevice>, Arc<KernelController>, Arc<ArckFs>) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(2, 32 * 1024),
+        track_persistence: true,
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(
+        Arc::clone(&dev),
+        KernelConfig { delegation_threads_per_node: 2, ..KernelConfig::default() },
+    );
+    let fs = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::default());
+    (dev, kernel, fs)
+}
+
+/// Sizes `/deleg`, then drives [`DELEG_WRITES`] sequential registered-
+/// buffer delegated writes. Returns how many acks the client observed
+/// while the armed crash plan had not yet fired — sequential, so the
+/// count is a prefix of the regions.
+fn run_delegated_trace(
+    dev: &Arc<NvmDevice>,
+    kernel: &Arc<KernelController>,
+    fs: &Arc<ArckFs>,
+    seed: u64,
+) -> usize {
+    let rt = SimRuntime::new(seed);
+    let acked = Arc::new(Mutex::new(0usize));
+    let (dev2, k2, fs2, acked2) =
+        (Arc::clone(dev), Arc::clone(kernel), Arc::clone(fs), Arc::clone(&acked));
+    rt.spawn("deleg-ops", move || {
+        k2.delegation().start();
+        let fd = fs2.open("/deleg", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let base = vec![0u8; DELEG_WRITES * DELEG_CHUNK];
+        assert_eq!(fs2.pwrite(fd, 0, &base).unwrap(), base.len());
+        let reg = fs2.register_write_buffer(&base[..DELEG_CHUNK]).unwrap();
+        for j in 0..DELEG_WRITES {
+            let block = vec![deleg_fill(j); DELEG_CHUNK];
+            fs2.update_write_buffer(reg, &block).unwrap();
+            let off = (j * DELEG_CHUNK) as u64;
+            assert_eq!(fs2.pwrite_registered(fd, off, reg, 0, DELEG_CHUNK).unwrap(), DELEG_CHUNK);
+            // The reply has been received; if the durability freeze has
+            // not fired yet, every byte of region j must survive a crash.
+            if dev2.crash_plan_fired().is_none() {
+                *acked2.lock() += 1;
+            }
+        }
+        fs2.unregister_write_buffer(reg).unwrap();
+        fs2.close(fd).unwrap();
+        k2.delegation().shutdown();
+    });
+    rt.run();
+    let n = *acked.lock();
+    n
+}
+
+/// One torn-store crash iteration against the delegated trace.
+fn deleg_torn_one(k: u64) {
+    let (dev, kernel, fs) = delegated_world();
+    dev.arm_crash_plan(FaultPlan::crash_at_point(k).with_torn_store());
+    let acked = run_delegated_trace(&dev, &kernel, &fs, SWEEP_SEED);
+    let jpages = fs.journal_pages();
+    drop(fs);
+    drop(kernel);
+    let report = dev.crash();
+    let ctx = format!("seed={SWEEP_SEED:#x} crash_point={k} torn=true acked={acked}\n{report}");
+
+    let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+    arckfs::journal::Journal::recover(&kh, &jpages)
+        .unwrap_or_else(|e| panic!("journal recovery failed: {e:?}\n{ctx}"));
+    let kernel2 = KernelController::recover(Arc::clone(&dev), KernelConfig::default())
+        .unwrap_or_else(|e| panic!("kernel recovery failed: {e:?}\n{ctx}"));
+    let bad = kernel2.fsck();
+    assert!(bad.is_empty(), "fsck found violations after recovery: {bad:?}\n{ctx}");
+
+    if acked == 0 {
+        return; // crash fired before any delegated ack — nothing to pin
+    }
+    // acked > 0 means the sizing base write completed pre-freeze, so the
+    // file itself is durable and full-length.
+    let fs2 = ArckFs::mount(kernel2, 1000, 1000, ArckFsConfig::no_delegation());
+    let rec = readback(&fs2, SWEEP_SEED);
+    let got = match rec.get("/deleg") {
+        Some(Some(data)) => data,
+        other => panic!("/deleg lost after recovery (found {other:?})\n{ctx}"),
+    };
+    assert!(got.len() >= acked * DELEG_CHUNK, "acked regions truncated\n{ctx}");
+    for j in 0..acked {
+        let region = &got[j * DELEG_CHUNK..(j + 1) * DELEG_CHUNK];
+        if let Some(i) = region.iter().position(|&b| b != deleg_fill(j)) {
+            panic!(
+                "acked delegated write {j} not fully durable after a torn-store \
+                 crash: byte {i} is {:#x}, want {:#x} — the worker replied before \
+                 its Durable witness\n{ctx}",
+                region[i],
+                deleg_fill(j)
+            );
+        }
+    }
+}
+
+/// Acked ⇒ durable under the typestate API (DESIGN.md §18): the worker's
+/// write pass must hold a `Durable<ExtentProof>` from `write_extent_hashed`
+/// — stores flushed *and fenced* — before its reply is sent. Swept under
+/// the torn-store fault mode, where an unfenced in-flight store may leak
+/// an arbitrary aligned 8-byte prefix to media: if an ack ever preceded
+/// the fence, some crash point in the sweep would surface a torn or
+/// reverted region inside the acked prefix.
+#[test]
+fn delegated_acked_writes_survive_torn_store_crashes() {
+    let total = {
+        let (dev, kernel, fs) = delegated_world();
+        let n = run_delegated_trace(&dev, &kernel, &fs, SWEEP_SEED);
+        assert_eq!(n, DELEG_WRITES, "unarmed delegated trace must complete");
+        dev.persistence_points()
+    };
+    // Each iteration rebuilds a 2-node world and runs full recovery, so
+    // sample the domain; TRIO_DELEG_TORN_POINTS widens it when needed.
+    let points: u64 = std::env::var("TRIO_DELEG_TORN_POINTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(16);
+    let stride = (total / points).max(1) as usize;
+    println!("delegated torn-store sweep over {total} crash points, stride {stride}");
+    for k in (1..total).step_by(stride) {
+        deleg_torn_one(k);
+    }
+}
+
 /// The engine's replayability contract: the same `(seed, crash_point)`
 /// pair yields a byte-identical crash report and recovered state.
 #[test]

@@ -113,9 +113,9 @@ fn prepare_publish_protocol() {
         let d =
             DirentData::new(name.as_bytes(), CoreFileType::Regular, trio_fsapi::Mode::RW, 1, 1);
         let r = DirentRef::new(&h, loc);
-        r.prepare(&d).unwrap();
+        let w = r.prepare(&d).unwrap();
         assert_eq!(r.ino().unwrap(), 0, "case {case}");
-        r.publish(ino).unwrap();
+        r.publish(ino, &w).unwrap();
         let back = r.load().unwrap();
         assert_eq!(back.ino, ino, "case {case}");
         assert_eq!(back.name, name.as_bytes().to_vec(), "case {case}");
