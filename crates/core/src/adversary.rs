@@ -83,10 +83,23 @@ pub enum Mutation {
     /// must fault it cleanly ([`trio_nvm::ProtError::GrantRevoked`]), never
     /// serve the old bytes.
     DelegGrantStale,
+    /// Media production (the environment as adversary): poison one cache
+    /// line of a victim data page, then let the victim read. Reads over
+    /// the dead line must fail *typed* (`Corrupted`), never hand back
+    /// garbage — and the innocent grant holder must never be quarantined
+    /// for the medium's fault. Requires the `faults` feature; a skipped
+    /// draw otherwise.
+    MediaPoisonRead,
+    /// Media production: silently flip a byte under an intact integrity
+    /// sidecar (bit rot), then run a full patrol scrub pass. The scrubber
+    /// must notice the checksum mismatch and fence the page so later reads
+    /// fail loudly instead of returning rotten bytes. Skipped when the
+    /// victim has no checksummed page (sidecars ride delegated writes).
+    MediaRotScrub,
 }
 
 /// Every production, for exhaustive sweeps and report indexing.
-pub const ALL_MUTATIONS: [Mutation; 20] = [
+pub const ALL_MUTATIONS: [Mutation; 22] = [
     Mutation::DirentFieldFlip,
     Mutation::DirentClear,
     Mutation::DirentForge,
@@ -107,6 +120,8 @@ pub const ALL_MUTATIONS: [Mutation; 20] = [
     Mutation::DelegRunBomb,
     Mutation::DelegGrantForge,
     Mutation::DelegGrantStale,
+    Mutation::MediaPoisonRead,
+    Mutation::MediaRotScrub,
 ];
 
 impl Mutation {
@@ -133,6 +148,8 @@ impl Mutation {
             Mutation::DelegRunBomb => "deleg_run_bomb",
             Mutation::DelegGrantForge => "deleg_grant_forge",
             Mutation::DelegGrantStale => "deleg_grant_stale",
+            Mutation::MediaPoisonRead => "media_poison_read",
+            Mutation::MediaRotScrub => "media_rot_scrub",
         }
     }
 
@@ -155,6 +172,14 @@ impl Mutation {
                 | Mutation::IndexSwap
                 | Mutation::IndexTruncate
         )
+    }
+
+    /// Whether this production models the *medium* failing rather than a
+    /// hostile LibFS. Media faults are held to a different contract: reads
+    /// over lost lines fail typed (never garbage), and the innocent grant
+    /// holder is never quarantined for them.
+    pub fn is_media(self) -> bool {
+        matches!(self, Mutation::MediaPoisonRead | Mutation::MediaRotScrub)
     }
 }
 
@@ -184,7 +209,7 @@ pub fn run_mutation(
 ) -> FsResult<String> {
     let victim_path = trio_fsapi::path::join(dir_path, victim);
     let (_dir_loc, _dir_index, dir_data) = fs.debug_file_pages(dir_path)?;
-    let (vic_loc, vic_index, _vic_data) = fs.debug_file_pages(&victim_path)?;
+    let (vic_loc, vic_index, vic_data) = fs.debug_file_pages(&victim_path)?;
     let h = fs.handle();
     let vic_loc = vic_loc.ok_or(FsError::NotFound)?;
     let vic = DirentRef::new(h, vic_loc);
@@ -458,6 +483,42 @@ pub fn run_mutation(
             let r = submit_hostile(fs, rng, req, 1);
             grants.revoke(fs.actor(), id);
             r.map(|s| format!("{s} ({how} grant)"))
+        }
+        #[cfg(not(feature = "faults"))]
+        Mutation::MediaPoisonRead | Mutation::MediaRotScrub => {
+            let _ = &vic_data;
+            Err(FsError::InvalidArgument) // skipped: no fault injection
+        }
+        #[cfg(feature = "faults")]
+        Mutation::MediaPoisonRead => {
+            let pages: Vec<PageId> = vic_data.iter().flatten().copied().collect();
+            if pages.is_empty() {
+                return Err(FsError::NotFound);
+            }
+            let page = pages[rng.gen_range(pages.len() as u64) as usize];
+            let line = rng.gen_range((PAGE_SIZE / trio_nvm::CACHE_LINE) as u64) as u16;
+            h.device().poison_line(page, line);
+            Ok(format!("poisoned line {line} of data page {}", page.0))
+        }
+        #[cfg(feature = "faults")]
+        Mutation::MediaRotScrub => {
+            // Rot only bites where an integrity sidecar can catch it;
+            // unchecksummed pages would rot silently, which is a modelled
+            // non-goal, not a defense to exercise.
+            let page = vic_data
+                .iter()
+                .flatten()
+                .find(|p| matches!(h.device().page_csum(**p), Ok(Some(_))))
+                .copied()
+                .ok_or(FsError::NotFound)?;
+            let off = rng.gen_range(PAGE_SIZE as u64) as usize;
+            h.device().rot_byte(page, off);
+            let total = h.device().topology().total_pages() as usize;
+            let rep = fs.kernel().scrub_pass(total);
+            Ok(format!(
+                "rotted byte {off} of page {}; scrub saw {} rot, fenced {}",
+                page.0, rep.rot_pages, rep.fenced_off
+            ))
         }
     }
 }

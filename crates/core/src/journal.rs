@@ -4,7 +4,10 @@
 //!
 //! The journal is per-LibFS, sharded so concurrent renames on different
 //! shards do not serialize (the paper makes journals per-CPU). Each shard
-//! owns one NVM page from the LibFS's pool with this layout:
+//! owns a **mirrored pair** of NVM pages from the LibFS's pool — a
+//! poisoned or bit-rotted journal head would otherwise turn one armed
+//! rename into unrecoverable metadata loss (DESIGN.md §19). Both copies
+//! carry the same layout:
 //!
 //! | offset | field                                  |
 //! |-------:|----------------------------------------|
@@ -13,14 +16,22 @@
 //! |     16 | src slot                               |
 //! |     24 | dst dirent page                        |
 //! |     32 | dst slot                               |
+//! |     40 | seahash over locations + image         |
 //! |     64 | 256-byte pre-image of the src dirent   |
 //!
-//! Protocol: write the record, persist, arm (atomic), mutate core state,
-//! disarm (atomic). Recovery finds armed shards and *undoes*: restore the
-//! src dirent image, clear the dst dirent.
+//! Protocol: persist the record body (locations, image, checksum) on the
+//! primary and the mirror, arm the **mirror first**, then the primary;
+//! disarm in the opposite order. Either-copy-armed therefore implies at
+//! least one durable, checksummed body, and undo is idempotent, so a
+//! crash between the two arm (or disarm) publishes is harmless.
+//! Recovery prefers the primary, falls back to the mirror on a poisoned
+//! line or checksum mismatch, and rewrites the bad twin in place (the
+//! full-line stores clear poison in the device model).
+
+use std::sync::Arc;
 
 use trio_layout::{DirentLoc, DIRENT_SIZE};
-use trio_nvm::{NvmHandle, PageId, ProtError};
+use trio_nvm::{checksum::checksum, NvmHandle, PageId, ProtError, CACHE_LINE, PAGE_SIZE};
 use trio_sim::sync::SimMutex;
 
 const OFF_STATE: usize = 0;
@@ -28,30 +39,193 @@ const OFF_SRC_PAGE: usize = 8;
 const OFF_SRC_SLOT: usize = 16;
 const OFF_DST_PAGE: usize = 24;
 const OFF_DST_SLOT: usize = 32;
+const OFF_CSUM: usize = 40;
 const OFF_IMAGE: usize = 64;
 
 const SHARDS: usize = 8;
 
-/// The sharded undo journal.
+/// Cache lines a journal record occupies (line 0 holds the header words,
+/// the pre-image follows at [`OFF_IMAGE`]). Poison in later lines is dead
+/// bytes, not record loss — the kernel's patrol scrubber uses this bound
+/// when judging a registered twin.
+pub const RECORD_LINES: u16 = ((OFF_IMAGE + DIRENT_SIZE).div_ceil(CACHE_LINE)) as u16;
+
+/// One raw journal record as read back from a page (any validity).
+#[derive(Clone)]
+struct RawRecord {
+    state: u64,
+    src: DirentLoc,
+    dst: DirentLoc,
+    csum: u64,
+    image: [u8; DIRENT_SIZE],
+}
+
+impl RawRecord {
+    /// Whether the body checksum seals the locations + image.
+    fn body_valid(&self) -> bool {
+        self.csum == body_csum(&self.src, &self.dst, &self.image)
+    }
+}
+
+/// Seahash over the four location words and the pre-image — the state
+/// word is excluded (it flips on arm/disarm without resealing).
+fn body_csum(src: &DirentLoc, dst: &DirentLoc, image: &[u8; DIRENT_SIZE]) -> u64 {
+    let mut buf = [0u8; 32 + DIRENT_SIZE];
+    buf[0..8].copy_from_slice(&src.page.0.to_le_bytes());
+    buf[8..16].copy_from_slice(&(src.slot as u64).to_le_bytes());
+    buf[16..24].copy_from_slice(&dst.page.0.to_le_bytes());
+    buf[24..32].copy_from_slice(&(dst.slot as u64).to_le_bytes());
+    buf[32..].copy_from_slice(image);
+    checksum(&buf)
+}
+
+/// Validates a raw journal-page image (line 0 + pre-image lines) against
+/// its body checksum — the format knowledge the kernel's patrol scrubber
+/// borrows to judge which twin of a registered pair is still good. A
+/// disarmed record with a sealed body is valid; a page whose seal does
+/// not cover its locations + image is not. `raw` must be a full page.
+pub fn record_media_ok(raw: &[u8]) -> bool {
+    if raw.len() != PAGE_SIZE {
+        return false;
+    }
+    let word = |off: usize| u64::from_le_bytes(raw[off..off + 8].try_into().unwrap_or([0; 8]));
+    let src = DirentLoc { page: PageId(word(OFF_SRC_PAGE)), slot: word(OFF_SRC_SLOT) as usize };
+    let dst = DirentLoc { page: PageId(word(OFF_DST_PAGE)), slot: word(OFF_DST_SLOT) as usize };
+    let mut image = [0u8; DIRENT_SIZE];
+    image.copy_from_slice(&raw[OFF_IMAGE..OFF_IMAGE + DIRENT_SIZE]);
+    word(OFF_CSUM) == body_csum(&src, &dst, &image)
+}
+
+/// Reads a whole record; `Err` means the media faulted (poisoned line).
+fn read_raw(h: &NvmHandle, page: PageId) -> Result<RawRecord, ProtError> {
+    let state = h.read_u64(page, OFF_STATE)?;
+    let src = DirentLoc {
+        page: PageId(h.read_u64(page, OFF_SRC_PAGE)?),
+        slot: h.read_u64(page, OFF_SRC_SLOT)? as usize,
+    };
+    let dst = DirentLoc {
+        page: PageId(h.read_u64(page, OFF_DST_PAGE)?),
+        slot: h.read_u64(page, OFF_DST_SLOT)? as usize,
+    };
+    let csum = h.read_u64(page, OFF_CSUM)?;
+    let mut image = [0u8; DIRENT_SIZE];
+    h.read_untimed(page, OFF_IMAGE, &mut image)?;
+    Ok(RawRecord { state, src, dst, csum, image })
+}
+
+/// Persists one copy's record body and returns its durability witness.
+fn persist_body(
+    h: &NvmHandle,
+    page: PageId,
+    src: DirentLoc,
+    dst: DirentLoc,
+    image: &[u8; DIRENT_SIZE],
+    csum: u64,
+) -> Result<trio_nvm::Durable<impl trio_nvm::Spans>, ProtError> {
+    // The five location/seal words are contiguous on line 0: store them
+    // as one span so the line is written and flushed exactly once —
+    // per-word store/flush pairs on a shared line are the
+    // store-while-flushed / redundant-flush hazards the sanitizer flags.
+    let img = h.flush_dirty(h.write_dirty(page, OFF_IMAGE, image)?);
+    let mut head = [0u8; OFF_CSUM + 8 - OFF_SRC_PAGE];
+    for (i, word) in [src.page.0, src.slot as u64, dst.page.0, dst.slot as u64, csum]
+        .into_iter()
+        .enumerate()
+    {
+        head[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+    }
+    let head = h.flush_dirty(h.write_dirty(page, OFF_SRC_PAGE, &head)?);
+    Ok(h.fence_flushed(img.and(head)))
+}
+
+/// Rewrites a whole record (full line 0 + full image lines) with the
+/// given state — the twin-repair primitive: full-line stores clear
+/// poisoned lines, and the rewrite reseals the body in one pass.
+fn rewrite_record(h: &NvmHandle, page: PageId, r: &RawRecord, state: u64) -> Result<(), ProtError> {
+    let mut l0 = [0u8; CACHE_LINE];
+    l0[OFF_STATE..OFF_STATE + 8].copy_from_slice(&state.to_le_bytes());
+    l0[OFF_SRC_PAGE..OFF_SRC_PAGE + 8].copy_from_slice(&r.src.page.0.to_le_bytes());
+    l0[OFF_SRC_SLOT..OFF_SRC_SLOT + 8].copy_from_slice(&(r.src.slot as u64).to_le_bytes());
+    l0[OFF_DST_PAGE..OFF_DST_PAGE + 8].copy_from_slice(&r.dst.page.0.to_le_bytes());
+    l0[OFF_DST_SLOT..OFF_DST_SLOT + 8].copy_from_slice(&(r.dst.slot as u64).to_le_bytes());
+    let seal = body_csum(&r.src, &r.dst, &r.image);
+    l0[OFF_CSUM..OFF_CSUM + 8].copy_from_slice(&seal.to_le_bytes());
+    let a = h.flush_dirty(h.write_dirty(page, 0, &l0)?);
+    let b = h.flush_dirty(h.write_dirty(page, OFF_IMAGE, &r.image)?);
+    let _durable = h.fence_flushed(a.and(b));
+    Ok(())
+}
+
+/// What [`Journal::recover_pairs`] did across one scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Armed renames undone.
+    pub undone: usize,
+    /// Journal copies rewritten from their healthy twin (poison cleared
+    /// or bit rot resealed).
+    pub repaired: usize,
+    /// Armed records whose body validated on neither copy — media
+    /// destroyed both twins; the rename is neither undone nor replayed.
+    pub unrecoverable: usize,
+}
+
+/// A shard's lock + page-pair cell, shared with the kernel's patrol
+/// scrubber at twin registration: the scrubber `try_lock`s it before a
+/// twin repair, so repair and arm/disarm are mutually exclusive rather
+/// than merely unlikely to collide.
+pub type JournalShardSlot = Arc<SimMutex<Option<(PageId, PageId)>>>;
+
+/// The sharded, mirrored undo journal.
 pub struct Journal {
-    shards: Box<[SimMutex<Option<PageId>>]>,
+    /// `(primary, mirror)` per shard; `primary == mirror` means the shard
+    /// runs unmirrored (single-page legacy harnesses).
+    shards: Box<[JournalShardSlot]>,
 }
 
 impl Journal {
-    /// Creates an empty journal; pages attach lazily per shard.
+    /// Creates an empty journal; page pairs attach lazily per shard.
     pub fn new() -> Self {
-        Journal { shards: (0..SHARDS).map(|_| SimMutex::new(None)).collect() }
+        Journal { shards: (0..SHARDS).map(|_| Arc::new(SimMutex::new(None))).collect() }
     }
 
-    /// Pages currently backing the journal (for crash-recovery scans).
+    /// The shard slots themselves (for twin registration with the kernel
+    /// scrubber — see [`JournalShardSlot`]).
+    pub fn shard_slots(&self) -> Vec<JournalShardSlot> {
+        self.shards.iter().map(Arc::clone).collect()
+    }
+
+    /// All distinct pages currently backing the journal (for crash scans
+    /// and corruption harnesses).
     pub fn pages(&self) -> Vec<PageId> {
-        self.shards.iter().filter_map(|s| *s.lock()).collect()
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            if let Some((p, m)) = *s.lock() {
+                out.push(p);
+                if m != p {
+                    out.push(m);
+                }
+            }
+        }
+        out
     }
 
-    /// Arms a rename record and returns a guard; dropping the guard
-    /// without [`JournalGuard::disarm`] leaves it armed (crash window).
+    /// The `(primary, mirror)` pairs currently attached; `None` mirror
+    /// means the shard is unmirrored.
+    pub fn page_pairs(&self) -> Vec<(PageId, Option<PageId>)> {
+        self.shards
+            .iter()
+            .filter_map(|s| *s.lock())
+            .map(|(p, m)| (p, (m != p).then_some(m)))
+            .collect()
+    }
+
+    /// Arms a rename record on both copies and returns a guard; dropping
+    /// the guard without [`JournalGuard::disarm`] leaves it armed (crash
+    /// window).
     ///
-    /// `alloc` provides the shard's NVM page on first use.
+    /// `alloc` provides the shard's NVM pages on first use (called twice:
+    /// primary, then mirror; returning the same page twice degrades the
+    /// shard to unmirrored operation).
     pub fn begin_rename<'a>(
         &'a self,
         h: &NvmHandle,
@@ -63,65 +237,108 @@ impl Journal {
     ) -> Result<JournalGuard<'a>, trio_fsapi::FsError> {
         let slot = &self.shards[shard_hint % SHARDS];
         let mut guard = slot.lock();
-        let page = match *guard {
-            Some(p) => p,
+        let (primary, mirror) = match *guard {
+            Some(pair) => pair,
             None => {
                 let p = alloc()?;
-                *guard = Some(p);
-                p
+                let m = alloc()?;
+                *guard = Some((p, m));
+                (p, m)
             }
         };
-        // Record body through the typestate pipeline: the pre-image and
-        // the four location words each become Durable witnesses (same
-        // store/flush/fence schedule as the raw persists they replace),
-        // and arming only type-checks against the joined witness — the
-        // record cannot go live before its body is durable.
-        let img = h.flush_dirty(h.write_dirty(page, OFF_IMAGE, src_image).map_err(fault)?);
-        let f1 = h.flush_dirty(h.store_u64_dirty(page, OFF_SRC_PAGE, src.page.0).map_err(fault)?);
-        let d1 = h.fence_flushed(img.and(f1));
-        let d2 = h
-            .fence_flushed(h.flush_dirty(h.store_u64_dirty(page, OFF_SRC_SLOT, src.slot as u64).map_err(fault)?));
-        let d3 = h
-            .fence_flushed(h.flush_dirty(h.store_u64_dirty(page, OFF_DST_PAGE, dst.page.0).map_err(fault)?));
-        let d4 = h
-            .fence_flushed(h.flush_dirty(h.store_u64_dirty(page, OFF_DST_SLOT, dst.slot as u64).map_err(fault)?));
-        let record = d1.and(d2).and(d3).and(d4);
-        // Arm last: the Durable witness proves everything above is
-        // persistent before the record goes live, and the sanitize build
-        // re-checks each witnessed range against the tracker.
-        h.publish_u64(page, OFF_STATE, 1, &record).map_err(fault)?;
-        Ok(JournalGuard { h: h.clone(), page, _slot: guard })
+        let csum = body_csum(&src, &dst, src_image);
+        // Record bodies through the typestate pipeline: each copy's image,
+        // location words, and seal become one joined Durable witness, and
+        // arming only type-checks against that witness — a record cannot
+        // go live before its body is durable. Mirror arms first: any state
+        // in which the primary reads armed then has an armed, sealed twin.
+        let dp = persist_body(h, primary, src, dst, src_image, csum).map_err(fault)?;
+        if mirror != primary {
+            let dm = persist_body(h, mirror, src, dst, src_image, csum).map_err(fault)?;
+            h.publish_u64(mirror, OFF_STATE, 1, &dm).map_err(fault)?;
+        }
+        h.publish_u64(primary, OFF_STATE, 1, &dp).map_err(fault)?;
+        Ok(JournalGuard { h: h.clone(), primary, mirror, _slot: guard })
     }
 
-    /// Scans the journal pages of a crashed LibFS and undoes any armed
-    /// rename: restores the src dirent pre-image and clears the dst slot.
-    /// Runs with a privileged (kernel) handle during recovery.
+    /// Legacy single-copy scan: every page is treated as an unmirrored
+    /// shard. Returns the number of armed renames undone.
     pub fn recover(h: &NvmHandle, pages: &[PageId]) -> Result<usize, ProtError> {
-        let mut undone = 0;
-        for &page in pages {
-            if h.read_u64(page, OFF_STATE)? != 1 {
+        let pairs: Vec<(PageId, Option<PageId>)> = pages.iter().map(|&p| (p, None)).collect();
+        Ok(Self::recover_pairs(h, &pairs)?.undone)
+    }
+
+    /// Scans the journal page pairs of a crashed LibFS and undoes any
+    /// armed rename: restores the src dirent pre-image and clears the dst
+    /// dirent. Falls back to the mirror when the primary is poisoned or
+    /// fails its body checksum, and rewrites the bad twin from the good
+    /// one (media repair). Runs with a privileged (kernel) handle.
+    pub fn recover_pairs(
+        h: &NvmHandle,
+        pairs: &[(PageId, Option<PageId>)],
+    ) -> Result<JournalRecovery, ProtError> {
+        let mut out = JournalRecovery::default();
+        for &(primary, mirror) in pairs {
+            let rp = read_raw(h, primary);
+            let rm = mirror.map(|m| read_raw(h, m));
+            let armed = matches!(&rp, Ok(r) if r.state == 1)
+                || matches!(&rm, Some(Ok(r)) if r.state == 1);
+            if !armed {
+                // Idle shard: twin-repair a poisoned copy so the journal
+                // page stays usable (bit rot on an idle body is repaired
+                // lazily by the next rename's body rewrite).
+                if let Some(m) = mirror {
+                    match (&rp, &rm) {
+                        (Ok(r), Some(Err(_))) => {
+                            rewrite_record(h, m, r, r.state)?;
+                            out.repaired += 1;
+                        }
+                        (Err(_), Some(Ok(r))) => {
+                            rewrite_record(h, primary, r, r.state)?;
+                            out.repaired += 1;
+                        }
+                        _ => {}
+                    }
+                }
                 continue;
             }
-            let src = DirentLoc {
-                page: PageId(h.read_u64(page, OFF_SRC_PAGE)?),
-                slot: h.read_u64(page, OFF_SRC_SLOT)? as usize,
+            // Pick a sealed body: primary first, then the mirror.
+            let p_good = rp.as_ref().ok().filter(|r| r.body_valid()).cloned();
+            let m_good = match &rm {
+                Some(Ok(r)) if r.body_valid() => Some(r.clone()),
+                _ => None,
             };
-            let dst = DirentLoc {
-                page: PageId(h.read_u64(page, OFF_DST_PAGE)?),
-                slot: h.read_u64(page, OFF_DST_SLOT)? as usize,
+            let Some(r) = p_good.clone().or(m_good.clone()) else {
+                // Both twins destroyed: nothing trustworthy to undo from.
+                out.unrecoverable += 1;
+                continue;
             };
-            let mut image = [0u8; DIRENT_SIZE];
-            h.read_untimed(page, OFF_IMAGE, &mut image)?;
             // Undo order: clear dst first (it may alias a replaced file),
             // then restore src, then disarm. Disarming publishes against
             // the restore's Durable witness: the record cannot read as
             // idle while the src image could still be torn.
-            h.write_u64_persist(dst.page, dst.byte_off(), 0)?;
-            let restored = h.persist_dirty(h.write_dirty(src.page, src.byte_off(), &image)?);
-            h.publish_u64(page, OFF_STATE, 0, &restored)?;
-            undone += 1;
+            h.write_u64_persist(r.dst.page, r.dst.byte_off(), 0)?;
+            let restored = h.persist_dirty(h.write_dirty(r.src.page, r.src.byte_off(), &r.image)?);
+            if p_good.is_some() {
+                h.publish_u64(primary, OFF_STATE, 0, &restored)?;
+            } else {
+                // Bad primary: full rewrite from the good twin repairs the
+                // media and lands it disarmed in the same pass (ordered
+                // after the fenced restore above).
+                rewrite_record(h, primary, &r, 0)?;
+                out.repaired += 1;
+            }
+            if let Some(m) = mirror {
+                if m_good.is_some() {
+                    h.write_u64_persist(m, OFF_STATE, 0)?;
+                } else {
+                    rewrite_record(h, m, &r, 0)?;
+                    out.repaired += 1;
+                }
+            }
+            out.undone += 1;
         }
-        Ok(undone)
+        Ok(out)
     }
 }
 
@@ -135,14 +352,20 @@ impl Default for Journal {
 /// mutations are persistent.
 pub struct JournalGuard<'a> {
     h: NvmHandle,
-    page: PageId,
-    _slot: trio_sim::sync::SimMutexGuard<'a, Option<PageId>>,
+    primary: PageId,
+    mirror: PageId,
+    _slot: trio_sim::sync::SimMutexGuard<'a, Option<(PageId, PageId)>>,
 }
 
 impl JournalGuard<'_> {
-    /// Marks the rename complete (idle record).
+    /// Marks the rename complete on both copies (primary first, so an
+    /// armed primary always still has an armed twin behind it).
     pub fn disarm(self) -> Result<(), ProtError> {
-        self.h.write_u64_persist(self.page, OFF_STATE, 0)
+        self.h.write_u64_persist(self.primary, OFF_STATE, 0)?;
+        if self.mirror != self.primary {
+            self.h.write_u64_persist(self.mirror, OFF_STATE, 0)?;
+        }
+        Ok(())
     }
 }
 
@@ -165,6 +388,16 @@ mod tests {
         NvmHandle::new(dev, ActorId(1))
     }
 
+    /// Mirrored alloc: first call gets page 10, second page 11.
+    fn paired_alloc() -> impl FnMut() -> Result<PageId, trio_fsapi::FsError> {
+        let mut next = 10u64;
+        move || {
+            let p = PageId(next);
+            next += 1;
+            Ok(p)
+        }
+    }
+
     #[test]
     fn armed_record_roundtrip_and_recovery() {
         let h = setup();
@@ -179,7 +412,7 @@ mod tests {
         let mut image = [0u8; DIRENT_SIZE];
         h.read_untimed(src.page, src.byte_off(), &mut image).unwrap();
 
-        let g = j.begin_rename(&h, 0, src, dst, &image, || Ok(PageId(10))).unwrap();
+        let g = j.begin_rename(&h, 0, src, dst, &image, paired_alloc()).unwrap();
         drop(g); // Crash with the record armed.
 
         // Simulate the half-done rename: dst published, src cleared.
@@ -190,14 +423,15 @@ mod tests {
         dref.publish(42, &w2).unwrap();
         sref.clear().unwrap();
 
-        let undone = Journal::recover(&h, &j.pages()).unwrap();
-        assert_eq!(undone, 1);
+        let rec = Journal::recover_pairs(&h, &j.page_pairs()).unwrap();
+        assert_eq!(rec.undone, 1);
+        assert_eq!(rec.unrecoverable, 0);
         // Undo restored the original world.
         assert_eq!(sref.load().unwrap().name_str(), Some("victim"));
         assert_eq!(sref.ino().unwrap(), 42);
         assert_eq!(dref.ino().unwrap(), 0);
         // Idempotent.
-        assert_eq!(Journal::recover(&h, &j.pages()).unwrap(), 0);
+        assert_eq!(Journal::recover_pairs(&h, &j.page_pairs()).unwrap().undone, 0);
     }
 
     #[test]
@@ -207,8 +441,56 @@ mod tests {
         let src = DirentLoc { page: PageId(2), slot: 0 };
         let dst = DirentLoc { page: PageId(3), slot: 0 };
         let image = [7u8; DIRENT_SIZE];
+        let g = j.begin_rename(&h, 0, src, dst, &image, paired_alloc()).unwrap();
+        g.disarm().unwrap();
+        assert_eq!(Journal::recover_pairs(&h, &j.page_pairs()).unwrap().undone, 0);
+        // Flat legacy scan over both twins agrees.
+        assert_eq!(Journal::recover(&h, &j.pages()).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_page_alloc_degrades_to_unmirrored() {
+        let h = setup();
+        let j = Journal::new();
+        let src = DirentLoc { page: PageId(2), slot: 0 };
+        let dst = DirentLoc { page: PageId(3), slot: 0 };
+        let image = [9u8; DIRENT_SIZE];
         let g = j.begin_rename(&h, 0, src, dst, &image, || Ok(PageId(10))).unwrap();
         g.disarm().unwrap();
-        assert_eq!(Journal::recover(&h, &j.pages()).unwrap(), 0);
+        assert_eq!(j.pages(), vec![PageId(10)]);
+        assert_eq!(j.page_pairs(), vec![(PageId(10), None)]);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn poisoned_primary_recovers_from_mirror_and_repairs() {
+        let h = setup();
+        let dev = Arc::clone(h.device());
+        let j = Journal::new();
+        let src = DirentLoc { page: PageId(2), slot: 0 };
+        let dst = DirentLoc { page: PageId(3), slot: 1 };
+        let d = DirentData::new(b"victim", CoreFileType::Regular, trio_fsapi::Mode::RW, 1, 1);
+        let sref = DirentRef::new(&h, src);
+        let w = sref.prepare(&d).unwrap();
+        sref.publish(42, &w).unwrap();
+        let mut image = [0u8; DIRENT_SIZE];
+        h.read_untimed(src.page, src.byte_off(), &mut image).unwrap();
+
+        let g = j.begin_rename(&h, 0, src, dst, &image, paired_alloc()).unwrap();
+        drop(g); // Crash armed.
+        sref.clear().unwrap(); // Half-done rename.
+
+        // Media kills the primary's record line AND an image line.
+        dev.poison_line(PageId(10), 0);
+        dev.poison_line(PageId(10), 2);
+
+        let rec = Journal::recover_pairs(&h, &j.page_pairs()).unwrap();
+        assert_eq!(rec.undone, 1);
+        assert!(rec.repaired >= 1);
+        assert_eq!(sref.load().unwrap().name_str(), Some("victim"));
+        // The rewrite cleared the primary's poison.
+        assert!(!dev.page_has_poison(PageId(10)));
+        // And the repaired primary now recovers standalone.
+        assert_eq!(Journal::recover_pairs(&h, &j.page_pairs()).unwrap().undone, 0);
     }
 }

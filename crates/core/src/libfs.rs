@@ -208,6 +208,45 @@ impl ArckFs {
         self.journal.pages()
     }
 
+    /// Journal `(primary, mirror)` pairs for twin-aware recovery and the
+    /// kernel patrol scrubber's twin-repair registration (DESIGN.md §19).
+    pub fn journal_page_pairs(&self) -> Vec<(PageId, Option<PageId>)> {
+        self.journal.page_pairs()
+    }
+
+    /// Registers every mirrored journal shard with the kernel's patrol
+    /// scrubber for twin repair (DESIGN.md §19): the kernel learns the
+    /// pair, the record's line budget, a body validator, and — crucially —
+    /// the shard's own lock, so a repair can never interleave with an
+    /// arm/disarm in flight. Shards lazily allocate on their first rename,
+    /// so call this after the journal has seen traffic; unallocated and
+    /// unmirrored shards are skipped. Returns how many pairs were
+    /// registered.
+    pub fn register_journal_twins(&self) -> usize {
+        let mut registered = 0;
+        for slot in self.journal.shard_slots() {
+            let pair = *slot.lock();
+            if let Some((primary, mirror)) = pair {
+                if primary != mirror
+                    && self
+                        .kernel
+                        .register_journal_twin(
+                            self.actor,
+                            primary,
+                            mirror,
+                            crate::journal::record_media_ok,
+                            crate::journal::RECORD_LINES,
+                            Arc::clone(&slot),
+                        )
+                        .is_ok()
+                {
+                    registered += 1;
+                }
+            }
+        }
+        registered
+    }
+
     /// Allocates a descriptor directly for a resolved node (FPFS fast
     /// path).
     pub fn open_node(&self, node: Arc<FileNode>, flags: trio_fsapi::OpenFlags) -> trio_fsapi::Fd {

@@ -24,12 +24,15 @@ pub mod mapping;
 pub mod quarantine;
 pub mod registry;
 pub mod retry;
+pub mod scrub;
 
 pub use delegation::DegradedMode;
 pub use grant::{GrantRef, GrantTable};
 pub use retry::RetryPolicy;
+pub use scrub::{MediaStats, MediaStatsSnapshot, PatrolHandle, ScrubReport};
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult, Mode, SetAttr};
@@ -47,6 +50,8 @@ use trio_verifier::{InoProvenance, PageProvenance, Verifier, VerifyRequest, Viol
 use delegation::{DelegationConfig, DelegationPool};
 use quarantine::ResilienceStats;
 use registry::{Credentials, KernelEvent, Registry};
+use scrub::{JournalTwin, RetireState};
+use trio_layout::superblock_replica_page;
 
 /// Controller tunables.
 #[derive(Clone, Debug)]
@@ -82,6 +87,12 @@ pub struct KernelConfig {
     /// attempt, matching the pre-policy behaviour bit for bit; every
     /// wait is additionally clamped to the remaining lease.
     pub lease_retry: RetryPolicy,
+    /// Media-fault observations a page may accumulate before the patrol
+    /// scrubber retires it (DESIGN.md §19).
+    pub retire_fault_threshold: u32,
+    /// Pages one patrol pass probes (the scrub budget bounds background
+    /// interference with the data path).
+    pub scrub_budget_pages: usize,
 }
 
 impl Default for KernelConfig {
@@ -96,6 +107,8 @@ impl Default for KernelConfig {
             max_dir_entries: 1 << 20,
             auto_repair: true,
             lease_retry: RetryPolicy::new(100 * MILLIS, 0, 8, 400 * MILLIS).no_jitter(),
+            retire_fault_threshold: 3,
+            scrub_budget_pages: 256,
         }
     }
 }
@@ -137,6 +150,18 @@ pub struct KernelController {
     /// the (virtual-time) registry lock so the allocator fast path can
     /// refuse a contained LibFS without giving up its lock-free design.
     pub(crate) quarantined_mirror: PlMutex<HashSet<ActorId>>,
+    /// Serializes every kernel write to the superblock record so the
+    /// twin-repair scrub (DESIGN.md §19) cannot interleave with a field
+    /// update. **Leaf lock**: holders must not take the registry.
+    pub(crate) sb_lock: SimMutex<()>,
+    /// Media-fault counters (scrub/repair/retire; DESIGN.md §19).
+    pub(crate) media: Arc<MediaStats>,
+    /// Bad-page retirement books.
+    pub(crate) retire: SimMutex<RetireState>,
+    /// Registered journal mirror pairs, keyed by *both* page ids.
+    pub(crate) journal_twins: PlMutex<HashMap<u64, JournalTwin>>,
+    /// Patrol position; wraps over the device.
+    pub(crate) scrub_cursor: AtomicU64,
     config: KernelConfig,
 }
 
@@ -181,14 +206,19 @@ impl KernelController {
         // just built; page 0 always exists and no LibFS is registered yet.
         sb.format(topo.total_pages(), ROOT_INO + 1).expect("kernel formats the superblock");
 
-        // Page 0 is the superblock; everything else is free, per node.
+        // Page 0 is the superblock, the last page its replica; everything
+        // else is free, per node.
+        let replica = superblock_replica_page(topo.total_pages());
         let mut pools = Vec::with_capacity(topo.nodes);
         for node in 0..topo.nodes {
             let first = topo.first_page_of(node).0;
             let start = if node == 0 { 1 } else { first };
             // LIFO pools: keep low page numbers on top for compactness.
-            let mut v: Vec<PageId> =
-                (start..first + topo.pages_per_node as u64).map(PageId).rev().collect();
+            let mut v: Vec<PageId> = (start..first + topo.pages_per_node as u64)
+                .map(PageId)
+                .filter(|p| *p != replica)
+                .rev()
+                .collect();
             v.shrink_to_fit();
             pools.push(SimMutex::new(v));
         }
@@ -217,6 +247,11 @@ impl KernelController {
             stats,
             resilience: Arc::new(ResilienceStats::new()),
             quarantined_mirror: PlMutex::new(HashSet::new()),
+            sb_lock: SimMutex::new(()),
+            media: Arc::new(MediaStats::new()),
+            retire: SimMutex::new(RetireState::default()),
+            journal_twins: PlMutex::new(HashMap::new()),
+            scrub_cursor: AtomicU64::new(0),
             config,
         })
     }
@@ -248,10 +283,14 @@ impl KernelController {
         if !sb.is_formatted().map_err(|_| FsError::Corrupted)? {
             return Err(FsError::Corrupted);
         }
+        // Heal the superblock twins before anything depends on them: a
+        // mount after a media fault re-establishes two good copies.
+        let _health = sb.scrub().map_err(|_| FsError::Corrupted)?;
         let next_ino = sb.next_ino().map_err(|_| FsError::Corrupted)?.max(ROOT_INO + 1);
         let mut registry = Registry::new();
         let mut used: HashSet<u64> = HashSet::new();
         used.insert(trio_layout::superblock::SUPERBLOCK_PAGE.0);
+        used.insert(superblock_replica_page(dev.topology().total_pages()).0);
 
         // Breadth-first walk of the committed tree. Queue entries carry the
         // dirent location so broken files can be trimmed in place.
@@ -392,6 +431,11 @@ impl KernelController {
             stats,
             resilience: Arc::new(ResilienceStats::new()),
             quarantined_mirror: PlMutex::new(HashSet::new()),
+            sb_lock: SimMutex::new(()),
+            media: Arc::new(MediaStats::new()),
+            retire: SimMutex::new(RetireState::default()),
+            journal_twins: PlMutex::new(HashMap::new()),
+            scrub_cursor: AtomicU64::new(0),
             config,
         }))
     }
@@ -538,8 +582,14 @@ impl KernelController {
         };
         // Page 0 always exists, so this cannot fail; if it ever did the
         // new LibFS would merely lack superblock visibility — nothing the
-        // kernel must panic over.
+        // kernel must panic over. The replica gets the same read-only
+        // window so the LibFS's fault-tolerant superblock reads work.
         let _ = self.dev.mmu_map(actor, trio_layout::superblock::SUPERBLOCK_PAGE, PagePerm::Read);
+        let _ = self.dev.mmu_map(
+            actor,
+            superblock_replica_page(self.dev.topology().total_pages()),
+            PagePerm::Read,
+        );
         if in_sim() {
             work(cost::MMU_PROGRAM_PAGE_NS);
         }
@@ -622,7 +672,14 @@ impl KernelController {
         if reg.quarantine.contains_key(&actor) {
             self.repair_actor_locked(&mut reg, actor);
         }
+        drop(reg);
+        // The actor's journal pages are gone with it; stop patrol-repairing
+        // them (their frames return through the normal free paths).
+        self.journal_twins.lock().retain(|_, t| t.actor != actor);
         let _ = self.dev.mmu_unmap(actor, trio_layout::superblock::SUPERBLOCK_PAGE);
+        let _ = self
+            .dev
+            .mmu_unmap(actor, superblock_replica_page(self.dev.topology().total_pages()));
     }
 
     // -----------------------------------------------------------------
@@ -804,6 +861,16 @@ impl KernelController {
         if !pinned.is_empty() {
             self.release_pages_internal(&pinned);
         }
+        // Pages past the retirement threshold leave circulation here
+        // instead of re-entering the cache.
+        let (diverted, cacheable): (Vec<PageId>, Vec<PageId>) =
+            cacheable.into_iter().partition(|p| self.divert_retired(*p));
+        if !diverted.is_empty() {
+            let mut reg = self.registry.lock();
+            for p in &diverted {
+                reg.page_prov.remove(&p.0);
+            }
+        }
         if cacheable.is_empty() {
             return;
         }
@@ -858,6 +925,9 @@ impl KernelController {
         }
         let topo = self.dev.topology();
         for p in pages {
+            if self.divert_retired(*p) {
+                continue;
+            }
             self.pools[topo.node_of(*p)].lock().push(*p);
         }
     }
@@ -876,6 +946,8 @@ impl KernelController {
         for p in pages {
             if pins.pinned.contains_key(&p.0) {
                 pins.deferred.push(*p);
+            } else if self.divert_retired(*p) {
+                // Retired: scrubbed and parked out of circulation.
             } else if self.dev.reset_page(*p).is_ok() {
                 self.pools[topo.node_of(*p)].lock().push(*p);
             }
@@ -913,6 +985,9 @@ impl KernelController {
         drop(pins);
         let topo = self.dev.topology();
         for p in ready {
+            if self.divert_retired(p) {
+                continue;
+            }
             if self.dev.reset_page(p).is_ok() {
                 self.pools[topo.node_of(p)].lock().push(p);
             }
@@ -934,8 +1009,12 @@ impl KernelController {
         };
         // Persist the high-water mark so crash recovery never reuses inos.
         // A failed write refuses the grant (the advanced counter just
-        // leaves a harmless ino gap).
-        SuperblockRef::new(&self.kh).set_next_ino(range.end).map_err(|_| FsError::Corrupted)?;
+        // leaves a harmless ino gap). `sb_lock` is a leaf: scoped to the
+        // write and released before the registry below.
+        {
+            let _sb = self.sb_lock.lock();
+            SuperblockRef::new(&self.kh).set_next_ino(range.end).map_err(|_| FsError::Corrupted)?;
+        }
         let mut reg = self.registry.lock();
         let out: Vec<Ino> = range.collect();
         for i in &out {
@@ -967,6 +1046,7 @@ impl KernelController {
                 return Err(FsError::PermissionDenied);
             }
         }
+        let _sb_guard = self.sb_lock.lock();
         let sb = SuperblockRef::new(&self.kh);
         if let Some(fi) = first_index {
             sb.set_root_first_index(fi).map_err(|_| FsError::NoSpace)?;

@@ -520,7 +520,11 @@ impl KernelController {
     // Internals.
     // =================================================================
 
-    fn current_first_index(&self, ino: Ino, dirent: Option<DirentLoc>) -> Result<u64, FsError> {
+    pub(crate) fn current_first_index(
+        &self,
+        ino: Ino,
+        dirent: Option<DirentLoc>,
+    ) -> Result<u64, FsError> {
         match dirent {
             Some(loc) => {
                 DirentRef::new(self.kernel_handle(), loc).first_index().map_err(|_| FsError::NotFound)
@@ -727,8 +731,16 @@ impl KernelController {
             // Containment: a confirmed violation by a live, registered
             // LibFS quarantines it (rollback above already stopped the
             // bleeding on this file; the quarantine covers the rest of its
-            // unvetted subtree).
-            self.maybe_quarantine_locked(reg, dirty_actor);
+            // unvetted subtree). Pure media faults are the exception: a
+            // poisoned line is the device's doing, not the writer's, so
+            // rollback repairs what it can without branding the LibFS.
+            let media_only = report
+                .violations
+                .iter()
+                .all(|v| matches!(v, trio_verifier::Violation::UnreadableData { .. }));
+            if !media_only {
+                self.maybe_quarantine_locked(reg, dirty_actor);
+            }
             false
         }
     }
@@ -771,6 +783,9 @@ impl KernelController {
             }
         }
         if let Some((fi, size)) = ck.root_fields {
+            // registry → sb_lock is the sanctioned order (sb_lock is a
+            // leaf; its holders never take the registry).
+            let _sb_guard = self.sb_lock.lock();
             let sb = SuperblockRef::new(self.kernel_handle());
             let _ = sb.set_root_first_index(fi);
             let _ = sb.set_root_size(size);

@@ -159,6 +159,41 @@ mod real {
     pub(crate) fn degraded_exit() {
         event(0, OpKind::Harness, Stage::Failover, Phase::Close, u64::MAX, u32::MAX, 0);
     }
+
+    /// A patrol-scrub pass started; returns its start time for the
+    /// matching [`scrub_pass_end`].
+    #[inline]
+    pub(crate) fn scrub_pass_begin() -> u64 {
+        event(0, OpKind::Verify, Stage::Scrub, Phase::Open, 0, u32::MAX, 0);
+        trio_obs::now_ns()
+    }
+
+    /// The pass finished after scanning `pages`, finding `faults` media
+    /// faults (poisoned lines + rotted pages).
+    #[inline]
+    pub(crate) fn scrub_pass_end(pages: u64, faults: u64, t0: u64) {
+        let ns = trio_obs::now_ns().saturating_sub(t0);
+        event(0, OpKind::Verify, Stage::Scrub, Phase::Close, faults, u32::MAX, pages);
+        record_latency(OpKind::Verify, Stage::Scrub, ns);
+    }
+
+    /// A media repair started on `page`; returns the start time for the
+    /// matching [`repair_end`].
+    #[inline]
+    pub(crate) fn repair_begin(page: u64) -> u64 {
+        event(0, OpKind::Verify, Stage::Repair, Phase::Open, page, u32::MAX, 0);
+        trio_obs::now_ns()
+    }
+
+    /// The repair on `page` completed (`route` encodes the repair route:
+    /// 0 superblock twin, 1 journal twin, 2 file rollback, 3 scrub/reset,
+    /// 4 migration).
+    #[inline]
+    pub(crate) fn repair_end(page: u64, route: u64, t0: u64) {
+        let ns = trio_obs::now_ns().saturating_sub(t0);
+        event(0, OpKind::Verify, Stage::Repair, Phase::Close, page, u32::MAX, route);
+        record_latency(OpKind::Verify, Stage::Repair, ns);
+    }
 }
 
 #[cfg(feature = "obs")]
@@ -230,6 +265,22 @@ mod noop {
 
     #[inline(always)]
     pub(crate) fn degraded_exit() {}
+
+    #[inline(always)]
+    pub(crate) fn scrub_pass_begin() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn scrub_pass_end(_pages: u64, _faults: u64, _t0: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn repair_begin(_page: u64) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn repair_end(_page: u64, _route: u64, _t0: u64) {}
 }
 
 #[cfg(not(feature = "obs"))]

@@ -233,6 +233,11 @@ impl KernelController {
             let _ = self.device().mmu_map(offender, p, PagePerm::Write);
         }
         let _ = self.device().mmu_map(offender, SUPERBLOCK_PAGE, PagePerm::Read);
+        let _ = self.device().mmu_map(
+            offender,
+            trio_layout::superblock_replica_page(self.device().topology().total_pages()),
+            PagePerm::Read,
+        );
         let n = tainted.len();
         reg.quarantine.insert(offender, QuarantineInfo { tainted });
         self.quarantined_mirror.lock().insert(offender);

@@ -37,7 +37,7 @@ pub mod walk;
 
 pub use dirent::{DirentData, DirentLoc, DirentRef, DIRENTS_PER_PAGE, DIRENT_SIZE, MAX_NAME};
 pub use index::{IndexPageRef, ENTRIES_PER_INDEX};
-pub use superblock::SuperblockRef;
+pub use superblock::{superblock_replica_page, SbHealth, SuperblockRef};
 pub use walk::{walk_file, FilePages, WalkError};
 
 /// An inode number. `0` is "none"/free; [`ROOT_INO`] is the root directory.

@@ -622,7 +622,12 @@ impl NvmDevice {
     #[cfg(feature = "faults")]
     pub fn poison_line(&self, page: PageId, line: u16) {
         debug_assert!((line as usize) < PAGE_SIZE / CACHE_LINE);
-        if self.poisoned.lock().insert((page.0, line)) {
+        // The count must move while the set lock is still held: dropping
+        // the guard between `insert` and the counter update opens a window
+        // where a concurrent `clear_poison` decrements first and the
+        // counter transiently underflows (or drifts from the set length).
+        let mut set = self.poisoned.lock();
+        if set.insert((page.0, line)) {
             self.poison_count.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -631,7 +636,8 @@ impl NvmDevice {
     /// of band). Returns whether it was poisoned.
     #[cfg(feature = "faults")]
     pub fn clear_poison(&self, page: PageId, line: u16) -> bool {
-        let removed = self.poisoned.lock().remove(&(page.0, line));
+        let mut set = self.poisoned.lock();
+        let removed = set.remove(&(page.0, line));
         if removed {
             self.poison_count.fetch_sub(1, Ordering::Relaxed);
         }
@@ -642,6 +648,14 @@ impl NvmDevice {
     #[cfg(feature = "faults")]
     pub fn poisoned_lines(&self) -> usize {
         self.poison_count.load(Ordering::Relaxed)
+    }
+
+    /// Exact length of the poison set (takes the lock). The patrol-scrub
+    /// race test pins [`Self::poisoned_lines`] against this under
+    /// concurrent poison/clear/scrub traffic.
+    #[cfg(feature = "faults")]
+    pub fn poison_set_len(&self) -> usize {
+        self.poisoned.lock().len()
     }
 
     /// Flips one byte of `page` *without* touching the integrity sidecar,
@@ -664,6 +678,161 @@ impl NvmDevice {
         let before = set.len();
         set.retain(|&(p, _)| p != page.0);
         self.poison_count.fetch_sub(before - set.len(), Ordering::Relaxed);
+    }
+}
+
+/// Media-health probe surface for the patrol scrubber (DESIGN.md §19).
+/// Compiled unconditionally so the layout/kernel/verifier crates can call
+/// it without feature gymnastics; without `faults` there is no poison
+/// model and the probes report a clean device.
+impl NvmDevice {
+    /// Poisoned cache lines on `page`, sorted. Empty without `faults`.
+    pub fn page_poisoned_lines(&self, page: PageId) -> Vec<u16> {
+        #[cfg(feature = "faults")]
+        {
+            if self.poison_count.load(Ordering::Relaxed) == 0 {
+                return Vec::new();
+            }
+            let set = self.poisoned.lock();
+            let mut lines: Vec<u16> =
+                set.iter().filter(|&&(p, _)| p == page.0).map(|&(_, l)| l).collect();
+            lines.sort_unstable();
+            lines
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = page;
+            Vec::new()
+        }
+    }
+
+    /// Whether `page` carries at least one poisoned line.
+    pub fn page_has_poison(&self, page: PageId) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            if self.poison_count.load(Ordering::Relaxed) == 0 {
+                return false;
+            }
+            return self.poisoned.lock().iter().any(|&(p, _)| p == page.0);
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = page;
+            false
+        }
+    }
+
+    /// Clears every poisoned line on `page` (the scrubber calls this after
+    /// rewriting the page from a replica or checkpoint — the rewrite is
+    /// what repairs the media; this retires the bookkeeping). Returns the
+    /// number of lines cleared. Count and set move under one lock hold.
+    pub fn scrub_page(&self, page: PageId) -> usize {
+        #[cfg(feature = "faults")]
+        {
+            let mut set = self.poisoned.lock();
+            let before = set.len();
+            set.retain(|&(p, _)| p != page.0);
+            let cleared = before - set.len();
+            self.poison_count.fetch_sub(cleared, Ordering::Relaxed);
+            cleared
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = page;
+            0
+        }
+    }
+
+    /// Recomputes `page`'s content hash against its integrity sidecar.
+    /// `Ok(None)` when no sidecar is recorded (nothing to verify),
+    /// `Ok(Some(true))` on a match, `Ok(Some(false))` on silent bit rot.
+    /// Reads the raw slot (privileged, poison-blind): a poisoned line is
+    /// the *other* failure mode, surfaced by [`Self::page_poisoned_lines`].
+    pub fn page_csum_ok(&self, page: PageId) -> Result<Option<bool>, ProtError> {
+        let slot = self.slot(page)?.lock();
+        let Some(want) = slot.csum else { return Ok(None) };
+        let got = match &slot.data {
+            Some(d) => crate::checksum::checksum(d),
+            None => crate::checksum::checksum(&[0u8; PAGE_SIZE]),
+        };
+        Ok(Some(got == want))
+    }
+
+    /// Moves a page's contents and integrity sidecar to another page in
+    /// one privileged, immediately durable operation — the bad-page
+    /// retirement path's migration primitive. The destination's poison
+    /// bookkeeping is cleared (every line was just rewritten); the source
+    /// is left untouched for the caller to retire. Mappings are the
+    /// caller's business. The source must be media-clean — migrating a
+    /// poisoned page would launder lost lines into "good" bytes.
+    pub fn migrate_page(&self, from: PageId, to: PageId) -> Result<(), ProtError> {
+        if self.page_has_poison(from) {
+            return Err(ProtError::Poisoned);
+        }
+        let (img, csum) = {
+            let slot = self.slot(from)?.lock();
+            let img: Box<[u8]> = match &slot.data {
+                Some(d) => d.clone(),
+                None => vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            };
+            (img, slot.csum)
+        };
+        let mut dst = self.slot(to)?.lock();
+        if let Some(t) = &self.tracker {
+            t.record_store(to, 0, PAGE_SIZE, dst.data.as_deref());
+            t.flush(to, 0, PAGE_SIZE);
+            t.fence();
+        }
+        dst.ensure_data().copy_from_slice(&img);
+        dst.csum = csum;
+        drop(dst);
+        #[cfg(feature = "faults")]
+        self.clear_page_poison(to);
+        Ok(())
+    }
+
+    /// Fault injection: silently flips one byte of `page` *without*
+    /// touching the integrity sidecar or the persistence tracker — the
+    /// bit-rot failure mode, undetectable by reads and caught only by a
+    /// checksum-verifying scrub. Returns whether a sidecar was present
+    /// (i.e. whether the rot is detectable at all). Test-only, like
+    /// [`Self::poison_line`].
+    #[cfg(feature = "faults")]
+    pub fn rot_byte(&self, page: PageId, off: usize) -> bool {
+        let Ok(slot) = self.slot(page) else { return false };
+        let mut slot = slot.lock();
+        let data = slot.ensure_data();
+        data[off % PAGE_SIZE] ^= 0xFF;
+        slot.csum.is_some()
+    }
+
+    /// Marks every line of `page` unreadable — uncorrectable-media
+    /// containment. The scrubber calls this when a checksum proves a
+    /// page's bytes wrong and no replica exists to heal from: failing
+    /// loudly on every subsequent read beats silently returning rot.
+    /// Returns the number of lines newly fenced off; a no-op (0) without
+    /// the `faults` feature, which has no poison model to mark with.
+    pub fn fence_off_page(&self, page: PageId) -> usize {
+        #[cfg(feature = "faults")]
+        {
+            if self.slot(page).is_err() {
+                return 0;
+            }
+            let mut set = self.poisoned.lock();
+            let mut added = 0;
+            for line in 0..(PAGE_SIZE / CACHE_LINE) as u16 {
+                if set.insert((page.0, line)) {
+                    added += 1;
+                }
+            }
+            self.poison_count.fetch_add(added, Ordering::Relaxed);
+            added
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = page;
+            0
+        }
     }
 }
 

@@ -76,10 +76,16 @@ pub enum Stage {
     /// Failure-domain transition: worker death/restart and degraded-mode
     /// enter/exit. Open = failure observed, close = recovered.
     Failover = 7,
+    /// One patrol-scrub pass over a page budget (DESIGN.md §19): open at
+    /// pass start, close with pages scanned in `aux`.
+    Scrub = 8,
+    /// One media repair (superblock/journal twin rewrite, rollback route,
+    /// or page migration): open = fault confirmed, close = repaired.
+    Repair = 9,
 }
 
 /// Number of [`Stage`] variants (histogram array extent).
-pub const STAGE_COUNT: usize = 8;
+pub const STAGE_COUNT: usize = 10;
 
 /// Span event phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +120,8 @@ impl Stage {
             Stage::Window => "window",
             Stage::Retry => "retry",
             Stage::Failover => "failover",
+            Stage::Scrub => "scrub",
+            Stage::Repair => "repair",
         }
     }
 
@@ -127,6 +135,8 @@ impl Stage {
             Stage::Window,
             Stage::Retry,
             Stage::Failover,
+            Stage::Scrub,
+            Stage::Repair,
         ]
         .get(i)
         .copied()

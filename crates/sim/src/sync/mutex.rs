@@ -104,6 +104,41 @@ impl<T> SimMutex<T> {
         SimMutexGuard { mutex: self, virtually_held: true, real: Some(self.data.lock()) }
     }
 
+    /// Attempts to acquire the lock without blocking: `None` if another
+    /// sim-thread virtually holds it. A successful acquisition charges the
+    /// uncontended cost; a failed one charges nothing (the probe models a
+    /// single atomic read). Background maintenance (the patrol scrubber)
+    /// uses this to stay strictly off any contended path.
+    pub fn try_lock(&self) -> Option<SimMutexGuard<'_, T>> {
+        if !crate::in_sim() {
+            if self.v.lock().held_by.is_some() {
+                return None;
+            }
+            return Some(SimMutexGuard {
+                mutex: self,
+                virtually_held: false,
+                real: Some(self.data.lock()),
+            });
+        }
+        let acquired = with_inner(|inner, me| {
+            let mut v = self.v.lock();
+            if v.held_by.is_none() {
+                v.held_by = Some(me);
+                clock_acquire(&v.clock);
+                drop(v);
+                inner.charge(me, self.acquire_ns);
+                true
+            } else {
+                false
+            }
+        });
+        acquired.then(|| SimMutexGuard {
+            mutex: self,
+            virtually_held: true,
+            real: Some(self.data.lock()),
+        })
+    }
+
     /// Accesses the payload from outside the simulation (setup, teardown,
     /// assertions after [`crate::SimRuntime::run`]).
     ///
@@ -232,5 +267,26 @@ mod tests {
         let m = SimMutex::new(0u8);
         *m.lock() = 9;
         assert_eq!(*m.lock(), 9);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held_and_succeeds_after() {
+        let rt = SimRuntime::new(0);
+        let m = Arc::new(SimMutex::with_costs(0u32, 0, 0));
+        let m2 = Arc::clone(&m);
+        rt.spawn("holder", move || {
+            let _g = m2.lock();
+            work(1_000);
+        });
+        let m3 = Arc::clone(&m);
+        rt.spawn("prober", move || {
+            work(100); // Arrive while the holder sits inside.
+            assert!(m3.try_lock().is_none());
+            work(2_000); // Past the holder's release.
+            let mut g = m3.try_lock().expect("free lock must try_lock");
+            *g = 7;
+        });
+        rt.run();
+        assert_eq!(*m.lock_uncontended(), 7);
     }
 }

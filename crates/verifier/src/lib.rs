@@ -142,6 +142,14 @@ pub enum Violation {
     /// the whole structure — a hostile graph (entry bomb) was cut off.
     /// Anything past the budget is unvetted, so this always rejects.
     BudgetExceeded { entries_seen: u64 },
+    /// Media fault on a data page (DESIGN.md §19): the page carries a
+    /// recorded integrity sidecar but its bytes cannot be read back
+    /// (poisoned line). Distinct from [`Violation::DataChecksumMismatch`]:
+    /// the bytes are *gone*, not merely wrong. Silently skipping such a
+    /// page would let verification pass a file whose checksummed contents
+    /// are unreadable — the patrol scrubber routes files through this walk
+    /// precisely to catch that.
+    UnreadableData { page: PageId, cause: ProtError },
 }
 
 /// What repair can do about a violation: the **repair-or-reject** contract
@@ -182,7 +190,8 @@ impl Violation {
             | Violation::DuplicateIno { .. }
             | Violation::DisconnectedChild { .. }
             | Violation::UnreadableAttr { .. }
-            | Violation::BudgetExceeded { .. } => RepairClass::Reject,
+            | Violation::BudgetExceeded { .. }
+            | Violation::UnreadableData { .. } => RepairClass::Reject,
         }
     }
 
@@ -205,13 +214,14 @@ impl Violation {
             Violation::PermissionTampered { .. } => "permission_tampered",
             Violation::UnreadableAttr { .. } => "unreadable_attr",
             Violation::BudgetExceeded { .. } => "budget_exceeded",
+            Violation::UnreadableData { .. } => "unreadable_data",
         }
     }
 }
 
 /// Every violation kind tag, in `Violation` declaration order — the fixed
 /// index space for by-kind counters.
-pub const VIOLATION_KINDS: [&str; 16] = [
+pub const VIOLATION_KINDS: [&str; 17] = [
     "ino_mismatch",
     "bad_file_type",
     "bad_mode",
@@ -228,6 +238,7 @@ pub const VIOLATION_KINDS: [&str; 16] = [
     "permission_tampered",
     "unreadable_attr",
     "budget_exceeded",
+    "unreadable_data",
 ];
 
 /// What the kernel asks the verifier to check.
@@ -567,11 +578,20 @@ impl Verifier {
     fn check_data_checksums(&self, pages: &FilePages, report: &mut VerifyReport) {
         let dev = self.h.device();
         for page in pages.data_pages.iter().flatten() {
-            let Ok(Some(want)) = dev.page_csum(*page) else {
-                continue; // No sidecar (or unreadable — provenance flags that).
+            let want = match dev.page_csum(*page) {
+                Ok(Some(w)) => w,
+                // No sidecar: an ordinary store legitimately invalidated it.
+                Ok(None) => continue,
+                Err(cause) => {
+                    report.violations.push(Violation::UnreadableData { page: *page, cause });
+                    continue;
+                }
             };
             let mut raw = vec![0u8; PAGE_SIZE];
-            if self.h.read_untimed(*page, 0, &mut raw).is_err() {
+            if let Err(cause) = self.h.read_untimed(*page, 0, &mut raw) {
+                // Checksummed bytes that cannot be read back are lost, not
+                // merely stale — reject rather than pass the file.
+                report.violations.push(Violation::UnreadableData { page: *page, cause });
                 continue;
             }
             if in_sim() {

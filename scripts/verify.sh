@@ -88,6 +88,35 @@ TRIO_FUZZ_ITERS=2000 cargo test -q --release --test adversary_fuzz
 echo "OK: adversarial campaign clean (report at target/adversary-report.json)."
 
 echo
+echo "== media gate: patrol-scrub routes + 500-iter seeded fault campaign =="
+# Media-fault tolerance (DESIGN.md §19): the route-by-route patrol tests
+# plus the seeded campaign — poison and silent rot injected under live
+# delegated traffic, crash points planted inside the recovery repair.
+# Gates on target/media-report.json: 100% metadata-fault detection, zero
+# silent data loss, allocator conservation intact. Any iteration replays
+# from (TRIO_MEDIA_SEED, i). The scrubber is opt-in (start_patrol), so
+# the perf gate below doubles as the scrubber-idle 0.00%-delta check —
+# no patrol thread exists unless a workload asks for one.
+TRIO_MEDIA_ITER="${TRIO_MEDIA_ITER:-500}" cargo test -q --release --test media_campaign
+python3 - target/media-report.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+if r["metadata_faults_injected"] == 0:
+    sys.exit(f"FAIL: media campaign injected no metadata faults: {r}")
+if r["metadata_faults_repaired"] != r["metadata_faults_injected"]:
+    sys.exit(f"FAIL: metadata-fault detection below 100%: {r}")
+if r["silent_data_loss"] != 0:
+    sys.exit(f"FAIL: silent data loss under media faults: {r}")
+if r["conservation_violations"] != 0:
+    sys.exit(f"FAIL: allocator conservation violated: {r}")
+print(
+    f"OK: media campaign {r['iterations']} iters, "
+    f"{r['metadata_faults_repaired']}/{r['metadata_faults_injected']} metadata faults repaired, "
+    f"{r['data_faults_loud']}/{r['data_faults_injected']} data faults loud, 0 silent."
+)
+EOF
+
+echo
 echo "== zero-overhead gate: standalone trio-bench (no 'faults' feature) =="
 # Built with -p, feature unification does not apply: trio-bench must
 # compile and report faults_compiled() == false.

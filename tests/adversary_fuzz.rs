@@ -131,6 +131,8 @@ fn run_iteration(campaign_seed: u64, iteration: u64) -> IterOutcome {
         if std::env::var("TRIO_ADV_DEBUG").is_ok() {
             eprintln!("events: {evts:?}");
         }
+        let media_applied = o.applied.iter().any(|m| m.is_media());
+        let media_only = !o.applied.is_empty() && o.applied.iter().all(|m| m.is_media());
         for e in evts {
             match e {
                 KernelEvent::CorruptionDetected { .. } => o.detections += 1,
@@ -144,6 +146,12 @@ fn run_iteration(campaign_seed: u64, iteration: u64) -> IterOutcome {
                 KernelEvent::Readmitted { .. } => o.readmissions += 1,
                 _ => {}
             }
+        }
+        // Media lifecycle: when only the *medium* failed, the grant holder
+        // is innocent — quarantining it would punish hardware decay as if
+        // it were an attack.
+        if media_only && o.quarantines > 0 {
+            o.failure = Some("media-only iteration quarantined the innocent writer".into());
         }
 
         // Invariant 3: model equivalence for the victim. The read that
@@ -200,6 +208,9 @@ fn run_iteration(campaign_seed: u64, iteration: u64) -> IterOutcome {
                 }
             }
             Err(FsError::NotFound) | Err(FsError::Quarantined) => {}
+            // Lost or fenced media reads fail *typed* forever — that is
+            // the contract ("loud beats wrong"), not a defense failure.
+            Err(FsError::Corrupted) if media_applied => {}
             Err(e) => o.failure = Some(format!("victim read failed oddly: {e}")),
         }
         // Namespace consistency: readdir agrees with stat, no duplicates.

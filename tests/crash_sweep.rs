@@ -388,7 +388,7 @@ fn sweep_one_with(seed: u64, k: u64, torn: bool) -> (String, String) {
     let plan = FaultPlan::crash_at_point(k);
     dev.arm_crash_plan(if torn { plan.with_torn_store() } else { plan });
     let completed = run_trace(&dev, &fs, &ops, seed);
-    let jpages = fs.journal_pages();
+    let jpairs = fs.journal_page_pairs();
     drop(fs);
     // Captured before `crash()` drains the tracker and resets the plan.
     #[cfg(feature = "sanitize")]
@@ -402,11 +402,13 @@ fn sweep_one_with(seed: u64, k: u64, torn: bool) -> (String, String) {
     // walk will read), then the kernel's provenance-rebuilding walk. With
     // the sanitizer on, recovery-mode read checks flag any recovery read
     // of a line that is not durable (i.e. one recovery itself dirtied and
-    // has not yet fenced — a crash-idempotence bug).
+    // has not yet fenced — a crash-idempotence bug). Twin-aware recovery
+    // (`recover_pairs`) is the production path; the legacy single-copy
+    // scan stays covered by crash_consistency.rs.
     #[cfg(feature = "sanitize")]
     dev.set_recovery_mode(true);
     let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
-    arckfs::journal::Journal::recover(&kh, &jpages)
+    arckfs::journal::Journal::recover_pairs(&kh, &jpairs)
         .unwrap_or_else(|e| panic!("journal recovery failed: {e:?}\n{ctx}"));
     let kernel2 = KernelController::recover(Arc::clone(&dev), KernelConfig::default())
         .unwrap_or_else(|e| panic!("kernel recovery failed: {e:?}\n{ctx}"));
@@ -599,14 +601,14 @@ fn deleg_torn_one(k: u64) {
     let (dev, kernel, fs) = delegated_world();
     dev.arm_crash_plan(FaultPlan::crash_at_point(k).with_torn_store());
     let acked = run_delegated_trace(&dev, &kernel, &fs, SWEEP_SEED);
-    let jpages = fs.journal_pages();
+    let jpairs = fs.journal_page_pairs();
     drop(fs);
     drop(kernel);
     let report = dev.crash();
     let ctx = format!("seed={SWEEP_SEED:#x} crash_point={k} torn=true acked={acked}\n{report}");
 
     let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
-    arckfs::journal::Journal::recover(&kh, &jpages)
+    arckfs::journal::Journal::recover_pairs(&kh, &jpairs)
         .unwrap_or_else(|e| panic!("journal recovery failed: {e:?}\n{ctx}"));
     let kernel2 = KernelController::recover(Arc::clone(&dev), KernelConfig::default())
         .unwrap_or_else(|e| panic!("kernel recovery failed: {e:?}\n{ctx}"));

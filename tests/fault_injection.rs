@@ -144,3 +144,50 @@ fn poison_surfaces_through_delegated_reads() {
     });
     rt.run();
 }
+
+/// Error paths release their resources: a delegated read that faults on a
+/// poisoned line, and a delegated *write* whose unaligned head partially
+/// overlaps a poisoned line (too narrow to repair it), both surface
+/// `Corrupted` to the client — and neither leaks a grant window. The
+/// revocable-grant table must drain to zero on every failure path, or a
+/// retry storm would exhaust it.
+#[test]
+fn poison_mid_delegation_releases_grants() {
+    let (dev, kernel, fs) = world(ArckFsConfig::default());
+    let rt = SimRuntime::new(35);
+    let k = Arc::clone(&kernel);
+    rt.spawn("main", move || {
+        k.delegation().start();
+        let len = 64 * 1024;
+        trio_fsapi::write_file(&*fs, "/g", &vec![0xA7u8; len]).unwrap();
+        assert_eq!(k.delegation().grants().live(), 0, "setup leaked a grant");
+        let (_, _, data) = fs.debug_file_pages("/g").unwrap();
+        dev.poison_line(data[2].unwrap(), 7);
+
+        let fd = fs.open("/g", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        // Delegated read over the dead line: typed error, no leak.
+        let mut buf = vec![0u8; len];
+        assert_eq!(fs.pread(fd, 0, &mut buf).err(), Some(FsError::Corrupted));
+        assert_eq!(k.delegation().grants().live(), 0, "failed read leaked its grant");
+
+        // Delegated write, unaligned by half a cache line: its head only
+        // partially covers line 7 of page 2, so the store trips the
+        // poison instead of repairing it.
+        let evil_off = 2 * 4096 + 7 * 64 + 32;
+        let r = fs.pwrite(fd, evil_off as u64, &vec![0x11u8; len]);
+        assert_eq!(r.err(), Some(FsError::Corrupted), "partial-line store must fault");
+        assert_eq!(k.delegation().grants().live(), 0, "failed write leaked its grant");
+
+        // A delegated write is not atomic across its page runs: workers on
+        // clean pages may finish before the faulting run reports, so the
+        // failed write can land partially. Repair is a full rewrite — the
+        // aligned full-line stores clear the poison — and service resumes.
+        assert_eq!(fs.pwrite(fd, 0, &vec![0xA7u8; len]).unwrap(), len);
+        assert_eq!(fs.pread(fd, 0, &mut buf).unwrap(), len);
+        assert!(buf.iter().all(|&b| b == 0xA7));
+        assert_eq!(k.delegation().grants().live(), 0);
+        fs.close(fd).unwrap();
+        k.delegation().shutdown();
+    });
+    rt.run();
+}

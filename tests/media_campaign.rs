@@ -1,0 +1,552 @@
+//! Media-fault tolerance end to end (DESIGN.md §19): the kernel patrol
+//! scrubber's repair routes, bad-page retirement with allocator
+//! conservation, and the seeded replayable fault campaign the media gate
+//! runs — poison and rot injected under live delegated traffic, plus
+//! crash points planted inside the recovery repair path itself.
+//!
+//! Campaign knobs (all optional):
+//!   TRIO_MEDIA_SEED=<u64>  base seed (default 0xC0FFEE)
+//!   TRIO_MEDIA_ITER=<n>    iterations (default 40; the gate runs 500)
+//!
+//! The campaign writes `target/media-report.json` with aggregate
+//! counters; `verify.sh` asserts 100% metadata-fault detection and zero
+//! silent data loss from it.
+#![cfg(feature = "faults")]
+
+use std::sync::Arc;
+
+use arckfs::{ArckFs, ArckFsConfig};
+use trio_fsapi::{read_file, write_file, FileSystem, FsError, Mode, OpenFlags};
+use trio_kernel::{KernelConfig, KernelController};
+use trio_layout::{superblock::SUPERBLOCK_PAGE, superblock_replica_page, SbHealth, SuperblockRef};
+use trio_nvm::{
+    DeviceConfig, FaultPlan, NvmDevice, NvmHandle, PageId, Topology, KERNEL_ACTOR, PAGE_SIZE,
+};
+use trio_sim::rng::SimRng;
+use trio_sim::SimRuntime;
+
+const PAGES: u64 = 16 * 1024;
+
+fn world(cfg: ArckFsConfig) -> (Arc<NvmDevice>, Arc<KernelController>, Arc<ArckFs>) {
+    let dev = Arc::new(NvmDevice::new(DeviceConfig {
+        topology: Topology::new(1, PAGES as usize),
+        track_persistence: true,
+        ..DeviceConfig::small()
+    }));
+    let kernel = KernelController::format(
+        Arc::clone(&dev),
+        KernelConfig { delegation_threads_per_node: 2, ..KernelConfig::default() },
+    );
+    let fs = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, cfg);
+    (dev, kernel, fs)
+}
+
+/// `free + cached + retired`: the allocator's conservation sum. Constant
+/// across any amount of scrubbing, repair, migration, and retirement —
+/// only file creation/deletion moves it.
+fn accounted(kernel: &KernelController) -> usize {
+    kernel.free_page_count() + kernel.cached_page_count() + kernel.retired_page_count()
+}
+
+// ---------------------------------------------------------------------
+// Patrol routes, one by one.
+// ---------------------------------------------------------------------
+
+/// A poisoned free-pool page is durably scrubbed clean by the patrol.
+#[test]
+fn patrol_scrubs_poisoned_free_page() {
+    let (dev, kernel, _fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x51);
+    rt.spawn("main", move || {
+        let victim = PageId(PAGES - 7); // Deep in the free pool.
+        dev.poison_line(victim, 5);
+        let before = accounted(&kernel);
+        let rep = kernel.scrub_pass(PAGES as usize);
+        assert_eq!(rep.scanned, PAGES);
+        assert!(rep.poison_lines >= 1, "patrol missed the poisoned line: {rep:?}");
+        assert!(rep.pool_scrubs >= 1, "free-page route did not fire: {rep:?}");
+        assert!(dev.page_poisoned_lines(victim).is_empty(), "poison survived the scrub");
+        assert_eq!(accounted(&kernel), before, "scrub must not move the conservation sum");
+        let snap = kernel.media_stats().snapshot();
+        assert_eq!(snap.scrub_passes, 1);
+        assert!(snap.poison_lines_found >= 1 && snap.pool_scrubs >= 1);
+        assert!(snap.repairs() >= 1 && snap.repair_latency_pct(50.0) > 0);
+    });
+    rt.run();
+}
+
+/// Poison on either superblock copy is healed from its twin, under the
+/// kernel's superblock lock, without disturbing service.
+#[test]
+fn patrol_twin_repairs_superblock() {
+    let (dev, kernel, fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x52);
+    rt.spawn("main", move || {
+        write_file(&*fs, "/keep", b"survives sb faults").unwrap();
+        for victim in [SUPERBLOCK_PAGE, superblock_replica_page(PAGES)] {
+            dev.poison_line(victim, 0);
+            let rep = kernel.scrub_pass(PAGES as usize);
+            assert!(rep.sb_repairs >= 1, "sb twin repair did not fire for {victim:?}: {rep:?}");
+            assert!(dev.page_poisoned_lines(victim).is_empty(), "sb poison survived");
+        }
+        // Both copies are sealed and identical again.
+        let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+        assert_eq!(SuperblockRef::new(&kh).scrub(), Ok(SbHealth::Clean));
+        assert_eq!(read_file(&*fs, "/keep").unwrap(), b"survives sb faults");
+        assert_eq!(kernel.media_stats().snapshot().sb_repairs, 2);
+    });
+    rt.run();
+}
+
+/// A registered journal mirror pair heals from its healthy twin; the
+/// repair takes the shard lock, so it can never interleave with a rename.
+#[test]
+fn patrol_twin_repairs_registered_journal_shard() {
+    let (dev, kernel, fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x53);
+    rt.spawn("main", move || {
+        fs.create("/a", Mode(0o666)).unwrap();
+        fs.rename("/a", "/b").unwrap(); // Populates one journal shard.
+        let registered = fs.register_journal_twins();
+        assert!(registered >= 1, "no mirrored shard to register");
+        let (primary, mirror) = fs
+            .journal_page_pairs()
+            .into_iter()
+            .find_map(|(p, m)| m.map(|m| (p, m)))
+            .expect("mirrored shard exists");
+        for (victim, healthy) in [(primary, mirror), (mirror, primary)] {
+            dev.poison_line(victim, 0); // Line 0 holds the record header.
+            let rep = kernel.scrub_pass(PAGES as usize);
+            assert!(
+                rep.journal_repairs >= 1,
+                "journal twin repair did not fire for {victim:?}: {rep:?}"
+            );
+            assert!(dev.page_poisoned_lines(victim).is_empty(), "journal poison survived");
+            assert!(dev.page_poisoned_lines(healthy).is_empty());
+        }
+        // The repaired record still drives recovery (disarmed, 0 undone).
+        let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+        let pairs = fs.journal_page_pairs();
+        arckfs::journal::Journal::recover_pairs(&kh, &pairs).unwrap();
+        assert!(kernel.media_stats().snapshot().journal_repairs >= 2);
+    });
+    rt.run();
+}
+
+/// A media fault inside a verified file routes the file back through
+/// verification: the kernel detects, rolls back, and the client sees a
+/// typed error on the dead region — never silent wrong bytes.
+#[test]
+fn scrub_routes_file_fault_through_verification() {
+    let (dev, kernel, fs) = world(ArckFsConfig::no_delegation());
+    let reader = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x54);
+    rt.spawn("main", move || {
+        write_file(&*fs, "/f", &vec![0xABu8; 3 * PAGE_SIZE]).unwrap();
+        fs.release_path("/f").unwrap();
+        // Cross-LibFS read verifies the file: provenance becomes InFile.
+        assert_eq!(read_file(&*reader, "/f").unwrap().len(), 3 * PAGE_SIZE);
+        let (_, _, data) = reader.debug_file_pages("/f").unwrap();
+        let victim = data[1].unwrap();
+        dev.poison_line(victim, 9);
+        let rep = kernel.scrub_pass(PAGES as usize);
+        assert!(rep.files_routed >= 1, "file route did not fire: {rep:?}");
+        // Detected-unrepairable: the dead line answers loudly...
+        let fd = reader.open("/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(
+            reader.pread(fd, PAGE_SIZE as u64 + 9 * 64, &mut buf).err(),
+            Some(FsError::Corrupted)
+        );
+        // ...while untouched pages still serve correct bytes.
+        assert_eq!(reader.pread(fd, 0, &mut buf).unwrap(), 64);
+        assert!(buf.iter().all(|&b| b == 0xAB));
+        reader.close(fd).unwrap();
+    });
+    rt.run();
+}
+
+/// Silent rot under a delegated write's integrity sidecar is caught by
+/// the checksum-verifying scrub and fenced off: reads fail loudly
+/// instead of returning wrong bytes.
+#[test]
+fn scrub_detects_and_fences_silent_rot() {
+    let (dev, kernel, fs) = world(ArckFsConfig::default());
+    let rt = SimRuntime::new(0x55);
+    rt.spawn("main", move || {
+        kernel.delegation().start();
+        let fd = fs.open("/rot", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let data = vec![0x5Cu8; 64 * 1024]; // Delegated, hashed inline.
+        assert_eq!(fs.pwrite(fd, 0, &data).unwrap(), data.len());
+        let (_, _, pages) = fs.debug_file_pages("/rot").unwrap();
+        let victim = pages[3].unwrap();
+        // Flip a byte behind the sidecar's back: undetectable by reads.
+        assert!(dev.rot_byte(victim, 1234), "delegated write must leave a sidecar");
+        assert_eq!(dev.page_csum_ok(victim), Ok(Some(false)));
+        let mut buf = [0u8; 64];
+        assert_eq!(fs.pread(fd, 3 * PAGE_SIZE as u64 + 1216, &mut buf).unwrap(), 64); // Silent!
+        // The patrol turns silent rot into loud, typed failure.
+        let rep = kernel.scrub_pass(PAGES as usize);
+        assert!(rep.rot_pages >= 1, "rot not detected: {rep:?}");
+        assert!(rep.fenced_off >= 1, "rotted page not fenced off: {rep:?}");
+        assert_eq!(
+            fs.pread(fd, 3 * PAGE_SIZE as u64 + 1216, &mut buf).err(),
+            Some(FsError::Corrupted)
+        );
+        fs.close(fd).unwrap();
+        kernel.delegation().shutdown();
+    });
+    rt.run();
+}
+
+// ---------------------------------------------------------------------
+// Retirement.
+// ---------------------------------------------------------------------
+
+/// A free page that keeps faulting is retired: pulled from the pool,
+/// never allocated again, with `free + cached + retired` conserved.
+#[test]
+fn repeat_offender_free_page_is_retired() {
+    let (dev, kernel, _fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x56);
+    rt.spawn("main", move || {
+        let victim = PageId(PAGES - 13);
+        let before = accounted(&kernel);
+        for round in 0..3 {
+            dev.poison_line(victim, (round % 4) as u16);
+            kernel.scrub_pass(PAGES as usize);
+        }
+        assert_eq!(kernel.retired_page_count(), 1, "third strike must retire");
+        assert_eq!(accounted(&kernel), before, "retirement must conserve pages");
+        assert!(dev.page_poisoned_lines(victim).is_empty());
+        // Retired pages are skipped by later passes and stay retired.
+        let rep = kernel.scrub_pass(PAGES as usize);
+        assert_eq!(rep.retired, 0);
+        assert_eq!(kernel.retired_page_count(), 1);
+    });
+    rt.run();
+}
+
+/// A regular file's data page that keeps faulting (and is repaired by its
+/// owner in between) is migrated whole — contents and sidecar moved, the
+/// index slot swung, mappings re-pointed — and the flaky frame retired,
+/// all invisible to the client.
+#[test]
+fn flaky_file_data_page_is_migrated_then_retired() {
+    let (dev, kernel, fs) = world(ArckFsConfig::no_delegation());
+    let reader = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x57);
+    rt.spawn("main", move || {
+        write_file(&*fs, "/m", &vec![0x3Eu8; 2 * PAGE_SIZE]).unwrap();
+        // Share once so the pages are verified `InFile` core state — the
+        // only provenance the kernel will migrate on its own authority.
+        fs.release_path("/m").unwrap();
+        assert_eq!(read_file(&*reader, "/m").unwrap().len(), 2 * PAGE_SIZE);
+        let (_, _, pages) = fs.debug_file_pages("/m").unwrap();
+        let victim = pages[1].unwrap();
+        let fd = fs.open("/m", OpenFlags::RDWR, Mode(0o666)).unwrap();
+        let before = accounted(&kernel);
+        for _ in 0..3 {
+            dev.poison_line(victim, 2);
+            kernel.scrub_pass(PAGES as usize); // Observes the fault.
+            // The owner's full-line store repairs the poison each time.
+            assert_eq!(fs.pwrite(fd, PAGE_SIZE as u64 + 2 * 64, &[0x3E; 64]).unwrap(), 64);
+        }
+        // While the owner holds a live mapping the page must NOT move —
+        // the LibFS caches its location in auxiliary state.
+        let rep = kernel.scrub_pass(PAGES as usize);
+        assert_eq!(rep.migrated, 0, "migrated under a live mapping: {rep:?}");
+        // Quiesce: close the fd and hand the file back to core state.
+        fs.close(fd).unwrap();
+        fs.release_path("/m").unwrap();
+        // Now the page is clean, quiescent, and past the threshold: migrate.
+        let rep = kernel.scrub_pass(PAGES as usize);
+        assert!(rep.migrated >= 1, "clean flaky page not migrated: {rep:?}");
+        assert_eq!(kernel.retired_page_count(), 1);
+        // Conserved: the fresh frame left the pool, the flaky one retired.
+        assert_eq!(accounted(&kernel), before, "migration must conserve the sum");
+        // A fresh mount rebuilds from core state and sees the new frame.
+        let late =
+            ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+        let (_, _, after) = late.debug_file_pages("/m").unwrap();
+        assert_ne!(after[1].unwrap(), victim, "index slot must point at the fresh frame");
+        // The client never noticed: same bytes, same size.
+        let buf = read_file(&*late, "/m").unwrap();
+        assert_eq!(buf.len(), 2 * PAGE_SIZE);
+        assert!(buf.iter().all(|&b| b == 0x3E));
+    });
+    rt.run();
+}
+
+// ---------------------------------------------------------------------
+// Crash points inside the repair path.
+// ---------------------------------------------------------------------
+
+/// Recovery's superblock twin repair is crash-idempotent: a crash planted
+/// mid-repair leaves a state the next recovery repairs again, converging
+/// to two sealed copies and a clean fsck.
+#[test]
+fn crash_inside_recovery_repair_is_idempotent() {
+    for k in 0..6u64 {
+        let (dev, kernel, fs) = world(ArckFsConfig::no_delegation());
+        let rt = SimRuntime::new(0x58 + k);
+        let fs2 = Arc::clone(&fs);
+        rt.spawn("setup", move || {
+            write_file(&*fs2, "/pin", b"acked and durable").unwrap();
+        });
+        rt.run();
+        drop(fs);
+        drop(kernel);
+        dev.crash();
+        // Fault the primary, then crash at the k-th store of the repair.
+        dev.poison_line(SUPERBLOCK_PAGE, 0);
+        dev.arm_crash_plan(FaultPlan::crash_at_point(k));
+        let _ = KernelController::recover(Arc::clone(&dev), KernelConfig::default());
+        dev.crash();
+        // Second recovery with no plan must converge.
+        let kernel2 = KernelController::recover(Arc::clone(&dev), KernelConfig::default())
+            .unwrap_or_else(|e| panic!("re-recovery failed at crash point {k}: {e:?}"));
+        assert!(kernel2.fsck().is_empty(), "fsck dirty after crash point {k}");
+        let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+        assert_eq!(SuperblockRef::new(&kh).scrub(), Ok(SbHealth::Clean), "crash point {k}");
+        let fs2 = ArckFs::mount(kernel2, 1000, 1000, ArckFsConfig::no_delegation());
+        assert_eq!(read_file(&*fs2, "/pin").unwrap(), b"acked and durable");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The campaign.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct CampaignTally {
+    iterations: u64,
+    metadata_faults_injected: u64,
+    metadata_faults_repaired: u64,
+    data_faults_injected: u64,
+    data_faults_loud: u64,
+    silent_data_loss: u64,
+    pages_retired: u64,
+    conservation_violations: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One seeded iteration: live delegated traffic, 1–3 injected media
+/// faults, full-device patrol, then the verdicts.
+fn campaign_iter(seed: u64, tally: &mut CampaignTally) {
+    let rng = &mut SimRng::seed_from_u64(seed);
+    let (dev, kernel, fs) = world(ArckFsConfig::default());
+
+    // Traffic: a delegated hashed write, rename-journal activity, and a
+    // shared (verified, InFile) file — every repair route armed.
+    let payload = vec![(seed as u8) | 1; 64 * 1024];
+    let (fs2, k2, payload2) = (Arc::clone(&fs), Arc::clone(&kernel), payload.clone());
+    let rt = SimRuntime::new(seed);
+    rt.spawn("traffic", move || {
+        k2.delegation().start();
+        let fd = fs2.open("/data", OpenFlags::CREATE | OpenFlags::RDWR, Mode(0o666)).unwrap();
+        assert_eq!(fs2.pwrite(fd, 0, &payload2).unwrap(), payload2.len());
+        fs2.close(fd).unwrap();
+        fs2.create("/tmp0", Mode(0o666)).unwrap();
+        fs2.rename("/tmp0", "/tmp1").unwrap();
+        fs2.register_journal_twins();
+        write_file(&*fs2, "/shared", &vec![0x77u8; 2 * PAGE_SIZE]).unwrap();
+        fs2.release_path("/shared").unwrap();
+        k2.delegation().shutdown();
+    });
+    rt.run();
+
+    let reader = ArckFs::mount(Arc::clone(&kernel), 1000, 1000, ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(seed ^ 0x9E37);
+    let (r2, _k3) = (Arc::clone(&reader), Arc::clone(&kernel));
+    rt.spawn("verify-share", move || {
+        assert_eq!(read_file(&*r2, "/shared").unwrap().len(), 2 * PAGE_SIZE);
+    });
+    rt.run();
+
+    // Fault injection, seeded and replayable.
+    let jpair = fs.journal_page_pairs().into_iter().find_map(|(p, m)| m.map(|m| (p, m)));
+    let (_, _, dpages) = fs.debug_file_pages("/data").unwrap();
+    let mut meta_faults = 0u64;
+    let mut data_faults = 0u64;
+    // Single-fault discipline per replicated pair: dual-copy metadata
+    // tolerates any one media fault at a time (the architecture's claim);
+    // a double fault of both copies is beyond any replication scheme.
+    for _ in 0..1 + rng.gen_range(3) {
+        match rng.gen_range(6) {
+            0 => {
+                if dev.page_poisoned_lines(superblock_replica_page(PAGES)).is_empty() {
+                    dev.poison_line(SUPERBLOCK_PAGE, 0);
+                    meta_faults += 1;
+                }
+            }
+            1 => {
+                if dev.page_poisoned_lines(SUPERBLOCK_PAGE).is_empty() {
+                    dev.poison_line(superblock_replica_page(PAGES), 0);
+                    meta_faults += 1;
+                }
+            }
+            2 => {
+                if let Some((p, m)) = jpair {
+                    let (victim, twin) = if rng.one_in(2) { (p, m) } else { (m, p) };
+                    if dev.page_poisoned_lines(twin).is_empty() {
+                        dev.poison_line(victim, 0);
+                        meta_faults += 1;
+                    }
+                }
+            }
+            3 => {
+                let i = rng.gen_range(dpages.len() as u64) as usize;
+                if let Some(p) = dpages[i] {
+                    dev.poison_line(p, rng.gen_range(64) as u16);
+                    data_faults += 1;
+                }
+            }
+            4 => {
+                let i = rng.gen_range(dpages.len() as u64) as usize;
+                if let Some(p) = dpages[i] {
+                    if dev.rot_byte(p, rng.gen_range(PAGE_SIZE as u64) as usize) {
+                        data_faults += 1;
+                    }
+                }
+            }
+            _ => {
+                // A page deep in the free pool.
+                dev.poison_line(PageId(PAGES - 2 - rng.gen_range(64)), rng.gen_range(64) as u16);
+            }
+        }
+    }
+    tally.metadata_faults_injected += meta_faults;
+    tally.data_faults_injected += data_faults;
+
+    // Patrol under the same seed; two passes so fence-offs settle.
+    let before = accounted(&kernel);
+    let k4 = Arc::clone(&kernel);
+    let rt = SimRuntime::new(seed ^ 0x51AB);
+    rt.spawn("patrol", move || {
+        for _ in 0..2 {
+            k4.scrub_pass(PAGES as usize);
+        }
+    });
+    rt.run();
+    if accounted(&kernel) != before {
+        tally.conservation_violations += 1;
+    }
+
+    // Verdicts. Metadata: every injected fault must be repaired — both
+    // superblock copies sealed and identical, journal twins poison-free
+    // and still valid for recovery.
+    let kh = NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR);
+    let mut meta_ok = true;
+    if SuperblockRef::new(&kh).scrub() != Ok(SbHealth::Clean) {
+        meta_ok = false;
+    }
+    if let Some((p, m)) = jpair {
+        if !dev.page_poisoned_lines(p).is_empty() || !dev.page_poisoned_lines(m).is_empty() {
+            meta_ok = false;
+        }
+        if arckfs::journal::Journal::recover_pairs(&kh, &[(p, Some(m))]).is_err() {
+            meta_ok = false;
+        }
+    }
+    if meta_ok {
+        tally.metadata_faults_repaired += meta_faults;
+    }
+    assert!(meta_ok, "seed {seed:#x}: injected metadata fault survived the patrol");
+
+    // Data: acked bytes either read back exactly or fail loudly. Any
+    // successful read returning wrong bytes is silent loss — the one
+    // unforgivable outcome.
+    let rt = SimRuntime::new(seed ^ 0x77AA);
+    let fs5 = Arc::clone(&fs);
+    let loud = Arc::new(trio_sim::plock::Mutex::new((0u64, 0u64))); // (loud, silent)
+    let loud2 = Arc::clone(&loud);
+    rt.spawn("readback", move || {
+        let fd = fs5.open("/data", OpenFlags::RDONLY, Mode(0)).unwrap();
+        for (i, chunk) in payload.chunks(PAGE_SIZE).enumerate() {
+            let mut buf = vec![0u8; chunk.len()];
+            match fs5.pread(fd, (i * PAGE_SIZE) as u64, &mut buf) {
+                Ok(_) => {
+                    if buf != chunk {
+                        loud2.lock().1 += 1;
+                    }
+                }
+                Err(_) => loud2.lock().0 += 1,
+            }
+        }
+        fs5.close(fd).unwrap();
+    });
+    rt.run();
+    let (loud_errors, silent) = *loud.lock();
+    tally.data_faults_loud += loud_errors;
+    tally.silent_data_loss += silent;
+    assert_eq!(silent, 0, "seed {seed:#x}: silent data loss (wrong bytes read back)");
+
+    tally.pages_retired += kernel.retired_page_count() as u64;
+    tally.iterations += 1;
+}
+
+/// The seeded, replayable media-fault campaign (the media gate's 500
+/// iterations run through here). Every injected metadata fault must be
+/// detected and repaired; acked-durable data must never be silently
+/// wrong; `free + cached + retired` must be conserved throughout.
+#[test]
+fn media_fault_campaign() {
+    let base = env_u64("TRIO_MEDIA_SEED", 0xC0FFEE);
+    let iters = env_u64("TRIO_MEDIA_ITER", 40);
+    let mut tally = CampaignTally::default();
+    for i in 0..iters {
+        campaign_iter(base.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15)), &mut tally);
+    }
+    assert_eq!(tally.conservation_violations, 0);
+    assert_eq!(tally.metadata_faults_repaired, tally.metadata_faults_injected);
+    assert_eq!(tally.silent_data_loss, 0);
+
+    let json = format!(
+        "{{\"iterations\": {}, \"metadata_faults_injected\": {}, \
+         \"metadata_faults_repaired\": {}, \"data_faults_injected\": {}, \
+         \"data_faults_loud\": {}, \"silent_data_loss\": {}, \
+         \"pages_retired\": {}, \"conservation_violations\": {}}}",
+        tally.iterations,
+        tally.metadata_faults_injected,
+        tally.metadata_faults_repaired,
+        tally.data_faults_injected,
+        tally.data_faults_loud,
+        tally.silent_data_loss,
+        tally.pages_retired,
+        tally.conservation_violations,
+    );
+    let dir = std::path::Path::new("target");
+    let _ = std::fs::create_dir_all(dir);
+    std::fs::write(dir.join("media-report.json"), &json).expect("write media report");
+    println!("media campaign: {json}");
+}
+
+/// The patrol daemon: `start_patrol` spawns a sim-thread that sweeps on
+/// its own clock, heals faults injected while it runs, and joins cleanly
+/// on `stop()`. Live traffic proceeds underneath it.
+#[test]
+fn patrol_daemon_heals_in_background() {
+    let (dev, kernel, fs) = world(ArckFsConfig::no_delegation());
+    let rt = SimRuntime::new(0x59);
+    rt.spawn("main", move || {
+        // Small budget: a full device sweep needs many passes, proving
+        // the cursor persists across them.
+        let patrol = kernel.start_patrol(1024, 10_000);
+        write_file(&*fs, "/live", &vec![0x44u8; PAGE_SIZE]).unwrap();
+        for i in 0..5u64 {
+            dev.poison_line(PageId(PAGES - 3 - i), (i % 8) as u16);
+            trio_sim::work(200_000); // Let a few passes elapse.
+        }
+        trio_sim::work(2_000_000);
+        patrol.stop();
+        let snap = kernel.media_stats().snapshot();
+        assert!(snap.scrub_passes >= 16, "daemon barely ran: {snap:?}");
+        assert_eq!(dev.poisoned_lines(), 0, "daemon left poison behind");
+        assert_eq!(read_file(&*fs, "/live").unwrap(), vec![0x44u8; PAGE_SIZE]);
+    });
+    rt.run();
+}

@@ -157,3 +157,52 @@ fn arckfs_delegated_data_path_runs_clean() {
     });
     rt.run();
 }
+
+/// Patrol-scrub poison accounting: `poisoned_lines()` (the lock-free
+/// counter) must track the exact poison-set length under concurrent
+/// `poison_line` / `clear_poison` / `scrub_page` traffic — the counter
+/// and the set move under one lock hold, so no interleaving may let them
+/// drift. Mid-flight probes are sound because the sim scheduler only
+/// preempts at sim operations, never between the two back-to-back reads.
+#[cfg(feature = "faults")]
+#[test]
+fn poison_accounting_is_race_free() {
+    use trio_nvm::{CACHE_LINE, PAGE_SIZE};
+    use trio_sim::rng::SimRng;
+    use trio_sim::work;
+
+    const LINES: u64 = (PAGE_SIZE / CACHE_LINE) as u64;
+    for seed in [0x9015_0A11u64, 0x9015_0A12, 0x9015_0A13] {
+        let dev = Arc::new(NvmDevice::new(DeviceConfig::small()));
+        let pages: Vec<PageId> = (100..104).map(PageId).collect();
+        let rt = SimRuntime::new(seed);
+        for t in 0..3u64 {
+            let dev = Arc::clone(&dev);
+            let pages = pages.clone();
+            let name = ["poisoner", "clearer", "scrubber"][t as usize];
+            rt.spawn(name, move || {
+                let mut rng = SimRng::seed_from_u64(seed ^ t);
+                for _ in 0..400 {
+                    let page = pages[rng.gen_range(pages.len() as u64) as usize];
+                    match t {
+                        0 => dev.poison_line(page, rng.gen_range(LINES) as u16),
+                        1 => {
+                            let _ = dev.clear_poison(page, rng.gen_range(LINES) as u16);
+                        }
+                        _ => {
+                            let _ = dev.scrub_page(page);
+                        }
+                    }
+                    // Counter and set agree at every observable point.
+                    assert_eq!(dev.poisoned_lines(), dev.poison_set_len());
+                    work(1 + rng.gen_range(40));
+                }
+            });
+        }
+        rt.run();
+        // Quiesced: the counter, the set, and a per-page recount agree.
+        assert_eq!(dev.poisoned_lines(), dev.poison_set_len());
+        let recount: usize = pages.iter().map(|p| dev.page_poisoned_lines(*p).len()).sum();
+        assert_eq!(dev.poisoned_lines(), recount, "seed {seed:#x}");
+    }
+}
