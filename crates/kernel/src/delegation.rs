@@ -1,5 +1,8 @@
 //! Opportunistic-delegation thread pool (paper §4.5, following OdinFS).
 //!
+//! (lint: hot-path — the delegated data path must never take the registry
+//! lock; its event log and ring bookkeeping are all self-contained.)
+//!
 //! A fixed number of kernel *delegation threads* run per NUMA node. LibFSes
 //! (and the OdinFS baseline) hand large accesses to them through
 //! shared-memory rings — no kernel trap — and wait for completion. The

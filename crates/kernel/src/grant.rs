@@ -62,16 +62,32 @@ struct GrantEntry {
     dying: bool,
 }
 
-/// The kernel-side registry of live grant windows.
+/// Number of independent grant-table shards. Ids are handed out from one
+/// atomic counter, so `id % GRANT_SHARDS` spreads concurrent registrants
+/// uniformly; 16 shards keep 100+ tenants from serializing on one mutex
+/// (lint: hot-path — this module must never take the registry lock).
+const GRANT_SHARDS: usize = 16;
+
+/// The kernel-side registry of live grant windows, sharded by grant id so
+/// steady-state register/revoke traffic from many tenants never contends
+/// on a single global lock.
 pub struct GrantTable {
     next_id: AtomicU64,
-    entries: PlMutex<HashMap<u64, GrantEntry>>,
+    shards: [PlMutex<HashMap<u64, GrantEntry>>; GRANT_SHARDS],
     stats: Arc<PathStats>,
 }
 
 impl GrantTable {
     pub(crate) fn new(stats: Arc<PathStats>) -> Self {
-        GrantTable { next_id: AtomicU64::new(1), entries: PlMutex::new(HashMap::new()), stats }
+        GrantTable {
+            next_id: AtomicU64::new(1),
+            shards: std::array::from_fn(|_| PlMutex::new(HashMap::new())),
+            stats,
+        }
+    }
+
+    fn shard_of(&self, id: u64) -> &PlMutex<HashMap<u64, GrantEntry>> {
+        &self.shards[(id % GRANT_SHARDS as u64) as usize]
     }
 
     /// Registers `data` as a grant owned by `owner`; returns its id.
@@ -80,7 +96,9 @@ impl GrantTable {
     /// its long-lived I/O buffer pays nothing per op).
     pub fn register(&self, owner: ActorId, data: Arc<[u8]>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().insert(id, GrantEntry { owner, data, epoch: 1, pins: 0, dying: false });
+        self.shard_of(id)
+            .lock()
+            .insert(id, GrantEntry { owner, data, epoch: 1, pins: 0, dying: false });
         self.stats.record_grant_register();
         id
     }
@@ -109,7 +127,7 @@ impl GrantTable {
         let mut data = Some(data);
         loop {
             {
-                let mut entries = self.entries.lock();
+                let mut entries = self.shard_of(id).lock();
                 let e = entries.get_mut(&id).ok_or(ProtError::GrantRevoked)?;
                 if e.owner != owner {
                     return Err(ProtError::GrantRevoked);
@@ -139,7 +157,7 @@ impl GrantTable {
         start: usize,
         len: usize,
     ) -> Result<GrantRef, ProtError> {
-        let entries = self.entries.lock();
+        let entries = self.shard_of(id).lock();
         let e = entries.get(&id).ok_or(ProtError::GrantRevoked)?;
         if e.owner != owner {
             return Err(ProtError::GrantRevoked);
@@ -153,7 +171,7 @@ impl GrantTable {
     /// The granted bytes themselves (owner only) — the direct-access
     /// fallback path reads these when delegation is bypassed.
     pub fn data_of(&self, owner: ActorId, id: u64) -> Result<Arc<[u8]>, ProtError> {
-        let entries = self.entries.lock();
+        let entries = self.shard_of(id).lock();
         let e = entries.get(&id).ok_or(ProtError::GrantRevoked)?;
         if e.owner != owner {
             return Err(ProtError::GrantRevoked);
@@ -176,7 +194,7 @@ impl GrantTable {
     pub fn revoke(&self, owner: ActorId, id: u64) -> bool {
         loop {
             {
-                let mut entries = self.entries.lock();
+                let mut entries = self.shard_of(id).lock();
                 match entries.get_mut(&id) {
                     Some(e) if e.owner == owner => {
                         e.dying = true;
@@ -199,9 +217,12 @@ impl GrantTable {
     pub fn revoke_actor(&self, actor: ActorId) -> usize {
         let mut pulled = 0;
         loop {
-            {
-                let mut entries = self.entries.lock();
-                let mut pinned = false;
+            let mut pinned = false;
+            // Shard-at-a-time: each shard's lock is taken and released
+            // independently, so a mass revocation never freezes the whole
+            // table against unrelated tenants.
+            for shard in &self.shards {
+                let mut entries = shard.lock();
                 entries.retain(|_, e| {
                     if e.owner != actor {
                         return true;
@@ -216,9 +237,9 @@ impl GrantTable {
                         true
                     }
                 });
-                if !pinned {
-                    return pulled;
-                }
+            }
+            if !pinned {
+                return pulled;
             }
             Self::drain_tick();
         }
@@ -239,7 +260,7 @@ impl GrantTable {
     /// returned, even when the parent grant lives on for the next write.
     pub(crate) fn op_window(&self, actor: ActorId, gref: &GrantRef) -> Result<GrantRef, ProtError> {
         let data = {
-            let entries = self.entries.lock();
+            let entries = self.shard_of(gref.grant_id).lock();
             let e = entries.get(&gref.grant_id).ok_or(ProtError::GrantRevoked)?;
             if e.owner != actor || e.epoch != gref.epoch || e.dying {
                 return Err(ProtError::GrantRevoked);
@@ -259,7 +280,7 @@ impl GrantTable {
     /// the resolve→pass→unpin span is exactly the window a revoker is
     /// barred from completing in.
     pub fn resolve(&self, actor: ActorId, gref: &GrantRef) -> Result<Arc<[u8]>, ProtError> {
-        let mut entries = self.entries.lock();
+        let mut entries = self.shard_of(gref.grant_id).lock();
         let e = entries.get_mut(&gref.grant_id).ok_or(ProtError::GrantRevoked)?;
         if e.owner != actor || e.epoch != gref.epoch || e.dying {
             return Err(ProtError::GrantRevoked);
@@ -276,7 +297,7 @@ impl GrantTable {
     /// mid-pass deaths, where it models the controller reaping a dead
     /// worker's pins so a pending revocation can complete.
     pub(crate) fn unpin(&self, id: u64) {
-        if let Some(e) = self.entries.lock().get_mut(&id) {
+        if let Some(e) = self.shard_of(id).lock().get_mut(&id) {
             e.pins = e.pins.saturating_sub(1);
         }
     }
@@ -286,7 +307,7 @@ impl GrantTable {
     /// even though its own (snapshot) pass completed — the submitter broke
     /// the contract mid-flight and must not believe the write succeeded.
     pub fn is_current(&self, gref: &GrantRef) -> bool {
-        self.entries
+        self.shard_of(gref.grant_id)
             .lock()
             .get(&gref.grant_id)
             .is_some_and(|e| e.epoch == gref.epoch && !e.dying)
@@ -294,7 +315,7 @@ impl GrantTable {
 
     /// Live grant count (tests / leak checks).
     pub fn live(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 

@@ -25,11 +25,13 @@ pub mod quarantine;
 pub mod registry;
 pub mod retry;
 pub mod scrub;
+pub mod shard;
 
 pub use delegation::DegradedMode;
 pub use grant::{GrantRef, GrantTable};
 pub use retry::RetryPolicy;
 pub use scrub::{MediaStats, MediaStatsSnapshot, PatrolHandle, ScrubReport};
+pub use shard::EpochPin;
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::AtomicU64;
@@ -37,20 +39,25 @@ use std::sync::Arc;
 
 use trio_fsapi::{FsError, FsResult, Mode, SetAttr};
 use trio_layout::{
-    walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, Ino, SuperblockRef,
+    walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, FilePages, Ino, SuperblockRef,
     DIRENTS_PER_PAGE, DIRENT_SIZE, ROOT_INO,
 };
 use trio_nvm::{
-    ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, PathStats, KERNEL_ACTOR, PAGE_SIZE,
+    ActorId, NodeId, NvmDevice, NvmHandle, PageId, PagePerm, PathStats, RegistryLockSite,
+    KERNEL_ACTOR, PAGE_SIZE,
 };
 use trio_sim::plock::Mutex as PlMutex;
+use trio_sim::sync::SimMutexGuard;
 use trio_sim::{cost, in_sim, sync::SimMutex, work, Nanos, MILLIS};
-use trio_verifier::{InoProvenance, PageProvenance, Verifier, VerifyRequest, Violation};
+use trio_verifier::{
+    InoProvenance, PageProvenance, ResourceView, ShadowAttr, Verifier, VerifyRequest, Violation,
+};
 
 use delegation::{DelegationConfig, DelegationPool};
 use quarantine::ResilienceStats;
 use registry::{Credentials, KernelEvent, Registry};
 use scrub::{JournalTwin, RetireState};
+use shard::{EpochGc, EventRing, LimboPage, ShardedMap, EVENT_RING_CAPACITY};
 use trio_layout::superblock_replica_page;
 
 /// Controller tunables.
@@ -128,6 +135,19 @@ pub struct KernelController {
     kh: NvmHandle,
     verifier: Verifier,
     pub(crate) registry: SimMutex<Registry>,
+    /// Page provenance for every non-free page, sharded so the allocator
+    /// and scrub paths read/write it without the registry control lock
+    /// (DESIGN.md §20). Shard locks are leaves under the registry.
+    pub(crate) prov: ShardedMap<PageProvenance>,
+    /// Ino provenance for every allocated ino (same sharding discipline).
+    pub(crate) inos: ShardedMap<InoProvenance>,
+    /// Epoch-based reclamation for freed pages: provenance readers that
+    /// walk outside the control lock hold an [`EpochPin`]; frees ripen
+    /// through limbo and only re-enter circulation past every pin.
+    pub(crate) gc: Arc<EpochGc>,
+    /// Bounded kernel event ring (drop-oldest; replaces the old unbounded
+    /// `Registry::events` vec).
+    pub(crate) events: EventRing,
     /// Per-node free-page pools (per-CPU in the paper; per-node here, which
     /// is the contention boundary that matters for the experiments).
     pools: Vec<SimMutex<Vec<PageId>>>,
@@ -233,11 +253,19 @@ impl KernelController {
             Arc::clone(&stats),
         );
 
+        // Root is "in use" at a synthetic location never compared against.
+        let inos = ShardedMap::new();
+        inos.insert(ROOT_INO, InoProvenance::InUse(DirentLoc { page: PageId(0), slot: 0 }));
+
         Arc::new(KernelController {
             verifier: Verifier::new(NvmHandle::new(Arc::clone(&dev), KERNEL_ACTOR)),
             kh,
             dev,
             registry: SimMutex::new(Registry::new()),
+            prov: ShardedMap::new(),
+            inos,
+            gc: Arc::new(EpochGc::new()),
+            events: EventRing::new(EVENT_RING_CAPACITY),
             pools,
             next_ino: SimMutex::new(ROOT_INO + 1),
             pins: SimMutex::new(PinState::default()),
@@ -287,7 +315,11 @@ impl KernelController {
         // mount after a media fault re-establishes two good copies.
         let _health = sb.scrub().map_err(|_| FsError::Corrupted)?;
         let next_ino = sb.next_ino().map_err(|_| FsError::Corrupted)?.max(ROOT_INO + 1);
-        let mut registry = Registry::new();
+        let registry = Registry::new();
+        let prov = ShardedMap::new();
+        let inos = ShardedMap::new();
+        // Root is "in use" at a synthetic location never compared against.
+        inos.insert(ROOT_INO, InoProvenance::InUse(DirentLoc { page: PageId(0), slot: 0 }));
         let mut used: HashSet<u64> = HashSet::new();
         used.insert(trio_layout::superblock::SUPERBLOCK_PAGE.0);
         used.insert(superblock_replica_page(dev.topology().total_pages()).0);
@@ -332,8 +364,8 @@ impl KernelController {
             }
             for p in pages.all_pages() {
                 used.insert(p.0);
-                registry.page_prov.insert(p.0, PageProvenance::InFile(ino));
             }
+            prov.insert_batch(pages.all_pages().map(|p| (p.0, PageProvenance::InFile(ino))));
             if ftype != CoreFileType::Directory {
                 continue;
             }
@@ -363,7 +395,7 @@ impl KernelController {
                         continue;
                     }
                     live += 1;
-                    registry.ino_prov.insert(d.ino, InoProvenance::InUse(loc));
+                    inos.insert(d.ino, InoProvenance::InUse(loc));
                     queue.push_back((d.ino, d.first_index, cft, Some(loc)));
                 }
             }
@@ -422,6 +454,10 @@ impl KernelController {
             kh,
             dev,
             registry: SimMutex::new(registry),
+            prov,
+            inos,
+            gc: Arc::new(EpochGc::new()),
+            events: EventRing::new(EVENT_RING_CAPACITY),
             pools,
             next_ino: SimMutex::new(next_ino),
             pins: SimMutex::new(PinState::default()),
@@ -448,17 +484,23 @@ impl KernelController {
     /// certifies the recovered tree end-to-end.
     pub fn fsck(&self) -> Vec<(Ino, Vec<Violation>)> {
         self.trap();
-        let reg = self.registry.lock();
+        // Pin the reclamation epoch for the whole audit: pages freed while
+        // the verifier walks stay in limbo, contents intact, until the pin
+        // drops — the audit can never read a recycled frame.
+        let _pin = self.gc.pin();
+        let reg = self.reg_lock(RegistryLockSite::Fsck);
         let mut bad = Vec::new();
-        let mut targets: Vec<(Ino, Option<DirentLoc>)> = reg
-            .ino_prov
-            .iter()
+        // `collect_filter` returns ino-sorted entries, preserving the old
+        // deterministic audit order.
+        let mut targets: Vec<(Ino, Option<DirentLoc>)> = self
+            .inos
+            .collect_filter(|i, _| i != ROOT_INO)
+            .into_iter()
             .filter_map(|(i, p)| match p {
-                InoProvenance::InUse(loc) if *i != ROOT_INO => Some((*i, Some(*loc))),
+                InoProvenance::InUse(loc) => Some((i, Some(loc))),
                 _ => None,
             })
             .collect();
-        targets.sort_unstable_by_key(|(i, _)| *i);
         targets.insert(0, (ROOT_INO, None));
         for (ino, dirent) in targets {
             let (ftype, first_index) = match dirent {
@@ -500,7 +542,7 @@ impl KernelController {
                 max_index_pages: self.config.max_index_pages,
                 max_dir_entries: self.config.max_dir_entries,
             };
-            let report = self.verifier.verify(&req, &*reg);
+            let report = self.verifier.verify(&req, &self.view(&reg));
             if report.budget_hit {
                 self.resilience.record_budget_hit();
             }
@@ -528,6 +570,47 @@ impl KernelController {
 
     pub(crate) fn verifier(&self) -> &Verifier {
         &self.verifier
+    }
+
+    /// Takes the registry control lock, attributing the acquisition to
+    /// `site` (satellite of DESIGN.md §20: every regression in the
+    /// headline `registry_locks` counter names the path that caused it).
+    /// The only sanctioned way to lock the registry.
+    pub(crate) fn reg_lock(&self, site: RegistryLockSite) -> SimMutexGuard<'_, Registry> {
+        self.stats.record_registry_lock_site(site);
+        self.registry.lock()
+    }
+
+    /// The verifier's read view: control-lock state (shadow attrs,
+    /// mappings) from the held registry guard, provenance from the
+    /// sharded maps.
+    pub(crate) fn view<'a>(&'a self, reg: &'a Registry) -> KernelView<'a> {
+        KernelView { reg, prov: &self.prov, inos: &self.inos }
+    }
+
+    /// Records `pages` as belonging to file `ino` (post-verification).
+    pub(crate) fn claim_pages_for_file(&self, ino: Ino, pages: &FilePages) {
+        self.prov.insert_batch(pages.all_pages().map(|p| (p.0, PageProvenance::InFile(ino))));
+    }
+
+    /// Appends to the bounded kernel event ring, surfacing overflow drops
+    /// in the shared stats.
+    pub(crate) fn push_event(&self, ev: KernelEvent) {
+        if self.events.push(ev) {
+            self.stats.record_event_dropped();
+        }
+    }
+
+    /// Pins the reclamation epoch: pages freed while the pin is live stay
+    /// in limbo — provenance intact, contents untouched — until it drops.
+    /// Public for tests that audit the epoch machinery.
+    pub fn epoch_pin(&self) -> EpochPin {
+        self.gc.pin()
+    }
+
+    /// Freed pages currently waiting in reclamation limbo.
+    pub fn limbo_page_count(&self) -> usize {
+        self.gc.limbo_len()
     }
 
     /// The delegation pool (threads must be started with
@@ -574,7 +657,7 @@ impl KernelController {
     pub fn register_libfs(&self, uid: u32, gid: u32) -> LibFsRegistration {
         self.trap();
         let actor = {
-            let mut reg = self.registry.lock();
+            let mut reg = self.reg_lock(RegistryLockSite::Register);
             let id = ActorId(reg.next_actor);
             reg.next_actor += 1;
             reg.actors.insert(id, Credentials { uid, gid });
@@ -598,7 +681,7 @@ impl KernelController {
 
     /// Credentials of a registered actor.
     pub fn credentials(&self, actor: ActorId) -> Option<Credentials> {
-        self.registry.lock().actors.get(&actor).copied()
+        self.reg_lock(RegistryLockSite::Admin).actors.get(&actor).copied()
     }
 
     /// Unregisters a LibFS (process exit): releases every mapping it
@@ -614,6 +697,9 @@ impl KernelController {
         // requests after this point faults cleanly instead of reading a
         // buffer whose owner is gone.
         self.delegation.grants().revoke_actor(actor);
+        // Drain whatever reclamation limbo holds for this actor while its
+        // cache still exists; later ripenings fall back to the pool spill.
+        self.gc_reclaim();
         // Flush the actor's allocator cache back to the global pools —
         // the pages are already scrubbed and unmapped.
         let cached: Vec<PageId> = self
@@ -629,7 +715,7 @@ impl KernelController {
         if !cached.is_empty() {
             self.spill_cached(&cached);
         }
-        let mut reg = self.registry.lock();
+        let mut reg = self.reg_lock(RegistryLockSite::Unregister);
         let held: Vec<Ino> = reg
             .files
             .iter()
@@ -721,6 +807,13 @@ impl KernelController {
         let nodes = self.pools.len();
         let start = node.unwrap_or(0).min(nodes - 1);
         let cache = self.cache_of(actor);
+        // Ripe limbo pages belong in the pools/caches before any refill
+        // judges them empty. The probe is a relaxed atomic — free on the
+        // steady-state path, where limbo drained at defer time — and must
+        // run before the cache lock below (reclaim parks into it).
+        if self.gc.has_limbo() {
+            self.gc_reclaim();
+        }
         let mut c = cache.lock();
         let mut out: Vec<PageId>;
         let have = c.per_node[start].len();
@@ -796,13 +889,13 @@ impl KernelController {
                 }
                 return Err(FsError::NoSpace);
             }
-            if !fresh.is_empty() {
-                let mut reg = self.registry.lock();
-                self.stats.record_registry_lock();
-                for p in &fresh {
-                    reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
-                }
-            }
+            // Provenance-tag the refill through the sharded map: the
+            // drained pages are consecutive, so this touches one or two
+            // shard locks and the registry control lock not at all
+            // (RegistryLockSite::AllocRefill exists only to attribute a
+            // future regression here).
+            self.prov
+                .insert_batch(fresh.iter().map(|p| (p.0, PageProvenance::AllocatedTo(actor))));
             self.stats.record_alloc_refill(fresh.len());
             let mandatory = n - out.len();
             let extras = fresh.split_off(mandatory.min(fresh.len()));
@@ -830,15 +923,13 @@ impl KernelController {
     /// cold end spills back.
     pub fn free_pages(&self, actor: ActorId, pages: &[PageId]) -> FsResult<()> {
         self.trap();
-        {
-            let reg = self.registry.lock();
-            self.stats.record_registry_lock();
-            for p in pages {
-                match reg.page_prov.get(&p.0) {
-                    Some(PageProvenance::AllocatedTo(a)) if *a == actor => {}
-                    _ => return Err(FsError::PermissionDenied),
-                }
-            }
+        // Shard-local validation; no registry control lock
+        // (RegistryLockSite::Free attributes any future regression here).
+        let authorized = self.prov.all_match(pages.iter().map(|p| p.0), |_, v| {
+            matches!(v, Some(PageProvenance::AllocatedTo(a)) if a == actor)
+        });
+        if !authorized {
+            return Err(FsError::PermissionDenied);
         }
         self.park_freed_pages(actor, pages);
         Ok(())
@@ -861,21 +952,82 @@ impl KernelController {
         if !pinned.is_empty() {
             self.release_pages_internal(&pinned);
         }
+        if cacheable.is_empty() {
+            return;
+        }
+        // Freed frames ripen through epoch limbo: a verifier walk, fsck,
+        // or patrol pass holding an [`EpochPin`] may still be reading
+        // them, so scrubbing and recycling wait until every earlier pin
+        // drops. With no pins live — the steady state — `gc_reclaim`
+        // drains this very batch before returning, so the unpinned path
+        // parks the pages synchronously like the pre-epoch code did.
+        self.gc
+            .defer(cacheable.into_iter().map(|page| LimboPage { page, owner: actor }).collect());
+        self.gc_reclaim();
+    }
+
+    /// Drains every ripe limbo batch into its owner's allocator cache
+    /// (scrubbing on the way; retirement-diverted and unscrubbable pages
+    /// leave circulation instead). Called after every defer, before
+    /// refills, at unregister, and by the ledger accessors, so limbo is
+    /// only ever non-empty while a pin is actually held.
+    pub(crate) fn gc_reclaim(&self) {
+        let ripe = self.gc.take_ripe();
+        if ripe.is_empty() {
+            return;
+        }
+        // Group by owner preserving first-seen order: HashMap iteration
+        // order must never decide pool contents (determinism).
+        let mut order: Vec<ActorId> = Vec::new();
+        let mut by_owner: HashMap<ActorId, Vec<PageId>> = HashMap::new();
+        for lp in ripe {
+            by_owner
+                .entry(lp.owner)
+                .or_insert_with(|| {
+                    order.push(lp.owner);
+                    Vec::new()
+                })
+                .push(lp.page);
+        }
+        for owner in order {
+            if let Some(pages) = by_owner.remove(&owner) {
+                self.park_reclaimed(owner, &pages);
+            }
+        }
+    }
+
+    /// Parks one owner's ripe pages in its allocator cache, spilling the
+    /// cold end past the high-water mark (the caching half of the free
+    /// path; authorization happened before the pages entered limbo).
+    fn park_reclaimed(&self, actor: ActorId, pages: &[PageId]) {
         // Pages past the retirement threshold leave circulation here
         // instead of re-entering the cache.
         let (diverted, cacheable): (Vec<PageId>, Vec<PageId>) =
-            cacheable.into_iter().partition(|p| self.divert_retired(*p));
+            pages.iter().partition(|p| self.divert_retired(**p));
         if !diverted.is_empty() {
-            let mut reg = self.registry.lock();
-            for p in &diverted {
-                reg.page_prov.remove(&p.0);
-            }
+            self.prov.remove_batch(diverted.iter().map(|p| p.0));
         }
         if cacheable.is_empty() {
             return;
         }
+        // An owner that unregistered while its frees sat in limbo has no
+        // cache left to feed; its pages spill straight to the pools.
+        let cache = self.caches.lock().get(&actor).map(Arc::clone);
+        let Some(cache) = cache else {
+            let mut scrubbed: Vec<PageId> = Vec::new();
+            for p in &cacheable {
+                if self.dev.reset_page(*p).is_ok() {
+                    scrubbed.push(*p);
+                }
+            }
+            if in_sim() {
+                work(cacheable.len() as u64 * cost::MMU_PROGRAM_PAGE_NS);
+            }
+            self.stats.record_free(0, scrubbed.len());
+            self.spill_cached(&scrubbed);
+            return;
+        };
         let topo = self.dev.topology();
-        let cache = self.cache_of(actor);
         let mut c = cache.lock();
         let mut kept = 0usize;
         for p in &cacheable {
@@ -915,14 +1067,10 @@ impl KernelController {
     }
 
     /// Returns already-scrubbed, unmapped cache pages to the global pools.
+    /// Shard-local provenance drop; no registry control lock
+    /// (RegistryLockSite::Spill attributes any future regression here).
     fn spill_cached(&self, pages: &[PageId]) {
-        {
-            let mut reg = self.registry.lock();
-            self.stats.record_registry_lock();
-            for p in pages {
-                reg.page_prov.remove(&p.0);
-            }
-        }
+        self.prov.remove_batch(pages.iter().map(|p| p.0));
         let topo = self.dev.topology();
         for p in pages {
             if self.divert_retired(*p) {
@@ -935,12 +1083,7 @@ impl KernelController {
     /// Internal free path (already authorized): unmaps everyone, scrubs,
     /// and returns to pools unless pinned by a checkpoint.
     pub(crate) fn release_pages_internal(&self, pages: &[PageId]) {
-        {
-            let mut reg = self.registry.lock();
-            for p in pages {
-                reg.page_prov.remove(&p.0);
-            }
-        }
+        self.prov.remove_batch(pages.iter().map(|p| p.0));
         let mut pins = self.pins.lock();
         let topo = self.dev.topology();
         for p in pages {
@@ -1015,11 +1158,10 @@ impl KernelController {
             let _sb = self.sb_lock.lock();
             SuperblockRef::new(&self.kh).set_next_ino(range.end).map_err(|_| FsError::Corrupted)?;
         }
-        let mut reg = self.registry.lock();
+        // Consecutive ino grants land on one or two shard locks; the
+        // registry control lock is not involved at all.
         let out: Vec<Ino> = range.collect();
-        for i in &out {
-            reg.ino_prov.insert(*i, InoProvenance::AllocatedTo(actor));
-        }
+        self.inos.insert_batch(out.iter().map(|i| (*i, InoProvenance::AllocatedTo(actor))));
         Ok(out)
     }
 
@@ -1040,7 +1182,7 @@ impl KernelController {
         self.trap();
         self.check_not_quarantined(actor)?;
         {
-            let reg = self.registry.lock();
+            let reg = self.reg_lock(RegistryLockSite::Admin);
             let root = reg.files.get(&ROOT_INO).ok_or(FsError::NotFound)?;
             if root.writer != Some(actor) {
                 return Err(FsError::PermissionDenied);
@@ -1066,7 +1208,7 @@ impl KernelController {
         self.trap();
         self.check_not_quarantined(actor)?;
         let (dirent, new_mode, name_len, ftype_raw) = {
-            let mut reg = self.registry.lock();
+            let mut reg = self.reg_lock(RegistryLockSite::Admin);
             let cred = *reg.actors.get(&actor).ok_or(FsError::PermissionDenied)?;
             let meta = reg.files.get_mut(&ino).ok_or(FsError::NotFound)?;
             // Only the owner (or uid 0) may change attributes.
@@ -1105,7 +1247,7 @@ impl KernelController {
     /// Ground-truth mode for permission checks (LibFS-visible stat uses the
     /// cached dirent copy; enforcement uses this).
     pub fn shadow_mode(&self, ino: Ino) -> Option<(Mode, u32, u32)> {
-        let reg = self.registry.lock();
+        let reg = self.reg_lock(RegistryLockSite::Admin);
         reg.files.get(&ino).map(|f| (f.shadow.mode, f.shadow.uid, f.shadow.gid))
     }
 
@@ -1117,9 +1259,15 @@ impl KernelController {
     /// lease revocations, and the delegation pool's failure-domain
     /// events — worker deaths/restarts and degraded-mode transitions).
     pub fn take_events(&self) -> Vec<KernelEvent> {
-        let mut events = std::mem::take(&mut self.registry.lock().events);
+        let mut events = self.events.drain();
         events.extend(self.delegation.take_events());
         events
+    }
+
+    /// Kernel events evicted by ring overflow since mount (the bounded
+    /// ring's drop-oldest policy; also surfaced via `PathStats`).
+    pub fn dropped_event_count(&self) -> u64 {
+        self.events.dropped()
     }
 
     /// Snapshot of the delegation pool's degradation state (DESIGN.md
@@ -1141,8 +1289,10 @@ impl KernelController {
         }
     }
 
-    /// Free pages remaining (all pools).
+    /// Free pages remaining (all pools). Drains ripe limbo first so the
+    /// ledger never under-counts pages a dropped pin was holding back.
     pub fn free_page_count(&self) -> usize {
+        self.gc_reclaim();
         self.pools.iter().map(|p| p.lock().len()).sum()
     }
 
@@ -1151,28 +1301,58 @@ impl KernelController {
     /// [`KernelController::free_page_count`] and the pages reachable from
     /// files this accounts for every page — the ledger tests rely on it.
     pub fn cached_page_count(&self) -> usize {
-        self.caches.lock().values().map(|c| c.lock().total).sum()
+        self.gc_reclaim();
+        let caches: Vec<_> = self.caches.lock().values().map(Arc::clone).collect();
+        caches.iter().map(|c| c.lock().total).sum()
     }
 
     /// Whether `ino` currently has a write mapping.
     pub fn writer_of(&self, ino: Ino) -> Option<ActorId> {
-        self.registry.lock().files.get(&ino).and_then(|f| f.writer)
+        self.reg_lock(RegistryLockSite::Admin).files.get(&ino).and_then(|f| f.writer)
     }
 
     /// Pages the kernel believes belong to file `ino` (post-verification).
     pub fn pages_of(&self, ino: Ino) -> HashSet<u64> {
-        let reg = self.registry.lock();
-        reg.page_prov
-            .iter()
-            .filter_map(|(p, st)| match st {
-                PageProvenance::InFile(f) if *f == ino => Some(*p),
-                _ => None,
-            })
+        self.prov
+            .collect_filter(|_, st| matches!(st, PageProvenance::InFile(f) if f == ino))
+            .into_iter()
+            .map(|(p, _)| p)
             .collect()
     }
 
     /// Dirent location helper for tests.
     pub fn dirent_of(&self, ino: Ino) -> Option<DirentLoc> {
-        self.registry.lock().files.get(&ino).and_then(|f| f.dirent)
+        self.reg_lock(RegistryLockSite::Admin).files.get(&ino).and_then(|f| f.dirent)
+    }
+}
+
+/// The verifier's window onto kernel state (`trio_verifier::ResourceView`):
+/// shadow attributes and mapping state come from the registry guard the
+/// caller holds; page/ino provenance from the sharded maps. Page 0 is the
+/// kernel-owned superblock; absent entries read as free/unknown.
+pub(crate) struct KernelView<'a> {
+    pub(crate) reg: &'a Registry,
+    pub(crate) prov: &'a ShardedMap<PageProvenance>,
+    pub(crate) inos: &'a ShardedMap<InoProvenance>,
+}
+
+impl ResourceView for KernelView<'_> {
+    fn page_provenance(&self, page: PageId) -> PageProvenance {
+        if page.0 == 0 {
+            return PageProvenance::Kernel;
+        }
+        self.prov.get(page.0).unwrap_or(PageProvenance::Free)
+    }
+
+    fn ino_provenance(&self, ino: Ino) -> InoProvenance {
+        self.inos.get(ino).unwrap_or(InoProvenance::Unknown)
+    }
+
+    fn shadow_attr(&self, ino: Ino) -> Option<ShadowAttr> {
+        self.reg.files.get(&ino).map(|f| f.shadow)
+    }
+
+    fn is_mapped(&self, ino: Ino) -> bool {
+        self.reg.files.get(&ino).map(|f| f.is_mapped()).unwrap_or(false)
     }
 }

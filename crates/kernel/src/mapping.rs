@@ -26,7 +26,7 @@ use trio_layout::{
     walk_file, CoreFileType, DirentData, DirentLoc, DirentRef, FilePages, IndexPageRef, Ino,
     SuperblockRef, DIRENTS_PER_PAGE, DIRENT_SIZE, ROOT_INO,
 };
-use trio_nvm::{ActorId, PageId, PagePerm, PAGE_SIZE};
+use trio_nvm::{ActorId, PageId, PagePerm, RegistryLockSite, PAGE_SIZE};
 use trio_sim::{cost, in_sim, now, work, Nanos};
 use trio_verifier::{InoProvenance, PageProvenance, ShadowAttr, VerifyRequest};
 
@@ -78,7 +78,7 @@ impl KernelController {
         self.check_not_quarantined(actor)?;
         let mut lease_attempt = 0u32;
         loop {
-            let mut reg = self.registry.lock();
+            let mut reg = self.reg_lock(RegistryLockSite::Map);
             // ---- Identify the file from its committed core state. ----
             let (ino, ftype, _first_index0, dirent, parent, size) = match target {
                 MapTarget::Root => {
@@ -266,7 +266,7 @@ impl KernelController {
     /// release marks the file (and its parent) dirty pending verification.
     pub fn release(&self, actor: ActorId, ino: Ino) -> FsResult<()> {
         self.trap();
-        let mut reg = self.registry.lock();
+        let mut reg = self.reg_lock(RegistryLockSite::Release);
         let Some(meta) = reg.files.get_mut(&ino) else {
             return Err(FsError::NotFound);
         };
@@ -310,7 +310,7 @@ impl KernelController {
     pub fn commit(&self, actor: ActorId, ino: Ino) -> FsResult<()> {
         self.trap();
         self.check_not_quarantined(actor)?;
-        let mut reg = self.registry.lock();
+        let mut reg = self.reg_lock(RegistryLockSite::Commit);
         let Some(meta) = reg.files.get_mut(&ino) else {
             return Err(FsError::NotFound);
         };
@@ -359,28 +359,30 @@ impl KernelController {
         pages: &[PageId],
     ) -> FsResult<()> {
         self.trap();
-        {
-            let mut reg = self.registry.lock();
-            // Pages still in the caller's pool need no write grant; pages
-            // the kernel has claimed for the file do (a by-construction
-            // writer — a file never kernel-mapped — only ever holds
-            // pool-provenance pages).
+        // Fast path (the common truncate/shrink case): every page still
+        // carries the caller's pool provenance, so no write-grant check —
+        // and no control lock — is needed; the shard probe suffices.
+        let all_pool = self.prov.all_match(pages.iter().map(|p| p.0), |_, v| {
+            matches!(v, Some(PageProvenance::AllocatedTo(a)) if a == actor)
+        });
+        if !all_pool {
+            // Slow path: some pages are kernel-claimed for the file. That
+            // needs the caller to hold `ino`'s write grant, checked under
+            // the control lock; the provenance flip happens while the
+            // grant check still holds so a concurrent revocation cannot
+            // interleave.
+            let reg = self.reg_lock(RegistryLockSite::ReturnFile);
             let writer_ok = reg.files.get(&ino).and_then(|m| m.writer) == Some(actor);
             for p in pages {
-                match reg.page_prov.get(&p.0) {
-                    Some(PageProvenance::AllocatedTo(a)) if *a == actor => {}
-                    Some(PageProvenance::InFile(f)) if *f == ino && writer_ok => {}
+                match self.prov.get(p.0) {
+                    Some(PageProvenance::AllocatedTo(a)) if a == actor => {}
+                    Some(PageProvenance::InFile(f)) if f == ino && writer_ok => {}
                     _ => return Err(FsError::PermissionDenied),
                 }
             }
-            // Authorized: the pages leave the file and come back to the
-            // caller's pool, under the registry lock already held — so
-            // they can park in the actor's scrubbed allocator cache and
-            // feed its next allocation burst instead of round-tripping
-            // through the global pools.
-            for p in pages {
-                reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
-            }
+            self.prov
+                .insert_batch(pages.iter().map(|p| (p.0, PageProvenance::AllocatedTo(actor))));
+            drop(reg);
         }
         self.park_freed_pages(actor, pages);
         Ok(())
@@ -425,7 +427,7 @@ impl KernelController {
         ino: Ino,
         first_index: u64,
     ) -> FsResult<Vec<PageId>> {
-        let mut reg = self.registry.lock();
+        let mut reg = self.reg_lock(RegistryLockSite::Reclaim);
         // Authorization tiers: a kernel-tracked writer of the parent may
         // reclaim anything under it. A LibFS working in a by-construction
         // subtree (parent unknown to the kernel, or known but unmapped) may
@@ -439,7 +441,7 @@ impl KernelController {
             }
         }
         let full_auth = pwriter == Some(actor);
-        let ino_ok = match reg.ino_prov.get(&ino).copied() {
+        let ino_ok = match self.inos.get(ino) {
             None => true,
             Some(InoProvenance::Unknown) => true,
             Some(InoProvenance::AllocatedTo(a)) => a == actor || full_auth,
@@ -467,10 +469,10 @@ impl KernelController {
                 let pages: Vec<PageId> = ck.images.iter().map(|(p, _)| *p).collect();
                 drop(reg);
                 self.unpin_pages(pages.into_iter());
-                reg = self.registry.lock();
+                reg = self.reg_lock(RegistryLockSite::Reclaim);
             }
         }
-        reg.ino_prov.remove(&ino);
+        self.inos.remove(ino);
         // Free the chain's pages, but never pages the books say belong to a
         // *different* file (a malicious LibFS could pass a foreign chain),
         // and — without full authorization — only the caller's own pool
@@ -478,9 +480,9 @@ impl KernelController {
         let mut freeable: Vec<PageId> = Vec::new();
         if let Ok(pages) = walk_file(self.kernel_handle(), first_index, self.config().max_index_pages) {
             for p in pages.all_pages() {
-                match reg.page_prov.get(&p.0) {
-                    Some(PageProvenance::InFile(f)) if *f == ino => freeable.push(p),
-                    Some(PageProvenance::AllocatedTo(a)) if *a == actor || full_auth => {
+                match self.prov.get(p.0) {
+                    Some(PageProvenance::InFile(f)) if f == ino => freeable.push(p),
+                    Some(PageProvenance::AllocatedTo(a)) if a == actor || full_auth => {
                         freeable.push(p)
                     }
                     None | Some(_) => {}
@@ -494,9 +496,8 @@ impl KernelController {
         let (recyclable, pinned): (Vec<PageId>, Vec<PageId>) =
             freeable.into_iter().partition(|p| !pins.pinned.contains_key(&p.0));
         drop(pins);
-        for p in &recyclable {
-            reg.page_prov.insert(p.0, PageProvenance::AllocatedTo(actor));
-        }
+        self.prov
+            .insert_batch(recyclable.iter().map(|p| (p.0, PageProvenance::AllocatedTo(actor))));
         drop(reg);
         let mut mmu_work = 0u64;
         for p in &recyclable {
@@ -559,13 +560,13 @@ impl KernelController {
                         return Err(FsError::Corrupted); // Live at two slots.
                     }
                     meta.dirent = Some(new);
-                    reg.ino_prov.insert(ino, InoProvenance::InUse(new));
+                    self.inos.insert(ino, InoProvenance::InUse(new));
                 }
             }
             return Ok(());
         }
         let dirty_by;
-        let shadow = match reg.ino_prov.get(&ino).copied() {
+        let shadow = match self.inos.get(ino) {
             None | Some(InoProvenance::Unknown) => return Err(FsError::Corrupted),
             Some(InoProvenance::AllocatedTo(creator)) => {
                 // The creator's direct-access writes are unvetted until the
@@ -602,7 +603,7 @@ impl KernelController {
             }
         };
         if let Some(loc) = dirent {
-            reg.ino_prov.insert(ino, InoProvenance::InUse(loc));
+            self.inos.insert(ino, InoProvenance::InUse(loc));
         }
         let mut meta = FileMeta::new(ino, ftype, dirent, parent, shadow);
         meta.dirty_by = dirty_by;
@@ -641,7 +642,7 @@ impl KernelController {
                 pmeta.dirty_by = Some(w);
             }
         }
-        reg.events.push(KernelEvent::LeaseRevoked { ino, actor: w });
+        self.push_event(KernelEvent::LeaseRevoked { ino, actor: w });
     }
 
     /// Runs the integrity verifier on `ino` (which must be dirty). On a
@@ -657,6 +658,11 @@ impl KernelController {
     }
 
     fn verify_file_locked_inner(&self, reg: &mut Registry, ino: Ino) -> bool {
+        // Pin the reclamation epoch for the whole verification: pages the
+        // walk observes may sit in the GC limbo list (freed but not yet
+        // recycled), and the pin guarantees their contents and provenance
+        // stay put until the verdict is in.
+        let _pin = self.gc.pin();
         let Some(meta) = reg.files.get(&ino) else {
             return true;
         };
@@ -677,25 +683,25 @@ impl KernelController {
             max_index_pages: self.config().max_index_pages,
             max_dir_entries: self.config().max_dir_entries,
         };
-        let report = self.verifier().verify(&req, reg);
+        let report = self.verifier().verify(&req, &self.view(reg));
         if report.budget_hit {
             self.resilience_stats().record_budget_hit();
         }
         if report.ok() {
-            reg.claim_pages_for_file(ino, &report.pages);
+            self.claim_pages_for_file(ino, &report.pages);
             for child in &report.children {
-                let prov = reg.ino_prov.get(&child.ino).copied();
+                let prov = self.inos.get(child.ino);
                 match prov {
                     Some(InoProvenance::AllocatedTo(creator)) => {
-                        reg.ino_prov.insert(child.ino, InoProvenance::InUse(child.loc));
+                        self.inos.insert(child.ino, InoProvenance::InUse(child.loc));
                         // The child's own core state is still unvetted.
                         reg.pending_dirty.insert(child.ino, creator);
                     }
                     None => {
-                        reg.ino_prov.insert(child.ino, InoProvenance::InUse(child.loc));
+                        self.inos.insert(child.ino, InoProvenance::InUse(child.loc));
                     }
                     Some(InoProvenance::InUse(old)) if old != child.loc => {
-                        reg.ino_prov.insert(child.ino, InoProvenance::InUse(child.loc));
+                        self.inos.insert(child.ino, InoProvenance::InUse(child.loc));
                         if let Some(cm) = reg.files.get_mut(&child.ino) {
                             cm.dirent = Some(child.loc);
                         }
@@ -721,13 +727,13 @@ impl KernelController {
             true
         } else {
             self.resilience_stats().record_violations(&report.violations);
-            reg.events.push(KernelEvent::CorruptionDetected {
+            self.push_event(KernelEvent::CorruptionDetected {
                 ino,
                 violations: report.violations.len(),
             });
             crate::obs::violation_dump(ino);
             self.rollback_locked(reg, ino);
-            reg.events.push(KernelEvent::RolledBack { ino });
+            self.push_event(KernelEvent::RolledBack { ino });
             // Containment: a confirmed violation by a live, registered
             // LibFS quarantines it (rollback above already stopped the
             // bleeding on this file; the quarantine covers the rest of its
@@ -763,8 +769,8 @@ impl KernelController {
             }
             let parent = meta.parent;
             reg.files.remove(&ino);
-            reg.ino_prov.remove(&ino);
-            reg.events.push(KernelEvent::Privatized { ino, actor: dirty_actor });
+            self.inos.remove(ino);
+            self.push_event(KernelEvent::Privatized { ino, actor: dirty_actor });
             let _ = parent;
             return;
         };
@@ -792,7 +798,7 @@ impl KernelController {
         }
         // 3. Reconcile: clear slots whose pages no longer belong here.
         let fi = self.current_first_index(ino, dirent).unwrap_or(0);
-        self.trim_foreign_slots(reg, ino, fi, dirty_actor);
+        self.trim_foreign_slots(ino, fi, dirty_actor);
         // 4. For directories, reconcile each surviving child's chain too.
         if ftype == CoreFileType::Directory {
             if let Ok(pages) = walk_file(self.kernel_handle(), fi, self.config().max_index_pages) {
@@ -812,7 +818,7 @@ impl KernelController {
                     let child_has_ck = cino != ino
                         && reg.files.get(&cino).is_some_and(|m| m.checkpoint.is_some());
                     let broken = self.chain_is_broken(cfi);
-                    let foreign = !broken && self.has_foreign_slots(reg, cino, cfi, dirty_actor);
+                    let foreign = !broken && self.has_foreign_slots(cino, cfi, dirty_actor);
                     if (broken || foreign) && child_has_ck {
                         // The child's own checkpoint can restore its chain;
                         // trimming here would erase data its rollback is
@@ -823,14 +829,14 @@ impl KernelController {
                             }
                         }
                         self.rollback_locked(reg, cino);
-                        reg.events.push(KernelEvent::RolledBack { ino: cino });
+                        self.push_event(KernelEvent::RolledBack { ino: cino });
                     } else if broken {
                         // Trim the child to empty rather than leave a
                         // dangling chain.
                         let _ = DirentRef::new(self.kernel_handle(), cloc).set_first_index(0);
                         let _ = DirentRef::new(self.kernel_handle(), cloc).set_size(0);
                     } else if foreign {
-                        self.trim_foreign_slots(reg, cino, cfi, dirty_actor);
+                        self.trim_foreign_slots(cino, cfi, dirty_actor);
                     }
                 }
             }
@@ -838,7 +844,7 @@ impl KernelController {
         // 5. Re-claim the restored pages and strip the dirty actor's
         //    residual access.
         if let Ok(pages) = walk_file(self.kernel_handle(), fi, self.config().max_index_pages) {
-            reg.claim_pages_for_file(ino, &pages);
+            self.claim_pages_for_file(ino, &pages);
             if let Some(da) = dirty_actor {
                 for p in pages.all_pages() {
                     let _ = self.device().mmu_unmap(da, p);
@@ -858,7 +864,6 @@ impl KernelController {
     /// nor are allocated to `dirty_actor` (trim/pad, §4.3).
     fn trim_foreign_slots(
         &self,
-        reg: &Registry,
         ino: Ino,
         first_index: u64,
         dirty_actor: Option<ActorId>,
@@ -876,9 +881,9 @@ impl KernelController {
                 if e == 0 {
                     continue;
                 }
-                let ok = match reg.page_prov.get(&e) {
-                    Some(PageProvenance::InFile(f)) if *f == ino => true,
-                    Some(PageProvenance::AllocatedTo(a)) => Some(*a) == dirty_actor,
+                let ok = match self.prov.get(e) {
+                    Some(PageProvenance::InFile(f)) if f == ino => true,
+                    Some(PageProvenance::AllocatedTo(a)) => Some(a) == dirty_actor,
                     _ => false,
                 };
                 if !ok {
@@ -893,7 +898,6 @@ impl KernelController {
     /// is legal growth from `dirty_actor`'s pool.
     fn has_foreign_slots(
         &self,
-        reg: &Registry,
         ino: Ino,
         first_index: u64,
         dirty_actor: Option<ActorId>,
@@ -911,9 +915,9 @@ impl KernelController {
                 if e == 0 {
                     continue;
                 }
-                let ok = match reg.page_prov.get(&e) {
-                    Some(PageProvenance::InFile(f)) if *f == ino => true,
-                    Some(PageProvenance::AllocatedTo(a)) => Some(*a) == dirty_actor,
+                let ok = match self.prov.get(e) {
+                    Some(PageProvenance::InFile(f)) if f == ino => true,
+                    Some(PageProvenance::AllocatedTo(a)) => Some(a) == dirty_actor,
                     _ => false,
                 };
                 if !ok {

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use trio_layout::{superblock::SUPERBLOCK_PAGE, Ino};
-use trio_nvm::{ActorId, PageId, PagePerm, KERNEL_ACTOR};
+use trio_nvm::{ActorId, PageId, PagePerm, RegistryLockSite, KERNEL_ACTOR};
 use trio_verifier::{PageProvenance, RepairClass, Violation, VIOLATION_KINDS};
 
 use crate::registry::{KernelEvent, QuarantineInfo, Registry};
@@ -223,11 +223,11 @@ impl KernelController {
         // Its grant windows go with the MMU grants: a contained LibFS's
         // in-flight delegated writes must not keep reading its buffers.
         self.delegation().grants().revoke_actor(offender);
-        let pool: Vec<PageId> = reg
-            .page_prov
-            .iter()
-            .filter(|(_, prov)| **prov == PageProvenance::AllocatedTo(offender))
-            .map(|(p, _)| PageId(*p))
+        let pool: Vec<PageId> = self
+            .prov
+            .collect_filter(|_, prov| prov == PageProvenance::AllocatedTo(offender))
+            .into_iter()
+            .map(|(p, _)| PageId(p))
             .collect();
         for p in pool {
             let _ = self.device().mmu_map(offender, p, PagePerm::Write);
@@ -239,9 +239,9 @@ impl KernelController {
             PagePerm::Read,
         );
         let n = tainted.len();
-        reg.quarantine.insert(offender, QuarantineInfo { tainted });
+        reg.quarantine_enter(offender, QuarantineInfo { tainted });
         self.quarantined_mirror.lock().insert(offender);
-        reg.events.push(KernelEvent::Quarantined { actor: offender, tainted: n });
+        self.push_event(KernelEvent::Quarantined { actor: offender, tainted: n });
         self.resilience_stats().record_quarantine_entry();
         crate::obs::quarantine_dump(offender.0);
         if self.config().auto_repair {
@@ -255,7 +255,7 @@ impl KernelController {
     /// is set for the duration so failures inside the pass never re-enter
     /// quarantine.
     pub(crate) fn repair_actor_locked(&self, reg: &mut Registry, offender: ActorId) {
-        let Some(info) = reg.quarantine.remove(&offender) else {
+        let Some(info) = reg.quarantine_remove(offender) else {
             self.quarantined_mirror.lock().remove(&offender);
             return;
         };
@@ -283,7 +283,7 @@ impl KernelController {
         }
         reg.repairing = false;
         self.quarantined_mirror.lock().remove(&offender);
-        reg.events.push(KernelEvent::Readmitted { actor: offender });
+        self.push_event(KernelEvent::Readmitted { actor: offender });
         self.resilience_stats().record_quarantine_exit();
     }
 
@@ -293,7 +293,7 @@ impl KernelController {
     /// is the manual-mode "background repair" hook.
     pub fn repair_quarantined(&self) -> usize {
         self.trap();
-        let mut reg = self.registry.lock();
+        let mut reg = self.reg_lock(RegistryLockSite::Quarantine);
         let mut actors: Vec<ActorId> = reg.quarantine.keys().copied().collect();
         actors.sort_unstable();
         for a in &actors {

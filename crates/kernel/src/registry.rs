@@ -1,17 +1,19 @@
-//! Kernel bookkeeping: file metadata, shadow inodes, provenance, leases.
+//! Kernel bookkeeping: file metadata, shadow inodes, leases, quarantine.
 //!
 //! This module is the "global file system information" of paper §4.3/I2:
-//! which inodes and pages are allocated to which LibFS, which belong to
-//! existing files, who maps what, and the per-file checkpoints used for
-//! rollback. The integrity verifier reads it through the
-//! [`trio_verifier::ResourceView`] implementation.
+//! which inodes belong to which files, who maps what, and the per-file
+//! checkpoints used for rollback. Page and ino *provenance* moved out of
+//! this struct into the sharded maps of [`crate::shard`] (DESIGN.md §20)
+//! so the allocator fast path no longer takes the control lock; the
+//! verifier reads both halves through `KernelController`'s
+//! [`trio_verifier::ResourceView`] adapter.
 
 use std::collections::{HashMap, HashSet};
 
 use trio_layout::{CoreFileType, DirentLoc, FilePages, Ino, ROOT_INO};
 use trio_nvm::{ActorId, PageId};
 use trio_sim::Nanos;
-use trio_verifier::{InoProvenance, PageProvenance, ResourceView, ShadowAttr};
+use trio_verifier::ShadowAttr;
 
 /// Credentials of a registered LibFS (one per process or trust group).
 #[derive(Clone, Copy, Debug)]
@@ -183,29 +185,32 @@ pub struct QuarantineInfo {
     pub tainted: HashSet<Ino>,
 }
 
-/// The kernel's mutable state (held under one virtual-time mutex; kernel
-/// calls are rare in steady state because allocation is batched).
+/// The kernel's mutable control-plane state. Since DESIGN.md §20 this
+/// holds only the genuinely shared, cross-file invariants — file
+/// metadata, actor table, quarantine — while page/ino provenance lives
+/// in the sharded maps and the event log in the bounded ring, both on
+/// `KernelController`. Steady-state alloc/free never locks this.
 pub struct Registry {
     /// Registered LibFS credentials.
     pub actors: HashMap<ActorId, Credentials>,
     /// Per-file metadata, keyed by ino.
     pub files: HashMap<Ino, FileMeta>,
-    /// Page provenance for every non-free page.
-    pub page_prov: HashMap<u64, PageProvenance>,
-    /// Ino provenance for every allocated ino.
-    pub ino_prov: HashMap<Ino, InoProvenance>,
     /// Children observed during a parent's verification whose own core
     /// state is still unvetted: ino -> the actor whose writes created it.
     /// Consumed at adoption so the child is verified on its first
     /// cross-actor map.
     pub pending_dirty: HashMap<Ino, trio_nvm::ActorId>,
-    /// Event log (bounded by tests' appetite; cleared on read).
-    pub events: Vec<KernelEvent>,
     /// Next actor id to hand out.
     pub next_actor: u32,
     /// LibFSes currently quarantined after a confirmed violation, with the
     /// subtree each one tainted.
     pub quarantine: HashMap<ActorId, QuarantineInfo>,
+    /// Reverse index of every quarantined actor's tainted set:
+    /// ino -> how many quarantined actors taint it. Makes the per-read
+    /// `ino_quarantined` probe O(1) instead of a scan over every
+    /// offender's whole subtree; maintained by [`Registry::quarantine_enter`]
+    /// / [`Registry::quarantine_remove`].
+    pub tainted_index: HashMap<Ino, u32>,
     /// Set while the kernel's own repair pass re-verifies tainted files —
     /// failures inside the pass must roll back or privatize, never
     /// re-enter quarantine (the offender is already contained).
@@ -226,38 +231,54 @@ impl Registry {
                 ShadowAttr { mode: trio_fsapi::Mode(0o777), uid: 0, gid: 0 },
             ),
         );
-        let mut ino_prov = HashMap::new();
-        // Root is "in use" at a synthetic location never compared against.
-        ino_prov.insert(ROOT_INO, InoProvenance::InUse(DirentLoc { page: PageId(0), slot: 0 }));
         Registry {
             actors: HashMap::new(),
             files,
-            page_prov: HashMap::new(),
-            ino_prov,
             pending_dirty: HashMap::new(),
-            events: Vec::new(),
             next_actor: 1,
             quarantine: HashMap::new(),
+            tainted_index: HashMap::new(),
             repairing: false,
         }
     }
 
     /// Whether `ino` sits in any quarantined LibFS's tainted subtree.
+    /// O(1): one probe of the reverse index.
     pub fn ino_quarantined(&self, ino: Ino) -> bool {
-        self.quarantine.values().any(|q| q.tainted.contains(&ino))
+        self.tainted_index.contains_key(&ino)
     }
 
-    /// Records that `pages` belong to file `ino` (post-verification).
-    pub fn claim_pages_for_file(&mut self, ino: Ino, pages: &FilePages) {
-        for p in pages.all_pages() {
-            self.page_prov.insert(p.0, PageProvenance::InFile(ino));
+    /// Records `actor` as quarantined with `info`, indexing its tainted
+    /// set. The only sanctioned insert path — a bare
+    /// `quarantine.insert` would desynchronize the reverse index.
+    pub fn quarantine_enter(&mut self, actor: ActorId, info: QuarantineInfo) {
+        for ino in &info.tainted {
+            *self.tainted_index.entry(*ino).or_insert(0) += 1;
+        }
+        if let Some(old) = self.quarantine.insert(actor, info) {
+            // Re-quarantine of an already-contained actor: drop the old
+            // subtree's index contribution (it was just re-counted above
+            // only for the new set).
+            self.unindex_tainted(&old);
         }
     }
 
-    /// Drops provenance for pages leaving a file (freed or rolled back).
-    pub fn release_pages(&mut self, pages: impl Iterator<Item = PageId>) {
-        for p in pages {
-            self.page_prov.remove(&p.0);
+    /// Removes `actor` from quarantine (repair finished or containment
+    /// superseded), unwinding its contribution to the reverse index.
+    pub fn quarantine_remove(&mut self, actor: ActorId) -> Option<QuarantineInfo> {
+        let info = self.quarantine.remove(&actor)?;
+        self.unindex_tainted(&info);
+        Some(info)
+    }
+
+    fn unindex_tainted(&mut self, info: &QuarantineInfo) {
+        for ino in &info.tainted {
+            if let Some(n) = self.tainted_index.get_mut(ino) {
+                *n -= 1;
+                if *n == 0 {
+                    self.tainted_index.remove(ino);
+                }
+            }
         }
     }
 }
@@ -265,27 +286,6 @@ impl Registry {
 impl Default for Registry {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-impl ResourceView for Registry {
-    fn page_provenance(&self, page: PageId) -> PageProvenance {
-        if page.0 == 0 {
-            return PageProvenance::Kernel;
-        }
-        self.page_prov.get(&page.0).copied().unwrap_or(PageProvenance::Free)
-    }
-
-    fn ino_provenance(&self, ino: Ino) -> InoProvenance {
-        self.ino_prov.get(&ino).copied().unwrap_or(InoProvenance::Unknown)
-    }
-
-    fn shadow_attr(&self, ino: Ino) -> Option<ShadowAttr> {
-        self.files.get(&ino).map(|f| f.shadow)
-    }
-
-    fn is_mapped(&self, ino: Ino) -> bool {
-        self.files.get(&ino).map(|f| f.is_mapped()).unwrap_or(false)
     }
 }
 
@@ -297,28 +297,37 @@ mod tests {
     fn root_is_preadopted() {
         let r = Registry::new();
         assert!(r.files.contains_key(&ROOT_INO));
-        assert_eq!(r.ino_provenance(ROOT_INO), InoProvenance::InUse(DirentLoc { page: PageId(0), slot: 0 }));
-        assert!(!r.is_mapped(ROOT_INO));
+        assert!(!r.files[&ROOT_INO].is_mapped());
     }
 
     #[test]
-    fn page_zero_is_kernel_owned() {
-        let r = Registry::new();
-        assert_eq!(r.page_provenance(PageId(0)), PageProvenance::Kernel);
-        assert_eq!(r.page_provenance(PageId(5)), PageProvenance::Free);
-    }
-
-    #[test]
-    fn claim_and_release_pages() {
+    fn tainted_index_tracks_quarantine_lifecycle() {
         let mut r = Registry::new();
-        let fp = FilePages {
-            index_pages: vec![PageId(3)],
-            data_pages: vec![Some(PageId(4)), None, Some(PageId(5))],
-        };
-        r.claim_pages_for_file(9, &fp);
-        assert_eq!(r.page_provenance(PageId(4)), PageProvenance::InFile(9));
-        assert_eq!(r.page_provenance(PageId(3)), PageProvenance::InFile(9));
-        r.release_pages(fp.all_pages());
-        assert_eq!(r.page_provenance(PageId(4)), PageProvenance::Free);
+        let a = ActorId(1);
+        let b = ActorId(2);
+        r.quarantine_enter(a, QuarantineInfo { tainted: [10, 11].into_iter().collect() });
+        r.quarantine_enter(b, QuarantineInfo { tainted: [11, 12].into_iter().collect() });
+        assert!(r.ino_quarantined(10));
+        assert!(r.ino_quarantined(11));
+        assert!(r.ino_quarantined(12));
+        assert!(!r.ino_quarantined(13));
+        // Removing one offender keeps the shared ino tainted by the other.
+        r.quarantine_remove(a);
+        assert!(!r.ino_quarantined(10));
+        assert!(r.ino_quarantined(11));
+        r.quarantine_remove(b);
+        assert!(r.tainted_index.is_empty());
+    }
+
+    #[test]
+    fn requarantine_replaces_old_taint_contribution() {
+        let mut r = Registry::new();
+        let a = ActorId(7);
+        r.quarantine_enter(a, QuarantineInfo { tainted: [20].into_iter().collect() });
+        r.quarantine_enter(a, QuarantineInfo { tainted: [21].into_iter().collect() });
+        assert!(!r.ino_quarantined(20), "old tainted set unindexed on re-entry");
+        assert!(r.ino_quarantined(21));
+        r.quarantine_remove(a);
+        assert!(r.tainted_index.is_empty());
     }
 }

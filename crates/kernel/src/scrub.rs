@@ -43,7 +43,7 @@ use trio_layout::{
     superblock::SUPERBLOCK_PAGE, superblock_replica_page, walk_file, CoreFileType, IndexPageRef,
     SbHealth, SuperblockRef,
 };
-use trio_nvm::{ActorId, PageId, CACHE_LINE, KERNEL_ACTOR};
+use trio_nvm::{ActorId, PageId, RegistryLockSite, CACHE_LINE, KERNEL_ACTOR};
 use trio_sim::sync::SimMutex;
 use trio_sim::{in_sim, now, Nanos};
 use trio_verifier::PageProvenance;
@@ -290,6 +290,10 @@ impl KernelController {
     pub fn scrub_pass(&self, budget: usize) -> ScrubReport {
         self.trap();
         let t0 = crate::obs::scrub_pass_begin();
+        // Pin the reclamation epoch for the pass: the scrubber's provenance
+        // probes race the allocator's epoch GC, and the pin keeps any page
+        // the pass observes from being recycled out from under it.
+        let _pin = self.gc.pin();
         let total = self.dev.topology().total_pages();
         let budget = (budget.max(1) as u64).min(total);
         let start = self.scrub_cursor.fetch_add(budget, Ordering::Relaxed) % total;
@@ -355,13 +359,11 @@ impl KernelController {
         if primary == mirror {
             return Err(trio_fsapi::FsError::InvalidArgument);
         }
-        {
-            let reg = self.registry.lock();
-            for p in [primary, mirror] {
-                match reg.page_prov.get(&p.0) {
-                    Some(PageProvenance::AllocatedTo(a)) if *a == actor => {}
-                    _ => return Err(trio_fsapi::FsError::PermissionDenied),
-                }
+        // Provenance lives in the sharded maps now; no control lock needed.
+        for p in [primary, mirror] {
+            match self.prov.get(p.0) {
+                Some(PageProvenance::AllocatedTo(a)) if a == actor => {}
+                _ => return Err(trio_fsapi::FsError::PermissionDenied),
             }
         }
         let twin = JournalTwin { actor, primary, mirror, valid, used_lines, slot };
@@ -428,7 +430,7 @@ impl KernelController {
             self.note_page_fault(page, rep);
             return;
         }
-        let prov = { self.registry.lock().page_prov.get(&page.0).copied() };
+        let prov = self.prov.get(page.0);
         match prov {
             Some(PageProvenance::InFile(ino)) => self.repair_file_page(page, ino, rep),
             Some(PageProvenance::AllocatedTo(_)) | Some(PageProvenance::Kernel) => {
@@ -511,14 +513,11 @@ impl KernelController {
         if *slot != Some((t.primary, t.mirror)) {
             return;
         }
-        {
-            // Re-validate provenance at repair time (see registration).
-            let reg = self.registry.lock();
-            for p in [t.primary, t.mirror] {
-                match reg.page_prov.get(&p.0) {
-                    Some(PageProvenance::AllocatedTo(a)) if *a == t.actor => {}
-                    _ => return,
-                }
+        // Re-validate provenance at repair time (see registration).
+        for p in [t.primary, t.mirror] {
+            match self.prov.get(p.0) {
+                Some(PageProvenance::AllocatedTo(a)) if a == t.actor => {}
+                _ => return,
             }
         }
         let (Ok(praw), Ok(mraw)) =
@@ -582,8 +581,8 @@ impl KernelController {
         let t0 = crate::obs::repair_begin(page.0);
         let tns = now_or_zero();
         {
-            let mut reg = self.registry.lock();
-            if reg.page_prov.get(&page.0).copied() == Some(PageProvenance::InFile(ino)) {
+            let mut reg = self.reg_lock(RegistryLockSite::Scrub);
+            if self.prov.get(page.0) == Some(PageProvenance::InFile(ino)) {
                 if let Some(meta) = reg.files.get_mut(&ino) {
                     if meta.dirty_by.is_none() {
                         meta.dirty_by = Some(KERNEL_ACTOR);
@@ -596,8 +595,7 @@ impl KernelController {
             }
         }
         if matches!(self.dev.page_csum_ok(page), Ok(Some(false)))
-            && self.registry.lock().page_prov.get(&page.0).copied()
-                == Some(PageProvenance::InFile(ino))
+            && self.prov.get(page.0) == Some(PageProvenance::InFile(ino))
             && self.dev.fence_off_page(page) > 0
         {
             rep.fenced_off += 1;
@@ -674,8 +672,8 @@ impl KernelController {
             return false; // Lines are lost; there is nothing good to move.
         }
         let topo = self.dev.topology();
-        let mut reg = self.registry.lock();
-        let Some(PageProvenance::InFile(ino)) = reg.page_prov.get(&old.0).copied() else {
+        let mut reg = self.reg_lock(RegistryLockSite::Scrub);
+        let Some(PageProvenance::InFile(ino)) = self.prov.get(old.0) else {
             return false;
         };
         let Some(meta) = reg.files.get(&ino) else {
@@ -750,8 +748,8 @@ impl KernelController {
         }
         // Provenance and verified pages follow the move; no live mapping
         // holds the old frame (checked above), so no MMU surgery is needed.
-        reg.page_prov.remove(&old.0);
-        reg.page_prov.insert(fresh.0, PageProvenance::InFile(ino));
+        self.prov.remove(old.0);
+        self.prov.insert(fresh.0, PageProvenance::InFile(ino));
         if let Some(meta) = reg.files.get_mut(&ino) {
             for slot in meta.verified_pages.data_pages.iter_mut() {
                 if *slot == Some(old) {

@@ -42,7 +42,7 @@ pub use fault::{faults_compiled, CrashReport, FaultPlan, WorkerKillPlan, WorkerK
 pub use sanitize::{Hazard, HazardKind, SanitizeReport};
 pub use handle::NvmHandle;
 pub use perf::BandwidthModel;
-pub use stats::{PathStats, PathStatsSnapshot, HIST_BUCKETS};
+pub use stats::{PathStats, PathStatsSnapshot, RegistryLockSite, HIST_BUCKETS};
 pub use prot::{ActorId, PagePerm, ProtError, KERNEL_ACTOR};
 pub use topology::{NodeId, PageId, Topology, CACHE_LINE, PAGE_SIZE};
 pub use typestate::{Dirty, Durable, ExtentProof, Flushed, Span, Spans};

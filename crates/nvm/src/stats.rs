@@ -17,6 +17,106 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// open-ended. 24 buckets reach ~16 ms, far past the delegation deadline.
 pub const HIST_BUCKETS: usize = 24;
 
+/// Every call site that may take the kernel's registry control lock,
+/// so a `registry_locks` regression is attributable to the path that
+/// caused it instead of showing up as an anonymous aggregate (the
+/// 450 → 642 regression this enum was written to diagnose was three
+/// uninstrumented free/spill sites plus refill growth).
+///
+/// The headline `registry_locks` counter only counts the *hot* sites —
+/// the ones on the steady-state alloc/free/truncate path that the perf
+/// gate budgets. Control-plane sites (map, verify, register, scrub,
+/// quarantine) are off the data path by design and tracked per-site
+/// only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum RegistryLockSite {
+    /// Allocator cache refill (hot; lock-free since the sharded refactor).
+    AllocRefill,
+    /// `free_pages` validation (hot; lock-free since the sharded refactor).
+    Free,
+    /// Cache high-water spill to the pools (hot; lock-free now).
+    Spill,
+    /// Truncate/unlink returning file pages whose provenance is still
+    /// `InFile` (hot slow-path; the all-private fast path takes no lock).
+    ReturnFile,
+    /// Mapping a file into an actor.
+    Map,
+    /// Releasing a mapping.
+    Release,
+    /// Committing a shadow update.
+    Commit,
+    /// File reclaim (unlink of an adopted file).
+    Reclaim,
+    /// LibFS registration.
+    Register,
+    /// LibFS unregistration.
+    Unregister,
+    /// Administrative ops: setattr, update_root, ino grants.
+    Admin,
+    /// Full-tree fsck.
+    Fsck,
+    /// Patrol-scrub repair/migration (probe reads are lock-free).
+    Scrub,
+    /// Quarantine entry / repair / readmission.
+    Quarantine,
+}
+
+impl RegistryLockSite {
+    /// Number of distinct sites (array dimension).
+    pub const COUNT: usize = 14;
+
+    /// Every site, in counter-array order.
+    pub const ALL: [RegistryLockSite; Self::COUNT] = [
+        RegistryLockSite::AllocRefill,
+        RegistryLockSite::Free,
+        RegistryLockSite::Spill,
+        RegistryLockSite::ReturnFile,
+        RegistryLockSite::Map,
+        RegistryLockSite::Release,
+        RegistryLockSite::Commit,
+        RegistryLockSite::Reclaim,
+        RegistryLockSite::Register,
+        RegistryLockSite::Unregister,
+        RegistryLockSite::Admin,
+        RegistryLockSite::Fsck,
+        RegistryLockSite::Scrub,
+        RegistryLockSite::Quarantine,
+    ];
+
+    /// Stable snake_case name (JSON key in `registry_lock_sites`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RegistryLockSite::AllocRefill => "alloc_refill",
+            RegistryLockSite::Free => "free",
+            RegistryLockSite::Spill => "spill",
+            RegistryLockSite::ReturnFile => "return_file",
+            RegistryLockSite::Map => "map",
+            RegistryLockSite::Release => "release",
+            RegistryLockSite::Commit => "commit",
+            RegistryLockSite::Reclaim => "reclaim",
+            RegistryLockSite::Register => "register",
+            RegistryLockSite::Unregister => "unregister",
+            RegistryLockSite::Admin => "admin",
+            RegistryLockSite::Fsck => "fsck",
+            RegistryLockSite::Scrub => "scrub",
+            RegistryLockSite::Quarantine => "quarantine",
+        }
+    }
+
+    /// Whether the site sits on the steady-state data path and therefore
+    /// counts against the headline `registry_locks` budget.
+    pub fn is_hot(self) -> bool {
+        matches!(
+            self,
+            RegistryLockSite::AllocRefill
+                | RegistryLockSite::Free
+                | RegistryLockSite::Spill
+                | RegistryLockSite::ReturnFile
+        )
+    }
+}
+
 /// Geometric midpoint of log bucket `i` (`[2^i, 2^(i+1))`): `2^i·√2`, the
 /// unbiased point estimate for a log-uniform sample. Reporting this
 /// instead of the lower bound removes the up-to-2× downward bias the old
@@ -97,6 +197,11 @@ pub struct PathStats {
     free_spills: AtomicU64,
     /// Global registry lock acquisitions on the alloc/free path.
     registry_locks: AtomicU64,
+    /// Per-call-site registry lock acquisitions (attribution for the
+    /// headline counter; indexed by [`RegistryLockSite`]).
+    registry_lock_sites: [AtomicU64; RegistryLockSite::COUNT],
+    /// Kernel events evicted from the bounded event ring by overflow.
+    events_dropped: AtomicU64,
     // -- failure domains --
     /// Delegation workers observed dead by the watchdog.
     worker_deaths: AtomicU64,
@@ -272,6 +377,23 @@ impl PathStats {
         Self::bump(&self.registry_locks, 1);
     }
 
+    /// The registry control lock was taken at `site`. Always attributed
+    /// per-site; only hot (data-path) sites feed the headline
+    /// `registry_locks` counter the perf gate budgets.
+    #[inline]
+    pub fn record_registry_lock_site(&self, site: RegistryLockSite) {
+        Self::bump(&self.registry_lock_sites[site as usize], 1);
+        if site.is_hot() {
+            Self::bump(&self.registry_locks, 1);
+        }
+    }
+
+    /// The bounded kernel event ring evicted its oldest entry.
+    #[inline]
+    pub fn record_event_dropped(&self) {
+        Self::bump(&self.events_dropped, 1);
+    }
+
     /// The watchdog confirmed a delegation worker dead.
     #[inline]
     pub fn record_worker_death(&self) {
@@ -323,6 +445,10 @@ impl PathStats {
         for (i, b) in self.ring_hop_hist.iter().enumerate() {
             hist[i] = b.load(Ordering::Relaxed);
         }
+        let mut sites = [0u64; RegistryLockSite::COUNT];
+        for (i, s) in self.registry_lock_sites.iter().enumerate() {
+            sites[i] = s.load(Ordering::Relaxed);
+        }
         PathStatsSnapshot {
             delegated_read_bytes: self.delegated_read_bytes.load(Ordering::Relaxed),
             delegated_write_bytes: self.delegated_write_bytes.load(Ordering::Relaxed),
@@ -350,6 +476,8 @@ impl PathStats {
             free_cached: self.free_cached.load(Ordering::Relaxed),
             free_spills: self.free_spills.load(Ordering::Relaxed),
             registry_locks: self.registry_locks.load(Ordering::Relaxed),
+            registry_lock_sites: sites,
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
             worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             deleg_redispatches: self.deleg_redispatches.load(Ordering::Relaxed),
@@ -404,6 +532,10 @@ impl PathStats {
         self.free_cached.store(0, Ordering::Relaxed);
         self.free_spills.store(0, Ordering::Relaxed);
         self.registry_locks.store(0, Ordering::Relaxed);
+        for s in &self.registry_lock_sites {
+            s.store(0, Ordering::Relaxed);
+        }
+        self.events_dropped.store(0, Ordering::Relaxed);
         self.worker_deaths.store(0, Ordering::Relaxed);
         self.worker_restarts.store(0, Ordering::Relaxed);
         self.deleg_redispatches.store(0, Ordering::Relaxed);
@@ -444,6 +576,8 @@ pub struct PathStatsSnapshot {
     pub free_cached: u64,
     pub free_spills: u64,
     pub registry_locks: u64,
+    pub registry_lock_sites: [u64; RegistryLockSite::COUNT],
+    pub events_dropped: u64,
     pub worker_deaths: u64,
     pub worker_restarts: u64,
     pub deleg_redispatches: u64,
@@ -455,6 +589,11 @@ pub struct PathStatsSnapshot {
 }
 
 impl PathStatsSnapshot {
+    /// Registry-lock acquisitions attributed to one call site.
+    pub fn registry_lock_site(&self, site: RegistryLockSite) -> u64 {
+        self.registry_lock_sites[site as usize]
+    }
+
     /// Fraction of `alloc_pages` calls served from the per-actor cache.
     pub fn alloc_fast_hit_rate(&self) -> f64 {
         let total = self.alloc_fast_hits + self.alloc_refills;
@@ -507,6 +646,10 @@ impl PathStatsSnapshot {
         for (i, h) in hist.iter_mut().enumerate() {
             *h = self.ring_hop_hist[i].saturating_sub(earlier.ring_hop_hist[i]);
         }
+        let mut sites = [0u64; RegistryLockSite::COUNT];
+        for (i, s) in sites.iter_mut().enumerate() {
+            *s = self.registry_lock_sites[i].saturating_sub(earlier.registry_lock_sites[i]);
+        }
         PathStatsSnapshot {
             delegated_read_bytes: self.delegated_read_bytes.saturating_sub(earlier.delegated_read_bytes),
             delegated_write_bytes: self.delegated_write_bytes.saturating_sub(earlier.delegated_write_bytes),
@@ -534,6 +677,8 @@ impl PathStatsSnapshot {
             free_cached: self.free_cached.saturating_sub(earlier.free_cached),
             free_spills: self.free_spills.saturating_sub(earlier.free_spills),
             registry_locks: self.registry_locks.saturating_sub(earlier.registry_locks),
+            registry_lock_sites: sites,
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
             worker_deaths: self.worker_deaths.saturating_sub(earlier.worker_deaths),
             worker_restarts: self.worker_restarts.saturating_sub(earlier.worker_restarts),
             deleg_redispatches: self
@@ -581,6 +726,12 @@ impl PathStatsSnapshot {
         push("free_cached", self.free_cached.to_string());
         push("free_spills", self.free_spills.to_string());
         push("registry_locks", self.registry_locks.to_string());
+        let sites: Vec<String> = RegistryLockSite::ALL
+            .iter()
+            .map(|s| format!("\"{}\": {}", s.as_str(), self.registry_lock_site(*s)))
+            .collect();
+        push("registry_lock_sites", format!("{{{}}}", sites.join(", ")));
+        push("events_dropped", self.events_dropped.to_string());
         push("worker_deaths", self.worker_deaths.to_string());
         push("worker_restarts", self.worker_restarts.to_string());
         push("deleg_redispatches", self.deleg_redispatches.to_string());
@@ -649,6 +800,9 @@ mod tests {
         s.record_alloc_refill(64);
         s.record_free(10, 2);
         s.record_registry_lock();
+        s.record_registry_lock_site(RegistryLockSite::AllocRefill); // hot: headline too
+        s.record_registry_lock_site(RegistryLockSite::Fsck); // cold: site only
+        s.record_event_dropped();
         s.record_worker_death();
         s.record_worker_restart();
         s.record_redispatch();
@@ -679,7 +833,11 @@ mod tests {
         assert_eq!(snap.alloc_refill_pages, 64);
         assert_eq!(snap.free_cached, 10);
         assert_eq!(snap.free_spills, 2);
-        assert_eq!(snap.registry_locks, 1);
+        assert_eq!(snap.registry_locks, 2, "hot site feeds the headline counter");
+        assert_eq!(snap.registry_lock_site(RegistryLockSite::AllocRefill), 1);
+        assert_eq!(snap.registry_lock_site(RegistryLockSite::Fsck), 1);
+        assert_eq!(snap.registry_lock_site(RegistryLockSite::Scrub), 0);
+        assert_eq!(snap.events_dropped, 1);
         assert_eq!(snap.worker_deaths, 1);
         assert_eq!(snap.worker_restarts, 1);
         assert_eq!(snap.deleg_redispatches, 1);
@@ -807,6 +965,9 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"threads\": 28"));
         assert!(j.contains("\"deleg_requests\": 1"));
+        assert!(j.contains("\"registry_lock_sites\": {\"alloc_refill\": 0"));
+        assert!(j.contains("\"scrub\": 0"));
+        assert!(j.contains("\"events_dropped\": 0"));
         assert!(j.contains("\"worker_deaths\": 0"));
         assert!(j.contains("\"deleg_dedup_hits\": 0"));
         assert!(j.contains("\"degraded_enters\": 0"));

@@ -60,6 +60,12 @@
 //!   it is a complete self-fencing single-word persist, not an ordering
 //!   escape hatch.
 //!
+//! * **hot-path-registry** — modules annotated `lint: hot-path` (the
+//!   grant table, the delegation pool) must never take the kernel's
+//!   registry control lock: the mega-tenant scaling story (DESIGN.md §20)
+//!   rests on steady-state alloc/free/grant paths staying off that lock,
+//!   and the perf gate pins `registry_locks` near zero to prove it.
+//!
 //! Any rule can be suppressed per-site with `// lint: allow(<rule-id>)
 //! <reason>` on the flagged line or up to two lines above it; the reason is
 //! mandatory — a bare allow is itself reported.
@@ -216,6 +222,7 @@ pub enum Rule {
     ObsGate,
     PayloadMaterialize,
     RawPublish,
+    HotPathRegistry,
 }
 
 impl Rule {
@@ -229,6 +236,7 @@ impl Rule {
             Rule::ObsGate => "obs-gate",
             Rule::PayloadMaterialize => "no-payload-copy",
             Rule::RawPublish => "raw-publish",
+            Rule::HotPathRegistry => "hot-path-registry",
         }
     }
 }
@@ -322,6 +330,10 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
     // (DESIGN.md §18); tests/benches keep the raw API for mutation
     // harnesses that deliberately construct hazards.
     let raw_publish_scope = !in_nvm && !in_xtask && shipped_src(rel);
+    // A module that declares itself hot-path (raw source, so the marker
+    // lives in its doc comment) has sworn off the registry control lock
+    // entirely (DESIGN.md §20).
+    let hot_path_scope = !in_xtask && src.contains("lint: hot-path");
 
     let masked = mask_source(src);
     let raw: Vec<&str> = src.lines().collect();
@@ -488,6 +500,23 @@ fn lint_file(rel: &Path, src: &str, out: &mut Vec<Finding>) {
                     "raw `.fence()` mints no Durable witness; use \
                      `fence_flushed`/`persist_dirty` so ordering is \
                      compiler-checked (DESIGN.md §18)".to_string());
+            }
+        }
+
+        // R9: modules annotated `lint: hot-path` never take the kernel's
+        // registry control lock — neither directly nor through the
+        // instrumented `reg_lock` wrapper. The mega-tenant scaling gate
+        // rests on steady-state paths staying off that lock.
+        if hot_path_scope && i < test_region {
+            for pat in ["registry.lock(", ".reg_lock("] {
+                if line.contains(pat) {
+                    emit(out, rel, &raw, i, Rule::HotPathRegistry, format!(
+                        "`{pat}…)` in a `lint: hot-path` module; the registry \
+                         control lock is banned on steady-state paths \
+                         (DESIGN.md §20 — perf gate pins registry_locks ≈ 0)"
+                    ));
+                    break;
+                }
             }
         }
     }
@@ -901,6 +930,7 @@ mod tests {
             Rule::ObsGate,
             Rule::PayloadMaterialize,
             Rule::RawPublish,
+            Rule::HotPathRegistry,
         ] {
             assert!(
                 findings.iter().any(|f| f.rule == rule),
@@ -996,6 +1026,20 @@ mod tests {
         assert!(raw_hits.contains(&line_of("h.fence();")));
         assert!(!raw_hits.contains(&(line_of("lint: allow(raw-publish) fixture") + 1)));
         assert!(!raw_hits.contains(&line_of("h.write_u64_persist(3, 0, 9)")));
+        // hot-path-registry: the direct acquisition and the instrumented
+        // wrapper both trip; the annotated cold path stays clean.
+        let hot_hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::HotPathRegistry)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hot_hits.len(), 2, "exactly the two live lock sites: {hot_hits:?}");
+        let hp_src = fixture.join("crates").join("kernel").join("src").join("hotpath.rs");
+        let src = std::fs::read_to_string(&hp_src).unwrap();
+        let line_of = |needle: &str| src.lines().position(|l| l.contains(needle)).unwrap() + 1;
+        assert!(hot_hits.contains(&line_of("let _fast")));
+        assert!(hot_hits.contains(&line_of("let _site")));
+        assert!(!hot_hits.contains(&line_of("let _cold")));
     }
 
     /// 1-based line of the first raw line containing `needle` in the
